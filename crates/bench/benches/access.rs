@@ -1,0 +1,49 @@
+//! B2 / E6 companion: access-check cost with the §5.5 cache on and off.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moira_core::access::caller_has_capability;
+use moira_core::registry::Registry;
+use moira_core::seed::seed_capacls;
+use moira_core::state::{Caller, MoiraState};
+use moira_sim::{populate, PopulationSpec};
+use parking_lot::Mutex;
+
+fn setup() -> (Arc<Mutex<MoiraState>>, String) {
+    let registry = Arc::new(Registry::standard());
+    let mut state = MoiraState::new(moira_common::VClock::new());
+    seed_capacls(&mut state, &registry);
+    let report = populate(&mut state, &registry, &PopulationSpec::small()).unwrap();
+    let operator = report.active_logins[0].clone();
+    let root = Caller::root("bench");
+    registry
+        .execute(
+            &mut state,
+            &root,
+            "add_member_to_list",
+            &["moira-admins".into(), "USER".into(), operator.clone()],
+        )
+        .unwrap();
+    (Arc::new(Mutex::new(state)), operator)
+}
+
+fn bench_access(c: &mut Criterion) {
+    let (state, operator) = setup();
+    let caller = Caller::new(&operator, "bench");
+
+    c.bench_function("access_check_cached", |b| {
+        let mut s = state.lock();
+        s.access_cache.enabled = true;
+        b.iter(|| black_box(caller_has_capability(&mut s, &caller, "add_user")));
+    });
+    c.bench_function("access_check_uncached", |b| {
+        let mut s = state.lock();
+        s.access_cache.enabled = false;
+        b.iter(|| black_box(caller_has_capability(&mut s, &caller, "add_user")));
+    });
+}
+
+criterion_group!(benches, bench_access);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! B5: mrbackup / mrrestore throughput on a populated database.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moira_core::registry::Registry;
+use moira_core::schema::create_all_tables;
+use moira_core::seed::seed_capacls;
+use moira_core::state::MoiraState;
+use moira_db::backup::{mrbackup, mrrestore};
+use moira_db::Database;
+use moira_sim::{populate, PopulationSpec};
+
+fn bench_backup(c: &mut Criterion) {
+    let registry = Registry::standard();
+    let mut state = MoiraState::new(moira_common::VClock::new());
+    seed_capacls(&mut state, &registry);
+    populate(
+        &mut state,
+        &registry,
+        &PopulationSpec::small().scaled_users(1_000),
+    )
+    .unwrap();
+
+    c.bench_function("mrbackup_1k_users", |b| {
+        b.iter(|| black_box(mrbackup(&state.db)))
+    });
+    let backup = mrbackup(&state.db);
+    c.bench_function("mrrestore_1k_users", |b| {
+        b.iter(|| {
+            let mut fresh = Database::new(moira_common::VClock::new());
+            create_all_tables(&mut fresh);
+            black_box(mrrestore(&mut fresh, &backup).unwrap());
+        })
+    });
+}
+
+criterion_group!(benches, bench_backup);
+criterion_main!(benches);

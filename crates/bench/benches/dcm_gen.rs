@@ -1,0 +1,37 @@
+//! B3: per-service file generation cost at a few population scales.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moira_core::registry::Registry;
+use moira_core::seed::seed_capacls;
+use moira_core::state::MoiraState;
+use moira_dcm::generators::standard_generators;
+use moira_sim::{populate, PopulationSpec};
+
+fn state_at(users: usize) -> MoiraState {
+    let registry = Registry::standard();
+    let mut state = MoiraState::new(moira_common::VClock::new());
+    seed_capacls(&mut state, &registry);
+    let spec = PopulationSpec::small().scaled_users(users);
+    populate(&mut state, &registry, &spec).unwrap();
+    state
+}
+
+fn bench_generators(c: &mut Criterion) {
+    for users in [100usize, 1_000] {
+        let state = state_at(users);
+        for generator in standard_generators() {
+            c.bench_with_input(
+                BenchmarkId::new(format!("generate_{}", generator.service()), users),
+                &users,
+                |b, _| {
+                    b.iter(|| black_box(generator.generate(&state, "").unwrap()));
+                },
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

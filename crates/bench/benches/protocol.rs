@@ -1,0 +1,45 @@
+//! B4: wire encode/decode and archive serialization throughput.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moira_dcm::archive::{crc32, Archive};
+use moira_protocol::wire::{MajorRequest, Reply, Request};
+
+fn bench_protocol(c: &mut Criterion) {
+    let request = Request::new(MajorRequest::Query, &["get_user_by_login", "babette"]);
+    let encoded = request.encode();
+    c.bench_function("request_encode", |b| b.iter(|| black_box(request.encode())));
+    c.bench_function("request_decode", |b| {
+        b.iter(|| black_box(Request::decode(encoded.clone()).unwrap()))
+    });
+
+    let tuple = Reply::tuple(&[
+        "babette".into(),
+        "6530".into(),
+        "/bin/csh".into(),
+        "Fowler".into(),
+        "Harmon".into(),
+        "C".into(),
+    ]);
+    let tuple_encoded = tuple.encode();
+    c.bench_function("reply_encode", |b| b.iter(|| black_box(tuple.encode())));
+    c.bench_function("reply_decode", |b| {
+        b.iter(|| black_box(Reply::decode(tuple_encoded.clone()).unwrap()))
+    });
+
+    let mut archive = Archive::new();
+    for i in 0..11 {
+        archive.add(&format!("file{i}.db"), vec![b'x'; 50_000]);
+    }
+    let bytes = archive.to_bytes();
+    c.bench_function("archive_serialize_550k", |b| {
+        b.iter(|| black_box(archive.to_bytes()))
+    });
+    c.bench_function("archive_crc32_550k", |b| {
+        b.iter(|| black_box(crc32(&bytes)))
+    });
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! B1: RPC dispatch — noop and simple query round trips through the
+//! in-process transport, plus direct-glue dispatch (the §5.6 "significantly
+//! higher throughput" claim).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moira_client::{DirectClient, MoiraConn, ServerThread};
+use moira_core::registry::Registry;
+use moira_core::seed::seed_capacls;
+use moira_core::server::MoiraServer;
+use moira_core::state::MoiraState;
+use moira_sim::{populate, PopulationSpec};
+use parking_lot::Mutex;
+
+fn setup() -> (Arc<Mutex<MoiraState>>, Arc<Registry>, String) {
+    let registry = Arc::new(Registry::standard());
+    let mut state = MoiraState::new(moira_common::VClock::new());
+    seed_capacls(&mut state, &registry);
+    let report = populate(&mut state, &registry, &PopulationSpec::small()).unwrap();
+    (
+        Arc::new(Mutex::new(state)),
+        registry,
+        report.active_logins[0].clone(),
+    )
+}
+
+fn bench_rpc(c: &mut Criterion) {
+    let (state, registry, login) = setup();
+    let server = MoiraServer::new(state.clone(), registry.clone(), None);
+    let thread = ServerThread::spawn(server);
+    let mut client = thread.connect();
+    client.auth("root", "bench").unwrap();
+
+    c.bench_function("rpc_noop", |b| {
+        b.iter(|| client.noop().unwrap());
+    });
+    c.bench_function("rpc_get_user_by_login", |b| {
+        b.iter(|| {
+            let rows = client
+                .query_collect("get_user_by_login", &[&login])
+                .unwrap();
+            black_box(rows);
+        });
+    });
+
+    let mut glue = DirectClient::connect_as_root(state, registry, "bench");
+    c.bench_function("glue_get_user_by_login", |b| {
+        b.iter(|| {
+            let rows = glue.query_collect("get_user_by_login", &[&login]).unwrap();
+            black_box(rows);
+        });
+    });
+    c.bench_function("glue_wildcard_scan", |b| {
+        b.iter(|| {
+            let rows = glue.query_collect("get_machine", &["*"]).unwrap();
+            black_box(rows);
+        });
+    });
+}
+
+criterion_group!(benches, bench_rpc);
+criterion_main!(benches);

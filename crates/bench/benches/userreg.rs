@@ -1,0 +1,43 @@
+//! B6: registration-server request latency (verify / grab / set_password).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moira_core::userreg::{make_authenticator, RegRequest};
+use moira_sim::{Deployment, PopulationSpec};
+
+fn bench_userreg(c: &mut Criterion) {
+    let mut spec = PopulationSpec::small();
+    spec.unregistered_users = 5_000;
+    let d = Deployment::build(&spec);
+    let students = d.population.unregistered.clone();
+
+    let (first, last, id) = students[0].clone();
+    c.bench_function("verify_user", |b| {
+        let auth = make_authenticator(&id, &first, &last, None);
+        b.iter(|| {
+            black_box(d.regserver.handle(&RegRequest::VerifyUser {
+                first: first.clone(),
+                last: last.clone(),
+                authenticator: auth.clone(),
+            }))
+        });
+    });
+
+    c.bench_function("grab_login_full", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (first, last, id) = &students[i % students.len()];
+            let login = format!("b{i:06}");
+            i += 1;
+            black_box(d.regserver.handle(&RegRequest::GrabLogin {
+                first: first.clone(),
+                last: last.clone(),
+                authenticator: make_authenticator(id, first, last, Some(&login)),
+            }))
+        });
+    });
+}
+
+criterion_group!(benches, bench_userreg);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Experiment E10: consumer round-trip (§5.8 server descriptions).
+//!
+//! Every file the DCM distributes is loaded by the consumer it was written
+//! for, then probed the way its §5.8.2 "Client(s)" would: Hesiod lookups
+//! (`login`, `attach`, `inc`, `lpr`), mail routing, NFS credential/quota
+//! application, and Zephyr ACL enforcement.
+
+use moira_bench::{write_json, Table};
+use moira_common::rng::Mt;
+use moira_sim::{Deployment, PopulationSpec};
+
+fn main() {
+    let spec = PopulationSpec::athena_1988().scaled_users(500);
+    eprintln!(
+        "building a {}-user deployment and propagating…",
+        spec.active_users
+    );
+    let mut d = Deployment::build(&spec);
+    let report = d.run_dcm_once();
+    assert!(
+        report.updates.iter().all(|(_, _, r)| r.is_ok()),
+        "initial propagation clean"
+    );
+
+    let mut rng = Mt::new(10);
+    let mut probes: Vec<(&'static str, usize, usize)> = Vec::new();
+    let logins = d.population.active_logins.clone();
+    let sample: Vec<String> = (0..100).map(|_| rng.choice(&logins).clone()).collect();
+
+    // Hesiod: passwd, pobox, uid->passwd, filsys, grplist (client: login,
+    // inc, attach).
+    let hes = d.hesiod_one();
+    let hes = hes.lock();
+    let mut ok = 0;
+    for login in &sample {
+        let passwd = hes.resolve(login, "passwd");
+        let pobox = hes.resolve(login, "pobox");
+        let filsys = hes.resolve(login, "filsys");
+        let grplist = hes.resolve(login, "grplist");
+        if let (Ok(p), Ok(po), Ok(f), Ok(g)) = (passwd, pobox, filsys, grplist) {
+            let uid = p[0].split(':').nth(2).unwrap_or("").to_owned();
+            let back = hes.resolve(&uid, "uid");
+            if back.is_ok_and(|b| b[0].starts_with(&format!("{login}:")))
+                && po[0].starts_with("POP ")
+                && f[0].starts_with("NFS ")
+                && g[0].starts_with(&format!("{login}:"))
+            {
+                ok += 1;
+            }
+        }
+    }
+    probes.push((
+        "hesiod user lookups (passwd/pobox/filsys/grplist/uid)",
+        ok,
+        sample.len(),
+    ));
+
+    // Hesiod service map and printers (clients: /etc/services shim, lpr).
+    let svc_ok = hes.resolve("svc0", "service").is_ok() as usize;
+    let pcap_ok = hes.resolve("prn00", "pcap").is_ok() as usize;
+    let sloc_ok = hes.resolve("HESIOD", "sloc").is_ok() as usize;
+    probes.push((
+        "hesiod service/printcap/sloc entries",
+        svc_ok + pcap_ok + sloc_ok,
+        3,
+    ));
+    drop(hes);
+
+    // Mail hub: every sampled user routes to a pobox; a mailing list
+    // expands.
+    let hub = d.mail_one();
+    let hub = hub.lock();
+    let mut ok = 0;
+    for login in &sample {
+        let dests = hub.resolve(login);
+        if dests
+            .iter()
+            .all(|dst| matches!(dst, moira_svc::mail::Destination::PoBox { .. }))
+        {
+            ok += 1;
+        }
+    }
+    probes.push(("mail pobox routing", ok, sample.len()));
+    let list_ok = hub
+        .resolve("ml-000")
+        .iter()
+        .all(|dst| !matches!(dst, moira_svc::mail::Destination::Bounce(_)));
+    probes.push(("mailing list expansion (ml-000)", list_ok as usize, 1));
+    drop(hub);
+
+    // NFS: credentials + quota applied on the user's home server; locker
+    // directory created.
+    let mut ok = 0;
+    for login in sample.iter().take(50) {
+        let path = format!("/u1/lockers/{login}");
+        let served = d.nfs.values().any(|srv| {
+            let s = srv.lock();
+            s.credential(login).is_some()
+                && s.locker(&path).is_some_and(|l| l.init_files)
+                && s.credential(login)
+                    .is_some_and(|c| s.quota(c.uid) == Some(300))
+        });
+        if served {
+            ok += 1;
+        }
+    }
+    probes.push(("nfs credentials+locker+quota on home server", ok, 50));
+
+    // Zephyr: controlled class enforces its transmit ACL on every server.
+    let mut ok = 0;
+    let mut total = 0;
+    for z in d.zephyr.values() {
+        let mut z = z.lock();
+        total += 2;
+        if z.transmit("not-a-member", "zclass-0", "i", "m").is_err() {
+            ok += 1;
+        }
+        if z.transmit("anyone", "UNRESTRICTED", "i", "m").is_ok() {
+            ok += 1;
+        }
+    }
+    probes.push(("zephyr ACL enforcement per server", ok, total));
+
+    let mut table = Table::new(&["Probe", "Passed", "Total"]);
+    let mut all_ok = true;
+    let mut json_rows = Vec::new();
+    for (name, passed, total) in &probes {
+        table.row(&[name.to_string(), passed.to_string(), total.to_string()]);
+        all_ok &= passed == total;
+        json_rows.push(serde_json::json!({"probe": name, "passed": passed, "total": total}));
+    }
+    table.print("E10 — Consumer round-trip: every distributed file is used (§5.8)");
+    println!("\nall probes passed: {all_ok}");
+    write_json(
+        "table_consumer_roundtrip",
+        &serde_json::json!({"rows": json_rows, "all_ok": all_ok}),
+    );
+}

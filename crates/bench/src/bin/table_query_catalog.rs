@@ -1,0 +1,58 @@
+//! Experiment E3: the §5.1.C claim — "Over 100 query handles provide
+//! efficient, database independent methods of accessing data."
+//!
+//! Counts and classifies the registered query handles.
+
+use moira_bench::{write_json, Table};
+use moira_core::registry::{QueryKind, Registry};
+
+fn main() {
+    let registry = Registry::standard();
+    let mut by_kind = std::collections::BTreeMap::new();
+    for h in registry.handles() {
+        *by_kind.entry(format!("{:?}", h.kind)).or_insert(0u64) += 1;
+    }
+    let mut table = Table::new(&["Class", "Handles"]);
+    for (kind, count) in &by_kind {
+        table.row(&[kind.clone(), count.to_string()]);
+    }
+    table.row(&["TOTAL".into(), registry.len().to_string()]);
+    table.print("E3 — Query handle catalog (paper claim: over 100 query handles)");
+    println!(
+        "\n{} query handles registered; paper claims \"over 100\": {}",
+        registry.len(),
+        if registry.len() > 100 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
+    );
+
+    let mut catalog = Table::new(&["Query", "Tag", "Class", "Args", "Returns"]);
+    for h in registry.handles() {
+        catalog.row(&[
+            h.name.to_string(),
+            h.shortname.to_string(),
+            format!("{:?}", h.kind),
+            h.args.len().to_string(),
+            h.returns.len().to_string(),
+        ]);
+    }
+    catalog.print("Full predefined query catalog (§7)");
+
+    let retrieves = registry
+        .handles()
+        .iter()
+        .filter(|h| h.kind == QueryKind::Retrieve)
+        .count();
+    write_json(
+        "table_query_catalog",
+        &serde_json::json!({
+            "total": registry.len(),
+            "by_kind": by_kind,
+            "retrieves": retrieves,
+            "paper_claim": "over 100",
+            "reproduced": registry.len() > 100,
+        }),
+    );
+}

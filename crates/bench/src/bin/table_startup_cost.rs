@@ -1,0 +1,115 @@
+//! Experiment E5: the §5.4 connection-startup claim.
+//!
+//! "One of the limiting factors for Athenareg, Moira's predecessor, is the
+//! time it takes to start up the Ingres back end subprocess which it uses
+//! to access the database. This was done for every client connection …
+//! the Moira server will do this only once, at the start up time of the
+//! daemon."
+//!
+//! The baseline models Athenareg: every client connection pays a full
+//! database-backend start (restoring the database from its on-disk form)
+//! before it can answer one query. Moira's model connects to the
+//! long-running server and pays only the RPC round trips. Absolute numbers
+//! are ours, not the VAX's; the *shape* — a large constant per-connection
+//! cost eliminated — is the reproduction target.
+
+use std::sync::Arc;
+
+use moira_bench::{write_json, Table};
+use moira_client::{MoiraConn, ServerThread};
+use moira_core::registry::Registry;
+use moira_core::schema::create_all_tables;
+use moira_core::seed::seed_capacls;
+use moira_core::server::MoiraServer;
+use moira_core::state::{Caller, MoiraState};
+use moira_db::backup::{mrbackup, mrrestore};
+use moira_db::Database;
+use moira_sim::{populate, PopulationSpec};
+use parking_lot::Mutex;
+
+const CONNECTIONS: usize = 25;
+
+fn main() {
+    // A mid-size population keeps the Athenareg baseline affordable.
+    let spec = PopulationSpec::athena_1988().scaled_users(2_000);
+    eprintln!("building a {}-user population…", spec.active_users);
+    let registry = Arc::new(Registry::standard());
+    let mut state = MoiraState::new(moira_common::VClock::new());
+    seed_capacls(&mut state, &registry);
+    let report = populate(&mut state, &registry, &spec).expect("population");
+    let probe_login = report.active_logins[17].clone();
+    let disk_image = mrbackup(&state.db);
+
+    // --- Moira model: one persistent backend, many connections. ----------
+    let shared = Arc::new(Mutex::new(state));
+    let server = MoiraServer::new(shared.clone(), registry.clone(), None);
+    let thread = ServerThread::spawn(server);
+    let t0 = std::time::Instant::now();
+    for _ in 0..CONNECTIONS {
+        let mut client = thread.connect();
+        client.auth("root", "e5").unwrap();
+        let rows = client
+            .query_collect("get_user_by_login", &[&probe_login])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        client.disconnect().unwrap();
+    }
+    let moira_total = t0.elapsed();
+    drop(thread);
+
+    // --- Athenareg model: spawn the backend per connection. --------------
+    let t1 = std::time::Instant::now();
+    for _ in 0..CONNECTIONS {
+        // "Starting up a backend process is a rather heavyweight
+        // operation": open the database from its disk image.
+        let mut db = Database::new(moira_common::VClock::new());
+        create_all_tables(&mut db);
+        mrrestore(&mut db, &disk_image).expect("backend start");
+        let mut st = MoiraState::new(moira_common::VClock::new());
+        st.db = db;
+        let rows = registry
+            .execute(
+                &mut st,
+                &Caller::root("e5"),
+                "get_user_by_login",
+                std::slice::from_ref(&probe_login),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+    let athenareg_total = t1.elapsed();
+
+    let moira_per = moira_total.as_secs_f64() * 1e3 / CONNECTIONS as f64;
+    let athenareg_per = athenareg_total.as_secs_f64() * 1e3 / CONNECTIONS as f64;
+    let ratio = athenareg_per / moira_per;
+
+    let mut table = Table::new(&["Model", "Connections", "Total (ms)", "Per connection (ms)"]);
+    table.row(&[
+        "Athenareg (backend per connection)".into(),
+        CONNECTIONS.to_string(),
+        format!("{:.1}", athenareg_total.as_secs_f64() * 1e3),
+        format!("{athenareg_per:.2}"),
+    ]);
+    table.row(&[
+        "Moira (persistent backend)".into(),
+        CONNECTIONS.to_string(),
+        format!("{:.1}", moira_total.as_secs_f64() * 1e3),
+        format!("{moira_per:.2}"),
+    ]);
+    table.print("E5 — Connection startup: Athenareg model vs Moira model (§5.4)");
+    println!(
+        "\nper-connection cost ratio (Athenareg / Moira): {ratio:.0}x — \
+         Moira wins: {}",
+        ratio > 1.0
+    );
+    write_json(
+        "table_startup_cost",
+        &serde_json::json!({
+            "connections": CONNECTIONS,
+            "athenareg_ms_per_conn": athenareg_per,
+            "moira_ms_per_conn": moira_per,
+            "ratio": ratio,
+            "moira_wins": ratio > 1.0,
+        }),
+    );
+}

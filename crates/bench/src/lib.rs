@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+
+//! Experiment harness support for the Moira reproduction.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper (see DESIGN.md's per-experiment index); this library holds their
+//! shared table-formatting and JSON-emission helpers.
+
+pub mod report;
+
+pub use report::{write_json, Table};

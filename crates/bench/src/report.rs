@@ -1,0 +1,121 @@
+//! Table formatting and machine-readable result emission for the
+//! experiment binaries.
+
+use std::io::Write;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row (short rows are padded).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Adds a row of `&str`s.
+    pub fn row_str(&mut self, cells: &[&str]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// The rows added so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table with a title banner.
+    pub fn print(&self, title: &str) {
+        println!("\n=== {title} ===\n");
+        print!("{}", self.render());
+    }
+}
+
+/// Writes a JSON value next to the printed table so EXPERIMENTS.md numbers
+/// are reproducible by machines too. Files land in `results/`.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(
+            f,
+            "{}",
+            serde_json::to_string_pretty(value).unwrap_or_default()
+        );
+        eprintln!("[results written to {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["Service", "File", "Size"]);
+        t.row_str(&["Hesiod", "passwd.db", "712446"]);
+        t.row_str(&["NFS", "credentials", "152648"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Service"));
+        assert!(lines[2].contains("passwd.db"));
+        // Columns align: "File" and "passwd.db" start at the same offset.
+        let header_idx = lines[0].find("File").unwrap();
+        let row_idx = lines[2].find("passwd.db").unwrap();
+        assert_eq!(header_idx, row_idx);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["only".to_owned()]);
+        assert_eq!(t.rows()[0].len(), 3);
+    }
+}

@@ -1,0 +1,743 @@
+//! The twelve administrative interface programs (§5.1.H: "Currently there
+//! are twelve interface programs").
+//!
+//! "For each service, there is at least one application interface which
+//! provides the capability to manipulate the Moira database." Each program
+//! here is a thin flow over [`MoiraConn`]: it pre-checks access with
+//! `mr_access` where the original would have (so it "won't bother to prompt
+//! the user … if the query is doomed to failure"), runs the queries, and
+//! returns a human-readable transcript line.
+
+use moira_common::errors::{MrError, MrResult};
+use moira_common::menu::Menu;
+
+use crate::conn::MoiraConn;
+
+/// 1. `chsh` — change a login shell.
+pub fn chsh(conn: &mut dyn MoiraConn, login: &str, shell: &str) -> MrResult<String> {
+    conn.access("update_user_shell", &[login, shell])?;
+    conn.query("update_user_shell", &[login, shell], &mut |_| {})?;
+    Ok(format!("Shell for {login} changed to {shell}"))
+}
+
+/// 2. `chfn` — change finger information (unspecified fields keep their previous values).
+pub fn chfn(conn: &mut dyn MoiraConn, login: &str, updates: &[(&str, &str)]) -> MrResult<String> {
+    conn.access(
+        "update_finger_by_login",
+        &[login, "", "", "", "", "", "", "", ""],
+    )?;
+    let current = conn.query_collect("get_finger_by_login", &[login])?;
+    let mut fields: Vec<String> = current[0][1..10].to_vec();
+    let names = [
+        "fullname",
+        "nickname",
+        "home_addr",
+        "home_phone",
+        "office_addr",
+        "office_phone",
+        "department",
+        "affiliation",
+    ];
+    for (name, value) in updates {
+        if let Some(i) = names.iter().position(|n| n == name) {
+            fields[i] = value.to_string();
+        } else {
+            return Err(MrError::Args);
+        }
+    }
+    let mut args = vec![login.to_owned()];
+    args.extend(fields.iter().take(8).cloned());
+    let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+    conn.query("update_finger_by_login", &refs, &mut |_| {})?;
+    Ok(format!("Finger information for {login} updated"))
+}
+
+/// 3. `chpobox` — inspect or move a post office box.
+pub fn chpobox(
+    conn: &mut dyn MoiraConn,
+    login: &str,
+    potype: &str,
+    box_: &str,
+) -> MrResult<String> {
+    conn.query("set_pobox", &[login, potype, box_], &mut |_| {})?;
+    let rows = conn.query_collect("get_pobox", &[login])?;
+    Ok(format!(
+        "Mail for {login} now goes to {} {}",
+        rows[0][1], rows[0][2]
+    ))
+}
+
+/// 4. `usermaint` — account administration.
+pub struct UserMaint;
+
+impl UserMaint {
+    /// Adds a registerable account from a registrar record.
+    pub fn add_registerable(
+        conn: &mut dyn MoiraConn,
+        last: &str,
+        first: &str,
+        middle: &str,
+        hashed_id: &str,
+        class: &str,
+    ) -> MrResult<String> {
+        conn.query(
+            "add_user",
+            &[
+                "#",
+                "UNIQUE_UID",
+                "/bin/csh",
+                last,
+                first,
+                middle,
+                "0",
+                hashed_id,
+                class,
+            ],
+            &mut |_| {},
+        )?;
+        Ok(format!("Added registerable account for {first} {last}"))
+    }
+
+    /// Activates a half-registered account.
+    pub fn activate(conn: &mut dyn MoiraConn, login: &str) -> MrResult<String> {
+        conn.query("update_user_status", &[login, "1"], &mut |_| {})?;
+        Ok(format!("Account {login} activated"))
+    }
+
+    /// Marks an account for deletion (status 3).
+    pub fn deactivate(conn: &mut dyn MoiraConn, login: &str) -> MrResult<String> {
+        conn.query("update_user_status", &[login, "3"], &mut |_| {})?;
+        Ok(format!("Account {login} marked for deletion"))
+    }
+
+    /// Changes a user's disk quota — the paper's own §3 example: "the user
+    /// accounts administrator … change the disk quota assigned to a user
+    /// … the change will automatically take place on the proper server a
+    /// short time later."
+    pub fn set_quota(
+        conn: &mut dyn MoiraConn,
+        filesystem: &str,
+        login: &str,
+        quota: i64,
+    ) -> MrResult<String> {
+        let q = quota.to_string();
+        match conn.query("update_nfs_quota", &[filesystem, login, &q], &mut |_| {}) {
+            Err(MrError::NoQuota) => {
+                conn.query("add_nfs_quota", &[filesystem, login, &q], &mut |_| {})?
+            }
+            other => other?,
+        }
+        Ok(format!("Quota for {login} on {filesystem} set to {quota}"))
+    }
+}
+
+/// 5. `listmaint` — general list administration.
+pub struct ListMaint;
+
+impl ListMaint {
+    /// Creates a list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        conn: &mut dyn MoiraConn,
+        name: &str,
+        flags: &ListFlags,
+        ace_type: &str,
+        ace_name: &str,
+        description: &str,
+    ) -> MrResult<String> {
+        conn.query(
+            "add_list",
+            &[
+                name,
+                bool_arg(flags.active),
+                bool_arg(flags.public),
+                bool_arg(flags.hidden),
+                bool_arg(flags.maillist),
+                bool_arg(flags.group),
+                "-1",
+                ace_type,
+                ace_name,
+                description,
+            ],
+            &mut |_| {},
+        )?;
+        Ok(format!("List {name} created"))
+    }
+
+    /// Adds a member.
+    pub fn add_member(
+        conn: &mut dyn MoiraConn,
+        list: &str,
+        mtype: &str,
+        member: &str,
+    ) -> MrResult<String> {
+        conn.query("add_member_to_list", &[list, mtype, member], &mut |_| {})?;
+        Ok(format!("{member} added to {list}"))
+    }
+
+    /// Removes a member.
+    pub fn delete_member(
+        conn: &mut dyn MoiraConn,
+        list: &str,
+        mtype: &str,
+        member: &str,
+    ) -> MrResult<String> {
+        conn.query(
+            "delete_member_from_list",
+            &[list, mtype, member],
+            &mut |_| {},
+        )?;
+        Ok(format!("{member} removed from {list}"))
+    }
+
+    /// Shows a list's members as display lines.
+    pub fn show(conn: &mut dyn MoiraConn, list: &str) -> MrResult<Vec<String>> {
+        let rows = conn.query_collect("get_members_of_list", &[list])?;
+        Ok(rows
+            .into_iter()
+            .map(|t| format!("{}: {}", t[0], t[1]))
+            .collect())
+    }
+}
+
+/// Boolean flags for [`ListMaint::create`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListFlags {
+    /// Extracted in service updates.
+    pub active: bool,
+    /// Anyone may self-subscribe.
+    pub public: bool,
+    /// Membership not divulged.
+    pub hidden: bool,
+    /// It is a mailing list.
+    pub maillist: bool,
+    /// It is a unix group.
+    pub group: bool,
+}
+
+fn bool_arg(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+/// 6. `mailmaint` — the user-facing mailing-list client (the paper's §3 example of a user adding themselves to a public mailing list).
+pub struct MailMaint;
+
+impl MailMaint {
+    /// Self-subscribes the authenticated user to a public list.
+    pub fn subscribe(conn: &mut dyn MoiraConn, me: &str, list: &str) -> MrResult<String> {
+        conn.query("add_member_to_list", &[list, "USER", me], &mut |_| {})?;
+        Ok(format!("{me} subscribed to {list}"))
+    }
+
+    /// Self-unsubscribes.
+    pub fn unsubscribe(conn: &mut dyn MoiraConn, me: &str, list: &str) -> MrResult<String> {
+        conn.query("delete_member_from_list", &[list, "USER", me], &mut |_| {})?;
+        Ok(format!("{me} unsubscribed from {list}"))
+    }
+
+    /// Lists the public mailing lists available for self-service.
+    pub fn public_lists(conn: &mut dyn MoiraConn) -> MrResult<Vec<String>> {
+        let rows = conn.query_collect(
+            "qualified_get_lists",
+            &["TRUE", "TRUE", "FALSE", "TRUE", "DONTCARE"],
+        )?;
+        Ok(rows.into_iter().map(|t| t[0].clone()).collect())
+    }
+}
+
+/// 7. `machmaint` — machine administration.
+pub struct MachMaint;
+
+impl MachMaint {
+    /// Adds a machine.
+    pub fn add(conn: &mut dyn MoiraConn, name: &str, mtype: &str) -> MrResult<String> {
+        conn.query("add_machine", &[name, mtype], &mut |_| {})?;
+        Ok(format!("Machine {} added", name.to_ascii_uppercase()))
+    }
+
+    /// Removes a machine.
+    pub fn delete(conn: &mut dyn MoiraConn, name: &str) -> MrResult<String> {
+        conn.query("delete_machine", &[name], &mut |_| {})?;
+        Ok(format!("Machine {name} deleted"))
+    }
+}
+
+/// 8. `clustermaint` — cluster administration.
+pub struct ClusterMaint;
+
+impl ClusterMaint {
+    /// Creates a cluster and optionally attaches service data.
+    pub fn create(
+        conn: &mut dyn MoiraConn,
+        name: &str,
+        desc: &str,
+        location: &str,
+        data: &[(&str, &str)],
+    ) -> MrResult<String> {
+        conn.query("add_cluster", &[name, desc, location], &mut |_| {})?;
+        for (label, value) in data {
+            conn.query("add_cluster_data", &[name, label, value], &mut |_| {})?;
+        }
+        Ok(format!(
+            "Cluster {name} created with {} data items",
+            data.len()
+        ))
+    }
+
+    /// Assigns a machine to a cluster.
+    pub fn assign(conn: &mut dyn MoiraConn, machine: &str, cluster: &str) -> MrResult<String> {
+        conn.query("add_machine_to_cluster", &[machine, cluster], &mut |_| {})?;
+        Ok(format!("{machine} assigned to {cluster}"))
+    }
+}
+
+/// 9. `dcm_maint` — DCM service and server-host administration.
+pub struct DcmMaint;
+
+impl DcmMaint {
+    /// Registers a service for DCM updates.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_service(
+        conn: &mut dyn MoiraConn,
+        name: &str,
+        interval_minutes: i64,
+        target: &str,
+        script: &str,
+        service_type: &str,
+    ) -> MrResult<String> {
+        conn.query(
+            "add_server_info",
+            &[
+                name,
+                &interval_minutes.to_string(),
+                target,
+                script,
+                service_type,
+                "1",
+                "NONE",
+                "NONE",
+            ],
+            &mut |_| {},
+        )?;
+        Ok(format!(
+            "Service {} registered (every {interval_minutes} min)",
+            name.to_ascii_uppercase()
+        ))
+    }
+
+    /// Adds a host serving a service.
+    pub fn add_host(
+        conn: &mut dyn MoiraConn,
+        service: &str,
+        machine: &str,
+        value1: i64,
+        value2: i64,
+        value3: &str,
+    ) -> MrResult<String> {
+        conn.query(
+            "add_server_host_info",
+            &[
+                service,
+                machine,
+                "1",
+                &value1.to_string(),
+                &value2.to_string(),
+                value3,
+            ],
+            &mut |_| {},
+        )?;
+        Ok(format!("{machine} now serves {service}"))
+    }
+
+    /// Forces an immediate update of one host.
+    pub fn force_update(
+        conn: &mut dyn MoiraConn,
+        service: &str,
+        machine: &str,
+    ) -> MrResult<String> {
+        conn.query("set_server_host_override", &[service, machine], &mut |_| {})?;
+        Ok(format!(
+            "Update of {service} on {machine} scheduled immediately"
+        ))
+    }
+
+    /// Shows DCM status lines for services matching a pattern.
+    pub fn status(conn: &mut dyn MoiraConn, pattern: &str) -> MrResult<Vec<String>> {
+        let rows = conn.query_collect("get_server_info", &[pattern])?;
+        Ok(rows
+            .into_iter()
+            .map(|t| {
+                format!(
+                    "{}: interval {}m enable={} inprogress={} harderror={} ({})",
+                    t[0], t[1], t[7], t[8], t[9], t[10]
+                )
+            })
+            .collect())
+    }
+}
+
+/// 10. `filsysmaint` — filesystem administration.
+pub struct FilsysMaint;
+
+impl FilsysMaint {
+    /// Registers an NFS partition on a server.
+    pub fn add_partition(
+        conn: &mut dyn MoiraConn,
+        machine: &str,
+        dir: &str,
+        device: &str,
+        status: i64,
+        size: i64,
+    ) -> MrResult<String> {
+        conn.query(
+            "add_nfsphys",
+            &[
+                machine,
+                dir,
+                device,
+                &status.to_string(),
+                "0",
+                &size.to_string(),
+            ],
+            &mut |_| {},
+        )?;
+        Ok(format!(
+            "Partition {dir} on {machine} registered ({size} units)"
+        ))
+    }
+
+    /// Creates a project locker.
+    pub fn add_locker(
+        conn: &mut dyn MoiraConn,
+        label: &str,
+        machine: &str,
+        packname: &str,
+        owner: &str,
+        owners: &str,
+    ) -> MrResult<String> {
+        conn.query(
+            "add_filesys",
+            &[
+                label,
+                "NFS",
+                machine,
+                packname,
+                &format!("/mit/{label}"),
+                "w",
+                "project locker",
+                owner,
+                owners,
+                "1",
+                "PROJECT",
+            ],
+            &mut |_| {},
+        )?;
+        Ok(format!("Locker {label} created on {machine}:{packname}"))
+    }
+}
+
+/// 11. `printermaint` — printcap administration.
+pub struct PrinterMaint;
+
+impl PrinterMaint {
+    /// Adds a printer.
+    pub fn add(
+        conn: &mut dyn MoiraConn,
+        printer: &str,
+        spool_host: &str,
+        comments: &str,
+    ) -> MrResult<String> {
+        let dir = format!("/usr/spool/printer/{printer}");
+        conn.query(
+            "add_printcap",
+            &[printer, spool_host, &dir, printer, comments],
+            &mut |_| {},
+        )?;
+        Ok(format!("Printer {printer} spooled on {spool_host}"))
+    }
+}
+
+/// 12. `zephyrmaint` — Zephyr class ACL administration.
+pub struct ZephyrMaint;
+
+impl ZephyrMaint {
+    /// Restricts a class: transmit by `xmt_ace`, everything else open.
+    pub fn restrict_class(
+        conn: &mut dyn MoiraConn,
+        class: &str,
+        ace_type: &str,
+        ace_name: &str,
+    ) -> MrResult<String> {
+        conn.query(
+            "add_zephyr_class",
+            &[
+                class, ace_type, ace_name, "NONE", "NONE", "NONE", "NONE", "NONE", "NONE",
+            ],
+            &mut |_| {},
+        )?;
+        Ok(format!(
+            "Zephyr class {class} transmit restricted to {ace_type} {ace_name}"
+        ))
+    }
+}
+
+/// Builds the interactive `usermaint` menu over a shared connection — the
+/// menu package at work (§5.6.3).
+pub fn usermaint_menu(conn: std::rc::Rc<std::cell::RefCell<Box<dyn MoiraConn>>>) -> Menu {
+    let c1 = conn.clone();
+    let c2 = conn.clone();
+    let c3 = conn;
+    Menu::new("usermaint")
+        .command(
+            "chsh",
+            "Change a login shell",
+            &["Login", "New shell"],
+            move |args| {
+                chsh(c1.borrow_mut().as_mut(), &args[0], &args[1]).map_err(|e| e.to_string())
+            },
+        )
+        .command("activate", "Activate an account", &["Login"], move |args| {
+            UserMaint::activate(c2.borrow_mut().as_mut(), &args[0]).map_err(|e| e.to_string())
+        })
+        .command(
+            "quota",
+            "Change a disk quota",
+            &["Filesystem", "Login", "New quota"],
+            move |args| {
+                let quota: i64 = args[2]
+                    .parse()
+                    .map_err(|_| "quota must be a number".to_owned())?;
+                UserMaint::set_quota(c3.borrow_mut().as_mut(), &args[0], &args[1], quota)
+                    .map_err(|e| e.to_string())
+            },
+        )
+}
+
+/// The canonical names of the twelve interface programs, for the
+/// deployment-shape experiment (E11).
+pub const INTERFACE_PROGRAMS: &[&str] = &[
+    "chsh",
+    "chfn",
+    "chpobox",
+    "usermaint",
+    "listmaint",
+    "mailmaint",
+    "machmaint",
+    "clustermaint",
+    "dcm_maint",
+    "filsysmaint",
+    "printermaint",
+    "zephyrmaint",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glue::DirectClient;
+    use moira_core::queries::testutil::state_with_admin;
+    use moira_core::registry::Registry;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn ops_conn() -> DirectClient {
+        let (state, _) = state_with_admin("ops");
+        DirectClient::connect(
+            Arc::new(Mutex::new(state)),
+            Arc::new(Registry::standard()),
+            "ops",
+            "apps-test",
+        )
+    }
+
+    fn with_user(conn: &mut DirectClient, login: &str, uid: &str) {
+        conn.query(
+            "add_user",
+            &[
+                login, uid, "/bin/csh", "Last", "First", "M", "1", "xid", "1990",
+            ],
+            &mut |_| {},
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn twelve_programs_exactly() {
+        assert_eq!(INTERFACE_PROGRAMS.len(), 12);
+    }
+
+    #[test]
+    fn chsh_and_chfn() {
+        let mut conn = ops_conn();
+        with_user(&mut conn, "babette", "6530");
+        assert!(chsh(&mut conn, "babette", "/bin/sh")
+            .unwrap()
+            .contains("/bin/sh"));
+        chfn(
+            &mut conn,
+            "babette",
+            &[("nickname", "Harm"), ("department", "EECS")],
+        )
+        .unwrap();
+        let f = conn
+            .query_collect("get_finger_by_login", &["babette"])
+            .unwrap();
+        assert_eq!(f[0][2], "Harm");
+        assert_eq!(f[0][7], "EECS");
+        // Earlier fields preserved.
+        assert!(!f[0][1].is_empty());
+        assert_eq!(
+            chfn(&mut conn, "babette", &[("bogus", "x")]).unwrap_err(),
+            MrError::Args
+        );
+    }
+
+    #[test]
+    fn chpobox_flow() {
+        let mut conn = ops_conn();
+        with_user(&mut conn, "babette", "6530");
+        MachMaint::add(&mut conn, "athena-po-1.mit.edu", "VAX").unwrap();
+        let msg = chpobox(&mut conn, "babette", "POP", "ATHENA-PO-1.MIT.EDU").unwrap();
+        assert!(msg.contains("POP ATHENA-PO-1.MIT.EDU"));
+    }
+
+    #[test]
+    fn list_and_mail_maint() {
+        let mut conn = ops_conn();
+        with_user(&mut conn, "babette", "6530");
+        with_user(&mut conn, "paul", "6531");
+        ListMaint::create(
+            &mut conn,
+            "video-users",
+            &ListFlags {
+                active: true,
+                public: true,
+                maillist: true,
+                ..Default::default()
+            },
+            "USER",
+            "paul",
+            "Video Users",
+        )
+        .unwrap();
+        ListMaint::add_member(&mut conn, "video-users", "USER", "paul").unwrap();
+        MailMaint::subscribe(&mut conn, "babette", "video-users").unwrap();
+        let members = ListMaint::show(&mut conn, "video-users").unwrap();
+        assert_eq!(members.len(), 2);
+        assert!(MailMaint::public_lists(&mut conn)
+            .unwrap()
+            .contains(&"video-users".to_owned()));
+        MailMaint::unsubscribe(&mut conn, "babette", "video-users").unwrap();
+        assert_eq!(ListMaint::show(&mut conn, "video-users").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn quota_set_creates_or_updates() {
+        let mut conn = ops_conn();
+        with_user(&mut conn, "aab", "7000");
+        ListMaint::create(
+            &mut conn,
+            "aab-g",
+            &ListFlags {
+                active: true,
+                group: true,
+                ..Default::default()
+            },
+            "NONE",
+            "NONE",
+            "",
+        )
+        .unwrap();
+        MachMaint::add(&mut conn, "CHARON", "VAX").unwrap();
+        FilsysMaint::add_partition(&mut conn, "CHARON", "/u1/lockers", "ra0c", 1, 50_000).unwrap();
+        FilsysMaint::add_locker(
+            &mut conn,
+            "aab",
+            "CHARON",
+            "/u1/lockers/aab",
+            "aab",
+            "aab-g",
+        )
+        .unwrap();
+        // First call adds…
+        UserMaint::set_quota(&mut conn, "aab", "aab", 300).unwrap();
+        // …second updates.
+        UserMaint::set_quota(&mut conn, "aab", "aab", 500).unwrap();
+        let q = conn
+            .query_collect("get_nfs_quota", &["aab", "aab"])
+            .unwrap();
+        assert_eq!(q[0][2], "500");
+    }
+
+    #[test]
+    fn dcm_maint_flow() {
+        let mut conn = ops_conn();
+        MachMaint::add(&mut conn, "SUOMI.MIT.EDU", "VAX").unwrap();
+        DcmMaint::add_service(
+            &mut conn,
+            "hesiod",
+            360,
+            "/tmp/hesiod.out",
+            "hes.sh",
+            "REPLICAT",
+        )
+        .unwrap();
+        DcmMaint::add_host(&mut conn, "HESIOD", "SUOMI.MIT.EDU", 0, 0, "").unwrap();
+        let status = DcmMaint::status(&mut conn, "*").unwrap();
+        assert!(status[0].contains("HESIOD"));
+        DcmMaint::force_update(&mut conn, "HESIOD", "SUOMI.MIT.EDU").unwrap();
+    }
+
+    #[test]
+    fn printer_and_zephyr_and_cluster() {
+        let mut conn = ops_conn();
+        MachMaint::add(&mut conn, "EVE.PIKA.MIT.EDU", "VAX").unwrap();
+        PrinterMaint::add(&mut conn, "la-pika", "EVE.PIKA.MIT.EDU", "pika lw").unwrap();
+        let p = conn.query_collect("get_printcap", &["la-pika"]).unwrap();
+        assert_eq!(p[0][2], "/usr/spool/printer/la-pika");
+        ZephyrMaint::restrict_class(&mut conn, "MOIRA", "LIST", "moira-admins").unwrap();
+        ClusterMaint::create(
+            &mut conn,
+            "bldge40-vs",
+            "E40 VSs",
+            "E40",
+            &[("zephyr", "neskaya.mit.edu"), ("lpr", "e40")],
+        )
+        .unwrap();
+        MachMaint::add(&mut conn, "TOTO", "RT").unwrap();
+        ClusterMaint::assign(&mut conn, "TOTO", "bldge40-vs").unwrap();
+        let map = conn
+            .query_collect("get_machine_to_cluster_map", &["TOTO", "*"])
+            .unwrap();
+        assert_eq!(map[0][1], "bldge40-vs");
+    }
+
+    #[test]
+    fn usermaint_menu_drives_connection() {
+        let mut conn = ops_conn();
+        with_user(&mut conn, "babette", "6530");
+        let conn: std::rc::Rc<std::cell::RefCell<Box<dyn MoiraConn>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(Box::new(conn)));
+        let menu = usermaint_menu(conn);
+        let mut out = String::new();
+        let script = [
+            "chsh",
+            "babette",
+            "/bin/tcsh",
+            "quota",
+            "nofs",
+            "babette",
+            "100",
+            "q",
+        ];
+        menu.run(&mut script.into_iter(), &mut out);
+        assert!(out.contains("Shell for babette changed to /bin/tcsh"));
+        assert!(
+            out.contains("Error:"),
+            "quota on missing filesystem reports error"
+        );
+    }
+}

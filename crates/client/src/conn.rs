@@ -1,0 +1,252 @@
+//! The `MoiraConn` trait and the RPC client (§5.6.2).
+
+use bytes::Bytes;
+use moira_common::errors::{MrError, MrResult};
+use moira_krb::ticket::{Authenticator, Ticket};
+use moira_protocol::transport::{recv_blocking, Channel, TcpChannel};
+use moira_protocol::wire::{MajorRequest, Reply, Request};
+
+/// The connection interface shared by the RPC client and the direct glue
+/// library — "the direct 'glue' library provides the exact same interface
+/// as the RPC library" (§5.6).
+pub trait MoiraConn {
+    /// `mr_noop`: handshake for testing and performance measurement.
+    fn noop(&mut self) -> MrResult<()>;
+
+    /// `mr_auth` in trusted mode: authenticate as a bare principal.
+    fn auth(&mut self, principal: &str, client_name: &str) -> MrResult<()>;
+
+    /// `mr_access`: checks the user's access to a query without running it
+    /// — "a hint as to whether or not the particular query will succeed, so
+    /// that they won't bother to prompt the user for a large number of
+    /// arguments if the query is doomed to failure".
+    fn access(&mut self, name: &str, args: &[&str]) -> MrResult<()>;
+
+    /// `mr_query`: runs a query; `callback` is invoked once per returned
+    /// tuple.
+    fn query(
+        &mut self,
+        name: &str,
+        args: &[&str],
+        callback: &mut dyn FnMut(&[String]),
+    ) -> MrResult<()>;
+
+    /// Requests an immediate DCM run (`Trigger_DCM`).
+    fn trigger_dcm(&mut self) -> MrResult<()>;
+
+    /// Convenience: run a query and collect the tuples.
+    fn query_collect(&mut self, name: &str, args: &[&str]) -> MrResult<Vec<Vec<String>>> {
+        let mut rows = Vec::new();
+        self.query(name, args, &mut |tuple| rows.push(tuple.to_vec()))?;
+        Ok(rows)
+    }
+}
+
+/// How long `recv` polls before giving up (spin iterations).
+const RECV_TRIES: u32 = 5_000_000;
+
+/// The RPC client over a framed channel.
+pub struct RpcClient {
+    chan: Option<Box<dyn Channel>>,
+}
+
+impl RpcClient {
+    /// `mr_connect` over an already-established channel (in-process pair or
+    /// TCP).
+    pub fn connect(chan: Box<dyn Channel>) -> RpcClient {
+        RpcClient { chan: Some(chan) }
+    }
+
+    /// `mr_connect` to a TCP address.
+    pub fn connect_tcp(addr: &str) -> MrResult<RpcClient> {
+        let chan = TcpChannel::connect(addr).map_err(|_| MrError::Aborted)?;
+        Ok(RpcClient::connect(Box::new(chan)))
+    }
+
+    /// `mr_disconnect`: drops the connection. Returns
+    /// `MR_NOT_CONNECTED` if no connection was there in the first place.
+    pub fn disconnect(&mut self) -> MrResult<()> {
+        if self.chan.take().is_none() {
+            return Err(MrError::NotConnected);
+        }
+        Ok(())
+    }
+
+    /// `mr_auth` with real Kerberos credentials.
+    pub fn auth_krb(
+        &mut self,
+        ticket: &Ticket,
+        authenticator: &Authenticator,
+        client_name: &str,
+    ) -> MrResult<()> {
+        let mut req = Request::new(MajorRequest::Auth, &[]);
+        req.args = vec![
+            Bytes::from(ticket.sealed.clone()),
+            Bytes::from(authenticator.sealed.clone()),
+            Bytes::copy_from_slice(client_name.as_bytes()),
+        ];
+        let replies = self.round_trip(req)?;
+        status_of(&replies)
+    }
+
+    fn chan(&mut self) -> MrResult<&mut Box<dyn Channel>> {
+        self.chan.as_mut().ok_or(MrError::NotConnected)
+    }
+
+    fn round_trip(&mut self, req: Request) -> MrResult<Vec<Reply>> {
+        let chan = self.chan()?;
+        if chan.send(req.encode()).is_err() {
+            self.chan = None;
+            return Err(MrError::Aborted);
+        }
+        let mut replies = Vec::new();
+        loop {
+            let frame = match recv_blocking(chan.as_mut(), RECV_TRIES) {
+                Ok(f) => f,
+                Err(_) => {
+                    self.chan = None;
+                    return Err(MrError::Aborted);
+                }
+            };
+            let reply = Reply::decode(frame)?;
+            let done = !reply.is_more_data();
+            replies.push(reply);
+            if done {
+                return Ok(replies);
+            }
+        }
+    }
+}
+
+fn status_of(replies: &[Reply]) -> MrResult<()> {
+    let code = replies
+        .last()
+        .map(|r| r.code)
+        .unwrap_or(MrError::Aborted.code());
+    if code == 0 {
+        Ok(())
+    } else {
+        Err(MrError::from_code(code).unwrap_or(MrError::Internal))
+    }
+}
+
+impl MoiraConn for RpcClient {
+    fn noop(&mut self) -> MrResult<()> {
+        let replies = self.round_trip(Request::new(MajorRequest::Noop, &[]))?;
+        status_of(&replies)
+    }
+
+    fn auth(&mut self, principal: &str, client_name: &str) -> MrResult<()> {
+        let replies =
+            self.round_trip(Request::new(MajorRequest::Auth, &[principal, client_name]))?;
+        status_of(&replies)
+    }
+
+    fn access(&mut self, name: &str, args: &[&str]) -> MrResult<()> {
+        let mut all = vec![name];
+        all.extend_from_slice(args);
+        let replies = self.round_trip(Request::new(MajorRequest::Access, &all))?;
+        status_of(&replies)
+    }
+
+    fn query(
+        &mut self,
+        name: &str,
+        args: &[&str],
+        callback: &mut dyn FnMut(&[String]),
+    ) -> MrResult<()> {
+        let mut all = vec![name];
+        all.extend_from_slice(args);
+        let replies = self.round_trip(Request::new(MajorRequest::Query, &all))?;
+        for reply in &replies {
+            if reply.is_more_data() {
+                callback(&reply.string_fields()?);
+            }
+        }
+        status_of(&replies)
+    }
+
+    fn trigger_dcm(&mut self) -> MrResult<()> {
+        let replies = self.round_trip(Request::new(MajorRequest::TriggerDcm, &[]))?;
+        status_of(&replies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server_thread::ServerThread;
+    use moira_core::server::standard_server;
+
+    fn harness() -> (ServerThread, RpcClient) {
+        let (server, state, _) = standard_server(moira_common::VClock::new());
+        {
+            let mut s = state.lock();
+            let uid = moira_core::queries::testutil::add_test_user(&mut s, "ops", 1);
+            s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
+                .unwrap();
+        }
+        let thread = ServerThread::spawn(server);
+        let client = thread.connect();
+        (thread, client)
+    }
+
+    #[test]
+    fn noop_and_disconnect() {
+        let (_thread, mut client) = harness();
+        client.noop().unwrap();
+        client.disconnect().unwrap();
+        assert_eq!(client.disconnect(), Err(MrError::NotConnected));
+        assert_eq!(client.noop(), Err(MrError::NotConnected));
+    }
+
+    #[test]
+    fn query_with_callback() {
+        let (_thread, mut client) = harness();
+        client.auth("ops", "test").unwrap();
+        client
+            .query("add_machine", &["BOX1", "VAX"], &mut |_| {})
+            .unwrap();
+        client
+            .query("add_machine", &["BOX2", "RT"], &mut |_| {})
+            .unwrap();
+        let mut names = Vec::new();
+        client
+            .query("get_machine", &["BOX*"], &mut |tuple| {
+                names.push(tuple[0].clone())
+            })
+            .unwrap();
+        assert_eq!(names, vec!["BOX1", "BOX2"]);
+        let rows = client.query_collect("get_machine", &["BOX1"]).unwrap();
+        assert_eq!(rows[0][1], "VAX");
+    }
+
+    #[test]
+    fn errors_map_back() {
+        let (_thread, mut client) = harness();
+        client.auth("ops", "test").unwrap();
+        assert_eq!(
+            client.query_collect("get_machine", &["NOPE"]).unwrap_err(),
+            MrError::NoMatch
+        );
+        assert_eq!(
+            client.query_collect("no_such_query", &[]).unwrap_err(),
+            MrError::NoHandle
+        );
+        assert_eq!(
+            client.query_collect("get_machine", &[]).unwrap_err(),
+            MrError::Args
+        );
+    }
+
+    #[test]
+    fn access_hint() {
+        let (_thread, mut client) = harness();
+        assert_eq!(
+            client.access("add_machine", &["X", "VAX"]),
+            Err(MrError::Perm)
+        );
+        client.auth("ops", "test").unwrap();
+        client.access("add_machine", &["X", "VAX"]).unwrap();
+    }
+}

@@ -1,0 +1,146 @@
+//! The direct "glue" library (§5.6).
+//!
+//! "For use by the DCM and other utilities, there exists a version of the
+//! library which does direct calls to Ingres, rather than going through the
+//! server. Use of this library should result in significantly higher
+//! throughput, and will also reduce the load on the server itself. The
+//! direct glue library provides the exact same interface as the RPC
+//! library, except that it does not use Kerberos authentication."
+
+use std::sync::Arc;
+
+use moira_common::errors::MrResult;
+use moira_core::registry::Registry;
+use moira_core::state::{Caller, MoiraState};
+use parking_lot::Mutex;
+
+use crate::conn::MoiraConn;
+
+/// A client wired straight to the database.
+pub struct DirectClient {
+    state: Arc<Mutex<MoiraState>>,
+    registry: Arc<Registry>,
+    caller: Caller,
+}
+
+impl DirectClient {
+    /// Opens a direct connection as an (unverified) principal — the glue
+    /// library trusts its caller, as the original trusted local root.
+    pub fn connect(
+        state: Arc<Mutex<MoiraState>>,
+        registry: Arc<Registry>,
+        principal: &str,
+        client_name: &str,
+    ) -> DirectClient {
+        DirectClient {
+            state,
+            registry,
+            caller: Caller::new(principal, client_name),
+        }
+    }
+
+    /// The DCM's connection: "it connects to the database and authenticates
+    /// as root" (§5.7.1).
+    pub fn connect_as_root(
+        state: Arc<Mutex<MoiraState>>,
+        registry: Arc<Registry>,
+        client_name: &str,
+    ) -> DirectClient {
+        DirectClient {
+            state,
+            registry,
+            caller: Caller::root(client_name),
+        }
+    }
+
+    /// The shared state (the DCM needs direct access for locking).
+    pub fn state(&self) -> Arc<Mutex<MoiraState>> {
+        self.state.clone()
+    }
+}
+
+impl MoiraConn for DirectClient {
+    fn noop(&mut self) -> MrResult<()> {
+        Ok(())
+    }
+
+    fn auth(&mut self, principal: &str, client_name: &str) -> MrResult<()> {
+        self.caller = Caller::new(principal, client_name);
+        Ok(())
+    }
+
+    fn access(&mut self, name: &str, args: &[&str]) -> MrResult<()> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut state = self.state.lock();
+        self.registry
+            .check_access(&mut state, &self.caller, name, &args)
+    }
+
+    fn query(
+        &mut self,
+        name: &str,
+        args: &[&str],
+        callback: &mut dyn FnMut(&[String]),
+    ) -> MrResult<()> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut state = self.state.lock();
+        let rows = self
+            .registry
+            .execute(&mut state, &self.caller, name, &args)?;
+        drop(state);
+        for row in &rows {
+            callback(row);
+        }
+        Ok(())
+    }
+
+    fn trigger_dcm(&mut self) -> MrResult<()> {
+        self.state.lock().dcm_trigger = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moira_common::errors::MrError;
+    use moira_core::queries::testutil::state_with_admin;
+
+    fn setup() -> (Arc<Mutex<MoiraState>>, Arc<Registry>) {
+        let (state, _) = state_with_admin("ops");
+        (Arc::new(Mutex::new(state)), Arc::new(Registry::standard()))
+    }
+
+    #[test]
+    fn direct_queries_work() {
+        let (state, registry) = setup();
+        let mut glue = DirectClient::connect_as_root(state, registry, "dcm");
+        glue.noop().unwrap();
+        glue.query("add_machine", &["GLUEBOX", "VAX"], &mut |_| {})
+            .unwrap();
+        let rows = glue.query_collect("get_machine", &["GLUEBOX"]).unwrap();
+        assert_eq!(rows[0][1], "VAX");
+    }
+
+    #[test]
+    fn glue_still_enforces_acls_for_plain_principals() {
+        let (state, registry) = setup();
+        let mut glue = DirectClient::connect(state, registry, "nobody", "test");
+        assert_eq!(
+            glue.query("add_machine", &["X", "VAX"], &mut |_| {})
+                .unwrap_err(),
+            MrError::Perm
+        );
+        glue.auth("ops", "test").unwrap();
+        glue.query("add_machine", &["X", "VAX"], &mut |_| {})
+            .unwrap();
+    }
+
+    #[test]
+    fn trigger_sets_flag() {
+        let (state, registry) = setup();
+        let mut glue = DirectClient::connect_as_root(state.clone(), registry, "dcm");
+        glue.trigger_dcm().unwrap();
+        assert!(state.lock().dcm_trigger);
+    }
+}

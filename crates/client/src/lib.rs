@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! The Moira application library (§5.6) and administrative clients.
+//!
+//! "In all cases, a client of Moira uses the application library. The
+//! library communicates with the Moira server via a network protocol."
+//! This crate provides:
+//!
+//! - [`conn`] — the `MoiraConn` trait and the RPC client implementing
+//!   `mr_connect` / `mr_auth` / `mr_noop` / `mr_access` / `mr_query` /
+//!   `mr_disconnect` over either transport.
+//! - [`glue`] — the direct "glue" library (§5.6): the exact same interface
+//!   wired straight to the database, bypassing the RPC layer, "for use by
+//!   the DCM and other utilities … significantly higher throughput".
+//! - [`server_thread`] — a helper that runs a `MoiraServer` loop on a
+//!   background thread so blocking clients can be used against it.
+//! - [`apps`] — the twelve administrative interface programs of §5.1.H.
+
+pub mod apps;
+pub mod conn;
+pub mod glue;
+pub mod server_thread;
+
+pub use conn::{MoiraConn, RpcClient};
+pub use glue::DirectClient;
+pub use server_thread::ServerThread;

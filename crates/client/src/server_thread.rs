@@ -1,0 +1,117 @@
+//! Runs a [`MoiraServer`] loop on a background thread so blocking clients
+//! can talk to it from the same process.
+//!
+//! The production deployment runs the server as its own UNIX process; for
+//! tests, examples, and the simulator we host it on a thread. New
+//! connections are handed to the loop through a channel, preserving the
+//! single-threaded, non-blocking character of the server itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use moira_core::server::MoiraServer;
+use moira_protocol::transport::{pair, Channel};
+
+use crate::conn::RpcClient;
+
+enum Command {
+    Attach(Box<dyn Channel>),
+}
+
+/// Handle on a server loop running on a background thread.
+pub struct ServerThread {
+    commands: Sender<Command>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<MoiraServer>>,
+}
+
+impl ServerThread {
+    /// Spawns the loop.
+    pub fn spawn(mut server: MoiraServer) -> ServerThread {
+        let (tx, rx) = unbounded::<Command>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                while let Ok(Command::Attach(chan)) = rx.try_recv() {
+                    server.attach(chan, "local", 0);
+                }
+                if server.poll_once() == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+            }
+            server
+        });
+        ServerThread {
+            commands: tx,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Creates a new in-process connection to the running server.
+    pub fn connect(&self) -> RpcClient {
+        let (client_end, server_end) = pair();
+        self.commands
+            .send(Command::Attach(Box::new(server_end)))
+            .expect("server thread alive");
+        RpcClient::connect(Box::new(client_end))
+    }
+
+    /// Stops the loop and returns the server.
+    pub fn shutdown(mut self) -> MoiraServer {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("server thread")
+    }
+}
+
+impl Drop for ServerThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::MoiraConn;
+    use moira_core::server::standard_server;
+
+    #[test]
+    fn multiple_concurrent_clients() {
+        let (server, state, _) = standard_server(moira_common::VClock::new());
+        {
+            let mut s = state.lock();
+            let uid = moira_core::queries::testutil::add_test_user(&mut s, "ops", 1);
+            s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
+                .unwrap();
+        }
+        let thread = ServerThread::spawn(server);
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let mut client = thread.connect();
+            handles.push(std::thread::spawn(move || {
+                client.auth("ops", "stress").unwrap();
+                client
+                    .query("add_machine", &[&format!("BOX{i}"), "VAX"], &mut |_| {})
+                    .unwrap();
+                client.noop().unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let server = thread.shutdown();
+        let s = server.state();
+        let count = s.lock().db.table("machine").len();
+        assert_eq!(count, 8);
+    }
+}

@@ -1,0 +1,129 @@
+//! A shared virtual clock.
+//!
+//! Everything time-driven in Moira — record modtimes, DCM intervals,
+//! `dfgen`/`dfcheck` bookkeeping, ticket lifetimes, update-protocol timeouts
+//! — is expressed as "unix format time (number of seconds since January 1,
+//! 1970 GMT)" per §5.7.1. The reproduction routes all of it through a
+//! cloneable [`VClock`] handle so tests and the deployment simulator can
+//! advance time deterministically instead of sleeping.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Midnight, January 1 1988 GMT — a period-appropriate default epoch.
+pub const ATHENA_EPOCH: i64 = 567_993_600;
+
+/// A cloneable handle on a shared virtual clock measured in unix seconds.
+#[derive(Debug, Clone)]
+pub struct VClock {
+    now: Arc<AtomicI64>,
+}
+
+impl VClock {
+    /// Creates a clock starting at `start` unix seconds.
+    pub fn starting_at(start: i64) -> Self {
+        VClock {
+            now: Arc::new(AtomicI64::new(start)),
+        }
+    }
+
+    /// Creates a clock starting at the [`ATHENA_EPOCH`].
+    pub fn new() -> Self {
+        Self::starting_at(ATHENA_EPOCH)
+    }
+
+    /// Current time in unix seconds.
+    pub fn now(&self) -> i64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    /// Advances the clock by `secs` seconds, returning the new time.
+    pub fn advance(&self, secs: i64) -> i64 {
+        self.now.fetch_add(secs, Ordering::SeqCst) + secs
+    }
+
+    /// Advances the clock by `minutes` minutes, returning the new time.
+    pub fn advance_minutes(&self, minutes: i64) -> i64 {
+        self.advance(minutes * 60)
+    }
+
+    /// Sets the clock to an absolute time.
+    pub fn set(&self, t: i64) {
+        self.now.store(t, Ordering::SeqCst);
+    }
+}
+
+impl Default for VClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Formats a unix time as `YYYY-MM-DD HH:MM:SS` GMT.
+///
+/// A small civil-calendar conversion (days-from-civil inverse) so log lines
+/// and generated `modtime` strings are human-readable without a chrono
+/// dependency.
+pub fn format_time(unix: i64) -> String {
+    let days = unix.div_euclid(86_400);
+    let secs = unix.rem_euclid(86_400);
+    let (h, m, s) = (secs / 3600, (secs % 3600) / 60, secs % 60);
+    // Howard Hinnant's civil_from_days algorithm.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mth = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mth <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mth:02}-{d:02} {h:02}:{m:02}:{s:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let c = VClock::new();
+        assert_eq!(c.now(), ATHENA_EPOCH);
+        assert_eq!(c.advance(10), ATHENA_EPOCH + 10);
+        c.advance_minutes(5);
+        assert_eq!(c.now(), ATHENA_EPOCH + 10 + 300);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = VClock::new();
+        let b = a.clone();
+        a.advance(100);
+        assert_eq!(b.now(), ATHENA_EPOCH + 100);
+        b.set(0);
+        assert_eq!(a.now(), 0);
+    }
+
+    #[test]
+    fn formats_epoch() {
+        assert_eq!(format_time(0), "1970-01-01 00:00:00");
+        assert_eq!(format_time(ATHENA_EPOCH), "1988-01-01 00:00:00");
+    }
+
+    #[test]
+    fn formats_leap_year() {
+        // 1988-02-29 exists.
+        let feb29 = ATHENA_EPOCH + 59 * 86_400;
+        assert_eq!(format_time(feb29), "1988-02-29 00:00:00");
+        assert_eq!(format_time(feb29 + 86_400), "1988-03-01 00:00:00");
+    }
+
+    #[test]
+    fn formats_time_of_day() {
+        assert_eq!(
+            format_time(ATHENA_EPOCH + 6 * 3600 + 15 * 60 + 9),
+            "1988-01-01 06:15:09"
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! The `com_err` error-table system and the Moira (`MR_*`) error codes.
+//!
+//! The paper (§5.6.1) adopts Ken Raeburn's `libcom_err`: every error code is
+//! an integer, each error *table* reserves a subrange of the integers based
+//! on a hash of the table name, and UNIX errno values occupy the low range.
+//! We reproduce the classic `com_err` base-code hash so that codes here land
+//! in the same numeric neighbourhood the real system used, register tables in
+//! a global registry, and expose `error_message` / `com_err` with a hook —
+//! exactly the application-visible surface described in the paper.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// The characters `com_err` packs into six bits apiece when hashing a table
+/// name into its base code.
+const CHAR_SET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_";
+
+/// Computes the base error code for a named error table.
+///
+/// This is the classic `com_err` algorithm: each character of the (at most
+/// four character) table name is mapped to a six-bit value and packed, and
+/// the result is shifted left eight bits, reserving 256 codes per table.
+///
+/// # Examples
+///
+/// ```
+/// let base = moira_common::errors::error_table_base("sms");
+/// assert_eq!(base % 256, 0);
+/// assert!(base > 0);
+/// ```
+pub fn error_table_base(name: &str) -> i32 {
+    let mut value: i64 = 0;
+    for &b in name.as_bytes().iter().take(4) {
+        let num = CHAR_SET
+            .iter()
+            .position(|&c| c == b)
+            .map(|p| p + 1)
+            .unwrap_or(0) as i64;
+        value = (value << 6) + num;
+    }
+    ((value << 8) & 0x7fff_ffff) as i32
+}
+
+/// A registered error table: a name, a base code, and message strings.
+#[derive(Debug, Clone)]
+pub struct ErrorTable {
+    /// Table name, e.g. `"sms"`.
+    pub name: &'static str,
+    /// First error code of the table's 256-code range.
+    pub base: i32,
+    /// Messages, indexed by `code - base`.
+    pub messages: Vec<&'static str>,
+}
+
+fn registry() -> &'static Mutex<Vec<ErrorTable>> {
+    static REGISTRY: OnceLock<Mutex<Vec<ErrorTable>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers an error table so [`error_message`] can resolve its codes.
+///
+/// Registering the same table name twice replaces the previous entry, which
+/// keeps repeated test initialization idempotent.
+pub fn init_error_table(name: &'static str, messages: Vec<&'static str>) -> i32 {
+    let base = error_table_base(name);
+    let mut reg = registry().lock().unwrap();
+    reg.retain(|t| t.name != name);
+    reg.push(ErrorTable {
+        name,
+        base,
+        messages,
+    });
+    base
+}
+
+/// Returns the error message string associated with `code` (§5.6.1).
+///
+/// Code zero means success; codes below 256 are treated as UNIX errno
+/// values; anything else is resolved against the registered error tables.
+pub fn error_message(code: i32) -> String {
+    if code == 0 {
+        return "Success".to_owned();
+    }
+    if (1..256).contains(&code) {
+        return format!("System error {code}");
+    }
+    let reg = registry().lock().unwrap();
+    for table in reg.iter() {
+        let span = table.messages.len() as i32;
+        if code >= table.base && code < table.base + span {
+            return table.messages[(code - table.base) as usize].to_owned();
+        }
+    }
+    format!("Unknown code {code}")
+}
+
+/// Hook type for [`com_err`]: receives (whoami, code, message).
+pub type ComErrHook = fn(&str, i32, &str) -> ();
+
+static HOOK: Mutex<Option<ComErrHook>> = Mutex::new(None);
+
+/// Installs (or with `None`, removes) the `com_err` hook (§5.6.1), returning
+/// the previous hook.
+pub fn set_com_err_hook(hook: Option<ComErrHook>) -> Option<ComErrHook> {
+    let mut h = HOOK.lock().unwrap();
+    std::mem::replace(&mut *h, hook)
+}
+
+/// Reports an error in the style of `com_err(3)`.
+///
+/// By default prints `whoami: error_message(code) message` to stderr; if a
+/// hook is installed the triple is routed there instead. If `code` is zero
+/// nothing is printed for the error message.
+pub fn com_err(whoami: &str, code: i32, message: &str) {
+    let text = if code == 0 {
+        String::new()
+    } else {
+        error_message(code)
+    };
+    let hook = *HOOK.lock().unwrap();
+    match hook {
+        Some(h) => h(whoami, code, &text),
+        None => {
+            if code == 0 {
+                eprintln!("{whoami}: {message}");
+            } else {
+                eprintln!("{whoami}: {text} {message}");
+            }
+        }
+    }
+}
+
+macro_rules! mr_errors {
+    ($(($variant:ident, $msg:literal)),+ $(,)?) => {
+        /// The Moira error codes of §7.1, offsets into the `"sms"` error table.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)]
+        pub enum MrError {
+            $($variant),+
+        }
+
+        impl MrError {
+            const ALL: &'static [MrError] = &[$(MrError::$variant),+];
+
+            /// The message table, in code order.
+            pub fn messages() -> Vec<&'static str> {
+                vec![$($msg),+]
+            }
+
+            /// The textual message for this error, as listed in §7.1.
+            pub fn message(self) -> &'static str {
+                match self {
+                    $(MrError::$variant => $msg),+
+                }
+            }
+
+            /// The symbolic `MR_*` name of this error.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(MrError::$variant => stringify!($variant)),+
+                }
+            }
+        }
+    };
+}
+
+mr_errors! {
+    (Success, "Success"),
+    (MoreData, "More data available"),
+    (NoMatch, "No records in database match query"),
+    (Perm, "Insufficient permission to perform requested database access"),
+    (Args, "Incorrect number of arguments"),
+    (ArgTooLong, "An argument contains too many characters"),
+    (BadChar, "Illegal character in argument"),
+    (Exists, "Record already exists"),
+    (NotUnique, "Arguments not unique"),
+    (InUse, "Object is in use"),
+    (Integer, "String could not be parsed as an integer"),
+    (NoId, "Cannot allocate new ID"),
+    (Deadlock, "Database deadlock; try again later"),
+    (DbmsErr, "An unexpected error occured in the underlying DBMS"),
+    (Internal, "Internal consistency failure"),
+    (NoHandle, "Unknown query specified"),
+    (NoMem, "Server ran out of memory"),
+    (User, "No such user"),
+    (Machine, "Unknown machine"),
+    (Cluster, "Unknown cluster"),
+    (List, "No such list"),
+    (Service, "Unknown service"),
+    (Filesys, "Named file system does not exist"),
+    (FilesysExists, "Named file system already exists"),
+    (FilesysAccess, "Invalid filesys access"),
+    (Fstype, "Invalid filesys type"),
+    (Nfs, "Specified directory not exported"),
+    (Nfsphys, "Machine/device pair not in nfsphys relation"),
+    (NoFilesys, "Cannot find space for filesys"),
+    (Ace, "No such access control entity"),
+    (BadClass, "Specified class is not known"),
+    (BadGroup, "Invalid group ID"),
+    (Date, "Invalid date"),
+    (Type, "Invalid type"),
+    (Wildcard, "Wildcards not allowed here"),
+    (NoPobox, "User has no pobox"),
+    (NoQuota, "No quota assigned"),
+    (NoChange, "No change in database since last data file generation"),
+    (NotConnected, "Not connected to the Moira server"),
+    (AlreadyConnected, "A connection to the Moira server already exists"),
+    (Aborted, "Connection to the Moira server aborted"),
+    (VersionLow, "Client protocol version older than server"),
+    (VersionHigh, "Client protocol version newer than server"),
+    (UnknownProc, "Unknown procedure requested"),
+    (NotAuthenticated, "Request requires authentication"),
+    (AuthFailure, "Authentication failed"),
+    (Replay, "Authenticator replayed"),
+    (Checksum, "File checksum mismatch during update"),
+    (UpdateTimeout, "Server update timed out"),
+    (HostDown, "Server host unreachable"),
+    (DisabledDcm, "The DCM is disabled"),
+    (InProgress, "An update is already in progress"),
+    (NotRegisterable, "Account is not registerable"),
+    (AlreadyRegistered, "Account is already registered"),
+    (UserNotFound, "No such student record"),
+    (LoginTaken, "Login name already taken"),
+    (BadAuthenticator, "Registration authenticator invalid"),
+}
+
+/// Base code of the `"sms"` error table.
+///
+/// (The system changed names from SMS to Moira after much code development;
+/// the string "sms" still crops up — the paper keeps the old table name and
+/// so do we.)
+pub fn sms_base() -> i32 {
+    static BASE: OnceLock<i32> = OnceLock::new();
+    *BASE.get_or_init(|| init_error_table("sms", MrError::messages()))
+}
+
+impl MrError {
+    /// The integer `com_err` code for this error. [`MrError::Success`] is 0.
+    pub fn code(self) -> i32 {
+        if self == MrError::Success {
+            0
+        } else {
+            sms_base() + Self::ALL.iter().position(|&e| e == self).unwrap() as i32
+        }
+    }
+
+    /// Looks an error up by integer code, if it is in the `"sms"` table.
+    pub fn from_code(code: i32) -> Option<MrError> {
+        if code == 0 {
+            return Some(MrError::Success);
+        }
+        let base = sms_base();
+        let off = code - base;
+        if off > 0 && (off as usize) < Self::ALL.len() {
+            Some(Self::ALL[off as usize])
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for MrError {}
+
+/// The pervasive result type of the Moira code base.
+pub type MrResult<T> = Result<T, MrError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_table_aligned() {
+        assert_eq!(error_table_base("sms") % 256, 0);
+        assert_ne!(error_table_base("sms"), error_table_base("krb"));
+    }
+
+    #[test]
+    fn success_is_zero() {
+        assert_eq!(MrError::Success.code(), 0);
+        assert_eq!(error_message(0), "Success");
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for &e in MrError::ALL {
+            assert_eq!(MrError::from_code(e.code()), Some(e), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let mut codes: Vec<i32> = MrError::ALL.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), MrError::ALL.len());
+    }
+
+    #[test]
+    fn message_resolution() {
+        sms_base();
+        assert_eq!(
+            error_message(MrError::Perm.code()),
+            "Insufficient permission to perform requested database access"
+        );
+        assert_eq!(
+            error_message(MrError::NoMatch.code()),
+            "No records in database match query"
+        );
+    }
+
+    #[test]
+    fn errno_range() {
+        assert_eq!(error_message(2), "System error 2");
+    }
+
+    #[test]
+    fn unknown_code() {
+        assert!(error_message(0x7f00_0000).starts_with("Unknown code"));
+    }
+
+    #[test]
+    fn hook_intercepts() {
+        sms_base();
+        fn hook(_who: &str, _code: i32, _msg: &str) {}
+        let old = set_com_err_hook(Some(hook));
+        com_err("test", MrError::Perm.code(), "context");
+        set_com_err_hook(old);
+    }
+
+    #[test]
+    fn display_matches_message() {
+        assert_eq!(MrError::List.to_string(), "No such list");
+    }
+}

@@ -1,0 +1,200 @@
+//! The hash-table abstraction shipped with the Moira application library
+//! (§5.6.3).
+//!
+//! The original was a fixed-bucket chained table keyed by C strings; this is
+//! a faithful, safe port: separate chaining, power-of-two bucket counts,
+//! incremental growth, and an FNV-1a hash. It exists because the paper lists
+//! it as part of the delivered library (clients and the server both use it
+//! for caches), and it is the structure backing the server's access cache.
+
+/// A chained hash table from `String` keys to values of type `V`.
+#[derive(Debug, Clone)]
+pub struct HashTable<V> {
+    buckets: Vec<Vec<(String, V)>>,
+    len: usize,
+}
+
+const INITIAL_BUCKETS: usize = 16;
+const MAX_LOAD_NUM: usize = 3;
+const MAX_LOAD_DEN: usize = 2;
+
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl<V> HashTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        HashTable {
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, key: &str) -> usize {
+        (fnv1a(key) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Inserts or replaces; returns the previous value if any.
+    pub fn store(&mut self, key: &str, value: V) -> Option<V> {
+        let b = self.bucket_of(key);
+        for slot in &mut self.buckets[b] {
+            if slot.0 == key {
+                return Some(std::mem::replace(&mut slot.1, value));
+            }
+        }
+        self.buckets[b].push((key.to_owned(), value));
+        self.len += 1;
+        if self.len * MAX_LOAD_DEN > self.buckets.len() * MAX_LOAD_NUM {
+            self.grow();
+        }
+        None
+    }
+
+    /// Looks a key up.
+    pub fn lookup(&self, key: &str) -> Option<&V> {
+        self.buckets[self.bucket_of(key)]
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn lookup_mut(&mut self, key: &str) -> Option<&mut V> {
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<V> {
+        let b = self.bucket_of(key);
+        let pos = self.buckets[b].iter().position(|(k, _)| k == key)?;
+        self.len -= 1;
+        Some(self.buckets[b].swap_remove(pos).1)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &V)> {
+        self.buckets.iter().flatten().map(|(k, v)| (k.as_str(), v))
+    }
+
+    fn grow(&mut self) {
+        let new_count = self.buckets.len() * 2;
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..new_count).map(|_| Vec::new()).collect(),
+        );
+        for (k, v) in old.into_iter().flatten() {
+            let b = (fnv1a(&k) as usize) & (new_count - 1);
+            self.buckets[b].push((k, v));
+        }
+    }
+}
+
+impl<V> Default for HashTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_and_lookup() {
+        let mut t = HashTable::new();
+        assert!(t.is_empty());
+        t.store("babette", 6530);
+        t.store("abarba", 6531);
+        assert_eq!(t.lookup("babette"), Some(&6530));
+        assert_eq!(t.lookup("nobody"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = HashTable::new();
+        assert_eq!(t.store("k", 1), None);
+        assert_eq!(t.store("k", 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("k"), Some(&2));
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut t = HashTable::new();
+        t.store("k", 9);
+        assert_eq!(t.remove("k"), Some(9));
+        assert_eq!(t.remove("k"), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn grows_past_initial_buckets() {
+        let mut t = HashTable::new();
+        for i in 0..1000 {
+            t.store(&format!("user{i}"), i);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(t.lookup(&format!("user{i}")), Some(&i));
+        }
+    }
+
+    #[test]
+    fn lookup_mut_mutates() {
+        let mut t = HashTable::new();
+        t.store("q", 1);
+        *t.lookup_mut("q").unwrap() += 10;
+        assert_eq!(t.lookup("q"), Some(&11));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = HashTable::new();
+        for i in 0..10 {
+            t.store(&i.to_string(), i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup("3"), None);
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut t = HashTable::new();
+        for i in 0..25 {
+            t.store(&format!("k{i}"), i);
+        }
+        let mut seen: Vec<i32> = t.iter().map(|(_, v)| *v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..25).collect::<Vec<_>>());
+    }
+}

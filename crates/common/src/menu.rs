@@ -1,0 +1,191 @@
+//! The menu package used by the administrative clients (§5.6.3).
+//!
+//! The twelve interface programs of §5.1.H are menu-driven; this module
+//! provides the hierarchical menu engine they share. It is deliberately
+//! decoupled from any terminal: input comes from an iterator of lines and
+//! output is collected through a sink, so client flows are fully testable.
+
+/// Handler signature for leaf commands: collected arguments to output text
+/// or an error line.
+pub type MenuAction = Box<dyn Fn(&[String]) -> Result<String, String>>;
+
+/// One entry in a menu: either a sub-menu or a leaf command.
+pub enum MenuItem {
+    /// A nested menu reached by its key.
+    Submenu(Menu),
+    /// A leaf command: prompts for arguments, then runs the handler.
+    Command {
+        /// One prompt per argument collected before running.
+        prompts: Vec<String>,
+        /// Handler run with the collected arguments.
+        action: MenuAction,
+    },
+}
+
+/// A titled menu of keyed items.
+pub struct Menu {
+    /// Displayed title.
+    pub title: String,
+    /// `(key, description, item)` triples in display order.
+    pub items: Vec<(String, String, MenuItem)>,
+}
+
+impl Menu {
+    /// Creates an empty menu with a title.
+    pub fn new(title: &str) -> Self {
+        Menu {
+            title: title.to_owned(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Adds a leaf command.
+    pub fn command<F>(mut self, key: &str, desc: &str, prompts: &[&str], action: F) -> Self
+    where
+        F: Fn(&[String]) -> Result<String, String> + 'static,
+    {
+        self.items.push((
+            key.to_owned(),
+            desc.to_owned(),
+            MenuItem::Command {
+                prompts: prompts.iter().map(|s| s.to_string()).collect(),
+                action: Box::new(action),
+            },
+        ));
+        self
+    }
+
+    /// Adds a nested sub-menu.
+    pub fn submenu(mut self, key: &str, desc: &str, menu: Menu) -> Self {
+        self.items
+            .push((key.to_owned(), desc.to_owned(), MenuItem::Submenu(menu)));
+        self
+    }
+
+    /// Renders the menu screen as the original package did: title, then one
+    /// numbered line per item, then the quit hint.
+    pub fn render(&self) -> String {
+        let mut out = format!("*** {} ***\n", self.title);
+        for (key, desc, _) in &self.items {
+            out.push_str(&format!("  {key:<12} {desc}\n"));
+        }
+        out.push_str("  q            Return to previous menu\n");
+        out
+    }
+
+    /// Drives the menu from scripted input lines, appending everything a
+    /// terminal would have shown to `output`.
+    ///
+    /// Returns when the input selects `q` or the input is exhausted.
+    pub fn run<'a, I>(&self, input: &mut I, output: &mut String)
+    where
+        I: Iterator<Item = &'a str>,
+    {
+        loop {
+            output.push_str(&self.render());
+            let Some(choice) = input.next() else { return };
+            let choice = choice.trim();
+            if choice == "q" {
+                return;
+            }
+            match self.items.iter().find(|(key, _, _)| key == choice) {
+                None => output.push_str(&format!("Unknown command: {choice}\n")),
+                Some((_, _, MenuItem::Submenu(menu))) => menu.run(input, output),
+                Some((_, _, MenuItem::Command { prompts, action })) => {
+                    let mut args = Vec::new();
+                    for prompt in prompts {
+                        output.push_str(&format!("{prompt}: "));
+                        match input.next() {
+                            Some(line) => {
+                                let line = line.trim().to_owned();
+                                output.push_str(&format!("{line}\n"));
+                                args.push(line);
+                            }
+                            None => return,
+                        }
+                    }
+                    match action(&args) {
+                        Ok(text) => output.push_str(&format!("{text}\n")),
+                        Err(e) => output.push_str(&format!("Error: {e}\n")),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_menu() -> Menu {
+        Menu::new("usermaint").command(
+            "shell",
+            "Change a login shell",
+            &["Login", "New shell"],
+            |args| {
+                if args[1].starts_with('/') {
+                    Ok(format!("Shell for {} set to {}", args[0], args[1]))
+                } else {
+                    Err("shell must be an absolute path".to_owned())
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn renders_items() {
+        let m = sample_menu();
+        let screen = m.render();
+        assert!(screen.contains("usermaint"));
+        assert!(screen.contains("shell"));
+        assert!(screen.contains("Return to previous menu"));
+    }
+
+    #[test]
+    fn runs_command() {
+        let m = sample_menu();
+        let mut out = String::new();
+        let script = ["shell", "babette", "/bin/csh", "q"];
+        m.run(&mut script.into_iter(), &mut out);
+        assert!(out.contains("Shell for babette set to /bin/csh"));
+    }
+
+    #[test]
+    fn reports_action_errors() {
+        let m = sample_menu();
+        let mut out = String::new();
+        let script = ["shell", "babette", "csh", "q"];
+        m.run(&mut script.into_iter(), &mut out);
+        assert!(out.contains("Error: shell must be an absolute path"));
+    }
+
+    #[test]
+    fn unknown_command_reported() {
+        let m = sample_menu();
+        let mut out = String::new();
+        let script = ["bogus", "q"];
+        m.run(&mut script.into_iter(), &mut out);
+        assert!(out.contains("Unknown command: bogus"));
+    }
+
+    #[test]
+    fn submenu_navigation() {
+        let inner = Menu::new("inner").command("hi", "Say hi", &[], |_| Ok("hello".to_owned()));
+        let outer = Menu::new("outer").submenu("in", "Enter inner", inner);
+        let mut out = String::new();
+        let script = ["in", "hi", "q", "q"];
+        outer.run(&mut script.into_iter(), &mut out);
+        assert!(out.contains("*** inner ***"));
+        assert!(out.contains("hello"));
+    }
+
+    #[test]
+    fn exhausted_input_terminates() {
+        let m = sample_menu();
+        let mut out = String::new();
+        let script = ["shell", "babette"];
+        m.run(&mut script.into_iter(), &mut out);
+        assert!(out.contains("New shell: "));
+    }
+}

@@ -1,0 +1,182 @@
+//! String utility routines from the Moira application library (§5.6.3):
+//! whitespace trimming, hostname canonicalization, and conversion between
+//! flag integers and human-readable strings.
+
+/// Trims leading and trailing ASCII whitespace, returning an owned string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(moira_common::strutil::trim("  e40-po \t"), "e40-po");
+/// ```
+pub fn trim(s: &str) -> String {
+    s.trim().to_owned()
+}
+
+/// Canonicalizes a hostname the way Moira stores machine names: uppercase,
+/// whitespace trimmed, trailing dots removed.
+///
+/// All machine names are case insensitive and are returned in uppercase
+/// (§7.0.2).
+///
+/// # Examples
+///
+/// ```
+/// use moira_common::strutil::canonicalize_hostname;
+/// assert_eq!(canonicalize_hostname("suomi.mit.edu."), "SUOMI.MIT.EDU");
+/// ```
+pub fn canonicalize_hostname(name: &str) -> String {
+    let mut s = name.trim().to_ascii_uppercase();
+    while s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
+/// One named flag bit for [`flags_to_string`] / [`string_to_flags`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlagDef {
+    /// Human-readable flag name.
+    pub name: &'static str,
+    /// The bit this flag controls.
+    pub bit: u32,
+}
+
+/// The NFSPHYS partition-status bits (§6, NFSPHYS table).
+pub const NFSPHYS_FLAGS: &[FlagDef] = &[
+    FlagDef {
+        name: "student",
+        bit: 1 << 0,
+    },
+    FlagDef {
+        name: "faculty",
+        bit: 1 << 1,
+    },
+    FlagDef {
+        name: "staff",
+        bit: 1 << 2,
+    },
+    FlagDef {
+        name: "misc",
+        bit: 1 << 3,
+    },
+];
+
+/// Converts a flags integer to a human-readable comma-separated string.
+///
+/// Unknown bits are rendered as `#<value>` so no information is lost.
+///
+/// # Examples
+///
+/// ```
+/// use moira_common::strutil::{flags_to_string, NFSPHYS_FLAGS};
+/// assert_eq!(flags_to_string(0b0101, NFSPHYS_FLAGS), "student,staff");
+/// assert_eq!(flags_to_string(0, NFSPHYS_FLAGS), "none");
+/// ```
+pub fn flags_to_string(flags: u32, defs: &[FlagDef]) -> String {
+    let mut parts = Vec::new();
+    let mut seen = 0u32;
+    for def in defs {
+        if flags & def.bit != 0 {
+            parts.push(def.name.to_owned());
+            seen |= def.bit;
+        }
+    }
+    let leftover = flags & !seen;
+    if leftover != 0 {
+        parts.push(format!("#{leftover}"));
+    }
+    if parts.is_empty() {
+        "none".to_owned()
+    } else {
+        parts.join(",")
+    }
+}
+
+/// Parses a human-readable flag string back to the flags integer.
+///
+/// Accepts the output of [`flags_to_string`], including `none` and `#<n>`
+/// escapes. Unknown names yield `None`.
+pub fn string_to_flags(s: &str, defs: &[FlagDef]) -> Option<u32> {
+    let s = s.trim();
+    if s.is_empty() || s == "none" {
+        return Some(0);
+    }
+    let mut flags = 0u32;
+    for part in s.split(',') {
+        let part = part.trim();
+        if let Some(raw) = part.strip_prefix('#') {
+            flags |= raw.parse::<u32>().ok()?;
+        } else {
+            flags |= defs.iter().find(|d| d.name == part)?.bit;
+        }
+    }
+    Some(flags)
+}
+
+/// Checks a string for characters Moira forbids in names (§7.1
+/// `MR_BAD_CHAR`): control characters, and the field separators used by the
+/// backup format and generated files.
+pub fn has_bad_chars(s: &str) -> bool {
+    s.chars()
+        .any(|c| c.is_control() || c == ':' || c == ';' || c == '"' || c == '\\')
+}
+
+/// Returns true if `s` parses as an integer (`MR_INTEGER` check).
+pub fn is_integer(s: &str) -> bool {
+    s.trim().parse::<i64>().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_works() {
+        assert_eq!(trim(" \t x y \n"), "x y");
+        assert_eq!(trim(""), "");
+    }
+
+    #[test]
+    fn canonicalization() {
+        assert_eq!(canonicalize_hostname(" kiwi.mit.edu"), "KIWI.MIT.EDU");
+        assert_eq!(canonicalize_hostname("BITSY.MIT.EDU"), "BITSY.MIT.EDU");
+        assert_eq!(canonicalize_hostname("dot."), "DOT");
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for flags in 0..16u32 {
+            let s = flags_to_string(flags, NFSPHYS_FLAGS);
+            assert_eq!(string_to_flags(&s, NFSPHYS_FLAGS), Some(flags), "{s}");
+        }
+    }
+
+    #[test]
+    fn unknown_bits_preserved() {
+        let s = flags_to_string(0x30, NFSPHYS_FLAGS);
+        assert_eq!(s, "#48");
+        assert_eq!(string_to_flags(&s, NFSPHYS_FLAGS), Some(0x30));
+    }
+
+    #[test]
+    fn unknown_flag_name_rejected() {
+        assert_eq!(string_to_flags("students", NFSPHYS_FLAGS), None);
+    }
+
+    #[test]
+    fn bad_chars() {
+        assert!(has_bad_chars("a:b"));
+        assert!(has_bad_chars("a\nb"));
+        assert!(has_bad_chars("a\\b"));
+        assert!(!has_bad_chars("Harmon C Fowler,,,,"));
+    }
+
+    #[test]
+    fn integer_check() {
+        assert!(is_integer("42"));
+        assert!(is_integer(" -7 "));
+        assert!(!is_integer("6h"));
+        assert!(!is_integer(""));
+    }
+}

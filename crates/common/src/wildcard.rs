@@ -1,0 +1,129 @@
+//! The wildcard pattern matcher used by Moira retrieval queries.
+//!
+//! Many predefined queries (§7) accept names that "may contain wildcards".
+//! Moira's convention, inherited from its INGRES heritage, is `*` matching
+//! any run of characters and `?` matching exactly one. Matching is
+//! non-backtracking-explosion-safe (classic two-pointer glob algorithm).
+
+/// Returns true if `text` matches `pattern`, where `*` matches any run of
+/// characters (including empty) and `?` matches exactly one character.
+///
+/// # Examples
+///
+/// ```
+/// use moira_common::wildcard::matches;
+/// assert!(matches("*", "anything"));
+/// assert!(matches("bldg*-vs", "bldge40-vs"));
+/// assert!(matches("e40-p?", "e40-po"));
+/// assert!(!matches("e40-p?", "e40-p"));
+/// ```
+pub fn matches(pattern: &str, text: &str) -> bool {
+    matches_impl(pattern.as_bytes(), text.as_bytes(), false)
+}
+
+/// Case-insensitive variant of [`matches()`], used for machine and service
+/// names which Moira stores in uppercase but compares case-insensitively.
+pub fn matches_ci(pattern: &str, text: &str) -> bool {
+    matches_impl(pattern.as_bytes(), text.as_bytes(), true)
+}
+
+fn eq_byte(a: u8, b: u8, ci: bool) -> bool {
+    if ci {
+        a.eq_ignore_ascii_case(&b)
+    } else {
+        a == b
+    }
+}
+
+fn matches_impl(pat: &[u8], text: &[u8], ci: bool) -> bool {
+    let (mut p, mut t) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while t < text.len() {
+        // The star branch must win even when the text byte is a literal
+        // `*`, or patterns like `*` would fail on text containing stars.
+        if p < pat.len() && pat[p] == b'*' {
+            star_p = p;
+            star_t = t;
+            p += 1;
+        } else if p < pat.len() && (pat[p] == b'?' || eq_byte(pat[p], text[t], ci)) {
+            p += 1;
+            t += 1;
+        } else if star_p != usize::MAX {
+            p = star_p + 1;
+            star_t += 1;
+            t = star_t;
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && pat[p] == b'*' {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+/// Returns true if `s` contains any wildcard metacharacter.
+///
+/// Queries that require a name to "match exactly one" object reject
+/// patterns; this is the check they use.
+pub fn has_wildcards(s: &str) -> bool {
+    s.contains('*') || s.contains('?')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        assert!(matches("babette", "babette"));
+        assert!(!matches("babette", "babett"));
+        assert!(!matches("babett", "babette"));
+    }
+
+    #[test]
+    fn star_runs() {
+        assert!(matches("*", ""));
+        assert!(matches("*", "x"));
+        assert!(matches("a*b*c", "aXXbYYc"));
+        assert!(matches("a*b*c", "abc"));
+        assert!(!matches("a*b*c", "acb"));
+    }
+
+    #[test]
+    fn question_single() {
+        assert!(matches("???", "abc"));
+        assert!(!matches("???", "ab"));
+        assert!(!matches("???", "abcd"));
+    }
+
+    #[test]
+    fn trailing_stars() {
+        assert!(matches("abc***", "abc"));
+        assert!(matches("**", ""));
+    }
+
+    #[test]
+    fn case_sensitivity() {
+        assert!(!matches("ABC", "abc"));
+        assert!(matches_ci("ABC", "abc"));
+        assert!(matches_ci("suomi.*.edu", "SUOMI.MIT.EDU"));
+    }
+
+    #[test]
+    fn wildcard_detection() {
+        assert!(has_wildcards("e40-*"));
+        assert!(has_wildcards("e40-?"));
+        assert!(!has_wildcards("e40-po"));
+    }
+
+    #[test]
+    fn adversarial_backtracking() {
+        // A pattern that would blow up naive recursive matching.
+        let text = "a".repeat(2000);
+        let pattern = "a*a*a*a*a*a*a*a*a*b";
+        assert!(!matches(pattern, &text));
+        let pattern_ok = "a*a*a*a*a*a*a*a*a*a";
+        assert!(matches(pattern_ok, &text));
+    }
+}

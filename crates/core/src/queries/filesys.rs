@@ -1,0 +1,1348 @@
+//! Filesystem, NFS physical partition, and quota queries (§7.0.5).
+
+use moira_common::errors::{MrError, MrResult};
+use moira_db::{Pred, RowId, Value};
+
+use crate::ace::{list_id_of, user_in_list, users_id_of};
+use crate::ids::alloc_id;
+use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::state::{Caller, MoiraState};
+
+use super::helpers::*;
+
+const FS_RETURNS: &[&str] = &[
+    "name",
+    "fstype",
+    "machine",
+    "packname",
+    "mountpoint",
+    "access",
+    "comments",
+    "owner",
+    "owners",
+    "create",
+    "lockertype",
+    "modtime",
+    "modby",
+    "modwith",
+];
+
+const NFSPHYS_RETURNS: &[&str] = &[
+    "machine",
+    "dir",
+    "device",
+    "status",
+    "allocated",
+    "size",
+    "modtime",
+    "modby",
+    "modwith",
+];
+
+/// Registers the filesystem queries.
+pub fn register(r: &mut Registry) {
+    use AccessRule::*;
+    use QueryKind::*;
+    let qs: &[QueryHandle] = &[
+        QueryHandle {
+            name: "get_filesys_by_label",
+            shortname: "gfsl",
+            kind: Retrieve,
+            access: Public,
+            args: &["name"],
+            returns: FS_RETURNS,
+            handler: get_filesys_by_label,
+        },
+        QueryHandle {
+            name: "get_filesys_by_machine",
+            shortname: "gfsm",
+            kind: Retrieve,
+            access: Public,
+            args: &["machine"],
+            returns: FS_RETURNS,
+            handler: get_filesys_by_machine,
+        },
+        QueryHandle {
+            name: "get_filesys_by_nfsphys",
+            shortname: "gfsn",
+            kind: Retrieve,
+            access: Public,
+            args: &["machine", "partition"],
+            returns: FS_RETURNS,
+            handler: get_filesys_by_nfsphys,
+        },
+        QueryHandle {
+            name: "get_filesys_by_group",
+            shortname: "gfsg",
+            kind: Retrieve,
+            access: Custom,
+            args: &["list"],
+            returns: FS_RETURNS,
+            handler: get_filesys_by_group,
+        },
+        QueryHandle {
+            name: "add_filesys",
+            shortname: "afil",
+            kind: Append,
+            access: QueryAcl,
+            args: &[
+                "name",
+                "fstype",
+                "machine",
+                "packname",
+                "mountpoint",
+                "access",
+                "comments",
+                "owner",
+                "owners",
+                "create",
+                "lockertype",
+            ],
+            returns: &[],
+            handler: add_filesys,
+        },
+        QueryHandle {
+            name: "update_filesys",
+            shortname: "ufil",
+            kind: Update,
+            access: QueryAcl,
+            args: &[
+                "name",
+                "newname",
+                "fstype",
+                "machine",
+                "packname",
+                "mountpoint",
+                "access",
+                "comments",
+                "owner",
+                "owners",
+                "create",
+                "lockertype",
+            ],
+            returns: &[],
+            handler: update_filesys,
+        },
+        QueryHandle {
+            name: "delete_filesys",
+            shortname: "dfil",
+            kind: Delete,
+            access: QueryAcl,
+            args: &["name"],
+            returns: &[],
+            handler: delete_filesys,
+        },
+        QueryHandle {
+            name: "get_all_nfsphys",
+            shortname: "ganf",
+            kind: Retrieve,
+            access: Public,
+            args: &[],
+            returns: NFSPHYS_RETURNS,
+            handler: get_all_nfsphys,
+        },
+        QueryHandle {
+            name: "get_nfsphys",
+            shortname: "gnfp",
+            kind: Retrieve,
+            access: Public,
+            args: &["machine", "dir"],
+            returns: NFSPHYS_RETURNS,
+            handler: get_nfsphys,
+        },
+        QueryHandle {
+            name: "add_nfsphys",
+            shortname: "anfp",
+            kind: Append,
+            access: QueryAcl,
+            args: &[
+                "machine",
+                "directory",
+                "device",
+                "status",
+                "allocated",
+                "size",
+            ],
+            returns: &[],
+            handler: add_nfsphys,
+        },
+        QueryHandle {
+            name: "update_nfsphys",
+            shortname: "unfp",
+            kind: Update,
+            access: QueryAcl,
+            args: &[
+                "machine",
+                "directory",
+                "device",
+                "status",
+                "allocated",
+                "size",
+            ],
+            returns: &[],
+            handler: update_nfsphys,
+        },
+        QueryHandle {
+            name: "adjust_nfsphys_allocation",
+            shortname: "ajnf",
+            kind: Update,
+            access: QueryAcl,
+            args: &["machine", "directory", "delta"],
+            returns: &[],
+            handler: adjust_nfsphys_allocation,
+        },
+        QueryHandle {
+            name: "delete_nfsphys",
+            shortname: "dnfp",
+            kind: Delete,
+            access: QueryAcl,
+            args: &["machine", "directory"],
+            returns: &[],
+            handler: delete_nfsphys,
+        },
+        QueryHandle {
+            name: "get_nfs_quota",
+            shortname: "gnfq",
+            kind: Retrieve,
+            access: Custom,
+            args: &["filesys", "login"],
+            returns: &[
+                "filesys",
+                "login",
+                "quota",
+                "directory",
+                "machine",
+                "modtime",
+                "modby",
+                "modwith",
+            ],
+            handler: get_nfs_quota,
+        },
+        QueryHandle {
+            name: "get_nfs_quotas_by_partition",
+            shortname: "gnqp",
+            kind: Retrieve,
+            access: Public,
+            args: &["machine", "directory"],
+            returns: &["filesys", "login", "quota", "directory", "machine"],
+            handler: get_nfs_quotas_by_partition,
+        },
+        QueryHandle {
+            name: "add_nfs_quota",
+            shortname: "anfq",
+            kind: Append,
+            access: QueryAcl,
+            args: &["filesystem", "login", "quota"],
+            returns: &[],
+            handler: add_nfs_quota,
+        },
+        QueryHandle {
+            name: "update_nfs_quota",
+            shortname: "unfq",
+            kind: Update,
+            access: QueryAcl,
+            args: &["filesystem", "login", "quota"],
+            returns: &[],
+            handler: update_nfs_quota,
+        },
+        QueryHandle {
+            name: "delete_nfs_quota",
+            shortname: "dnfq",
+            kind: Delete,
+            access: QueryAcl,
+            args: &["filesystem", "login"],
+            returns: &[],
+            handler: delete_nfs_quota,
+        },
+    ];
+    for q in qs {
+        r.register(*q);
+    }
+}
+
+fn render_filesys(state: &MoiraState, row: RowId) -> Vec<String> {
+    let t = state.db.table("filesys");
+    vec![
+        t.cell(row, "label").render(),
+        t.cell(row, "type").render(),
+        machine_name(state, t.cell(row, "mach_id").as_int()),
+        t.cell(row, "name").render(),
+        t.cell(row, "mount").render(),
+        t.cell(row, "access").render(),
+        t.cell(row, "comments").render(),
+        user_login(state, t.cell(row, "owner").as_int()),
+        list_name(state, t.cell(row, "owners").as_int()),
+        t.cell(row, "createflg").render(),
+        t.cell(row, "lockertype").render(),
+        t.cell(row, "modtime").render(),
+        t.cell(row, "modby").render(),
+        t.cell(row, "modwith").render(),
+    ]
+}
+
+fn get_filesys_by_label(
+    state: &mut MoiraState,
+    _c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let ids = state
+        .db
+        .select("filesys", &Pred::name_match("label", &a[0]));
+    if ids.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    Ok(ids
+        .into_iter()
+        .map(|id| render_filesys(state, id))
+        .collect())
+}
+
+fn get_filesys_by_machine(
+    state: &mut MoiraState,
+    _c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let mrow = one_machine(state, &a[0])?;
+    let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+    let ids = state
+        .db
+        .select("filesys", &Pred::Eq("mach_id", mach_id.into()));
+    if ids.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    Ok(ids
+        .into_iter()
+        .map(|id| render_filesys(state, id))
+        .collect())
+}
+
+fn get_filesys_by_nfsphys(
+    state: &mut MoiraState,
+    _c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let mrow = one_machine(state, &a[0])?;
+    let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+    let mut phys_ids = Vec::new();
+    for prow in state
+        .db
+        .select("nfsphys", &Pred::Eq("mach_id", mach_id.into()))
+    {
+        let dir = state.db.cell("nfsphys", prow, "dir").render();
+        if moira_common::wildcard::matches(&a[1], &dir) {
+            phys_ids.push(state.db.cell("nfsphys", prow, "nfsphys_id").as_int());
+        }
+    }
+    if phys_ids.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    let mut out = Vec::new();
+    for pid in phys_ids {
+        for row in state.db.select("filesys", &Pred::Eq("phys_id", pid.into())) {
+            out.push(render_filesys(state, row));
+        }
+    }
+    if out.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    Ok(out)
+}
+
+fn get_filesys_by_group(
+    state: &mut MoiraState,
+    c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let list_id = list_id_of(&state.db, &a[0])?;
+    // "This query may be executed by a member of the target list."
+    let allowed = on_query_acl(state, c, "get_filesys_by_group")
+        || c.principal
+            .as_deref()
+            .and_then(|p| users_id_of(&state.db, p).ok())
+            .is_some_and(|uid| user_in_list(&state.db, uid, list_id));
+    if !allowed {
+        return Err(MrError::Perm);
+    }
+    let ids = state
+        .db
+        .select("filesys", &Pred::Eq("owners", list_id.into()));
+    if ids.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    Ok(ids
+        .into_iter()
+        .map(|id| render_filesys(state, id))
+        .collect())
+}
+
+/// Validates the pack name against exported NFS partitions: it must lie
+/// under an existing nfsphys directory on the same machine (`MR_NFS`
+/// "Specified directory not exported"). Returns the `nfsphys_id`.
+fn nfs_pack_check(state: &MoiraState, mach_id: i64, packname: &str) -> MrResult<i64> {
+    for prow in state
+        .db
+        .select("nfsphys", &Pred::Eq("mach_id", mach_id.into()))
+    {
+        let dir = state.db.cell("nfsphys", prow, "dir").render();
+        if packname == dir || packname.starts_with(&format!("{}/", dir.trim_end_matches('/'))) {
+            return Ok(state.db.cell("nfsphys", prow, "nfsphys_id").as_int());
+        }
+    }
+    Err(MrError::Nfs)
+}
+
+struct FsArgs {
+    fstype: String,
+    mach_id: i64,
+    phys_id: i64,
+    owner: i64,
+    owners: i64,
+    create: bool,
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the add/update_filesys signatures
+fn validate_fs_args(
+    state: &MoiraState,
+    fstype: &str,
+    machine: &str,
+    packname: &str,
+    access: &str,
+    owner: &str,
+    owners: &str,
+    create: &str,
+    lockertype: &str,
+) -> MrResult<FsArgs> {
+    check_type_alias(state, "filesys", fstype, MrError::Fstype)?;
+    check_type_alias(state, "lockertype", lockertype, MrError::Type)?;
+    let mrow = one_machine(state, machine)?;
+    let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+    let owner = users_id_of(&state.db, owner)?;
+    let owners = list_id_of(&state.db, owners)?;
+    let create = parse_bool(create)?;
+    let fstype = fstype.to_ascii_uppercase();
+    let phys_id = if fstype == "NFS" {
+        if access != "r" && access != "w" {
+            return Err(MrError::FilesysAccess);
+        }
+        nfs_pack_check(state, mach_id, packname)?
+    } else {
+        0
+    };
+    Ok(FsArgs {
+        fstype,
+        mach_id,
+        phys_id,
+        owner,
+        owners,
+        create,
+    })
+}
+
+fn add_filesys(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    check_chars(&a[0])?;
+    no_wildcards(&a[0])?;
+    if state
+        .db
+        .table("filesys")
+        .select_one(&Pred::Eq("label", a[0].as_str().into()))
+        .is_some()
+    {
+        return Err(MrError::FilesysExists);
+    }
+    let v = validate_fs_args(
+        state, &a[1], &a[2], &a[3], &a[5], &a[7], &a[8], &a[9], &a[10],
+    )?;
+    let filsys_id = alloc_id(state, "filsys_id")?;
+    let (now, who, with) = mod_fields(state, c);
+    state.db.append(
+        "filesys",
+        vec![
+            a[0].as_str().into(),
+            0.into(),
+            filsys_id.into(),
+            v.phys_id.into(),
+            v.fstype.into(),
+            v.mach_id.into(),
+            a[3].as_str().into(),
+            a[4].as_str().into(),
+            a[5].as_str().into(),
+            a[6].as_str().into(),
+            v.owner.into(),
+            v.owners.into(),
+            v.create.into(),
+            a[10].to_ascii_uppercase().into(),
+            now.into(),
+            who.into(),
+            with.into(),
+        ],
+    )?;
+    Ok(Vec::new())
+}
+
+fn update_filesys(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let row = one_filesys(state, &a[0])?;
+    check_chars(&a[1])?;
+    no_wildcards(&a[1])?;
+    let current = state.db.cell("filesys", row, "label").as_str().to_owned();
+    if a[1] != current
+        && state
+            .db
+            .table("filesys")
+            .select_one(&Pred::Eq("label", a[1].as_str().into()))
+            .is_some()
+    {
+        return Err(MrError::NotUnique);
+    }
+    let v = validate_fs_args(
+        state, &a[2], &a[3], &a[4], &a[6], &a[8], &a[9], &a[10], &a[11],
+    )?;
+    let (now, who, with) = mod_fields(state, c);
+    state.db.update(
+        "filesys",
+        row,
+        &[
+            ("label", a[1].as_str().into()),
+            ("type", v.fstype.into()),
+            ("mach_id", v.mach_id.into()),
+            ("phys_id", v.phys_id.into()),
+            ("name", a[4].as_str().into()),
+            ("mount", a[5].as_str().into()),
+            ("access", a[6].as_str().into()),
+            ("comments", a[7].as_str().into()),
+            ("owner", v.owner.into()),
+            ("owners", v.owners.into()),
+            ("createflg", Value::Bool(v.create)),
+            ("lockertype", a[11].to_ascii_uppercase().into()),
+            ("modtime", now.into()),
+            ("modby", who.into()),
+            ("modwith", with.into()),
+        ],
+    )?;
+    Ok(Vec::new())
+}
+
+fn delete_filesys(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let row = one_filesys(state, &a[0])?;
+    let filsys_id = state.db.cell("filesys", row, "filsys_id").as_int();
+    // "Any quotas assigned to that filesystem will be deleted, and the
+    // allocation count on the nfs physical partition will be decremented."
+    let mut reclaimed = 0i64;
+    for qrow in state
+        .db
+        .select("nfsquota", &Pred::Eq("filsys_id", filsys_id.into()))
+    {
+        reclaimed += state.db.cell("nfsquota", qrow, "quota").as_int();
+    }
+    state
+        .db
+        .delete_where("nfsquota", &Pred::Eq("filsys_id", filsys_id.into()));
+    let phys_id = state.db.cell("filesys", row, "phys_id").as_int();
+    if reclaimed > 0 {
+        if let Some(prow) = state
+            .db
+            .table("nfsphys")
+            .select_one(&Pred::Eq("nfsphys_id", phys_id.into()))
+        {
+            let allocated = state.db.cell("nfsphys", prow, "allocated").as_int();
+            state.db.update(
+                "nfsphys",
+                prow,
+                &[("allocated", (allocated - reclaimed).into())],
+            )?;
+        }
+    }
+    state.db.delete("filesys", row)?;
+    Ok(Vec::new())
+}
+
+fn render_nfsphys(state: &MoiraState, row: RowId) -> Vec<String> {
+    let t = state.db.table("nfsphys");
+    vec![
+        machine_name(state, t.cell(row, "mach_id").as_int()),
+        t.cell(row, "dir").render(),
+        t.cell(row, "device").render(),
+        t.cell(row, "status").render(),
+        t.cell(row, "allocated").render(),
+        t.cell(row, "size").render(),
+        t.cell(row, "modtime").render(),
+        t.cell(row, "modby").render(),
+        t.cell(row, "modwith").render(),
+    ]
+}
+
+fn get_all_nfsphys(
+    state: &mut MoiraState,
+    _c: &Caller,
+    _a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let ids = state.db.select("nfsphys", &Pred::True);
+    if ids.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    Ok(ids
+        .into_iter()
+        .map(|id| render_nfsphys(state, id))
+        .collect())
+}
+
+fn get_nfsphys(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let mrow = one_machine(state, &a[0])?;
+    let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+    let mut out = Vec::new();
+    for row in state
+        .db
+        .select("nfsphys", &Pred::Eq("mach_id", mach_id.into()))
+    {
+        let dir = state.db.cell("nfsphys", row, "dir").render();
+        if moira_common::wildcard::matches(&a[1], &dir) {
+            out.push(render_nfsphys(state, row));
+        }
+    }
+    if out.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    Ok(out)
+}
+
+/// Finds an nfsphys row by machine + exact directory.
+fn one_nfsphys(state: &MoiraState, machine: &str, dir: &str) -> MrResult<RowId> {
+    let mrow = one_machine(state, machine)?;
+    let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+    state.db.select_exactly_one(
+        "nfsphys",
+        &Pred::Eq("mach_id", mach_id.into()).and(Pred::Eq("dir", dir.into())),
+        MrError::Nfsphys,
+    )
+}
+
+fn add_nfsphys(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let mrow = one_machine(state, &a[0])?;
+    let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+    let status = parse_int(&a[3])?;
+    let allocated = parse_int(&a[4])?;
+    let size = parse_int(&a[5])?;
+    let dup = !state
+        .db
+        .select(
+            "nfsphys",
+            &Pred::Eq("mach_id", mach_id.into()).and(Pred::Eq("dir", a[1].as_str().into())),
+        )
+        .is_empty();
+    if dup {
+        return Err(MrError::Exists);
+    }
+    let nfsphys_id = alloc_id(state, "nfsphys_id")?;
+    let (now, who, with) = mod_fields(state, c);
+    state.db.append(
+        "nfsphys",
+        vec![
+            nfsphys_id.into(),
+            mach_id.into(),
+            a[1].as_str().into(),
+            a[2].as_str().into(),
+            status.into(),
+            allocated.into(),
+            size.into(),
+            now.into(),
+            who.into(),
+            with.into(),
+        ],
+    )?;
+    Ok(Vec::new())
+}
+
+fn update_nfsphys(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let row = one_nfsphys(state, &a[0], &a[1])?;
+    let status = parse_int(&a[3])?;
+    let allocated = parse_int(&a[4])?;
+    let size = parse_int(&a[5])?;
+    let (now, who, with) = mod_fields(state, c);
+    state.db.update(
+        "nfsphys",
+        row,
+        &[
+            ("device", a[2].as_str().into()),
+            ("status", status.into()),
+            ("allocated", allocated.into()),
+            ("size", size.into()),
+            ("modtime", now.into()),
+            ("modby", who.into()),
+            ("modwith", with.into()),
+        ],
+    )?;
+    Ok(Vec::new())
+}
+
+fn adjust_nfsphys_allocation(
+    state: &mut MoiraState,
+    c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let row = one_nfsphys(state, &a[0], &a[1])?;
+    let delta = parse_int(&a[2])?;
+    let allocated = state.db.cell("nfsphys", row, "allocated").as_int();
+    let (now, who, with) = mod_fields(state, c);
+    state.db.update(
+        "nfsphys",
+        row,
+        &[
+            ("allocated", (allocated + delta).into()),
+            ("modtime", now.into()),
+            ("modby", who.into()),
+            ("modwith", with.into()),
+        ],
+    )?;
+    Ok(Vec::new())
+}
+
+fn delete_nfsphys(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let row = one_nfsphys(state, &a[0], &a[1])?;
+    let phys_id = state.db.cell("nfsphys", row, "nfsphys_id").as_int();
+    if !state
+        .db
+        .select("filesys", &Pred::Eq("phys_id", phys_id.into()))
+        .is_empty()
+    {
+        return Err(MrError::InUse);
+    }
+    state.db.delete("nfsphys", row)?;
+    Ok(Vec::new())
+}
+
+fn quota_tuple(state: &MoiraState, qrow: RowId, with_mod: bool) -> Vec<String> {
+    let t = state.db.table("nfsquota");
+    let filsys_id = t.cell(qrow, "filsys_id").as_int();
+    let (label, dir, machine) = state
+        .db
+        .table("filesys")
+        .select_one(&Pred::Eq("filsys_id", filsys_id.into()))
+        .map(|fr| {
+            let ft = state.db.table("filesys");
+            (
+                ft.cell(fr, "label").render(),
+                ft.cell(fr, "name").render(),
+                machine_name(state, ft.cell(fr, "mach_id").as_int()),
+            )
+        })
+        .unwrap_or_else(|| (format!("#{filsys_id}"), String::new(), String::new()));
+    let mut out = vec![
+        label,
+        user_login(state, t.cell(qrow, "users_id").as_int()),
+        t.cell(qrow, "quota").render(),
+        dir,
+        machine,
+    ];
+    if with_mod {
+        out.push(t.cell(qrow, "modtime").render());
+        out.push(t.cell(qrow, "modby").render());
+        out.push(t.cell(qrow, "modwith").render());
+    }
+    out
+}
+
+fn get_nfs_quota(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let users_id = users_id_of(&state.db, &a[1])?;
+    // Owner of the target filesystem or the query ACL; a user may also see
+    // their own quotas.
+    let allowed = on_query_acl(state, c, "get_nfs_quota")
+        || c.principal.as_deref() == Some(a[1].as_str())
+        || c.principal
+            .as_deref()
+            .and_then(|p| users_id_of(&state.db, p).ok())
+            .is_some_and(|caller_id| {
+                state
+                    .db
+                    .select("filesys", &Pred::name_match("label", &a[0]))
+                    .iter()
+                    .all(|&fr| state.db.cell("filesys", fr, "owner").as_int() == caller_id)
+            });
+    if !allowed {
+        return Err(MrError::Perm);
+    }
+    let mut out = Vec::new();
+    for frow in state
+        .db
+        .select("filesys", &Pred::name_match("label", &a[0]))
+    {
+        let filsys_id = state.db.cell("filesys", frow, "filsys_id").as_int();
+        for qrow in state.db.select(
+            "nfsquota",
+            &Pred::Eq("filsys_id", filsys_id.into()).and(Pred::Eq("users_id", users_id.into())),
+        ) {
+            out.push(quota_tuple(state, qrow, true));
+        }
+    }
+    if out.is_empty() {
+        return Err(MrError::NoQuota);
+    }
+    Ok(out)
+}
+
+fn get_nfs_quotas_by_partition(
+    state: &mut MoiraState,
+    _c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let mrow = one_machine(state, &a[0])?;
+    let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+    let mut out = Vec::new();
+    for prow in state
+        .db
+        .select("nfsphys", &Pred::Eq("mach_id", mach_id.into()))
+    {
+        let dir = state.db.cell("nfsphys", prow, "dir").render();
+        if !moira_common::wildcard::matches(&a[1], &dir) {
+            continue;
+        }
+        let phys_id = state.db.cell("nfsphys", prow, "nfsphys_id").as_int();
+        for qrow in state
+            .db
+            .select("nfsquota", &Pred::Eq("phys_id", phys_id.into()))
+        {
+            out.push(quota_tuple(state, qrow, false));
+        }
+    }
+    if out.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    Ok(out)
+}
+
+fn charge_allocation(state: &mut MoiraState, phys_id: i64, delta: i64) -> MrResult<()> {
+    if let Some(prow) = state
+        .db
+        .table("nfsphys")
+        .select_one(&Pred::Eq("nfsphys_id", phys_id.into()))
+    {
+        let allocated = state.db.cell("nfsphys", prow, "allocated").as_int();
+        state.db.update(
+            "nfsphys",
+            prow,
+            &[("allocated", (allocated + delta).into())],
+        )?;
+    }
+    Ok(())
+}
+
+fn add_nfs_quota(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let frow = one_filesys(state, &a[0])?;
+    let users_id = users_id_of(&state.db, &a[1])?;
+    let quota = parse_int(&a[2])?;
+    if quota < 0 {
+        return Err(MrError::Integer);
+    }
+    let filsys_id = state.db.cell("filesys", frow, "filsys_id").as_int();
+    let phys_id = state.db.cell("filesys", frow, "phys_id").as_int();
+    let dup = !state
+        .db
+        .select(
+            "nfsquota",
+            &Pred::Eq("filsys_id", filsys_id.into()).and(Pred::Eq("users_id", users_id.into())),
+        )
+        .is_empty();
+    if dup {
+        return Err(MrError::Exists);
+    }
+    let (now, who, with) = mod_fields(state, c);
+    state.db.append(
+        "nfsquota",
+        vec![
+            users_id.into(),
+            filsys_id.into(),
+            phys_id.into(),
+            quota.into(),
+            now.into(),
+            who.into(),
+            with.into(),
+        ],
+    )?;
+    charge_allocation(state, phys_id, quota)?;
+    Ok(Vec::new())
+}
+
+fn find_quota(state: &MoiraState, filesys: &str, login: &str) -> MrResult<(RowId, i64, i64)> {
+    let frow = one_filesys(state, filesys)?;
+    let users_id = users_id_of(&state.db, login)?;
+    let filsys_id = state.db.cell("filesys", frow, "filsys_id").as_int();
+    let qrow = state.db.select_exactly_one(
+        "nfsquota",
+        &Pred::Eq("filsys_id", filsys_id.into()).and(Pred::Eq("users_id", users_id.into())),
+        MrError::NoQuota,
+    )?;
+    let phys_id = state.db.cell("nfsquota", qrow, "phys_id").as_int();
+    let old = state.db.cell("nfsquota", qrow, "quota").as_int();
+    Ok((qrow, phys_id, old))
+}
+
+fn update_nfs_quota(
+    state: &mut MoiraState,
+    c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let quota = parse_int(&a[2])?;
+    if quota < 0 {
+        return Err(MrError::Integer);
+    }
+    let (qrow, phys_id, old) = find_quota(state, &a[0], &a[1])?;
+    let (now, who, with) = mod_fields(state, c);
+    state.db.update(
+        "nfsquota",
+        qrow,
+        &[
+            ("quota", quota.into()),
+            ("modtime", now.into()),
+            ("modby", who.into()),
+            ("modwith", with.into()),
+        ],
+    )?;
+    charge_allocation(state, phys_id, quota - old)?;
+    Ok(Vec::new())
+}
+
+fn delete_nfs_quota(
+    state: &mut MoiraState,
+    _c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let (qrow, phys_id, old) = find_quota(state, &a[0], &a[1])?;
+    state.db.delete("nfsquota", qrow)?;
+    charge_allocation(state, phys_id, -old)?;
+    Ok(Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::testutil::{add_test_machine, state_with_admin};
+    use crate::registry::Registry;
+
+    fn run(
+        s: &mut MoiraState,
+        r: &Registry,
+        who: &Caller,
+        q: &str,
+        args: &[&str],
+    ) -> MrResult<Vec<Vec<String>>> {
+        let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+        r.execute(s, who, q, &args)
+    }
+
+    fn setup() -> (MoiraState, Registry, Caller) {
+        let (mut s, _) = state_with_admin("ops");
+        add_test_machine(&mut s, "CHARON");
+        add_test_machine(&mut s, "HELEN");
+        let r = Registry::standard();
+        let ops = Caller::new("ops", "filsysmaint");
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_user",
+            &["aab", "7000", "/bin/csh", "L", "F", "", "1", "x", "1990"],
+        )
+        .unwrap();
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_list",
+            &[
+                "aab-group",
+                "1",
+                "0",
+                "0",
+                "0",
+                "1",
+                "-1",
+                "NONE",
+                "NONE",
+                "",
+            ],
+        )
+        .unwrap();
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_nfsphys",
+            &["CHARON", "/u1/lockers", "ra0c", "1", "0", "10000"],
+        )
+        .unwrap();
+        (s, r, ops)
+    }
+
+    fn add_aab_filesys(s: &mut MoiraState, r: &Registry, ops: &Caller) {
+        run(
+            s,
+            r,
+            ops,
+            "add_filesys",
+            &[
+                "aab",
+                "NFS",
+                "CHARON",
+                "/u1/lockers/aab",
+                "/mit/aab",
+                "w",
+                "locker",
+                "aab",
+                "aab-group",
+                "1",
+                "HOMEDIR",
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn filesys_crud() {
+        let (mut s, r, ops) = setup();
+        add_aab_filesys(&mut s, &r, &ops);
+        let fs = run(&mut s, &r, &ops, "get_filesys_by_label", &["aab"]).unwrap();
+        assert_eq!(fs[0][1], "NFS");
+        assert_eq!(fs[0][2], "CHARON");
+        assert_eq!(fs[0][7], "aab");
+        assert_eq!(fs[0][8], "aab-group");
+        // Duplicate label.
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_filesys",
+                &[
+                    "aab",
+                    "NFS",
+                    "CHARON",
+                    "/u1/lockers/aab",
+                    "/mit/aab",
+                    "w",
+                    "",
+                    "aab",
+                    "aab-group",
+                    "1",
+                    "HOMEDIR",
+                ]
+            )
+            .unwrap_err(),
+            MrError::FilesysExists
+        );
+        // RVD filesystems skip the NFS checks.
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_filesys",
+            &[
+                "ade",
+                "RVD",
+                "HELEN",
+                "ade",
+                "/mnt/ade",
+                "r",
+                "rvd pack",
+                "aab",
+                "aab-group",
+                "0",
+                "SYSTEM",
+            ],
+        )
+        .unwrap();
+        let by_mach = run(&mut s, &r, &ops, "get_filesys_by_machine", &["HELEN"]).unwrap();
+        assert_eq!(by_mach.len(), 1);
+        assert_eq!(by_mach[0][0], "ade");
+        run(&mut s, &r, &ops, "delete_filesys", &["ade"]).unwrap();
+        run(&mut s, &r, &ops, "delete_filesys", &["aab"]).unwrap();
+    }
+
+    #[test]
+    fn nfs_validation_errors() {
+        let (mut s, r, ops) = setup();
+        // Unexported directory.
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_filesys",
+                &[
+                    "bad",
+                    "NFS",
+                    "CHARON",
+                    "/u9/nope/bad",
+                    "/mit/bad",
+                    "w",
+                    "",
+                    "aab",
+                    "aab-group",
+                    "1",
+                    "HOMEDIR",
+                ]
+            )
+            .unwrap_err(),
+            MrError::Nfs
+        );
+        // Bad access mode.
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_filesys",
+                &[
+                    "bad",
+                    "NFS",
+                    "CHARON",
+                    "/u1/lockers/bad",
+                    "/mit/bad",
+                    "x",
+                    "",
+                    "aab",
+                    "aab-group",
+                    "1",
+                    "HOMEDIR",
+                ]
+            )
+            .unwrap_err(),
+            MrError::FilesysAccess
+        );
+        // Bad fstype / lockertype / owner / owners.
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_filesys",
+                &[
+                    "bad",
+                    "AFS",
+                    "CHARON",
+                    "x",
+                    "/mit/bad",
+                    "w",
+                    "",
+                    "aab",
+                    "aab-group",
+                    "1",
+                    "HOMEDIR",
+                ]
+            )
+            .unwrap_err(),
+            MrError::Fstype
+        );
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_filesys",
+                &[
+                    "bad",
+                    "RVD",
+                    "CHARON",
+                    "x",
+                    "/mit/bad",
+                    "w",
+                    "",
+                    "aab",
+                    "aab-group",
+                    "1",
+                    "CLOSET",
+                ]
+            )
+            .unwrap_err(),
+            MrError::Type
+        );
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_filesys",
+                &[
+                    "bad",
+                    "RVD",
+                    "CHARON",
+                    "x",
+                    "/mit/bad",
+                    "w",
+                    "",
+                    "ghost",
+                    "aab-group",
+                    "1",
+                    "SYSTEM",
+                ]
+            )
+            .unwrap_err(),
+            MrError::User
+        );
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_filesys",
+                &[
+                    "bad", "RVD", "CHARON", "x", "/mit/bad", "w", "", "aab", "ghosts", "1",
+                    "SYSTEM",
+                ]
+            )
+            .unwrap_err(),
+            MrError::List
+        );
+    }
+
+    #[test]
+    fn nfsphys_crud_and_allocation() {
+        let (mut s, r, ops) = setup();
+        let all = run(&mut s, &r, &ops, "get_all_nfsphys", &[]).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0][1], "/u1/lockers");
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "adjust_nfsphys_allocation",
+            &["CHARON", "/u1/lockers", "250"],
+        )
+        .unwrap();
+        let p = run(&mut s, &r, &ops, "get_nfsphys", &["CHARON", "*"]).unwrap();
+        assert_eq!(p[0][4], "250");
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "adjust_nfsphys_allocation",
+            &["CHARON", "/u1/lockers", "-250"],
+        )
+        .unwrap();
+        // Cannot delete a partition holding filesystems.
+        add_aab_filesys(&mut s, &r, &ops);
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "delete_nfsphys",
+                &["CHARON", "/u1/lockers"]
+            )
+            .unwrap_err(),
+            MrError::InUse
+        );
+        run(&mut s, &r, &ops, "delete_filesys", &["aab"]).unwrap();
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "delete_nfsphys",
+            &["CHARON", "/u1/lockers"],
+        )
+        .unwrap();
+        assert_eq!(
+            run(&mut s, &r, &ops, "get_all_nfsphys", &[]).unwrap_err(),
+            MrError::NoMatch
+        );
+    }
+
+    #[test]
+    fn quota_lifecycle_charges_allocation() {
+        let (mut s, r, ops) = setup();
+        add_aab_filesys(&mut s, &r, &ops);
+        run(&mut s, &r, &ops, "add_nfs_quota", &["aab", "aab", "300"]).unwrap();
+        assert_eq!(
+            run(&mut s, &r, &ops, "add_nfs_quota", &["aab", "aab", "300"]).unwrap_err(),
+            MrError::Exists
+        );
+        let p = run(&mut s, &r, &ops, "get_nfsphys", &["CHARON", "*"]).unwrap();
+        assert_eq!(p[0][4], "300");
+        let q = run(&mut s, &r, &ops, "get_nfs_quota", &["aab", "aab"]).unwrap();
+        assert_eq!(q[0][2], "300");
+        assert_eq!(q[0][4], "CHARON");
+        run(&mut s, &r, &ops, "update_nfs_quota", &["aab", "aab", "500"]).unwrap();
+        let p = run(&mut s, &r, &ops, "get_nfsphys", &["CHARON", "*"]).unwrap();
+        assert_eq!(p[0][4], "500");
+        let by_part = run(
+            &mut s,
+            &r,
+            &ops,
+            "get_nfs_quotas_by_partition",
+            &["CHARON", "/u1/*"],
+        )
+        .unwrap();
+        assert_eq!(by_part.len(), 1);
+        assert_eq!(by_part[0][2], "500");
+        run(&mut s, &r, &ops, "delete_nfs_quota", &["aab", "aab"]).unwrap();
+        let p = run(&mut s, &r, &ops, "get_nfsphys", &["CHARON", "*"]).unwrap();
+        assert_eq!(p[0][4], "0");
+        assert_eq!(
+            run(&mut s, &r, &ops, "get_nfs_quota", &["aab", "aab"]).unwrap_err(),
+            MrError::NoQuota
+        );
+    }
+
+    #[test]
+    fn delete_filesys_reclaims_quota_allocation() {
+        let (mut s, r, ops) = setup();
+        add_aab_filesys(&mut s, &r, &ops);
+        run(&mut s, &r, &ops, "add_nfs_quota", &["aab", "aab", "300"]).unwrap();
+        run(&mut s, &r, &ops, "delete_filesys", &["aab"]).unwrap();
+        let p = run(&mut s, &r, &ops, "get_nfsphys", &["CHARON", "*"]).unwrap();
+        assert_eq!(p[0][4], "0", "allocation reclaimed");
+    }
+
+    #[test]
+    fn group_query_access() {
+        let (mut s, r, ops) = setup();
+        add_aab_filesys(&mut s, &r, &ops);
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_member_to_list",
+            &["aab-group", "USER", "aab"],
+        )
+        .unwrap();
+        let member = Caller::new("aab", "attach");
+        let fs = run(&mut s, &r, &member, "get_filesys_by_group", &["aab-group"]).unwrap();
+        assert_eq!(fs[0][0], "aab");
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_user",
+            &["rando", "7999", "/bin/csh", "L", "F", "", "1", "x", "1990"],
+        )
+        .unwrap();
+        let rando = Caller::new("rando", "attach");
+        assert_eq!(
+            run(&mut s, &r, &rando, "get_filesys_by_group", &["aab-group"]).unwrap_err(),
+            MrError::Perm
+        );
+    }
+
+    #[test]
+    fn filesys_by_nfsphys() {
+        let (mut s, r, ops) = setup();
+        add_aab_filesys(&mut s, &r, &ops);
+        let fs = run(
+            &mut s,
+            &r,
+            &ops,
+            "get_filesys_by_nfsphys",
+            &["CHARON", "/u1/*"],
+        )
+        .unwrap();
+        assert_eq!(fs[0][0], "aab");
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "get_filesys_by_nfsphys",
+                &["CHARON", "/u2/*"]
+            )
+            .unwrap_err(),
+            MrError::NoMatch
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! The predefined query catalog of §7, one module per sub-section.
+
+pub mod filesys;
+pub mod helpers;
+pub mod lists;
+pub mod machines;
+pub mod misc;
+pub mod pobox;
+pub mod servers;
+pub mod special;
+pub mod testutil;
+pub mod users;
+pub mod zephyr;
+
+use crate::registry::Registry;
+
+/// Registers the complete standard catalog.
+pub fn register_all(registry: &mut Registry) {
+    users::register(registry);
+    pobox::register(registry);
+    machines::register(registry);
+    lists::register(registry);
+    servers::register(registry);
+    filesys::register(registry);
+    zephyr::register(registry);
+    misc::register(registry);
+    special::register(registry);
+}

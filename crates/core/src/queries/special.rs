@@ -1,0 +1,142 @@
+//! The built-in special queries (§7.0.8): `_help`, `_list_queries`,
+//! `_list_users`.
+//!
+//! `_help` and `_list_queries` introspect the registry itself, so their
+//! bodies live in [`crate::registry::Registry::execute`]; the handles here
+//! exist so they appear in the catalog (and in `_list_queries` output) like
+//! any other query.
+
+use moira_common::errors::{MrError, MrResult};
+
+use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::state::{Caller, MoiraState};
+
+/// Registers the special queries.
+pub fn register(r: &mut Registry) {
+    use AccessRule::*;
+    use QueryKind::*;
+    let qs: &[QueryHandle] = &[
+        QueryHandle {
+            name: "_help",
+            shortname: "help",
+            kind: Special,
+            access: Public,
+            args: &["query"],
+            returns: &["help_message"],
+            handler: intercepted,
+        },
+        QueryHandle {
+            name: "_list_queries",
+            shortname: "lqry",
+            kind: Special,
+            access: Public,
+            args: &[],
+            returns: &["long_query_name", "short_query_name"],
+            handler: intercepted,
+        },
+        QueryHandle {
+            name: "_list_users",
+            shortname: "lusr",
+            kind: Special,
+            access: Public,
+            args: &[],
+            returns: &[
+                "kerberos_principal",
+                "host_address",
+                "port_number",
+                "connect_time",
+                "client_number",
+            ],
+            handler: list_users,
+        },
+    ];
+    for q in qs {
+        r.register(*q);
+    }
+}
+
+/// Placeholder for registry-intercepted queries; never invoked.
+fn intercepted(_s: &mut MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    Err(MrError::Internal)
+}
+
+fn list_users(state: &mut MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    Ok(state
+        .clients
+        .iter()
+        .map(|c| {
+            vec![
+                c.principal.clone().unwrap_or_else(|| "???".to_owned()),
+                c.host.clone(),
+                c.port.to_string(),
+                c.connect_time.to_string(),
+                c.client_number.to_string(),
+            ]
+        })
+        .collect())
+}
+
+/// Renders the `_help` message for one handle: the short name and the lists
+/// of arguments and return values.
+pub fn help_message(handle: &QueryHandle) -> String {
+    format!(
+        "{}, {} ({}) -> ({})",
+        handle.name,
+        handle.shortname,
+        handle.args.join(", "),
+        handle.returns.join(", "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ClientInfo;
+
+    #[test]
+    fn help_renders_signature() {
+        let r = Registry::standard();
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        let anon = Caller::anonymous("t");
+        let rows = r
+            .execute(&mut s, &anon, "_help", &["get_user_by_login".into()])
+            .unwrap();
+        assert!(rows[0][0].contains("gubl"));
+        assert!(rows[0][0].contains("login"));
+        assert_eq!(
+            r.execute(&mut s, &anon, "_help", &["bogus".into()])
+                .unwrap_err(),
+            MrError::NoHandle
+        );
+    }
+
+    #[test]
+    fn list_queries_covers_catalog() {
+        let r = Registry::standard();
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        let rows = r
+            .execute(&mut s, &Caller::anonymous("t"), "_list_queries", &[])
+            .unwrap();
+        assert_eq!(rows.len(), r.len());
+        assert!(rows.iter().any(|t| t[0] == "add_user" && t[1] == "ausr"));
+    }
+
+    #[test]
+    fn list_users_reports_clients() {
+        let r = Registry::standard();
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        s.clients.push(ClientInfo {
+            principal: Some("babette".into()),
+            host: "18.72.0.30".into(),
+            port: 1044,
+            connect_time: 100,
+            client_number: 1,
+        });
+        let rows = r
+            .execute(&mut s, &Caller::anonymous("t"), "_list_users", &[])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], "babette");
+        assert_eq!(rows[0][2], "1044");
+    }
+}

@@ -1,0 +1,329 @@
+//! Zephyr class ACL queries (§7.0.6).
+
+use moira_common::errors::{MrError, MrResult};
+use moira_db::{Pred, RowId};
+
+use crate::ace::{render_ace, resolve_ace, Ace};
+use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::state::{Caller, MoiraState};
+
+use super::helpers::*;
+
+const RETURNS: &[&str] = &[
+    "class", "xmttype", "xmtname", "subtype", "subname", "iwstype", "iwsname", "iuitype",
+    "iuiname", "modtime", "modby", "modwith",
+];
+
+/// Registers the zephyr queries.
+pub fn register(r: &mut Registry) {
+    use AccessRule::*;
+    use QueryKind::*;
+    let qs: &[QueryHandle] = &[
+        QueryHandle {
+            name: "get_zephyr_class",
+            shortname: "gzcl",
+            kind: Retrieve,
+            access: QueryAcl,
+            args: &["class"],
+            returns: RETURNS,
+            handler: get_zephyr_class,
+        },
+        QueryHandle {
+            name: "add_zephyr_class",
+            shortname: "azcl",
+            kind: Append,
+            access: QueryAcl,
+            args: &[
+                "class", "xmttype", "xmtname", "subtype", "subname", "iwstype", "iwsname",
+                "iuitype", "iuiname",
+            ],
+            returns: &[],
+            handler: add_zephyr_class,
+        },
+        QueryHandle {
+            name: "update_zephyr_class",
+            shortname: "uzcl",
+            kind: Update,
+            access: QueryAcl,
+            args: &[
+                "class", "newclass", "xmttype", "xmtname", "subtype", "subname", "iwstype",
+                "iwsname", "iuitype", "iuiname",
+            ],
+            returns: &[],
+            handler: update_zephyr_class,
+        },
+        QueryHandle {
+            name: "delete_zephyr_class",
+            shortname: "dzcl",
+            kind: Delete,
+            access: QueryAcl,
+            args: &["class"],
+            returns: &[],
+            handler: delete_zephyr_class,
+        },
+    ];
+    for q in qs {
+        r.register(*q);
+    }
+}
+
+fn render_class(state: &MoiraState, row: RowId) -> Vec<String> {
+    let t = state.db.table("zephyr");
+    let mut out = vec![t.cell(row, "class").render()];
+    for (tc, ic) in [
+        ("xmt_type", "xmt_id"),
+        ("sub_type", "sub_id"),
+        ("iws_type", "iws_id"),
+        ("iui_type", "iui_id"),
+    ] {
+        let (ty, name) = render_ace(
+            &state.db,
+            t.cell(row, tc).as_str(),
+            t.cell(row, ic).as_int(),
+        );
+        out.push(ty);
+        out.push(name);
+    }
+    out.push(t.cell(row, "modtime").render());
+    out.push(t.cell(row, "modby").render());
+    out.push(t.cell(row, "modwith").render());
+    out
+}
+
+fn get_zephyr_class(
+    state: &mut MoiraState,
+    _c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let ids = state.db.select("zephyr", &Pred::name_match("class", &a[0]));
+    if ids.is_empty() {
+        return Err(MrError::NoMatch);
+    }
+    Ok(ids.into_iter().map(|id| render_class(state, id)).collect())
+}
+
+fn resolve_four_aces(state: &MoiraState, a: &[String], base: usize) -> MrResult<[Ace; 4]> {
+    Ok([
+        resolve_ace(&state.db, &a[base], &a[base + 1])?,
+        resolve_ace(&state.db, &a[base + 2], &a[base + 3])?,
+        resolve_ace(&state.db, &a[base + 4], &a[base + 5])?,
+        resolve_ace(&state.db, &a[base + 6], &a[base + 7])?,
+    ])
+}
+
+fn add_zephyr_class(
+    state: &mut MoiraState,
+    c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    check_chars(&a[0])?;
+    no_wildcards(&a[0])?;
+    if state
+        .db
+        .table("zephyr")
+        .select_one(&Pred::Eq("class", a[0].as_str().into()))
+        .is_some()
+    {
+        return Err(MrError::Exists);
+    }
+    let aces = resolve_four_aces(state, a, 1)?;
+    let (now, who, with) = mod_fields(state, c);
+    state.db.append(
+        "zephyr",
+        vec![
+            a[0].as_str().into(),
+            aces[0].type_str().into(),
+            aces[0].id().into(),
+            aces[1].type_str().into(),
+            aces[1].id().into(),
+            aces[2].type_str().into(),
+            aces[2].id().into(),
+            aces[3].type_str().into(),
+            aces[3].id().into(),
+            now.into(),
+            who.into(),
+            with.into(),
+        ],
+    )?;
+    Ok(Vec::new())
+}
+
+fn update_zephyr_class(
+    state: &mut MoiraState,
+    c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let row = exactly_one(state, "zephyr", "class", &a[0], MrError::NoMatch)?;
+    check_chars(&a[1])?;
+    no_wildcards(&a[1])?;
+    let current = state.db.cell("zephyr", row, "class").as_str().to_owned();
+    if a[1] != current
+        && state
+            .db
+            .table("zephyr")
+            .select_one(&Pred::Eq("class", a[1].as_str().into()))
+            .is_some()
+    {
+        return Err(MrError::NotUnique);
+    }
+    let aces = resolve_four_aces(state, a, 2)?;
+    let (now, who, with) = mod_fields(state, c);
+    state.db.update(
+        "zephyr",
+        row,
+        &[
+            ("class", a[1].as_str().into()),
+            ("xmt_type", aces[0].type_str().into()),
+            ("xmt_id", aces[0].id().into()),
+            ("sub_type", aces[1].type_str().into()),
+            ("sub_id", aces[1].id().into()),
+            ("iws_type", aces[2].type_str().into()),
+            ("iws_id", aces[2].id().into()),
+            ("iui_type", aces[3].type_str().into()),
+            ("iui_id", aces[3].id().into()),
+            ("modtime", now.into()),
+            ("modby", who.into()),
+            ("modwith", with.into()),
+        ],
+    )?;
+    Ok(Vec::new())
+}
+
+fn delete_zephyr_class(
+    state: &mut MoiraState,
+    _c: &Caller,
+    a: &[String],
+) -> MrResult<Vec<Vec<String>>> {
+    let row = exactly_one(state, "zephyr", "class", &a[0], MrError::NoMatch)?;
+    state.db.delete("zephyr", row)?;
+    Ok(Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::testutil::state_with_admin;
+    use crate::registry::Registry;
+
+    fn run(
+        s: &mut MoiraState,
+        r: &Registry,
+        who: &Caller,
+        q: &str,
+        args: &[&str],
+    ) -> MrResult<Vec<Vec<String>>> {
+        let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+        r.execute(s, who, q, &args)
+    }
+
+    fn setup() -> (MoiraState, Registry, Caller) {
+        let (mut s, _) = state_with_admin("ops");
+        let r = Registry::standard();
+        let ops = Caller::new("ops", "zephyrmaint");
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_user",
+            &["wheel", "7600", "/bin/csh", "L", "F", "", "1", "x", "STAFF"],
+        )
+        .unwrap();
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_list",
+            &["zctl", "1", "0", "0", "0", "0", "-1", "NONE", "NONE", ""],
+        )
+        .unwrap();
+        (s, r, ops)
+    }
+
+    #[test]
+    fn class_lifecycle() {
+        let (mut s, r, ops) = setup();
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_zephyr_class",
+            &[
+                "MOIRA", "LIST", "zctl", "NONE", "NONE", "USER", "wheel", "NONE", "NONE",
+            ],
+        )
+        .unwrap();
+        let cls = run(&mut s, &r, &ops, "get_zephyr_class", &["MOIRA"]).unwrap();
+        assert_eq!(cls[0][1], "LIST");
+        assert_eq!(cls[0][2], "zctl");
+        assert_eq!(cls[0][5], "USER");
+        assert_eq!(cls[0][6], "wheel");
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_zephyr_class",
+                &["MOIRA", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE",]
+            )
+            .unwrap_err(),
+            MrError::Exists
+        );
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "update_zephyr_class",
+            &[
+                "MOIRA", "MOIRA2", "NONE", "NONE", "LIST", "zctl", "NONE", "NONE", "USER", "wheel",
+            ],
+        )
+        .unwrap();
+        let cls = run(&mut s, &r, &ops, "get_zephyr_class", &["MOIRA2"]).unwrap();
+        assert_eq!(cls[0][3], "LIST");
+        assert_eq!(cls[0][8], "wheel");
+        run(&mut s, &r, &ops, "delete_zephyr_class", &["MOIRA2"]).unwrap();
+        assert_eq!(
+            run(&mut s, &r, &ops, "get_zephyr_class", &["MOIRA*"]).unwrap_err(),
+            MrError::NoMatch
+        );
+    }
+
+    #[test]
+    fn bad_ace_rejected() {
+        let (mut s, r, ops) = setup();
+        assert_eq!(
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_zephyr_class",
+                &["X", "LIST", "nolist", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE",]
+            )
+            .unwrap_err(),
+            MrError::Ace
+        );
+    }
+
+    #[test]
+    fn wildcard_retrieval() {
+        let (mut s, r, ops) = setup();
+        for cls in ["MOIRA", "MESSAGE"] {
+            run(
+                &mut s,
+                &r,
+                &ops,
+                "add_zephyr_class",
+                &[
+                    cls, "NONE", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE",
+                ],
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            run(&mut s, &r, &ops, "get_zephyr_class", &["M*"])
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The query-handle registry.
+//!
+//! "All access to the database is provided through the application
+//! library/database server interface. This interface provides a limited set
+//! of predefined, named queries" (§7). Each handle carries its signature
+//! (argument and return field names), its class (retrieve / append / update
+//! / delete), its access rule, and the handler function. The server and the
+//! application library are "designed to allow for the easy addition of
+//! queries" — adding one here is a single [`Registry::register`] call.
+
+use std::collections::HashMap;
+
+use moira_common::errors::{MrError, MrResult};
+use moira_db::journal::JournalEntry;
+
+use crate::access;
+use crate::state::{Caller, MoiraState};
+
+/// The four classes of §7, plus the built-in specials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Reads data; journal-exempt, mostly ACL-exempt (§5.5).
+    Retrieve,
+    /// Adds records.
+    Append,
+    /// Modifies records.
+    Update,
+    /// Removes records.
+    Delete,
+    /// Built-in introspection (`_help`, `_list_queries`, `_list_users`).
+    Special,
+}
+
+impl QueryKind {
+    /// True for the side-effecting classes that are journaled and
+    /// ACL-checked.
+    pub fn is_mutation(self) -> bool {
+        matches!(
+            self,
+            QueryKind::Append | QueryKind::Update | QueryKind::Delete
+        )
+    }
+}
+
+/// How the registry gate decides access before invoking the handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessRule {
+    /// Anyone, authenticated or not ("safe for this query's ACL to be the
+    /// list containing everybody" — and cheaper).
+    Public,
+    /// Caller must hold the query's capability in CAPACLS.
+    QueryAcl,
+    /// Capability, or the caller *is* the login named by argument `n`
+    /// ("this query may be executed by the target user").
+    QueryAclOrSelf(usize),
+    /// The handler enforces its own rule (list ACEs, public lists, …).
+    Custom,
+}
+
+/// Handler signature: full state, caller, string arguments → tuples.
+pub type Handler = fn(&mut MoiraState, &Caller, &[String]) -> MrResult<Vec<Vec<String>>>;
+
+/// One predefined query.
+#[derive(Clone, Copy)]
+pub struct QueryHandle {
+    /// Long name, e.g. `get_user_by_login`.
+    pub name: &'static str,
+    /// Four-character tag, e.g. `gubl` (the CAPACLS `tag`).
+    pub shortname: &'static str,
+    /// Query class.
+    pub kind: QueryKind,
+    /// Registry-level access rule.
+    pub access: AccessRule,
+    /// Argument names, defining the expected argument count.
+    pub args: &'static [&'static str],
+    /// Names of returned tuple fields (empty for non-retrieves).
+    pub returns: &'static [&'static str],
+    /// The implementation.
+    pub handler: Handler,
+}
+
+/// The catalog of predefined queries.
+pub struct Registry {
+    handles: Vec<QueryHandle>,
+    by_name: HashMap<&'static str, usize>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn empty() -> Registry {
+        Registry {
+            handles: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The full standard catalog of §7.
+    pub fn standard() -> Registry {
+        let mut r = Registry::empty();
+        crate::queries::register_all(&mut r);
+        r
+    }
+
+    /// Registers a handle under both its long and short names.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names — the catalog is static, so duplicates are
+    /// build-time bugs.
+    pub fn register(&mut self, handle: QueryHandle) {
+        let idx = self.handles.len();
+        assert!(
+            self.by_name.insert(handle.name, idx).is_none(),
+            "duplicate query {}",
+            handle.name
+        );
+        assert!(
+            self.by_name.insert(handle.shortname, idx).is_none(),
+            "duplicate tag {}",
+            handle.shortname
+        );
+        self.handles.push(handle);
+    }
+
+    /// Looks a query up by long or short name.
+    pub fn get(&self, name: &str) -> Option<&QueryHandle> {
+        self.by_name.get(name).map(|&i| &self.handles[i])
+    }
+
+    /// Every handle, in registration order.
+    pub fn handles(&self) -> &[QueryHandle] {
+        &self.handles
+    }
+
+    /// Number of registered query handles.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True if no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The access pre-check behind the `Access` major request: would this
+    /// query be allowed? (Does not execute it.)
+    pub fn check_access(
+        &self,
+        state: &mut MoiraState,
+        caller: &Caller,
+        name: &str,
+        args: &[String],
+    ) -> MrResult<()> {
+        let handle = self.get(name).ok_or(MrError::NoHandle)?;
+        if args.len() != handle.args.len() {
+            return Err(MrError::Args);
+        }
+        access::enforce(state, caller, handle.access, handle.name, args)
+    }
+
+    /// Executes a query: arity check, access check, handler, and journaling
+    /// of successful mutations.
+    pub fn execute(
+        &self,
+        state: &mut MoiraState,
+        caller: &Caller,
+        name: &str,
+        args: &[String],
+    ) -> MrResult<Vec<Vec<String>>> {
+        let handle = self.get(name).ok_or(MrError::NoHandle)?;
+        if args.len() != handle.args.len() {
+            return Err(MrError::Args);
+        }
+        access::enforce(state, caller, handle.access, handle.name, args)?;
+        // `_help` and `_list_queries` introspect the registry itself, which
+        // handlers cannot reach; they are answered here.
+        let result = match handle.name {
+            "_help" => {
+                let target = self.get(&args[0]).ok_or(MrError::NoHandle)?;
+                vec![vec![crate::queries::special::help_message(target)]]
+            }
+            "_list_queries" => self
+                .handles
+                .iter()
+                .map(|h| vec![h.name.to_owned(), h.shortname.to_owned()])
+                .collect(),
+            _ => (handle.handler)(state, caller, args)?,
+        };
+        if handle.kind.is_mutation() {
+            state.journal.log(JournalEntry {
+                time: state.db.now(),
+                who: caller.who().to_owned(),
+                with: caller.client_name.clone(),
+                query: handle.name.to_owned(),
+                args: args.to_vec(),
+            });
+        }
+        Ok(result)
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_exceeds_one_hundred() {
+        let r = Registry::standard();
+        assert!(
+            r.len() > 100,
+            "paper claims over 100 query handles, got {}",
+            r.len()
+        );
+    }
+
+    #[test]
+    fn lookup_by_both_names() {
+        let r = Registry::standard();
+        let long = r.get("get_user_by_login").expect("long name");
+        let short = r.get("gubl").expect("short name");
+        assert_eq!(long.name, short.name);
+        assert!(r.get("no_such_query").is_none());
+    }
+
+    #[test]
+    fn unknown_query_is_no_handle() {
+        let r = Registry::standard();
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        let err = r
+            .execute(&mut s, &Caller::root("t"), "bogus", &[])
+            .unwrap_err();
+        assert_eq!(err, MrError::NoHandle);
+    }
+
+    #[test]
+    fn arity_mismatch_is_args() {
+        let r = Registry::standard();
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        let err = r
+            .execute(&mut s, &Caller::root("t"), "get_user_by_login", &[])
+            .unwrap_err();
+        assert_eq!(err, MrError::Args);
+    }
+
+    #[test]
+    fn mutations_are_journaled() {
+        let r = Registry::standard();
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        let before = s.journal.len();
+        r.execute(
+            &mut s,
+            &Caller::root("t"),
+            "add_machine",
+            &["KIWI.MIT.EDU".into(), "VAX".into()],
+        )
+        .unwrap();
+        assert_eq!(s.journal.len(), before + 1);
+        assert_eq!(s.journal.entries().last().unwrap().query, "add_machine");
+        // Retrieves are not journaled.
+        r.execute(
+            &mut s,
+            &Caller::root("t"),
+            "get_machine",
+            &["KIWI.MIT.EDU".into()],
+        )
+        .unwrap();
+        assert_eq!(s.journal.len(), before + 1);
+    }
+
+    #[test]
+    fn failed_mutations_not_journaled() {
+        let r = Registry::standard();
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        let before = s.journal.len();
+        let err = r
+            .execute(
+                &mut s,
+                &Caller::root("t"),
+                "add_machine",
+                &["X".into(), "TOASTER".into()],
+            )
+            .unwrap_err();
+        assert_eq!(err, MrError::Type);
+        assert_eq!(s.journal.len(), before);
+    }
+
+    #[test]
+    fn all_tags_are_four_chars() {
+        let r = Registry::standard();
+        for h in r.handles() {
+            assert_eq!(h.shortname.len(), 4, "{} has tag {}", h.name, h.shortname);
+        }
+    }
+}

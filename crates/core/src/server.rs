@@ -1,0 +1,581 @@
+//! The Moira server loop (§5.4).
+//!
+//! "The Moira server runs as a single UNIX process on the Moira database
+//! machine. It listens for TCP/IP connections on a well known service port,
+//! and processes remote procedure call requests on each connection it
+//! accepts." The loop is non-blocking: each [`MoiraServer::poll_once`] makes
+//! progress on every live connection (reading new requests, sending
+//! replies), which is what let the original stay a single process while
+//! "reading new RPC requests and sending old replies simultaneously".
+//!
+//! The expensive database backend is initialized **once**, at server
+//! construction — the Athenareg lesson: "starting up a backend process is a
+//! rather heavyweight operation, the Moira server will do this only once,
+//! at the start up time of the daemon" (benchmarked as experiment E5).
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use moira_common::errors::MrError;
+use moira_krb::ticket::{Authenticator, Ticket, Verifier};
+use moira_protocol::transport::{Channel, TcpChannel};
+use moira_protocol::wire::{check_version, MajorRequest, Reply, Request};
+use parking_lot::Mutex;
+
+use crate::access;
+use crate::registry::Registry;
+use crate::state::{Caller, ClientInfo, MoiraState};
+
+/// The Moira server's registered service port (a period-appropriate pick
+/// for the "well known port (T.B.S.)").
+pub const MOIRA_PORT: u16 = 775;
+
+struct Connection {
+    chan: Box<dyn Channel>,
+    caller: Caller,
+    client_number: u64,
+}
+
+/// The single-process Moira server.
+pub struct MoiraServer {
+    state: Arc<Mutex<MoiraState>>,
+    registry: Arc<Registry>,
+    verifier: Option<Verifier>,
+    connections: Vec<Connection>,
+    listener: Option<TcpListener>,
+}
+
+impl MoiraServer {
+    /// Creates a server over shared state and a query registry.
+    ///
+    /// With `verifier` set, `Authenticate` requests must carry Kerberos
+    /// tickets; without one the server runs in trusted mode (in-process
+    /// deployments and tests) where the authenticator is a bare principal
+    /// name.
+    pub fn new(
+        state: Arc<Mutex<MoiraState>>,
+        registry: Arc<Registry>,
+        verifier: Option<Verifier>,
+    ) -> MoiraServer {
+        MoiraServer {
+            state,
+            registry,
+            verifier,
+            connections: Vec::new(),
+            listener: None,
+        }
+    }
+
+    /// The shared state handle.
+    pub fn state(&self) -> Arc<Mutex<MoiraState>> {
+        self.state.clone()
+    }
+
+    /// Attaches an already-connected channel (the in-process transport).
+    pub fn attach(&mut self, chan: Box<dyn Channel>, host: &str, port: u16) {
+        let mut state = self.state.lock();
+        let client_number = state.next_client_number();
+        let connect_time = state.now();
+        state.clients.push(ClientInfo {
+            principal: None,
+            host: host.to_owned(),
+            port,
+            connect_time,
+            client_number,
+        });
+        drop(state);
+        self.connections.push(Connection {
+            chan,
+            caller: Caller::anonymous("unknown"),
+            client_number,
+        });
+    }
+
+    /// Starts listening on a TCP address (pass port 0 for an ephemeral
+    /// port); returns the bound address.
+    pub fn listen_tcp(&mut self, addr: &str) -> io::Result<std::net::SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        self.listener = Some(listener);
+        Ok(bound)
+    }
+
+    /// Number of live connections.
+    pub fn connection_count(&self) -> usize {
+        self.connections.len()
+    }
+
+    fn accept_pending(&mut self) {
+        let mut accepted = Vec::new();
+        if let Some(listener) = &self.listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, peer)) => accepted.push((stream, peer)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        for (stream, peer) in accepted {
+            if let Ok(chan) = TcpChannel::new(stream) {
+                self.attach(Box::new(chan), &peer.ip().to_string(), peer.port());
+            }
+        }
+    }
+
+    /// One pass of the non-blocking loop: accept connections, then make
+    /// progress on every live connection. Returns how many requests were
+    /// processed.
+    pub fn poll_once(&mut self) -> usize {
+        self.accept_pending();
+        let mut processed = 0;
+        let mut dead = Vec::new();
+        for i in 0..self.connections.len() {
+            loop {
+                let frame = match self.connections[i].chan.try_recv() {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) => {
+                        if self.connections[i].chan.is_closed() {
+                            dead.push(i);
+                        }
+                        break;
+                    }
+                    Err(_) => {
+                        dead.push(i);
+                        break;
+                    }
+                };
+                processed += 1;
+                let replies = self.handle_frame(i, frame);
+                let conn = &mut self.connections[i];
+                let mut broken = false;
+                for reply in replies {
+                    if conn.chan.send(reply.encode()).is_err() {
+                        broken = true;
+                        break;
+                    }
+                }
+                if broken {
+                    dead.push(i);
+                    break;
+                }
+            }
+        }
+        for &i in dead.iter().rev() {
+            let conn = self.connections.remove(i);
+            let mut state = self.state.lock();
+            state
+                .clients
+                .retain(|c| c.client_number != conn.client_number);
+        }
+        processed
+    }
+
+    /// Polls until `idle_rounds` consecutive passes process nothing.
+    pub fn run_until_idle(&mut self, idle_rounds: usize) {
+        let mut idle = 0;
+        while idle < idle_rounds {
+            if self.poll_once() == 0 {
+                idle += 1;
+            } else {
+                idle = 0;
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, conn_index: usize, frame: bytes::Bytes) -> Vec<Reply> {
+        let request = match Request::decode(frame) {
+            Ok(r) => r,
+            Err(e) => return vec![Reply::status(e.code())],
+        };
+        if let Err(e) = check_version(request.version) {
+            return vec![Reply::status(e.code())];
+        }
+        match request.major {
+            MajorRequest::Noop => vec![Reply::status(0)],
+            MajorRequest::Auth => vec![self.handle_auth(conn_index, &request)],
+            MajorRequest::Query => self.handle_query(conn_index, &request),
+            MajorRequest::Access => vec![self.handle_access(conn_index, &request)],
+            MajorRequest::TriggerDcm => vec![self.handle_trigger_dcm(conn_index)],
+        }
+    }
+
+    fn handle_auth(&mut self, conn_index: usize, request: &Request) -> Reply {
+        let principal = match (&self.verifier, request.args.len()) {
+            // Trusted mode: [principal, client_name].
+            (None, 2) => match std::str::from_utf8(&request.args[0]) {
+                Ok(p) => p.to_owned(),
+                Err(_) => return Reply::status(MrError::BadChar.code()),
+            },
+            // Kerberos mode: [ticket, authenticator, client_name].
+            (Some(verifier), 3) => {
+                let ticket = Ticket {
+                    sealed: request.args[0].to_vec(),
+                };
+                let auth = Authenticator {
+                    sealed: request.args[1].to_vec(),
+                };
+                match verifier.verify(&ticket, &auth) {
+                    Ok(p) => p,
+                    Err(moira_krb::realm::KrbError::Replay) => {
+                        return Reply::status(MrError::Replay.code())
+                    }
+                    Err(_) => return Reply::status(MrError::AuthFailure.code()),
+                }
+            }
+            _ => return Reply::status(MrError::Args.code()),
+        };
+        let client_name = request
+            .args
+            .last()
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .unwrap_or("unknown")
+            .to_owned();
+        let conn = &mut self.connections[conn_index];
+        conn.caller = Caller::new(&principal, &client_name);
+        let mut state = self.state.lock();
+        let number = conn.client_number;
+        if let Some(info) = state.clients.iter_mut().find(|c| c.client_number == number) {
+            info.principal = Some(principal);
+        }
+        Reply::status(0)
+    }
+
+    fn handle_query(&mut self, conn_index: usize, request: &Request) -> Vec<Reply> {
+        let args = match request.string_args() {
+            Ok(a) => a,
+            Err(e) => return vec![Reply::status(e.code())],
+        };
+        if args.is_empty() {
+            return vec![Reply::status(MrError::Args.code())];
+        }
+        let caller = self.connections[conn_index].caller.clone();
+        let mut state = self.state.lock();
+        match self
+            .registry
+            .execute(&mut state, &caller, &args[0], &args[1..])
+        {
+            Ok(tuples) => {
+                let mut replies: Vec<Reply> = tuples.iter().map(|t| Reply::tuple(t)).collect();
+                replies.push(Reply::status(0));
+                replies
+            }
+            Err(e) => vec![Reply::status(e.code())],
+        }
+    }
+
+    fn handle_access(&mut self, conn_index: usize, request: &Request) -> Reply {
+        let args = match request.string_args() {
+            Ok(a) => a,
+            Err(e) => return Reply::status(e.code()),
+        };
+        if args.is_empty() {
+            return Reply::status(MrError::Args.code());
+        }
+        let caller = self.connections[conn_index].caller.clone();
+        let mut state = self.state.lock();
+        match self
+            .registry
+            .check_access(&mut state, &caller, &args[0], &args[1..])
+        {
+            Ok(()) => Reply::status(0),
+            Err(e) => Reply::status(e.code()),
+        }
+    }
+
+    fn handle_trigger_dcm(&mut self, conn_index: usize) -> Reply {
+        let caller = self.connections[conn_index].caller.clone();
+        let mut state = self.state.lock();
+        // "Access checking is done by checking permissions for the
+        // pseudo-query trigger_dcm (tdcm)."
+        if !access::caller_has_capability(&mut state, &caller, "trigger_dcm") {
+            return Reply::status(MrError::Perm.code());
+        }
+        state.dcm_trigger = true;
+        Reply::status(0)
+    }
+}
+
+/// Builds a ready-to-use server: seeded state, standard registry, CAPACLS
+/// populated. Returns the server plus handles on its state and registry.
+pub fn standard_server(
+    clock: moira_common::VClock,
+) -> (MoiraServer, Arc<Mutex<MoiraState>>, Arc<Registry>) {
+    let registry = Arc::new(Registry::standard());
+    let mut state = MoiraState::new(clock);
+    crate::seed::seed_capacls(&mut state, &registry);
+    let state = Arc::new(Mutex::new(state));
+    let server = MoiraServer::new(state.clone(), registry.clone(), None);
+    (server, state, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moira_protocol::transport::{pair, recv_blocking};
+
+    fn send_request(chan: &mut dyn Channel, server: &mut MoiraServer, req: Request) -> Vec<Reply> {
+        chan.send(req.encode()).unwrap();
+        server.run_until_idle(2);
+        let mut replies = Vec::new();
+        loop {
+            let frame = recv_blocking(chan, 100).expect("reply");
+            let reply = Reply::decode(frame).unwrap();
+            let done = !reply.is_more_data();
+            replies.push(reply);
+            if done {
+                break;
+            }
+        }
+        replies
+    }
+
+    fn setup() -> (MoiraServer, moira_protocol::transport::InProcChannel) {
+        let (mut server, state, _) = standard_server(moira_common::VClock::new());
+        {
+            let mut s = state.lock();
+            let uid = crate::queries::testutil::add_test_user(&mut s, "ops", 1);
+            s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
+                .unwrap();
+        }
+        let (client, server_end) = pair();
+        server.attach(Box::new(server_end), "local", 0);
+        (server, client)
+    }
+
+    #[test]
+    fn noop_round_trip() {
+        let (mut server, mut client) = setup();
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Noop, &[]),
+        );
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].code, 0);
+    }
+
+    #[test]
+    fn query_streams_tuples() {
+        let (mut server, mut client) = setup();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        for name in ["A", "B", "C"] {
+            let replies = send_request(
+                &mut client,
+                &mut server,
+                Request::new(MajorRequest::Query, &["add_machine", name, "VAX"]),
+            );
+            assert_eq!(replies.last().unwrap().code, 0, "{name}");
+        }
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["get_machine", "*"]),
+        );
+        // Three MR_MORE_DATA tuples plus the final success.
+        assert_eq!(replies.len(), 4);
+        assert!(replies[0].is_more_data());
+        assert_eq!(replies[3].code, 0);
+        let names: Vec<String> = replies[..3]
+            .iter()
+            .map(|r| r.string_fields().unwrap()[0].clone())
+            .collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn unauthenticated_mutation_denied() {
+        let (mut server, mut client) = setup();
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["add_machine", "X", "VAX"]),
+        );
+        assert_eq!(replies[0].code, MrError::Perm.code());
+    }
+
+    #[test]
+    fn access_precheck_matches_execution() {
+        let (mut server, mut client) = setup();
+        // Denied before auth…
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Access, &["add_machine", "X", "VAX"]),
+        );
+        assert_eq!(replies[0].code, MrError::Perm.code());
+        // …allowed after.
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Access, &["add_machine", "X", "VAX"]),
+        );
+        assert_eq!(replies[0].code, 0);
+        // And the access check did not execute the query.
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["get_machine", "X"]),
+        );
+        assert_eq!(replies[0].code, MrError::NoMatch.code());
+    }
+
+    #[test]
+    fn trigger_dcm_requires_capability() {
+        let (mut server, mut client) = setup();
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::TriggerDcm, &[]),
+        );
+        assert_eq!(replies[0].code, MrError::Perm.code());
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::TriggerDcm, &[]),
+        );
+        assert_eq!(replies[0].code, 0);
+        assert!(server.state().lock().dcm_trigger);
+    }
+
+    #[test]
+    fn version_skew_rejected() {
+        let (mut server, mut client) = setup();
+        let mut req = Request::new(MajorRequest::Noop, &[]);
+        req.version = 99;
+        let replies = send_request(&mut client, &mut server, req);
+        assert_eq!(replies[0].code, MrError::VersionHigh.code());
+    }
+
+    #[test]
+    fn list_users_sees_connections() {
+        let (mut server, mut client) = setup();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["_list_users"]),
+        );
+        assert_eq!(replies.len(), 2);
+        let fields = replies[0].string_fields().unwrap();
+        assert_eq!(fields[0], "ops");
+    }
+
+    #[test]
+    fn disconnect_cleans_up() {
+        let (mut server, client) = setup();
+        assert_eq!(server.connection_count(), 1);
+        drop(client);
+        server.run_until_idle(3);
+        assert_eq!(server.connection_count(), 0);
+        assert!(server.state().lock().clients.is_empty());
+    }
+
+    #[test]
+    fn tcp_end_to_end() {
+        let (mut server, state, _) = standard_server(moira_common::VClock::new());
+        {
+            let mut s = state.lock();
+            let uid = crate::queries::testutil::add_test_user(&mut s, "ops", 1);
+            s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
+                .unwrap();
+        }
+        let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut chan = TcpChannel::connect(&addr.to_string()).unwrap();
+            chan.send(Request::new(MajorRequest::Auth, &["ops", "tcp-test"]).encode())
+                .unwrap();
+            let r = Reply::decode(recv_blocking(&mut chan, 2_000_000).unwrap()).unwrap();
+            assert_eq!(r.code, 0);
+            chan.send(Request::new(MajorRequest::Query, &["add_machine", "TCPBOX", "RT"]).encode())
+                .unwrap();
+            let r = Reply::decode(recv_blocking(&mut chan, 2_000_000).unwrap()).unwrap();
+            assert_eq!(r.code, 0);
+        });
+        // Drive the server loop until the client thread finishes.
+        let start = std::time::Instant::now();
+        while !handle.is_finished() {
+            server.poll_once();
+            assert!(start.elapsed().as_secs() < 10, "server loop stuck");
+        }
+        handle.join().unwrap();
+        let s = state.lock();
+        assert!(!s
+            .db
+            .select("machine", &moira_db::Pred::Eq("name", "TCPBOX".into()))
+            .is_empty());
+    }
+
+    #[test]
+    fn kerberos_auth_mode() {
+        use moira_krb::realm::Kdc;
+        use moira_krb::ticket::make_authenticator;
+
+        let clock = moira_common::VClock::new();
+        let kdc = Kdc::new(clock.clone());
+        kdc.register("babette", "pw").unwrap();
+        let skey = kdc.register_service("moira").unwrap();
+        let verifier = Verifier::new("moira", skey, clock.clone());
+
+        let registry = Arc::new(Registry::standard());
+        let mut st = MoiraState::new(clock.clone());
+        crate::seed::seed_capacls(&mut st, &registry);
+        crate::queries::testutil::add_test_user(&mut st, "babette", 42);
+        let state = Arc::new(Mutex::new(st));
+        let mut server = MoiraServer::new(state, registry, Some(verifier));
+
+        let (mut client, server_end) = pair();
+        server.attach(Box::new(server_end), "local", 0);
+
+        let (ticket, session) = kdc.initial_ticket("babette", "pw", "moira").unwrap();
+        let auth = make_authenticator(session, "babette", clock.now(), 1);
+        let mut req = Request::new(MajorRequest::Auth, &[]);
+        req.args = vec![
+            bytes::Bytes::from(ticket.sealed.clone()),
+            bytes::Bytes::from(auth.sealed.clone()),
+            bytes::Bytes::from_static(b"chsh"),
+        ];
+        let replies = send_request(&mut client, &mut server, req.clone());
+        assert_eq!(replies[0].code, 0);
+        // Replaying the same authenticator fails.
+        let replies = send_request(&mut client, &mut server, req);
+        assert_eq!(replies[0].code, MrError::Replay.code());
+        // Trusted-mode auth is refused when a verifier is configured.
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["root", "sneaky"]),
+        );
+        assert_eq!(replies[0].code, MrError::Args.code());
+        // The authenticated identity can use self-access queries.
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(
+                MajorRequest::Query,
+                &["update_user_shell", "babette", "/bin/sh"],
+            ),
+        );
+        assert_eq!(replies[0].code, 0);
+    }
+}

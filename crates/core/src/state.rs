@@ -1,0 +1,188 @@
+//! Server state: database, journal, locks, access cache, connected clients.
+
+use moira_common::clock::VClock;
+use moira_db::journal::Journal;
+use moira_db::lock::LockManager;
+use moira_db::Database;
+
+use crate::access::AccessCache;
+use crate::schema;
+use crate::seed;
+
+/// The identity on whose behalf a request runs.
+///
+/// "All requests received after this \[Authenticate\] request should be
+/// performed on behalf of the principal identified by the authenticator"
+/// (§5.3).
+#[derive(Debug, Clone, Default)]
+pub struct Caller {
+    /// Authenticated Kerberos principal; `None` before authentication.
+    pub principal: Option<String>,
+    /// Name of the program acting on behalf of the user (`mr_auth`'s
+    /// `clientname`), recorded as `modwith`.
+    pub client_name: String,
+}
+
+impl Caller {
+    /// An authenticated caller.
+    pub fn new(principal: &str, client_name: &str) -> Caller {
+        Caller {
+            principal: Some(principal.to_owned()),
+            client_name: client_name.to_owned(),
+        }
+    }
+
+    /// An unauthenticated caller (read-only queries only).
+    pub fn anonymous(client_name: &str) -> Caller {
+        Caller {
+            principal: None,
+            client_name: client_name.to_owned(),
+        }
+    }
+
+    /// The privileged identity the DCM and backup tools use ("connects to
+    /// the database and authenticates as **root**", §5.7.1).
+    pub fn root(client_name: &str) -> Caller {
+        Caller::new("root", client_name)
+    }
+
+    /// The principal, or `"???"` for anonymous callers — the string written
+    /// into `modby`.
+    pub fn who(&self) -> &str {
+        self.principal.as_deref().unwrap_or("???")
+    }
+
+    /// True for the all-powerful principals that bypass ACLs (`root`, used
+    /// by the DCM, and the registration server's identity).
+    pub fn is_privileged(&self) -> bool {
+        matches!(
+            self.principal.as_deref(),
+            Some("root") | Some("sms") | Some("register")
+        )
+    }
+}
+
+/// One connected client, for the `_list_users` introspection query.
+#[derive(Debug, Clone)]
+pub struct ClientInfo {
+    /// Authenticated principal, if any.
+    pub principal: Option<String>,
+    /// Peer host (address or `"local"`).
+    pub host: String,
+    /// Peer port number (0 for in-process connections).
+    pub port: u16,
+    /// Unix time of connection.
+    pub connect_time: i64,
+    /// Monotonic client number.
+    pub client_number: u64,
+}
+
+/// The entire mutable state of the Moira server.
+pub struct MoiraState {
+    /// The database of §6.
+    pub db: Database,
+    /// Journal of successful side-effecting queries (§5.2.2).
+    pub journal: Journal,
+    /// Service/host lock manager used by the DCM (§5.7.1).
+    pub locks: LockManager,
+    /// The §5.5 access cache.
+    pub access_cache: AccessCache,
+    /// Connected clients (maintained by the server loop).
+    pub clients: Vec<ClientInfo>,
+    /// Set by a `Trigger_DCM` request; drained by whoever runs DCM cycles.
+    pub dcm_trigger: bool,
+    next_client_no: u64,
+}
+
+impl MoiraState {
+    /// Creates a fully seeded server state on the given clock.
+    pub fn new(clock: VClock) -> MoiraState {
+        let mut db = Database::new(clock);
+        schema::create_all_tables(&mut db);
+        let mut state = MoiraState {
+            db,
+            journal: Journal::new(),
+            locks: LockManager::new(),
+            access_cache: AccessCache::new(),
+            clients: Vec::new(),
+            dcm_trigger: false,
+            next_client_no: 0,
+        };
+        seed::seed(&mut state);
+        state
+    }
+
+    /// Current time from the database clock.
+    pub fn now(&self) -> i64 {
+        self.db.now()
+    }
+
+    /// Allocates the next client number for `_list_users`.
+    pub fn next_client_number(&mut self) -> u64 {
+        self.next_client_no += 1;
+        self.next_client_no
+    }
+
+    /// Reads an integer from the `values` relation (§6 VALUES).
+    pub fn get_value(&self, name: &str) -> Option<i64> {
+        let t = self.db.table("values");
+        t.select_one(&moira_db::Pred::Eq("name", name.into()))
+            .map(|id| t.cell(id, "value").as_int())
+    }
+
+    /// Writes an integer into the `values` relation, creating it if absent.
+    pub fn set_value(&mut self, name: &str, value: i64) {
+        let existing = self
+            .db
+            .table("values")
+            .select_one(&moira_db::Pred::Eq("name", name.into()));
+        match existing {
+            Some(id) => self
+                .db
+                .update("values", id, &[("value", value.into())])
+                .expect("values update"),
+            None => {
+                self.db
+                    .append("values", vec![name.into(), value.into()])
+                    .expect("values append");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_is_seeded() {
+        let s = MoiraState::new(VClock::new());
+        assert!(s.get_value("dcm_enable").is_some());
+        assert!(s.db.table("alias").len() > 10);
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let mut s = MoiraState::new(VClock::new());
+        assert_eq!(s.get_value("bogus"), None);
+        s.set_value("bogus", 7);
+        assert_eq!(s.get_value("bogus"), Some(7));
+        s.set_value("bogus", 8);
+        assert_eq!(s.get_value("bogus"), Some(8));
+    }
+
+    #[test]
+    fn caller_identities() {
+        assert_eq!(Caller::anonymous("x").who(), "???");
+        assert_eq!(Caller::new("babette", "chsh").who(), "babette");
+        assert!(Caller::root("dcm").is_privileged());
+        assert!(!Caller::new("babette", "chsh").is_privileged());
+    }
+
+    #[test]
+    fn client_numbers_increment() {
+        let mut s = MoiraState::new(VClock::new());
+        assert_eq!(s.next_client_number(), 1);
+        assert_eq!(s.next_client_number(), 2);
+    }
+}

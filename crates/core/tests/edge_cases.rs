@@ -1,0 +1,333 @@
+//! Targeted edge-case tests for query-catalog paths not covered by the
+//! per-module unit tests.
+
+use moira_common::errors::{MrError, MrResult};
+use moira_core::queries::testutil::{add_test_machine, state_with_admin};
+use moira_core::registry::Registry;
+use moira_core::state::{Caller, MoiraState};
+
+fn run(
+    s: &mut MoiraState,
+    r: &Registry,
+    who: &Caller,
+    q: &str,
+    args: &[&str],
+) -> MrResult<Vec<Vec<String>>> {
+    let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+    r.execute(s, who, q, &args)
+}
+
+fn setup() -> (MoiraState, Registry, Caller) {
+    let (s, _) = state_with_admin("ops");
+    (s, Registry::standard(), Caller::new("ops", "edge"))
+}
+
+#[test]
+fn update_filesys_moves_between_machines() {
+    let (mut s, r, ops) = setup();
+    add_test_machine(&mut s, "OLDHOST");
+    add_test_machine(&mut s, "NEWHOST");
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_user",
+        &["own", "7000", "/bin/csh", "L", "F", "", "1", "x", "G"],
+    )
+    .unwrap();
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_list",
+        &["og", "1", "0", "0", "0", "1", "-1", "NONE", "NONE", ""],
+    )
+    .unwrap();
+    for host in ["OLDHOST", "NEWHOST"] {
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_nfsphys",
+            &[host, "/u1/lockers", "ra0c", "1", "0", "9999"],
+        )
+        .unwrap();
+    }
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_filesys",
+        &[
+            "proj",
+            "NFS",
+            "OLDHOST",
+            "/u1/lockers/proj",
+            "/mit/proj",
+            "w",
+            "",
+            "own",
+            "og",
+            "1",
+            "PROJECT",
+        ],
+    )
+    .unwrap();
+    // Rename + move to the new host; type stays NFS so the pack is
+    // re-validated against the new host's exports.
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "update_filesys",
+        &[
+            "proj",
+            "proj2",
+            "NFS",
+            "NEWHOST",
+            "/u1/lockers/proj2",
+            "/mit/proj2",
+            "r",
+            "moved",
+            "own",
+            "og",
+            "0",
+            "PROJECT",
+        ],
+    )
+    .unwrap();
+    let fs = run(&mut s, &r, &ops, "get_filesys_by_label", &["proj2"]).unwrap();
+    assert_eq!(fs[0][2], "NEWHOST");
+    assert_eq!(fs[0][5], "r");
+    assert_eq!(fs[0][9], "0");
+    // The old label is gone; the old machine serves nothing.
+    assert_eq!(
+        run(&mut s, &r, &ops, "get_filesys_by_label", &["proj"]).unwrap_err(),
+        MrError::NoMatch
+    );
+    assert_eq!(
+        run(&mut s, &r, &ops, "get_filesys_by_machine", &["OLDHOST"]).unwrap_err(),
+        MrError::NoMatch
+    );
+    // Moving to an unexported pack fails.
+    assert_eq!(
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "update_filesys",
+            &[
+                "proj2",
+                "proj2",
+                "NFS",
+                "NEWHOST",
+                "/u9/void/x",
+                "/mit/x",
+                "w",
+                "",
+                "own",
+                "og",
+                "0",
+                "PROJECT",
+            ]
+        )
+        .unwrap_err(),
+        MrError::Nfs
+    );
+}
+
+#[test]
+fn update_nfsphys_and_wildcard_rejection() {
+    let (mut s, r, ops) = setup();
+    add_test_machine(&mut s, "SRV");
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_nfsphys",
+        &["SRV", "/u1/a", "ra0c", "1", "0", "100"],
+    )
+    .unwrap();
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "update_nfsphys",
+        &["SRV", "/u1/a", "ra1c", "3", "10", "500"],
+    )
+    .unwrap();
+    let p = run(&mut s, &r, &ops, "get_nfsphys", &["SRV", "/u1/a"]).unwrap();
+    assert_eq!(p[0][2], "ra1c");
+    assert_eq!(p[0][3], "3");
+    assert_eq!(p[0][5], "500");
+    // Unknown partition.
+    assert_eq!(
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "update_nfsphys",
+            &["SRV", "/nope", "d", "1", "0", "9"]
+        )
+        .unwrap_err(),
+        MrError::Nfsphys
+    );
+    // Wildcards rejected in machine names that must match exactly one.
+    run(&mut s, &r, &ops, "add_machine", &["SRV2", "VAX"]).unwrap();
+    assert_eq!(
+        run(&mut s, &r, &ops, "get_nfsphys", &["SRV*", "*"]).unwrap_err(),
+        MrError::NotUnique
+    );
+}
+
+#[test]
+fn delete_user_by_uid_flow() {
+    let (mut s, r, ops) = setup();
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_user",
+        &["gone", "7777", "/bin/csh", "L", "F", "", "0", "x", "G"],
+    )
+    .unwrap();
+    run(&mut s, &r, &ops, "delete_user_by_uid", &["7777"]).unwrap();
+    assert_eq!(
+        run(&mut s, &r, &ops, "get_user_by_login", &["gone"]).unwrap_err(),
+        MrError::NoMatch
+    );
+    assert_eq!(
+        run(&mut s, &r, &ops, "delete_user_by_uid", &["7777"]).unwrap_err(),
+        MrError::User
+    );
+    assert_eq!(
+        run(&mut s, &r, &ops, "delete_user_by_uid", &["seven"]).unwrap_err(),
+        MrError::Integer
+    );
+}
+
+#[test]
+fn pobox_smtp_then_restore_pop() {
+    let (mut s, r, ops) = setup();
+    add_test_machine(&mut s, "PO-1");
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_user",
+        &["mv", "7100", "/bin/csh", "L", "F", "", "1", "x", "G"],
+    )
+    .unwrap();
+    run(&mut s, &r, &ops, "set_pobox", &["mv", "POP", "PO-1"]).unwrap();
+    // Switch to SMTP, then set_pobox_pop restores the remembered machine.
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "set_pobox",
+        &["mv", "SMTP", "mv@elsewhere.edu"],
+    )
+    .unwrap();
+    let p = run(&mut s, &r, &ops, "get_pobox", &["mv"]).unwrap();
+    assert_eq!(p[0][1], "SMTP");
+    run(&mut s, &r, &ops, "set_pobox_pop", &["mv"]).unwrap();
+    let p = run(&mut s, &r, &ops, "get_pobox", &["mv"]).unwrap();
+    assert_eq!(p[0][1], "POP");
+    assert_eq!(p[0][2], "PO-1");
+    // Calling it again when already POP is a no-op success.
+    run(&mut s, &r, &ops, "set_pobox_pop", &["mv"]).unwrap();
+}
+
+#[test]
+fn shortname_execution_and_help() {
+    let (mut s, r, ops) = setup();
+    // Queries execute by four-character tag too.
+    run(&mut s, &r, &ops, "amac", &["TAGBOX", "VAX"]).unwrap();
+    let m = run(&mut s, &r, &ops, "gmac", &["TAGBOX"]).unwrap();
+    assert_eq!(m[0][1], "VAX");
+    // _help resolves tags as well.
+    let help = run(&mut s, &r, &ops, "_help", &["amac"]).unwrap();
+    assert!(help[0][0].contains("add_machine"));
+}
+
+#[test]
+fn expand_list_names_and_count_acl() {
+    let (mut s, r, ops) = setup();
+    for (name, hidden) in [("pub-a", "0"), ("pub-b", "0"), ("hid-a", "1")] {
+        run(
+            &mut s,
+            &r,
+            &ops,
+            "add_list",
+            &[name, "1", "0", hidden, "0", "0", "-1", "NONE", "NONE", ""],
+        )
+        .unwrap();
+    }
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_user",
+        &["pleb", "7200", "/bin/csh", "L", "F", "", "1", "x", "G"],
+    )
+    .unwrap();
+    let pleb = Caller::new("pleb", "edge");
+    // A plain user expanding "*" sees only unhidden lists.
+    let names = run(&mut s, &r, &pleb, "expand_list_names", &["*-a"]).unwrap();
+    assert_eq!(names, vec![vec!["pub-a".to_owned()]]);
+    // Admins see hidden ones too.
+    let names = run(&mut s, &r, &ops, "expand_list_names", &["*-a"]).unwrap();
+    assert_eq!(names.len(), 2);
+    // Hidden list counting denied to plain users.
+    assert_eq!(
+        run(&mut s, &r, &pleb, "count_members_of_list", &["hid-a"]).unwrap_err(),
+        MrError::Perm
+    );
+}
+
+#[test]
+fn machine_rename_cascades_to_serverhost_lookup() {
+    let (mut s, r, ops) = setup();
+    add_test_machine(&mut s, "WAS");
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_server_info",
+        &["SVC1", "60", "/t", "s", "UNIQUE", "1", "NONE", "NONE"],
+    )
+    .unwrap();
+    run(
+        &mut s,
+        &r,
+        &ops,
+        "add_server_host_info",
+        &["SVC1", "WAS", "1", "0", "0", ""],
+    )
+    .unwrap();
+    // Rename the machine: the serverhost row references mach_id, so the
+    // rename is visible through get_server_locations immediately.
+    run(&mut s, &r, &ops, "update_machine", &["WAS", "IS", "VAX"]).unwrap();
+    let locs = run(&mut s, &r, &ops, "get_server_locations", &["SVC1"]).unwrap();
+    assert_eq!(locs[0][1], "IS");
+    // And the machine cannot be deleted while the serverhost exists.
+    assert_eq!(
+        run(&mut s, &r, &ops, "delete_machine", &["IS"]).unwrap_err(),
+        MrError::InUse
+    );
+}
+
+#[test]
+fn anonymous_catalog_introspection() {
+    let (mut s, r, _) = setup();
+    let anon = Caller::anonymous("probe");
+    let queries = run(&mut s, &r, &anon, "_list_queries", &[]).unwrap();
+    assert!(queries.len() > 100);
+    let stats = run(&mut s, &r, &anon, "get_all_table_stats", &[]).unwrap();
+    assert_eq!(stats.len(), 20);
+    // But the roster is not open.
+    assert_eq!(
+        run(&mut s, &r, &anon, "get_all_logins", &[]).unwrap_err(),
+        MrError::Perm
+    );
+}

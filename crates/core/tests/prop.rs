@@ -1,0 +1,278 @@
+//! Property-based fuzzing of the query layer: random sequences of
+//! predefined queries must never panic, and a set of global database
+//! invariants must hold afterwards no matter what succeeded or failed.
+
+use moira_core::queries::testutil::state_with_admin;
+use moira_core::registry::Registry;
+use moira_core::state::{Caller, MoiraState};
+use moira_db::Pred;
+use proptest::prelude::*;
+
+/// The global invariants Moira's referential rules are supposed to
+/// maintain.
+fn check_invariants(state: &MoiraState) {
+    let db = &state.db;
+
+    // 1. Every members row references an existing list.
+    for (row, _) in db.table("members").iter() {
+        let list_id = db.cell("members", row, "list_id").as_int();
+        assert!(
+            db.table("list")
+                .select_one(&Pred::Eq("list_id", list_id.into()))
+                .is_some(),
+            "dangling members.list_id {list_id}"
+        );
+        // USER members reference existing users.
+        if db.cell("members", row, "member_type").as_str() == "USER" {
+            let uid = db.cell("members", row, "member_id").as_int();
+            assert!(
+                db.table("users")
+                    .select_one(&Pred::Eq("users_id", uid.into()))
+                    .is_some(),
+                "dangling USER member {uid}"
+            );
+        }
+    }
+
+    // 2. Per-partition allocation equals the sum of its quotas plus any
+    //    manual adjustments — here no manual adjustments are generated, so
+    //    equality must hold exactly.
+    for (prow, _) in db.table("nfsphys").iter() {
+        let phys_id = db.cell("nfsphys", prow, "nfsphys_id").as_int();
+        let allocated = db.cell("nfsphys", prow, "allocated").as_int();
+        let sum: i64 = db
+            .select("nfsquota", &Pred::Eq("phys_id", phys_id.into()))
+            .into_iter()
+            .map(|q| db.cell("nfsquota", q, "quota").as_int())
+            .sum();
+        assert_eq!(allocated, sum, "allocation drift on partition {phys_id}");
+    }
+
+    // 3. Every quota references an existing filesystem and user.
+    for (qrow, _) in db.table("nfsquota").iter() {
+        let fid = db.cell("nfsquota", qrow, "filsys_id").as_int();
+        let uid = db.cell("nfsquota", qrow, "users_id").as_int();
+        assert!(
+            db.table("filesys")
+                .select_one(&Pred::Eq("filsys_id", fid.into()))
+                .is_some(),
+            "dangling quota filesys {fid}"
+        );
+        assert!(
+            db.table("users")
+                .select_one(&Pred::Eq("users_id", uid.into()))
+                .is_some(),
+            "dangling quota user {uid}"
+        );
+    }
+
+    // 4. POP poboxes point at existing machines.
+    for (urow, _) in db.table("users").iter() {
+        if db.cell("users", urow, "potype").as_str() == "POP" {
+            let mid = db.cell("users", urow, "pop_id").as_int();
+            assert!(
+                db.table("machine")
+                    .select_one(&Pred::Eq("mach_id", mid.into()))
+                    .is_some(),
+                "pobox on unknown machine {mid}"
+            );
+        }
+    }
+
+    // 5. Serverhosts reference existing services and machines.
+    for (srow, _) in db.table("serverhosts").iter() {
+        let svc = db.cell("serverhosts", srow, "service").render();
+        let mid = db.cell("serverhosts", srow, "mach_id").as_int();
+        assert!(
+            db.table("servers")
+                .select_one(&Pred::Eq("name", svc.clone().into()))
+                .is_some(),
+            "dangling serverhost service {svc}"
+        );
+        assert!(
+            db.table("machine")
+                .select_one(&Pred::Eq("mach_id", mid.into()))
+                .is_some(),
+            "serverhost on unknown machine {mid}"
+        );
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FuzzOp {
+    query: &'static str,
+    args: Vec<String>,
+}
+
+/// Small pools keep collisions (the interesting cases) frequent.
+fn name(i: u8) -> String {
+    format!("n{}", i % 6)
+}
+
+fn op_strategy() -> impl Strategy<Value = FuzzOp> {
+    let u = any::<u8>();
+    prop_oneof![
+        (u, any::<u8>()).prop_map(|(a, b)| FuzzOp {
+            query: "add_user",
+            args: vec![
+                name(a),
+                (7000 + b as i64).to_string(),
+                "/bin/csh".into(),
+                "Last".into(),
+                "First".into(),
+                "".into(),
+                (b % 3).to_string(),
+                format!("id{a}"),
+                "1990".into(),
+            ],
+        }),
+        u.prop_map(|a| FuzzOp {
+            query: "delete_user",
+            args: vec![name(a)]
+        }),
+        (u, any::<u8>()).prop_map(|(a, b)| FuzzOp {
+            query: "update_user_status",
+            args: vec![name(a), (b % 3).to_string()],
+        }),
+        u.prop_map(|a| FuzzOp {
+            query: "add_machine",
+            args: vec![name(a), "VAX".into()]
+        }),
+        u.prop_map(|a| FuzzOp {
+            query: "delete_machine",
+            args: vec![name(a)]
+        }),
+        (u, u).prop_map(|(a, m)| FuzzOp {
+            query: "set_pobox",
+            args: vec![name(a), "POP".into(), name(m)],
+        }),
+        u.prop_map(|a| FuzzOp {
+            query: "delete_pobox",
+            args: vec![name(a)]
+        }),
+        u.prop_map(|a| FuzzOp {
+            query: "add_list",
+            args: vec![
+                format!("l{}", a % 4),
+                "1".into(),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                "1".into(),
+                "-1".into(),
+                "NONE".into(),
+                "NONE".into(),
+                "".into(),
+            ],
+        }),
+        u.prop_map(|a| FuzzOp {
+            query: "delete_list",
+            args: vec![format!("l{}", a % 4)]
+        }),
+        (u, u).prop_map(|(l, a)| FuzzOp {
+            query: "add_member_to_list",
+            args: vec![format!("l{}", l % 4), "USER".into(), name(a)],
+        }),
+        (u, u).prop_map(|(l, a)| FuzzOp {
+            query: "delete_member_from_list",
+            args: vec![format!("l{}", l % 4), "USER".into(), name(a)],
+        }),
+        (u, u).prop_map(|(m, _)| FuzzOp {
+            query: "add_nfsphys",
+            args: vec![
+                name(m),
+                "/u1/lockers".into(),
+                "ra0c".into(),
+                "1".into(),
+                "0".into(),
+                "100000".into(),
+            ],
+        }),
+        (u, u).prop_map(|(f, m)| FuzzOp {
+            query: "add_filesys",
+            args: vec![
+                format!("fs{}", f % 4),
+                "NFS".into(),
+                name(m),
+                format!("/u1/lockers/fs{}", f % 4),
+                format!("/mit/fs{}", f % 4),
+                "w".into(),
+                "".into(),
+                name(f),
+                format!("l{}", f % 4),
+                "1".into(),
+                "HOMEDIR".into(),
+            ],
+        }),
+        u.prop_map(|f| FuzzOp {
+            query: "delete_filesys",
+            args: vec![format!("fs{}", f % 4)]
+        }),
+        (u, u, 1u8..4).prop_map(|(f, a, q)| FuzzOp {
+            query: "add_nfs_quota",
+            args: vec![
+                format!("fs{}", f % 4),
+                name(a),
+                (q as i64 * 100).to_string()
+            ],
+        }),
+        (u, u, 1u8..4).prop_map(|(f, a, q)| FuzzOp {
+            query: "update_nfs_quota",
+            args: vec![format!("fs{}", f % 4), name(a), (q as i64 * 50).to_string()],
+        }),
+        (u, u).prop_map(|(f, a)| FuzzOp {
+            query: "delete_nfs_quota",
+            args: vec![format!("fs{}", f % 4), name(a)],
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// No sequence of (valid or invalid) queries panics the server or
+    /// breaks the referential invariants.
+    #[test]
+    fn random_query_sequences_preserve_invariants(
+        ops in prop::collection::vec(op_strategy(), 0..80)
+    ) {
+        let (mut state, _) = state_with_admin("ops");
+        let registry = Registry::standard();
+        let root = Caller::root("fuzz");
+        for op in ops {
+            // Failures are expected constantly (collisions, missing
+            // objects, in-use refusals); panics and invariant breaks are
+            // not.
+            let _ = registry.execute(&mut state, &root, op.query, &op.args);
+        }
+        check_invariants(&state);
+        // The journal replays cleanly onto a fresh state and produces the
+        // same relation contents.
+        let (mut replayed, _) = state_with_admin("ops");
+        for entry in state.journal.entries() {
+            let caller = Caller::new(&entry.who, &entry.with);
+            let result = registry.execute(&mut replayed, &caller, &entry.query, &entry.args);
+            prop_assert!(result.is_ok(), "journaled {} must replay: {:?}", entry.query, result);
+        }
+        for table in ["users", "machine", "list", "members", "filesys", "nfsquota", "nfsphys"] {
+            let a: Vec<_> = state.db.table(table).iter().map(|(_, r)| r.to_vec()).collect();
+            let b: Vec<_> = replayed.db.table(table).iter().map(|(_, r)| r.to_vec()).collect();
+            prop_assert_eq!(a.len(), b.len(), "{} diverged after replay", table);
+        }
+    }
+
+    /// Random garbage arguments never panic the dispatcher.
+    #[test]
+    fn arbitrary_arguments_never_panic(
+        query_pick in any::<u16>(),
+        args in prop::collection::vec(".{0,24}", 0..12),
+    ) {
+        let (mut state, _) = state_with_admin("ops");
+        let registry = Registry::standard();
+        let handles = registry.handles();
+        let handle = &handles[query_pick as usize % handles.len()];
+        let root = Caller::root("fuzz");
+        let _ = registry.execute(&mut state, &root, handle.name, &args);
+        let _ = registry.check_access(&mut state, &Caller::anonymous("x"), handle.name, &args);
+    }
+}

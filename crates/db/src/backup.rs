@@ -1,0 +1,298 @@
+//! `mrbackup` / `mrrestore` — the ASCII dump format of §5.2.2.
+//!
+//! Each relation is copied to an ASCII file, one line per row, fields
+//! separated by colons. Colons and backslashes inside fields become `\:` and
+//! `\\`; non-printing characters become `\nnn` with `nnn` the octal ASCII
+//! code. The paper chose this over INGRES's own checkpointing because "the
+//! only known cure \[for binary corruption\] is to dump the entire database
+//! to text files, and recreate it from scratch from the text files".
+//!
+//! `nightly` reproduces the `nightly.sh` rotation that keeps the last three
+//! backups on line.
+
+use std::collections::BTreeMap;
+
+use moira_common::errors::{MrError, MrResult};
+
+use crate::database::Database;
+use crate::value::{ColType, Value};
+
+/// Escapes one field: `\:`, `\\`, and `\nnn` octal for non-printing bytes.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b':' => out.push_str("\\:"),
+            b'\\' => out.push_str("\\\\"),
+            0x20..=0x7e => out.push(b as char),
+            _ => out.push_str(&format!("\\{b:03o}")),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`].
+pub fn unescape_field(s: &str) -> MrResult<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' {
+            if i + 1 >= bytes.len() {
+                return Err(MrError::Internal);
+            }
+            match bytes[i + 1] {
+                b':' => {
+                    out.push(b':');
+                    i += 2;
+                }
+                b'\\' => {
+                    out.push(b'\\');
+                    i += 2;
+                }
+                d if d.is_ascii_digit() => {
+                    if i + 3 >= bytes.len() {
+                        return Err(MrError::Internal);
+                    }
+                    let oct = &s[i + 1..i + 4];
+                    let val = u8::from_str_radix(oct, 8).map_err(|_| MrError::Internal)?;
+                    out.push(val);
+                    i += 4;
+                }
+                _ => return Err(MrError::Internal),
+            }
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| MrError::Internal)
+}
+
+/// Dumps one table to its ASCII representation.
+pub fn dump_table(db: &Database, table: &str) -> String {
+    let t = db.table(table);
+    let mut out = String::new();
+    for (_, row) in t.iter() {
+        let line: Vec<String> = row.iter().map(|v| escape_field(&v.render())).collect();
+        out.push_str(&line.join(":"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Dumps every table; returns `relation name -> ASCII contents`.
+pub fn mrbackup(db: &Database) -> BTreeMap<String, String> {
+    db.table_names()
+        .into_iter()
+        .map(|name| (name.to_owned(), dump_table(db, name)))
+        .collect()
+}
+
+/// Total size in bytes of a backup (the paper reports ~3.2 MB for the full
+/// production database).
+pub fn backup_size(backup: &BTreeMap<String, String>) -> usize {
+    backup.values().map(|v| v.len()).sum()
+}
+
+/// Restores one table's rows from its ASCII dump into an *empty* table of
+/// the same schema (the `mrrestore` precondition: "Have you initialized an
+/// empty database?").
+pub fn restore_table(db: &mut Database, table: &str, dump: &str) -> MrResult<usize> {
+    if !db.table(table).is_empty() {
+        return Err(MrError::Exists);
+    }
+    let types: Vec<ColType> = db
+        .table(table)
+        .schema()
+        .columns
+        .iter()
+        .map(|c| c.ty)
+        .collect();
+    let mut count = 0;
+    for line in dump.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let raw_fields = split_unescaped_colons(line);
+        if raw_fields.len() != types.len() {
+            return Err(MrError::Internal);
+        }
+        let mut row = Vec::with_capacity(types.len());
+        for (raw, &ty) in raw_fields.iter().zip(&types) {
+            let text = unescape_field(raw)?;
+            row.push(Value::parse(ty, &text).ok_or(MrError::Internal)?);
+        }
+        db.append(table, row)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Restores a full backup into an empty database with the schema already
+/// created.
+pub fn mrrestore(db: &mut Database, backup: &BTreeMap<String, String>) -> MrResult<usize> {
+    let mut total = 0;
+    for (table, dump) in backup {
+        if !db.has_table(table) {
+            return Err(MrError::Internal);
+        }
+        total += restore_table(db, table, dump)?;
+    }
+    Ok(total)
+}
+
+fn split_unescaped_colons(line: &str) -> Vec<&str> {
+    let bytes = line.as_bytes();
+    let mut fields = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b':' => {
+                fields.push(&line[start..i]);
+                start = i + 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    fields.push(&line[start..]);
+    fields
+}
+
+/// A three-generation rotation of on-line backups, as `nightly.sh` kept.
+#[derive(Debug, Default)]
+pub struct NightlyRotation {
+    generations: Vec<BTreeMap<String, String>>,
+}
+
+impl NightlyRotation {
+    /// Creates an empty rotation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a backup of `db` and rotates it in, discarding the oldest when
+    /// more than three are held.
+    pub fn run_nightly(&mut self, db: &Database) {
+        self.generations.insert(0, mrbackup(db));
+        self.generations.truncate(3);
+    }
+
+    /// Backup generations, newest first.
+    pub fn generations(&self) -> &[BTreeMap<String, String>] {
+        &self.generations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+    use moira_common::clock::VClock;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new(VClock::new());
+        db.create_table(TableSchema::new(
+            "users",
+            vec![
+                ColumnDef::str("login").unique(),
+                ColumnDef::int("uid"),
+                ColumnDef::boolean("active"),
+                ColumnDef::str("fullname"),
+            ],
+        ));
+        db
+    }
+
+    #[test]
+    fn escape_round_trip() {
+        let nasty = "a:b\\c\nd\te";
+        let escaped = escape_field(nasty);
+        assert!(!escaped.contains('\n'));
+        assert_eq!(escaped, "a\\:b\\\\c\\012d\\011e");
+        assert_eq!(unescape_field(&escaped).unwrap(), nasty);
+    }
+
+    #[test]
+    fn unescape_rejects_garbage() {
+        assert!(unescape_field("trailing\\").is_err());
+        assert!(unescape_field("bad\\x").is_err());
+        assert!(unescape_field("short\\01").is_err());
+    }
+
+    #[test]
+    fn dump_and_restore_round_trip() {
+        let mut db = sample_db();
+        db.append(
+            "users",
+            vec![
+                "babette".into(),
+                6530.into(),
+                true.into(),
+                "Harmon C Fowler".into(),
+            ],
+        )
+        .unwrap();
+        db.append(
+            "users",
+            vec![
+                "co:lon".into(),
+                6531.into(),
+                false.into(),
+                "Weird: Name\\".into(),
+            ],
+        )
+        .unwrap();
+        let backup = mrbackup(&db);
+        assert!(backup_size(&backup) > 0);
+
+        let mut fresh = sample_db();
+        let restored = mrrestore(&mut fresh, &backup).unwrap();
+        assert_eq!(restored, 2);
+        let t = fresh.table("users");
+        let rows: Vec<_> = t.iter().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().any(|r| r[0] == Value::Str("co:lon".into())
+            && r[3] == Value::Str("Weird: Name\\".into())
+            && r[2] == Value::Bool(false)));
+    }
+
+    #[test]
+    fn restore_requires_empty_table() {
+        let mut db = sample_db();
+        db.append("users", vec!["x".into(), 1.into(), true.into(), "X".into()])
+            .unwrap();
+        let backup = mrbackup(&db);
+        assert_eq!(mrrestore(&mut db, &backup), Err(MrError::Exists));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_arity() {
+        let mut db = sample_db();
+        assert_eq!(
+            restore_table(&mut db, "users", "only:two\n"),
+            Err(MrError::Internal)
+        );
+    }
+
+    #[test]
+    fn nightly_keeps_three() {
+        let mut db = sample_db();
+        let mut rot = NightlyRotation::new();
+        for i in 0..5 {
+            db.append(
+                "users",
+                vec![format!("u{i}").into(), i.into(), true.into(), "U".into()],
+            )
+            .unwrap();
+            rot.run_nightly(&db);
+        }
+        assert_eq!(rot.generations().len(), 3);
+        // Newest generation has all five users; oldest kept has three.
+        assert_eq!(rot.generations()[0]["users"].lines().count(), 5);
+        assert_eq!(rot.generations()[2]["users"].lines().count(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! The database: a collection of named tables sharing one virtual clock.
+
+use std::collections::BTreeMap;
+
+use moira_common::clock::VClock;
+use moira_common::errors::{MrError, MrResult};
+
+use crate::query::Pred;
+use crate::schema::TableSchema;
+use crate::table::{RowId, Table};
+use crate::value::Value;
+
+/// A named-table database with a shared virtual clock for modtimes.
+#[derive(Debug, Clone)]
+pub struct Database {
+    tables: BTreeMap<&'static str, Table>,
+    clock: VClock,
+}
+
+impl Database {
+    /// Creates an empty database on the given clock.
+    pub fn new(clock: VClock) -> Self {
+        Database {
+            tables: BTreeMap::new(),
+            clock,
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &VClock {
+        &self.clock
+    }
+
+    /// Current time in unix seconds (shorthand for `clock().now()`).
+    pub fn now(&self) -> i64 {
+        self.clock.now()
+    }
+
+    /// Creates a table; replaces any previous table of the same name.
+    pub fn create_table(&mut self, schema: TableSchema) {
+        self.tables.insert(schema.name, Table::new(schema));
+    }
+
+    /// Borrows a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown table names — the schema is fixed at startup, so an
+    /// unknown name is a programming error.
+    pub fn table(&self, name: &str) -> &Table {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("no table {name}"))
+    }
+
+    /// Mutably borrows a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown table names.
+    pub fn table_mut(&mut self, name: &str) -> &mut Table {
+        self.tables
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no table {name}"))
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&'static str> {
+        self.tables.keys().copied().collect()
+    }
+
+    /// True if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Appends a row, stamping the table's modtime with the current time.
+    pub fn append(&mut self, table: &str, row: Vec<Value>) -> MrResult<RowId> {
+        let now = self.now();
+        self.table_mut(table).append(row, now)
+    }
+
+    /// Updates columns of a row, stamping the modtime.
+    pub fn update(&mut self, table: &str, id: RowId, changes: &[(&str, Value)]) -> MrResult<()> {
+        let now = self.now();
+        self.table_mut(table).update(id, changes, now)
+    }
+
+    /// Deletes a row, stamping the modtime.
+    pub fn delete(&mut self, table: &str, id: RowId) -> MrResult<()> {
+        let now = self.now();
+        self.table_mut(table).delete(id, now)
+    }
+
+    /// Selects matching row ids.
+    pub fn select(&self, table: &str, pred: &Pred) -> Vec<RowId> {
+        self.table(table).select(pred)
+    }
+
+    /// Deletes every matching row, stamping the modtime; returns the count.
+    pub fn delete_where(&mut self, table: &str, pred: &Pred) -> usize {
+        let now = self.now();
+        self.table_mut(table).delete_where(pred, now)
+    }
+
+    /// Selects, requiring the result to identify *exactly one* row — the
+    /// pervasive "must match exactly one" rule of the query catalog.
+    ///
+    /// Returns `not_found` when nothing matches and `MR_NOT_UNIQUE` when
+    /// more than one row matches.
+    pub fn select_exactly_one(
+        &self,
+        table: &str,
+        pred: &Pred,
+        not_found: MrError,
+    ) -> MrResult<RowId> {
+        let ids = self.select(table, pred);
+        match ids.len() {
+            0 => Err(not_found),
+            1 => Ok(ids[0]),
+            _ => Err(MrError::NotUnique),
+        }
+    }
+
+    /// The value of `col` in row `id` of `table`.
+    pub fn cell(&self, table: &str, id: RowId, col: &str) -> Value {
+        self.table(table).cell(id, col).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn db() -> Database {
+        let mut db = Database::new(VClock::new());
+        db.create_table(TableSchema::new(
+            "machine",
+            vec![ColumnDef::str("name").unique(), ColumnDef::str("type")],
+        ));
+        db
+    }
+
+    #[test]
+    fn crud_through_database() {
+        let mut d = db();
+        let id = d
+            .append("machine", vec!["KIWI.MIT.EDU".into(), "VAX".into()])
+            .unwrap();
+        assert_eq!(d.cell("machine", id, "type"), Value::Str("VAX".into()));
+        d.update("machine", id, &[("type", "RT".into())]).unwrap();
+        assert_eq!(d.cell("machine", id, "type"), Value::Str("RT".into()));
+        d.delete("machine", id).unwrap();
+        assert!(d.select("machine", &Pred::True).is_empty());
+    }
+
+    #[test]
+    fn modtime_tracks_clock() {
+        let mut d = db();
+        d.clock().set(777);
+        d.append("machine", vec!["A".into(), "VAX".into()]).unwrap();
+        assert_eq!(d.table("machine").stats().modtime, 777);
+    }
+
+    #[test]
+    fn exactly_one_semantics() {
+        let mut d = db();
+        assert_eq!(
+            d.select_exactly_one("machine", &Pred::True, MrError::Machine),
+            Err(MrError::Machine)
+        );
+        let id = d.append("machine", vec!["A".into(), "VAX".into()]).unwrap();
+        assert_eq!(
+            d.select_exactly_one("machine", &Pred::True, MrError::Machine),
+            Ok(id)
+        );
+        d.append("machine", vec!["B".into(), "VAX".into()]).unwrap();
+        assert_eq!(
+            d.select_exactly_one("machine", &Pred::True, MrError::Machine),
+            Err(MrError::NotUnique)
+        );
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let mut d = db();
+        d.create_table(TableSchema::new("alias", vec![ColumnDef::str("name")]));
+        assert_eq!(d.table_names(), vec!["alias", "machine"]);
+        assert!(d.has_table("alias"));
+        assert!(!d.has_table("bogus"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no table")]
+    fn unknown_table_panics() {
+        db().table("users");
+    }
+}

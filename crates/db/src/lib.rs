@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! An embedded relational engine — the substrate standing in for RTI INGRES.
+//!
+//! The paper (§5.2) is explicit that "Moira does not depend on any special
+//! feature of INGRES … Moira can easily utilize other relational databases":
+//! every access goes through predefined query handles layered over plain
+//! retrieve/append/update/delete operations. This crate supplies exactly that
+//! operation set:
+//!
+//! - [`value`] / [`schema`] — typed columns and table schemas.
+//! - [`table`] — slab-stored rows, secondary indexes, predicate selection,
+//!   and per-table statistics (the TBLSTATS relation's raw material).
+//! - [`query`] — the predicate language (equality, wildcard `Like`,
+//!   conjunction/disjunction) used by the query-handle layer.
+//! - [`database`] — the named-table container with a shared virtual clock.
+//! - [`lock`] — the shared/exclusive named lock manager with deadlock
+//!   detection (`MR_DEADLOCK`), used by the DCM's service/host locking.
+//! - [`backup`] — `mrbackup`/`mrrestore`: the colon-separated ASCII dump
+//!   format with `\:`, `\\` and `\nnn` escapes, plus three-generation
+//!   rotation (§5.2.2).
+//! - [`journal`] — the append-only journal of successful changes that closes
+//!   the "no more than a day's transactions" recovery gap (§5.2.2).
+
+pub mod backup;
+pub mod database;
+pub mod journal;
+pub mod lock;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use database::Database;
+pub use query::Pred;
+pub use schema::{ColumnDef, TableSchema};
+pub use table::{RowId, Table};
+pub use value::{ColType, Value};

@@ -1,0 +1,194 @@
+//! The predicate language of the engine.
+//!
+//! Query handles (§7) translate their arguments into these predicates. The
+//! language is intentionally small — equality, case-insensitive equality,
+//! wildcard matching (for all the "may contain wildcards" queries), integer
+//! comparison, and boolean combination — because the paper's design rule is
+//! to "maximize local processing in applications": the server never
+//! evaluates complex requests.
+
+use crate::value::Value;
+use moira_common::wildcard;
+
+/// A row predicate over named columns.
+#[derive(Debug, Clone)]
+pub enum Pred {
+    /// Matches every row.
+    True,
+    /// Column equals value exactly.
+    Eq(&'static str, Value),
+    /// String column equals, ASCII case-insensitively.
+    EqCi(&'static str, String),
+    /// String column matches a `*`/`?` wildcard pattern.
+    Like(&'static str, String),
+    /// String column matches a wildcard pattern case-insensitively.
+    LikeCi(&'static str, String),
+    /// Integer column compares `< / <= / > / >=` against a bound.
+    Cmp(&'static str, CmpOp, i64),
+    /// All sub-predicates hold.
+    And(Vec<Pred>),
+    /// Any sub-predicate holds.
+    Or(Vec<Pred>),
+    /// Sub-predicate does not hold.
+    Not(Box<Pred>),
+}
+
+/// Comparison operators for [`Pred::Cmp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Pred {
+    /// Convenience: conjunction of two predicates.
+    pub fn and(self, other: Pred) -> Pred {
+        match self {
+            Pred::And(mut v) => {
+                v.push(other);
+                Pred::And(v)
+            }
+            p => Pred::And(vec![p, other]),
+        }
+    }
+
+    /// Builds an `Eq` or `Like` predicate depending on whether the argument
+    /// contains wildcards — the standard treatment of "may contain
+    /// wildcards" query arguments.
+    pub fn name_match(col: &'static str, arg: &str) -> Pred {
+        if wildcard::has_wildcards(arg) {
+            Pred::Like(col, arg.to_owned())
+        } else {
+            Pred::Eq(col, Value::Str(arg.to_owned()))
+        }
+    }
+
+    /// Case-insensitive variant of [`Pred::name_match`] (machines,
+    /// services).
+    pub fn name_match_ci(col: &'static str, arg: &str) -> Pred {
+        if wildcard::has_wildcards(arg) {
+            Pred::LikeCi(col, arg.to_owned())
+        } else {
+            Pred::EqCi(col, arg.to_owned())
+        }
+    }
+
+    /// Evaluates the predicate against a row, resolving column names through
+    /// `col_of`.
+    pub fn eval(&self, row: &[Value], col_of: &dyn Fn(&str) -> usize) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::Eq(col, v) => &row[col_of(col)] == v,
+            Pred::EqCi(col, s) => match &row[col_of(col)] {
+                Value::Str(t) => t.eq_ignore_ascii_case(s),
+                _ => false,
+            },
+            Pred::Like(col, pat) => match &row[col_of(col)] {
+                Value::Str(t) => wildcard::matches(pat, t),
+                _ => false,
+            },
+            Pred::LikeCi(col, pat) => match &row[col_of(col)] {
+                Value::Str(t) => wildcard::matches_ci(pat, t),
+                _ => false,
+            },
+            Pred::Cmp(col, op, bound) => match &row[col_of(col)] {
+                Value::Int(i) => match op {
+                    CmpOp::Lt => i < bound,
+                    CmpOp::Le => i <= bound,
+                    CmpOp::Gt => i > bound,
+                    CmpOp::Ge => i >= bound,
+                },
+                _ => false,
+            },
+            Pred::And(ps) => ps.iter().all(|p| p.eval(row, col_of)),
+            Pred::Or(ps) => ps.iter().any(|p| p.eval(row, col_of)),
+            Pred::Not(p) => !p.eval(row, col_of),
+        }
+    }
+
+    /// If the predicate pins an indexed column to an exact value, returns
+    /// `(column, value)` so the table can use its index instead of scanning.
+    pub fn index_hint(&self) -> Option<(&'static str, &Value)> {
+        match self {
+            Pred::Eq(col, v) => Some((col, v)),
+            Pred::And(ps) => ps.iter().find_map(|p| p.index_hint()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Str("babette".into()),
+            Value::Int(6530),
+            Value::Bool(true),
+        ]
+    }
+
+    fn cols(name: &str) -> usize {
+        match name {
+            "login" => 0,
+            "uid" => 1,
+            "active" => 2,
+            _ => panic!("bad col {name}"),
+        }
+    }
+
+    #[test]
+    fn eq_and_like() {
+        assert!(Pred::Eq("login", "babette".into()).eval(&row(), &cols));
+        assert!(Pred::Like("login", "bab*".into()).eval(&row(), &cols));
+        assert!(!Pred::Like("login", "z*".into()).eval(&row(), &cols));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(Pred::EqCi("login", "BABETTE".into()).eval(&row(), &cols));
+        assert!(Pred::LikeCi("login", "BAB*".into()).eval(&row(), &cols));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Pred::Cmp("uid", CmpOp::Gt, 6000).eval(&row(), &cols));
+        assert!(!Pred::Cmp("uid", CmpOp::Lt, 6000).eval(&row(), &cols));
+        assert!(Pred::Cmp("uid", CmpOp::Ge, 6530).eval(&row(), &cols));
+        assert!(Pred::Cmp("uid", CmpOp::Le, 6530).eval(&row(), &cols));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let p = Pred::Eq("active", true.into()).and(Pred::Like("login", "b*".into()));
+        assert!(p.eval(&row(), &cols));
+        let q = Pred::Or(vec![
+            Pred::Eq("uid", 1.into()),
+            Pred::Eq("uid", 6530.into()),
+        ]);
+        assert!(q.eval(&row(), &cols));
+        assert!(!Pred::Not(Box::new(Pred::True)).eval(&row(), &cols));
+    }
+
+    #[test]
+    fn name_match_chooses_representation() {
+        assert!(matches!(Pred::name_match("login", "bab*"), Pred::Like(..)));
+        assert!(matches!(Pred::name_match("login", "babette"), Pred::Eq(..)));
+    }
+
+    #[test]
+    fn index_hint_found_through_and() {
+        let p = Pred::And(vec![
+            Pred::Like("login", "b*".into()),
+            Pred::Eq("uid", 6530.into()),
+        ]);
+        let (col, v) = p.index_hint().unwrap();
+        assert_eq!(col, "uid");
+        assert_eq!(v, &Value::Int(6530));
+        assert!(Pred::True.index_hint().is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Table schemas: column definitions with types, length limits, uniqueness
+//! and index declarations.
+
+use crate::value::ColType;
+
+/// Definition of one column.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: &'static str,
+    /// Storage class.
+    pub ty: ColType,
+    /// Maximum rendered length for string columns (0 = unlimited). Exceeding
+    /// it yields `MR_ARG_TOO_LONG` at the query layer.
+    pub max_len: usize,
+    /// If true, the engine rejects duplicate values in this column
+    /// (`MR_EXISTS`).
+    pub unique: bool,
+    /// If true, the table maintains a secondary index on this column.
+    pub indexed: bool,
+}
+
+impl ColumnDef {
+    /// A plain column of the given type.
+    pub fn new(name: &'static str, ty: ColType) -> Self {
+        ColumnDef {
+            name,
+            ty,
+            max_len: 0,
+            unique: false,
+            indexed: false,
+        }
+    }
+
+    /// Shorthand for an integer column.
+    pub fn int(name: &'static str) -> Self {
+        Self::new(name, ColType::Int)
+    }
+
+    /// Shorthand for a string column.
+    pub fn str(name: &'static str) -> Self {
+        Self::new(name, ColType::Str)
+    }
+
+    /// Shorthand for a boolean column.
+    pub fn boolean(name: &'static str) -> Self {
+        Self::new(name, ColType::Bool)
+    }
+
+    /// Sets the maximum string length.
+    pub fn max_len(mut self, n: usize) -> Self {
+        self.max_len = n;
+        self
+    }
+
+    /// Marks the column unique (implies indexed).
+    pub fn unique(mut self) -> Self {
+        self.unique = true;
+        self.indexed = true;
+        self
+    }
+
+    /// Marks the column indexed.
+    pub fn indexed(mut self) -> Self {
+        self.indexed = true;
+        self
+    }
+}
+
+/// A named table schema.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Table (relation) name.
+    pub name: &'static str,
+    /// Columns in storage order.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    pub fn new(name: &'static str, columns: Vec<ColumnDef>) -> Self {
+        debug_assert!(
+            {
+                let mut names: Vec<_> = columns.iter().map(|c| c.name).collect();
+                names.sort_unstable();
+                names.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate column in table {name}"
+        );
+        TableSchema { name, columns }
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_lookup() {
+        let s = TableSchema::new(
+            "users",
+            vec![
+                ColumnDef::str("login").unique(),
+                ColumnDef::int("uid").indexed(),
+            ],
+        );
+        assert_eq!(s.col("login"), Some(0));
+        assert_eq!(s.col("uid"), Some(1));
+        assert_eq!(s.col("nope"), None);
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn unique_implies_indexed() {
+        let c = ColumnDef::str("login").unique();
+        assert!(c.unique && c.indexed);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        TableSchema::new("t", vec![ColumnDef::int("a"), ColumnDef::int("a")]);
+    }
+}

@@ -1,0 +1,422 @@
+//! Tables: slab-stored rows, secondary indexes, predicate selection, and the
+//! per-table statistics behind the TBLSTATS relation (§6).
+
+use std::collections::BTreeMap;
+
+use moira_common::errors::{MrError, MrResult};
+
+use crate::query::Pred;
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// Identifier of a row within one table (stable across updates, reused only
+/// after deletion).
+pub type RowId = usize;
+
+/// Mutation counters for one table — the raw material of TBLSTATS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Rows appended over the table's lifetime.
+    pub appends: u64,
+    /// In-place updates.
+    pub updates: u64,
+    /// Deletions.
+    pub deletes: u64,
+    /// Unix time of the last append/update/delete.
+    pub modtime: i64,
+}
+
+/// A table: schema, row slab, secondary indexes, statistics.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Option<Vec<Value>>>,
+    free: Vec<RowId>,
+    live: usize,
+    /// `column index -> value -> row ids`.
+    indexes: BTreeMap<usize, BTreeMap<Value, Vec<RowId>>>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Creates an empty table from a schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let indexes = schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.indexed)
+            .map(|(i, _)| (i, BTreeMap::new()))
+            .collect();
+        Table {
+            schema,
+            rows: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            indexes,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Mutation statistics.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Index of a column; panics on unknown names (schema bugs, not runtime
+    /// conditions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not exist in this table.
+    pub fn col(&self, name: &str) -> usize {
+        self.schema
+            .col(name)
+            .unwrap_or_else(|| panic!("no column {name} in table {}", self.schema.name))
+    }
+
+    fn check_row(&self, row: &[Value]) -> MrResult<()> {
+        if row.len() != self.schema.arity() {
+            return Err(MrError::Internal);
+        }
+        for (val, def) in row.iter().zip(&self.schema.columns) {
+            if val.col_type() != def.ty {
+                return Err(MrError::Internal);
+            }
+            if def.max_len > 0 {
+                if let Value::Str(s) = val {
+                    if s.len() > def.max_len {
+                        return Err(MrError::ArgTooLong);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_unique(&self, row: &[Value], exempt: Option<RowId>) -> MrResult<()> {
+        for (i, def) in self.schema.columns.iter().enumerate() {
+            if !def.unique {
+                continue;
+            }
+            if let Some(ids) = self.indexes.get(&i).and_then(|ix| ix.get(&row[i])) {
+                if ids.iter().any(|&id| Some(id) != exempt) {
+                    return Err(MrError::Exists);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_insert(&mut self, id: RowId, row: &[Value]) {
+        for (&col, index) in self.indexes.iter_mut() {
+            index.entry(row[col].clone()).or_default().push(id);
+        }
+    }
+
+    fn index_remove(&mut self, id: RowId, row: &[Value]) {
+        for (&col, index) in self.indexes.iter_mut() {
+            if let Some(ids) = index.get_mut(&row[col]) {
+                ids.retain(|&r| r != id);
+                if ids.is_empty() {
+                    index.remove(&row[col]);
+                }
+            }
+        }
+    }
+
+    /// Appends a row, returning its id.
+    ///
+    /// Fails with `MR_EXISTS` on unique-column conflicts, `MR_ARG_TOO_LONG`
+    /// on over-long strings, and `MR_INTERNAL` on arity or type mismatch.
+    pub fn append(&mut self, row: Vec<Value>, now: i64) -> MrResult<RowId> {
+        self.check_row(&row)?;
+        self.check_unique(&row, None)?;
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.rows[id] = Some(row);
+                id
+            }
+            None => {
+                self.rows.push(Some(row));
+                self.rows.len() - 1
+            }
+        };
+        let row_ref = self.rows[id].clone().expect("just inserted");
+        self.index_insert(id, &row_ref);
+        self.live += 1;
+        self.stats.appends += 1;
+        self.stats.modtime = now;
+        Ok(id)
+    }
+
+    /// Borrows a live row.
+    pub fn get(&self, id: RowId) -> Option<&[Value]> {
+        self.rows.get(id).and_then(|r| r.as_deref())
+    }
+
+    /// Returns the ids of rows matching a predicate, in id order.
+    ///
+    /// Uses a secondary index when the predicate pins an indexed column to
+    /// an exact value; otherwise scans.
+    pub fn select(&self, pred: &Pred) -> Vec<RowId> {
+        let col_of = |name: &str| self.col(name);
+        if let Some((col_name, value)) = pred.index_hint() {
+            if let Some(col) = self.schema.col(col_name) {
+                if let Some(index) = self.indexes.get(&col) {
+                    let mut ids: Vec<RowId> = index
+                        .get(value)
+                        .map(|ids| {
+                            ids.iter()
+                                .copied()
+                                .filter(|&id| {
+                                    self.get(id).is_some_and(|row| pred.eval(row, &col_of))
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    ids.sort_unstable();
+                    return ids;
+                }
+            }
+        }
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(id, row)| row.as_ref().filter(|r| pred.eval(r, &col_of)).map(|_| id))
+            .collect()
+    }
+
+    /// Returns the first matching row id, if any.
+    pub fn select_one(&self, pred: &Pred) -> Option<RowId> {
+        self.select(pred).into_iter().next()
+    }
+
+    /// Counts matching rows without materializing ids.
+    pub fn count(&self, pred: &Pred) -> usize {
+        self.select(pred).len()
+    }
+
+    /// Updates named columns of a row in place.
+    pub fn update(&mut self, id: RowId, changes: &[(&str, Value)], now: i64) -> MrResult<()> {
+        let old = self
+            .rows
+            .get(id)
+            .and_then(|r| r.clone())
+            .ok_or(MrError::NoMatch)?;
+        let mut new = old.clone();
+        for (name, value) in changes {
+            let col = self.schema.col(name).ok_or(MrError::Internal)?;
+            new[col] = value.clone();
+        }
+        self.check_row(&new)?;
+        self.check_unique(&new, Some(id))?;
+        self.index_remove(id, &old);
+        self.index_insert(id, &new);
+        self.rows[id] = Some(new);
+        self.stats.updates += 1;
+        self.stats.modtime = now;
+        Ok(())
+    }
+
+    /// Deletes a row.
+    pub fn delete(&mut self, id: RowId, now: i64) -> MrResult<()> {
+        let old = self
+            .rows
+            .get(id)
+            .and_then(|r| r.clone())
+            .ok_or(MrError::NoMatch)?;
+        self.index_remove(id, &old);
+        self.rows[id] = None;
+        self.free.push(id);
+        self.live -= 1;
+        self.stats.deletes += 1;
+        self.stats.modtime = now;
+        Ok(())
+    }
+
+    /// Deletes every row matching the predicate, returning how many went.
+    pub fn delete_where(&mut self, pred: &Pred, now: i64) -> usize {
+        let ids = self.select(pred);
+        let n = ids.len();
+        for id in ids {
+            let _ = self.delete(id, now);
+        }
+        n
+    }
+
+    /// Iterates `(id, row)` over live rows in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.as_deref().map(|row| (id, row)))
+    }
+
+    /// Convenience: the value of `col` in row `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is dead or the column unknown.
+    pub fn cell(&self, id: RowId, col: &str) -> &Value {
+        let c = self.col(col);
+        &self.get(id).expect("live row")[c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn users_table() -> Table {
+        Table::new(TableSchema::new(
+            "users",
+            vec![
+                ColumnDef::str("login").unique().max_len(8),
+                ColumnDef::int("uid").indexed(),
+                ColumnDef::boolean("active"),
+            ],
+        ))
+    }
+
+    fn row(login: &str, uid: i64, active: bool) -> Vec<Value> {
+        vec![login.into(), uid.into(), active.into()]
+    }
+
+    #[test]
+    fn append_and_get() {
+        let mut t = users_table();
+        let id = t.append(row("babette", 6530, true), 100).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id).unwrap()[0], Value::Str("babette".into()));
+        assert_eq!(t.stats().appends, 1);
+        assert_eq!(t.stats().modtime, 100);
+    }
+
+    #[test]
+    fn unique_violation() {
+        let mut t = users_table();
+        t.append(row("babette", 6530, true), 0).unwrap();
+        assert_eq!(
+            t.append(row("babette", 6531, true), 0),
+            Err(MrError::Exists)
+        );
+    }
+
+    #[test]
+    fn arg_too_long() {
+        let mut t = users_table();
+        assert_eq!(
+            t.append(row("waytoolongname", 1, true), 0),
+            Err(MrError::ArgTooLong)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_internal() {
+        let mut t = users_table();
+        let bad = vec![Value::Int(1), Value::Int(2), Value::Bool(true)];
+        assert_eq!(t.append(bad, 0), Err(MrError::Internal));
+    }
+
+    #[test]
+    fn select_by_index_and_scan() {
+        let mut t = users_table();
+        for i in 0..100 {
+            t.append(row(&format!("u{i}"), 6000 + i, i % 2 == 0), 0)
+                .unwrap();
+        }
+        let hits = t.select(&Pred::Eq("uid", 6042.into()));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(t.cell(hits[0], "login"), &Value::Str("u42".into()));
+        // Wildcard forces a scan.
+        let scans = t.select(&Pred::Like("login", "u4?".into()));
+        assert_eq!(scans.len(), 10);
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = users_table();
+        let id = t.append(row("old", 1, true), 0).unwrap();
+        t.update(id, &[("login", "new".into()), ("uid", Value::Int(2))], 5)
+            .unwrap();
+        assert!(t.select(&Pred::Eq("login", "old".into())).is_empty());
+        assert_eq!(t.select(&Pred::Eq("login", "new".into())), vec![id]);
+        assert_eq!(t.select(&Pred::Eq("uid", 2.into())), vec![id]);
+        assert_eq!(t.stats().updates, 1);
+        assert_eq!(t.stats().modtime, 5);
+    }
+
+    #[test]
+    fn update_unique_conflict_leaves_row_unchanged() {
+        let mut t = users_table();
+        let a = t.append(row("a", 1, true), 0).unwrap();
+        t.append(row("b", 2, true), 0).unwrap();
+        assert_eq!(
+            t.update(a, &[("login", "b".into())], 0),
+            Err(MrError::Exists)
+        );
+        assert_eq!(t.cell(a, "login"), &Value::Str("a".into()));
+    }
+
+    #[test]
+    fn update_to_same_unique_value_allowed() {
+        let mut t = users_table();
+        let a = t.append(row("a", 1, true), 0).unwrap();
+        t.update(a, &[("login", "a".into()), ("uid", Value::Int(9))], 0)
+            .unwrap();
+        assert_eq!(t.cell(a, "uid"), &Value::Int(9));
+    }
+
+    #[test]
+    fn delete_frees_and_reuses_slots() {
+        let mut t = users_table();
+        let a = t.append(row("a", 1, true), 0).unwrap();
+        t.delete(a, 1).unwrap();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.delete(a, 1), Err(MrError::NoMatch));
+        let b = t.append(row("b", 2, true), 2).unwrap();
+        assert_eq!(b, a, "slot reused");
+        // The unique value of the deleted row is free again.
+        t.append(row("a", 3, true), 3).unwrap();
+    }
+
+    #[test]
+    fn delete_where_counts() {
+        let mut t = users_table();
+        for i in 0..10 {
+            t.append(row(&format!("u{i}"), i, i % 2 == 0), 0).unwrap();
+        }
+        let gone = t.delete_where(&Pred::Eq("active", false.into()), 9);
+        assert_eq!(gone, 5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.stats().deletes, 5);
+    }
+
+    #[test]
+    fn iter_skips_dead_rows() {
+        let mut t = users_table();
+        let a = t.append(row("a", 1, true), 0).unwrap();
+        t.append(row("b", 2, true), 0).unwrap();
+        t.delete(a, 0).unwrap();
+        let logins: Vec<String> = t.iter().map(|(_, r)| r[0].as_str().to_owned()).collect();
+        assert_eq!(logins, vec!["b"]);
+    }
+}

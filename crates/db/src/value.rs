@@ -1,0 +1,214 @@
+//! Typed column values.
+//!
+//! The Moira schema (§6) uses three storage classes: integers (ids, uids,
+//! flags, unix times), short text fields, and booleans (stored as 0/1 in
+//! INGRES but typed here). `Value` is the dynamic cell type flowing through
+//! the engine; query handles convert to and from the counted strings of the
+//! wire protocol at the edge.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The storage class of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit signed integer (also used for unix times).
+    Int,
+    /// Text.
+    Str,
+    /// Boolean (rendered as 0/1 at the protocol edge, as INGRES stored it).
+    Bool,
+}
+
+/// A dynamically typed cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An integer cell.
+    Int(i64),
+    /// A string cell.
+    Str(String),
+    /// A boolean cell.
+    Bool(bool),
+}
+
+impl Value {
+    /// The storage class of this value.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            Value::Int(_) => ColType::Int,
+            Value::Str(_) => ColType::Str,
+            Value::Bool(_) => ColType::Bool,
+        }
+    }
+
+    /// The integer contents; panics if not an [`Value::Int`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-integer value — schema mismatches are
+    /// programming errors inside the engine, not runtime conditions.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// The string contents; panics if not a [`Value::Str`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-string value.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected Str, got {other:?}"),
+        }
+    }
+
+    /// The boolean contents; panics if not a [`Value::Bool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-boolean value.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// Renders the value the way the protocol sends it: integers in decimal,
+    /// booleans as `0`/`1`, strings verbatim.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Bool(b) => if *b { "1" } else { "0" }.to_owned(),
+        }
+    }
+
+    /// Parses a protocol string into a value of the requested type.
+    pub fn parse(ty: ColType, s: &str) -> Option<Value> {
+        match ty {
+            ColType::Int => s.trim().parse::<i64>().ok().map(Value::Int),
+            ColType::Str => Some(Value::Str(s.to_owned())),
+            ColType::Bool => match s.trim() {
+                "0" => Some(Value::Bool(false)),
+                "1" => Some(Value::Bool(true)),
+                _ => s.trim().parse::<i64>().ok().map(|i| Value::Bool(i != 0)),
+            },
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            // Cross-type ordering is arbitrary but total: Int < Str < Bool.
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+fn rank(v: &Value) -> u8 {
+    match v {
+        Value::Int(_) => 0,
+        Value::Str(_) => 1,
+        Value::Bool(_) => 2,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_int() {
+        let v = Value::Int(-42);
+        assert_eq!(v.render(), "-42");
+        assert_eq!(Value::parse(ColType::Int, "-42"), Some(v));
+        assert_eq!(Value::parse(ColType::Int, "x"), None);
+    }
+
+    #[test]
+    fn render_and_parse_bool() {
+        assert_eq!(Value::Bool(true).render(), "1");
+        assert_eq!(Value::parse(ColType::Bool, "0"), Some(Value::Bool(false)));
+        assert_eq!(Value::parse(ColType::Bool, "7"), Some(Value::Bool(true)));
+        assert_eq!(Value::parse(ColType::Bool, "maybe"), None);
+    }
+
+    #[test]
+    fn parse_str_is_verbatim() {
+        assert_eq!(
+            Value::parse(ColType::Str, "  spaced  "),
+            Some(Value::Str("  spaced  ".into()))
+        );
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Str("a".into()) < Value::Str("b".into()));
+        assert!(Value::Bool(false) < Value::Bool(true));
+    }
+
+    #[test]
+    fn ordering_total_across_types() {
+        let mut vals = [
+            Value::Bool(true),
+            Value::Str("m".into()),
+            Value::Int(3),
+            Value::Int(1),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Int(1));
+        assert_eq!(vals[3], Value::Bool(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn as_int_panics_on_mismatch() {
+        Value::Str("x".into()).as_int();
+    }
+}

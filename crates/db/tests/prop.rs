@@ -1,0 +1,263 @@
+//! Property-based tests: the engine against a naive model, and the backup
+//! escaping against arbitrary content.
+
+use moira_common::VClock;
+use moira_db::backup::{escape_field, unescape_field};
+use moira_db::journal::{Journal, JournalEntry};
+use moira_db::schema::{ColumnDef, TableSchema};
+use moira_db::{Database, Pred, Table, Value};
+use proptest::prelude::*;
+
+fn table() -> Table {
+    Table::new(TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::str("name").unique(),
+            ColumnDef::int("num").indexed(),
+            ColumnDef::boolean("flag"),
+        ],
+    ))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append(String, i64, bool),
+    UpdateNum(String, i64),
+    Delete(String),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ("[a-d]{1,2}", any::<i64>(), any::<bool>()).prop_map(|(n, i, b)| Op::Append(n, i, b)),
+        ("[a-d]{1,2}", any::<i64>()).prop_map(|(n, i)| Op::UpdateNum(n, i)),
+        "[a-d]{1,2}".prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    /// The table agrees with a Vec-of-rows model under arbitrary mutation,
+    /// and its indexes agree with full scans.
+    #[test]
+    fn table_matches_model(ops in prop::collection::vec(op_strategy(), 0..120)) {
+        let mut t = table();
+        let mut model: Vec<(String, i64, bool)> = Vec::new();
+        let mut now = 0i64;
+        for op in ops {
+            now += 1;
+            match op {
+                Op::Append(name, num, flag) => {
+                    let expect_ok = !model.iter().any(|(n, _, _)| n == &name);
+                    let result = t.append(
+                        vec![name.clone().into(), num.into(), flag.into()],
+                        now,
+                    );
+                    prop_assert_eq!(result.is_ok(), expect_ok);
+                    if expect_ok {
+                        model.push((name, num, flag));
+                    }
+                }
+                Op::UpdateNum(name, num) => {
+                    if let Some(id) = t.select_one(&Pred::Eq("name", name.clone().into())) {
+                        t.update(id, &[("num", num.into())], now).unwrap();
+                        model.iter_mut().find(|(n, _, _)| n == &name).unwrap().1 = num;
+                    }
+                }
+                Op::Delete(name) => {
+                    let gone = t.delete_where(&Pred::Eq("name", name.clone().into()), now);
+                    let before = model.len();
+                    model.retain(|(n, _, _)| n != &name);
+                    prop_assert_eq!(gone, before - model.len());
+                }
+            }
+            // Full-state comparison.
+            prop_assert_eq!(t.len(), model.len());
+            let mut actual: Vec<(String, i64, bool)> = t
+                .iter()
+                .map(|(_, row)| (row[0].as_str().to_owned(), row[1].as_int(), row[2].as_bool()))
+                .collect();
+            actual.sort();
+            let mut expected = model.clone();
+            expected.sort();
+            prop_assert_eq!(actual, expected);
+            // Indexed lookups agree with scans for a probe value.
+            for probe in [-1i64, 0, 1] {
+                let via_index = t.select(&Pred::Eq("num", probe.into())).len();
+                let via_scan =
+                    model.iter().filter(|(_, n, _)| *n == probe).count();
+                prop_assert_eq!(via_index, via_scan);
+            }
+        }
+    }
+
+    #[test]
+    fn escape_round_trips(a in ".{0,64}", b in ".{0,64}") {
+        let ea = escape_field(&a);
+        let eb = escape_field(&b);
+        // The escaped form never contains newlines, and every colon is
+        // escaped — so joining two fields with ':' is unambiguous.
+        prop_assert!(!ea.contains('\n'));
+        prop_assert_eq!(unescape_field(&ea).unwrap(), a.clone());
+        let line = format!("{ea}:{eb}");
+        // Split on unescaped colons the way restore does.
+        let bytes = line.as_bytes();
+        let mut fields = Vec::new();
+        let (mut start, mut i) = (0usize, 0usize);
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b':' => {
+                    fields.push(&line[start..i]);
+                    start = i + 1;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        fields.push(&line[start..]);
+        prop_assert_eq!(fields.len(), 2);
+        prop_assert_eq!(unescape_field(fields[0]).unwrap(), a);
+        prop_assert_eq!(unescape_field(fields[1]).unwrap(), b);
+    }
+
+    #[test]
+    fn journal_round_trips(
+        time in any::<i64>(),
+        who in ".{0,16}",
+        query in "[a-z_]{1,24}",
+        args in prop::collection::vec(".{0,16}", 0..6),
+    ) {
+        let entry = JournalEntry { time, who, with: "prop".into(), query, args };
+        let mut j = Journal::new();
+        j.log(entry.clone());
+        let back = Journal::from_text(&j.to_text()).unwrap();
+        // Zero-arg entries gain one empty arg through the text form (the
+        // trailing field); content is otherwise identical.
+        let e = &back.entries()[0];
+        prop_assert_eq!(e.time, entry.time);
+        prop_assert_eq!(&e.who, &entry.who);
+        prop_assert_eq!(&e.query, &entry.query);
+        if !entry.args.is_empty() {
+            prop_assert_eq!(&e.args, &entry.args);
+        }
+    }
+
+    #[test]
+    fn backup_restore_round_trips(rows in prop::collection::vec(
+        ("[a-z:\\\\]{1,8}", any::<i64>(), any::<bool>()), 0..40)) {
+        let mut db = Database::new(VClock::new());
+        db.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::str("name"), ColumnDef::int("num"), ColumnDef::boolean("flag")],
+        ));
+        for (name, num, flag) in &rows {
+            db.append("t", vec![name.as_str().into(), (*num).into(), (*flag).into()]).unwrap();
+        }
+        let backup = moira_db::backup::mrbackup(&db);
+        let mut fresh = Database::new(VClock::new());
+        fresh.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::str("name"), ColumnDef::int("num"), ColumnDef::boolean("flag")],
+        ));
+        moira_db::backup::mrrestore(&mut fresh, &backup).unwrap();
+        let original: Vec<Vec<Value>> = db.table("t").iter().map(|(_, r)| r.to_vec()).collect();
+        let restored: Vec<Vec<Value>> = fresh.table("t").iter().map(|(_, r)| r.to_vec()).collect();
+        prop_assert_eq!(original, restored);
+    }
+}
+
+mod lock_props {
+    use moira_db::lock::{LockManager, LockMode};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum LockOp {
+        Acquire(u8, u8, bool),
+        Release(u8, u8),
+        ReleaseAll(u8),
+    }
+
+    fn lock_op() -> impl Strategy<Value = LockOp> {
+        prop_oneof![
+            (0u8..4, 0u8..3, any::<bool>()).prop_map(|(o, r, x)| LockOp::Acquire(o, r, x)),
+            (0u8..4, 0u8..3).prop_map(|(o, r)| LockOp::Release(o, r)),
+            (0u8..4).prop_map(LockOp::ReleaseAll),
+        ]
+    }
+
+    proptest! {
+        /// Under arbitrary acquire/release sequences: an exclusive holder
+        /// is always alone, and the manager never deadlocks itself (every
+        /// call returns).
+        #[test]
+        fn exclusion_invariant(ops in prop::collection::vec(lock_op(), 0..200)) {
+            let mut lm = LockManager::new();
+            // Model: resource -> (exclusive holder, shared holders).
+            let mut model: std::collections::HashMap<String, (Option<String>, std::collections::HashSet<String>)> =
+                std::collections::HashMap::new();
+            for op in ops {
+                match op {
+                    LockOp::Acquire(o, r, exclusive) => {
+                        let owner = format!("o{o}");
+                        let resource = format!("r{r}");
+                        let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                        let got = lm.try_acquire(&owner, &resource, mode);
+                        let entry = model.entry(resource.clone()).or_default();
+                        if got {
+                            if exclusive {
+                                // Nobody else may hold it in any mode.
+                                prop_assert!(
+                                    entry.0.as_deref().is_none_or(|h| h == owner),
+                                    "exclusive grant over exclusive holder"
+                                );
+                                prop_assert!(
+                                    entry.1.iter().all(|h| *h == owner),
+                                    "exclusive grant over shared holders"
+                                );
+                                entry.1.remove(&owner);
+                                entry.0 = Some(owner);
+                            } else {
+                                prop_assert!(
+                                    entry.0.as_deref().is_none_or(|h| h == owner),
+                                    "shared grant against exclusive holder"
+                                );
+                                if entry.0.as_deref() != Some(owner.as_str()) {
+                                    entry.1.insert(owner);
+                                }
+                            }
+                        }
+                    }
+                    LockOp::Release(o, r) => {
+                        let owner = format!("o{o}");
+                        let resource = format!("r{r}");
+                        lm.release(&owner, &resource);
+                        if let Some(entry) = model.get_mut(&resource) {
+                            if entry.0.as_deref() == Some(owner.as_str()) {
+                                entry.0 = None;
+                            }
+                            entry.1.remove(&owner);
+                        }
+                    }
+                    LockOp::ReleaseAll(o) => {
+                        let owner = format!("o{o}");
+                        lm.release_all(&owner);
+                        for entry in model.values_mut() {
+                            if entry.0.as_deref() == Some(owner.as_str()) {
+                                entry.0 = None;
+                            }
+                            entry.1.remove(&owner);
+                        }
+                    }
+                }
+                // Cross-check `holds` against the model.
+                for (resource, (excl, shared)) in &model {
+                    for o in 0..4u8 {
+                        let owner = format!("o{o}");
+                        let expected = excl.as_deref() == Some(owner.as_str())
+                            || shared.contains(&owner);
+                        prop_assert_eq!(lm.holds(&owner, resource), expected);
+                    }
+                }
+            }
+        }
+    }
+}

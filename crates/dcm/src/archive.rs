@@ -1,0 +1,160 @@
+//! The tar-like archive the DCM transfers, and its integrity checksum.
+//!
+//! §5.9: "The file transfer includes a checksum to insure data integrity.
+//! Only one file is transferred, although it may be a tar file containing
+//! many more." The format is a simple length-prefixed member list; the
+//! checksum is CRC-32 (IEEE), computed over the serialized bytes.
+
+/// A named-member archive.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Archive {
+    /// `(member name, contents)` in insertion order.
+    pub members: Vec<(String, Vec<u8>)>,
+}
+
+impl Archive {
+    /// An empty archive.
+    pub fn new() -> Archive {
+        Archive::default()
+    }
+
+    /// Builds an archive from members.
+    pub fn from_members(members: Vec<(String, Vec<u8>)>) -> Archive {
+        Archive { members }
+    }
+
+    /// Adds a member.
+    pub fn add(&mut self, name: &str, data: impl Into<Vec<u8>>) {
+        self.members.push((name.to_owned(), data.into()));
+    }
+
+    /// Looks a member up by name.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.members
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_slice())
+    }
+
+    /// Member names in order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.members.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Total payload size in bytes (the paper's File Organization table
+    /// reports per-file sizes; this is their sum plus framing).
+    pub fn payload_size(&self) -> usize {
+        self.members.iter().map(|(n, d)| n.len() + d.len()).sum()
+    }
+
+    /// Serializes: `u32 member count | per member: u32 name len | name |
+    /// u32 data len | data`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_size() + 16);
+        out.extend_from_slice(&(self.members.len() as u32).to_be_bytes());
+        for (name, data) in &self.members {
+            out.extend_from_slice(&(name.len() as u32).to_be_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+            out.extend_from_slice(data);
+        }
+        out
+    }
+
+    /// Parses serialized bytes; `None` on any framing violation.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Archive> {
+        let mut pos = 0usize;
+        let take_u32 = |pos: &mut usize| -> Option<u32> {
+            let v = u32::from_be_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?);
+            *pos += 4;
+            Some(v)
+        };
+        let count = take_u32(&mut pos)? as usize;
+        if count > 1 << 20 {
+            return None;
+        }
+        let mut members = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            let name_len = take_u32(&mut pos)? as usize;
+            let name = String::from_utf8(bytes.get(pos..pos + name_len)?.to_vec()).ok()?;
+            pos += name_len;
+            let data_len = take_u32(&mut pos)? as usize;
+            let data = bytes.get(pos..pos + data_len)?.to_vec();
+            pos += data_len;
+            members.push((name, data));
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(Archive { members })
+    }
+}
+
+/// CRC-32 (IEEE 802.3) over a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut a = Archive::new();
+        a.add("passwd.db", b"babette:*:6530\n".to_vec());
+        a.add("uid.db", b"6530.uid HS CNAME babette.passwd\n".to_vec());
+        a.add("empty", Vec::new());
+        let bytes = a.to_bytes();
+        let back = Archive::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.get("empty"), Some(&[][..]));
+        assert_eq!(back.get("passwd.db").unwrap(), b"babette:*:6530\n");
+        assert_eq!(back.get("missing"), None);
+        assert_eq!(back.member_names(), vec!["passwd.db", "uid.db", "empty"]);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut a = Archive::new();
+        a.add("f", vec![1, 2, 3, 4, 5]);
+        let bytes = a.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Archive::from_bytes(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let a = Archive::from_members(vec![("f".into(), vec![9])]);
+        let mut bytes = a.to_bytes();
+        bytes.push(0);
+        assert!(Archive::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn crc_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc_detects_flips() {
+        let data = b"the quick brown fox".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut flipped = data.clone();
+            flipped[i] ^= 1;
+            assert_ne!(crc32(&flipped), base, "byte {i}");
+        }
+    }
+}

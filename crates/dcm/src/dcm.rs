@@ -1,0 +1,906 @@
+//! The DCM scan algorithm (§5.7.1).
+//!
+//! Each invocation: check the disable file, check `dcm_enable`, scan the
+//! services table generating data files for services whose interval has
+//! elapsed (with `MR_NO_CHANGE` suppression), then scan server-hosts and
+//! push updates to every enabled host that has not been updated since the
+//! data files were generated (or has `override` set). Locking, inprogress
+//! flags, soft/hard error bookkeeping, and Zephyr/mail notification follow
+//! the paper.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use moira_common::errors::{MrError, MrResult};
+use moira_core::registry::Registry;
+use moira_core::state::{Caller, MoiraState};
+use moira_db::lock::LockMode;
+use moira_db::Pred;
+use parking_lot::Mutex;
+
+use crate::archive::Archive;
+use crate::generators::nfs::NfsGenerator;
+use crate::generators::{check_no_change, Generator};
+use crate::host::SimHost;
+use crate::update::{run_update_with_auth, Script, UpdateCredentials, UpdateError};
+
+/// A notification emitted on hard failures — "a zephyr message is sent to
+/// class MOIRA instance DCM", and for host failures "a zephyrgram and mail
+/// are sent about it".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notice {
+    /// `"zephyr"` or `"mail"`.
+    pub kind: &'static str,
+    /// Zephyr class / mail recipient.
+    pub target: String,
+    /// Zephyr instance (empty for mail).
+    pub instance: String,
+    /// Message body.
+    pub message: String,
+}
+
+/// Counters across the DCM's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DcmStats {
+    /// run_once invocations that actually scanned.
+    pub scans: u64,
+    /// Services whose files were (re)generated.
+    pub generations: u64,
+    /// Generation attempts suppressed by `MR_NO_CHANGE`.
+    pub no_changes: u64,
+    /// Host updates attempted.
+    pub updates_attempted: u64,
+    /// Host updates confirmed successful.
+    pub updates_succeeded: u64,
+    /// Soft failures (retried later).
+    pub soft_failures: u64,
+    /// Hard failures (need operator reset).
+    pub hard_failures: u64,
+}
+
+/// What one `run_once` did.
+#[derive(Debug, Clone, Default)]
+pub struct DcmReport {
+    /// DCM exited immediately (disable file or `dcm_enable` = 0).
+    pub disabled: bool,
+    /// Services whose data files were regenerated, with file count and
+    /// total bytes.
+    pub generated: Vec<(String, usize, usize)>,
+    /// Services skipped as unchanged.
+    pub unchanged: Vec<String>,
+    /// Per-host update outcomes: `(service, host, result)`.
+    pub updates: Vec<(String, String, Result<(), UpdateError>)>,
+}
+
+/// The Data Control Manager.
+pub struct Dcm {
+    state: Arc<Mutex<MoiraState>>,
+    registry: Arc<Registry>,
+    generators: HashMap<&'static str, Box<dyn Generator>>,
+    /// The generated data files held on Moira's disk between runs.
+    prepared: HashMap<String, Archive>,
+    /// Reachable server hosts by canonical machine name.
+    pub hosts: HashMap<String, Arc<Mutex<SimHost>>>,
+    /// Notices sent (Zephyr + mail).
+    pub notices: Vec<Notice>,
+    /// The `/etc/nodcm` disable file.
+    pub nodcm_file: bool,
+    /// Lifetime counters.
+    pub stats: DcmStats,
+    /// Kerberos identity for update connections: `(kdc, client principal,
+    /// client srvtab key)`, plus the authenticator nonce counter.
+    kerberos: Option<(Arc<moira_krb::realm::Kdc>, String, moira_krb::cipher::Key)>,
+    auth_nonce: u64,
+}
+
+impl Dcm {
+    /// Creates a DCM with the standard generator set.
+    pub fn new(state: Arc<Mutex<MoiraState>>, registry: Arc<Registry>) -> Dcm {
+        let mut generators: HashMap<&'static str, Box<dyn Generator>> = HashMap::new();
+        for g in crate::generators::standard_generators() {
+            generators.insert(g.service(), g);
+        }
+        Dcm {
+            state,
+            registry,
+            generators,
+            prepared: HashMap::new(),
+            hosts: HashMap::new(),
+            notices: Vec::new(),
+            nodcm_file: false,
+            stats: DcmStats::default(),
+            kerberos: None,
+            auth_nonce: 0,
+        }
+    }
+
+    /// Enables Kerberos mutual authentication for update connections
+    /// (§5.9.2): the DCM authenticates to each host's `rcmd.<host>` service
+    /// with its own srvtab identity.
+    pub fn enable_kerberos(
+        &mut self,
+        kdc: Arc<moira_krb::realm::Kdc>,
+        client: &str,
+        key: moira_krb::cipher::Key,
+    ) {
+        self.kerberos = Some((kdc, client.to_owned(), key));
+    }
+
+    /// Obtains fresh credentials for one host, if Kerberos is enabled.
+    fn credentials_for(&mut self, mach_name: &str) -> Option<UpdateCredentials> {
+        let (kdc, client, key) = self.kerberos.as_ref()?;
+        self.auth_nonce += 1;
+        let service = format!("rcmd.{mach_name}");
+        let (ticket, session) = kdc.srvtab_ticket(client, *key, &service).ok()?;
+        let authenticator = moira_krb::ticket::make_authenticator(
+            session,
+            client,
+            kdc.clock().now(),
+            self.auth_nonce,
+        );
+        Some(UpdateCredentials {
+            ticket,
+            authenticator,
+        })
+    }
+
+    /// Registers a target host.
+    pub fn add_host(&mut self, host: Arc<Mutex<SimHost>>) {
+        let name = host.lock().name.clone();
+        self.hosts.insert(name, host);
+    }
+
+    /// Registers an additional (non-standard) generator.
+    pub fn add_generator(&mut self, generator: Box<dyn Generator>) {
+        self.generators.insert(generator.service(), generator);
+    }
+
+    /// The prepared archive for a service, if generated.
+    pub fn prepared(&self, service: &str) -> Option<&Archive> {
+        self.prepared.get(service)
+    }
+
+    fn caller() -> Caller {
+        // "It connects to the database and authenticates as root."
+        Caller::root("dcm")
+    }
+
+    fn exec(&self, state: &mut MoiraState, query: &str, args: &[String]) -> MrResult<()> {
+        self.registry.execute(state, &Self::caller(), query, args)?;
+        Ok(())
+    }
+
+    fn notify(&mut self, kind: &'static str, target: &str, instance: &str, message: String) {
+        self.notices.push(Notice {
+            kind,
+            target: target.to_owned(),
+            instance: instance.to_owned(),
+            message,
+        });
+    }
+
+    /// One DCM invocation (normally fired by cron).
+    pub fn run_once(&mut self) -> DcmReport {
+        let mut report = DcmReport::default();
+        // "On startup, the DCM first checks for the existance of the
+        // disable file /etc/nodcm; if this file exists, it exits quietly."
+        if self.nodcm_file {
+            report.disabled = true;
+            return report;
+        }
+        // "Then it retrieves the value of dcm_enable…; if this value is
+        // zero, it will exit, logging this action."
+        let enabled = self.state.lock().get_value("dcm_enable").unwrap_or(0);
+        if enabled == 0 {
+            report.disabled = true;
+            self.notify("zephyr", "MOIRA", "DCM", "dcm_enable is 0; exiting".into());
+            return report;
+        }
+        self.stats.scans += 1;
+        // A DCM that crashed mid-run holds no locks after restart; the
+        // inprogress flags it left behind are advisory only ("It is not
+        // relyed upon for locking", §5.7.1).
+        self.state.lock().locks.release_all("dcm");
+
+        // Snapshot the services passing the initial check.
+        let services = self.eligible_services();
+        for svc in &services {
+            self.generation_phase(svc, &mut report);
+        }
+        for svc in &services {
+            self.host_phase(svc, &mut report);
+        }
+        report
+    }
+
+    /// Services that are enabled, have no hard errors, a non-zero interval,
+    /// and a generator module.
+    fn eligible_services(&self) -> Vec<ServiceInfo> {
+        let state = self.state.lock();
+        let t = state.db.table("servers");
+        let mut out = Vec::new();
+        for (row, _) in t.iter() {
+            let name = t.cell(row, "name").as_str().to_owned();
+            let info = ServiceInfo {
+                interval_secs: t.cell(row, "update_int").as_int() * 60,
+                target: t.cell(row, "target_file").as_str().to_owned(),
+                script: t.cell(row, "script").as_str().to_owned(),
+                replicated: t.cell(row, "type").as_str() == "REPLICAT",
+                enabled: t.cell(row, "enable").as_bool(),
+                harderror: t.cell(row, "harderror").as_int(),
+                dfgen: t.cell(row, "dfgen").as_int(),
+                dfcheck: t.cell(row, "dfcheck").as_int(),
+                name,
+            };
+            if info.enabled
+                && info.harderror == 0
+                && info.interval_secs > 0
+                && self.generators.contains_key(info.name.as_str())
+            {
+                out.push(info);
+            }
+        }
+        out
+    }
+
+    fn generation_phase(&mut self, svc: &ServiceInfo, report: &mut DcmReport) {
+        let now = self.state.lock().now();
+        // "it compares dfcheck and the update interval against the current
+        // time."
+        if now < svc.dfcheck + svc.interval_secs {
+            return;
+        }
+        // "it will obtain an exclusive lock on the service, set the
+        // inprogress flag, then run the generator."
+        {
+            let mut state = self.state.lock();
+            if state
+                .locks
+                .acquire("dcm", &format!("svc:{}", svc.name), LockMode::Exclusive)
+                .is_err()
+            {
+                return;
+            }
+            let _ = self.exec(
+                &mut state,
+                "set_server_internal_flags",
+                &[
+                    svc.name.clone(),
+                    svc.dfgen.to_string(),
+                    svc.dfcheck.to_string(),
+                    "1".into(),
+                    "0".into(),
+                    String::new(),
+                ],
+            );
+        }
+        let generator = self.generators.get(svc.name.as_str()).expect("eligible");
+        let result = {
+            let state = self.state.lock();
+            check_no_change(generator.as_ref(), &state, svc.dfgen)
+                .and_then(|()| generator.generate(&state, ""))
+        };
+        let (dfgen, dfcheck, harderr, errmsg) = match result {
+            Ok(archive) => {
+                self.stats.generations += 1;
+                report.generated.push((
+                    svc.name.clone(),
+                    archive.members.len(),
+                    archive.payload_size(),
+                ));
+                self.prepared.insert(svc.name.clone(), archive);
+                (now, now, 0, String::new())
+            }
+            Err(MrError::NoChange) => {
+                self.stats.no_changes += 1;
+                report.unchanged.push(svc.name.clone());
+                // "If the generator exits indicating that nothing has
+                // changed, only dfcheck is updated."
+                (svc.dfgen, now, 0, String::new())
+            }
+            Err(e) => {
+                self.notify(
+                    "zephyr",
+                    "MOIRA",
+                    "DCM",
+                    format!("{}: generator hard error: {}", svc.name, e),
+                );
+                (svc.dfgen, svc.dfcheck, e.code(), e.to_string())
+            }
+        };
+        let mut state = self.state.lock();
+        let _ = self.exec(
+            &mut state,
+            "set_server_internal_flags",
+            &[
+                svc.name.clone(),
+                dfgen.to_string(),
+                dfcheck.to_string(),
+                "0".into(),
+                harderr.to_string(),
+                errmsg,
+            ],
+        );
+        state.locks.release("dcm", &format!("svc:{}", svc.name));
+    }
+
+    fn host_phase(&mut self, svc: &ServiceInfo, report: &mut DcmReport) {
+        // Re-read dfgen: generation may just have happened.
+        let dfgen = {
+            let state = self.state.lock();
+            state
+                .db
+                .table("servers")
+                .select_one(&Pred::Eq("name", svc.name.clone().into()))
+                .map(|row| state.db.cell("servers", row, "dfgen").as_int())
+                .unwrap_or(0)
+        };
+        let per_host = svc.name == "NFS" || svc.name == "PASSWD";
+        if !self.prepared.contains_key(&svc.name) && !per_host {
+            if dfgen == 0 {
+                // Never generated; nothing to push.
+                return;
+            }
+            // Data files recorded as generated but missing (a Moira crash
+            // lost them): rebuild from the database rather than ever
+            // pushing an empty archive. "Crashes of the Moira machine will
+            // result in (at worst) delays in updates."
+            let generator = self.generators.get(svc.name.as_str()).expect("eligible");
+            let rebuilt = {
+                let state = self.state.lock();
+                generator.generate(&state, "")
+            };
+            match rebuilt {
+                Ok(archive) => {
+                    self.prepared.insert(svc.name.clone(), archive);
+                }
+                Err(_) => return,
+            }
+        }
+        // "During the host scan, the DCM first locks the service … If the
+        // service type is replicated … exclusively, otherwise … shared."
+        let mode = if svc.replicated {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        {
+            let mut state = self.state.lock();
+            if state
+                .locks
+                .acquire("dcm", &format!("svc:{}", svc.name), mode)
+                .is_err()
+            {
+                return;
+            }
+        }
+        let todo = self.hosts_needing_update(&svc.name, dfgen);
+        let mut replicated_failed = false;
+        for (mach_name, mach_id, value3) in todo {
+            if replicated_failed {
+                break;
+            }
+            let result = self.update_one_host(svc, mach_name.clone(), mach_id, &value3);
+            if let Err(e) = &result {
+                if e.is_hard() && svc.replicated {
+                    // "If there is a hard failure and the service is
+                    // replicated, then the error code & message are also set
+                    // in the service record so that no more updates will be
+                    // attempted."
+                    replicated_failed = true;
+                    let mut state = self.state.lock();
+                    let _ = self.exec(
+                        &mut state,
+                        "set_server_internal_flags",
+                        &[
+                            svc.name.clone(),
+                            dfgen.to_string(),
+                            dfgen.to_string(),
+                            "0".into(),
+                            e.code().to_string(),
+                            e.message(),
+                        ],
+                    );
+                }
+            }
+            report.updates.push((svc.name.clone(), mach_name, result));
+        }
+        let mut state = self.state.lock();
+        state.locks.release("dcm", &format!("svc:{}", svc.name));
+    }
+
+    /// Hosts that are enabled, have no hard errors, and have not been
+    /// successfully updated since the data files were generated (or have
+    /// override set).
+    fn hosts_needing_update(&self, service: &str, dfgen: i64) -> Vec<(String, i64, String)> {
+        let state = self.state.lock();
+        let t = state.db.table("serverhosts");
+        let mut out = Vec::new();
+        for row in t.select(&Pred::Eq("service", service.into())) {
+            let enabled = t.cell(row, "enable").as_bool();
+            let hosterror = t.cell(row, "hosterror").as_int();
+            let lts = t.cell(row, "lts").as_int();
+            let override_ = t.cell(row, "override").as_bool();
+            if !enabled || hosterror != 0 {
+                continue;
+            }
+            if lts >= dfgen && !override_ {
+                continue;
+            }
+            let mach_id = t.cell(row, "mach_id").as_int();
+            let name = state
+                .db
+                .table("machine")
+                .select_one(&Pred::Eq("mach_id", mach_id.into()))
+                .map(|r| state.db.cell("machine", r, "name").render())
+                .unwrap_or_default();
+            out.push((name, mach_id, t.cell(row, "value3").render()));
+        }
+        out
+    }
+
+    fn update_one_host(
+        &mut self,
+        svc: &ServiceInfo,
+        mach_name: String,
+        mach_id: i64,
+        value3: &str,
+    ) -> Result<(), UpdateError> {
+        self.stats.updates_attempted += 1;
+        let now = self.state.lock().now();
+        // Exclusive lock on the host + inprogress bit.
+        {
+            let mut state = self.state.lock();
+            if state
+                .locks
+                .acquire(
+                    "dcm",
+                    &format!("host:{}:{}", svc.name, mach_name),
+                    LockMode::Exclusive,
+                )
+                .is_err()
+            {
+                return Err(UpdateError::Timeout);
+            }
+            let _ = self.exec(
+                &mut state,
+                "set_server_host_internal",
+                &[
+                    svc.name.clone(),
+                    mach_name.clone(),
+                    "0".into(),
+                    "0".into(),
+                    "1".into(),
+                    "0".into(),
+                    String::new(),
+                    now.to_string(),
+                    "0".into(),
+                ],
+            );
+        }
+
+        // Build the archive: per-host for NFS and PASSWD, shared otherwise.
+        let archive = if svc.name == "NFS" {
+            let state = self.state.lock();
+            NfsGenerator::for_host(&state, mach_id, value3)
+        } else if svc.name == "PASSWD" {
+            let state = self.state.lock();
+            crate::generators::hostaccess::HostAccessGenerator::for_host(&state, mach_id)
+        } else {
+            self.prepared.get(&svc.name).cloned().unwrap_or_default()
+        };
+        let script = Script::standard(&archive, &install_dir(&svc.name), &svc.script);
+
+        let credentials = self.credentials_for(&mach_name);
+        let result = match self.hosts.get(&mach_name) {
+            Some(host) => {
+                let mut h = host.lock();
+                run_update_with_auth(&mut h, credentials.as_ref(), &archive, &svc.target, &script)
+            }
+            None => Err(UpdateError::HostDown),
+        };
+
+        // Record the outcome.
+        let now = self.state.lock().now();
+        let (success, hosterror, errmsg, lts) = match &result {
+            Ok(()) => {
+                self.stats.updates_succeeded += 1;
+                (true, 0, String::new(), now)
+            }
+            Err(e) if e.is_hard() => {
+                self.stats.hard_failures += 1;
+                self.notify(
+                    "zephyr",
+                    "MOIRA",
+                    "DCM",
+                    format!("{} on {}: {}", svc.name, mach_name, e.message()),
+                );
+                self.notify(
+                    "mail",
+                    "moira-maintainers",
+                    "",
+                    format!(
+                        "hard failure updating {} on {}: {}",
+                        svc.name,
+                        mach_name,
+                        e.message()
+                    ),
+                );
+                (false, e.code(), e.message(), 0)
+            }
+            Err(e) => {
+                self.stats.soft_failures += 1;
+                (false, 0, e.message(), 0)
+            }
+        };
+        let mut state = self.state.lock();
+        let sh_row = state.db.select(
+            "serverhosts",
+            &Pred::Eq("service", svc.name.clone().into()).and(Pred::Eq("mach_id", mach_id.into())),
+        );
+        let prev_lts = sh_row
+            .first()
+            .map(|&r| state.db.cell("serverhosts", r, "lts").as_int())
+            .unwrap_or(0);
+        let _ = self.exec(
+            &mut state,
+            "set_server_host_internal",
+            &[
+                svc.name.clone(),
+                mach_name.clone(),
+                "0".into(), // override cleared by an attempt
+                if success { "1" } else { "0" }.into(),
+                "0".into(), // inprogress cleared
+                hosterror.to_string(),
+                errmsg,
+                now.to_string(),
+                if success {
+                    lts.to_string()
+                } else {
+                    prev_lts.to_string()
+                },
+            ],
+        );
+        state
+            .locks
+            .release("dcm", &format!("host:{}:{}", svc.name, mach_name));
+        result
+    }
+}
+
+/// Where a service's files are installed on its hosts (the `target` is the
+/// transfer landing spot; this is the live directory the script swaps files
+/// into).
+pub fn install_dir(service: &str) -> String {
+    format!("/var/{}", service.to_ascii_lowercase())
+}
+
+#[derive(Debug, Clone)]
+struct ServiceInfo {
+    name: String,
+    interval_secs: i64,
+    target: String,
+    script: String,
+    replicated: bool,
+    enabled: bool,
+    harderror: i64,
+    dfgen: i64,
+    dfcheck: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moira_core::queries::testutil::{add_test_machine, state_with_admin};
+    use moira_core::seed::seed_capacls;
+
+    type SharedHosts = Vec<Arc<Mutex<SimHost>>>;
+
+    /// A deployment with one HESIOD service on two hosts.
+    fn setup() -> (Dcm, Arc<Mutex<MoiraState>>, SharedHosts) {
+        let (mut s, _) = state_with_admin("ops");
+        let registry = Arc::new(Registry::standard());
+        let _ = seed_capacls; // capacls already seeded by state_with_admin
+        let ops = Caller::new("ops", "test");
+        let run = |s: &mut MoiraState, q: &str, args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            registry.execute(s, &ops, q, &args).unwrap()
+        };
+        add_test_machine(&mut s, "KIWI.MIT.EDU");
+        add_test_machine(&mut s, "SUOMI.MIT.EDU");
+        run(
+            &mut s,
+            "add_user",
+            &[
+                "babette", "6530", "/bin/csh", "F", "H", "C", "1", "x", "1990",
+            ],
+        );
+        run(
+            &mut s,
+            "add_server_info",
+            &[
+                "HESIOD",
+                "360",
+                "/tmp/hesiod.out",
+                "restart-hesiod",
+                "REPLICAT",
+                "1",
+                "NONE",
+                "NONE",
+            ],
+        );
+        run(
+            &mut s,
+            "add_server_host_info",
+            &["HESIOD", "KIWI.MIT.EDU", "1", "0", "0", ""],
+        );
+        run(
+            &mut s,
+            "add_server_host_info",
+            &["HESIOD", "SUOMI.MIT.EDU", "1", "0", "0", ""],
+        );
+        let state = Arc::new(Mutex::new(s));
+        let mut dcm = Dcm::new(state.clone(), registry);
+        let hosts: Vec<Arc<Mutex<SimHost>>> = ["KIWI.MIT.EDU", "SUOMI.MIT.EDU"]
+            .iter()
+            .map(|n| Arc::new(Mutex::new(SimHost::new(n))))
+            .collect();
+        for h in &hosts {
+            dcm.add_host(h.clone());
+        }
+        (dcm, state, hosts)
+    }
+
+    #[test]
+    fn disable_file_and_value() {
+        let (mut dcm, state, _) = setup();
+        dcm.nodcm_file = true;
+        assert!(dcm.run_once().disabled);
+        assert_eq!(dcm.stats.scans, 0);
+        dcm.nodcm_file = false;
+        state.lock().set_value("dcm_enable", 0);
+        let report = dcm.run_once();
+        assert!(report.disabled);
+        assert!(dcm.notices.iter().any(|n| n.message.contains("dcm_enable")));
+        state.lock().set_value("dcm_enable", 1);
+        assert!(!dcm.run_once().disabled);
+    }
+
+    #[test]
+    fn first_run_generates_and_updates_all_hosts() {
+        let (mut dcm, _state, hosts) = setup();
+        let report = dcm.run_once();
+        assert_eq!(report.generated.len(), 1);
+        assert_eq!(report.generated[0].0, "HESIOD");
+        assert_eq!(report.generated[0].1, 11, "eleven hesiod files");
+        assert_eq!(report.updates.len(), 2);
+        assert!(report.updates.iter().all(|(_, _, r)| r.is_ok()));
+        for h in &hosts {
+            let h = h.lock();
+            assert!(h.read_file("/var/hesiod/passwd.db").is_some());
+            assert_eq!(h.exec_log, vec!["restart-hesiod"]);
+        }
+    }
+
+    #[test]
+    fn second_run_within_interval_does_nothing() {
+        let (mut dcm, state, _) = setup();
+        dcm.run_once();
+        state.lock().db.clock().advance(60); // one minute
+        let report = dcm.run_once();
+        assert!(report.generated.is_empty());
+        assert!(
+            report.unchanged.is_empty(),
+            "interval not yet elapsed: no check at all"
+        );
+        assert!(
+            report.updates.is_empty(),
+            "hosts already successful since dfgen"
+        );
+    }
+
+    #[test]
+    fn no_change_suppression_after_interval() {
+        let (mut dcm, state, _) = setup();
+        dcm.run_once();
+        state.lock().db.clock().advance(7 * 3600); // past the 6h interval
+        let report = dcm.run_once();
+        assert!(report.generated.is_empty());
+        assert_eq!(report.unchanged, vec!["HESIOD"]);
+        assert_eq!(dcm.stats.no_changes, 1);
+        // dfcheck advanced even though nothing was built.
+        let s = state.lock();
+        let row =
+            s.db.table("servers")
+                .select_one(&Pred::Eq("name", "HESIOD".into()))
+                .unwrap();
+        assert_eq!(s.db.cell("servers", row, "dfcheck").as_int(), s.now());
+        assert!(s.db.cell("servers", row, "dfgen").as_int() < s.now());
+    }
+
+    #[test]
+    fn change_triggers_regeneration_and_push() {
+        let (mut dcm, state, hosts) = setup();
+        dcm.run_once();
+        {
+            let mut s = state.lock();
+            s.db.clock().advance(7 * 3600);
+            let registry = Registry::standard();
+            registry
+                .execute(
+                    &mut s,
+                    &Caller::new("ops", "t"),
+                    "add_user",
+                    &[
+                        "newbie".into(),
+                        "7000".into(),
+                        "/bin/csh".into(),
+                        "N".into(),
+                        "B".into(),
+                        "".into(),
+                        "1".into(),
+                        "x".into(),
+                        "1990".into(),
+                    ],
+                )
+                .unwrap();
+        }
+        let report = dcm.run_once();
+        assert_eq!(report.generated.len(), 1);
+        assert_eq!(report.updates.len(), 2);
+        let h = hosts[0].lock();
+        let passwd =
+            String::from_utf8(h.read_file("/var/hesiod/passwd.db").unwrap().to_vec()).unwrap();
+        assert!(passwd.contains("newbie"));
+    }
+
+    #[test]
+    fn down_host_retried_until_up() {
+        let (mut dcm, state, hosts) = setup();
+        hosts[1].lock().up = false;
+        let report = dcm.run_once();
+        let failed: Vec<_> = report
+            .updates
+            .iter()
+            .filter(|(_, _, r)| r.is_err())
+            .collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].2, Err(UpdateError::HostDown));
+        assert_eq!(dcm.stats.soft_failures, 1);
+        // Soft: hosterror stays 0, so the next run retries.
+        {
+            let s = state.lock();
+            let t = s.db.table("serverhosts");
+            for (row, _) in t.iter() {
+                assert_eq!(t.cell(row, "hosterror").as_int(), 0);
+            }
+        }
+        hosts[1].lock().reboot();
+        state.lock().db.clock().advance(60);
+        let report = dcm.run_once();
+        // Only the failed host is retried.
+        assert_eq!(report.updates.len(), 1);
+        assert_eq!(report.updates[0].1, "SUOMI.MIT.EDU");
+        assert!(report.updates[0].2.is_ok());
+        assert!(hosts[1].lock().read_file("/var/hesiod/passwd.db").is_some());
+    }
+
+    #[test]
+    fn hard_failure_on_replicated_stops_remaining_hosts() {
+        let (mut dcm, state, hosts) = setup();
+        hosts[0].lock().fail.fail_exec_with = Some(13);
+        let report = dcm.run_once();
+        // First host hard-fails; the second is never attempted.
+        assert_eq!(report.updates.len(), 1);
+        assert!(matches!(
+            report.updates[0].2,
+            Err(UpdateError::ExecFailed(13))
+        ));
+        assert_eq!(dcm.stats.hard_failures, 1);
+        // Zephyr + mail sent.
+        assert!(dcm
+            .notices
+            .iter()
+            .any(|n| n.kind == "zephyr" && n.target == "MOIRA"));
+        assert!(dcm.notices.iter().any(|n| n.kind == "mail"));
+        // Service harderror set: next run skips the service entirely.
+        {
+            let s = state.lock();
+            let row =
+                s.db.table("servers")
+                    .select_one(&Pred::Eq("name", "HESIOD".into()))
+                    .unwrap();
+            assert_ne!(s.db.cell("servers", row, "harderror").as_int(), 0);
+        }
+        state.lock().db.clock().advance(7 * 3600);
+        let report = dcm.run_once();
+        assert!(report.updates.is_empty());
+        // Operator resets the error; service resumes.
+        {
+            let mut s = state.lock();
+            let registry = Registry::standard();
+            registry
+                .execute(
+                    &mut s,
+                    &Caller::root("ops"),
+                    "reset_server_error",
+                    &["HESIOD".into()],
+                )
+                .unwrap();
+            registry
+                .execute(
+                    &mut s,
+                    &Caller::root("ops"),
+                    "reset_server_host_error",
+                    &["HESIOD".into(), "KIWI.MIT.EDU".into()],
+                )
+                .unwrap();
+        }
+        hosts[0].lock().fail.fail_exec_with = None;
+        state.lock().db.clock().advance(7 * 3600);
+        let report = dcm.run_once();
+        assert_eq!(report.updates.len(), 2);
+        assert!(report.updates.iter().all(|(_, _, r)| r.is_ok()));
+    }
+
+    #[test]
+    fn override_forces_immediate_update() {
+        let (mut dcm, state, hosts) = setup();
+        dcm.run_once();
+        // Install something detectably old, then force an update without
+        // advancing past the interval.
+        hosts[0].lock().files_mut().remove("/var/hesiod/passwd.db");
+        {
+            let mut s = state.lock();
+            let registry = Registry::standard();
+            registry
+                .execute(
+                    &mut s,
+                    &Caller::root("ops"),
+                    "set_server_host_override",
+                    &["HESIOD".into(), "KIWI.MIT.EDU".into()],
+                )
+                .unwrap();
+        }
+        state.lock().db.clock().advance(60);
+        let report = dcm.run_once();
+        assert_eq!(report.updates.len(), 1);
+        assert_eq!(report.updates[0].1, "KIWI.MIT.EDU");
+        assert!(hosts[0].lock().read_file("/var/hesiod/passwd.db").is_some());
+        // Override cleared afterwards.
+        let s = state.lock();
+        let t = s.db.table("serverhosts");
+        for (row, _) in t.iter() {
+            assert!(!t.cell(row, "override").as_bool());
+        }
+    }
+
+    #[test]
+    fn disabled_service_skipped() {
+        let (mut dcm, state, _) = setup();
+        {
+            let mut s = state.lock();
+            let registry = Registry::standard();
+            registry
+                .execute(
+                    &mut s,
+                    &Caller::root("ops"),
+                    "update_server_info",
+                    &[
+                        "HESIOD".into(),
+                        "360".into(),
+                        "/tmp/hesiod.out".into(),
+                        "restart-hesiod".into(),
+                        "REPLICAT".into(),
+                        "0".into(), // disabled
+                        "NONE".into(),
+                        "NONE".into(),
+                    ],
+                )
+                .unwrap();
+        }
+        let report = dcm.run_once();
+        assert!(report.generated.is_empty());
+        assert!(report.updates.is_empty());
+    }
+}

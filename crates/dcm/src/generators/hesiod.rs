@@ -1,0 +1,543 @@
+//! The Hesiod generator: eleven BIND-format `.db` files (§5.8.2).
+//!
+//! "Moira's responsibility to hesiod is to provide authoritative data.
+//! Hesiod uses a BIND data format in all of it's data files." Every Hesiod
+//! server receives the same archive; the install script restarts the
+//! nameserver so the new files are read into memory.
+
+use moira_common::errors::MrResult;
+use moira_core::state::MoiraState;
+use moira_db::Pred;
+
+use crate::archive::Archive;
+
+use super::{active_groups, active_users, group_map, Generator};
+
+/// Generator for the HESIOD service.
+pub struct HesiodGenerator;
+
+/// Formats one BIND `UNSPECA` line.
+fn unspeca(name: &str, kind: &str, data: &str) -> String {
+    format!("{name}.{kind}\tHS UNSPECA\t\"{data}\"\n")
+}
+
+/// Formats one BIND `CNAME` line.
+fn cname(name: &str, kind: &str, target: &str) -> String {
+    format!("{name}.{kind}\tHS CNAME\t{target}\n")
+}
+
+impl Generator for HesiodGenerator {
+    fn service(&self) -> &'static str {
+        "HESIOD"
+    }
+
+    fn depends_on(&self) -> &'static [&'static str] {
+        &[
+            "users",
+            "list",
+            "members",
+            "filesys",
+            "machine",
+            "cluster",
+            "mcmap",
+            "svc",
+            "printcap",
+            "services",
+            "serverhosts",
+            "strings",
+            "nfsphys",
+        ]
+    }
+
+    fn generate(&self, state: &MoiraState, _value3: &str) -> MrResult<Archive> {
+        let mut archive = Archive::new();
+        archive.add("cluster.db", cluster_db(state));
+        archive.add("filsys.db", filsys_db(state));
+        archive.add("gid.db", gid_db(state));
+        archive.add("group.db", group_db(state));
+        archive.add("grplist.db", grplist_db(state));
+        archive.add("passwd.db", passwd_db(state));
+        archive.add("pobox.db", pobox_db(state));
+        archive.add("printcap.db", printcap_db(state));
+        archive.add("service.db", service_db(state));
+        archive.add("sloc.db", sloc_db(state));
+        archive.add("uid.db", uid_db(state));
+        Ok(archive)
+    }
+}
+
+/// `cluster.db`: per-cluster data lines plus a CNAME per machine; machines
+/// in several clusters get a pseudo-cluster holding the union.
+pub fn cluster_db(state: &MoiraState) -> String {
+    let mut out = String::new();
+    let clusters = state.db.table("cluster");
+    let mut cluster_rows: Vec<_> = clusters.iter().map(|(id, _)| id).collect();
+    cluster_rows.sort_unstable();
+    for row in cluster_rows {
+        let name = clusters.cell(row, "name").as_str().to_owned();
+        let clu_id = clusters.cell(row, "clu_id").as_int();
+        for srow in state.db.select("svc", &Pred::Eq("clu_id", clu_id.into())) {
+            let label = state.db.cell("svc", srow, "serv_label").render();
+            let data = state.db.cell("svc", srow, "serv_cluster").render();
+            out.push_str(&unspeca(&name, "cluster", &format!("{label} {data}")));
+        }
+    }
+    // Machine CNAMEs (and pseudo-clusters for multi-cluster machines).
+    let machines = state.db.table("machine");
+    let mut mrows: Vec<_> = machines.iter().map(|(id, _)| id).collect();
+    mrows.sort_unstable();
+    for mrow in mrows {
+        let mach = machines.cell(mrow, "name").as_str().to_owned();
+        let mach_id = machines.cell(mrow, "mach_id").as_int();
+        let memberships = state
+            .db
+            .select("mcmap", &Pred::Eq("mach_id", mach_id.into()));
+        match memberships.len() {
+            0 => {}
+            1 => {
+                let clu_id = state.db.cell("mcmap", memberships[0], "clu_id").as_int();
+                if let Some(crow) = state
+                    .db
+                    .table("cluster")
+                    .select_one(&Pred::Eq("clu_id", clu_id.into()))
+                {
+                    let cluster = state.db.cell("cluster", crow, "name").render();
+                    out.push_str(&cname(&mach, "cluster", &format!("{cluster}.cluster")));
+                }
+            }
+            _ => {
+                // "A pseudo-cluster will be made by Moira which has as its
+                // cluster data, the union of the data of each of the other
+                // clusters this machine is in."
+                let pseudo = format!("{}-pseudo", mach.to_ascii_lowercase());
+                for (label, data) in
+                    moira_core::queries::machines::cluster_data_for_machine(state, mach_id)
+                {
+                    out.push_str(&unspeca(&pseudo, "cluster", &format!("{label} {data}")));
+                }
+                out.push_str(&cname(&mach, "cluster", &format!("{pseudo}.cluster")));
+            }
+        }
+    }
+    out
+}
+
+/// `filsys.db`: every filesystem entry needed to find and attach lockers.
+pub fn filsys_db(state: &MoiraState) -> String {
+    let t = state.db.table("filesys");
+    let mut entries: Vec<(String, String)> = t
+        .iter()
+        .map(|(id, row)| {
+            let label = row[t.col("label")].as_str().to_owned();
+            let fstype = row[t.col("type")].as_str().to_owned();
+            let name = row[t.col("name")].as_str().to_owned();
+            let machine = machine_name_upper(state, row[t.col("mach_id")].as_int())
+                .to_ascii_lowercase()
+                .split('.')
+                .next()
+                .unwrap_or_default()
+                .to_owned();
+            let access = row[t.col("access")].as_str().to_owned();
+            let mount = row[t.col("mount")].as_str().to_owned();
+            let _ = id;
+            (
+                label.clone(),
+                unspeca(
+                    &label,
+                    "filsys",
+                    &format!("{fstype} {name} {machine} {access} {mount}"),
+                ),
+            )
+        })
+        .collect();
+    entries.sort();
+    entries.into_iter().map(|(_, line)| line).collect()
+}
+
+/// `gid.db`: group ID numbers to group entries.
+pub fn gid_db(state: &MoiraState) -> String {
+    let mut out = String::new();
+    for (_, name, gid) in active_groups(state) {
+        out.push_str(&cname(&gid.to_string(), "gid", &format!("{name}.group")));
+    }
+    out
+}
+
+/// `group.db`: `/etc/group`-shaped entries (members never filled in).
+pub fn group_db(state: &MoiraState) -> String {
+    let mut out = String::new();
+    for (_, name, gid) in active_groups(state) {
+        out.push_str(&unspeca(&name, "group", &format!("{name}:*:{gid}:")));
+    }
+    out
+}
+
+/// `grplist.db`: per-user colon-separated (group, gid) pairs.
+pub fn grplist_db(state: &MoiraState) -> String {
+    let users = state.db.table("users");
+    let groups = group_map(state);
+    let mut out = String::new();
+    for (row, login, _uid) in active_users(state) {
+        let users_id = users.cell(row, "users_id").as_int();
+        let mut entry = login.clone();
+        if let Some(memberships) = groups.get(&users_id) {
+            for (gname, gid) in memberships {
+                entry.push_str(&format!(":{gname}:{gid}"));
+            }
+        }
+        out.push_str(&unspeca(&login, "grplist", &entry));
+    }
+    out
+}
+
+fn passwd_line(state: &MoiraState, row: moira_db::RowId) -> String {
+    let t = state.db.table("users");
+    format!(
+        "{}:*:{}:101:{},,,,:/mit/{}:{}",
+        t.cell(row, "login").render(),
+        t.cell(row, "uid").render(),
+        t.cell(row, "fullname").render(),
+        t.cell(row, "login").render(),
+        t.cell(row, "shell").render(),
+    )
+}
+
+/// `passwd.db`: `/etc/passwd`-shaped entries for active users.
+pub fn passwd_db(state: &MoiraState) -> String {
+    let mut out = String::new();
+    for (row, login, _) in active_users(state) {
+        out.push_str(&unspeca(&login, "passwd", &passwd_line(state, row)));
+    }
+    out
+}
+
+/// `pobox.db`: the location of each active POP user's post office box.
+pub fn pobox_db(state: &MoiraState) -> String {
+    let users = state.db.table("users");
+    let mut out = String::new();
+    for (row, login, _) in active_users(state) {
+        if users.cell(row, "potype").as_str() != "POP" {
+            continue;
+        }
+        let machine = machine_name_upper(state, users.cell(row, "pop_id").as_int());
+        out.push_str(&unspeca(&login, "pobox", &format!("POP {machine} {login}")));
+    }
+    out
+}
+
+/// `printcap.db`: `/etc/printcap` entries.
+pub fn printcap_db(state: &MoiraState) -> String {
+    let t = state.db.table("printcap");
+    let mut entries: Vec<String> = t
+        .iter()
+        .map(|(_, row)| {
+            let name = row[t.col("name")].as_str().to_owned();
+            let rp = row[t.col("rp")].as_str().to_owned();
+            let rm = machine_name_upper(state, row[t.col("mach_id")].as_int());
+            let sd = row[t.col("dir")].as_str().to_owned();
+            unspeca(&name, "pcap", &format!("{name}:rp={rp}:rm={rm}:sd={sd}"))
+        })
+        .collect();
+    entries.sort();
+    entries.concat()
+}
+
+/// `service.db`: `/etc/services` entries.
+pub fn service_db(state: &MoiraState) -> String {
+    let t = state.db.table("services");
+    let mut entries: Vec<String> = t
+        .iter()
+        .map(|(_, row)| {
+            let name = row[t.col("name")].as_str().to_owned();
+            let proto = row[t.col("protocol")].as_str().to_ascii_lowercase();
+            let port = row[t.col("port")].as_int();
+            unspeca(&name, "service", &format!("{name} {proto} {port}"))
+        })
+        .collect();
+    entries.sort();
+    entries.concat()
+}
+
+/// `sloc.db`: DCM service/host tuples, indexed by service.
+pub fn sloc_db(state: &MoiraState) -> String {
+    let t = state.db.table("serverhosts");
+    let mut entries: Vec<String> = t
+        .iter()
+        .map(|(_, row)| {
+            let service = row[t.col("service")].as_str().to_owned();
+            let machine = machine_name_upper(state, row[t.col("mach_id")].as_int());
+            format!("{service}.sloc\tHS UNSPECA\t{machine}\n")
+        })
+        .collect();
+    entries.sort();
+    entries.concat()
+}
+
+/// `uid.db`: unix UIDs to password entries.
+pub fn uid_db(state: &MoiraState) -> String {
+    let mut out = String::new();
+    let mut users = active_users(state);
+    users.sort_by_key(|(_, _, uid)| *uid);
+    for (_, login, uid) in users {
+        out.push_str(&cname(&uid.to_string(), "uid", &format!("{login}.passwd")));
+    }
+    out
+}
+
+pub(crate) fn machine_name_upper(state: &MoiraState, mach_id: i64) -> String {
+    state
+        .db
+        .table("machine")
+        .select_one(&Pred::Eq("mach_id", mach_id.into()))
+        .map(|r| state.db.cell("machine", r, "name").render())
+        .unwrap_or_else(|| format!("#{mach_id}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moira_core::queries::testutil::state_with_admin;
+    use moira_core::registry::Registry;
+    use moira_core::state::Caller;
+
+    fn setup() -> MoiraState {
+        let (mut s, _) = state_with_admin("ops");
+        let r = Registry::standard();
+        let ops = Caller::new("ops", "test");
+        let run = |s: &mut MoiraState, q: &str, args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            r.execute(s, &ops, q, &args).unwrap()
+        };
+        run(&mut s, "add_machine", &["CHARON", "VAX"]);
+        run(&mut s, "add_machine", &["ATHENA-PO-2.MIT.EDU", "VAX"]);
+        run(&mut s, "add_machine", &["BLANKET.MIT.EDU", "VAX"]);
+        run(
+            &mut s,
+            "add_user",
+            &[
+                "babette", "6530", "/bin/csh", "Fowler", "Harmon", "C", "1", "x1", "1990",
+            ],
+        );
+        run(
+            &mut s,
+            "update_finger_by_login",
+            &["babette", "Harmon C Fowler", "", "", "", "", "", "", ""],
+        );
+        run(
+            &mut s,
+            "add_user",
+            &[
+                "ghost", "6599", "/bin/csh", "Gone", "Al", "", "0", "x2", "1990",
+            ],
+        );
+        run(
+            &mut s,
+            "set_pobox",
+            &["babette", "POP", "ATHENA-PO-2.MIT.EDU"],
+        );
+        run(
+            &mut s,
+            "add_list",
+            &[
+                "babette", "1", "0", "0", "0", "1", "10914", "NONE", "NONE", "",
+            ],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["babette", "USER", "babette"],
+        );
+        run(
+            &mut s,
+            "add_nfsphys",
+            &["CHARON", "/u1/lockers", "ra0c", "1", "0", "99999"],
+        );
+        run(
+            &mut s,
+            "add_filesys",
+            &[
+                "aab",
+                "NFS",
+                "CHARON",
+                "/u1/lockers/aab",
+                "/mit/aab",
+                "w",
+                "",
+                "babette",
+                "babette",
+                "1",
+                "HOMEDIR",
+            ],
+        );
+        run(
+            &mut s,
+            "add_printcap",
+            &[
+                "linus",
+                "BLANKET.MIT.EDU",
+                "/usr/spool/printer/linus",
+                "linus",
+                "",
+            ],
+        );
+        run(&mut s, "add_service", &["smtp", "TCP", "25", "mail"]);
+        run(
+            &mut s,
+            "add_server_info",
+            &[
+                "HESIOD",
+                "360",
+                "/tmp/hesiod.out",
+                "hes.sh",
+                "REPLICAT",
+                "1",
+                "NONE",
+                "NONE",
+            ],
+        );
+        run(
+            &mut s,
+            "add_server_host_info",
+            &["HESIOD", "CHARON", "1", "0", "0", ""],
+        );
+        run(&mut s, "add_cluster", &["bldge40-vs", "", "E40"]);
+        run(&mut s, "add_cluster", &["bldge40-rt", "", "E40"]);
+        run(
+            &mut s,
+            "add_cluster_data",
+            &["bldge40-vs", "zephyr", "neskaya.mit.edu"],
+        );
+        run(&mut s, "add_cluster_data", &["bldge40-rt", "lpr", "e40"]);
+        run(&mut s, "add_machine", &["TOTO", "RT"]);
+        run(&mut s, "add_machine", &["SCARECROW", "RT"]);
+        run(&mut s, "add_machine_to_cluster", &["TOTO", "bldge40-rt"]);
+        run(
+            &mut s,
+            "add_machine_to_cluster",
+            &["SCARECROW", "bldge40-rt"],
+        );
+        run(
+            &mut s,
+            "add_machine_to_cluster",
+            &["SCARECROW", "bldge40-vs"],
+        );
+        s
+    }
+
+    #[test]
+    fn passwd_and_uid_cross_reference() {
+        let s = setup();
+        let passwd = passwd_db(&s);
+        assert!(passwd.contains(
+            "babette.passwd\tHS UNSPECA\t\"babette:*:6530:101:Harmon C Fowler,,,,:/mit/babette:/bin/csh\""
+        ));
+        // Inactive users excluded.
+        assert!(!passwd.contains("ghost"));
+        let uid = uid_db(&s);
+        assert!(uid.contains("6530.uid\tHS CNAME\tbabette.passwd"));
+        assert!(!uid.contains("6599"));
+        // Every uid entry points at a passwd entry.
+        for line in uid.lines() {
+            let target = line.rsplit('\t').next().unwrap();
+            assert!(passwd.contains(&format!("{target}\t")), "{target}");
+        }
+    }
+
+    #[test]
+    fn pobox_entries() {
+        let s = setup();
+        let pobox = pobox_db(&s);
+        assert!(pobox.contains("babette.pobox\tHS UNSPECA\t\"POP ATHENA-PO-2.MIT.EDU babette\""));
+        assert_eq!(pobox.lines().count(), 1);
+    }
+
+    #[test]
+    fn group_files_consistent() {
+        let s = setup();
+        let group = group_db(&s);
+        let gid = gid_db(&s);
+        let grplist = grplist_db(&s);
+        assert!(group.contains("babette.group\tHS UNSPECA\t\"babette:*:10914:\""));
+        assert!(gid.contains("10914.gid\tHS CNAME\tbabette.group"));
+        assert!(grplist.contains("\"babette:babette:10914\""));
+    }
+
+    #[test]
+    fn filsys_format() {
+        let s = setup();
+        let f = filsys_db(&s);
+        assert!(
+            f.contains("aab.filsys\tHS UNSPECA\t\"NFS /u1/lockers/aab charon w /mit/aab\""),
+            "{f}"
+        );
+    }
+
+    #[test]
+    fn printcap_service_sloc() {
+        let s = setup();
+        assert!(printcap_db(&s).contains(
+            "linus.pcap\tHS UNSPECA\t\"linus:rp=linus:rm=BLANKET.MIT.EDU:sd=/usr/spool/printer/linus\""
+        ));
+        assert!(service_db(&s).contains("smtp.service\tHS UNSPECA\t\"smtp tcp 25\""));
+        assert!(sloc_db(&s).contains("HESIOD.sloc\tHS UNSPECA\tCHARON"));
+    }
+
+    #[test]
+    fn cluster_pseudo_union() {
+        let s = setup();
+        let c = cluster_db(&s);
+        assert!(c.contains("bldge40-vs.cluster\tHS UNSPECA\t\"zephyr neskaya.mit.edu\""));
+        assert!(c.contains("TOTO.cluster\tHS CNAME\tbldge40-rt.cluster"));
+        // SCARECROW is in both clusters: pseudo-cluster with the union.
+        assert!(c.contains("SCARECROW.cluster\tHS CNAME\tscarecrow-pseudo.cluster"));
+        assert!(c.contains("scarecrow-pseudo.cluster\tHS UNSPECA\t\"lpr e40\""));
+        assert!(c.contains("scarecrow-pseudo.cluster\tHS UNSPECA\t\"zephyr neskaya.mit.edu\""));
+    }
+
+    #[test]
+    fn archive_has_eleven_files() {
+        let s = setup();
+        let archive = HesiodGenerator.generate(&s, "").unwrap();
+        assert_eq!(archive.members.len(), 11);
+        assert_eq!(
+            archive.member_names(),
+            vec![
+                "cluster.db",
+                "filsys.db",
+                "gid.db",
+                "group.db",
+                "grplist.db",
+                "passwd.db",
+                "pobox.db",
+                "printcap.db",
+                "service.db",
+                "sloc.db",
+                "uid.db"
+            ]
+        );
+    }
+
+    #[test]
+    fn no_change_detection() {
+        use crate::generators::check_no_change;
+        let mut s = setup();
+        let now = s.now();
+        assert!(
+            check_no_change(&HesiodGenerator, &s, now).is_err(),
+            "nothing changed"
+        );
+        s.db.clock().advance(100);
+        let r = Registry::standard();
+        r.execute(
+            &mut s,
+            &Caller::new("ops", "t"),
+            "add_machine",
+            &["NEWBOX".into(), "VAX".into()],
+        )
+        .unwrap();
+        assert!(
+            check_no_change(&HesiodGenerator, &s, now).is_ok(),
+            "machine changed"
+        );
+    }
+}

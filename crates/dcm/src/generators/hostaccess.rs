@@ -1,0 +1,233 @@
+//! The per-machine password-file generator driven by HOSTACCESS.
+//!
+//! §6 (HOSTACCESS): "This table provides the necessary information for
+//! Moira to be generating machine specific /etc/passwd files. It
+//! associates an access control entity with a machine." And §7.0.7
+//! (`get_server_host_access`): "This will be used to load the /.klogin
+//! file on that machine."
+//!
+//! The paper describes the data but not the generator; this module
+//! completes the design: a per-host `PASSWD` service whose archive carries
+//! an `/etc/passwd` restricted to the machine's ACE (or all active users
+//! when the machine has no HOSTACCESS entry) plus the `/.klogin` file
+//! listing the Kerberos principals allowed in as root.
+
+use moira_common::errors::MrResult;
+use moira_core::queries::lists::expand_member_ids_recursive;
+use moira_core::state::MoiraState;
+use moira_db::Pred;
+
+use crate::archive::Archive;
+
+use super::{active_users, Generator};
+
+/// Generator for the PASSWD service (per host).
+pub struct HostAccessGenerator;
+
+impl Generator for HostAccessGenerator {
+    fn service(&self) -> &'static str {
+        "PASSWD"
+    }
+
+    fn depends_on(&self) -> &'static [&'static str] {
+        &["users", "hostaccess", "list", "members"]
+    }
+
+    fn generate(&self, state: &MoiraState, _value3: &str) -> MrResult<Archive> {
+        // Host-independent form: the unrestricted password file.
+        let mut archive = Archive::new();
+        archive.add("passwd", passwd_file(state, None));
+        Ok(archive)
+    }
+
+    fn per_host(&self) -> bool {
+        true
+    }
+}
+
+impl HostAccessGenerator {
+    /// Builds the archive for one machine: its restricted `/etc/passwd`
+    /// and its `/.klogin`.
+    pub fn for_host(state: &MoiraState, mach_id: i64) -> Archive {
+        let restriction = hostaccess_users(state, mach_id);
+        let mut archive = Archive::new();
+        archive.add("passwd", passwd_file(state, restriction.as_deref()));
+        archive.add("klogin", klogin_file(state, mach_id));
+        archive
+    }
+}
+
+/// The `users_id` set admitted by a machine's HOSTACCESS ACE, or `None`
+/// when the machine is unrestricted.
+fn hostaccess_users(state: &MoiraState, mach_id: i64) -> Option<Vec<i64>> {
+    let row = state
+        .db
+        .table("hostaccess")
+        .select_one(&Pred::Eq("mach_id", mach_id.into()))?;
+    let ace_type = state
+        .db
+        .cell("hostaccess", row, "acl_type")
+        .as_str()
+        .to_owned();
+    let ace_id = state.db.cell("hostaccess", row, "acl_id").as_int();
+    match ace_type.as_str() {
+        "USER" => Some(vec![ace_id]),
+        "LIST" => {
+            let (users, _strings) = expand_member_ids_recursive(state, ace_id);
+            Some(users)
+        }
+        // A NONE ACE admits nobody beyond root.
+        _ => Some(Vec::new()),
+    }
+}
+
+/// Renders a standard-format password file, optionally restricted to a
+/// users_id set.
+pub fn passwd_file(state: &MoiraState, restrict: Option<&[i64]>) -> String {
+    let users = state.db.table("users");
+    let mut out = String::new();
+    for (row, login, uid) in active_users(state) {
+        let users_id = users.cell(row, "users_id").as_int();
+        if let Some(allowed) = restrict {
+            if !allowed.contains(&users_id) {
+                continue;
+            }
+        }
+        out.push_str(&format!(
+            "{login}:*:{uid}:101:{},,,:/mit/{login}:{}\n",
+            users.cell(row, "fullname").render(),
+            users.cell(row, "shell").render(),
+        ));
+    }
+    out
+}
+
+/// Renders the `/.klogin` file: one `principal.root@REALM`-style line per
+/// admitted administrator.
+pub fn klogin_file(state: &MoiraState, mach_id: i64) -> String {
+    let Some(users) = hostaccess_users(state, mach_id) else {
+        return String::new();
+    };
+    let mut logins: Vec<String> = users
+        .iter()
+        .filter_map(|&users_id| {
+            state
+                .db
+                .table("users")
+                .select_one(&Pred::Eq("users_id", users_id.into()))
+                .map(|r| state.db.cell("users", r, "login").render())
+        })
+        .collect();
+    logins.sort();
+    logins
+        .into_iter()
+        .map(|l| format!("{l}.root@ATHENA.MIT.EDU\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moira_core::queries::testutil::{add_test_machine, state_with_admin};
+    use moira_core::registry::Registry;
+    use moira_core::state::Caller;
+
+    fn setup() -> (MoiraState, i64, i64) {
+        let (mut s, _) = state_with_admin("ops");
+        let r = Registry::standard();
+        let root = Caller::root("t");
+        let run = |s: &mut MoiraState, q: &str, args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            r.execute(s, &root, q, &args).unwrap()
+        };
+        let restricted = add_test_machine(&mut s, "DIALUP.MIT.EDU");
+        let open = add_test_machine(&mut s, "PUBLIC.MIT.EDU");
+        for (login, uid) in [("alice", "7001"), ("bob", "7002"), ("carol", "7003")] {
+            run(
+                &mut s,
+                "add_user",
+                &[login, uid, "/bin/csh", "L", "F", "", "1", "x", "STAFF"],
+            );
+        }
+        run(
+            &mut s,
+            "add_list",
+            &[
+                "dialup-ok",
+                "1",
+                "0",
+                "0",
+                "0",
+                "0",
+                "-1",
+                "NONE",
+                "NONE",
+                "",
+            ],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["dialup-ok", "USER", "alice"],
+        );
+        run(&mut s, "add_member_to_list", &["dialup-ok", "USER", "bob"]);
+        run(
+            &mut s,
+            "add_server_host_access",
+            &["DIALUP.MIT.EDU", "LIST", "dialup-ok"],
+        );
+        (s, restricted, open)
+    }
+
+    #[test]
+    fn restricted_host_gets_only_its_ace() {
+        let (s, restricted, _) = setup();
+        let archive = HostAccessGenerator::for_host(&s, restricted);
+        let passwd = String::from_utf8(archive.get("passwd").unwrap().to_vec()).unwrap();
+        assert!(passwd.contains("alice:*:7001"));
+        assert!(passwd.contains("bob:*:7002"));
+        assert!(!passwd.contains("carol"));
+        assert!(!passwd.contains("ops"));
+        let klogin = String::from_utf8(archive.get("klogin").unwrap().to_vec()).unwrap();
+        assert_eq!(
+            klogin,
+            "alice.root@ATHENA.MIT.EDU\nbob.root@ATHENA.MIT.EDU\n"
+        );
+    }
+
+    #[test]
+    fn unrestricted_host_gets_everyone_and_empty_klogin() {
+        let (s, _, open) = setup();
+        let archive = HostAccessGenerator::for_host(&s, open);
+        let passwd = String::from_utf8(archive.get("passwd").unwrap().to_vec()).unwrap();
+        for login in ["alice", "bob", "carol", "ops"] {
+            assert!(passwd.contains(&format!("{login}:*:")), "{login}");
+        }
+        let klogin = String::from_utf8(archive.get("klogin").unwrap().to_vec()).unwrap();
+        assert!(klogin.is_empty());
+    }
+
+    #[test]
+    fn none_ace_admits_nobody() {
+        let (mut s, restricted, _) = setup();
+        let r = Registry::standard();
+        r.execute(
+            &mut s,
+            &Caller::root("t"),
+            "update_server_host_access",
+            &["DIALUP.MIT.EDU".into(), "NONE".into(), "NONE".into()],
+        )
+        .unwrap();
+        let archive = HostAccessGenerator::for_host(&s, restricted);
+        let passwd = String::from_utf8(archive.get("passwd").unwrap().to_vec()).unwrap();
+        assert!(passwd.is_empty());
+    }
+
+    #[test]
+    fn generate_without_host_is_unrestricted() {
+        let (s, _, _) = setup();
+        let archive = HostAccessGenerator.generate(&s, "").unwrap();
+        let passwd = String::from_utf8(archive.get("passwd").unwrap().to_vec()).unwrap();
+        assert!(passwd.contains("carol"));
+    }
+}

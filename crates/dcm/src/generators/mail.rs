@@ -1,0 +1,266 @@
+//! The mail generator: `/usr/lib/aliases` and the mail-hub password file
+//! (§5.8.2).
+//!
+//! "This file contains both mailing lists and post office boxes. Mailing
+//! lists are output only if the list is marked active…; Poboxes are only
+//! output if the user's account is active." A second file, a complete
+//! password file, keeps the mail hub's finger server informed.
+
+use moira_common::errors::MrResult;
+use moira_core::queries::lists::expand_members_recursive;
+use moira_core::state::MoiraState;
+use moira_db::Pred;
+
+use crate::archive::Archive;
+
+use super::{active_users, Generator};
+
+/// Generator for the MAIL service.
+pub struct MailGenerator;
+
+impl Generator for MailGenerator {
+    fn service(&self) -> &'static str {
+        "MAIL"
+    }
+
+    fn depends_on(&self) -> &'static [&'static str] {
+        &["users", "list", "members", "strings", "machine"]
+    }
+
+    fn generate(&self, state: &MoiraState, _value3: &str) -> MrResult<Archive> {
+        let mut archive = Archive::new();
+        archive.add("aliases", aliases(state));
+        archive.add("passwd", passwd(state));
+        Ok(archive)
+    }
+}
+
+/// Short host name for `@<po>.LOCAL` routing.
+fn po_shortname(state: &MoiraState, mach_id: i64) -> String {
+    state
+        .db
+        .table("machine")
+        .select_one(&Pred::Eq("mach_id", mach_id.into()))
+        .map(|r| state.db.cell("machine", r, "name").render())
+        .unwrap_or_else(|| format!("#{mach_id}"))
+}
+
+/// The `/usr/lib/aliases` file.
+pub fn aliases(state: &MoiraState) -> String {
+    let mut out = String::new();
+    // Active mailing lists first, with owner- aliases from their ACEs.
+    let lists = state.db.table("list");
+    let mut list_rows: Vec<_> = lists
+        .iter()
+        .filter(|(_, row)| {
+            row[lists.col("active")].as_bool() && row[lists.col("maillist")].as_bool()
+        })
+        .map(|(id, _)| id)
+        .collect();
+    list_rows.sort_by_key(|&id| lists.cell(id, "name").as_str().to_owned());
+    for row in list_rows {
+        let name = lists.cell(row, "name").render();
+        let desc = lists.cell(row, "desc").render();
+        let list_id = lists.cell(row, "list_id").as_int();
+        if !desc.is_empty() {
+            out.push_str(&format!("# {desc}\n"));
+        }
+        let (ace_type, ace_name) = moira_core::ace::render_ace(
+            &state.db,
+            lists.cell(row, "acl_type").as_str(),
+            lists.cell(row, "acl_id").as_int(),
+        );
+        if ace_type != "NONE" {
+            out.push_str(&format!("owner-{name}: {ace_name}\n"));
+        }
+        let (users, strings) = expand_members_recursive(state, list_id);
+        let mut members = users;
+        members.extend(strings);
+        if members.is_empty() {
+            out.push_str(&format!("{name}: /dev/null\n"));
+        } else {
+            out.push_str(&format!("{name}: {}\n", members.join(", ")));
+        }
+    }
+    // Pobox routing for active users.
+    let users = state.db.table("users");
+    for (row, login, _) in active_users(state) {
+        match users.cell(row, "potype").as_str() {
+            "POP" => {
+                let po = po_shortname(state, users.cell(row, "pop_id").as_int());
+                let short = po.split('.').next().unwrap_or(&po).to_owned();
+                out.push_str(&format!("{login}: {login}@{short}.LOCAL\n"));
+            }
+            "SMTP" => {
+                let addr = moira_core::queries::helpers::string_of(
+                    state,
+                    users.cell(row, "box_id").as_int(),
+                );
+                out.push_str(&format!("{login}: {addr}\n"));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The standard-format password file for the mail hub's finger server —
+/// "an entry for every active account at Athena".
+pub fn passwd(state: &MoiraState) -> String {
+    let users = state.db.table("users");
+    let mut out = String::new();
+    for (row, login, uid) in active_users(state) {
+        out.push_str(&format!(
+            "{login}:*:{uid}:101:{},,,:/mit/{login}:{}\n",
+            users.cell(row, "fullname").render(),
+            users.cell(row, "shell").render(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moira_core::queries::testutil::state_with_admin;
+    use moira_core::registry::Registry;
+    use moira_core::state::Caller;
+
+    fn setup() -> MoiraState {
+        let (mut s, _) = state_with_admin("ops");
+        let r = Registry::standard();
+        let ops = Caller::new("ops", "test");
+        let run = |s: &mut MoiraState, q: &str, args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            r.execute(s, &ops, q, &args).unwrap()
+        };
+        run(&mut s, "add_machine", &["ATHENA-PO-2.MIT.EDU", "VAX"]);
+        for (login, uid) in [("babette", "6530"), ("paul", "6531"), ("smyser", "6532")] {
+            run(
+                &mut s,
+                "add_user",
+                &[
+                    login, uid, "/bin/csh", "Last", "First", "", "1", login, "1990",
+                ],
+            );
+        }
+        run(
+            &mut s,
+            "set_pobox",
+            &["babette", "POP", "ATHENA-PO-2.MIT.EDU"],
+        );
+        run(
+            &mut s,
+            "set_pobox",
+            &["smyser", "SMTP", "smyser@media-lab.mit.edu"],
+        );
+        run(
+            &mut s,
+            "add_list",
+            &[
+                "video-users",
+                "1",
+                "1",
+                "0",
+                "1",
+                "0",
+                "-1",
+                "USER",
+                "paul",
+                "Video Users",
+            ],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["video-users", "USER", "smyser"],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["video-users", "USER", "paul"],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["video-users", "STRING", "rubin@media-lab.mit.edu"],
+        );
+        // An inactive maillist must not be extracted.
+        run(
+            &mut s,
+            "add_list",
+            &[
+                "dead-list",
+                "0",
+                "0",
+                "0",
+                "1",
+                "0",
+                "-1",
+                "NONE",
+                "NONE",
+                "",
+            ],
+        );
+        s
+    }
+
+    #[test]
+    fn aliases_contents() {
+        let s = setup();
+        let a = aliases(&s);
+        assert!(a.contains("# Video Users\n"));
+        assert!(a.contains("owner-video-users: paul\n"));
+        assert!(a.contains("video-users: paul, smyser, rubin@media-lab.mit.edu\n"));
+        assert!(!a.contains("dead-list"));
+        assert!(a.contains("babette: babette@ATHENA-PO-2.LOCAL\n"));
+        assert!(a.contains("smyser: smyser@media-lab.mit.edu\n"));
+        // paul has no pobox: no routing line "paul: ".
+        assert!(!a.contains("\npaul: "));
+    }
+
+    #[test]
+    fn nested_lists_expand() {
+        let mut s = setup();
+        let r = Registry::standard();
+        let ops = Caller::new("ops", "t");
+        let run = |s: &mut MoiraState, q: &str, args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            r.execute(s, &ops, q, &args).unwrap()
+        };
+        run(
+            &mut s,
+            "add_list",
+            &[
+                "umbrella", "1", "0", "0", "1", "0", "-1", "NONE", "NONE", "",
+            ],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["umbrella", "LIST", "video-users"],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["umbrella", "USER", "babette"],
+        );
+        let a = aliases(&s);
+        assert!(a.contains("umbrella: babette, paul, smyser, rubin@media-lab.mit.edu\n"));
+    }
+
+    #[test]
+    fn passwd_file_standard_format() {
+        let s = setup();
+        let p = passwd(&s);
+        assert!(p.contains("babette:*:6530:101:First  Last,,,:/mit/babette:/bin/csh\n"));
+        assert_eq!(p.lines().count(), 4, "ops + three users");
+    }
+
+    #[test]
+    fn generator_archive() {
+        let s = setup();
+        let archive = MailGenerator.generate(&s, "").unwrap();
+        assert_eq!(archive.member_names(), vec!["aliases", "passwd"]);
+    }
+}

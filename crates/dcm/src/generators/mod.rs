@@ -1,0 +1,123 @@
+//! Per-service file generators (§5.8).
+//!
+//! "To date, the DCM uses c programs, not SDFs, to implement the
+//! construction of the server specific files. … The DCM then calls the
+//! appropriate module when the update interval is reached." Each generator
+//! extracts Moira data and converts it to the server-dependent format; a
+//! common "error" is `MR_NO_CHANGE`, "indicating that nothing in the
+//! database has changed and the data files were not re-built".
+
+pub mod hesiod;
+pub mod hostaccess;
+pub mod mail;
+pub mod nfs;
+pub mod zephyr;
+
+use moira_common::errors::{MrError, MrResult};
+use moira_core::state::MoiraState;
+
+use crate::archive::Archive;
+
+/// A service-file generator.
+pub trait Generator: Send + Sync {
+    /// The DCM service name this generator serves (uppercase).
+    fn service(&self) -> &'static str;
+
+    /// The relations whose modification forces regeneration; if none of
+    /// them changed since `dfgen`, the generator reports `MR_NO_CHANGE`.
+    fn depends_on(&self) -> &'static [&'static str];
+
+    /// Builds the archive of files for this service (the per-host variant
+    /// receives the serverhost's `value3`; services with identical files
+    /// everywhere ignore it).
+    fn generate(&self, state: &MoiraState, value3: &str) -> MrResult<Archive>;
+
+    /// True when the files are per-host rather than shared: the DCM must
+    /// regenerate per target instead of reusing one archive.
+    fn per_host(&self) -> bool {
+        false
+    }
+}
+
+/// Applies the incremental check: `Err(MR_NO_CHANGE)` when none of the
+/// generator's dependency relations changed since `dfgen`.
+pub fn check_no_change(generator: &dyn Generator, state: &MoiraState, dfgen: i64) -> MrResult<()> {
+    let changed = generator
+        .depends_on()
+        .iter()
+        .any(|table| state.db.table(table).stats().modtime > dfgen);
+    if changed {
+        Ok(())
+    } else {
+        Err(MrError::NoChange)
+    }
+}
+
+/// The standard generator set for the four supported services.
+pub fn standard_generators() -> Vec<Box<dyn Generator>> {
+    vec![
+        Box::new(hesiod::HesiodGenerator),
+        Box::new(nfs::NfsGenerator),
+        Box::new(mail::MailGenerator),
+        Box::new(zephyr::ZephyrGenerator),
+        Box::new(hostaccess::HostAccessGenerator),
+    ]
+}
+
+/// Shared helper: iterate active users as `(row id, login, uid)`.
+pub(crate) fn active_users(state: &MoiraState) -> Vec<(moira_db::RowId, String, i64)> {
+    let t = state.db.table("users");
+    let mut out: Vec<(moira_db::RowId, String, i64)> = t
+        .iter()
+        .filter(|(_, row)| row[t.col("status")] == moira_db::Value::Int(1))
+        .map(|(id, row)| {
+            (
+                id,
+                row[t.col("login")].as_str().to_owned(),
+                row[t.col("uid")].as_int(),
+            )
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    out
+}
+
+/// Shared helper: active unix groups as `(list_id, name, gid)` sorted by
+/// name.
+pub(crate) fn active_groups(state: &MoiraState) -> Vec<(i64, String, i64)> {
+    let t = state.db.table("list");
+    let mut out: Vec<(i64, String, i64)> = t
+        .iter()
+        .filter(|(_, row)| row[t.col("active")].as_bool() && row[t.col("grouplist")].as_bool())
+        .map(|(_, row)| {
+            (
+                row[t.col("list_id")].as_int(),
+                row[t.col("name")].as_str().to_owned(),
+                row[t.col("gid")].as_int(),
+            )
+        })
+        .collect();
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    out
+}
+
+/// Shared helper: one pass over the membership graph building
+/// `users_id -> [(group name, gid)]` for every active group, expanding
+/// nested lists. Built once per generation; O(membership edges), not
+/// O(users × groups).
+pub(crate) fn group_map(state: &MoiraState) -> std::collections::HashMap<i64, Vec<(String, i64)>> {
+    let mut map: std::collections::HashMap<i64, Vec<(String, i64)>> =
+        std::collections::HashMap::new();
+    for (list_id, name, gid) in active_groups(state) {
+        let (users, _strings) =
+            moira_core::queries::lists::expand_member_ids_recursive(state, list_id);
+        for users_id in users {
+            map.entry(users_id).or_default().push((name.clone(), gid));
+        }
+    }
+    for groups in map.values_mut() {
+        groups.sort();
+        groups.dedup();
+    }
+    map
+}

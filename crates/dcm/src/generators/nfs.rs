@@ -1,0 +1,322 @@
+//! The NFS generator: credentials, quotas, and directories files (§5.8.2).
+//!
+//! Unlike Hesiod, NFS files are per-host: each server gets the quotas and
+//! directories for the partitions it exports, plus a credentials file whose
+//! membership is either all active users or, when the serverhost's `value3`
+//! names a list, that list's membership.
+
+use moira_common::errors::MrResult;
+use moira_core::ace::user_in_list;
+use moira_core::state::MoiraState;
+use moira_db::Pred;
+
+use crate::archive::Archive;
+
+use super::{active_users, group_map, Generator};
+
+/// Generator for the NFS service. Host-specific: build with
+/// [`NfsGenerator::for_host`] inside the DCM.
+pub struct NfsGenerator;
+
+impl Generator for NfsGenerator {
+    fn service(&self) -> &'static str {
+        "NFS"
+    }
+
+    fn depends_on(&self) -> &'static [&'static str] {
+        &["users", "nfsquota", "nfsphys", "filesys", "list", "members"]
+    }
+
+    fn generate(&self, state: &MoiraState, value3: &str) -> MrResult<Archive> {
+        // Without a host context only the shared credentials file exists.
+        let mut archive = Archive::new();
+        archive.add("credentials", credentials(state, value3));
+        Ok(archive)
+    }
+
+    fn per_host(&self) -> bool {
+        true
+    }
+}
+
+impl NfsGenerator {
+    /// Builds the archive for one NFS server host: credentials plus a
+    /// `.quotas` and `.dirs` file per exported partition.
+    pub fn for_host(state: &MoiraState, mach_id: i64, value3: &str) -> Archive {
+        let mut archive = Archive::new();
+        archive.add("credentials", credentials(state, value3));
+        for prow in state
+            .db
+            .select("nfsphys", &Pred::Eq("mach_id", mach_id.into()))
+        {
+            let dir = state.db.cell("nfsphys", prow, "dir").render();
+            let phys_id = state.db.cell("nfsphys", prow, "nfsphys_id").as_int();
+            let stem = dir.trim_matches('/').replace('/', "_");
+            archive.add(&format!("{stem}.quotas"), quotas_file(state, phys_id));
+            archive.add(&format!("{stem}.dirs"), dirs_file(state, phys_id));
+        }
+        archive
+    }
+}
+
+/// The credentials file: `login:uid:gid:gid…`, one line per user. "If this
+/// field \[value3\] is non-blank, it specifies the list whose membership
+/// will appear in the credentials file."
+pub fn credentials(state: &MoiraState, value3: &str) -> String {
+    let restrict = if value3.trim().is_empty() {
+        None
+    } else {
+        state
+            .db
+            .table("list")
+            .select_one(&Pred::Eq("name", value3.trim().into()))
+            .map(|row| state.db.cell("list", row, "list_id").as_int())
+    };
+    let users = state.db.table("users");
+    let groups = group_map(state);
+    let mut out = String::new();
+    for (row, login, uid) in active_users(state) {
+        let users_id = users.cell(row, "users_id").as_int();
+        if let Some(list_id) = restrict {
+            if !user_in_list(&state.db, users_id, list_id) {
+                continue;
+            }
+        }
+        out.push_str(&login);
+        out.push(':');
+        out.push_str(&uid.to_string());
+        if let Some(memberships) = groups.get(&users_id) {
+            for (_, gid) in memberships {
+                out.push_str(&format!(":{gid}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The quotas file for one partition: `uid quota` per line.
+pub fn quotas_file(state: &MoiraState, phys_id: i64) -> String {
+    let mut lines: Vec<(i64, i64)> = Vec::new();
+    for qrow in state
+        .db
+        .select("nfsquota", &Pred::Eq("phys_id", phys_id.into()))
+    {
+        let users_id = state.db.cell("nfsquota", qrow, "users_id").as_int();
+        let quota = state.db.cell("nfsquota", qrow, "quota").as_int();
+        if let Some(urow) = state
+            .db
+            .table("users")
+            .select_one(&Pred::Eq("users_id", users_id.into()))
+        {
+            lines.push((state.db.cell("users", urow, "uid").as_int(), quota));
+        }
+    }
+    lines.sort_unstable();
+    lines
+        .into_iter()
+        .map(|(uid, q)| format!("{uid} {q}\n"))
+        .collect()
+}
+
+/// The directories file: `name uid gid type` for autocreate lockers on the
+/// partition.
+pub fn dirs_file(state: &MoiraState, phys_id: i64) -> String {
+    let mut lines = Vec::new();
+    for frow in state
+        .db
+        .select("filesys", &Pred::Eq("phys_id", phys_id.into()))
+    {
+        let t = state.db.table("filesys");
+        if !t.cell(frow, "createflg").as_bool() {
+            continue;
+        }
+        let name = t.cell(frow, "name").render();
+        let owner = t.cell(frow, "owner").as_int();
+        let owners = t.cell(frow, "owners").as_int();
+        let lockertype = t.cell(frow, "lockertype").render();
+        let uid = state
+            .db
+            .table("users")
+            .select_one(&Pred::Eq("users_id", owner.into()))
+            .map(|r| state.db.cell("users", r, "uid").as_int())
+            .unwrap_or(0);
+        let gid = state
+            .db
+            .table("list")
+            .select_one(&Pred::Eq("list_id", owners.into()))
+            .map(|r| state.db.cell("list", r, "gid").as_int())
+            .unwrap_or(0);
+        lines.push(format!("{name} {uid} {gid} {lockertype}\n"));
+    }
+    lines.sort();
+    lines.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moira_core::queries::testutil::state_with_admin;
+    use moira_core::registry::Registry;
+    use moira_core::state::Caller;
+
+    fn setup() -> (MoiraState, i64) {
+        let (mut s, _) = state_with_admin("ops");
+        let r = Registry::standard();
+        let ops = Caller::new("ops", "test");
+        let run = |s: &mut MoiraState, q: &str, args: &[&str]| {
+            let args: Vec<String> = args.iter().map(|x| x.to_string()).collect();
+            r.execute(s, &ops, q, &args).unwrap()
+        };
+        run(&mut s, "add_machine", &["CHARON", "VAX"]);
+        run(
+            &mut s,
+            "add_user",
+            &[
+                "mstai", "9296", "/bin/csh", "Stai", "M", "", "1", "x1", "1990",
+            ],
+        );
+        run(
+            &mut s,
+            "add_user",
+            &[
+                "mtalford", "14956", "/bin/csh", "Talford", "M", "", "1", "x2", "1990",
+            ],
+        );
+        run(
+            &mut s,
+            "add_user",
+            &[
+                "inactive", "9999", "/bin/csh", "Gone", "A", "", "0", "x3", "1990",
+            ],
+        );
+        run(
+            &mut s,
+            "add_list",
+            &[
+                "mtalford", "1", "0", "0", "0", "1", "5904", "NONE", "NONE", "",
+            ],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["mtalford", "USER", "mtalford"],
+        );
+        run(
+            &mut s,
+            "add_list",
+            &[
+                "staff-cred",
+                "1",
+                "0",
+                "0",
+                "0",
+                "0",
+                "-1",
+                "NONE",
+                "NONE",
+                "",
+            ],
+        );
+        run(
+            &mut s,
+            "add_member_to_list",
+            &["staff-cred", "USER", "mstai"],
+        );
+        run(
+            &mut s,
+            "add_nfsphys",
+            &["CHARON", "/u1/lockers", "ra0c", "1", "0", "99999"],
+        );
+        run(
+            &mut s,
+            "add_filesys",
+            &[
+                "mtalford",
+                "NFS",
+                "CHARON",
+                "/u1/lockers/mtalford",
+                "/mit/mtalford",
+                "w",
+                "",
+                "mtalford",
+                "mtalford",
+                "1",
+                "HOMEDIR",
+            ],
+        );
+        run(&mut s, "add_nfs_quota", &["mtalford", "mtalford", "300"]);
+        let mach_id =
+            s.db.cell(
+                "machine",
+                s.db.table("machine")
+                    .select_one(&Pred::Eq("name", "CHARON".into()))
+                    .unwrap(),
+                "mach_id",
+            )
+            .as_int();
+        (s, mach_id)
+    }
+
+    #[test]
+    fn credentials_all_active() {
+        let (s, _) = setup();
+        let cred = credentials(&s, "");
+        assert!(cred.contains("mtalford:14956:5904\n"));
+        assert!(cred.contains("mstai:9296\n"));
+        assert!(!cred.contains("inactive"));
+    }
+
+    #[test]
+    fn credentials_restricted_by_value3() {
+        let (s, _) = setup();
+        let cred = credentials(&s, "staff-cred");
+        assert!(cred.contains("mstai"));
+        assert!(!cred.contains("mtalford"));
+        // Unknown list name falls back to everyone.
+        let cred = credentials(&s, "no-such-list");
+        assert!(cred.contains("mtalford"));
+    }
+
+    #[test]
+    fn quotas_and_dirs() {
+        let (s, mach_id) = setup();
+        let archive = NfsGenerator::for_host(&s, mach_id, "");
+        assert_eq!(
+            archive.member_names(),
+            vec!["credentials", "u1_lockers.quotas", "u1_lockers.dirs"]
+        );
+        let quotas = String::from_utf8(archive.get("u1_lockers.quotas").unwrap().to_vec()).unwrap();
+        assert_eq!(quotas, "14956 300\n");
+        let dirs = String::from_utf8(archive.get("u1_lockers.dirs").unwrap().to_vec()).unwrap();
+        assert_eq!(dirs, "/u1/lockers/mtalford 14956 5904 HOMEDIR\n");
+    }
+
+    #[test]
+    fn non_autocreate_lockers_excluded() {
+        let (mut s, mach_id) = setup();
+        let r = Registry::standard();
+        r.execute(
+            &mut s,
+            &Caller::new("ops", "t"),
+            "add_filesys",
+            &[
+                "noauto".into(),
+                "NFS".into(),
+                "CHARON".into(),
+                "/u1/lockers/noauto".into(),
+                "/mit/noauto".into(),
+                "w".into(),
+                "".into(),
+                "mstai".into(),
+                "mtalford".into(),
+                "0".into(),
+                "PROJECT".into(),
+            ],
+        )
+        .unwrap();
+        let archive = NfsGenerator::for_host(&s, mach_id, "");
+        let dirs = String::from_utf8(archive.get("u1_lockers.dirs").unwrap().to_vec()).unwrap();
+        assert!(!dirs.contains("noauto"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The simulated update-target host.
+//!
+//! Stands in for the MIT production servers (VAXen running Hesiod, the 20
+//! NFS lockers, the mail hub, the Zephyr servers). A [`SimHost`] is a small
+//! filesystem with the exact properties the update protocol relies on —
+//! atomic renames, durable writes after flush — plus the failure injection
+//! the §5.9 trouble-recovery procedures are designed around: refusing
+//! connections, crashing mid-transfer or mid-execution, corrupting data in
+//! transit, and hanging past the timeout.
+
+use std::collections::BTreeMap;
+
+use moira_krb::ticket::Verifier;
+
+/// Exit-status style result of running a host command.
+pub type ExitCode = i32;
+
+/// Pluggable handler for `Exec` instructions — the per-service install
+/// scripts (restart hesiod, create NFS lockers, …) that the consumers
+/// register.
+pub type CommandHandler = Box<dyn FnMut(&str, &mut BTreeMap<String, Vec<u8>>) -> ExitCode + Send>;
+
+/// Failure injection plan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailPlan {
+    /// Connection attempts are refused (host "down" to the network).
+    pub refuse_connect: bool,
+    /// Host crashes after this many further mutating filesystem operations.
+    pub crash_after_ops: Option<u64>,
+    /// Every transferred byte stream has one byte flipped in transit.
+    pub corrupt_transfers: bool,
+    /// `Exec` instructions exit with this code instead of running.
+    pub fail_exec_with: Option<ExitCode>,
+    /// Operations stall past the protocol timeout.
+    pub hang: bool,
+}
+
+/// A simulated server host.
+pub struct SimHost {
+    /// Canonical host name.
+    pub name: String,
+    files: BTreeMap<String, Vec<u8>>,
+    /// Whether the host is up (a crashed host stays down until
+    /// [`SimHost::reboot`]).
+    pub up: bool,
+    /// Active failure plan.
+    pub fail: FailPlan,
+    mutating_ops: u64,
+    /// Signals delivered via `Signal` instructions (pidfile paths).
+    pub signals: Vec<String>,
+    /// Commands run via `Exec` instructions.
+    pub exec_log: Vec<String>,
+    /// When set, update connections must present a valid Kerberos ticket +
+    /// authenticator for this host's `rcmd` service (§5.9.2: "Kerberos is
+    /// used to verify the identity of both ends at connection set-up
+    /// time").
+    pub verifier: Option<Verifier>,
+    command_handler: Option<CommandHandler>,
+}
+
+impl std::fmt::Debug for SimHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimHost")
+            .field("name", &self.name)
+            .field("up", &self.up)
+            .field("files", &self.files.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SimHost {
+    /// Creates an up, healthy host.
+    pub fn new(name: &str) -> SimHost {
+        SimHost {
+            name: name.to_owned(),
+            files: BTreeMap::new(),
+            up: true,
+            fail: FailPlan::default(),
+            mutating_ops: 0,
+            signals: Vec::new(),
+            exec_log: Vec::new(),
+            verifier: None,
+            command_handler: None,
+        }
+    }
+
+    /// Registers the handler invoked by `Exec` instructions.
+    pub fn set_command_handler(&mut self, handler: CommandHandler) {
+        self.command_handler = Some(handler);
+    }
+
+    /// Brings a crashed host back up (clean reboot; files persist).
+    pub fn reboot(&mut self) {
+        self.up = true;
+        self.fail.crash_after_ops = None;
+    }
+
+    /// True if a new connection can be established.
+    pub fn reachable(&self) -> bool {
+        self.up && !self.fail.refuse_connect
+    }
+
+    /// Counts a mutating operation toward a scheduled crash; returns false
+    /// (and downs the host) when the crash fires.
+    fn survive_op(&mut self) -> bool {
+        self.mutating_ops += 1;
+        if let Some(limit) = self.fail.crash_after_ops {
+            if self.mutating_ops > limit {
+                self.up = false;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Writes a file. On a mid-write crash, half the data lands (the torn
+    /// write the `.moira_update` convention defends against).
+    pub fn write_file(&mut self, path: &str, data: &[u8]) -> Result<(), HostError> {
+        if !self.up {
+            return Err(HostError::Down);
+        }
+        if !self.survive_op() {
+            self.files
+                .insert(path.to_owned(), data[..data.len() / 2].to_vec());
+            return Err(HostError::Down);
+        }
+        self.files.insert(path.to_owned(), data.to_vec());
+        Ok(())
+    }
+
+    /// Reads a file.
+    pub fn read_file(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// Removes a file (ignores absence).
+    pub fn remove_file(&mut self, path: &str) {
+        self.files.remove(path);
+    }
+
+    /// Atomically renames `from` to `to`. A crash at this operation leaves
+    /// the filesystem unchanged — "updates … using atomic filesystem
+    /// rename operations" (§5.9).
+    pub fn rename(&mut self, from: &str, to: &str) -> Result<(), HostError> {
+        if !self.up {
+            return Err(HostError::Down);
+        }
+        if !self.survive_op() {
+            return Err(HostError::Down);
+        }
+        match self.files.remove(from) {
+            Some(data) => {
+                self.files.insert(to.to_owned(), data);
+                Ok(())
+            }
+            None => Err(HostError::NoSuchFile),
+        }
+    }
+
+    /// Delivers a signal to the process recorded in `pidfile`.
+    pub fn signal(&mut self, pidfile: &str) -> Result<(), HostError> {
+        if !self.up {
+            return Err(HostError::Down);
+        }
+        self.signals.push(pidfile.to_owned());
+        Ok(())
+    }
+
+    /// Executes a command through the registered handler; without one,
+    /// commands trivially succeed (logged either way).
+    pub fn exec(&mut self, command: &str) -> Result<ExitCode, HostError> {
+        if !self.up {
+            return Err(HostError::Down);
+        }
+        self.exec_log.push(command.to_owned());
+        if let Some(code) = self.fail.fail_exec_with {
+            return Ok(code);
+        }
+        match &mut self.command_handler {
+            Some(handler) => Ok(handler(command, &mut self.files)),
+            None => Ok(0),
+        }
+    }
+
+    /// All file paths present.
+    pub fn file_names(&self) -> Vec<&str> {
+        self.files.keys().map(|k| k.as_str()).collect()
+    }
+
+    /// Direct access for consumers installed on this host.
+    pub fn files(&self) -> &BTreeMap<String, Vec<u8>> {
+        &self.files
+    }
+
+    /// Mutable file access (used by service install scripts in the
+    /// simulator).
+    pub fn files_mut(&mut self) -> &mut BTreeMap<String, Vec<u8>> {
+        &mut self.files
+    }
+}
+
+/// Host-level operation failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostError {
+    /// Host is down (crashed or powered off).
+    Down,
+    /// Rename source missing.
+    NoSuchFile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_rename() {
+        let mut h = SimHost::new("SUOMI.MIT.EDU");
+        h.write_file("/tmp/a", b"one").unwrap();
+        assert_eq!(h.read_file("/tmp/a").unwrap(), b"one");
+        h.rename("/tmp/a", "/etc/a").unwrap();
+        assert!(h.read_file("/tmp/a").is_none());
+        assert_eq!(h.read_file("/etc/a").unwrap(), b"one");
+        assert_eq!(h.rename("/nope", "/x"), Err(HostError::NoSuchFile));
+    }
+
+    #[test]
+    fn crash_tears_writes_but_not_renames() {
+        let mut h = SimHost::new("X");
+        h.write_file("/f", b"0123456789").unwrap();
+        h.fail.crash_after_ops = Some(0);
+        // The write crashes and leaves half the bytes.
+        assert_eq!(h.write_file("/g", b"abcdefgh"), Err(HostError::Down));
+        assert!(!h.up);
+        assert_eq!(h.read_file("/g").unwrap(), b"abcd");
+        h.reboot();
+        h.fail.crash_after_ops = Some(0);
+        // The rename crashes and changes nothing.
+        assert_eq!(h.rename("/f", "/f2"), Err(HostError::Down));
+        h.reboot();
+        assert_eq!(h.read_file("/f").unwrap(), b"0123456789");
+        assert!(h.read_file("/f2").is_none());
+    }
+
+    #[test]
+    fn down_host_refuses_everything() {
+        let mut h = SimHost::new("X");
+        h.up = false;
+        assert!(!h.reachable());
+        assert_eq!(h.write_file("/f", b"x"), Err(HostError::Down));
+        assert_eq!(h.signal("/pid"), Err(HostError::Down));
+        assert_eq!(h.exec("ls"), Err(HostError::Down));
+    }
+
+    #[test]
+    fn exec_handler_and_forced_failure() {
+        let mut h = SimHost::new("X");
+        h.set_command_handler(Box::new(|cmd, files| {
+            files.insert(format!("/ran/{cmd}"), b"done".to_vec());
+            0
+        }));
+        assert_eq!(h.exec("install").unwrap(), 0);
+        assert!(h.read_file("/ran/install").is_some());
+        h.fail.fail_exec_with = Some(7);
+        assert_eq!(h.exec("install2").unwrap(), 7);
+        assert_eq!(h.exec_log, vec!["install", "install2"]);
+    }
+
+    #[test]
+    fn reboot_preserves_files() {
+        let mut h = SimHost::new("X");
+        h.write_file("/etc/passwd", b"root").unwrap();
+        h.up = false;
+        h.reboot();
+        assert_eq!(h.read_file("/etc/passwd").unwrap(), b"root");
+    }
+}

@@ -1,0 +1,619 @@
+//! The Moira-to-server update protocol (§5.9).
+//!
+//! Goals, from the paper: "Completely automatic update for normal cases and
+//! expected kinds of failures. Survives clean server crashes. Survives
+//! clean Moira crashes. Easy to understand state and recovery by hand."
+//! The strategy is atomic operations only: transfer everything first (with
+//! checksums), then execute an instruction sequence whose file
+//! installations are atomic renames, then confirm.
+
+use moira_krb::ticket::{Authenticator, Ticket};
+
+use crate::archive::{crc32, Archive};
+use crate::host::{HostError, SimHost};
+
+/// Suffix for staged files awaiting the atomic swap; stale ones are
+/// "deleted (as it may be incomplete) when the next update starts".
+pub const STAGING_SUFFIX: &str = ".moira_update";
+
+/// Suffix for the previous version kept for `Revert`.
+pub const BACKUP_SUFFIX: &str = ".moira_backup";
+
+/// Where the instruction script is staged on the target.
+pub const SCRIPT_PATH: &str = "/tmp/moira_script";
+
+/// The §5.9 execution-phase instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// Extract one member of the transferred tar file into
+    /// `dest.moira_update` — "Rather than extract all of the files at once,
+    /// only the ones that are needed are extracted one at a time."
+    Extract {
+        /// Member name within the archive.
+        member: String,
+        /// Destination path (staged with [`STAGING_SUFFIX`]).
+        dest: String,
+    },
+    /// Swap the staged file in via atomic rename, keeping the old version.
+    Swap {
+        /// The target path.
+        file: String,
+    },
+    /// Put the old file back — "may be useful in the case of an erroneous
+    /// installation."
+    Revert {
+        /// The target path.
+        file: String,
+    },
+    /// Send a signal to the process whose pid is recorded in a file.
+    Signal {
+        /// Path of the pid file.
+        pidfile: String,
+    },
+    /// Execute a supplied command.
+    Exec {
+        /// The command line.
+        command: String,
+    },
+}
+
+impl Instruction {
+    /// Serializes to one script line.
+    pub fn to_line(&self) -> String {
+        match self {
+            Instruction::Extract { member, dest } => format!("extract {member} {dest}"),
+            Instruction::Swap { file } => format!("swap {file}"),
+            Instruction::Revert { file } => format!("revert {file}"),
+            Instruction::Signal { pidfile } => format!("signal {pidfile}"),
+            Instruction::Exec { command } => format!("exec {command}"),
+        }
+    }
+
+    /// Parses one script line.
+    pub fn from_line(line: &str) -> Option<Instruction> {
+        let mut words = line.splitn(2, ' ');
+        let op = words.next()?;
+        let rest = words.next().unwrap_or("");
+        Some(match op {
+            "extract" => {
+                let mut parts = rest.splitn(2, ' ');
+                Instruction::Extract {
+                    member: parts.next()?.to_owned(),
+                    dest: parts.next()?.to_owned(),
+                }
+            }
+            "swap" => Instruction::Swap {
+                file: rest.to_owned(),
+            },
+            "revert" => Instruction::Revert {
+                file: rest.to_owned(),
+            },
+            "signal" => Instruction::Signal {
+                pidfile: rest.to_owned(),
+            },
+            "exec" => Instruction::Exec {
+                command: rest.to_owned(),
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// A whole installation script.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Script {
+    /// Instructions in execution order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Script {
+    /// Builds the standard script for a service: extract + swap each
+    /// archive member into place under `install_dir`, then run the
+    /// service's install command.
+    pub fn standard(archive: &Archive, install_dir: &str, install_cmd: &str) -> Script {
+        let mut instructions = Vec::new();
+        for (member, _) in &archive.members {
+            let dest = format!("{}/{member}", install_dir.trim_end_matches('/'));
+            instructions.push(Instruction::Extract {
+                member: member.clone(),
+                dest: dest.clone(),
+            });
+            instructions.push(Instruction::Swap { file: dest });
+        }
+        instructions.push(Instruction::Exec {
+            command: install_cmd.to_owned(),
+        });
+        Script { instructions }
+    }
+
+    /// Serializes the script.
+    pub fn to_text(&self) -> String {
+        self.instructions
+            .iter()
+            .map(|i| i.to_line() + "\n")
+            .collect()
+    }
+
+    /// Parses a serialized script.
+    pub fn from_text(text: &str) -> Option<Script> {
+        let instructions = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(Instruction::from_line)
+            .collect::<Option<Vec<_>>>()?;
+        Some(Script { instructions })
+    }
+}
+
+/// Failures the DCM observes from an update attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// Could not connect / host went away ("tagged for retry at a later
+    /// time" — a soft error).
+    HostDown,
+    /// A single operation exceeded the timeout; "the connection is closed,
+    /// and the installation assumed to have failed" (soft).
+    Timeout,
+    /// Transfer checksum mismatch (soft; retried).
+    Checksum,
+    /// The target could not parse what arrived (soft).
+    BadData,
+    /// The installation script exited non-zero (a hard error: recorded and
+    /// reported via Zephyr).
+    ExecFailed(i32),
+    /// Kerberos mutual authentication failed at connection set-up (soft;
+    /// retried — tickets may simply have expired).
+    AuthFailed,
+}
+
+impl UpdateError {
+    /// Hard errors stop retries until an operator resets them; soft errors
+    /// are retried on later DCM passes.
+    pub fn is_hard(&self) -> bool {
+        matches!(self, UpdateError::ExecFailed(_))
+    }
+
+    /// Numeric code recorded in `hosterror`.
+    pub fn code(&self) -> i32 {
+        match self {
+            UpdateError::HostDown => 100,
+            UpdateError::Timeout => 101,
+            UpdateError::Checksum => 102,
+            UpdateError::BadData => 103,
+            UpdateError::ExecFailed(c) => 1000 + c,
+            UpdateError::AuthFailed => 104,
+        }
+    }
+
+    /// Human-readable message recorded in `hosterrmsg`.
+    pub fn message(&self) -> String {
+        match self {
+            UpdateError::HostDown => "server host unreachable".to_owned(),
+            UpdateError::Timeout => "update timed out".to_owned(),
+            UpdateError::Checksum => "file checksum mismatch".to_owned(),
+            UpdateError::BadData => "transferred data unparsable".to_owned(),
+            UpdateError::ExecFailed(c) => format!("install script exited {c}"),
+            UpdateError::AuthFailed => "kerberos authentication failed".to_owned(),
+        }
+    }
+}
+
+/// Simulates the network leg of a transfer, applying the host's corruption
+/// plan.
+fn transmit(host: &SimHost, data: &[u8]) -> Vec<u8> {
+    let mut wire = data.to_vec();
+    if host.fail.corrupt_transfers && !wire.is_empty() {
+        let idx = wire.len() / 2;
+        wire[idx] ^= 0x20;
+    }
+    wire
+}
+
+/// Kerberos credentials presented by the DCM at connection set-up.
+#[derive(Debug, Clone)]
+pub struct UpdateCredentials {
+    /// Ticket for the host's `rcmd` service.
+    pub ticket: Ticket,
+    /// Fresh authenticator under the session key.
+    pub authenticator: Authenticator,
+}
+
+/// Runs one complete update against a host: transfer phase, execution
+/// phase, confirmation. Returns `Ok(())` only when the server confirmed a
+/// successful installation. Unauthenticated convenience wrapper for hosts
+/// without a verifier.
+pub fn run_update(
+    host: &mut SimHost,
+    archive: &Archive,
+    target: &str,
+    script: &Script,
+) -> Result<(), UpdateError> {
+    run_update_with_auth(host, None, archive, target, script)
+}
+
+/// [`run_update`] presenting Kerberos credentials. Hosts with a configured
+/// verifier reject connections whose credentials are absent, forged, or
+/// replayed — "Kerberos is used to verify the identity of both ends at
+/// connection set-up time" (§5.9.2).
+pub fn run_update_with_auth(
+    host: &mut SimHost,
+    credentials: Option<&UpdateCredentials>,
+    archive: &Archive,
+    target: &str,
+    script: &Script,
+) -> Result<(), UpdateError> {
+    // A. Transfer phase.
+    // A.1 Connect and authenticate.
+    if !host.reachable() {
+        return Err(UpdateError::HostDown);
+    }
+    if let Some(verifier) = &host.verifier {
+        let Some(creds) = credentials else {
+            return Err(UpdateError::AuthFailed);
+        };
+        if verifier
+            .verify(&creds.ticket, &creds.authenticator)
+            .is_err()
+        {
+            return Err(UpdateError::AuthFailed);
+        }
+    }
+    if host.fail.hang {
+        return Err(UpdateError::Timeout);
+    }
+    // Stale staging files from a crashed previous update are deleted first.
+    let stale: Vec<String> = host
+        .file_names()
+        .iter()
+        .filter(|n| n.ends_with(STAGING_SUFFIX))
+        .map(|s| s.to_string())
+        .collect();
+    for path in stale {
+        host.remove_file(&path);
+    }
+
+    // A.2 Transfer the data file, with checksum.
+    let bytes = archive.to_bytes();
+    let checksum = crc32(&bytes);
+    let received = transmit(host, &bytes);
+    if crc32(&received) != checksum {
+        return Err(UpdateError::Checksum);
+    }
+    match host.write_file(target, &received) {
+        Ok(()) => {}
+        Err(HostError::Down) => return Err(UpdateError::HostDown),
+        Err(_) => return Err(UpdateError::BadData),
+    }
+
+    // A.3 Transfer the installation instruction sequence.
+    let script_text = script.to_text();
+    let received_script = transmit(host, script_text.as_bytes());
+    if crc32(&received_script) != crc32(script_text.as_bytes()) {
+        return Err(UpdateError::Checksum);
+    }
+    match host.write_file(SCRIPT_PATH, &received_script) {
+        Ok(()) => {}
+        Err(_) => return Err(UpdateError::HostDown),
+    }
+    // A.4 Flush all data to disk — the in-memory host is always durable.
+
+    // B. Execution phase, driven by a single command from Moira; the host
+    // executes the staged script against the staged archive.
+    let result = execute_on_host(host, target);
+
+    // C. Confirm installation.
+    match result {
+        Ok(0) => Ok(()),
+        Ok(code) => Err(UpdateError::ExecFailed(code)),
+        Err(HostError::Down) => Err(UpdateError::HostDown),
+        Err(_) => Err(UpdateError::BadData),
+    }
+}
+
+/// The server side of the execution phase: parse the staged script and run
+/// it. Public so crash-recovery tests can re-drive a rebooted host.
+pub fn execute_on_host(host: &mut SimHost, target: &str) -> Result<i32, HostError> {
+    let script_bytes = match host.read_file(SCRIPT_PATH) {
+        Some(b) => b.to_vec(),
+        None => return Ok(200),
+    };
+    let Some(script) = String::from_utf8(script_bytes)
+        .ok()
+        .and_then(|t| Script::from_text(&t))
+    else {
+        return Ok(201);
+    };
+    let Some(archive) = host.read_file(target).and_then(Archive::from_bytes) else {
+        return Ok(202);
+    };
+    for instruction in &script.instructions {
+        match instruction {
+            Instruction::Extract { member, dest } => {
+                let Some(data) = archive.get(member).map(|d| d.to_vec()) else {
+                    return Ok(203);
+                };
+                host.write_file(&format!("{dest}{STAGING_SUFFIX}"), &data)?;
+            }
+            Instruction::Swap { file } => {
+                // Keep the old version for Revert, then swap atomically.
+                if host.read_file(file).is_some() {
+                    let old = host.read_file(file).expect("just checked").to_vec();
+                    host.write_file(&format!("{file}{BACKUP_SUFFIX}"), &old)?;
+                }
+                host.rename(&format!("{file}{STAGING_SUFFIX}"), file)?;
+            }
+            Instruction::Revert { file } => {
+                host.rename(&format!("{file}{BACKUP_SUFFIX}"), file)?;
+            }
+            Instruction::Signal { pidfile } => host.signal(pidfile)?,
+            Instruction::Exec { command } => {
+                let code = host.exec(command)?;
+                if code != 0 {
+                    return Ok(code);
+                }
+            }
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_archive() -> Archive {
+        let mut a = Archive::new();
+        a.add("passwd.db", b"babette:*:6530\n".to_vec());
+        a.add("uid.db", b"6530.uid\n".to_vec());
+        a
+    }
+
+    fn sample_script(a: &Archive) -> Script {
+        Script::standard(a, "/var/hesiod", "restart-hesiod")
+    }
+
+    #[test]
+    fn script_round_trip() {
+        let a = sample_archive();
+        let s = sample_script(&a);
+        assert_eq!(Script::from_text(&s.to_text()).unwrap(), s);
+        assert!(Script::from_text("garbage line here\n").is_none());
+        // Exercise each instruction's serialization.
+        for inst in [
+            Instruction::Revert {
+                file: "/etc/passwd".into(),
+            },
+            Instruction::Signal {
+                pidfile: "/var/run/hesiod.pid".into(),
+            },
+        ] {
+            assert_eq!(Instruction::from_line(&inst.to_line()).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn successful_update_installs_files() {
+        let mut host = SimHost::new("SUOMI.MIT.EDU");
+        let a = sample_archive();
+        run_update(&mut host, &a, "/tmp/hesiod.out", &sample_script(&a)).unwrap();
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\n"
+        );
+        assert_eq!(host.read_file("/var/hesiod/uid.db").unwrap(), b"6530.uid\n");
+        assert_eq!(host.exec_log, vec!["restart-hesiod"]);
+        // No staging debris.
+        assert!(!host
+            .file_names()
+            .iter()
+            .any(|n| n.ends_with(STAGING_SUFFIX)));
+    }
+
+    #[test]
+    fn reinstallation_is_idempotent() {
+        // "Since the all the data files being prepared are valid, extra
+        // installations are not harmful."
+        let mut host = SimHost::new("X");
+        let a = sample_archive();
+        let s = sample_script(&a);
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\n"
+        );
+    }
+
+    #[test]
+    fn down_host_reported() {
+        let mut host = SimHost::new("X");
+        host.up = false;
+        let a = sample_archive();
+        assert_eq!(
+            run_update(&mut host, &a, "/tmp/t", &sample_script(&a)),
+            Err(UpdateError::HostDown)
+        );
+        host.reboot();
+        host.fail.refuse_connect = true;
+        assert_eq!(
+            run_update(&mut host, &a, "/tmp/t", &sample_script(&a)),
+            Err(UpdateError::HostDown)
+        );
+    }
+
+    #[test]
+    fn corruption_caught_by_checksum() {
+        let mut host = SimHost::new("X");
+        host.fail.corrupt_transfers = true;
+        let a = sample_archive();
+        assert_eq!(
+            run_update(&mut host, &a, "/tmp/t", &sample_script(&a)),
+            Err(UpdateError::Checksum)
+        );
+        // Nothing was installed.
+        assert!(host.read_file("/var/hesiod/passwd.db").is_none());
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut host = SimHost::new("X");
+        host.fail.hang = true;
+        let a = sample_archive();
+        assert_eq!(
+            run_update(&mut host, &a, "/tmp/t", &sample_script(&a)),
+            Err(UpdateError::Timeout)
+        );
+    }
+
+    #[test]
+    fn exec_failure_is_hard() {
+        let mut host = SimHost::new("X");
+        host.fail.fail_exec_with = Some(9);
+        let a = sample_archive();
+        let err = run_update(&mut host, &a, "/tmp/t", &sample_script(&a)).unwrap_err();
+        assert_eq!(err, UpdateError::ExecFailed(9));
+        assert!(err.is_hard());
+        assert!(!UpdateError::HostDown.is_hard());
+    }
+
+    #[test]
+    fn crash_mid_execution_never_tears_installed_files() {
+        let a = sample_archive();
+        let s = sample_script(&a);
+        // Install a good old version first.
+        let mut host = SimHost::new("X");
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+        let mut newer = Archive::new();
+        newer.add("passwd.db", b"NEW CONTENTS\n".to_vec());
+        newer.add("uid.db", b"NEW UID\n".to_vec());
+        // Crash at every possible op count and verify: each installed file
+        // is either the complete old or the complete new version.
+        for crash_at in 0..12u64 {
+            let mut h = SimHost::new("X");
+            run_update(&mut h, &a, "/tmp/t", &s).unwrap();
+            h.fail.crash_after_ops = Some(crash_at);
+            let result = run_update(
+                &mut h,
+                &newer,
+                "/tmp/t",
+                &Script::standard(&newer, "/var/hesiod", "restart"),
+            );
+            if result.is_ok() {
+                assert_eq!(
+                    h.read_file("/var/hesiod/passwd.db").unwrap(),
+                    b"NEW CONTENTS\n"
+                );
+                continue;
+            }
+            for (file, old, new) in [
+                (
+                    "/var/hesiod/passwd.db",
+                    &b"babette:*:6530\n"[..],
+                    &b"NEW CONTENTS\n"[..],
+                ),
+                ("/var/hesiod/uid.db", &b"6530.uid\n"[..], &b"NEW UID\n"[..]),
+            ] {
+                let contents = h.read_file(file).unwrap();
+                assert!(
+                    contents == old || contents == new,
+                    "crash_at={crash_at}: torn file {file}: {contents:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retry_after_crash_converges() {
+        let a = sample_archive();
+        let s = sample_script(&a);
+        let mut host = SimHost::new("X");
+        host.fail.crash_after_ops = Some(2);
+        assert!(run_update(&mut host, &a, "/tmp/t", &s).is_err());
+        // "Updates not received will be retried at a later point until they
+        // succeed."
+        host.reboot();
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\n"
+        );
+    }
+
+    #[test]
+    fn stale_staging_files_cleared_on_next_update() {
+        let a = sample_archive();
+        let s = sample_script(&a);
+        let mut host = SimHost::new("X");
+        host.write_file("/var/hesiod/passwd.db.moira_update", b"INCOMPLETE")
+            .unwrap();
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+        assert!(!host
+            .file_names()
+            .iter()
+            .any(|n| n.ends_with(STAGING_SUFFIX)));
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\n"
+        );
+    }
+
+    #[test]
+    fn revert_restores_previous_version() {
+        let a = sample_archive();
+        let s = sample_script(&a);
+        let mut host = SimHost::new("X");
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+        let mut newer = Archive::new();
+        newer.add("passwd.db", b"BROKEN\n".to_vec());
+        newer.add("uid.db", b"BROKEN\n".to_vec());
+        run_update(
+            &mut host,
+            &newer,
+            "/tmp/t",
+            &Script::standard(&newer, "/var/hesiod", "restart"),
+        )
+        .unwrap();
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"BROKEN\n"
+        );
+        // An operator-driven revert script puts the old file back.
+        let revert = Script {
+            instructions: vec![Instruction::Revert {
+                file: "/var/hesiod/passwd.db".into(),
+            }],
+        };
+        run_update(&mut host, &Archive::new(), "/tmp/t", &revert).unwrap();
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\n"
+        );
+    }
+
+    #[test]
+    fn signal_instruction_delivers() {
+        let a = Archive::new();
+        let s = Script {
+            instructions: vec![Instruction::Signal {
+                pidfile: "/var/run/named.pid".into(),
+            }],
+        };
+        let mut host = SimHost::new("X");
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+        assert_eq!(host.signals, vec!["/var/run/named.pid"]);
+    }
+
+    #[test]
+    fn missing_member_is_soft_error() {
+        let a = sample_archive();
+        let bad = Script {
+            instructions: vec![Instruction::Extract {
+                member: "nonexistent.db".into(),
+                dest: "/var/x".into(),
+            }],
+        };
+        let mut host = SimHost::new("X");
+        let err = run_update(&mut host, &a, "/tmp/t", &bad).unwrap_err();
+        assert_eq!(err, UpdateError::ExecFailed(203));
+    }
+}

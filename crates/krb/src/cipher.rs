@@ -1,0 +1,204 @@
+//! A toy 64-bit block cipher and the error-propagating CBC (PCBC) mode.
+//!
+//! §5.10 of the paper: registration authenticators are "DES encrypted …
+//! \[in\] the error propagating cypher-block-chaining mode of DES, as
+//! described in the Kerberos document". PCBC's defining property is that a
+//! corrupted ciphertext block garbles *every* subsequent plaintext block, so
+//! a verifier checking a trailer detects any earlier tampering. We implement
+//! PCBC faithfully over a small Feistel network.
+//!
+//! **Toy cipher** — see the crate-level warning. The PCBC mode, padding, and
+//! verification logic are real; only the block primitive is simplified.
+
+/// A cipher key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Key(pub u64);
+
+impl Key {
+    /// Derives a key from arbitrary bytes (the `string_to_key` analogue).
+    pub fn from_bytes(bytes: &[u8]) -> Key {
+        // FNV-1a folded to 64 bits; deterministic and well-spread.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Key(h)
+    }
+
+    /// Derives a key from a password string.
+    pub fn from_password(password: &str) -> Key {
+        Key::from_bytes(password.as_bytes())
+    }
+}
+
+const ROUNDS: usize = 16;
+
+fn round_key(key: u64, round: usize) -> u32 {
+    let mut x = key ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    (x >> 32) as u32
+}
+
+fn feistel_f(half: u32, rk: u32) -> u32 {
+    let mut x = half ^ rk;
+    x = x.wrapping_mul(0x85eb_ca6b);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xc2b2_ae35);
+    x ^ (x >> 16)
+}
+
+/// Encrypts one 64-bit block.
+pub fn encrypt_block(key: Key, block: u64) -> u64 {
+    let (mut l, mut r) = ((block >> 32) as u32, block as u32);
+    for round in 0..ROUNDS {
+        let next_l = r;
+        let next_r = l ^ feistel_f(r, round_key(key.0, round));
+        l = next_l;
+        r = next_r;
+    }
+    ((r as u64) << 32) | l as u64
+}
+
+/// Decrypts one 64-bit block.
+pub fn decrypt_block(key: Key, block: u64) -> u64 {
+    let (mut r, mut l) = ((block >> 32) as u32, block as u32);
+    for round in (0..ROUNDS).rev() {
+        let prev_r = l;
+        let prev_l = r ^ feistel_f(l, round_key(key.0, round));
+        r = prev_r;
+        l = prev_l;
+    }
+    ((l as u64) << 32) | r as u64
+}
+
+const IV: u64 = 0x4d6f_6972_6121_3139; // "Moira!19"
+
+fn pad(data: &[u8]) -> Vec<u8> {
+    // Length-prefixed padding: 8-byte big-endian length, data, zero fill.
+    let mut out = Vec::with_capacity(8 + data.len() + 8);
+    out.extend_from_slice(&(data.len() as u64).to_be_bytes());
+    out.extend_from_slice(data);
+    while out.len() % 8 != 0 {
+        out.push(0);
+    }
+    out
+}
+
+fn unpad(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() < 8 {
+        return None;
+    }
+    let len = u64::from_be_bytes(data[..8].try_into().ok()?) as usize;
+    if len > data.len() - 8 {
+        return None;
+    }
+    let body = &data[8..8 + len];
+    // The zero fill must actually be zero, or the message was tampered with.
+    if data[8 + len..].iter().any(|&b| b != 0) {
+        return None;
+    }
+    Some(body.to_vec())
+}
+
+/// Encrypts a byte string in error-propagating CBC mode.
+///
+/// `c_i = E(p_i ^ p_{i-1} ^ c_{i-1})` with `p_0 ^ c_0` seeded by a fixed IV.
+pub fn pcbc_encrypt(key: Key, plaintext: &[u8]) -> Vec<u8> {
+    let padded = pad(plaintext);
+    let mut out = Vec::with_capacity(padded.len());
+    let (mut prev_p, mut prev_c) = (IV, 0u64);
+    for chunk in padded.chunks(8) {
+        let p = u64::from_be_bytes(chunk.try_into().expect("padded to 8"));
+        let c = encrypt_block(key, p ^ prev_p ^ prev_c);
+        out.extend_from_slice(&c.to_be_bytes());
+        prev_p = p;
+        prev_c = c;
+    }
+    out
+}
+
+/// Decrypts an error-propagating-CBC byte string; `None` on any padding or
+/// framing failure (which is how tampering manifests).
+pub fn pcbc_decrypt(key: Key, ciphertext: &[u8]) -> Option<Vec<u8>> {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(8) {
+        return None;
+    }
+    let mut padded = Vec::with_capacity(ciphertext.len());
+    let (mut prev_p, mut prev_c) = (IV, 0u64);
+    for chunk in ciphertext.chunks(8) {
+        let c = u64::from_be_bytes(chunk.try_into().expect("validated length"));
+        let p = decrypt_block(key, c) ^ prev_p ^ prev_c;
+        padded.extend_from_slice(&p.to_be_bytes());
+        prev_p = p;
+        prev_c = c;
+    }
+    unpad(&padded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip() {
+        let k = Key::from_password("hunter2");
+        for block in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(decrypt_block(k, encrypt_block(k, block)), block);
+        }
+    }
+
+    #[test]
+    fn block_diffusion() {
+        let k = Key::from_password("k");
+        let a = encrypt_block(k, 0);
+        let b = encrypt_block(k, 1);
+        assert_ne!(a ^ b, 1, "single-bit input change should diffuse");
+        assert!((a ^ b).count_ones() > 10);
+    }
+
+    #[test]
+    fn pcbc_round_trip_various_lengths() {
+        let k = Key::from_password("secret");
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 200] {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            let ct = pcbc_encrypt(k, &msg);
+            assert_eq!(ct.len() % 8, 0);
+            assert_eq!(pcbc_decrypt(k, &ct).as_deref(), Some(&msg[..]), "len={len}");
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let ct = pcbc_encrypt(Key::from_password("right"), b"123456789 message");
+        assert_eq!(pcbc_decrypt(Key::from_password("wrong"), &ct), None);
+    }
+
+    #[test]
+    fn tampering_any_block_detected() {
+        let k = Key::from_password("key");
+        let msg = b"the quick brown fox jumps over the lazy dog, twice over";
+        let ct = pcbc_encrypt(k, msg);
+        for i in 0..ct.len() {
+            let mut bad = ct.clone();
+            bad[i] ^= 0x40;
+            assert_ne!(pcbc_decrypt(k, &bad).as_deref(), Some(&msg[..]), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let k = Key::from_password("key");
+        let ct = pcbc_encrypt(k, b"hello world, hello world");
+        assert_eq!(pcbc_decrypt(k, &ct[..ct.len() - 8]), None);
+        assert_eq!(pcbc_decrypt(k, &ct[..3]), None);
+        assert_eq!(pcbc_decrypt(k, &[]), None);
+    }
+
+    #[test]
+    fn key_derivation_is_stable_and_spread() {
+        assert_eq!(Key::from_password("a"), Key::from_password("a"));
+        assert_ne!(Key::from_password("a"), Key::from_password("b"));
+        assert_ne!(Key::from_bytes(b"ab"), Key::from_bytes(b"ba"));
+    }
+}

@@ -1,0 +1,146 @@
+//! A `crypt(3)`-style salted hash.
+//!
+//! §5.10: "the encryption algorithm is the UNIX C library `crypt()`
+//! function …; the last seven characters of the ID number are encrypted
+//! using the first letter of the first name and the first letter of the
+//! last name as the 'salt'". This module reproduces the *interface* of
+//! classic `crypt`: a two-character salt, a 13-character result whose first
+//! two characters are the salt, and an output alphabet of `[./0-9A-Za-z]`.
+//! The internals use our toy cipher iterated 25 times the way real `crypt`
+//! iterated DES.
+
+use crate::cipher::{encrypt_block, Key};
+
+const ALPHABET: &[u8; 64] = b"./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+
+/// Hashes `word` under a two-character `salt`, returning the classic
+/// 13-character string whose first two characters echo the salt.
+///
+/// Characters of the salt outside the crypt alphabet are folded into it,
+/// as real `crypt` implementations did.
+///
+/// # Examples
+///
+/// ```
+/// let h = moira_krb::crypt::crypt("2345678", "HF");
+/// assert_eq!(h.len(), 13);
+/// assert!(h.starts_with("HF"));
+/// ```
+pub fn crypt(word: &str, salt: &str) -> String {
+    let salt_bytes = normalize_salt(salt);
+    let key = Key::from_bytes(word.as_bytes());
+    let salt_mix = ((salt_bytes[0] as u64) << 8) | salt_bytes[1] as u64;
+    let mut block: u64 = salt_mix.wrapping_mul(0x0101_0101_0101_0101);
+    for round in 0..25 {
+        block = encrypt_block(key, block ^ salt_mix.rotate_left(round));
+    }
+    let mut out = String::with_capacity(13);
+    out.push(salt_bytes[0] as char);
+    out.push(salt_bytes[1] as char);
+    // Emit 11 characters of 6 bits each from the 64-bit result (with a
+    // little stretching for the last two).
+    let mut acc = block as u128 | ((block.rotate_left(29) as u128) << 64);
+    for _ in 0..11 {
+        out.push(ALPHABET[(acc & 63) as usize] as char);
+        acc >>= 6;
+    }
+    out
+}
+
+/// Verifies `word` against a full crypt string (salt taken from its first
+/// two characters).
+pub fn crypt_verify(word: &str, hashed: &str) -> bool {
+    if hashed.len() < 2 {
+        return false;
+    }
+    crypt(word, &hashed[..2]) == hashed
+}
+
+fn normalize_salt(salt: &str) -> [u8; 2] {
+    let mut bytes = [b'.', b'.'];
+    for (i, b) in salt.bytes().take(2).enumerate() {
+        bytes[i] = if ALPHABET.contains(&b) {
+            b
+        } else {
+            ALPHABET[(b & 63) as usize]
+        };
+    }
+    bytes
+}
+
+/// The registrar's MIT-ID hash (§5.10): the last seven characters of the ID
+/// number, salted with the first letters of the first and last names.
+pub fn hash_mit_id(id_number: &str, first_name: &str, last_name: &str) -> String {
+    let digits: String = id_number.chars().filter(|c| c.is_ascii_digit()).collect();
+    let tail: String = digits
+        .chars()
+        .rev()
+        .take(7)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    let salt: String = [
+        first_name.chars().next().unwrap_or('.'),
+        last_name.chars().next().unwrap_or('.'),
+    ]
+    .iter()
+    .collect();
+    crypt(&tail, &salt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_is_classic() {
+        let h = crypt("password", "ab");
+        assert_eq!(h.len(), 13);
+        assert!(h.starts_with("ab"));
+        assert!(h.bytes().all(|b| ALPHABET.contains(&b)));
+    }
+
+    #[test]
+    fn deterministic_and_salt_sensitive() {
+        assert_eq!(crypt("x", "aa"), crypt("x", "aa"));
+        assert_ne!(crypt("x", "aa"), crypt("x", "ab"));
+        assert_ne!(crypt("x", "aa"), crypt("y", "aa"));
+    }
+
+    #[test]
+    fn verify_works() {
+        let h = crypt("2345678", "HF");
+        assert!(crypt_verify("2345678", &h));
+        assert!(!crypt_verify("2345679", &h));
+        assert!(!crypt_verify("2345678", "x"));
+    }
+
+    #[test]
+    fn weird_salts_normalized() {
+        let h = crypt("w", "!!");
+        assert_eq!(h.len(), 13);
+        assert!(h.bytes().all(|b| ALPHABET.contains(&b)));
+        assert!(crypt_verify("w", &h));
+    }
+
+    #[test]
+    fn mit_id_hash_uses_name_salt() {
+        let h = hash_mit_id("123-45-6789", "Harmon", "Fowler");
+        assert!(h.starts_with("HF"));
+        assert_eq!(
+            h,
+            hash_mit_id("123456789", "Harmon", "Fowler"),
+            "hyphens ignored"
+        );
+        assert_ne!(h, hash_mit_id("123456789", "Angela", "Barba"));
+        // Only the last seven digits matter.
+        assert_eq!(h, hash_mit_id("999-34-56789", "Harmon", "Fowler"));
+    }
+
+    #[test]
+    fn empty_names_salted_with_dots() {
+        let h = hash_mit_id("123456789", "", "");
+        assert!(h.starts_with(".."));
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! A simulated Kerberos substrate.
+//!
+//! The paper requires that "authentication will be done using Athena's
+//! Kerberos private-key authentication system" (§4) and that the user
+//! registration flow reserve principals and set passwords through the
+//! Kerberos admin server over a "srvtab-srvtab" channel (§5.10). Real
+//! Kerberos 4 is proprietary-DES-era infrastructure we neither have nor
+//! want; this crate implements the *shape* of it — principals and keys,
+//! tickets and authenticators with lifetimes and a replay cache, mutual
+//! srvtab authentication, the error-propagating CBC mode the registration
+//! authenticators use, and the `crypt()`-style hash the registrar records
+//! MIT IDs with — so every authentication code path in Moira is exercised
+//! end to end.
+//!
+//! **None of this is cryptographically secure.** The block cipher is a toy
+//! Feistel network standing in for DES; it exists to make tampering,
+//! replay, and wrong-key failures *detectable in tests*, not to resist an
+//! adversary.
+
+pub mod cipher;
+pub mod crypt;
+pub mod realm;
+pub mod ticket;
+
+pub use cipher::{pcbc_decrypt, pcbc_encrypt, Key};
+pub use crypt::crypt;
+pub use realm::{Kdc, Principal};
+pub use ticket::{Authenticator, Ticket};

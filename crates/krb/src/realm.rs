@@ -1,0 +1,279 @@
+//! The KDC: the realm's principal database and ticket-granting service.
+//!
+//! Provides what Moira needs from Kerberos: initial-ticket issuance (used
+//! by clients and by `userreg`'s "is this login free?" probe), principal
+//! registration and password setting (the admin-server operations the
+//! registration server drives over its srvtab channel), and service-key
+//! lookup for verifiers.
+
+use std::collections::HashMap;
+
+use moira_common::clock::VClock;
+use parking_lot::Mutex;
+
+use crate::cipher::Key;
+use crate::ticket::{seal_ticket, Ticket};
+
+/// A principal name, e.g. `babette@ATHENA.MIT.EDU` (realm implicit here).
+pub type Principal = String;
+
+/// Errors from the Kerberos substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KrbError {
+    /// No such principal in the realm database.
+    UnknownPrincipal,
+    /// Supplied password/key does not match the principal's key.
+    BadPassword,
+    /// Principal already registered.
+    PrincipalExists,
+    /// Ticket failed to unseal or parse.
+    BadTicket,
+    /// Ticket lifetime exceeded.
+    TicketExpired,
+    /// Authenticator timestamp outside the permitted skew.
+    ClockSkew,
+    /// Authenticator already seen.
+    Replay,
+}
+
+impl std::fmt::Display for KrbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            KrbError::UnknownPrincipal => "can't find principal",
+            KrbError::BadPassword => "incorrect password",
+            KrbError::PrincipalExists => "principal already exists",
+            KrbError::BadTicket => "ticket unintelligible",
+            KrbError::TicketExpired => "ticket expired",
+            KrbError::ClockSkew => "clock skew too great",
+            KrbError::Replay => "authenticator replayed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for KrbError {}
+
+/// Default ticket lifetime: the Kerberos 4 maximum of about 21 hours.
+pub const DEFAULT_LIFETIME_SECS: i64 = 21 * 3600;
+
+/// The key distribution center for one realm.
+pub struct Kdc {
+    principals: Mutex<HashMap<Principal, Key>>,
+    clock: VClock,
+    counter: Mutex<u64>,
+}
+
+impl Kdc {
+    /// Creates a KDC on the given clock.
+    pub fn new(clock: VClock) -> Self {
+        Kdc {
+            principals: Mutex::new(HashMap::new()),
+            clock,
+            counter: Mutex::new(0),
+        }
+    }
+
+    /// The realm clock.
+    pub fn clock(&self) -> &VClock {
+        &self.clock
+    }
+
+    /// Registers a principal with a password-derived key.
+    pub fn register(&self, name: &str, password: &str) -> Result<(), KrbError> {
+        let mut p = self.principals.lock();
+        if p.contains_key(name) {
+            return Err(KrbError::PrincipalExists);
+        }
+        p.insert(name.to_owned(), Key::from_password(password));
+        Ok(())
+    }
+
+    /// Registers a service principal with a random srvtab key, returning the
+    /// key (this is what lands in the service's srvtab file).
+    pub fn register_service(&self, name: &str) -> Result<Key, KrbError> {
+        let mut c = self.counter.lock();
+        *c += 1;
+        let key = Key::from_bytes(format!("srvtab:{name}:{}", *c).as_bytes());
+        let mut p = self.principals.lock();
+        if p.contains_key(name) {
+            return Err(KrbError::PrincipalExists);
+        }
+        p.insert(name.to_owned(), key);
+        Ok(key)
+    }
+
+    /// True if the principal exists (the `userreg` "name taken?" probe).
+    pub fn principal_exists(&self, name: &str) -> bool {
+        self.principals.lock().contains_key(name)
+    }
+
+    /// Sets a principal's password (admin-server operation).
+    pub fn set_password(&self, name: &str, password: &str) -> Result<(), KrbError> {
+        let mut p = self.principals.lock();
+        match p.get_mut(name) {
+            Some(k) => {
+                *k = Key::from_password(password);
+                Ok(())
+            }
+            None => Err(KrbError::UnknownPrincipal),
+        }
+    }
+
+    /// Removes a principal.
+    pub fn remove(&self, name: &str) -> Result<(), KrbError> {
+        match self.principals.lock().remove(name) {
+            Some(_) => Ok(()),
+            None => Err(KrbError::UnknownPrincipal),
+        }
+    }
+
+    fn key_of(&self, name: &str) -> Result<Key, KrbError> {
+        self.principals
+            .lock()
+            .get(name)
+            .copied()
+            .ok_or(KrbError::UnknownPrincipal)
+    }
+
+    fn fresh_session_key(&self) -> Key {
+        let mut c = self.counter.lock();
+        *c += 1;
+        Key::from_bytes(format!("session:{}:{}", *c, self.clock.now()).as_bytes())
+    }
+
+    /// Issues an initial ticket for `client` to talk to `service`,
+    /// verifying the client's password. Returns the sealed ticket plus the
+    /// session key the client shares with the service.
+    pub fn initial_ticket(
+        &self,
+        client: &str,
+        password: &str,
+        service: &str,
+    ) -> Result<(Ticket, Key), KrbError> {
+        let ckey = self.key_of(client)?;
+        if ckey != Key::from_password(password) {
+            return Err(KrbError::BadPassword);
+        }
+        self.ticket_with_key(client, service)
+    }
+
+    /// Issues a ticket for a client that proves possession of its key
+    /// directly (the srvtab-srvtab path used by servers, §5.10).
+    pub fn srvtab_ticket(
+        &self,
+        client: &str,
+        client_key: Key,
+        service: &str,
+    ) -> Result<(Ticket, Key), KrbError> {
+        let ckey = self.key_of(client)?;
+        if ckey != client_key {
+            return Err(KrbError::BadPassword);
+        }
+        self.ticket_with_key(client, service)
+    }
+
+    fn ticket_with_key(&self, client: &str, service: &str) -> Result<(Ticket, Key), KrbError> {
+        let skey = self.key_of(service)?;
+        let session = self.fresh_session_key();
+        let ticket = seal_ticket(
+            skey,
+            client,
+            service,
+            session,
+            self.clock.now(),
+            DEFAULT_LIFETIME_SECS,
+        );
+        Ok((ticket, session))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::unseal_ticket;
+
+    fn kdc() -> Kdc {
+        let k = Kdc::new(VClock::new());
+        k.register("babette", "hunter2").unwrap();
+        k.register_service("moira.kiwi").unwrap();
+        k
+    }
+
+    #[test]
+    fn register_and_probe() {
+        let k = kdc();
+        assert!(k.principal_exists("babette"));
+        assert!(!k.principal_exists("nobody"));
+        assert_eq!(k.register("babette", "x"), Err(KrbError::PrincipalExists));
+    }
+
+    #[test]
+    fn initial_ticket_checks_password() {
+        let k = kdc();
+        assert_eq!(
+            k.initial_ticket("babette", "wrong", "moira.kiwi")
+                .unwrap_err(),
+            KrbError::BadPassword
+        );
+        assert_eq!(
+            k.initial_ticket("nobody", "x", "moira.kiwi").unwrap_err(),
+            KrbError::UnknownPrincipal
+        );
+        let (ticket, session) = k
+            .initial_ticket("babette", "hunter2", "moira.kiwi")
+            .unwrap();
+        // The service can unseal it with its own key and recover the session.
+        let skey = k.key_of("moira.kiwi").unwrap();
+        let body = unseal_ticket(skey, &ticket).unwrap();
+        assert_eq!(body.client, "babette");
+        assert_eq!(body.session_key, session);
+    }
+
+    #[test]
+    fn set_password_changes_key() {
+        let k = kdc();
+        k.set_password("babette", "newpw").unwrap();
+        assert_eq!(
+            k.initial_ticket("babette", "hunter2", "moira.kiwi")
+                .unwrap_err(),
+            KrbError::BadPassword
+        );
+        assert!(k.initial_ticket("babette", "newpw", "moira.kiwi").is_ok());
+        assert_eq!(
+            k.set_password("ghost", "x"),
+            Err(KrbError::UnknownPrincipal)
+        );
+    }
+
+    #[test]
+    fn srvtab_path() {
+        let k = kdc();
+        let regkey = k.register_service("reg_svr").unwrap();
+        assert!(k.srvtab_ticket("reg_svr", regkey, "moira.kiwi").is_ok());
+        let wrong = Key::from_password("nope");
+        assert_eq!(
+            k.srvtab_ticket("reg_svr", wrong, "moira.kiwi").unwrap_err(),
+            KrbError::BadPassword
+        );
+    }
+
+    #[test]
+    fn session_keys_are_fresh() {
+        let k = kdc();
+        let (_, s1) = k
+            .initial_ticket("babette", "hunter2", "moira.kiwi")
+            .unwrap();
+        let (_, s2) = k
+            .initial_ticket("babette", "hunter2", "moira.kiwi")
+            .unwrap();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn remove_principal() {
+        let k = kdc();
+        k.remove("babette").unwrap();
+        assert!(!k.principal_exists("babette"));
+        assert_eq!(k.remove("babette"), Err(KrbError::UnknownPrincipal));
+    }
+}

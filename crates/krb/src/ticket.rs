@@ -1,0 +1,271 @@
+//! Tickets, authenticators, and the verifier's replay cache.
+//!
+//! A ticket is a statement sealed under the *service's* key: "client C may
+//! talk to you with session key K until T". An authenticator is a fresh
+//! timestamped statement sealed under the *session* key, proving the sender
+//! holds K right now. The verifier enforces lifetime, clock skew, and
+//! single use (replay cache) — §4's requirement that Moira be "safe from
+//! … replay of transactions".
+
+use std::collections::HashSet;
+
+use moira_common::clock::VClock;
+use parking_lot::Mutex;
+
+use crate::cipher::{pcbc_decrypt, pcbc_encrypt, Key};
+use crate::realm::KrbError;
+
+/// Permitted clock skew between client and verifier, seconds (Kerberos
+/// used five minutes).
+pub const MAX_SKEW_SECS: i64 = 300;
+
+/// A sealed ticket (opaque to the client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ticket {
+    /// The ciphertext, decryptable only by the service.
+    pub sealed: Vec<u8>,
+}
+
+/// The plaintext contents of a ticket, visible to the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TicketBody {
+    /// Client principal.
+    pub client: String,
+    /// Service principal the ticket is for.
+    pub service: String,
+    /// Session key shared between client and service.
+    pub session_key: Key,
+    /// Unix time of issue.
+    pub issued: i64,
+    /// Validity, seconds from issue.
+    pub lifetime: i64,
+}
+
+/// Seals a ticket under the service key.
+pub fn seal_ticket(
+    service_key: Key,
+    client: &str,
+    service: &str,
+    session_key: Key,
+    issued: i64,
+    lifetime: i64,
+) -> Ticket {
+    let body = format!(
+        "{client}\n{service}\n{}\n{issued}\n{lifetime}",
+        session_key.0
+    );
+    Ticket {
+        sealed: pcbc_encrypt(service_key, body.as_bytes()),
+    }
+}
+
+/// Unseals and parses a ticket with the service key.
+pub fn unseal_ticket(service_key: Key, ticket: &Ticket) -> Result<TicketBody, KrbError> {
+    let raw = pcbc_decrypt(service_key, &ticket.sealed).ok_or(KrbError::BadTicket)?;
+    let text = String::from_utf8(raw).map_err(|_| KrbError::BadTicket)?;
+    let mut lines = text.split('\n');
+    let client = lines.next().ok_or(KrbError::BadTicket)?.to_owned();
+    let service = lines.next().ok_or(KrbError::BadTicket)?.to_owned();
+    let key: u64 = lines
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(KrbError::BadTicket)?;
+    let issued: i64 = lines
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(KrbError::BadTicket)?;
+    let lifetime: i64 = lines
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(KrbError::BadTicket)?;
+    Ok(TicketBody {
+        client,
+        service,
+        session_key: Key(key),
+        issued,
+        lifetime,
+    })
+}
+
+/// A sealed authenticator accompanying a ticket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Authenticator {
+    /// Ciphertext under the session key.
+    pub sealed: Vec<u8>,
+}
+
+/// Builds an authenticator: `{client, timestamp, nonce}` under the session
+/// key. The nonce makes simultaneous requests distinguishable in the replay
+/// cache.
+pub fn make_authenticator(session_key: Key, client: &str, now: i64, nonce: u64) -> Authenticator {
+    let body = format!("{client}\n{now}\n{nonce}");
+    Authenticator {
+        sealed: pcbc_encrypt(session_key, body.as_bytes()),
+    }
+}
+
+/// The service-side verifier: checks ticket + authenticator and remembers
+/// authenticators to reject replays.
+pub struct Verifier {
+    service: String,
+    service_key: Key,
+    clock: VClock,
+    replay_cache: Mutex<HashSet<Vec<u8>>>,
+}
+
+impl Verifier {
+    /// Creates a verifier for `service` holding its srvtab key.
+    pub fn new(service: &str, service_key: Key, clock: VClock) -> Self {
+        Verifier {
+            service: service.to_owned(),
+            service_key,
+            clock,
+            replay_cache: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Verifies a (ticket, authenticator) pair, returning the authenticated
+    /// client principal.
+    pub fn verify(&self, ticket: &Ticket, auth: &Authenticator) -> Result<String, KrbError> {
+        let body = unseal_ticket(self.service_key, ticket)?;
+        if body.service != self.service {
+            return Err(KrbError::BadTicket);
+        }
+        let now = self.clock.now();
+        if now > body.issued + body.lifetime {
+            return Err(KrbError::TicketExpired);
+        }
+        let raw = pcbc_decrypt(body.session_key, &auth.sealed).ok_or(KrbError::BadTicket)?;
+        let text = String::from_utf8(raw).map_err(|_| KrbError::BadTicket)?;
+        let mut lines = text.split('\n');
+        let client = lines.next().ok_or(KrbError::BadTicket)?.to_owned();
+        let stamp: i64 = lines
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(KrbError::BadTicket)?;
+        if client != body.client {
+            return Err(KrbError::BadTicket);
+        }
+        if (now - stamp).abs() > MAX_SKEW_SECS {
+            return Err(KrbError::ClockSkew);
+        }
+        if !self.replay_cache.lock().insert(auth.sealed.clone()) {
+            return Err(KrbError::Replay);
+        }
+        Ok(client)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realm::Kdc;
+
+    fn setup() -> (Kdc, Verifier, VClock) {
+        let clock = VClock::new();
+        let kdc = Kdc::new(clock.clone());
+        kdc.register("babette", "pw").unwrap();
+        let skey = kdc.register_service("moira.kiwi").unwrap();
+        let verifier = Verifier::new("moira.kiwi", skey, clock.clone());
+        (kdc, verifier, clock)
+    }
+
+    #[test]
+    fn happy_path() {
+        let (kdc, verifier, clock) = setup();
+        let (ticket, session) = kdc.initial_ticket("babette", "pw", "moira.kiwi").unwrap();
+        let auth = make_authenticator(session, "babette", clock.now(), 1);
+        assert_eq!(verifier.verify(&ticket, &auth).unwrap(), "babette");
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (kdc, verifier, clock) = setup();
+        let (ticket, session) = kdc.initial_ticket("babette", "pw", "moira.kiwi").unwrap();
+        let auth = make_authenticator(session, "babette", clock.now(), 1);
+        verifier.verify(&ticket, &auth).unwrap();
+        assert_eq!(
+            verifier.verify(&ticket, &auth).unwrap_err(),
+            KrbError::Replay
+        );
+        // A fresh authenticator on the same ticket is fine.
+        let auth2 = make_authenticator(session, "babette", clock.now(), 2);
+        assert!(verifier.verify(&ticket, &auth2).is_ok());
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let (kdc, verifier, clock) = setup();
+        let (ticket, session) = kdc.initial_ticket("babette", "pw", "moira.kiwi").unwrap();
+        clock.advance(crate::realm::DEFAULT_LIFETIME_SECS + 1);
+        let auth = make_authenticator(session, "babette", clock.now(), 1);
+        assert_eq!(
+            verifier.verify(&ticket, &auth).unwrap_err(),
+            KrbError::TicketExpired
+        );
+    }
+
+    #[test]
+    fn skew_enforced() {
+        let (kdc, verifier, clock) = setup();
+        let (ticket, session) = kdc.initial_ticket("babette", "pw", "moira.kiwi").unwrap();
+        let stale = make_authenticator(session, "babette", clock.now() - MAX_SKEW_SECS - 1, 1);
+        assert_eq!(
+            verifier.verify(&ticket, &stale).unwrap_err(),
+            KrbError::ClockSkew
+        );
+        let future = make_authenticator(session, "babette", clock.now() + MAX_SKEW_SECS + 1, 2);
+        assert_eq!(
+            verifier.verify(&ticket, &future).unwrap_err(),
+            KrbError::ClockSkew
+        );
+    }
+
+    #[test]
+    fn forged_session_key_rejected() {
+        let (kdc, verifier, clock) = setup();
+        let (ticket, _session) = kdc.initial_ticket("babette", "pw", "moira.kiwi").unwrap();
+        let forged = make_authenticator(Key::from_password("guess"), "babette", clock.now(), 1);
+        assert_eq!(
+            verifier.verify(&ticket, &forged).unwrap_err(),
+            KrbError::BadTicket
+        );
+    }
+
+    #[test]
+    fn client_name_mismatch_rejected() {
+        let (kdc, verifier, clock) = setup();
+        kdc.register("mallory", "mw").unwrap();
+        let (ticket, session) = kdc.initial_ticket("babette", "pw", "moira.kiwi").unwrap();
+        // Mallory steals the session key but claims her own name.
+        let auth = make_authenticator(session, "mallory", clock.now(), 1);
+        assert_eq!(
+            verifier.verify(&ticket, &auth).unwrap_err(),
+            KrbError::BadTicket
+        );
+    }
+
+    #[test]
+    fn ticket_for_other_service_rejected() {
+        let (kdc, verifier, clock) = setup();
+        kdc.register_service("pop.e40").unwrap();
+        let (ticket, session) = kdc.initial_ticket("babette", "pw", "pop.e40").unwrap();
+        let auth = make_authenticator(session, "babette", clock.now(), 1);
+        assert_eq!(
+            verifier.verify(&ticket, &auth).unwrap_err(),
+            KrbError::BadTicket
+        );
+    }
+
+    #[test]
+    fn tampered_ticket_rejected() {
+        let (kdc, verifier, clock) = setup();
+        let (mut ticket, session) = kdc.initial_ticket("babette", "pw", "moira.kiwi").unwrap();
+        ticket.sealed[4] ^= 0xff;
+        let auth = make_authenticator(session, "babette", clock.now(), 1);
+        assert_eq!(
+            verifier.verify(&ticket, &auth).unwrap_err(),
+            KrbError::BadTicket
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests for the Kerberos substrate: cipher round trips,
+//! universal tamper detection, and crypt() format invariants.
+
+use moira_krb::cipher::{decrypt_block, encrypt_block, pcbc_decrypt, pcbc_encrypt, Key};
+use moira_krb::crypt::{crypt, crypt_verify};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn block_cipher_is_a_permutation(key in any::<u64>(), block in any::<u64>()) {
+        let k = Key(key);
+        prop_assert_eq!(decrypt_block(k, encrypt_block(k, block)), block);
+        prop_assert_eq!(encrypt_block(k, decrypt_block(k, block)), block);
+    }
+
+    #[test]
+    fn pcbc_round_trips(key in ".{0,24}", payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let k = Key::from_password(&key);
+        let ct = pcbc_encrypt(k, &payload);
+        prop_assert_eq!(ct.len() % 8, 0);
+        prop_assert_eq!(pcbc_decrypt(k, &ct), Some(payload));
+    }
+
+    #[test]
+    fn pcbc_rejects_wrong_key(
+        key in "[a-m]{1,12}",
+        other in "[n-z]{1,12}",
+        payload in prop::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let ct = pcbc_encrypt(Key::from_password(&key), &payload);
+        prop_assert_ne!(pcbc_decrypt(Key::from_password(&other), &ct), Some(payload));
+    }
+
+    #[test]
+    fn pcbc_detects_single_byte_tampering(
+        key in ".{1,12}",
+        payload in prop::collection::vec(any::<u8>(), 1..96),
+        index in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let k = Key::from_password(&key);
+        let mut ct = pcbc_encrypt(k, &payload);
+        let i = index.index(ct.len());
+        ct[i] ^= flip;
+        prop_assert_ne!(pcbc_decrypt(k, &ct), Some(payload));
+    }
+
+    #[test]
+    fn crypt_format_invariants(word in ".{0,24}", salt in "[a-zA-Z0-9./]{2}") {
+        let h = crypt(&word, &salt);
+        prop_assert_eq!(h.len(), 13);
+        prop_assert!(h.starts_with(&salt));
+        prop_assert!(h.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'/'));
+        prop_assert!(crypt_verify(&word, &h));
+    }
+
+    #[test]
+    fn crypt_is_word_sensitive(a in "[a-m]{1,10}", b in "[n-z]{1,10}") {
+        prop_assert_ne!(crypt(&a, "xy"), crypt(&b, "xy"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Framed transports: an in-process channel pair and non-blocking TCP.
+//!
+//! The Moira server "runs as a single UNIX process … GDB, through the use
+//! of BSD UNIX non-blocking I/O, allows the programmer to set up a single
+//! process server which handles multiple simultaneous TCP connections"
+//! (§5.4). The [`Channel`] trait exposes exactly the non-blocking
+//! operations such a server loop needs: `try_recv` never blocks, `send`
+//! queues a frame, and the loop makes progress on every connection each
+//! iteration.
+//!
+//! Frames are length-prefixed: `u32` big-endian payload length, then the
+//! payload (a [`crate::wire`] encoding).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+
+/// A bidirectional, non-blocking framed byte channel.
+pub trait Channel: Send {
+    /// Sends one frame. An error means the peer is gone (`MR_ABORTED`
+    /// territory).
+    fn send(&mut self, frame: Bytes) -> io::Result<()>;
+
+    /// Receives one frame if available: `Ok(Some)` frame, `Ok(None)`
+    /// nothing yet, `Err` connection dead.
+    fn try_recv(&mut self) -> io::Result<Option<Bytes>>;
+
+    /// True once the peer has closed.
+    fn is_closed(&self) -> bool;
+}
+
+/// In-process channel endpoint built on crossbeam queues.
+pub struct InProcChannel {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+    closed: bool,
+}
+
+/// Creates a connected pair of in-process channels.
+pub fn pair() -> (InProcChannel, InProcChannel) {
+    let (atx, arx) = unbounded();
+    let (btx, brx) = unbounded();
+    (
+        InProcChannel {
+            tx: atx,
+            rx: brx,
+            closed: false,
+        },
+        InProcChannel {
+            tx: btx,
+            rx: arx,
+            closed: false,
+        },
+    )
+}
+
+impl Channel for InProcChannel {
+    fn send(&mut self, frame: Bytes) -> io::Result<()> {
+        self.tx
+            .send(frame)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
+    }
+
+    fn try_recv(&mut self) -> io::Result<Option<Bytes>> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                self.closed = true;
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
+            }
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// A non-blocking TCP channel with incremental frame reassembly.
+pub struct TcpChannel {
+    stream: TcpStream,
+    inbox: Vec<u8>,
+    closed: bool,
+}
+
+impl TcpChannel {
+    /// Wraps a stream, switching it to non-blocking mode.
+    pub fn new(stream: TcpStream) -> io::Result<TcpChannel> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpChannel {
+            stream,
+            inbox: Vec::new(),
+            closed: false,
+        })
+    }
+
+    /// Connects to an address and wraps the stream.
+    pub fn connect(addr: &str) -> io::Result<TcpChannel> {
+        TcpChannel::new(TcpStream::connect(addr)?)
+    }
+
+    fn pump(&mut self) -> io::Result<()> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.closed = true;
+                    return Ok(());
+                }
+                Ok(n) => self.inbox.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.closed = true;
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send(&mut self, frame: Bytes) -> io::Result<()> {
+        // Writes block briefly if the socket buffer fills; frames are small
+        // enough that this mirrors GDB's progress guarantees in practice.
+        self.stream.set_nonblocking(false)?;
+        let header = (frame.len() as u32).to_be_bytes();
+        let result = self
+            .stream
+            .write_all(&header)
+            .and_then(|_| self.stream.write_all(&frame));
+        self.stream.set_nonblocking(true)?;
+        result
+    }
+
+    fn try_recv(&mut self) -> io::Result<Option<Bytes>> {
+        self.pump()?;
+        if self.inbox.len() < 4 {
+            return if self.closed && self.inbox.is_empty() {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
+            } else {
+                Ok(None)
+            };
+        }
+        let len = u32::from_be_bytes(self.inbox[..4].try_into().expect("4 bytes")) as usize;
+        if self.inbox.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = Bytes::copy_from_slice(&self.inbox[4..4 + len]);
+        self.inbox.drain(..4 + len);
+        Ok(Some(frame))
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// Blocks (with spinning politeness) until a frame arrives or `tries`
+/// polls have elapsed — the client-side convenience for request/response
+/// exchanges and for tests.
+pub fn recv_blocking(chan: &mut dyn Channel, tries: u32) -> io::Result<Bytes> {
+    for i in 0..tries {
+        if let Some(frame) = chan.try_recv()? {
+            return Ok(frame);
+        }
+        if i > 10 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::TimedOut, "no frame"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn inproc_round_trip() {
+        let (mut a, mut b) = pair();
+        a.send(Bytes::from_static(b"hello")).unwrap();
+        a.send(Bytes::from_static(b"world")).unwrap();
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(b.try_recv().unwrap().unwrap(), Bytes::from_static(b"world"));
+        assert_eq!(b.try_recv().unwrap(), None);
+        b.send(Bytes::from_static(b"back")).unwrap();
+        assert_eq!(a.try_recv().unwrap().unwrap(), Bytes::from_static(b"back"));
+    }
+
+    #[test]
+    fn inproc_detects_disconnect() {
+        let (mut a, b) = pair();
+        drop(b);
+        assert!(a.send(Bytes::from_static(b"x")).is_err());
+        assert!(a.try_recv().is_err());
+        assert!(a.is_closed());
+    }
+
+    #[test]
+    fn tcp_round_trip_with_partial_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut c = TcpChannel::connect(&addr.to_string()).unwrap();
+            c.send(Bytes::from_static(b"ping")).unwrap();
+            recv_blocking(&mut c, 1_000_000).unwrap()
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpChannel::new(stream).unwrap();
+        let got = recv_blocking(&mut server, 1_000_000).unwrap();
+        assert_eq!(got, Bytes::from_static(b"ping"));
+        server.send(Bytes::from_static(b"pong")).unwrap();
+        assert_eq!(client.join().unwrap(), Bytes::from_static(b"pong"));
+    }
+
+    #[test]
+    fn tcp_multiple_frames_in_one_read() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut c = TcpChannel::connect(&addr.to_string()).unwrap();
+            for i in 0..10u8 {
+                c.send(Bytes::copy_from_slice(&[i; 3])).unwrap();
+            }
+            // Keep the socket open until the reader is done.
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpChannel::new(stream).unwrap();
+        for i in 0..10u8 {
+            let frame = recv_blocking(&mut server, 1_000_000).unwrap();
+            assert_eq!(frame, Bytes::copy_from_slice(&[i; 3]));
+        }
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_detects_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let c = TcpChannel::connect(&addr.to_string()).unwrap();
+            drop(c);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpChannel::new(stream).unwrap();
+        t.join().unwrap();
+        // Eventually the read side reports the close.
+        let mut saw_close = false;
+        for _ in 0..1_000_000 {
+            match server.try_recv() {
+                Err(_) => {
+                    saw_close = true;
+                    break;
+                }
+                Ok(None) if server.is_closed() => {
+                    saw_close = true;
+                    break;
+                }
+                Ok(_) => {}
+            }
+        }
+        assert!(saw_close);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the wire protocol: arbitrary payload round
+//! trips and decoder robustness against arbitrary bytes.
+
+use bytes::Bytes;
+use moira_protocol::wire::{MajorRequest, Reply, Request, CURRENT_VERSION};
+use proptest::prelude::*;
+
+fn major() -> impl Strategy<Value = MajorRequest> {
+    prop_oneof![
+        Just(MajorRequest::Noop),
+        Just(MajorRequest::Auth),
+        Just(MajorRequest::Query),
+        Just(MajorRequest::Access),
+        Just(MajorRequest::TriggerDcm),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(
+        m in major(),
+        version in 0u16..8,
+        args in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..12),
+    ) {
+        let request = Request {
+            version,
+            major: m,
+            args: args.into_iter().map(Bytes::from).collect(),
+        };
+        prop_assert_eq!(Request::decode(request.encode()).unwrap(), request);
+    }
+
+    #[test]
+    fn replies_round_trip(
+        code in any::<i32>(),
+        fields in prop::collection::vec(".{0,32}", 0..10),
+    ) {
+        let reply = Reply {
+            code,
+            fields: fields.iter().map(|f| Bytes::copy_from_slice(f.as_bytes())).collect(),
+        };
+        let decoded = Reply::decode(reply.encode()).unwrap();
+        prop_assert_eq!(decoded.string_fields().unwrap(), fields);
+        prop_assert_eq!(decoded.code, code);
+    }
+
+    /// The decoder never panics and never accepts trailing garbage.
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Request::decode(Bytes::from(bytes.clone()));
+        let _ = Reply::decode(Bytes::from(bytes));
+    }
+
+    /// Truncating any valid frame always fails cleanly.
+    #[test]
+    fn truncation_always_rejected(
+        args in prop::collection::vec("[a-z]{0,16}", 1..6),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        let request = Request::new(MajorRequest::Query, &refs);
+        let encoded = request.encode();
+        let cut = cut_at.index(encoded.len().max(1));
+        if cut < encoded.len() {
+            prop_assert!(Request::decode(encoded.slice(..cut)).is_err());
+        }
+        prop_assert_eq!(request.version, CURRENT_VERSION);
+    }
+}

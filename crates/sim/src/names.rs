@@ -1,0 +1,240 @@
+//! Deterministic name generation for the synthetic population.
+
+use moira_common::rng::Mt;
+
+const FIRST_NAMES: &[&str] = &[
+    "Harmon", "Angela", "Gerhard", "Martin", "Peter", "Jean", "Bill", "Ken", "Mark", "Michael",
+    "Sarah", "Laura", "David", "Susan", "James", "Mary", "Robert", "Linda", "John", "Patricia",
+    "Carol", "Thomas", "Nancy", "Daniel", "Karen", "Paul", "Betty", "Steven", "Helen", "Kevin",
+    "Diane", "Brian", "Ruth", "Edward", "Sharon", "Ronald", "Michelle", "Anthony", "Donna", "Gary",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Fowler",
+    "Barba",
+    "Messmer",
+    "Zimmermann",
+    "Levine",
+    "Diaz",
+    "Sommerfeld",
+    "Raeburn",
+    "Rosenstein",
+    "Gretzinger",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Miller",
+    "Davis",
+    "Garcia",
+    "Rodriguez",
+    "Wilson",
+    "Martinez",
+    "Anderson",
+    "Taylor",
+    "Thomas",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Thompson",
+    "White",
+    "Harris",
+    "Clark",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Hall",
+    "Allen",
+    "Young",
+    "King",
+    "Wright",
+    "Scott",
+    "Green",
+    "Adams",
+    "Baker",
+    "Nelson",
+    "Hill",
+    "Campbell",
+    "Mitchell",
+    "Roberts",
+    "Carter",
+    "Phillips",
+    "Evans",
+    "Turner",
+    "Parker",
+    "Collins",
+    "Edwards",
+    "Stewart",
+    "Morris",
+    "Murphy",
+    "Cook",
+];
+
+const CLASSES: &[&str] = &[
+    "1988", "1989", "1990", "1991", "1992", "G", "STAFF", "FACULTY",
+];
+
+/// One synthetic person.
+#[derive(Debug, Clone)]
+pub struct Person {
+    /// Unique login, at most 8 characters.
+    pub login: String,
+    /// First name.
+    pub first: String,
+    /// Last name.
+    pub last: String,
+    /// Middle initial (may be empty).
+    pub middle: String,
+    /// MIT class.
+    pub class: String,
+    /// Nine-digit ID number (with hyphens).
+    pub id_number: String,
+}
+
+/// Generates `n` distinct people deterministically from the RNG.
+pub fn people(rng: &mut Mt, n: usize) -> Vec<Person> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let first = (*rng.choice(FIRST_NAMES)).to_owned();
+        let last = (*rng.choice(LAST_NAMES)).to_owned();
+        let middle = if rng.chance(0.6) {
+            char::from(b'A' + rng.below(26) as u8).to_string()
+        } else {
+            String::new()
+        };
+        let class = (*rng.choice(CLASSES)).to_owned();
+        let login = login_for(&first, &last, i);
+        let id_number = format!(
+            "{:03}-{:02}-{:04}",
+            rng.below(900) + 100,
+            rng.below(90) + 10,
+            rng.below(9000) + 1000
+        );
+        out.push(Person {
+            login,
+            first,
+            last,
+            middle,
+            class,
+            id_number,
+        });
+    }
+    out
+}
+
+/// A distinct ≤8-character login derived from a name and a counter.
+pub fn login_for(first: &str, last: &str, counter: usize) -> String {
+    let serial = base36(counter);
+    let budget = 8 - serial.len();
+    let mut stem = String::new();
+    stem.extend(first.chars().take(1));
+    stem.extend(last.chars().take(budget.saturating_sub(1)));
+    let mut login = stem.to_ascii_lowercase();
+    login.push_str(&serial);
+    login
+}
+
+fn base36(mut n: usize) -> String {
+    const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut out = Vec::new();
+    loop {
+        out.push(DIGITS[n % 36]);
+        n /= 36;
+        if n == 0 {
+            break;
+        }
+    }
+    out.reverse();
+    String::from_utf8(out).expect("ascii")
+}
+
+/// A workstation host name like `E40-343-3.MIT.EDU`.
+pub fn workstation_name(rng: &mut Mt, i: usize) -> String {
+    let building = rng.choice(&["E40", "W20", "NE43", "4", "37", "66"]);
+    format!("{building}-{:03}-{i}.MIT.EDU", rng.below(500))
+}
+
+/// A server host name like `CHARON` / `EURYDICE` with an index fallback.
+pub fn server_name(i: usize) -> String {
+    const MYTHICAL: &[&str] = &[
+        "CHARON",
+        "EURYDICE",
+        "HELEN",
+        "ORPHEUS",
+        "PERSEUS",
+        "ANDROMEDA",
+        "CASSIOPEIA",
+        "HERCULES",
+        "ATLAS",
+        "PROMETHEUS",
+        "ICARUS",
+        "DAEDALUS",
+        "THESEUS",
+        "ARIADNE",
+        "PENELOPE",
+        "ODYSSEUS",
+        "ACHILLES",
+        "HECTOR",
+        "PARIS",
+        "CASSANDRA",
+        "MEDEA",
+        "JASON",
+        "CIRCE",
+        "CALYPSO",
+    ];
+    match MYTHICAL.get(i) {
+        Some(n) => format!("{n}.MIT.EDU"),
+        None => format!("SRV{i}.MIT.EDU"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logins_unique_and_short() {
+        let mut rng = Mt::new(1);
+        let folks = people(&mut rng, 5_000);
+        let mut logins: Vec<&str> = folks.iter().map(|p| p.login.as_str()).collect();
+        logins.sort_unstable();
+        logins.dedup();
+        assert_eq!(logins.len(), 5_000, "logins must be unique");
+        assert!(folks
+            .iter()
+            .all(|p| p.login.len() <= 8 && !p.login.is_empty()));
+        assert!(folks
+            .iter()
+            .all(|p| p.login.chars().all(|c| c.is_ascii_alphanumeric())));
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = people(&mut Mt::new(7), 100);
+        let b = people(&mut Mt::new(7), 100);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.login == y.login && x.id_number == y.id_number));
+    }
+
+    #[test]
+    fn id_numbers_shaped() {
+        let folks = people(&mut Mt::new(3), 50);
+        for p in &folks {
+            assert_eq!(p.id_number.len(), 11, "{}", p.id_number);
+            assert_eq!(p.id_number.chars().filter(|c| *c == '-').count(), 2);
+        }
+    }
+
+    #[test]
+    fn server_names() {
+        assert_eq!(server_name(0), "CHARON.MIT.EDU");
+        assert_eq!(server_name(99), "SRV99.MIT.EDU");
+        let mut rng = Mt::new(1);
+        assert!(workstation_name(&mut rng, 3).ends_with(".MIT.EDU"));
+    }
+}

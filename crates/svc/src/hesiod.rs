@@ -1,0 +1,241 @@
+//! The Hesiod nameserver.
+//!
+//! "The hesiod server is a primary source of contact for many athena
+//! operations… The server automatically loads the files from disk into
+//! memory when it is started" (§5.8.2). This implementation parses the
+//! BIND-format lines Moira generates (`HS UNSPECA` data records and
+//! `HS CNAME` indirections) and answers `resolve(name, type)` queries the
+//! way `login`, `attach`, `lpr` and friends did.
+
+use std::collections::HashMap;
+
+/// One parsed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Record {
+    /// `HS UNSPECA "data"` — a data record.
+    Data(String),
+    /// `HS CNAME target` — an alias to another fully-qualified entry.
+    CName(String),
+}
+
+/// Errors answering a Hesiod query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HesiodError {
+    /// No record for the name/type pair.
+    NotFound,
+    /// A CNAME chain exceeded the hop limit (loop).
+    CnameLoop,
+    /// A line could not be parsed at load time.
+    ParseError(String),
+}
+
+/// The in-memory nameserver.
+#[derive(Debug, Default)]
+pub struct HesiodServer {
+    /// `"babette.passwd"` → records.
+    records: HashMap<String, Vec<Record>>,
+    /// How many files have been loaded since start/restart.
+    pub files_loaded: usize,
+    /// How many times the server has been (re)started.
+    pub restarts: u64,
+}
+
+impl HesiodServer {
+    /// Creates an empty server.
+    pub fn new() -> HesiodServer {
+        HesiodServer::default()
+    }
+
+    /// Kills and restarts the server, dropping all records — Moira's
+    /// install script "will kill the running server and then restart it,
+    /// causing the newly updated files to be read into memory".
+    pub fn restart(&mut self) {
+        self.records.clear();
+        self.files_loaded = 0;
+        self.restarts += 1;
+    }
+
+    /// Loads one `.db` file's contents.
+    pub fn load_db(&mut self, contents: &str) -> Result<usize, HesiodError> {
+        let mut count = 0;
+        for line in contents.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with(';') {
+                continue;
+            }
+            let (name, record) = parse_line(line)?;
+            self.records.entry(name).or_default().push(record);
+            count += 1;
+        }
+        self.files_loaded += 1;
+        Ok(count)
+    }
+
+    /// Resolves `(name, type)` — e.g. `("babette", "passwd")` — following
+    /// CNAME chains, returning the data strings.
+    pub fn resolve(&self, name: &str, kind: &str) -> Result<Vec<String>, HesiodError> {
+        let mut key = format!("{name}.{kind}");
+        for _ in 0..8 {
+            let Some(records) = self.records.get(&key) else {
+                return Err(HesiodError::NotFound);
+            };
+            // A CNAME must be the only record at a name.
+            if let [Record::CName(target)] = records.as_slice() {
+                key = target.clone();
+                continue;
+            }
+            let data: Vec<String> = records
+                .iter()
+                .filter_map(|r| match r {
+                    Record::Data(d) => Some(d.clone()),
+                    Record::CName(_) => None,
+                })
+                .collect();
+            if data.is_empty() {
+                return Err(HesiodError::NotFound);
+            }
+            return Ok(data);
+        }
+        Err(HesiodError::CnameLoop)
+    }
+
+    /// Number of distinct names served.
+    pub fn name_count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+fn parse_line(line: &str) -> Result<(String, Record), HesiodError> {
+    let mut parts = line.split_whitespace();
+    let name = parts
+        .next()
+        .ok_or_else(|| HesiodError::ParseError(line.into()))?
+        .to_owned();
+    let class = parts
+        .next()
+        .ok_or_else(|| HesiodError::ParseError(line.into()))?;
+    let rtype = parts
+        .next()
+        .ok_or_else(|| HesiodError::ParseError(line.into()))?;
+    if class != "HS" {
+        return Err(HesiodError::ParseError(line.into()));
+    }
+    match rtype {
+        "CNAME" => {
+            let target = parts
+                .next()
+                .ok_or_else(|| HesiodError::ParseError(line.into()))?
+                .to_owned();
+            Ok((name, Record::CName(target)))
+        }
+        "UNSPECA" => {
+            // The remainder is either a quoted string or a bare token.
+            let data = line_tail(line).unwrap_or_default().trim();
+            let data = data
+                .strip_prefix('"')
+                .and_then(|d| d.strip_suffix('"'))
+                .unwrap_or(data);
+            Ok((name, Record::Data(data.to_owned())))
+        }
+        _ => Err(HesiodError::ParseError(line.into())),
+    }
+}
+
+/// Everything after the `UNSPECA` token.
+fn line_tail(line: &str) -> Option<&str> {
+    let idx = line.find("UNSPECA")?;
+    Some(line[idx + "UNSPECA".len()..].trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "; lines for per-cluster info\n",
+        "bldge40-vs.cluster\tHS UNSPECA\t\"zephyr neskaya.mit.edu\"\n",
+        "bldge40-rt.cluster\tHS UNSPECA\t\"lpr e40\"\n",
+        "TOTO.cluster\tHS CNAME\tbldge40-rt.cluster\n",
+        "babette.passwd\tHS UNSPECA\t\"babette:*:6530:101:Harmon C Fowler,,,,:/mit/babette:/bin/csh\"\n",
+        "6530.uid\tHS CNAME\tbabette.passwd\n",
+    );
+
+    #[test]
+    fn loads_and_resolves() {
+        let mut h = HesiodServer::new();
+        let n = h.load_db(SAMPLE).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(h.files_loaded, 1);
+        let data = h.resolve("babette", "passwd").unwrap();
+        assert_eq!(
+            data[0],
+            "babette:*:6530:101:Harmon C Fowler,,,,:/mit/babette:/bin/csh"
+        );
+    }
+
+    #[test]
+    fn cname_chains() {
+        let mut h = HesiodServer::new();
+        h.load_db(SAMPLE).unwrap();
+        // uid -> passwd.
+        assert_eq!(
+            h.resolve("6530", "uid").unwrap()[0]
+                .split(':')
+                .next()
+                .unwrap(),
+            "babette"
+        );
+        // machine -> cluster data.
+        assert_eq!(h.resolve("TOTO", "cluster").unwrap(), vec!["lpr e40"]);
+    }
+
+    #[test]
+    fn multiple_records_per_name() {
+        let mut h = HesiodServer::new();
+        h.load_db("x.cluster HS UNSPECA \"lpr e40\"\nx.cluster HS UNSPECA \"zephyr z1\"\n")
+            .unwrap();
+        let data = h.resolve("x", "cluster").unwrap();
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn not_found_and_loops() {
+        let mut h = HesiodServer::new();
+        h.load_db(SAMPLE).unwrap();
+        assert_eq!(h.resolve("ghost", "passwd"), Err(HesiodError::NotFound));
+        h.load_db("a.x HS CNAME b.x\nb.x HS CNAME a.x\n").unwrap();
+        assert_eq!(h.resolve("a", "x"), Err(HesiodError::CnameLoop));
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        let mut h = HesiodServer::new();
+        assert!(matches!(
+            h.load_db("garbage"),
+            Err(HesiodError::ParseError(_))
+        ));
+        assert!(matches!(
+            h.load_db("a.x IN A 1.2.3.4"),
+            Err(HesiodError::ParseError(_))
+        ));
+    }
+
+    #[test]
+    fn unquoted_data_accepted() {
+        // sloc entries are unquoted in the paper's example.
+        let mut h = HesiodServer::new();
+        h.load_db("HESIOD.sloc HS UNSPECA KIWI.MIT.EDU\n").unwrap();
+        assert_eq!(h.resolve("HESIOD", "sloc").unwrap(), vec!["KIWI.MIT.EDU"]);
+    }
+
+    #[test]
+    fn restart_clears_records() {
+        let mut h = HesiodServer::new();
+        h.load_db(SAMPLE).unwrap();
+        assert!(h.name_count() > 0);
+        h.restart();
+        assert_eq!(h.name_count(), 0);
+        assert_eq!(h.restarts, 1);
+        assert_eq!(h.resolve("babette", "passwd"), Err(HesiodError::NotFound));
+    }
+}

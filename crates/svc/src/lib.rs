@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! The consumers of Moira-distributed data (§5.8).
+//!
+//! "Currently, Moira acts to update a variety of servers" — these are
+//! those servers, built as working consumers so every generated file is
+//! not just produced but *used*:
+//!
+//! - [`hesiod`] — the Athena nameserver: loads the eleven BIND-format
+//!   `.db` files and answers typed lookups (including CNAME chains and the
+//!   pseudo-cluster indirection).
+//! - [`zephyr`] — the notification service: class ACLs loaded from the
+//!   distributed `*.acl` files, transmit/subscribe checks, and notice
+//!   delivery (the DCM's own failure notices ride on this).
+//! - [`nfs`] — the locker server: applies the credentials, quotas, and
+//!   directories files the way the install shell script did
+//!   (`mkdir <username>, chown, chgrp, chmod … setquota`).
+//! - [`mail`] — the mail hub: resolves `/usr/lib/aliases` (recursive
+//!   aliases, pobox routing) and delivers to post office boxes.
+
+pub mod hesiod;
+pub mod mail;
+pub mod nfs;
+pub mod zephyr;
+
+pub use hesiod::HesiodServer;
+pub use mail::MailHub;
+pub use nfs::NfsServer;
+pub use zephyr::ZephyrServer;

@@ -1,0 +1,303 @@
+//! The mail hub.
+//!
+//! Loads `/usr/lib/aliases` (sendmail aliases format, as Moira generates
+//! it) and resolves addresses: aliases expand recursively, pobox routing
+//! lines (`login: login@PO.LOCAL`) terminate at a post office, and
+//! non-local addresses leave the hub as-is.
+
+use std::collections::{HashMap, HashSet};
+
+/// Where a resolved recipient ends up.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Destination {
+    /// Delivered to a POP box: `(user, post office host)`.
+    PoBox {
+        /// Box owner.
+        user: String,
+        /// Post office short name.
+        office: String,
+    },
+    /// Relayed off-hub to a remote address.
+    Remote(String),
+    /// Discarded (`/dev/null`).
+    Discard,
+    /// No alias and no pobox: returned to sender.
+    Bounce(String),
+}
+
+/// Errors loading the aliases file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MailError {
+    /// A non-comment line without a colon.
+    ParseError(String),
+}
+
+/// One entry known to the mail hub's finger server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerEntry {
+    /// Unix uid.
+    pub uid: i64,
+    /// Full name (GECOS first field).
+    pub fullname: String,
+    /// Home directory.
+    pub home: String,
+    /// Login shell.
+    pub shell: String,
+}
+
+/// The mail hub.
+#[derive(Debug, Default)]
+pub struct MailHub {
+    aliases: HashMap<String, Vec<String>>,
+    finger: HashMap<String, FingerEntry>,
+    /// Delivered messages: `(destination, message)` log.
+    pub delivered: Vec<(Destination, String)>,
+}
+
+impl MailHub {
+    /// Creates an empty hub.
+    pub fn new() -> MailHub {
+        MailHub::default()
+    }
+
+    /// Loads an aliases file, replacing the alias table. ("This file is not
+    /// automatically installed … the mail spool must be disabled during the
+    /// switchover" — the swap is atomic from the hub's view.)
+    pub fn load_aliases(&mut self, contents: &str) -> Result<usize, MailError> {
+        let mut fresh = HashMap::new();
+        for line in contents.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, rhs) = line
+                .split_once(':')
+                .ok_or_else(|| MailError::ParseError(line.into()))?;
+            let targets: Vec<String> = rhs
+                .split(',')
+                .map(|t| t.trim().to_owned())
+                .filter(|t| !t.is_empty())
+                .collect();
+            fresh.insert(name.trim().to_owned(), targets);
+        }
+        let n = fresh.len();
+        self.aliases = fresh;
+        Ok(n)
+    }
+
+    /// Resolves one address to its final destinations.
+    pub fn resolve(&self, address: &str) -> Vec<Destination> {
+        let mut out = HashSet::new();
+        let mut seen = HashSet::new();
+        self.resolve_into(address, &mut out, &mut seen, 0);
+        let mut v: Vec<Destination> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    fn resolve_into(
+        &self,
+        address: &str,
+        out: &mut HashSet<Destination>,
+        seen: &mut HashSet<String>,
+        depth: usize,
+    ) {
+        if depth > 16 || !seen.insert(address.to_owned()) {
+            return;
+        }
+        if address == "/dev/null" {
+            out.insert(Destination::Discard);
+            return;
+        }
+        if let Some((user, host)) = address.split_once('@') {
+            if let Some(office) = host.strip_suffix(".LOCAL") {
+                out.insert(Destination::PoBox {
+                    user: user.to_owned(),
+                    office: office.to_owned(),
+                });
+            } else {
+                out.insert(Destination::Remote(address.to_owned()));
+            }
+            return;
+        }
+        match self.aliases.get(address) {
+            Some(targets) => {
+                for t in targets {
+                    self.resolve_into(t, out, seen, depth + 1);
+                }
+            }
+            None => {
+                out.insert(Destination::Bounce(address.to_owned()));
+            }
+        }
+    }
+
+    /// Delivers a message to an address, logging final destinations;
+    /// returns them.
+    pub fn deliver(&mut self, address: &str, message: &str) -> Vec<Destination> {
+        let destinations = self.resolve(address);
+        for d in &destinations {
+            self.delivered.push((d.clone(), message.to_owned()));
+        }
+        destinations
+    }
+
+    /// Number of loaded aliases.
+    pub fn alias_count(&self) -> usize {
+        self.aliases.len()
+    }
+
+    /// Loads the distributed password file — "a complete password file so
+    /// that the finger server on the mailhub will know about everybody"
+    /// (§5.8.2).
+    pub fn load_passwd(&mut self, contents: &str) -> Result<usize, MailError> {
+        let mut fresh = HashMap::new();
+        for line in contents.lines().filter(|l| !l.trim().is_empty()) {
+            let fields: Vec<&str> = line.split(':').collect();
+            if fields.len() < 7 {
+                return Err(MailError::ParseError(line.into()));
+            }
+            let uid: i64 = fields[2]
+                .parse()
+                .map_err(|_| MailError::ParseError(line.into()))?;
+            let fullname = fields[4].split(',').next().unwrap_or_default().to_owned();
+            fresh.insert(
+                fields[0].to_owned(),
+                FingerEntry {
+                    uid,
+                    fullname,
+                    home: fields[5].to_owned(),
+                    shell: fields[6].to_owned(),
+                },
+            );
+        }
+        let n = fresh.len();
+        self.finger = fresh;
+        Ok(n)
+    }
+
+    /// The finger server: looks a login up in the distributed passwd file.
+    pub fn finger(&self, login: &str) -> Option<&FingerEntry> {
+        self.finger.get(login)
+    }
+
+    /// Number of accounts the finger server knows.
+    pub fn finger_count(&self) -> usize {
+        self.finger.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALIASES: &str = concat!(
+        "# Video Users\n",
+        "owner-video-users: paul\n",
+        "video-users: smyser, paul, rubin@media-lab.mit.edu\n",
+        "babette: babette@ATHENA-PO-2.LOCAL\n",
+        "paul: paul@ATHENA-PO-1.LOCAL\n",
+        "smyser: smyser@media-lab.mit.edu\n",
+        "empty-list: /dev/null\n",
+    );
+
+    #[test]
+    fn load_and_count() {
+        let mut hub = MailHub::new();
+        assert_eq!(hub.load_aliases(ALIASES).unwrap(), 6);
+        assert!(hub.load_aliases("no colon here").is_err());
+    }
+
+    #[test]
+    fn direct_pobox_routing() {
+        let mut hub = MailHub::new();
+        hub.load_aliases(ALIASES).unwrap();
+        assert_eq!(
+            hub.resolve("babette"),
+            vec![Destination::PoBox {
+                user: "babette".into(),
+                office: "ATHENA-PO-2".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn list_expands_through_poboxes_and_remotes() {
+        let mut hub = MailHub::new();
+        hub.load_aliases(ALIASES).unwrap();
+        let dests = hub.resolve("video-users");
+        assert_eq!(dests.len(), 3);
+        assert!(dests.contains(&Destination::PoBox {
+            user: "paul".into(),
+            office: "ATHENA-PO-1".into()
+        }));
+        assert!(dests.contains(&Destination::Remote("smyser@media-lab.mit.edu".into())));
+        assert!(dests.contains(&Destination::Remote("rubin@media-lab.mit.edu".into())));
+    }
+
+    #[test]
+    fn unknown_bounces() {
+        let mut hub = MailHub::new();
+        hub.load_aliases(ALIASES).unwrap();
+        assert_eq!(
+            hub.resolve("stranger"),
+            vec![Destination::Bounce("stranger".into())]
+        );
+    }
+
+    #[test]
+    fn dev_null_discards() {
+        let mut hub = MailHub::new();
+        hub.load_aliases(ALIASES).unwrap();
+        assert_eq!(hub.resolve("empty-list"), vec![Destination::Discard]);
+    }
+
+    #[test]
+    fn alias_cycles_terminate() {
+        let mut hub = MailHub::new();
+        hub.load_aliases("a: b\nb: a, c@x.edu\n").unwrap();
+        let dests = hub.resolve("a");
+        assert_eq!(dests, vec![Destination::Remote("c@x.edu".into())]);
+    }
+
+    #[test]
+    fn deliver_logs() {
+        let mut hub = MailHub::new();
+        hub.load_aliases(ALIASES).unwrap();
+        hub.deliver("video-users", "movie night");
+        assert_eq!(hub.delivered.len(), 3);
+        assert!(hub.delivered.iter().all(|(_, m)| m == "movie night"));
+    }
+
+    #[test]
+    fn finger_server_loads_passwd() {
+        let mut hub = MailHub::new();
+        let n = hub
+            .load_passwd(concat!(
+                "babette:*:6530:101:Harmon C Fowler,,,:/mit/babette:/bin/csh\n",
+                "pjd:*:6535:101:Peter J Delaney,,,:/mit/pjd:/bin/csh\n",
+            ))
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(hub.finger_count(), 2);
+        let e = hub.finger("babette").unwrap();
+        assert_eq!(e.uid, 6530);
+        assert_eq!(e.fullname, "Harmon C Fowler");
+        assert_eq!(e.shell, "/bin/csh");
+        assert!(hub.finger("nobody").is_none());
+        assert!(hub.load_passwd("too:few:fields\n").is_err());
+        assert!(hub.load_passwd("bad:*:uid:101:X,,,:/h:/bin/sh\n").is_err());
+    }
+
+    #[test]
+    fn reload_replaces() {
+        let mut hub = MailHub::new();
+        hub.load_aliases(ALIASES).unwrap();
+        hub.load_aliases("only: only@PO.LOCAL\n").unwrap();
+        assert_eq!(hub.alias_count(), 1);
+        assert_eq!(
+            hub.resolve("babette"),
+            vec![Destination::Bounce("babette".into())]
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! The NFS locker server.
+//!
+//! Applies the three Moira-distributed files (§5.8.2): `credentials`
+//! (username → uid + group list, used for access checks), the per-partition
+//! `quotas` file, and the `directories` file whose application is the
+//! install script's job — "mkdir \<username\>, chown, chgrp, chmod - using
+//! directories file; setquota \<quota\> - using quotas file".
+
+use std::collections::HashMap;
+
+/// A user's credentials on the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// Unix uid.
+    pub uid: i64,
+    /// Group ids, primary first.
+    pub gids: Vec<i64>,
+}
+
+/// One created locker directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Locker {
+    /// Owning uid.
+    pub uid: i64,
+    /// Owning gid.
+    pub gid: i64,
+    /// Locker type (HOMEDIR lockers get init files).
+    pub lockertype: String,
+    /// True if default init files were installed (HOMEDIR only).
+    pub init_files: bool,
+}
+
+/// Errors applying distributed files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfsError {
+    /// A line failed to parse.
+    ParseError(String),
+}
+
+/// The NFS server state.
+#[derive(Debug, Default)]
+pub struct NfsServer {
+    credentials: HashMap<String, Credential>,
+    quotas: HashMap<i64, i64>,
+    lockers: HashMap<String, Locker>,
+    /// Usage charged against quotas, by uid (for enforcement checks).
+    pub usage: HashMap<i64, i64>,
+}
+
+impl NfsServer {
+    /// Creates an empty server.
+    pub fn new() -> NfsServer {
+        NfsServer::default()
+    }
+
+    /// Applies a credentials file, replacing the previous mapping.
+    pub fn apply_credentials(&mut self, contents: &str) -> Result<usize, NfsError> {
+        let mut fresh = HashMap::new();
+        for line in contents.lines().filter(|l| !l.trim().is_empty()) {
+            let mut parts = line.split(':');
+            let login = parts.next().unwrap_or_default().to_owned();
+            let uid: i64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| NfsError::ParseError(line.into()))?;
+            let gids = parts
+                .map(|g| {
+                    g.parse::<i64>()
+                        .map_err(|_| NfsError::ParseError(line.into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            fresh.insert(login, Credential { uid, gids });
+        }
+        let n = fresh.len();
+        self.credentials = fresh;
+        Ok(n)
+    }
+
+    /// Applies a quotas file (`uid quota` per line).
+    pub fn apply_quotas(&mut self, contents: &str) -> Result<usize, NfsError> {
+        let mut count = 0;
+        for line in contents.lines().filter(|l| !l.trim().is_empty()) {
+            let mut parts = line.split_whitespace();
+            let uid: i64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| NfsError::ParseError(line.into()))?;
+            let quota: i64 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| NfsError::ParseError(line.into()))?;
+            self.quotas.insert(uid, quota);
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Applies a directories file (`name uid gid type` per line): creates
+    /// any locker that "does not already exist … with the specified
+    /// ownership", loading init files for HOMEDIRs.
+    pub fn apply_dirs(&mut self, contents: &str) -> Result<usize, NfsError> {
+        let mut created = 0;
+        for line in contents.lines().filter(|l| !l.trim().is_empty()) {
+            let mut parts = line.split_whitespace();
+            let (Some(name), Some(uid), Some(gid), Some(ltype)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(NfsError::ParseError(line.into()));
+            };
+            let uid: i64 = uid.parse().map_err(|_| NfsError::ParseError(line.into()))?;
+            let gid: i64 = gid.parse().map_err(|_| NfsError::ParseError(line.into()))?;
+            if self.lockers.contains_key(name) {
+                continue;
+            }
+            let is_home = ltype == "HOMEDIR";
+            self.lockers.insert(
+                name.to_owned(),
+                Locker {
+                    uid,
+                    gid,
+                    lockertype: ltype.to_owned(),
+                    init_files: is_home,
+                },
+            );
+            created += 1;
+        }
+        Ok(created)
+    }
+
+    /// Credential lookup (what the server consults on each NFS request).
+    pub fn credential(&self, login: &str) -> Option<&Credential> {
+        self.credentials.get(login)
+    }
+
+    /// Quota for a uid, if assigned.
+    pub fn quota(&self, uid: i64) -> Option<i64> {
+        self.quotas.get(&uid).copied()
+    }
+
+    /// A locker by path.
+    pub fn locker(&self, path: &str) -> Option<&Locker> {
+        self.lockers.get(path)
+    }
+
+    /// Number of lockers present.
+    pub fn locker_count(&self) -> usize {
+        self.lockers.len()
+    }
+
+    /// Charges `blocks` of usage to a uid; false (and no charge) when it
+    /// would exceed the quota.
+    pub fn charge(&mut self, uid: i64, blocks: i64) -> bool {
+        let used = self.usage.get(&uid).copied().unwrap_or(0);
+        if let Some(q) = self.quota(uid) {
+            if used + blocks > q {
+                return false;
+            }
+        }
+        self.usage.insert(uid, used + blocks);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credentials_parse() {
+        let mut n = NfsServer::new();
+        let count = n
+            .apply_credentials("mtalford:14956:5904:689\nmstai:9296:5899\n")
+            .unwrap();
+        assert_eq!(count, 2);
+        let c = n.credential("mtalford").unwrap();
+        assert_eq!(c.uid, 14956);
+        assert_eq!(c.gids, vec![5904, 689]);
+        assert!(n.credential("nobody").is_none());
+        assert!(n.apply_credentials("bad:uid\n").is_err());
+    }
+
+    #[test]
+    fn credentials_replacement_semantics() {
+        let mut n = NfsServer::new();
+        n.apply_credentials("old:1:2\n").unwrap();
+        n.apply_credentials("new:3:4\n").unwrap();
+        assert!(
+            n.credential("old").is_none(),
+            "stale users dropped on reload"
+        );
+        assert!(n.credential("new").is_some());
+    }
+
+    #[test]
+    fn quotas_and_enforcement() {
+        let mut n = NfsServer::new();
+        n.apply_quotas("6530 300\n6531 500\n").unwrap();
+        assert_eq!(n.quota(6530), Some(300));
+        assert!(n.charge(6530, 250));
+        assert!(!n.charge(6530, 100), "would exceed quota");
+        assert!(n.charge(6530, 50), "exactly at quota is fine");
+        // Unquota'd users are unlimited.
+        assert!(n.charge(9999, 1_000_000));
+        assert!(n.apply_quotas("x y\n").is_err());
+    }
+
+    #[test]
+    fn dirs_create_once_with_init_files() {
+        let mut n = NfsServer::new();
+        let created = n
+            .apply_dirs(
+                "/mit/lockers/babette 6530 10914 HOMEDIR\n/mit/lockers/proj 0 101 PROJECT\n",
+            )
+            .unwrap();
+        assert_eq!(created, 2);
+        let home = n.locker("/mit/lockers/babette").unwrap();
+        assert_eq!(home.uid, 6530);
+        assert!(home.init_files, "HOMEDIR gets default init files");
+        let proj = n.locker("/mit/lockers/proj").unwrap();
+        assert!(!proj.init_files);
+        // Re-applying is idempotent: "If the directory does not already
+        // exist, it will be created" — existing ones untouched.
+        let created = n
+            .apply_dirs("/mit/lockers/babette 9999 1 HOMEDIR\n")
+            .unwrap();
+        assert_eq!(created, 0);
+        assert_eq!(n.locker("/mit/lockers/babette").unwrap().uid, 6530);
+        assert_eq!(n.locker_count(), 2);
+    }
+
+    #[test]
+    fn dirs_parse_errors() {
+        let mut n = NfsServer::new();
+        assert!(n.apply_dirs("/short 1\n").is_err());
+        assert!(n.apply_dirs("/x notanint 2 HOMEDIR\n").is_err());
+    }
+}

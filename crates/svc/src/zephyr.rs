@@ -1,0 +1,261 @@
+//! The Zephyr notification service.
+//!
+//! "The zephyr system has access control lists associated with some actions
+//! on some classes of message. Moira updates these access control lists on
+//! the zephyr servers from lists stored in Moira" (§5.8.2). The server here
+//! enforces those ACLs on transmit and subscribe, and delivers notices to
+//! subscribers — it is also the channel the DCM's own failure notices ride
+//! on (class MOIRA, instance DCM).
+
+use std::collections::{HashMap, HashSet};
+
+/// The ACL slots distributed per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AclSlot {
+    /// Who may transmit on the class.
+    Transmit,
+    /// Who may subscribe.
+    Subscribe,
+    /// Instance wildcard specification.
+    InstanceWildcard,
+    /// Instance UID identity.
+    InstanceUid,
+}
+
+impl AclSlot {
+    /// The file suffix Moira uses for this slot.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            AclSlot::Transmit => "xmt",
+            AclSlot::Subscribe => "sub",
+            AclSlot::InstanceWildcard => "iws",
+            AclSlot::InstanceUid => "iui",
+        }
+    }
+
+    /// Parses a file suffix.
+    pub fn from_suffix(s: &str) -> Option<AclSlot> {
+        Some(match s {
+            "xmt" => AclSlot::Transmit,
+            "sub" => AclSlot::Subscribe,
+            "iws" => AclSlot::InstanceWildcard,
+            "iui" => AclSlot::InstanceUid,
+            _ => return None,
+        })
+    }
+}
+
+/// A delivered notice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notice {
+    /// Class the notice was sent on.
+    pub class: String,
+    /// Instance within the class.
+    pub instance: String,
+    /// Sending principal.
+    pub sender: String,
+    /// Body.
+    pub message: String,
+}
+
+/// Errors from the Zephyr server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZephyrError {
+    /// Sender not on the class's transmit ACL.
+    TransmitDenied,
+    /// Subscriber not on the class's subscription ACL.
+    SubscribeDenied,
+}
+
+/// One ACL: a set of principals, or open.
+#[derive(Debug, Clone, Default)]
+struct Acl {
+    open: bool,
+    members: HashSet<String>,
+}
+
+impl Acl {
+    fn from_file(contents: &str) -> Acl {
+        let mut acl = Acl::default();
+        for line in contents.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "*.*@*" {
+                acl.open = true;
+            } else {
+                acl.members.insert(line.to_owned());
+            }
+        }
+        acl
+    }
+
+    fn permits(&self, principal: &str) -> bool {
+        self.open
+            || self.members.contains(principal)
+            || self
+                .members
+                .contains(&format!("{principal}@ATHENA.MIT.EDU"))
+    }
+}
+
+/// The Zephyr server.
+#[derive(Debug, Default)]
+pub struct ZephyrServer {
+    acls: HashMap<(String, AclSlot), Acl>,
+    subscriptions: HashMap<String, HashSet<String>>,
+    /// Every notice delivered, in order.
+    pub delivered: Vec<Notice>,
+}
+
+impl ZephyrServer {
+    /// Creates a server with no restricted classes (everything open).
+    pub fn new() -> ZephyrServer {
+        ZephyrServer::default()
+    }
+
+    /// Installs one distributed ACL file, named `<class>.<slot>.acl`.
+    ///
+    /// Returns false if the file name is not an ACL file.
+    pub fn install_acl_file(&mut self, file_name: &str, contents: &str) -> bool {
+        let Some(stem) = file_name.strip_suffix(".acl") else {
+            return false;
+        };
+        let Some((class, suffix)) = stem.rsplit_once('.') else {
+            return false;
+        };
+        let Some(slot) = AclSlot::from_suffix(suffix) else {
+            return false;
+        };
+        self.acls
+            .insert((class.to_owned(), slot), Acl::from_file(contents));
+        true
+    }
+
+    fn check(&self, class: &str, slot: AclSlot, principal: &str) -> bool {
+        match self.acls.get(&(class.to_owned(), slot)) {
+            // Unrestricted class/slot: permitted.
+            None => true,
+            Some(acl) => acl.permits(principal),
+        }
+    }
+
+    /// Subscribes a principal to a class.
+    pub fn subscribe(&mut self, principal: &str, class: &str) -> Result<(), ZephyrError> {
+        if !self.check(class, AclSlot::Subscribe, principal) {
+            return Err(ZephyrError::SubscribeDenied);
+        }
+        self.subscriptions
+            .entry(class.to_owned())
+            .or_default()
+            .insert(principal.to_owned());
+        Ok(())
+    }
+
+    /// Transmits a notice; returns how many subscribers received it.
+    pub fn transmit(
+        &mut self,
+        sender: &str,
+        class: &str,
+        instance: &str,
+        message: &str,
+    ) -> Result<usize, ZephyrError> {
+        if !self.check(class, AclSlot::Transmit, sender) {
+            return Err(ZephyrError::TransmitDenied);
+        }
+        let notice = Notice {
+            class: class.to_owned(),
+            instance: instance.to_owned(),
+            sender: sender.to_owned(),
+            message: message.to_owned(),
+        };
+        let count = self.subscriptions.get(class).map(|s| s.len()).unwrap_or(0);
+        self.delivered.push(notice);
+        Ok(count)
+    }
+
+    /// Number of classes with at least one installed ACL.
+    pub fn restricted_class_count(&self) -> usize {
+        self.acls
+            .keys()
+            .map(|(c, _)| c.clone())
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_by_default() {
+        let mut z = ZephyrServer::new();
+        z.subscribe("anyone", "CHATTER").unwrap();
+        assert_eq!(z.transmit("anyone", "CHATTER", "general", "hi").unwrap(), 1);
+        assert_eq!(z.delivered.len(), 1);
+    }
+
+    #[test]
+    fn acl_file_restricts_transmit() {
+        let mut z = ZephyrServer::new();
+        assert!(z.install_acl_file("MOIRA.xmt.acl", "wheel@ATHENA.MIT.EDU\n"));
+        assert_eq!(
+            z.transmit("randal", "MOIRA", "DCM", "spoof"),
+            Err(ZephyrError::TransmitDenied)
+        );
+        z.transmit("wheel", "MOIRA", "DCM", "real").unwrap();
+        // Other classes unaffected.
+        z.transmit("randal", "OTHER", "x", "ok").unwrap();
+    }
+
+    #[test]
+    fn wildcard_line_opens_slot() {
+        let mut z = ZephyrServer::new();
+        z.install_acl_file("MOIRA.xmt.acl", "*.*@*\n");
+        z.transmit("anyone", "MOIRA", "DCM", "open").unwrap();
+    }
+
+    #[test]
+    fn subscribe_acl() {
+        let mut z = ZephyrServer::new();
+        z.install_acl_file("SECRET.sub.acl", "insider@ATHENA.MIT.EDU\n");
+        assert_eq!(
+            z.subscribe("outsider", "SECRET"),
+            Err(ZephyrError::SubscribeDenied)
+        );
+        z.subscribe("insider", "SECRET").unwrap();
+        assert_eq!(z.transmit("insider", "SECRET", "i", "m").unwrap(), 1);
+    }
+
+    #[test]
+    fn reinstall_replaces_acl() {
+        let mut z = ZephyrServer::new();
+        z.install_acl_file("C.xmt.acl", "a@ATHENA.MIT.EDU\n");
+        assert!(z.transmit("b", "C", "i", "m").is_err());
+        z.install_acl_file("C.xmt.acl", "b@ATHENA.MIT.EDU\n");
+        z.transmit("b", "C", "i", "m").unwrap();
+        assert!(z.transmit("a", "C", "i", "m").is_err());
+    }
+
+    #[test]
+    fn non_acl_files_rejected() {
+        let mut z = ZephyrServer::new();
+        assert!(!z.install_acl_file("passwd.db", "stuff"));
+        assert!(!z.install_acl_file("X.bogus.acl", "stuff"));
+        assert_eq!(z.restricted_class_count(), 0);
+    }
+
+    #[test]
+    fn slot_suffix_round_trip() {
+        for slot in [
+            AclSlot::Transmit,
+            AclSlot::Subscribe,
+            AclSlot::InstanceWildcard,
+            AclSlot::InstanceUid,
+        ] {
+            assert_eq!(AclSlot::from_suffix(slot.suffix()), Some(slot));
+        }
+    }
+}

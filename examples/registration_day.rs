@@ -1,0 +1,100 @@
+//! Registration day (§5.10): a new student self-registers with zero staff
+//! intervention, and the resources become real once the DCM propagates.
+//!
+//! Run with: `cargo run --example registration_day`
+
+use moira::core::userreg::{make_authenticator, RegReply, RegRequest};
+use moira::sim::{Deployment, PopulationSpec};
+
+fn main() {
+    let mut spec = PopulationSpec::small();
+    spec.unregistered_users = 3;
+    let mut athena = Deployment::build(&spec);
+    athena.run_dcm_once();
+    athena.advance(60); // the student arrives a minute after the DCM pass
+
+    let (first, last, id_number) = athena.population.unregistered[0].clone();
+    println!("student walks up: {first} {last} (ID {id_number})");
+    println!("logs in as register/athena; the forms interface collects the ID…\n");
+
+    // Step 1: verify_user.
+    let reply = athena.regserver.handle(&RegRequest::VerifyUser {
+        first: first.clone(),
+        last: last.clone(),
+        authenticator: make_authenticator(&id_number, &first, &last, None),
+    });
+    println!("verify_user   -> {reply:?} (status 0 = registerable)");
+
+    // A typo in the ID is caught by the encrypted authenticator.
+    let reply = athena.regserver.handle(&RegRequest::VerifyUser {
+        first: first.clone(),
+        last: last.clone(),
+        authenticator: make_authenticator("999-99-9999", &first, &last, None),
+    });
+    println!("verify_user (wrong ID) -> {reply:?}");
+
+    // Step 2: grab_login, with a collision on the first choice.
+    athena.kdc.register("mozart", "taken").unwrap();
+    for login in ["mozart", "wanderer"] {
+        let reply = athena.regserver.handle(&RegRequest::GrabLogin {
+            first: first.clone(),
+            last: last.clone(),
+            authenticator: make_authenticator(&id_number, &first, &last, Some(login)),
+        });
+        println!("grab_login({login:?}) -> {reply:?}");
+        if matches!(reply, RegReply::Ok(_)) {
+            break;
+        }
+    }
+
+    // Step 3: set_password (forwarded to Kerberos over the srvtab channel).
+    let reply = athena.regserver.handle(&RegRequest::SetPassword {
+        first: first.clone(),
+        last: last.clone(),
+        authenticator: make_authenticator(&id_number, &first, &last, Some("hunter2")),
+    });
+    println!("set_password  -> {reply:?}");
+    println!(
+        "kerberos initial tickets now work: {}",
+        athena
+            .kdc
+            .initial_ticket("wanderer", "hunter2", "moira")
+            .is_ok()
+    );
+
+    // "However, the user will not benefit from this allocation for a
+    // maximum of six hours… due to the operation of Moira" — until the DCM
+    // interval elapses, the servers don't know the account.
+    let hesiod = athena.hesiod_one();
+    println!(
+        "\nimmediately after registration, hesiod knows 'wanderer': {}",
+        hesiod.lock().resolve("wanderer", "pobox").is_ok()
+    );
+    println!("…the account is half-registered; accounts staff activates it…");
+    {
+        let mut s = athena.state.lock();
+        athena
+            .registry
+            .execute(
+                &mut s,
+                &moira::core::state::Caller::root("accounts"),
+                "update_user_status",
+                &["wanderer".into(), "1".into()],
+            )
+            .unwrap();
+    }
+    println!("…twelve hours later the DCM runs…");
+    athena.advance(12 * 3600);
+    athena.run_dcm_once();
+    let pobox = hesiod
+        .lock()
+        .resolve("wanderer", "pobox")
+        .expect("propagated");
+    println!("hesiod now answers: wanderer.pobox -> {:?}", pobox[0]);
+    let locker = "/u1/lockers/wanderer".to_string();
+    let created = athena
+        .nfs
+        .values()
+        .any(|n| n.lock().locker(&locker).is_some());
+    println!("home locker created on its NFS server: {created}");
+}

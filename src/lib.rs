@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate re-exporting the Moira reproduction workspace.
+pub use moira_client as client;
+pub use moira_common as common;
+pub use moira_core as core;
+pub use moira_db as db;
+pub use moira_dcm as dcm;
+pub use moira_krb as krb;
+pub use moira_protocol as protocol;
+pub use moira_sim as sim;
+pub use moira_svc as svc;
