@@ -7,7 +7,9 @@
 //! convergence.
 
 use moira_bench::{write_json, Table};
+use moira_client::{MoiraConn, ServerThread};
 use moira_core::state::Caller;
+use moira_dcm::retry::RetryPolicy;
 use moira_sim::{Deployment, PopulationSpec};
 
 /// Checks the integrity invariant on every Hesiod host: any installed
@@ -125,6 +127,59 @@ fn reset_errors(d: &mut Deployment) {
     }
 }
 
+/// Update attempts piled onto one permanently partitioned host over twelve
+/// hourly DCM passes, under a given retry policy.
+fn attempts_against_dead_host(policy: RetryPolicy) -> u64 {
+    let mut d = Deployment::build(&PopulationSpec::small());
+    let victim = d.population.hesiod_servers[0].clone();
+    d.net.partition(&victim);
+    d.dcm.set_retry_policy(policy);
+    for _ in 0..12 {
+        d.run_dcm_once();
+        d.advance(3600);
+    }
+    d.dcm.stats.updates_attempted
+}
+
+/// Client-visible overload: a server with a one-request dispatch budget per
+/// poll sheds the rest with the distinct Busy status; clients retrying with
+/// backoff all complete. Returns (requests landed, expected, busy resends).
+fn overload_shed_run() -> (usize, usize, u64) {
+    let (mut server, state, _) = moira_core::server::standard_server(moira_common::VClock::new());
+    {
+        let mut s = state.lock();
+        let uid = moira_core::queries::testutil::add_test_user(&mut s, "ops", 1);
+        s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
+            .unwrap();
+    }
+    server.set_overload_limit(Some(1));
+    let thread = std::sync::Arc::new(ServerThread::spawn(server));
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let thread = thread.clone();
+            std::thread::spawn(move || {
+                let mut client = thread.connect();
+                client.set_busy_retry(64, 1);
+                client.auth("ops", &format!("e8-{i}")).unwrap();
+                for j in 0..3 {
+                    client
+                        .query("add_machine", &[&format!("E8-{i}-{j}"), "VAX"], &mut |_| {})
+                        .unwrap();
+                }
+                client.busy_resends
+            })
+        })
+        .collect();
+    let resends: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let landed = {
+        let s = state.lock();
+        s.db.table("machine")
+            .select(&moira_db::Pred::Like("name", "E8-*".into()))
+            .len()
+    };
+    (landed, 12, resends)
+}
+
 fn main() {
     let hes_host = |d: &Deployment| d.hosts[&d.population.hesiod_servers[0]].clone();
     let outcomes = vec![
@@ -158,6 +213,37 @@ fn main() {
             "operation timeout",
             |d| hes_host(d).lock().fail.hang = true,
             |d| hes_host(d).lock().fail.hang = false,
+        ),
+        run_scenario(
+            "network partition during transfer",
+            |d| {
+                let victim = d.population.hesiod_servers[0].clone();
+                d.net.partition(&victim);
+            },
+            |d| {
+                let victim = d.population.hesiod_servers[0].clone();
+                d.net.heal(&victim);
+            },
+        ),
+        run_scenario(
+            "drop-heavy flaky link (60% loss)",
+            |d| {
+                let victim = d.population.hesiod_servers[0].clone();
+                d.net.set_drop_prob(&victim, 0.6);
+            },
+            |d| {
+                let victim = d.population.hesiod_servers[0].clone();
+                d.net.set_drop_prob(&victim, 0.0);
+            },
+        ),
+        run_scenario(
+            "partition healing mid-run (no operator)",
+            |d| {
+                let victim = d.population.hesiod_servers[0].clone();
+                let now = d.clock.now();
+                d.net.partition_until(&victim, now + 30 * 3600);
+            },
+            |_| {},
         ),
         run_scenario(
             "install script hard failure",
@@ -225,8 +311,52 @@ fn main() {
          (paper goal: \"completely automatic update for normal cases and \
          expected kinds of failures\")"
     );
+
+    // Retry-storm control: the same permanent outage under retry-every-pass
+    // versus the exponential-backoff gate.
+    let no_escalation = |p: RetryPolicy| RetryPolicy {
+        escalate_after: u32::MAX,
+        ..p
+    };
+    let naive = attempts_against_dead_host(no_escalation(RetryPolicy {
+        base_secs: 0,
+        max_secs: 0,
+        jitter_frac: 0.0,
+        ..RetryPolicy::default()
+    }));
+    let gated = attempts_against_dead_host(no_escalation(RetryPolicy::default()));
+    let storm_contained = gated < naive;
+    println!(
+        "\nretry storm vs one dead host over 12 hourly passes: \
+         naive retry-every-pass = {naive} attempts, backoff gate = {gated} \
+         attempts (contained: {storm_contained})"
+    );
+
+    // Client-visible overload: shed requests carry the distinct Busy status
+    // and client-side backoff drains the contention completely.
+    let (landed, expected, resends) = overload_shed_run();
+    let overload_recovered = landed == expected;
+    println!(
+        "client-visible server overload: {landed}/{expected} requests landed \
+         after {resends} Busy resends (recovered: {overload_recovered})"
+    );
+
     write_json(
         "table_update_recovery",
-        &serde_json::json!({"rows": json_rows, "all_converged": all_converged}),
+        &serde_json::json!({
+            "rows": json_rows,
+            "all_converged": all_converged,
+            "retry_storm": {
+                "naive_attempts": naive,
+                "gated_attempts": gated,
+                "contained": storm_contained,
+            },
+            "overload": {
+                "landed": landed,
+                "expected": expected,
+                "busy_resends": resends,
+                "recovered": overload_recovered,
+            },
+        }),
     );
 }

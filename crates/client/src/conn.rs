@@ -42,25 +42,82 @@ pub trait MoiraConn {
     }
 }
 
-/// How long `recv` polls before giving up (spin iterations).
+/// How long `recv` polls before giving up (spin iterations) — the default
+/// per-request deadline.
 const RECV_TRIES: u32 = 5_000_000;
+
+/// Default resend attempts when the server sheds a request with `MR_BUSY`.
+const BUSY_RETRIES: u32 = 4;
+
+/// Default base for the busy-retry backoff, milliseconds (doubles per
+/// attempt).
+const BUSY_BACKOFF_BASE_MS: u64 = 1;
 
 /// The RPC client over a framed channel.
 pub struct RpcClient {
     chan: Option<Box<dyn Channel>>,
+    /// Per-request deadline, in receive-poll iterations.
+    recv_tries: u32,
+    /// How many times a `MR_BUSY` shed is retried before surfacing.
+    busy_retries: u32,
+    /// Base backoff between busy retries, milliseconds.
+    busy_backoff_base_ms: u64,
+    /// Requests resent after a `MR_BUSY` shed, over the client's lifetime.
+    pub busy_resends: u64,
 }
 
 impl RpcClient {
     /// `mr_connect` over an already-established channel (in-process pair or
     /// TCP).
     pub fn connect(chan: Box<dyn Channel>) -> RpcClient {
-        RpcClient { chan: Some(chan) }
+        RpcClient {
+            chan: Some(chan),
+            recv_tries: RECV_TRIES,
+            busy_retries: BUSY_RETRIES,
+            busy_backoff_base_ms: BUSY_BACKOFF_BASE_MS,
+            busy_resends: 0,
+        }
     }
 
-    /// `mr_connect` to a TCP address.
+    /// `mr_connect` to a TCP address (single attempt).
     pub fn connect_tcp(addr: &str) -> MrResult<RpcClient> {
-        let chan = TcpChannel::connect(addr).map_err(|_| MrError::Aborted)?;
-        Ok(RpcClient::connect(Box::new(chan)))
+        RpcClient::connect_tcp_retry(addr, 1, 0)
+    }
+
+    /// `mr_connect` to a TCP address with up to `attempts` connection
+    /// attempts, sleeping `backoff_ms · 2^n` between consecutive failures —
+    /// a server that is restarting (or briefly drowning in connections) is
+    /// reached as soon as it returns.
+    pub fn connect_tcp_retry(addr: &str, attempts: u32, backoff_ms: u64) -> MrResult<RpcClient> {
+        let mut wait = backoff_ms;
+        for attempt in 0..attempts.max(1) {
+            match TcpChannel::connect(addr) {
+                Ok(chan) => return Ok(RpcClient::connect(Box::new(chan))),
+                Err(_) if attempt + 1 < attempts.max(1) => {
+                    if wait > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(wait));
+                        wait = wait.saturating_mul(2);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        Err(MrError::Aborted)
+    }
+
+    /// Overrides the per-request deadline (receive-poll iterations). Short
+    /// deadlines make lost replies surface as [`MrError::Aborted`] quickly
+    /// instead of hanging the caller.
+    pub fn set_deadline_tries(&mut self, tries: u32) {
+        self.recv_tries = tries;
+    }
+
+    /// Configures the `MR_BUSY` retry loop: how many resends, and the base
+    /// backoff (milliseconds, doubling per attempt). Zero retries surfaces
+    /// [`MrError::Busy`] to the caller immediately.
+    pub fn set_busy_retry(&mut self, retries: u32, backoff_base_ms: u64) {
+        self.busy_retries = retries;
+        self.busy_backoff_base_ms = backoff_base_ms;
     }
 
     /// `mr_disconnect`: drops the connection. Returns
@@ -93,7 +150,32 @@ impl RpcClient {
         self.chan.as_mut().ok_or(MrError::NotConnected)
     }
 
+    /// One request/reply exchange, transparently retrying `MR_BUSY` sheds
+    /// with exponential backoff — the client half of the server's overload
+    /// protection: shed work retries *later*, off the overload peak,
+    /// instead of immediately re-piling onto it.
     fn round_trip(&mut self, req: Request) -> MrResult<Vec<Reply>> {
+        let mut wait_ms = self.busy_backoff_base_ms;
+        let mut attempt = 0u32;
+        loop {
+            let replies = self.round_trip_once(&req)?;
+            let busy = replies
+                .last()
+                .is_some_and(|r| r.code == MrError::Busy.code());
+            if !busy || attempt >= self.busy_retries {
+                return Ok(replies);
+            }
+            attempt += 1;
+            self.busy_resends += 1;
+            if wait_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(wait_ms));
+                wait_ms = wait_ms.saturating_mul(2);
+            }
+        }
+    }
+
+    fn round_trip_once(&mut self, req: &Request) -> MrResult<Vec<Reply>> {
+        let deadline = self.recv_tries;
         let chan = self.chan()?;
         if chan.send(req.encode()).is_err() {
             self.chan = None;
@@ -101,7 +183,7 @@ impl RpcClient {
         }
         let mut replies = Vec::new();
         loop {
-            let frame = match recv_blocking(chan.as_mut(), RECV_TRIES) {
+            let frame = match recv_blocking(chan.as_mut(), deadline) {
                 Ok(f) => f,
                 Err(_) => {
                     self.chan = None;
@@ -237,6 +319,46 @@ mod tests {
             client.query_collect("get_machine", &[]).unwrap_err(),
             MrError::Args
         );
+    }
+
+    #[test]
+    fn busy_shed_retries_then_surfaces() {
+        // A server with a zero dispatch budget sheds everything; the
+        // client's backoff loop resends the configured number of times and
+        // then surfaces the distinct Busy error (not Aborted, not a hang).
+        let (mut server, _state, _) = standard_server(moira_common::VClock::new());
+        server.set_overload_limit(Some(0));
+        let thread = ServerThread::spawn(server);
+        let mut client = thread.connect();
+        client.set_busy_retry(2, 0);
+        assert_eq!(client.noop(), Err(MrError::Busy));
+        assert_eq!(client.busy_resends, 2);
+        // With retries disabled the shed surfaces immediately.
+        let mut impatient = thread.connect();
+        impatient.set_busy_retry(0, 0);
+        assert_eq!(impatient.noop(), Err(MrError::Busy));
+        assert_eq!(impatient.busy_resends, 0);
+    }
+
+    #[test]
+    fn short_deadline_aborts_lost_reply() {
+        // A channel nobody answers: the configured deadline turns a lost
+        // reply into a prompt Aborted instead of a five-million-spin hang.
+        let (client_end, _server_end) = moira_protocol::transport::pair();
+        let mut client = RpcClient::connect(Box::new(client_end));
+        client.set_deadline_tries(50);
+        assert_eq!(client.noop(), Err(MrError::Aborted));
+    }
+
+    #[test]
+    fn connect_tcp_retry_reaches_late_listener() {
+        use std::net::TcpListener;
+        // Nothing listening: all attempts fail, Aborted.
+        assert!(RpcClient::connect_tcp_retry("127.0.0.1:1", 2, 1).is_err());
+        // A listener that exists from the start is reached on attempt one.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        assert!(RpcClient::connect_tcp_retry(&addr, 3, 1).is_ok());
     }
 
     #[test]

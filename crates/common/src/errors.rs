@@ -223,6 +223,9 @@ mr_errors! {
     (UserNotFound, "No such student record"),
     (LoginTaken, "Login name already taken"),
     (BadAuthenticator, "Registration authenticator invalid"),
+    // Appended at the end: error codes are positional offsets from the
+    // table base, so new codes must never reorder existing ones.
+    (Busy, "Server overloaded; try again later"),
 }
 
 /// Base code of the `"sms"` error table.

@@ -44,6 +44,12 @@ pub struct MoiraServer {
     verifier: Option<Verifier>,
     connections: Vec<Connection>,
     listener: Option<TcpListener>,
+    /// When set, at most this many requests are dispatched per poll pass;
+    /// excess requests are shed with [`MrError::Busy`] instead of queueing
+    /// unboundedly behind the single-process loop.
+    overload_limit: Option<usize>,
+    /// Requests shed with `Busy` over the server's lifetime.
+    shed_requests: u64,
 }
 
 impl MoiraServer {
@@ -64,12 +70,27 @@ impl MoiraServer {
             verifier,
             connections: Vec::new(),
             listener: None,
+            overload_limit: None,
+            shed_requests: 0,
         }
     }
 
     /// The shared state handle.
     pub fn state(&self) -> Arc<Mutex<MoiraState>> {
         self.state.clone()
+    }
+
+    /// Bounds in-flight work: at most `limit` requests are dispatched per
+    /// poll pass, and the rest receive [`MrError::Busy`] — a distinct,
+    /// retryable status well-behaved clients back off from. `None` removes
+    /// the bound.
+    pub fn set_overload_limit(&mut self, limit: Option<usize>) {
+        self.overload_limit = limit;
+    }
+
+    /// Requests shed with `Busy` since the server started.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed_requests
     }
 
     /// Attaches an already-connected channel (the in-process transport).
@@ -148,7 +169,14 @@ impl MoiraServer {
                     }
                 };
                 processed += 1;
-                let replies = self.handle_frame(i, frame);
+                let replies = if self.overload_limit.is_some_and(|limit| processed > limit) {
+                    // Shed rather than queue: the client hears Busy now
+                    // instead of timing out later.
+                    self.shed_requests += 1;
+                    vec![Reply::status(MrError::Busy.code())]
+                } else {
+                    self.handle_frame(i, frame)
+                };
                 let conn = &mut self.connections[i];
                 let mut broken = false;
                 for reply in replies {
@@ -452,6 +480,38 @@ mod tests {
         );
         assert_eq!(replies[0].code, 0);
         assert!(server.state().lock().dcm_trigger);
+    }
+
+    #[test]
+    fn overload_sheds_excess_requests_with_busy() {
+        let (mut server, mut client) = setup();
+        server.set_overload_limit(Some(1));
+        // Two requests land before the loop runs: only one is dispatched,
+        // the other is shed with a distinct, retryable Busy status.
+        let req = Request::new(MajorRequest::Noop, &[]);
+        client.send(req.encode()).unwrap();
+        client.send(req.encode()).unwrap();
+        server.run_until_idle(2);
+        let first = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        let second = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(first.code, 0);
+        assert_eq!(second.code, MrError::Busy.code());
+        assert_eq!(server.shed_requests(), 1);
+        // The resend lands in a calmer pass and succeeds.
+        client.send(req.encode()).unwrap();
+        server.run_until_idle(2);
+        let retried = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(retried.code, 0);
+        // Removing the limit restores unbounded dispatch.
+        server.set_overload_limit(None);
+        client.send(req.encode()).unwrap();
+        client.send(req.encode()).unwrap();
+        server.run_until_idle(2);
+        for _ in 0..2 {
+            let r = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+            assert_eq!(r.code, 0);
+        }
+        assert_eq!(server.shed_requests(), 1, "no further sheds");
     }
 
     #[test]

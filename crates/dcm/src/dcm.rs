@@ -22,7 +22,9 @@ use crate::archive::Archive;
 use crate::generators::nfs::NfsGenerator;
 use crate::generators::{check_no_change, Generator};
 use crate::host::SimHost;
-use crate::update::{run_update_with_auth, Script, UpdateCredentials, UpdateError};
+use crate::net::{Network, PerfectNetwork};
+use crate::retry::{RetryBook, RetryPolicy, SoftOutcome};
+use crate::update::{run_update_over, Script, UpdateCredentials, UpdateError};
 
 /// A notification emitted on hard failures — "a zephyr message is sent to
 /// class MOIRA instance DCM", and for host failures "a zephyrgram and mail
@@ -56,6 +58,13 @@ pub struct DcmStats {
     pub soft_failures: u64,
     /// Hard failures (need operator reset).
     pub hard_failures: u64,
+    /// Updates skipped because the backoff gate had not reopened (or the
+    /// per-pass retry budget was spent).
+    pub retries_deferred: u64,
+    /// Soft-failure streaks escalated to operator-visible hard errors.
+    pub escalations: u64,
+    /// Updates refused because another update of the host was in progress.
+    pub busy_conflicts: u64,
 }
 
 /// What one `run_once` did.
@@ -91,6 +100,11 @@ pub struct Dcm {
     /// client srvtab key)`, plus the authenticator nonce counter.
     kerberos: Option<(Arc<moira_krb::realm::Kdc>, String, moira_krb::cipher::Key)>,
     auth_nonce: u64,
+    /// The network every update connection crosses (perfect by default;
+    /// the simulator substitutes its fault-injecting fabric).
+    net: Arc<dyn Network>,
+    /// Soft-failure streak ledger driving the backoff gate.
+    retry: RetryBook,
 }
 
 impl Dcm {
@@ -111,7 +125,26 @@ impl Dcm {
             stats: DcmStats::default(),
             kerberos: None,
             auth_nonce: 0,
+            net: Arc::new(PerfectNetwork),
+            retry: RetryBook::default(),
         }
+    }
+
+    /// Routes every update connection through `net` — the simulator's hook
+    /// for partition/drop/latency injection.
+    pub fn set_network(&mut self, net: Arc<dyn Network>) {
+        self.net = net;
+    }
+
+    /// Replaces the soft-failure retry policy (open streaks keep their
+    /// scheduled retry times).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry.set_policy(policy);
+    }
+
+    /// The soft-failure retry ledger (inspection and operator resets).
+    pub fn retry_book(&mut self) -> &mut RetryBook {
+        &mut self.retry
     }
 
     /// Enables Kerberos mutual authentication for update connections
@@ -409,12 +442,17 @@ impl Dcm {
         state.locks.release("dcm", &format!("svc:{}", svc.name));
     }
 
-    /// Hosts that are enabled, have no hard errors, and have not been
+    /// Hosts that are enabled, have no hard errors, have not been
     /// successfully updated since the data files were generated (or have
-    /// override set).
-    fn hosts_needing_update(&self, service: &str, dfgen: i64) -> Vec<(String, i64, String)> {
+    /// override set), and whose retry backoff gate — if a soft-failure
+    /// streak is open — has reopened. `override` bypasses the gate: an
+    /// operator demanding an immediate push gets one.
+    fn hosts_needing_update(&mut self, service: &str, dfgen: i64) -> Vec<(String, i64, String)> {
         let state = self.state.lock();
+        let now = state.now();
         let t = state.db.table("serverhosts");
+        let budget = self.retry.policy().per_run_budget;
+        let mut retries_scheduled = 0usize;
         let mut out = Vec::new();
         for row in t.select(&Pred::Eq("service", service.into())) {
             let enabled = t.cell(row, "enable").as_bool();
@@ -434,6 +472,13 @@ impl Dcm {
                 .select_one(&Pred::Eq("mach_id", mach_id.into()))
                 .map(|r| state.db.cell("machine", r, "name").render())
                 .unwrap_or_default();
+            if !override_ && self.retry.is_retry(service, &name) {
+                if !self.retry.ready(service, &name, now) || retries_scheduled >= budget {
+                    self.stats.retries_deferred += 1;
+                    continue;
+                }
+                retries_scheduled += 1;
+            }
             out.push((name, mach_id, t.cell(row, "value3").render()));
         }
         out
@@ -460,7 +505,11 @@ impl Dcm {
                 )
                 .is_err()
             {
-                return Err(UpdateError::Timeout);
+                // Another update of this host holds the lock: a distinct
+                // soft conflict, not a network timeout. The colliding pass
+                // simply retries later; no failure streak is charged.
+                self.stats.busy_conflicts += 1;
+                return Err(UpdateError::Busy);
             }
             let _ = self.exec(
                 &mut state,
@@ -495,7 +544,14 @@ impl Dcm {
         let result = match self.hosts.get(&mach_name) {
             Some(host) => {
                 let mut h = host.lock();
-                run_update_with_auth(&mut h, credentials.as_ref(), &archive, &svc.target, &script)
+                run_update_over(
+                    self.net.as_ref(),
+                    &mut h,
+                    credentials.as_ref(),
+                    &archive,
+                    &svc.target,
+                    &script,
+                )
             }
             None => Err(UpdateError::HostDown),
         };
@@ -505,10 +561,14 @@ impl Dcm {
         let (success, hosterror, errmsg, lts) = match &result {
             Ok(()) => {
                 self.stats.updates_succeeded += 1;
+                self.retry.record_success(&svc.name, &mach_name);
                 (true, 0, String::new(), now)
             }
             Err(e) if e.is_hard() => {
                 self.stats.hard_failures += 1;
+                // A hard error gates on `hosterror` until an operator
+                // resets it; the reset deserves a clean retry slate.
+                self.retry.reset(&svc.name, &mach_name);
                 self.notify(
                     "zephyr",
                     "MOIRA",
@@ -530,7 +590,32 @@ impl Dcm {
             }
             Err(e) => {
                 self.stats.soft_failures += 1;
-                (false, 0, e.message(), 0)
+                match self.retry.record_soft_failure(&svc.name, &mach_name, now) {
+                    SoftOutcome::Backoff { .. } => (false, 0, e.message(), 0),
+                    SoftOutcome::Escalate { consecutive } => {
+                        // A streak this long is not transient. Promote it
+                        // to an operator-visible hard error: set hosterror,
+                        // page through Zephyr, mail the maintainers.
+                        self.stats.escalations += 1;
+                        let msg = format!(
+                            "escalated after {consecutive} consecutive soft failures: {}",
+                            e.message()
+                        );
+                        self.notify(
+                            "zephyr",
+                            "MOIRA",
+                            "DCM",
+                            format!("{} on {}: {}", svc.name, mach_name, msg),
+                        );
+                        self.notify(
+                            "mail",
+                            "moira-maintainers",
+                            "",
+                            format!("{} on {}: {}", svc.name, mach_name, msg),
+                        );
+                        (false, e.code(), msg, 0)
+                    }
+                }
             }
         };
         let mut state = self.state.lock();
@@ -873,6 +958,145 @@ mod tests {
         for (row, _) in t.iter() {
             assert!(!t.cell(row, "override").as_bool());
         }
+    }
+
+    fn quick_retry(escalate_after: u32, per_run_budget: usize) -> crate::retry::RetryPolicy {
+        crate::retry::RetryPolicy {
+            base_secs: 100,
+            max_secs: 800,
+            jitter_frac: 0.0,
+            escalate_after,
+            per_run_budget,
+        }
+    }
+
+    #[test]
+    fn backoff_gate_defers_repeat_retries() {
+        let (mut dcm, state, hosts) = setup();
+        dcm.set_retry_policy(quick_retry(100, usize::MAX));
+        hosts[1].lock().up = false;
+        dcm.run_once(); // first soft failure: immediate-retry schedule
+        state.lock().db.clock().advance(60);
+        let report = dcm.run_once(); // second failure: backoff starts (100s)
+        assert_eq!(report.updates.len(), 1);
+        assert!(report.updates[0].2.is_err());
+        // Within the backoff window nothing is attempted, however often
+        // cron fires the DCM.
+        let before = dcm.stats.updates_attempted;
+        for _ in 0..3 {
+            state.lock().db.clock().advance(10);
+            let report = dcm.run_once();
+            assert!(report.updates.is_empty(), "gate closed");
+        }
+        assert_eq!(dcm.stats.updates_attempted, before);
+        assert_eq!(dcm.stats.retries_deferred, 3);
+        // Once the window elapses the retry happens — and a recovered host
+        // converges.
+        hosts[1].lock().reboot();
+        state.lock().db.clock().advance(100);
+        let report = dcm.run_once();
+        assert_eq!(report.updates.len(), 1);
+        assert!(report.updates[0].2.is_ok());
+        assert!(hosts[1].lock().read_file("/var/hesiod/passwd.db").is_some());
+    }
+
+    #[test]
+    fn long_soft_streak_escalates_to_hard_error() {
+        let (mut dcm, state, hosts) = setup();
+        dcm.set_retry_policy(quick_retry(2, usize::MAX));
+        hosts[1].lock().up = false;
+        dcm.run_once();
+        state.lock().db.clock().advance(60);
+        dcm.run_once(); // second consecutive soft failure → escalation
+        assert_eq!(dcm.stats.escalations, 1);
+        assert!(dcm
+            .notices
+            .iter()
+            .any(|n| n.kind == "zephyr" && n.message.contains("escalated after 2")));
+        assert!(dcm
+            .notices
+            .iter()
+            .any(|n| n.kind == "mail" && n.message.contains("escalated after 2")));
+        // hosterror now gates the host like any hard failure…
+        {
+            let s = state.lock();
+            let t = s.db.table("serverhosts");
+            let errs: Vec<i64> = t
+                .iter()
+                .map(|(r, _)| t.cell(r, "hosterror").as_int())
+                .collect();
+            assert!(errs.contains(&(UpdateError::HostDown.code() as i64)));
+        }
+        state.lock().db.clock().advance(3600);
+        let report = dcm.run_once();
+        assert!(report.updates.is_empty(), "escalated host not retried");
+        // …until an operator resets it, after which the host starts with a
+        // clean streak and converges.
+        hosts[1].lock().reboot();
+        {
+            let mut s = state.lock();
+            Registry::standard()
+                .execute(
+                    &mut s,
+                    &Caller::root("ops"),
+                    "reset_server_host_error",
+                    &["HESIOD".into(), "SUOMI.MIT.EDU".into()],
+                )
+                .unwrap();
+        }
+        state.lock().db.clock().advance(60);
+        let report = dcm.run_once();
+        assert_eq!(report.updates.len(), 1);
+        assert!(report.updates[0].2.is_ok());
+    }
+
+    #[test]
+    fn per_run_budget_caps_retried_hosts() {
+        let (mut dcm, state, hosts) = setup();
+        dcm.set_retry_policy(quick_retry(100, 1));
+        for h in &hosts {
+            h.lock().up = false;
+        }
+        let report = dcm.run_once();
+        assert_eq!(report.updates.len(), 2, "first-time pushes are not retries");
+        state.lock().db.clock().advance(60);
+        let report = dcm.run_once();
+        assert_eq!(report.updates.len(), 1, "one retry per pass under budget 1");
+        assert!(dcm.stats.retries_deferred >= 1);
+    }
+
+    #[test]
+    fn host_lock_conflict_is_distinct_busy_error() {
+        let (mut dcm, state, _hosts) = setup();
+        // Another actor (a concurrent DCM pass, say) holds the host lock.
+        state
+            .lock()
+            .locks
+            .acquire("other", "host:HESIOD:KIWI.MIT.EDU", LockMode::Exclusive)
+            .unwrap();
+        let report = dcm.run_once();
+        let kiwi = report
+            .updates
+            .iter()
+            .find(|(_, h, _)| h == "KIWI.MIT.EDU")
+            .unwrap();
+        assert_eq!(kiwi.2, Err(UpdateError::Busy), "not mislabelled Timeout");
+        assert_eq!(dcm.stats.busy_conflicts, 1);
+        // Busy is an internal collision: it charges no failure streak.
+        assert!(!dcm.retry_book().is_retry("HESIOD", "KIWI.MIT.EDU"));
+        // When the collision clears, the next pass succeeds.
+        state
+            .lock()
+            .locks
+            .release("other", "host:HESIOD:KIWI.MIT.EDU");
+        state.lock().db.clock().advance(60);
+        let report = dcm.run_once();
+        let kiwi = report
+            .updates
+            .iter()
+            .find(|(_, h, _)| h == "KIWI.MIT.EDU")
+            .unwrap();
+        assert!(kiwi.2.is_ok());
     }
 
     #[test]

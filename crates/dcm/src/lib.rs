@@ -22,13 +22,23 @@
 //!   ACL files — each with `MR_NO_CHANGE` incremental logic.
 //! - [`dcm`] — the scan algorithm of §5.7.1 over the SERVERS and
 //!   SERVERHOSTS relations.
+//! - [`net`] — the network between Moira and its hosts, as the update
+//!   protocol sees it; the simulator plugs a deterministic fault-injecting
+//!   fabric in here.
+//! - [`retry`] — the unified soft-failure retry policy: immediate first
+//!   retry, exponential backoff with deterministic jitter, escalation of
+//!   long streaks to operator-visible hard errors.
 
 pub mod archive;
 pub mod dcm;
 pub mod generators;
 pub mod host;
+pub mod net;
+pub mod retry;
 pub mod update;
 
 pub use archive::Archive;
 pub use dcm::{Dcm, DcmReport};
 pub use host::SimHost;
+pub use net::{NetFault, Network, PerfectNetwork};
+pub use retry::{RetryBook, RetryPolicy, SoftOutcome};

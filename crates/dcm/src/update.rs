@@ -11,6 +11,7 @@ use moira_krb::ticket::{Authenticator, Ticket};
 
 use crate::archive::{crc32, Archive};
 use crate::host::{HostError, SimHost};
+use crate::net::{Network, PerfectNetwork};
 
 /// Suffix for staged files awaiting the atomic swap; stale ones are
 /// "deleted (as it may be incomplete) when the next update starts".
@@ -164,6 +165,9 @@ pub enum UpdateError {
     /// Kerberos mutual authentication failed at connection set-up (soft;
     /// retried — tickets may simply have expired).
     AuthFailed,
+    /// Another update of the same host is already in progress (soft; the
+    /// conflict clears when the other update finishes).
+    Busy,
 }
 
 impl UpdateError {
@@ -182,7 +186,22 @@ impl UpdateError {
             UpdateError::BadData => 103,
             UpdateError::ExecFailed(c) => 1000 + c,
             UpdateError::AuthFailed => 104,
+            UpdateError::Busy => 105,
         }
+    }
+
+    /// Recovers the error from its [`UpdateError::code`] value.
+    pub fn from_code(code: i32) -> Option<UpdateError> {
+        Some(match code {
+            100 => UpdateError::HostDown,
+            101 => UpdateError::Timeout,
+            102 => UpdateError::Checksum,
+            103 => UpdateError::BadData,
+            104 => UpdateError::AuthFailed,
+            105 => UpdateError::Busy,
+            c if c >= 1000 => UpdateError::ExecFailed(c - 1000),
+            _ => return None,
+        })
     }
 
     /// Human-readable message recorded in `hosterrmsg`.
@@ -194,6 +213,7 @@ impl UpdateError {
             UpdateError::BadData => "transferred data unparsable".to_owned(),
             UpdateError::ExecFailed(c) => format!("install script exited {c}"),
             UpdateError::AuthFailed => "kerberos authentication failed".to_owned(),
+            UpdateError::Busy => "host update already in progress".to_owned(),
         }
     }
 }
@@ -234,8 +254,31 @@ pub fn run_update(
 /// [`run_update`] presenting Kerberos credentials. Hosts with a configured
 /// verifier reject connections whose credentials are absent, forged, or
 /// replayed — "Kerberos is used to verify the identity of both ends at
-/// connection set-up time" (§5.9.2).
+/// connection set-up time" (§5.9.2). Runs over a [`PerfectNetwork`].
 pub fn run_update_with_auth(
+    host: &mut SimHost,
+    credentials: Option<&UpdateCredentials>,
+    archive: &Archive,
+    target: &str,
+    script: &Script,
+) -> Result<(), UpdateError> {
+    run_update_over(&PerfectNetwork, host, credentials, archive, target, script)
+}
+
+/// [`run_update_with_auth`] with every connection and transfer leg routed
+/// through a [`Network`], which may partition, drop, or stall any of them.
+///
+/// The fault surface mirrors a real TCP update connection:
+///
+/// - connection set-up can fail (host partitioned away, SYN lost);
+/// - either transfer leg (archive, then script) can fail mid-stream;
+/// - the **confirmation** leg can fail *after* the host executed the
+///   script successfully. The DCM then sees a timeout even though the
+///   files installed — precisely the ambiguity §5.9 resolves by making
+///   installations idempotent ("extra installations are not harmful"),
+///   so the inevitable retry converges.
+pub fn run_update_over(
+    net: &dyn Network,
     host: &mut SimHost,
     credentials: Option<&UpdateCredentials>,
     archive: &Archive,
@@ -244,6 +287,7 @@ pub fn run_update_with_auth(
 ) -> Result<(), UpdateError> {
     // A. Transfer phase.
     // A.1 Connect and authenticate.
+    net.connect(&host.name).map_err(|f| f.to_update_error())?;
     if !host.reachable() {
         return Err(UpdateError::HostDown);
     }
@@ -275,6 +319,8 @@ pub fn run_update_with_auth(
     // A.2 Transfer the data file, with checksum.
     let bytes = archive.to_bytes();
     let checksum = crc32(&bytes);
+    net.transmit(&host.name, bytes.len())
+        .map_err(|f| f.to_update_error())?;
     let received = transmit(host, &bytes);
     if crc32(&received) != checksum {
         return Err(UpdateError::Checksum);
@@ -287,6 +333,8 @@ pub fn run_update_with_auth(
 
     // A.3 Transfer the installation instruction sequence.
     let script_text = script.to_text();
+    net.transmit(&host.name, script_text.len())
+        .map_err(|f| f.to_update_error())?;
     let received_script = transmit(host, script_text.as_bytes());
     if crc32(&received_script) != crc32(script_text.as_bytes()) {
         return Err(UpdateError::Checksum);
@@ -299,11 +347,19 @@ pub fn run_update_with_auth(
 
     // B. Execution phase, driven by a single command from Moira; the host
     // executes the staged script against the staged archive.
+    net.transmit(&host.name, 1)
+        .map_err(|f| f.to_update_error())?;
     let result = execute_on_host(host, target);
 
-    // C. Confirm installation.
+    // C. Confirm installation. The confirmation travels back over the
+    // network: if it is lost, Moira must assume failure and retry, even
+    // though the host may have installed everything.
     match result {
-        Ok(0) => Ok(()),
+        Ok(0) => {
+            net.transmit(&host.name, 1)
+                .map_err(|f| f.to_update_error())?;
+            Ok(())
+        }
         Ok(code) => Err(UpdateError::ExecFailed(code)),
         Err(HostError::Down) => Err(UpdateError::HostDown),
         Err(_) => Err(UpdateError::BadData),
@@ -601,6 +657,119 @@ mod tests {
         let mut host = SimHost::new("X");
         run_update(&mut host, &a, "/tmp/t", &s).unwrap();
         assert_eq!(host.signals, vec!["/var/run/named.pid"]);
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for err in [
+            UpdateError::HostDown,
+            UpdateError::Timeout,
+            UpdateError::Checksum,
+            UpdateError::BadData,
+            UpdateError::AuthFailed,
+            UpdateError::Busy,
+            UpdateError::ExecFailed(0),
+            UpdateError::ExecFailed(203),
+        ] {
+            assert_eq!(UpdateError::from_code(err.code()), Some(err), "{err:?}");
+        }
+        assert_eq!(UpdateError::from_code(0), None);
+        assert_eq!(UpdateError::from_code(99), None);
+        assert!(!UpdateError::Busy.is_hard(), "busy is retried, not fatal");
+    }
+
+    /// A test network that fails the Nth leg (0 = connect) with a fixed
+    /// fault, succeeding on every other leg.
+    struct FailLeg {
+        fail_at: u64,
+        fault: crate::net::NetFault,
+        legs: std::sync::atomic::AtomicU64,
+    }
+
+    impl FailLeg {
+        fn new(fail_at: u64, fault: crate::net::NetFault) -> FailLeg {
+            FailLeg {
+                fail_at,
+                fault,
+                legs: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+
+        fn roll(&self) -> Result<(), crate::net::NetFault> {
+            let n = self.legs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if n == self.fail_at {
+                Err(self.fault)
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl Network for FailLeg {
+        fn connect(&self, _host: &str) -> Result<(), crate::net::NetFault> {
+            self.roll()
+        }
+
+        fn transmit(&self, _host: &str, _len: usize) -> Result<(), crate::net::NetFault> {
+            self.roll()
+        }
+    }
+
+    #[test]
+    fn network_fault_on_any_leg_is_soft_and_retry_converges() {
+        use crate::net::NetFault;
+        let a = sample_archive();
+        let s = sample_script(&a);
+        // Five legs: connect, archive, script, execute-go, confirm.
+        for leg in 0..5u64 {
+            let mut host = SimHost::new("X");
+            let net = FailLeg::new(leg, NetFault::Dropped);
+            let err = run_update_over(&net, &mut host, None, &a, "/tmp/t", &s).unwrap_err();
+            assert!(!err.is_hard(), "leg {leg}: {err:?}");
+            // Retry over a healed network always converges to the full
+            // install, whatever state the failed attempt left behind.
+            run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+            assert_eq!(
+                host.read_file("/var/hesiod/passwd.db").unwrap(),
+                b"babette:*:6530\n"
+            );
+        }
+    }
+
+    #[test]
+    fn lost_confirmation_reports_timeout_but_files_installed() {
+        use crate::net::NetFault;
+        let a = sample_archive();
+        let s = sample_script(&a);
+        let mut host = SimHost::new("X");
+        // Leg 4 is the confirmation; the host has done all the work.
+        let net = FailLeg::new(4, NetFault::TimedOut);
+        assert_eq!(
+            run_update_over(&net, &mut host, None, &a, "/tmp/t", &s),
+            Err(UpdateError::Timeout)
+        );
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\n",
+            "the install completed even though Moira never heard the confirm"
+        );
+        // The retried update is harmless ("extra installations are not
+        // harmful") and this time confirms.
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+    }
+
+    #[test]
+    fn partition_reported_as_host_down() {
+        use crate::net::NetFault;
+        let a = sample_archive();
+        let s = sample_script(&a);
+        let mut host = SimHost::new("X");
+        let net = FailLeg::new(0, NetFault::Partitioned);
+        assert_eq!(
+            run_update_over(&net, &mut host, None, &a, "/tmp/t", &s),
+            Err(UpdateError::HostDown)
+        );
+        assert!(host.file_names().is_empty(), "nothing reached the host");
     }
 
     #[test]

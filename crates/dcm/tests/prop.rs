@@ -4,8 +4,21 @@
 
 use moira_dcm::archive::{crc32, Archive};
 use moira_dcm::host::SimHost;
-use moira_dcm::update::{run_update, Script};
+use moira_dcm::net::{NetFault, Network};
+use moira_dcm::update::{run_update, run_update_over, Script, UpdateError};
 use proptest::prelude::*;
+
+fn update_error() -> impl Strategy<Value = UpdateError> {
+    prop_oneof![
+        Just(UpdateError::HostDown),
+        Just(UpdateError::Timeout),
+        Just(UpdateError::Checksum),
+        Just(UpdateError::BadData),
+        Just(UpdateError::AuthFailed),
+        Just(UpdateError::Busy),
+        (0i32..1000).prop_map(UpdateError::ExecFailed),
+    ]
+}
 
 proptest! {
     #[test]
@@ -73,6 +86,82 @@ proptest! {
         for i in 0..member_count {
             let path = format!("/var/svc/f{i}.db");
             let expected = format!("NEW-{i}-content\n");
+            prop_assert_eq!(host.read_file(&path).unwrap(), expected.as_bytes());
+        }
+    }
+
+    /// Error codes are a lossless wire encoding: every error survives a
+    /// code round trip, codes are distinct, and messages are non-empty.
+    #[test]
+    fn update_error_codes_round_trip(e in update_error(), other in update_error()) {
+        prop_assert_eq!(UpdateError::from_code(e.code()), Some(e));
+        prop_assert!(!e.message().is_empty());
+        if e != other {
+            prop_assert_ne!(e.code(), other.code());
+        }
+        // Hardness is derivable from the code alone (the DCM's retry gate
+        // depends on this when outcomes cross the database).
+        prop_assert_eq!(
+            UpdateError::from_code(e.code()).unwrap().is_hard(),
+            e.is_hard()
+        );
+    }
+
+    /// A network fault on an arbitrary leg of an arbitrary update is always
+    /// soft, never tears installed files, and a retry over a healed network
+    /// converges — the fabric-level version of the crash property above.
+    #[test]
+    fn network_faults_are_soft_and_retries_converge(
+        fail_leg in 0u64..6,
+        fault_kind in 0u8..3,
+        member_count in 1usize..5,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct FailNth {
+            fail_at: u64,
+            fault: NetFault,
+            legs: AtomicU64,
+        }
+        impl Network for FailNth {
+            fn connect(&self, _host: &str) -> Result<(), NetFault> {
+                self.roll()
+            }
+            fn transmit(&self, _host: &str, _len: usize) -> Result<(), NetFault> {
+                self.roll()
+            }
+        }
+        impl FailNth {
+            fn roll(&self) -> Result<(), NetFault> {
+                if self.legs.fetch_add(1, Ordering::SeqCst) == self.fail_at {
+                    Err(self.fault)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+
+        let fault = match fault_kind {
+            0 => NetFault::Partitioned,
+            1 => NetFault::Dropped,
+            _ => NetFault::TimedOut,
+        };
+        let mut archive = Archive::new();
+        for i in 0..member_count {
+            archive.add(&format!("f{i}.db"), format!("DATA-{i}\n").into_bytes());
+        }
+        let script = Script::standard(&archive, "/var/svc", "install");
+        let mut host = SimHost::new("H");
+        let net = FailNth { fail_at: fail_leg, fault, legs: AtomicU64::new(0) };
+        match run_update_over(&net, &mut host, None, &archive, "/tmp/t", &script) {
+            Ok(()) => {} // leg 5 never fires: only five legs per update
+            Err(e) => prop_assert!(!e.is_hard(), "network fault must be soft: {e:?}"),
+        }
+        // No torn files even mid-fault, and a fault-free retry converges.
+        run_update(&mut host, &archive, "/tmp/t", &script).unwrap();
+        for i in 0..member_count {
+            let path = format!("/var/svc/f{i}.db");
+            let expected = format!("DATA-{i}\n");
             prop_assert_eq!(host.read_file(&path).unwrap(), expected.as_bytes());
         }
     }

@@ -66,4 +66,44 @@ proptest! {
         }
         prop_assert_eq!(request.version, CURRENT_VERSION);
     }
+
+    /// Truncated replies fail cleanly too — a frame cut short by a lossy
+    /// link must surface as a decode error, never a panic or a bogus reply
+    /// with extra fields.
+    #[test]
+    fn truncated_reply_rejected(
+        code in any::<i32>(),
+        fields in prop::collection::vec("[a-z]{0,16}", 1..6),
+        cut_at in any::<prop::sample::Index>(),
+    ) {
+        let reply = Reply {
+            code,
+            fields: fields.iter().map(|f| Bytes::copy_from_slice(f.as_bytes())).collect(),
+        };
+        let encoded = reply.encode();
+        let cut = cut_at.index(encoded.len().max(1));
+        if cut < encoded.len() {
+            prop_assert!(Reply::decode(encoded.slice(..cut)).is_err());
+        }
+    }
+
+    /// Flipping any single byte of a valid frame never panics the decoder:
+    /// it either rejects the frame or decodes *some* well-formed value
+    /// (e.g. a flipped payload byte), but never tears.
+    #[test]
+    fn corrupted_frames_decode_totally(
+        args in prop::collection::vec("[a-z]{1,16}", 1..6),
+        index in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        let mut bytes = Request::new(MajorRequest::Query, &refs).encode().to_vec();
+        let i = index.index(bytes.len());
+        bytes[i] ^= flip;
+        if let Ok(decoded) = Request::decode(Bytes::from(bytes.clone())) {
+            // Whatever decoded must re-encode without loss.
+            prop_assert_eq!(Request::decode(decoded.encode()).unwrap(), decoded);
+        }
+        let _ = Reply::decode(Bytes::from(bytes));
+    }
 }

@@ -22,12 +22,16 @@ use moira_krb::realm::Kdc;
 use moira_svc::{HesiodServer, MailHub, NfsServer, ZephyrServer};
 use parking_lot::Mutex;
 
+use crate::net::NetFabric;
 use crate::population::{populate, PopulationReport, PopulationSpec};
 
 /// A complete simulated Athena.
 pub struct Deployment {
     /// Shared virtual clock.
     pub clock: VClock,
+    /// The fault-injecting network fabric every DCM→host update connection
+    /// crosses (no faults configured until a scenario asks for them).
+    pub net: Arc<NetFabric>,
     /// The Moira database + server state.
     pub state: Arc<Mutex<MoiraState>>,
     /// The query catalog.
@@ -92,6 +96,9 @@ impl Deployment {
         let mut dcm = Dcm::new(state.clone(), registry.clone());
         // §5.9.2: both ends of every update connection verify each other.
         dcm.enable_kerberos(kdc.clone(), "rcmd.moira", dcm_key);
+        // Every update connection crosses the (initially perfect) fabric.
+        let net = Arc::new(NetFabric::new(clock.clone(), 0x000a_7e4a_5eed));
+        dcm.set_network(net.clone());
         let mut hosts = HashMap::new();
         let mut hesiod = HashMap::new();
         let mut nfs = HashMap::new();
@@ -228,6 +235,7 @@ impl Deployment {
         let regserver = RegistrationServer::new(state.clone(), registry.clone(), kdc.clone());
         Deployment {
             clock,
+            net,
             state,
             registry,
             dcm,

@@ -16,11 +16,15 @@
 //! - [`cron`] — the periodic DCM driver ("the DCM is invoked regularly by
 //!   cron at intervals which become the minimum update time for any
 //!   service").
+//! - [`net`] — the deterministic fault-injecting network fabric every
+//!   update connection crosses (partitions, drops, latency).
 
 pub mod cron;
 pub mod deployment;
 pub mod names;
+pub mod net;
 pub mod population;
 
 pub use deployment::Deployment;
+pub use net::{FabricStats, FaultyChannel, NetFabric};
 pub use population::{populate, PopulationReport, PopulationSpec};

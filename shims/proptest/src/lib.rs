@@ -1,0 +1,791 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest it uses: the [`proptest!`]
+//! test macro, `prop_assert*` macros, [`strategy::Strategy`] with
+//! `prop_map`, [`strategy::Just`], `prop_oneof!`, [`arbitrary::any`],
+//! integer-range and tuple strategies, `collection::vec`,
+//! `sample::Index`, and regex-string strategies covering the pattern
+//! subset found in this repo's tests (character classes with ranges and
+//! escapes, `.`, and `{n}`/`{m,n}`/`?`/`*`/`+` quantifiers).
+//!
+//! Generation is deterministic: each test derives its RNG seed from the
+//! test's module path and name, so failures reproduce exactly. Shrinking
+//! is not implemented — a failing case reports the assertion message
+//! from the raw generated input.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Failure raised by `prop_assert*` inside a test case body.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property did not hold.
+        Fail(String),
+        /// The input was rejected (unused by this shim's macros, kept for
+        /// API familiarity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic generator state (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+
+    /// Drives the generated cases for one `proptest!` test function.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner whose seed is derived from `name` (stable
+        /// across runs — failures reproduce).
+        pub fn new(config: ProptestConfig, name: &str) -> TestRunner {
+            // FNV-1a over the fully qualified test name.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner {
+                config,
+                rng: TestRng::new(seed),
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The generator shared by all strategies in this test.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for producing values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking — a
+    /// strategy is just a deterministic sampler over the test RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy producing a single cloned value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Wraps the alternatives; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.below(self.options.len() as u64) as usize;
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types that can be generated unconditionally by [`any`].
+    pub trait Arbitrary {
+        /// Samples one value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy for any value of `T` (see [`any`]); `Copy` so it can be
+    /// bound to a local and reused across `prop_oneof!` arms.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the strategy generating arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text debuggable.
+            (0x20 + rng.below(0x5f) as u8) as char
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform over `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection of as-yet-unknown size; resolved with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Resolves to a concrete index in `[0, len)`.
+        ///
+        /// # Panics
+        /// Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// One regex atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// A character class (already expanded to its member set).
+        Class(Vec<char>),
+        /// `.` — any printable character.
+        AnyChar,
+        /// A literal character.
+        Lit(char),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// A compiled pattern: a sequence of repeated atoms.
+    #[derive(Debug, Clone)]
+    pub struct Pattern {
+        pieces: Vec<Piece>,
+    }
+
+    /// Compiles the supported regex subset; panics (with the pattern) on
+    /// anything outside it, so unsupported tests fail loudly rather than
+    /// generating wrong data.
+    pub fn compile(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    Atom::Class(set)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in /{pattern}/");
+                    i += 2;
+                    Atom::Lit(chars[i - 1])
+                }
+                '(' | ')' | '|' | '*' | '+' | '?' | '{' | '}' => {
+                    panic!("unsupported regex construct {:?} in /{pattern}/", chars[i])
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            pieces.push(Piece { atom, min, max });
+        }
+        Pattern { pieces }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                assert!(i + 1 < chars.len(), "dangling escape in /{pattern}/");
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            // A `-` forms a range only when flanked by class members.
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let hi = chars[i + 2];
+                assert!(c <= hi, "inverted range {c}-{hi} in /{pattern}/");
+                for v in c..=hi {
+                    set.push(v);
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        assert!(
+            i < chars.len() && chars[i] == ']',
+            "unterminated class in /{pattern}/"
+        );
+        assert!(!set.is_empty(), "empty class in /{pattern}/");
+        (set, i + 1)
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in /{pattern}/"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.parse().unwrap_or_else(|_| bad_quant(pattern));
+                        let hi = if hi.is_empty() {
+                            lo + 8
+                        } else {
+                            hi.parse().unwrap_or_else(|_| bad_quant(pattern))
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = body.parse().unwrap_or_else(|_| bad_quant(pattern));
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "inverted quantifier in /{pattern}/");
+                (min, max, close + 1)
+            }
+            Some('?') => (0, 1, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+
+    fn bad_quant(pattern: &str) -> usize {
+        panic!("malformed quantifier in /{pattern}/")
+    }
+
+    impl Pattern {
+        fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+            match atom {
+                Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+                Atom::Lit(c) => *c,
+                Atom::AnyChar => {
+                    // Mostly printable ASCII with an occasional non-ASCII
+                    // character, mirroring real proptest's `.` (which never
+                    // yields a newline).
+                    if rng.below(16) == 0 {
+                        const EXOTIC: [char; 6] = ['é', 'ß', 'λ', 'Ж', '中', '\u{1F600}'];
+                        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                    } else {
+                        (0x20 + rng.below(0x5f) as u8) as char
+                    }
+                }
+            }
+        }
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(Self::gen_char(&piece.atom, rng));
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            compile(self).generate(rng)
+        }
+    }
+}
+
+/// `prop::` namespace as brought in by the prelude (`prop::collection::vec`,
+/// `prop::sample::Index`, ...).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..runner.cases() {
+                    let ($($arg,)+) = {
+                        let rng = runner.rng();
+                        ($($crate::strategy::Strategy::generate(&$strat, rng),)+)
+                    };
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(e) => {
+                            panic!(
+                                "proptest case {}/{} failed: {}",
+                                case + 1,
+                                runner.cases(),
+                                e
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        let msg = format!($($fmt)+);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            msg
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        let msg = format!($($fmt)+);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: `{:?}`: {}",
+            left,
+            msg
+        );
+    }};
+}
+
+/// Uniform choice among strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        use crate::strategy::Strategy as _;
+        let mut rng = crate::test_runner::TestRng::new(42);
+        for _ in 0..200 {
+            let out = "[a-z0-9._-]{1,16}".generate(&mut rng);
+            assert!((1..=16).contains(&out.chars().count()), "bad len: {out:?}");
+            assert!(
+                out.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._-".contains(c)),
+                "bad char in {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_backslash_class() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        use crate::strategy::Strategy as _;
+        for _ in 0..100 {
+            let s = "[a-z:\\\\]{1,8}".generate(&mut rng);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ':' || c == '\\'));
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut rng = crate::test_runner::TestRng::new(9);
+        use crate::strategy::Strategy as _;
+        for _ in 0..50 {
+            assert_eq!("[a-zA-Z0-9./]{2}".generate(&mut rng).chars().count(), 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            small in 0u8..3,
+            byte in 1u8..=255,
+            pair in (0u32..10, any::<bool>()),
+            items in prop::collection::vec(any::<u8>(), 0..5),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            prop_assert!(small < 3);
+            prop_assert_ne!(byte, 0);
+            prop_assert!(pair.0 < 10);
+            prop_assert!(items.len() < 5);
+            prop_assert_eq!(pick.index(1), 0);
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        use crate::strategy::Strategy as _;
+        let strat = prop_oneof![Just(0u8), (1u8..3).prop_map(|v| v), Just(9u8),];
+        let mut rng = crate::test_runner::TestRng::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert!(seen.contains(&0) && seen.contains(&9) && (seen.contains(&1) || seen.contains(&2)));
+    }
+}

@@ -1,0 +1,453 @@
+//! Offline shim for the `serde_json` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset it uses: the [`Value`] tree, the [`json!`]
+//! constructor macro (object/array literals with expression values), and
+//! [`to_string_pretty`]. No serde integration, no parsing — the repo only
+//! ever *writes* JSON result tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integer or double.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Double-precision float.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::PosInt(v) => write!(f, "{v}"),
+            Number::NegInt(v) => write!(f, "{v}"),
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON document tree. Objects keep keys sorted (`BTreeMap`), matching
+/// serde_json's default map representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v < 0 {
+                    Value::Number(Number::NegInt(v as i64))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> From<BTreeMap<K, V>> for Value {
+    fn from(map: BTreeMap<K, V>) -> Value {
+        Value::Object(map.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> From<std::collections::HashMap<K, V>> for Value {
+    fn from(map: std::collections::HashMap<K, V>) -> Value {
+        Value::Object(map.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+}
+
+impl<K: Clone + Into<String>, V: Clone + Into<Value>> From<&BTreeMap<K, V>> for Value {
+    fn from(map: &BTreeMap<K, V>) -> Value {
+        Value::Object(
+            map.iter()
+                .map(|(k, v)| (k.clone().into(), v.clone().into()))
+                .collect(),
+        )
+    }
+}
+
+/// Conversion into [`Value`] by reference, so `json!` can take fields out
+/// of borrowed structs without moving them (matching real serde_json,
+/// which serializes expression values by reference).
+pub trait ToValue {
+    /// Builds the JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! to_value_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! to_value_signed {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value {
+                if *self < 0 {
+                    Value::Number(Number::NegInt(*self as i64))
+                } else {
+                    Value::Number(Number::PosInt(*self as u64))
+                }
+            }
+        }
+    )*};
+}
+
+to_value_unsigned!(u8, u16, u32, u64, usize);
+to_value_signed!(i8, i16, i32, i64, isize);
+
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl ToValue for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToValue> ToValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<K: AsRef<str>, V: ToValue> ToValue for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: AsRef<str>, V: ToValue> ToValue for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Serialization failure (the shim's writer is infallible; the type exists
+/// for API compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, item)) in map.iter().enumerate() {
+                out.push_str(&pad_in);
+                escape_into(out, key);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Renders `value` as human-readable JSON with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Supports object literals
+/// with string-literal keys, array literals, `null`, and arbitrary Rust
+/// expressions convertible into `Value`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::collections::BTreeMap::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut map = ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();
+        $crate::json_object_entries!(map, $($body)+);
+        $crate::Value::Object(map)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::ToValue::to_value(&$elem)),*])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal muncher for `json!` object bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($map:ident $(,)?) => {};
+    ($map:ident, $key:literal : null , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : null) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+    };
+    ($map:ident, $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : { $($inner:tt)* } $(,)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : [ $($inner:tt)* ] $(,)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+    };
+    ($map:ident, $key:literal : $value:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::ToValue::to_value(&$value));
+        $crate::json_object_entries!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : $value:expr) => {
+        $map.insert($key.to_string(), $crate::ToValue::to_value(&$value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_builds_sorted_map() {
+        let rows = vec![json!({"a": 1, "b": true})];
+        let v = json!({
+            "zeta": 1u64,
+            "alpha": "text",
+            "nested": {"x": 1.5, "y": -2},
+            "rows": rows,
+            "flag": false,
+            "nothing": null,
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"alpha\": \"text\""));
+        assert!(s.contains("\"x\": 1.5"));
+        assert!(s.contains("\"y\": -2"));
+        assert!(s.contains("\"nothing\": null"));
+        // BTreeMap ordering: alpha before zeta.
+        assert!(s.find("alpha").unwrap() < s.find("zeta").unwrap());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({"k": "a\"b\\c\nd"});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains(r#""a\"b\\c\nd""#));
+    }
+
+    #[test]
+    fn expression_values_convert() {
+        let n = 41usize;
+        let v = json!({ "sum": n + 1, "cmp": n > 2, "len": "abc".len() });
+        match &v {
+            Value::Object(m) => {
+                assert_eq!(m["sum"], Value::Number(Number::PosInt(42)));
+                assert_eq!(m["cmp"], Value::Bool(true));
+                assert_eq!(m["len"], Value::Number(Number::PosInt(3)));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn maps_and_floats_round_trip_display() {
+        let mut by_kind = BTreeMap::new();
+        by_kind.insert("Retrieve".to_string(), 10u64);
+        let v = json!({ "by_kind": by_kind, "f": 2.0f64 });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"Retrieve\": 10"));
+        assert!(s.contains("\"f\": 2.0"));
+    }
+}
