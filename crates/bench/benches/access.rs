@@ -7,11 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use moira_core::access::caller_has_capability;
 use moira_core::registry::Registry;
 use moira_core::seed::seed_capacls;
-use moira_core::state::{Caller, MoiraState};
+use moira_core::state::{shared, Caller, MoiraState, SharedState};
 use moira_sim::{populate, PopulationSpec};
-use parking_lot::Mutex;
 
-fn setup() -> (Arc<Mutex<MoiraState>>, String) {
+fn setup() -> (SharedState, String) {
     let registry = Arc::new(Registry::standard());
     let mut state = MoiraState::new(moira_common::VClock::new());
     seed_capacls(&mut state, &registry);
@@ -26,7 +25,7 @@ fn setup() -> (Arc<Mutex<MoiraState>>, String) {
             &["moira-admins".into(), "USER".into(), operator.clone()],
         )
         .unwrap();
-    (Arc::new(Mutex::new(state)), operator)
+    (shared(state), operator)
 }
 
 fn bench_access(c: &mut Criterion) {
@@ -34,14 +33,14 @@ fn bench_access(c: &mut Criterion) {
     let caller = Caller::new(&operator, "bench");
 
     c.bench_function("access_check_cached", |b| {
-        let mut s = state.lock();
-        s.access_cache.enabled = true;
-        b.iter(|| black_box(caller_has_capability(&mut s, &caller, "add_user")));
+        let s = state.read();
+        s.access_cache.set_enabled(true);
+        b.iter(|| black_box(caller_has_capability(&s, &caller, "add_user")));
     });
     c.bench_function("access_check_uncached", |b| {
-        let mut s = state.lock();
-        s.access_cache.enabled = false;
-        b.iter(|| black_box(caller_has_capability(&mut s, &caller, "add_user")));
+        let s = state.read();
+        s.access_cache.set_enabled(false);
+        b.iter(|| black_box(caller_has_capability(&s, &caller, "add_user")));
     });
 }
 

@@ -10,20 +10,15 @@ use moira_client::{DirectClient, MoiraConn, ServerThread};
 use moira_core::registry::Registry;
 use moira_core::seed::seed_capacls;
 use moira_core::server::MoiraServer;
-use moira_core::state::MoiraState;
+use moira_core::state::{shared, MoiraState, SharedState};
 use moira_sim::{populate, PopulationSpec};
-use parking_lot::Mutex;
 
-fn setup() -> (Arc<Mutex<MoiraState>>, Arc<Registry>, String) {
+fn setup() -> (SharedState, Arc<Registry>, String) {
     let registry = Arc::new(Registry::standard());
     let mut state = MoiraState::new(moira_common::VClock::new());
     seed_capacls(&mut state, &registry);
     let report = populate(&mut state, &registry, &PopulationSpec::small()).unwrap();
-    (
-        Arc::new(Mutex::new(state)),
-        registry,
-        report.active_logins[0].clone(),
-    )
+    (shared(state), registry, report.active_logins[0].clone())
 }
 
 fn bench_rpc(c: &mut Criterion) {

@@ -20,7 +20,7 @@ fn main() {
     // Leg 1: administrative application through the RPC stack.
     let (server, state, _registry) = standard_server(moira_common::VClock::new());
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira_core::queries::testutil::add_test_user(&mut s, "admin", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
@@ -46,7 +46,7 @@ fn main() {
         rows[0]
     );
     {
-        let s = state.lock();
+        let s = state.read();
         println!(
             "server: journal                           -> {} entries; last = {}",
             s.journal.len(),

@@ -13,16 +13,15 @@ use moira_bench::{write_json, Table};
 use moira_client::{DirectClient, MoiraConn};
 use moira_core::registry::Registry;
 use moira_core::seed::seed_capacls;
-use moira_core::state::MoiraState;
+use moira_core::state::{shared, MoiraState, SharedState};
 use moira_sim::{populate, PopulationSpec};
-use parking_lot::Mutex;
 
 const FLOWS: usize = 2_000;
 
 /// Builds a population plus an `opstaff` member reaching `moira-admins`
 /// through a chain of nested lists (so each uncached check walks the
 /// membership graph).
-fn build() -> (Arc<Mutex<MoiraState>>, Arc<Registry>, String) {
+fn build() -> (SharedState, Arc<Registry>, String) {
     let registry = Arc::new(Registry::standard());
     let mut state = MoiraState::new(moira_common::VClock::new());
     seed_capacls(&mut state, &registry);
@@ -54,14 +53,14 @@ fn build() -> (Arc<Mutex<MoiraState>>, Arc<Registry>, String) {
     add_member(&mut state, "level1", "LIST", "level2");
     add_member(&mut state, "level2", "LIST", "level3");
     add_member(&mut state, "level3", "USER", &operator);
-    (Arc::new(Mutex::new(state)), registry, operator)
+    (shared(state), registry, operator)
 }
 
 /// Runs the §5.5 double-check workload: access pre-check + execute, per
 /// flow. Returns (elapsed ms, hits, misses).
 fn run_workload(enabled: bool) -> (f64, u64, u64) {
     let (state, registry, operator) = build();
-    state.lock().access_cache.enabled = enabled;
+    state.read().access_cache.set_enabled(enabled);
     let mut conn = DirectClient::connect(state.clone(), registry, &operator, "chsh");
     let t0 = std::time::Instant::now();
     for i in 0..FLOWS {
@@ -75,8 +74,8 @@ fn run_workload(enabled: bool) -> (f64, u64, u64) {
         let _ = conn.query("update_user_shell", &[&target, "/bin/csh"], &mut |_| {});
     }
     let elapsed = t0.elapsed().as_secs_f64() * 1e3;
-    let s = state.lock();
-    (elapsed, s.access_cache.hits, s.access_cache.misses)
+    let s = state.read();
+    (elapsed, s.access_cache.hits(), s.access_cache.misses())
 }
 
 fn main() {

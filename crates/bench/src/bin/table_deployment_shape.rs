@@ -19,7 +19,7 @@ fn main() {
     let registry = Registry::standard();
 
     let services_supported = {
-        let s = d.state.lock();
+        let s = d.state.read();
         // The paper's four supported services; POP is load bookkeeping and
         // PASSWD is this reproduction's documented extension.
         ["HESIOD", "NFS", "MAIL", "ZEPHYR"]
@@ -34,7 +34,7 @@ fn main() {
     let distinct_files: usize = report.generated.iter().map(|(_, n, _)| n).sum::<usize>()
         // NFS per-host files counted from an actual host archive.
         + {
-            let s = d.state.lock();
+            let s = d.state.read();
             let mach = s
                 .db
                 .table("machine")

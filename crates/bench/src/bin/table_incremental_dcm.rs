@@ -42,7 +42,7 @@ fn week_at_rate(rate: f64) -> (u64, u64, usize, usize) {
             } else {
                 "/bin/sh"
             };
-            let mut s = d.state.lock();
+            let mut s = d.state.write();
             d.registry
                 .execute(
                     &mut s,

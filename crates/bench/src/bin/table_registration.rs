@@ -82,7 +82,7 @@ fn main() {
 
     // End-state invariants.
     let (half_registered, poboxes, lockers, principals) = {
-        let s = d.state.lock();
+        let s = d.state.read();
         let t = s.db.table("users");
         let half = t.select(&moira_db::Pred::Eq("status", 2.into())).len();
         let po = t

@@ -25,7 +25,6 @@ use moira_core::state::{Caller, MoiraState};
 use moira_db::backup::{mrbackup, mrrestore};
 use moira_db::Database;
 use moira_sim::{populate, PopulationSpec};
-use parking_lot::Mutex;
 
 const CONNECTIONS: usize = 25;
 
@@ -41,7 +40,7 @@ fn main() {
     let disk_image = mrbackup(&state.db);
 
     // --- Moira model: one persistent backend, many connections. ----------
-    let shared = Arc::new(Mutex::new(state));
+    let shared = moira_core::state::shared(state);
     let server = MoiraServer::new(shared.clone(), registry.clone(), None);
     let thread = ServerThread::spawn(server);
     let t0 = std::time::Instant::now();

@@ -35,7 +35,7 @@ fn no_torn_files(d: &Deployment) -> bool {
 /// True when every enabled serverhost reports success and carries current
 /// files.
 fn converged(d: &Deployment) -> bool {
-    let s = d.state.lock();
+    let s = d.state.read();
     let t = s.db.table("serverhosts");
     let rows: Vec<_> = t.iter().map(|(row, _)| row).collect();
     rows.into_iter().all(|row| {
@@ -88,13 +88,13 @@ fn run_scenario(
 
 fn reset_errors(d: &mut Deployment) {
     let services: Vec<String> = {
-        let s = d.state.lock();
+        let s = d.state.read();
         let t = s.db.table("servers");
         t.iter()
             .map(|(row, _)| t.cell(row, "name").render())
             .collect()
     };
-    let mut s = d.state.lock();
+    let mut s = d.state.write();
     for svc in services {
         let _ = d.registry.execute(
             &mut s,
@@ -147,7 +147,7 @@ fn attempts_against_dead_host(policy: RetryPolicy) -> u64 {
 fn overload_shed_run() -> (usize, usize, u64) {
     let (mut server, state, _) = moira_core::server::standard_server(moira_common::VClock::new());
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira_core::queries::testutil::add_test_user(&mut s, "ops", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
@@ -172,7 +172,7 @@ fn overload_shed_run() -> (usize, usize, u64) {
         .collect();
     let resends: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
     let landed = {
-        let s = state.lock();
+        let s = state.read();
         s.db.table("machine")
             .select(&moira_db::Pred::Like("name", "E8-*".into()))
             .len()
@@ -267,7 +267,7 @@ fn main() {
                 }
                 d.dcm = fresh;
                 // A change arrives that the lost files do not contain.
-                let mut s = d.state.lock();
+                let mut s = d.state.write();
                 let login = d.population.active_logins[0].clone();
                 d.registry
                     .execute(

@@ -540,13 +540,12 @@ mod tests {
     use crate::glue::DirectClient;
     use moira_core::queries::testutil::state_with_admin;
     use moira_core::registry::Registry;
-    use parking_lot::Mutex;
     use std::sync::Arc;
 
     fn ops_conn() -> DirectClient {
         let (state, _) = state_with_admin("ops");
         DirectClient::connect(
-            Arc::new(Mutex::new(state)),
+            moira_core::state::shared(state),
             Arc::new(Registry::standard()),
             "ops",
             "apps-test",

@@ -263,7 +263,7 @@ mod tests {
     fn harness() -> (ServerThread, RpcClient) {
         let (server, state, _) = standard_server(moira_common::VClock::new());
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             let uid = moira_core::queries::testutil::add_test_user(&mut s, "ops", 1);
             s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
                 .unwrap();

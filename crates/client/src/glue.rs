@@ -6,19 +6,23 @@
 //! throughput, and will also reduce the load on the server itself. The
 //! direct glue library provides the exact same interface as the RPC
 //! library, except that it does not use Kerberos authentication."
+//!
+//! The glue library follows the server's read/write tier split: retrieves
+//! and `Access` pre-checks take the shared guard (so concurrent glue
+//! readers — DCM dump threads, reporting tools — never serialize against
+//! each other), while mutations take the exclusive guard.
 
 use std::sync::Arc;
 
 use moira_common::errors::MrResult;
 use moira_core::registry::Registry;
-use moira_core::state::{Caller, MoiraState};
-use parking_lot::Mutex;
+use moira_core::state::{Caller, SharedState};
 
 use crate::conn::MoiraConn;
 
 /// A client wired straight to the database.
 pub struct DirectClient {
-    state: Arc<Mutex<MoiraState>>,
+    state: SharedState,
     registry: Arc<Registry>,
     caller: Caller,
 }
@@ -27,7 +31,7 @@ impl DirectClient {
     /// Opens a direct connection as an (unverified) principal — the glue
     /// library trusts its caller, as the original trusted local root.
     pub fn connect(
-        state: Arc<Mutex<MoiraState>>,
+        state: SharedState,
         registry: Arc<Registry>,
         principal: &str,
         client_name: &str,
@@ -42,7 +46,7 @@ impl DirectClient {
     /// The DCM's connection: "it connects to the database and authenticates
     /// as root" (§5.7.1).
     pub fn connect_as_root(
-        state: Arc<Mutex<MoiraState>>,
+        state: SharedState,
         registry: Arc<Registry>,
         client_name: &str,
     ) -> DirectClient {
@@ -54,7 +58,7 @@ impl DirectClient {
     }
 
     /// The shared state (the DCM needs direct access for locking).
-    pub fn state(&self) -> Arc<Mutex<MoiraState>> {
+    pub fn state(&self) -> SharedState {
         self.state.clone()
     }
 }
@@ -71,9 +75,10 @@ impl MoiraConn for DirectClient {
 
     fn access(&mut self, name: &str, args: &[&str]) -> MrResult<()> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-        let mut state = self.state.lock();
+        // Access checks never mutate: shared guard.
+        let state = self.state.read();
         self.registry
-            .check_access(&mut state, &self.caller, name, &args)
+            .check_access(&state, &self.caller, name, &args)
     }
 
     fn query(
@@ -83,11 +88,15 @@ impl MoiraConn for DirectClient {
         callback: &mut dyn FnMut(&[String]),
     ) -> MrResult<()> {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-        let mut state = self.state.lock();
-        let rows = self
-            .registry
-            .execute(&mut state, &self.caller, name, &args)?;
-        drop(state);
+        let rows = if self.registry.is_read_query(name) {
+            let state = self.state.read();
+            self.registry
+                .execute_read(&state, &self.caller, name, &args)?
+        } else {
+            let mut state = self.state.write();
+            self.registry
+                .execute(&mut state, &self.caller, name, &args)?
+        };
         for row in &rows {
             callback(row);
         }
@@ -95,7 +104,7 @@ impl MoiraConn for DirectClient {
     }
 
     fn trigger_dcm(&mut self) -> MrResult<()> {
-        self.state.lock().dcm_trigger = true;
+        self.state.write().dcm_trigger = true;
         Ok(())
     }
 }
@@ -105,10 +114,11 @@ mod tests {
     use super::*;
     use moira_common::errors::MrError;
     use moira_core::queries::testutil::state_with_admin;
+    use moira_core::state::shared;
 
-    fn setup() -> (Arc<Mutex<MoiraState>>, Arc<Registry>) {
+    fn setup() -> (SharedState, Arc<Registry>) {
         let (state, _) = state_with_admin("ops");
-        (Arc::new(Mutex::new(state)), Arc::new(Registry::standard()))
+        (shared(state), Arc::new(Registry::standard()))
     }
 
     #[test]
@@ -141,6 +151,20 @@ mod tests {
         let (state, registry) = setup();
         let mut glue = DirectClient::connect_as_root(state.clone(), registry, "dcm");
         glue.trigger_dcm().unwrap();
-        assert!(state.lock().dcm_trigger);
+        assert!(state.read().dcm_trigger);
+    }
+
+    #[test]
+    fn retrieves_run_under_the_shared_guard() {
+        // A reader holding the shared guard does not block glue retrieves —
+        // the read tier only needs another shared guard.
+        let (state, registry) = setup();
+        let mut glue = DirectClient::connect_as_root(state.clone(), registry, "dcm");
+        glue.query("add_machine", &["RO", "VAX"], &mut |_| {})
+            .unwrap();
+        let outside_reader = state.read();
+        let rows = glue.query_collect("get_machine", &["RO"]).unwrap();
+        assert_eq!(rows[0][0], "RO");
+        drop(outside_reader);
     }
 }

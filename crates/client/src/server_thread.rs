@@ -89,7 +89,7 @@ mod tests {
     fn multiple_concurrent_clients() {
         let (server, state, _) = standard_server(moira_common::VClock::new());
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             let uid = moira_core::queries::testutil::add_test_user(&mut s, "ops", 1);
             s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
                 .unwrap();
@@ -111,7 +111,7 @@ mod tests {
         }
         let server = thread.shutdown();
         let s = server.state();
-        let count = s.lock().db.table("machine").len();
+        let count = s.read().db.table("machine").len();
         assert_eq!(count, 8);
     }
 }

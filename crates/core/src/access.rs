@@ -14,63 +14,95 @@
 //! cached per (principal, capability) and invalidated whenever the tables
 //! that define membership change.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
 use moira_common::errors::{MrError, MrResult};
 use moira_common::hashtab::HashTable;
 use moira_db::Pred;
+use parking_lot::Mutex;
 
 use crate::ace::{user_in_list, users_id_of};
 use crate::state::{Caller, MoiraState};
 
 /// The §5.5 access cache with hit/miss accounting.
+///
+/// Interior-mutable so access checks work against a shared `&MoiraState`:
+/// the read tier of the server dispatches retrieves under a shared lock, and
+/// ACL decisions (a cache write at worst) must not require `&mut` state.
 pub struct AccessCache {
-    entries: HashTable<(u64, bool)>,
+    entries: Mutex<HashTable<(u64, bool)>>,
     /// Whether caching is active (ablation switch).
-    pub enabled: bool,
+    enabled: AtomicBool,
     /// Cache hits served.
-    pub hits: u64,
+    hits: AtomicU64,
     /// Lookups that had to compute.
-    pub misses: u64,
+    misses: AtomicU64,
 }
 
 impl AccessCache {
     /// Creates an enabled, empty cache.
     pub fn new() -> Self {
         AccessCache {
-            entries: HashTable::new(),
-            enabled: true,
-            hits: 0,
-            misses: 0,
+            entries: Mutex::new(HashTable::new()),
+            enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
+    }
+
+    /// Turns caching on or off (ablation switch).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether caching is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::SeqCst)
     }
 
     fn key(principal: &str, capability: &str) -> String {
         format!("{principal}\u{1}{capability}")
     }
 
-    fn get(&mut self, principal: &str, capability: &str, generation: u64) -> Option<bool> {
-        if !self.enabled {
+    fn get(&self, principal: &str, capability: &str, generation: u64) -> Option<bool> {
+        if !self.enabled() {
             return None;
         }
-        match self.entries.lookup(&Self::key(principal, capability)) {
+        match self
+            .entries
+            .lock()
+            .lookup(&Self::key(principal, capability))
+        {
             Some(&(gen, allowed)) if gen == generation => {
-                self.hits += 1;
+                self.hits.fetch_add(1, Ordering::SeqCst);
                 Some(allowed)
             }
             _ => None,
         }
     }
 
-    fn put(&mut self, principal: &str, capability: &str, generation: u64, allowed: bool) {
-        self.misses += 1;
-        if self.enabled {
+    fn put(&self, principal: &str, capability: &str, generation: u64, allowed: bool) {
+        self.misses.fetch_add(1, Ordering::SeqCst);
+        if self.enabled() {
             self.entries
+                .lock()
                 .store(&Self::key(principal, capability), (generation, allowed));
         }
     }
 
     /// Drops every cached decision.
-    pub fn flush(&mut self) {
-        self.entries.clear();
+    pub fn flush(&self) {
+        self.entries.lock().clear();
     }
 }
 
@@ -99,7 +131,7 @@ fn acl_generation(state: &MoiraState) -> u64 {
 /// callers always fail; a capability whose ACL is the `everybody` list
 /// admits any authenticated principal; otherwise the caller must be a
 /// direct or recursive member of some list the capability is tied to.
-pub fn caller_has_capability(state: &mut MoiraState, caller: &Caller, capability: &str) -> bool {
+pub fn caller_has_capability(state: &MoiraState, caller: &Caller, capability: &str) -> bool {
     if caller.is_privileged() {
         return true;
     }
@@ -148,7 +180,7 @@ fn compute_capability(state: &MoiraState, principal: &str, capability: &str) -> 
 /// The registry-level access decision for a query, per its
 /// [`crate::registry::AccessRule`]. Returns `MR_PERM` when denied.
 pub fn enforce(
-    state: &mut MoiraState,
+    state: &MoiraState,
     caller: &Caller,
     rule: crate::registry::AccessRule,
     query_name: &str,
@@ -184,9 +216,9 @@ mod tests {
 
     #[test]
     fn privileged_bypasses_everything() {
-        let mut s = MoiraState::new(moira_common::VClock::new());
+        let s = MoiraState::new(moira_common::VClock::new());
         assert!(caller_has_capability(
-            &mut s,
+            &s,
             &Caller::root("dcm"),
             "anything_at_all"
         ));
@@ -194,9 +226,9 @@ mod tests {
 
     #[test]
     fn anonymous_denied() {
-        let mut s = MoiraState::new(moira_common::VClock::new());
+        let s = MoiraState::new(moira_common::VClock::new());
         assert!(!caller_has_capability(
-            &mut s,
+            &s,
             &Caller::anonymous("x"),
             "add_user"
         ));
@@ -206,13 +238,13 @@ mod tests {
     fn membership_grants_capability() {
         let (mut s, _) = state_with_admin("ops");
         assert!(caller_has_capability(
-            &mut s,
+            &s,
             &Caller::new("ops", "t"),
             "add_user"
         ));
         add_test_user(&mut s, "rando", 7777);
         assert!(!caller_has_capability(
-            &mut s,
+            &s,
             &Caller::new("rando", "t"),
             "add_user"
         ));
@@ -224,7 +256,7 @@ mod tests {
         add_test_user(&mut s, "rando", 7777);
         // get_machine's capability is tied to `everybody` by the seed.
         assert!(caller_has_capability(
-            &mut s,
+            &s,
             &Caller::new("rando", "t"),
             "get_machine"
         ));
@@ -234,14 +266,15 @@ mod tests {
     fn cache_hits_and_invalidation() {
         let (mut s, admin_list) = state_with_admin("ops");
         let caller = Caller::new("ops", "t");
-        caller_has_capability(&mut s, &caller, "add_user");
-        let misses_before = s.access_cache.misses;
-        assert!(caller_has_capability(&mut s, &caller, "add_user"));
+        caller_has_capability(&s, &caller, "add_user");
+        let misses_before = s.access_cache.misses();
+        assert!(caller_has_capability(&s, &caller, "add_user"));
         assert_eq!(
-            s.access_cache.misses, misses_before,
+            s.access_cache.misses(),
+            misses_before,
             "second check was cached"
         );
-        assert!(s.access_cache.hits >= 1);
+        assert!(s.access_cache.hits() >= 1);
         // Mutating membership invalidates.
         let uid = add_test_user(&mut s, "newbie", 7878);
         s.db.append(
@@ -249,23 +282,24 @@ mod tests {
             vec![admin_list.into(), "USER".into(), uid.into()],
         )
         .unwrap();
-        let hits_before = s.access_cache.hits;
-        assert!(caller_has_capability(&mut s, &caller, "add_user"));
+        let hits_before = s.access_cache.hits();
+        assert!(caller_has_capability(&s, &caller, "add_user"));
         assert_eq!(
-            s.access_cache.hits, hits_before,
+            s.access_cache.hits(),
+            hits_before,
             "generation changed, recomputed"
         );
     }
 
     #[test]
     fn cache_disable_ablation() {
-        let (mut s, _) = state_with_admin("ops");
-        s.access_cache.enabled = false;
+        let (s, _) = state_with_admin("ops");
+        s.access_cache.set_enabled(false);
         let caller = Caller::new("ops", "t");
-        caller_has_capability(&mut s, &caller, "add_user");
-        caller_has_capability(&mut s, &caller, "add_user");
-        assert_eq!(s.access_cache.hits, 0);
-        assert_eq!(s.access_cache.misses, 2);
+        caller_has_capability(&s, &caller, "add_user");
+        caller_has_capability(&s, &caller, "add_user");
+        assert_eq!(s.access_cache.hits(), 0);
+        assert_eq!(s.access_cache.misses(), 2);
     }
 
     #[test]
@@ -274,9 +308,9 @@ mod tests {
         add_test_user(&mut s, "babette", 6530);
         let rule = crate::registry::AccessRule::QueryAclOrSelf(0);
         let me = Caller::new("babette", "chsh");
-        assert!(enforce(&mut s, &me, rule, "update_user_shell", &["babette".into()]).is_ok());
+        assert!(enforce(&s, &me, rule, "update_user_shell", &["babette".into()]).is_ok());
         assert_eq!(
-            enforce(&mut s, &me, rule, "update_user_shell", &["other".into()]),
+            enforce(&s, &me, rule, "update_user_shell", &["other".into()]),
             Err(MrError::Perm)
         );
     }
@@ -294,7 +328,7 @@ mod tests {
         )
         .unwrap();
         assert!(caller_has_capability(
-            &mut s,
+            &s,
             &Caller::new("deputy", "t"),
             "add_user"
         ));

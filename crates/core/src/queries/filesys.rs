@@ -5,7 +5,7 @@ use moira_db::{Pred, RowId, Value};
 
 use crate::ace::{list_id_of, user_in_list, users_id_of};
 use crate::ids::alloc_id;
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::state::{Caller, MoiraState};
 
 use super::helpers::*;
@@ -51,7 +51,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["name"],
             returns: FS_RETURNS,
-            handler: get_filesys_by_label,
+            handler: Handler::Read(get_filesys_by_label),
         },
         QueryHandle {
             name: "get_filesys_by_machine",
@@ -60,7 +60,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["machine"],
             returns: FS_RETURNS,
-            handler: get_filesys_by_machine,
+            handler: Handler::Read(get_filesys_by_machine),
         },
         QueryHandle {
             name: "get_filesys_by_nfsphys",
@@ -69,7 +69,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["machine", "partition"],
             returns: FS_RETURNS,
-            handler: get_filesys_by_nfsphys,
+            handler: Handler::Read(get_filesys_by_nfsphys),
         },
         QueryHandle {
             name: "get_filesys_by_group",
@@ -78,7 +78,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["list"],
             returns: FS_RETURNS,
-            handler: get_filesys_by_group,
+            handler: Handler::Read(get_filesys_by_group),
         },
         QueryHandle {
             name: "add_filesys",
@@ -99,7 +99,7 @@ pub fn register(r: &mut Registry) {
                 "lockertype",
             ],
             returns: &[],
-            handler: add_filesys,
+            handler: Handler::Write(add_filesys),
         },
         QueryHandle {
             name: "update_filesys",
@@ -121,7 +121,7 @@ pub fn register(r: &mut Registry) {
                 "lockertype",
             ],
             returns: &[],
-            handler: update_filesys,
+            handler: Handler::Write(update_filesys),
         },
         QueryHandle {
             name: "delete_filesys",
@@ -130,7 +130,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name"],
             returns: &[],
-            handler: delete_filesys,
+            handler: Handler::Write(delete_filesys),
         },
         QueryHandle {
             name: "get_all_nfsphys",
@@ -139,7 +139,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &[],
             returns: NFSPHYS_RETURNS,
-            handler: get_all_nfsphys,
+            handler: Handler::Read(get_all_nfsphys),
         },
         QueryHandle {
             name: "get_nfsphys",
@@ -148,7 +148,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["machine", "dir"],
             returns: NFSPHYS_RETURNS,
-            handler: get_nfsphys,
+            handler: Handler::Read(get_nfsphys),
         },
         QueryHandle {
             name: "add_nfsphys",
@@ -164,7 +164,7 @@ pub fn register(r: &mut Registry) {
                 "size",
             ],
             returns: &[],
-            handler: add_nfsphys,
+            handler: Handler::Write(add_nfsphys),
         },
         QueryHandle {
             name: "update_nfsphys",
@@ -180,7 +180,7 @@ pub fn register(r: &mut Registry) {
                 "size",
             ],
             returns: &[],
-            handler: update_nfsphys,
+            handler: Handler::Write(update_nfsphys),
         },
         QueryHandle {
             name: "adjust_nfsphys_allocation",
@@ -189,7 +189,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["machine", "directory", "delta"],
             returns: &[],
-            handler: adjust_nfsphys_allocation,
+            handler: Handler::Write(adjust_nfsphys_allocation),
         },
         QueryHandle {
             name: "delete_nfsphys",
@@ -198,7 +198,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["machine", "directory"],
             returns: &[],
-            handler: delete_nfsphys,
+            handler: Handler::Write(delete_nfsphys),
         },
         QueryHandle {
             name: "get_nfs_quota",
@@ -216,7 +216,7 @@ pub fn register(r: &mut Registry) {
                 "modby",
                 "modwith",
             ],
-            handler: get_nfs_quota,
+            handler: Handler::Read(get_nfs_quota),
         },
         QueryHandle {
             name: "get_nfs_quotas_by_partition",
@@ -225,7 +225,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["machine", "directory"],
             returns: &["filesys", "login", "quota", "directory", "machine"],
-            handler: get_nfs_quotas_by_partition,
+            handler: Handler::Read(get_nfs_quotas_by_partition),
         },
         QueryHandle {
             name: "add_nfs_quota",
@@ -234,7 +234,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["filesystem", "login", "quota"],
             returns: &[],
-            handler: add_nfs_quota,
+            handler: Handler::Write(add_nfs_quota),
         },
         QueryHandle {
             name: "update_nfs_quota",
@@ -243,7 +243,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["filesystem", "login", "quota"],
             returns: &[],
-            handler: update_nfs_quota,
+            handler: Handler::Write(update_nfs_quota),
         },
         QueryHandle {
             name: "delete_nfs_quota",
@@ -252,7 +252,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["filesystem", "login"],
             returns: &[],
-            handler: delete_nfs_quota,
+            handler: Handler::Write(delete_nfs_quota),
         },
     ];
     for q in qs {
@@ -281,7 +281,7 @@ fn render_filesys(state: &MoiraState, row: RowId) -> Vec<String> {
 }
 
 fn get_filesys_by_label(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -298,7 +298,7 @@ fn get_filesys_by_label(
 }
 
 fn get_filesys_by_machine(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -317,7 +317,7 @@ fn get_filesys_by_machine(
 }
 
 fn get_filesys_by_nfsphys(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -349,7 +349,7 @@ fn get_filesys_by_nfsphys(
 }
 
 fn get_filesys_by_group(
-    state: &mut MoiraState,
+    state: &MoiraState,
     c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -570,11 +570,7 @@ fn render_nfsphys(state: &MoiraState, row: RowId) -> Vec<String> {
     ]
 }
 
-fn get_all_nfsphys(
-    state: &mut MoiraState,
-    _c: &Caller,
-    _a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_all_nfsphys(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let ids = state.db.select("nfsphys", &Pred::True);
     if ids.is_empty() {
         return Err(MrError::NoMatch);
@@ -585,7 +581,7 @@ fn get_all_nfsphys(
         .collect())
 }
 
-fn get_nfsphys(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_nfsphys(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let mrow = one_machine(state, &a[0])?;
     let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
     let mut out = Vec::new();
@@ -740,7 +736,7 @@ fn quota_tuple(state: &MoiraState, qrow: RowId, with_mod: bool) -> Vec<String> {
     out
 }
 
-fn get_nfs_quota(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_nfs_quota(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let users_id = users_id_of(&state.db, &a[1])?;
     // Owner of the target filesystem or the query ACL; a user may also see
     // their own quotas.
@@ -779,7 +775,7 @@ fn get_nfs_quota(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<V
 }
 
 fn get_nfs_quotas_by_partition(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {

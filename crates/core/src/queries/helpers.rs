@@ -201,8 +201,9 @@ pub fn intern_string(state: &mut MoiraState, s: &str) -> MrResult<i64> {
 }
 
 /// True if the caller holds the named query capability (wraps the access
-/// module for handler-internal checks).
-pub fn on_query_acl(state: &mut MoiraState, caller: &Caller, query: &str) -> bool {
+/// module for handler-internal checks). Shared state suffices: access
+/// decisions mutate nothing beyond the interior-mutable cache.
+pub fn on_query_acl(state: &MoiraState, caller: &Caller, query: &str) -> bool {
     crate::access::caller_has_capability(state, caller, query)
 }
 

@@ -10,7 +10,7 @@ use moira_db::{Pred, RowId, Value};
 
 use crate::ace::{list_id_of, resolve_ace, user_in_list, users_id_of, Ace};
 use crate::ids::alloc_id;
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::schema::UNIQUE_GID;
 use crate::state::{Caller, MoiraState};
 
@@ -44,7 +44,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["list"],
             returns: LIST_INFO,
-            handler: get_list_info,
+            handler: Handler::Read(get_list_info),
         },
         QueryHandle {
             name: "expand_list_names",
@@ -53,7 +53,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["list"],
             returns: &["list"],
-            handler: expand_list_names,
+            handler: Handler::Read(expand_list_names),
         },
         QueryHandle {
             name: "add_list",
@@ -73,7 +73,7 @@ pub fn register(r: &mut Registry) {
                 "description",
             ],
             returns: &[],
-            handler: add_list,
+            handler: Handler::Write(add_list),
         },
         QueryHandle {
             name: "update_list",
@@ -94,7 +94,7 @@ pub fn register(r: &mut Registry) {
                 "description",
             ],
             returns: &[],
-            handler: update_list,
+            handler: Handler::Write(update_list),
         },
         QueryHandle {
             name: "delete_list",
@@ -103,7 +103,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["list"],
             returns: &[],
-            handler: delete_list,
+            handler: Handler::Write(delete_list),
         },
         QueryHandle {
             name: "add_member_to_list",
@@ -112,7 +112,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["list", "type", "member"],
             returns: &[],
-            handler: add_member_to_list,
+            handler: Handler::Write(add_member_to_list),
         },
         QueryHandle {
             name: "delete_member_from_list",
@@ -121,7 +121,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["list", "type", "member"],
             returns: &[],
-            handler: delete_member_from_list,
+            handler: Handler::Write(delete_member_from_list),
         },
         QueryHandle {
             name: "get_ace_use",
@@ -130,7 +130,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["ace_type", "ace_name"],
             returns: &["object_type", "object_name"],
-            handler: get_ace_use,
+            handler: Handler::Read(get_ace_use),
         },
         QueryHandle {
             name: "qualified_get_lists",
@@ -139,7 +139,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["active", "public", "hidden", "maillist", "group"],
             returns: &["list"],
-            handler: qualified_get_lists,
+            handler: Handler::Read(qualified_get_lists),
         },
         QueryHandle {
             name: "get_members_of_list",
@@ -148,7 +148,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["list"],
             returns: &["type", "value"],
-            handler: get_members_of_list,
+            handler: Handler::Read(get_members_of_list),
         },
         QueryHandle {
             name: "get_lists_of_member",
@@ -157,7 +157,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["type", "value"],
             returns: &["list", "active", "public", "hidden", "maillist", "group"],
-            handler: get_lists_of_member,
+            handler: Handler::Read(get_lists_of_member),
         },
         QueryHandle {
             name: "count_members_of_list",
@@ -166,7 +166,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["list"],
             returns: &["count"],
-            handler: count_members_of_list,
+            handler: Handler::Read(count_members_of_list),
         },
     ];
     for q in qs {
@@ -211,7 +211,7 @@ fn caller_on_list_ace(state: &MoiraState, c: &Caller, row: RowId) -> bool {
     )
 }
 
-fn get_list_info(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_list_info(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let on_acl = on_query_acl(state, c, "get_list_info");
     if !on_acl {
         // Wildcards only for privileged callers.
@@ -250,11 +250,7 @@ impl RenameList for Pred {
     }
 }
 
-fn expand_list_names(
-    state: &mut MoiraState,
-    c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn expand_list_names(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let on_acl = on_query_acl(state, c, "expand_list_names");
     let ids = state.db.select("list", &Pred::name_match("name", &a[0]));
     let mut out = Vec::new();
@@ -639,7 +635,7 @@ fn list_in_list(db: &moira_db::Database, inner: i64, outer: i64) -> bool {
     walk(db, inner, outer, 0, &mut Vec::new())
 }
 
-fn get_ace_use(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_ace_use(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let recursive = a[0].to_ascii_uppercase().starts_with('R');
     let target = match a[0].to_ascii_uppercase().as_str() {
         "USER" | "RUSER" => AceTarget::User {
@@ -741,11 +737,7 @@ fn get_ace_use(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec
     Ok(out)
 }
 
-fn qualified_get_lists(
-    state: &mut MoiraState,
-    c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn qualified_get_lists(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let active = parse_tristate(&a[0])?;
     let public = parse_tristate(&a[1])?;
     let hidden = parse_tristate(&a[2])?;
@@ -774,16 +766,12 @@ fn qualified_get_lists(
     Ok(out)
 }
 
-fn may_see_members(state: &mut MoiraState, c: &Caller, row: RowId, query: &str) -> bool {
+fn may_see_members(state: &MoiraState, c: &Caller, row: RowId, query: &str) -> bool {
     let hidden = state.db.cell("list", row, "hidden").as_bool();
     !hidden || caller_on_list_ace(state, c, row) || on_query_acl(state, c, query)
 }
 
-fn get_members_of_list(
-    state: &mut MoiraState,
-    c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_members_of_list(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let row = one_list(state, &a[0])?;
     if !may_see_members(state, c, row, "get_members_of_list") {
         return Err(MrError::Perm);
@@ -808,11 +796,7 @@ fn get_members_of_list(
     Ok(out)
 }
 
-fn get_lists_of_member(
-    state: &mut MoiraState,
-    c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_lists_of_member(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let upper = a[0].to_ascii_uppercase();
     let recursive = upper.starts_with('R');
     let base_type = upper.trim_start_matches('R').to_owned();
@@ -894,7 +878,7 @@ fn get_lists_of_member(
 }
 
 fn count_members_of_list(
-    state: &mut MoiraState,
+    state: &MoiraState,
     c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {

@@ -5,7 +5,7 @@ use moira_common::strutil::canonicalize_hostname;
 use moira_db::Pred;
 
 use crate::ids::alloc_id;
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::state::{Caller, MoiraState};
 
 use super::helpers::*;
@@ -25,7 +25,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["name"],
             returns: MACHINE_FIELDS,
-            handler: get_machine,
+            handler: Handler::Read(get_machine),
         },
         QueryHandle {
             name: "add_machine",
@@ -34,7 +34,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name", "type"],
             returns: &[],
-            handler: add_machine,
+            handler: Handler::Write(add_machine),
         },
         QueryHandle {
             name: "update_machine",
@@ -43,7 +43,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name", "newname", "type"],
             returns: &[],
-            handler: update_machine,
+            handler: Handler::Write(update_machine),
         },
         QueryHandle {
             name: "delete_machine",
@@ -52,7 +52,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name"],
             returns: &[],
-            handler: delete_machine,
+            handler: Handler::Write(delete_machine),
         },
         QueryHandle {
             name: "get_cluster",
@@ -61,7 +61,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["name"],
             returns: CLUSTER_FIELDS,
-            handler: get_cluster,
+            handler: Handler::Read(get_cluster),
         },
         QueryHandle {
             name: "add_cluster",
@@ -70,7 +70,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name", "description", "location"],
             returns: &[],
-            handler: add_cluster,
+            handler: Handler::Write(add_cluster),
         },
         QueryHandle {
             name: "update_cluster",
@@ -79,7 +79,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name", "newname", "description", "location"],
             returns: &[],
-            handler: update_cluster,
+            handler: Handler::Write(update_cluster),
         },
         QueryHandle {
             name: "delete_cluster",
@@ -88,7 +88,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name"],
             returns: &[],
-            handler: delete_cluster,
+            handler: Handler::Write(delete_cluster),
         },
         QueryHandle {
             name: "get_machine_to_cluster_map",
@@ -97,7 +97,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["machine", "cluster"],
             returns: &["machine", "cluster"],
-            handler: get_machine_to_cluster_map,
+            handler: Handler::Read(get_machine_to_cluster_map),
         },
         QueryHandle {
             name: "add_machine_to_cluster",
@@ -106,7 +106,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["machine", "cluster"],
             returns: &[],
-            handler: add_machine_to_cluster,
+            handler: Handler::Write(add_machine_to_cluster),
         },
         QueryHandle {
             name: "delete_machine_from_cluster",
@@ -115,7 +115,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["machine", "cluster"],
             returns: &[],
-            handler: delete_machine_from_cluster,
+            handler: Handler::Write(delete_machine_from_cluster),
         },
         QueryHandle {
             name: "get_cluster_data",
@@ -124,7 +124,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["cluster", "label"],
             returns: &["cluster", "label", "data"],
-            handler: get_cluster_data,
+            handler: Handler::Read(get_cluster_data),
         },
         QueryHandle {
             name: "add_cluster_data",
@@ -133,7 +133,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["cluster", "label", "data"],
             returns: &[],
-            handler: add_cluster_data,
+            handler: Handler::Write(add_cluster_data),
         },
         QueryHandle {
             name: "delete_cluster_data",
@@ -142,7 +142,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["cluster", "label", "data"],
             returns: &[],
-            handler: delete_cluster_data,
+            handler: Handler::Write(delete_cluster_data),
         },
     ];
     for q in qs {
@@ -150,7 +150,7 @@ pub fn register(r: &mut Registry) {
     }
 }
 
-fn get_machine(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_machine(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let ids = state
         .db
         .select("machine", &Pred::name_match_ci("name", a[0].trim()));
@@ -268,7 +268,7 @@ fn delete_machine(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult
     Ok(Vec::new())
 }
 
-fn get_cluster(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_cluster(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let ids = state.db.select("cluster", &Pred::name_match("name", &a[0]));
     if ids.is_empty() {
         return Err(MrError::NoMatch);
@@ -360,7 +360,7 @@ fn delete_cluster(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult
 }
 
 fn get_machine_to_cluster_map(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -455,11 +455,7 @@ fn delete_machine_from_cluster(
     Ok(Vec::new())
 }
 
-fn get_cluster_data(
-    state: &mut MoiraState,
-    _c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_cluster_data(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let mut out = Vec::new();
     for (row, _) in state.db.table("svc").iter() {
         let clu_id = state.db.cell("svc", row, "clu_id").as_int();

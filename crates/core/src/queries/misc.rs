@@ -5,7 +5,7 @@ use moira_common::errors::{MrError, MrResult};
 use moira_db::{Pred, RowId};
 
 use crate::ace::{render_ace, resolve_ace};
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::state::{Caller, MoiraState};
 
 use super::helpers::*;
@@ -24,7 +24,7 @@ pub fn register(r: &mut Registry) {
             returns: &[
                 "machine", "ace_type", "ace_name", "modtime", "modby", "modwith",
             ],
-            handler: get_server_host_access,
+            handler: Handler::Read(get_server_host_access),
         },
         QueryHandle {
             name: "add_server_host_access",
@@ -33,7 +33,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["machine", "ace_type", "ace_name"],
             returns: &[],
-            handler: add_server_host_access,
+            handler: Handler::Write(add_server_host_access),
         },
         QueryHandle {
             name: "update_server_host_access",
@@ -42,7 +42,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["machine", "ace_type", "ace_name"],
             returns: &[],
-            handler: update_server_host_access,
+            handler: Handler::Write(update_server_host_access),
         },
         QueryHandle {
             name: "delete_server_host_access",
@@ -51,7 +51,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["machine"],
             returns: &[],
-            handler: delete_server_host_access,
+            handler: Handler::Write(delete_server_host_access),
         },
         QueryHandle {
             name: "get_service",
@@ -62,7 +62,7 @@ pub fn register(r: &mut Registry) {
             returns: &[
                 "service", "protocol", "port", "desc", "modtime", "modby", "modwith",
             ],
-            handler: get_service,
+            handler: Handler::Read(get_service),
         },
         QueryHandle {
             name: "add_service",
@@ -71,7 +71,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["service", "protocol", "port", "description"],
             returns: &[],
-            handler: add_service,
+            handler: Handler::Write(add_service),
         },
         QueryHandle {
             name: "delete_service",
@@ -80,7 +80,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["service"],
             returns: &[],
-            handler: delete_service,
+            handler: Handler::Write(delete_service),
         },
         QueryHandle {
             name: "get_printcap",
@@ -98,7 +98,7 @@ pub fn register(r: &mut Registry) {
                 "modby",
                 "modwith",
             ],
-            handler: get_printcap,
+            handler: Handler::Read(get_printcap),
         },
         QueryHandle {
             name: "add_printcap",
@@ -113,7 +113,7 @@ pub fn register(r: &mut Registry) {
                 "comments",
             ],
             returns: &[],
-            handler: add_printcap,
+            handler: Handler::Write(add_printcap),
         },
         QueryHandle {
             name: "delete_printcap",
@@ -122,7 +122,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["printer"],
             returns: &[],
-            handler: delete_printcap,
+            handler: Handler::Write(delete_printcap),
         },
         QueryHandle {
             name: "get_alias",
@@ -131,7 +131,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["name", "type", "translation"],
             returns: &["name", "type", "translation"],
-            handler: get_alias,
+            handler: Handler::Read(get_alias),
         },
         QueryHandle {
             name: "add_alias",
@@ -140,7 +140,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name", "type", "translation"],
             returns: &[],
-            handler: add_alias,
+            handler: Handler::Write(add_alias),
         },
         QueryHandle {
             name: "delete_alias",
@@ -149,7 +149,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["name", "type", "translation"],
             returns: &[],
-            handler: delete_alias,
+            handler: Handler::Write(delete_alias),
         },
         QueryHandle {
             name: "get_value",
@@ -158,7 +158,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["variable"],
             returns: &["value"],
-            handler: get_value,
+            handler: Handler::Read(get_value),
         },
         QueryHandle {
             name: "add_value",
@@ -167,7 +167,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["variable", "value"],
             returns: &[],
-            handler: add_value,
+            handler: Handler::Write(add_value),
         },
         QueryHandle {
             name: "update_value",
@@ -176,7 +176,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["variable", "value"],
             returns: &[],
-            handler: update_value,
+            handler: Handler::Write(update_value),
         },
         QueryHandle {
             name: "delete_value",
@@ -185,7 +185,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["variable"],
             returns: &[],
-            handler: delete_value,
+            handler: Handler::Write(delete_value),
         },
         QueryHandle {
             name: "get_all_table_stats",
@@ -201,7 +201,7 @@ pub fn register(r: &mut Registry) {
                 "deletes",
                 "modtime",
             ],
-            handler: get_all_table_stats,
+            handler: Handler::Read(get_all_table_stats),
         },
     ];
     for q in qs {
@@ -210,7 +210,7 @@ pub fn register(r: &mut Registry) {
 }
 
 fn get_server_host_access(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -315,7 +315,7 @@ fn delete_server_host_access(
     Ok(Vec::new())
 }
 
-fn get_service(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_service(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let ids = state
         .db
         .select("services", &Pred::name_match("name", &a[0]));
@@ -372,7 +372,7 @@ fn delete_service(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult
     Ok(Vec::new())
 }
 
-fn get_printcap(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_printcap(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let ids = state
         .db
         .select("printcap", &Pred::name_match("name", &a[0]));
@@ -437,7 +437,7 @@ fn delete_printcap(
     Ok(Vec::new())
 }
 
-fn get_alias(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_alias(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let pred = Pred::name_match("name", &a[0])
         .and(Pred::name_match_ci("type", &a[1]))
         .and(Pred::name_match("trans", &a[2]));
@@ -484,7 +484,7 @@ fn delete_alias(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<V
     Ok(Vec::new())
 }
 
-fn get_value(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_value(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     match state.get_value(&a[0]) {
         Some(v) => Ok(vec![vec![v.to_string()]]),
         None => Err(MrError::NoMatch),
@@ -520,7 +520,7 @@ fn delete_value(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<V
 }
 
 fn get_all_table_stats(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     _a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {

@@ -3,7 +3,7 @@
 use moira_common::errors::{MrError, MrResult};
 use moira_db::Pred;
 
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::state::{Caller, MoiraState};
 
 use super::helpers::*;
@@ -21,7 +21,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAclOrSelf(0),
             args: &["login"],
             returns: &["login", "type", "box", "modtime", "modby", "modwith"],
-            handler: get_pobox,
+            handler: Handler::Read(get_pobox),
         },
         QueryHandle {
             name: "get_all_poboxes",
@@ -30,7 +30,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &[],
             returns: &["login", "type", "box"],
-            handler: get_all_poboxes,
+            handler: Handler::Read(get_all_poboxes),
         },
         QueryHandle {
             name: "get_poboxes_pop",
@@ -39,7 +39,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &[],
             returns: &["login", "type", "machine"],
-            handler: get_poboxes_pop,
+            handler: Handler::Read(get_poboxes_pop),
         },
         QueryHandle {
             name: "get_poboxes_smtp",
@@ -48,7 +48,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &[],
             returns: &["login", "type", "box"],
-            handler: get_poboxes_smtp,
+            handler: Handler::Read(get_poboxes_smtp),
         },
         QueryHandle {
             name: "set_pobox",
@@ -57,7 +57,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAclOrSelf(0),
             args: &["login", "type", "box"],
             returns: &[],
-            handler: set_pobox,
+            handler: Handler::Write(set_pobox),
         },
         QueryHandle {
             name: "set_pobox_pop",
@@ -66,7 +66,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAclOrSelf(0),
             args: &["login"],
             returns: &[],
-            handler: set_pobox_pop,
+            handler: Handler::Write(set_pobox_pop),
         },
         QueryHandle {
             name: "delete_pobox",
@@ -75,7 +75,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAclOrSelf(0),
             args: &["login"],
             returns: &[],
-            handler: delete_pobox,
+            handler: Handler::Write(delete_pobox),
         },
     ];
     for q in qs {
@@ -96,7 +96,7 @@ fn render_box(state: &MoiraState, row: moira_db::RowId) -> (String, String) {
     (potype, boxval)
 }
 
-fn get_pobox(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_pobox(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let (row, _) = user_row_and_id(state, &a[0])?;
     let login = state.db.cell("users", row, "login").render();
     let (potype, boxval) = render_box(state, row);
@@ -131,27 +131,15 @@ fn poboxes_where(state: &MoiraState, want: Option<&str>) -> Vec<Vec<String>> {
         .collect()
 }
 
-fn get_all_poboxes(
-    state: &mut MoiraState,
-    _c: &Caller,
-    _a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_all_poboxes(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
     Ok(poboxes_where(state, None))
 }
 
-fn get_poboxes_pop(
-    state: &mut MoiraState,
-    _c: &Caller,
-    _a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_poboxes_pop(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
     Ok(poboxes_where(state, Some("POP")))
 }
 
-fn get_poboxes_smtp(
-    state: &mut MoiraState,
-    _c: &Caller,
-    _a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_poboxes_smtp(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
     Ok(poboxes_where(state, Some("SMTP")))
 }
 

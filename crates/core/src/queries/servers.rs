@@ -4,7 +4,7 @@ use moira_common::errors::{MrError, MrResult};
 use moira_db::{Pred, RowId, Value};
 
 use crate::ace::{render_ace, resolve_ace};
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::state::{Caller, MoiraState};
 
 use super::helpers::*;
@@ -38,7 +38,7 @@ pub fn register(r: &mut Registry) {
                 "modby",
                 "modwith",
             ],
-            handler: get_server_info,
+            handler: Handler::Read(get_server_info),
         },
         QueryHandle {
             name: "qualified_get_server",
@@ -47,7 +47,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["enable", "inprogress", "harderror"],
             returns: &["service"],
-            handler: qualified_get_server,
+            handler: Handler::Read(qualified_get_server),
         },
         QueryHandle {
             name: "add_server_info",
@@ -58,7 +58,7 @@ pub fn register(r: &mut Registry) {
                 "service", "interval", "target", "script", "type", "enable", "ace_type", "ace_name",
             ],
             returns: &[],
-            handler: add_server_info,
+            handler: Handler::Write(add_server_info),
         },
         QueryHandle {
             name: "update_server_info",
@@ -69,7 +69,7 @@ pub fn register(r: &mut Registry) {
                 "service", "interval", "target", "script", "type", "enable", "ace_type", "ace_name",
             ],
             returns: &[],
-            handler: update_server_info,
+            handler: Handler::Write(update_server_info),
         },
         QueryHandle {
             name: "reset_server_error",
@@ -78,7 +78,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["service"],
             returns: &[],
-            handler: reset_server_error,
+            handler: Handler::Write(reset_server_error),
         },
         QueryHandle {
             name: "set_server_internal_flags",
@@ -94,7 +94,7 @@ pub fn register(r: &mut Registry) {
                 "errmsg",
             ],
             returns: &[],
-            handler: set_server_internal_flags,
+            handler: Handler::Write(set_server_internal_flags),
         },
         QueryHandle {
             name: "delete_server_info",
@@ -103,7 +103,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["service"],
             returns: &[],
-            handler: delete_server_info,
+            handler: Handler::Write(delete_server_info),
         },
         QueryHandle {
             name: "get_server_host_info",
@@ -129,7 +129,7 @@ pub fn register(r: &mut Registry) {
                 "modby",
                 "modwith",
             ],
-            handler: get_server_host_info,
+            handler: Handler::Read(get_server_host_info),
         },
         QueryHandle {
             name: "qualified_get_server_host",
@@ -145,7 +145,7 @@ pub fn register(r: &mut Registry) {
                 "hosterror",
             ],
             returns: &["service", "machine"],
-            handler: qualified_get_server_host,
+            handler: Handler::Read(qualified_get_server_host),
         },
         QueryHandle {
             name: "add_server_host_info",
@@ -154,7 +154,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["service", "machine", "enable", "value1", "value2", "value3"],
             returns: &[],
-            handler: add_server_host_info,
+            handler: Handler::Write(add_server_host_info),
         },
         QueryHandle {
             name: "update_server_host_info",
@@ -163,7 +163,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["service", "machine", "enable", "value1", "value2", "value3"],
             returns: &[],
-            handler: update_server_host_info,
+            handler: Handler::Write(update_server_host_info),
         },
         QueryHandle {
             name: "reset_server_host_error",
@@ -172,7 +172,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["service", "machine"],
             returns: &[],
-            handler: reset_server_host_error,
+            handler: Handler::Write(reset_server_host_error),
         },
         QueryHandle {
             name: "set_server_host_override",
@@ -181,7 +181,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["service", "machine"],
             returns: &[],
-            handler: set_server_host_override,
+            handler: Handler::Write(set_server_host_override),
         },
         QueryHandle {
             name: "set_server_host_internal",
@@ -200,7 +200,7 @@ pub fn register(r: &mut Registry) {
                 "lastsuccess",
             ],
             returns: &[],
-            handler: set_server_host_internal,
+            handler: Handler::Write(set_server_host_internal),
         },
         QueryHandle {
             name: "delete_server_host_info",
@@ -209,7 +209,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["service", "machine"],
             returns: &[],
-            handler: delete_server_host_info,
+            handler: Handler::Write(delete_server_host_info),
         },
         QueryHandle {
             name: "get_server_locations",
@@ -218,7 +218,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["service"],
             returns: &["service", "machine"],
-            handler: get_server_locations,
+            handler: Handler::Read(get_server_locations),
         },
     ];
     for q in qs {
@@ -274,7 +274,7 @@ fn render_server(state: &MoiraState, row: RowId) -> Vec<String> {
     ]
 }
 
-fn get_server_info(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_server_info(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let name = a[0].to_ascii_uppercase();
     let ids = state
         .db
@@ -293,7 +293,7 @@ fn get_server_info(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult
 }
 
 fn qualified_get_server(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -491,7 +491,7 @@ fn render_server_host(state: &MoiraState, row: RowId) -> Vec<String> {
 }
 
 fn get_server_host_info(
-    state: &mut MoiraState,
+    state: &MoiraState,
     c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -518,7 +518,7 @@ fn get_server_host_info(
 }
 
 fn qualified_get_server_host(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -752,7 +752,7 @@ fn delete_server_host_info(
 }
 
 fn get_server_locations(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {

@@ -8,7 +8,7 @@
 
 use moira_common::errors::{MrError, MrResult};
 
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::state::{Caller, MoiraState};
 
 /// Registers the special queries.
@@ -23,7 +23,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &["query"],
             returns: &["help_message"],
-            handler: intercepted,
+            handler: Handler::Read(intercepted),
         },
         QueryHandle {
             name: "_list_queries",
@@ -32,7 +32,7 @@ pub fn register(r: &mut Registry) {
             access: Public,
             args: &[],
             returns: &["long_query_name", "short_query_name"],
-            handler: intercepted,
+            handler: Handler::Read(intercepted),
         },
         QueryHandle {
             name: "_list_users",
@@ -47,7 +47,7 @@ pub fn register(r: &mut Registry) {
                 "connect_time",
                 "client_number",
             ],
-            handler: list_users,
+            handler: Handler::Read(list_users),
         },
     ];
     for q in qs {
@@ -56,11 +56,11 @@ pub fn register(r: &mut Registry) {
 }
 
 /// Placeholder for registry-intercepted queries; never invoked.
-fn intercepted(_s: &mut MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn intercepted(_s: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
     Err(MrError::Internal)
 }
 
-fn list_users(state: &mut MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn list_users(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
     Ok(state
         .clients
         .iter()

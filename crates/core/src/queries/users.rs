@@ -4,7 +4,7 @@ use moira_common::errors::{MrError, MrResult};
 use moira_db::{Pred, RowId, Value};
 
 use crate::ids::alloc_id;
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::schema::{user_status, MAX_LOGIN_LEN, UNIQUE_LOGIN, UNIQUE_UID};
 use crate::state::{Caller, MoiraState};
 
@@ -47,7 +47,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &[],
             returns: SUMMARY,
-            handler: get_all_logins,
+            handler: Handler::Read(get_all_logins),
         },
         QueryHandle {
             name: "get_all_active_logins",
@@ -56,7 +56,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &[],
             returns: SUMMARY,
-            handler: get_all_active_logins,
+            handler: Handler::Read(get_all_active_logins),
         },
         QueryHandle {
             name: "get_user_by_login",
@@ -65,7 +65,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAclOrSelf(0),
             args: &["login"],
             returns: FULL,
-            handler: get_user_by_login,
+            handler: Handler::Read(get_user_by_login),
         },
         QueryHandle {
             name: "get_user_by_uid",
@@ -74,7 +74,7 @@ pub fn register(r: &mut Registry) {
             access: Custom,
             args: &["uid"],
             returns: FULL,
-            handler: get_user_by_uid,
+            handler: Handler::Read(get_user_by_uid),
         },
         QueryHandle {
             name: "get_user_by_name",
@@ -83,7 +83,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["first", "last"],
             returns: FULL,
-            handler: get_user_by_name,
+            handler: Handler::Read(get_user_by_name),
         },
         QueryHandle {
             name: "get_user_by_class",
@@ -92,7 +92,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["class"],
             returns: FULL,
-            handler: get_user_by_class,
+            handler: Handler::Read(get_user_by_class),
         },
         QueryHandle {
             name: "get_user_by_mitid",
@@ -101,7 +101,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["mitid"],
             returns: FULL,
-            handler: get_user_by_mitid,
+            handler: Handler::Read(get_user_by_mitid),
         },
         QueryHandle {
             name: "add_user",
@@ -112,7 +112,7 @@ pub fn register(r: &mut Registry) {
                 "login", "uid", "shell", "last", "first", "middle", "state", "mitid", "class",
             ],
             returns: &[],
-            handler: add_user,
+            handler: Handler::Write(add_user),
         },
         QueryHandle {
             name: "register_user",
@@ -121,7 +121,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["uid", "login", "fstype"],
             returns: &[],
-            handler: register_user,
+            handler: Handler::Write(register_user),
         },
         QueryHandle {
             name: "update_user",
@@ -133,7 +133,7 @@ pub fn register(r: &mut Registry) {
                 "class",
             ],
             returns: &[],
-            handler: update_user,
+            handler: Handler::Write(update_user),
         },
         QueryHandle {
             name: "update_user_shell",
@@ -142,7 +142,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAclOrSelf(0),
             args: &["login", "shell"],
             returns: &[],
-            handler: update_user_shell,
+            handler: Handler::Write(update_user_shell),
         },
         QueryHandle {
             name: "update_user_status",
@@ -151,7 +151,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["login", "status"],
             returns: &[],
-            handler: update_user_status,
+            handler: Handler::Write(update_user_status),
         },
         QueryHandle {
             name: "delete_user",
@@ -160,7 +160,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["login"],
             returns: &[],
-            handler: delete_user,
+            handler: Handler::Write(delete_user),
         },
         QueryHandle {
             name: "delete_user_by_uid",
@@ -169,7 +169,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["uid"],
             returns: &[],
-            handler: delete_user_by_uid,
+            handler: Handler::Write(delete_user_by_uid),
         },
         QueryHandle {
             name: "get_finger_by_login",
@@ -178,7 +178,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAclOrSelf(0),
             args: &["login"],
             returns: FINGER,
-            handler: get_finger_by_login,
+            handler: Handler::Read(get_finger_by_login),
         },
         QueryHandle {
             name: "update_finger_by_login",
@@ -197,7 +197,7 @@ pub fn register(r: &mut Registry) {
                 "affiliation",
             ],
             returns: &[],
-            handler: update_finger_by_login,
+            handler: Handler::Write(update_finger_by_login),
         },
     ];
     for q in qs {
@@ -205,11 +205,7 @@ pub fn register(r: &mut Registry) {
     }
 }
 
-fn get_all_logins(
-    state: &mut MoiraState,
-    _c: &Caller,
-    _a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_all_logins(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let ids = state.db.select("users", &Pred::True);
     Ok(ids
         .into_iter()
@@ -218,7 +214,7 @@ fn get_all_logins(
 }
 
 fn get_all_active_logins(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     _a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
@@ -243,15 +239,11 @@ fn retrieve_users(state: &MoiraState, pred: &Pred) -> MrResult<Vec<Vec<String>>>
         .collect())
 }
 
-fn get_user_by_login(
-    state: &mut MoiraState,
-    _c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_user_by_login(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     retrieve_users(state, &Pred::name_match("login", &a[0]))
 }
 
-fn get_user_by_uid(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+fn get_user_by_uid(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let uid = parse_int(&a[0])?;
     let rows = retrieve_users(state, &Pred::Eq("uid", uid.into()))?;
     // "If the person executing the query is not on the query ACL, then the
@@ -266,30 +258,18 @@ fn get_user_by_uid(state: &mut MoiraState, c: &Caller, a: &[String]) -> MrResult
     Ok(rows)
 }
 
-fn get_user_by_name(
-    state: &mut MoiraState,
-    _c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_user_by_name(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     retrieve_users(
         state,
         &Pred::name_match("first", &a[0]).and(Pred::name_match("last", &a[1])),
     )
 }
 
-fn get_user_by_class(
-    state: &mut MoiraState,
-    _c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_user_by_class(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     retrieve_users(state, &Pred::name_match("mit_year", &a[0]))
 }
 
-fn get_user_by_mitid(
-    state: &mut MoiraState,
-    _c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_user_by_mitid(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     retrieve_users(state, &Pred::name_match("mit_id", &a[0]))
 }
 
@@ -714,7 +694,7 @@ fn delete_user_by_uid(
 }
 
 fn get_finger_by_login(
-    state: &mut MoiraState,
+    state: &MoiraState,
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {

@@ -4,7 +4,7 @@ use moira_common::errors::{MrError, MrResult};
 use moira_db::{Pred, RowId};
 
 use crate::ace::{render_ace, resolve_ace, Ace};
-use crate::registry::{AccessRule, QueryHandle, QueryKind, Registry};
+use crate::registry::{AccessRule, Handler, QueryHandle, QueryKind, Registry};
 use crate::state::{Caller, MoiraState};
 
 use super::helpers::*;
@@ -26,7 +26,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["class"],
             returns: RETURNS,
-            handler: get_zephyr_class,
+            handler: Handler::Read(get_zephyr_class),
         },
         QueryHandle {
             name: "add_zephyr_class",
@@ -38,7 +38,7 @@ pub fn register(r: &mut Registry) {
                 "iuitype", "iuiname",
             ],
             returns: &[],
-            handler: add_zephyr_class,
+            handler: Handler::Write(add_zephyr_class),
         },
         QueryHandle {
             name: "update_zephyr_class",
@@ -50,7 +50,7 @@ pub fn register(r: &mut Registry) {
                 "iwsname", "iuitype", "iuiname",
             ],
             returns: &[],
-            handler: update_zephyr_class,
+            handler: Handler::Write(update_zephyr_class),
         },
         QueryHandle {
             name: "delete_zephyr_class",
@@ -59,7 +59,7 @@ pub fn register(r: &mut Registry) {
             access: QueryAcl,
             args: &["class"],
             returns: &[],
-            handler: delete_zephyr_class,
+            handler: Handler::Write(delete_zephyr_class),
         },
     ];
     for q in qs {
@@ -90,11 +90,7 @@ fn render_class(state: &MoiraState, row: RowId) -> Vec<String> {
     out
 }
 
-fn get_zephyr_class(
-    state: &mut MoiraState,
-    _c: &Caller,
-    a: &[String],
-) -> MrResult<Vec<Vec<String>>> {
+fn get_zephyr_class(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
     let ids = state.db.select("zephyr", &Pred::name_match("class", &a[0]));
     if ids.is_empty() {
         return Err(MrError::NoMatch);

@@ -57,8 +57,34 @@ pub enum AccessRule {
     Custom,
 }
 
-/// Handler signature: full state, caller, string arguments → tuples.
-pub type Handler = fn(&mut MoiraState, &Caller, &[String]) -> MrResult<Vec<Vec<String>>>;
+/// Read-tier handler signature: shared state, caller, string arguments →
+/// tuples. The `&MoiraState` makes it a type error for a retrieve to mutate.
+pub type ReadHandler = fn(&MoiraState, &Caller, &[String]) -> MrResult<Vec<Vec<String>>>;
+
+/// Write-tier handler signature: exclusive state access for the
+/// side-effecting classes.
+pub type WriteHandler = fn(&mut MoiraState, &Caller, &[String]) -> MrResult<Vec<Vec<String>>>;
+
+/// A query implementation, split by tier.
+///
+/// `Read` handlers run under the server's shared lock, concurrently with
+/// each other; `Write` handlers serialize under the exclusive lock. The
+/// split is enforced by the compiler: a `Read` handler cannot obtain
+/// `&mut MoiraState` no matter what its body does.
+#[derive(Clone, Copy)]
+pub enum Handler {
+    /// Retrieve-class implementation over shared state.
+    Read(ReadHandler),
+    /// Mutating implementation over exclusive state.
+    Write(WriteHandler),
+}
+
+impl Handler {
+    /// True for the shared-lock tier.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Handler::Read(_))
+    }
+}
 
 /// One predefined query.
 #[derive(Clone, Copy)]
@@ -108,6 +134,13 @@ impl Registry {
     /// Panics on duplicate names — the catalog is static, so duplicates are
     /// build-time bugs.
     pub fn register(&mut self, handle: QueryHandle) {
+        assert_eq!(
+            handle.kind.is_mutation(),
+            matches!(handle.handler, Handler::Write(_)),
+            "query {} registers a {:?} handle on the wrong tier",
+            handle.name,
+            handle.kind,
+        );
         let idx = self.handles.len();
         assert!(
             self.by_name.insert(handle.name, idx).is_none(),
@@ -142,11 +175,18 @@ impl Registry {
         self.handles.is_empty()
     }
 
+    /// True if `name` resolves to a shared-tier (read) handle — the server
+    /// uses this to route a request before taking any lock.
+    pub fn is_read_query(&self, name: &str) -> bool {
+        self.get(name).is_some_and(|h| h.handler.is_read())
+    }
+
     /// The access pre-check behind the `Access` major request: would this
-    /// query be allowed? (Does not execute it.)
+    /// query be allowed? (Does not execute it.) Requires only shared state —
+    /// access decisions never mutate beyond the interior-mutable cache.
     pub fn check_access(
         &self,
-        state: &mut MoiraState,
+        state: &MoiraState,
         caller: &Caller,
         name: &str,
         args: &[String],
@@ -158,8 +198,51 @@ impl Registry {
         access::enforce(state, caller, handle.access, handle.name, args)
     }
 
-    /// Executes a query: arity check, access check, handler, and journaling
-    /// of successful mutations.
+    /// `_help` and `_list_queries` introspect the registry itself, which
+    /// handlers cannot reach; they are answered here. `None` for every other
+    /// query.
+    fn intercept(&self, name: &str, args: &[String]) -> Option<MrResult<Vec<Vec<String>>>> {
+        match name {
+            "_help" => Some(match self.get(&args[0]) {
+                Some(target) => Ok(vec![vec![crate::queries::special::help_message(target)]]),
+                None => Err(MrError::NoHandle),
+            }),
+            "_list_queries" => Some(Ok(self
+                .handles
+                .iter()
+                .map(|h| vec![h.name.to_owned(), h.shortname.to_owned()])
+                .collect())),
+            _ => None,
+        }
+    }
+
+    /// Executes a read-tier query against shared state: arity check, access
+    /// check, handler. Write-class handles are never dispatched here — route
+    /// them through [`Registry::execute`] (returns `MR_INTERNAL` otherwise).
+    pub fn execute_read(
+        &self,
+        state: &MoiraState,
+        caller: &Caller,
+        name: &str,
+        args: &[String],
+    ) -> MrResult<Vec<Vec<String>>> {
+        let handle = self.get(name).ok_or(MrError::NoHandle)?;
+        if args.len() != handle.args.len() {
+            return Err(MrError::Args);
+        }
+        access::enforce(state, caller, handle.access, handle.name, args)?;
+        if let Some(result) = self.intercept(handle.name, args) {
+            return result;
+        }
+        match handle.handler {
+            Handler::Read(f) => f(state, caller, args),
+            Handler::Write(_) => Err(MrError::Internal),
+        }
+    }
+
+    /// Executes a query of either tier: arity check, access check, handler,
+    /// and journaling of successful mutations that actually changed the
+    /// database (validate-only successes are not journaled).
     pub fn execute(
         &self,
         state: &mut MoiraState,
@@ -172,21 +255,15 @@ impl Registry {
             return Err(MrError::Args);
         }
         access::enforce(state, caller, handle.access, handle.name, args)?;
-        // `_help` and `_list_queries` introspect the registry itself, which
-        // handlers cannot reach; they are answered here.
-        let result = match handle.name {
-            "_help" => {
-                let target = self.get(&args[0]).ok_or(MrError::NoHandle)?;
-                vec![vec![crate::queries::special::help_message(target)]]
-            }
-            "_list_queries" => self
-                .handles
-                .iter()
-                .map(|h| vec![h.name.to_owned(), h.shortname.to_owned()])
-                .collect(),
-            _ => (handle.handler)(state, caller, args)?,
+        if let Some(result) = self.intercept(handle.name, args) {
+            return result;
+        }
+        let before = handle.kind.is_mutation().then(|| state.db.mutation_count());
+        let result = match handle.handler {
+            Handler::Read(f) => f(state, caller, args)?,
+            Handler::Write(f) => f(state, caller, args)?,
         };
-        if handle.kind.is_mutation() {
+        if before.is_some_and(|b| state.db.mutation_count() != b) {
             state.journal.log(JournalEntry {
                 time: state.db.now(),
                 who: caller.who().to_owned(),
@@ -288,6 +365,81 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, MrError::Type);
         assert_eq!(s.journal.len(), before);
+    }
+
+    fn noop_write(_s: &mut MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
+        // Validates (vacuously) and reports zero rows changed.
+        Ok(Vec::new())
+    }
+
+    #[test]
+    fn validate_only_mutation_not_journaled() {
+        let mut r = Registry::standard();
+        r.register(QueryHandle {
+            name: "touch_nothing",
+            shortname: "tnth",
+            kind: QueryKind::Update,
+            access: AccessRule::Public,
+            args: &[],
+            returns: &[],
+            handler: Handler::Write(noop_write),
+        });
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        let before = s.journal.len();
+        r.execute(&mut s, &Caller::root("t"), "touch_nothing", &[])
+            .unwrap();
+        assert_eq!(
+            s.journal.len(),
+            before,
+            "a mutation class handler that changed nothing must not journal"
+        );
+        // A real change is journaled as before.
+        r.execute(
+            &mut s,
+            &Caller::root("t"),
+            "add_machine",
+            &["JOURNALBOX".into(), "VAX".into()],
+        )
+        .unwrap();
+        assert_eq!(s.journal.len(), before + 1);
+    }
+
+    #[test]
+    fn read_tier_dispatch() {
+        let r = Registry::standard();
+        let mut s = MoiraState::new(moira_common::VClock::new());
+        r.execute(
+            &mut s,
+            &Caller::root("t"),
+            "add_machine",
+            &["RBOX".into(), "VAX".into()],
+        )
+        .unwrap();
+        // Retrieves and specials resolve to the read tier; mutations do not.
+        assert!(r.is_read_query("get_machine"));
+        assert!(r.is_read_query("_list_queries"));
+        assert!(!r.is_read_query("add_machine"));
+        assert!(!r.is_read_query("no_such_query"));
+        // execute_read serves retrieves over shared state…
+        let rows = r
+            .execute_read(&s, &Caller::root("t"), "get_machine", &["RBOX".into()])
+            .unwrap();
+        assert_eq!(rows[0][0], "RBOX");
+        let help = r
+            .execute_read(&s, &Caller::root("t"), "_help", &["get_machine".into()])
+            .unwrap();
+        assert!(help[0][0].contains("gmac"));
+        // …and refuses write-class handles outright.
+        assert_eq!(
+            r.execute_read(
+                &s,
+                &Caller::root("t"),
+                "add_machine",
+                &["X".into(), "VAX".into()]
+            )
+            .unwrap_err(),
+            MrError::Internal
+        );
     }
 
     #[test]

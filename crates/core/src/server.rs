@@ -1,4 +1,4 @@
-//! The Moira server loop (§5.4).
+//! The Moira server loop (§5.4), split into read/write dispatch tiers.
 //!
 //! "The Moira server runs as a single UNIX process on the Moira database
 //! machine. It listens for TCP/IP connections on a well known service port,
@@ -8,6 +8,21 @@
 //! replies), which is what let the original stay a single process while
 //! "reading new RPC requests and sending old replies simultaneously".
 //!
+//! This reproduction goes one step further than the paper's single process:
+//! the state sits behind a reader-writer lock, and each poll pass classifies
+//! ready requests before dispatch. Retrieve-class queries (and `Access`
+//! pre-checks) run **concurrently** on a small worker pool under shared
+//! guards; mutations, `Authenticate`, and `Trigger_DCM` drain **serially**
+//! under the exclusive guard. Per connection, FIFO order is preserved: a
+//! connection's leading run of reads joins the concurrent tier, and from its
+//! first write onward the remainder of its batch executes in order on the
+//! serial tier, so a read that follows a write always observes it. Lock
+//! acquisition is bounded — a tier that cannot get its guard within the
+//! configured patience sheds its requests with [`MrError::Busy`] instead of
+//! blocking the loop, mirroring the database `LockManager`'s policy of
+//! reporting contention (`MR_BUSY`/`MR_DEADLOCK`) rather than waiting
+//! forever.
+//!
 //! The expensive database backend is initialized **once**, at server
 //! construction — the Athenareg lesson: "starting up a backend process is a
 //! rather heavyweight operation, the Moira server will do this only once,
@@ -16,20 +31,25 @@
 use std::io;
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Instant;
 
 use moira_common::errors::MrError;
 use moira_krb::ticket::{Authenticator, Ticket, Verifier};
 use moira_protocol::transport::{Channel, TcpChannel};
 use moira_protocol::wire::{check_version, MajorRequest, Reply, Request};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::access;
 use crate::registry::Registry;
-use crate::state::{Caller, ClientInfo, MoiraState};
+use crate::state::{shared, Caller, ClientInfo, MoiraState, SharedState};
 
 /// The Moira server's registered service port (a period-appropriate pick
 /// for the "well known port (T.B.S.)").
 pub const MOIRA_PORT: u16 = 775;
+
+/// Try-lock attempts (with a scheduler yield between each) before a tier
+/// gives up on its guard and sheds the batch with `MR_BUSY`.
+const DEFAULT_LOCK_PATIENCE: u32 = 512;
 
 struct Connection {
     chan: Box<dyn Channel>,
@@ -37,19 +57,59 @@ struct Connection {
     client_number: u64,
 }
 
-/// The single-process Moira server.
+/// One timed request dispatch, for the throughput experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceSample {
+    /// True if the request ran on the shared (read) tier.
+    pub read_tier: bool,
+    /// Handler service time in nanoseconds (lock wait excluded).
+    pub nanos: u64,
+}
+
+/// How one ready frame is dispatched.
+enum Work {
+    /// Answered without touching state (noop, decode/version errors, sheds).
+    Done(Vec<Reply>),
+    /// Shared-tier request: an `Access` pre-check or a retrieve-class query.
+    Read { access: bool, args: Vec<String> },
+    /// Exclusive-tier request, processed in arrival order.
+    Write(Request),
+}
+
+/// One classified frame: which connection it came from, its slot in that
+/// connection's reply order, and the work to do.
+struct TaskSlot {
+    conn: usize,
+    work: Work,
+    caller: Caller,
+}
+
+/// The Moira server: one process, two dispatch tiers.
 pub struct MoiraServer {
-    state: Arc<Mutex<MoiraState>>,
+    state: SharedState,
     registry: Arc<Registry>,
     verifier: Option<Verifier>,
     connections: Vec<Connection>,
     listener: Option<TcpListener>,
     /// When set, at most this many requests are dispatched per poll pass;
     /// excess requests are shed with [`MrError::Busy`] instead of queueing
-    /// unboundedly behind the single-process loop.
+    /// unboundedly behind the loop.
     overload_limit: Option<usize>,
     /// Requests shed with `Busy` over the server's lifetime.
     shed_requests: u64,
+    /// Worker threads for the shared tier. `0` selects the legacy
+    /// single-lock baseline: every request, reads included, drains serially
+    /// under the exclusive guard. `1` keeps the tier split but runs reads
+    /// inline. `>1` fans reads out across that many scoped threads.
+    read_workers: usize,
+    /// Bounded lock-acquisition budget before shedding with `Busy`.
+    lock_patience: u32,
+    /// Requests dispatched on the shared tier over the server's lifetime.
+    reads_dispatched: u64,
+    /// Requests dispatched on the exclusive tier over the server's lifetime.
+    writes_dispatched: u64,
+    /// When enabled, per-request service times for the bench harness.
+    service_trace: Option<Vec<ServiceSample>>,
 }
 
 impl MoiraServer {
@@ -60,10 +120,13 @@ impl MoiraServer {
     /// deployments and tests) where the authenticator is a bare principal
     /// name.
     pub fn new(
-        state: Arc<Mutex<MoiraState>>,
+        state: SharedState,
         registry: Arc<Registry>,
         verifier: Option<Verifier>,
     ) -> MoiraServer {
+        let read_workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
         MoiraServer {
             state,
             registry,
@@ -72,11 +135,16 @@ impl MoiraServer {
             listener: None,
             overload_limit: None,
             shed_requests: 0,
+            read_workers,
+            lock_patience: DEFAULT_LOCK_PATIENCE,
+            reads_dispatched: 0,
+            writes_dispatched: 0,
+            service_trace: None,
         }
     }
 
     /// The shared state handle.
-    pub fn state(&self) -> Arc<Mutex<MoiraState>> {
+    pub fn state(&self) -> SharedState {
         self.state.clone()
     }
 
@@ -93,9 +161,45 @@ impl MoiraServer {
         self.shed_requests
     }
 
+    /// Sets the shared-tier worker count: `0` = single-lock serialized
+    /// baseline, `1` = tiered but inline, `n > 1` = reads fan out over `n`
+    /// scoped threads per poll pass.
+    pub fn set_read_workers(&mut self, workers: usize) {
+        self.read_workers = workers;
+    }
+
+    /// The configured shared-tier worker count.
+    pub fn read_workers(&self) -> usize {
+        self.read_workers
+    }
+
+    /// Bounds how many try-lock attempts a tier makes before shedding its
+    /// batch with `Busy`.
+    pub fn set_lock_patience(&mut self, attempts: u32) {
+        self.lock_patience = attempts;
+    }
+
+    /// Requests dispatched on the (shared, exclusive) tiers so far.
+    pub fn dispatch_counts(&self) -> (u64, u64) {
+        (self.reads_dispatched, self.writes_dispatched)
+    }
+
+    /// Starts recording per-request service times (drains any prior trace).
+    pub fn enable_service_trace(&mut self) {
+        self.service_trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded service samples, leaving tracing enabled.
+    pub fn take_service_trace(&mut self) -> Vec<ServiceSample> {
+        match self.service_trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
     /// Attaches an already-connected channel (the in-process transport).
     pub fn attach(&mut self, chan: Box<dyn Channel>, host: &str, port: u16) {
-        let mut state = self.state.lock();
+        let mut state = self.state.write();
         let client_number = state.next_client_number();
         let connect_time = state.now();
         state.clients.push(ClientInfo {
@@ -146,59 +250,347 @@ impl MoiraServer {
         }
     }
 
-    /// One pass of the non-blocking loop: accept connections, then make
-    /// progress on every live connection. Returns how many requests were
-    /// processed.
+    /// Classifies one ready frame. `tiered` is false in the single-lock
+    /// baseline, where everything that touches state takes the serial tier.
+    fn classify(&self, conn: usize, frame: bytes::Bytes, tiered: bool) -> TaskSlot {
+        let caller = self.connections[conn].caller.clone();
+        let work = (|| {
+            let request = match Request::decode(frame) {
+                Ok(r) => r,
+                Err(e) => return Work::Done(vec![Reply::status(e.code())]),
+            };
+            if let Err(e) = check_version(request.version) {
+                return Work::Done(vec![Reply::status(e.code())]);
+            }
+            match request.major {
+                MajorRequest::Noop => Work::Done(vec![Reply::status(0)]),
+                MajorRequest::Auth | MajorRequest::TriggerDcm => Work::Write(request),
+                MajorRequest::Access | MajorRequest::Query => {
+                    if !tiered {
+                        return Work::Write(request);
+                    }
+                    let args = match request.string_args() {
+                        Ok(a) => a,
+                        Err(e) => return Work::Done(vec![Reply::status(e.code())]),
+                    };
+                    if args.is_empty() {
+                        return Work::Done(vec![Reply::status(MrError::Args.code())]);
+                    }
+                    let access = request.major == MajorRequest::Access;
+                    // Unknown names also take the read tier: answering
+                    // `MR_NO_HANDLE` needs no exclusive access.
+                    if access
+                        || self
+                            .registry
+                            .get(&args[0])
+                            .is_none_or(|h| h.handler.is_read())
+                    {
+                        Work::Read { access, args }
+                    } else {
+                        Work::Write(request)
+                    }
+                }
+            }
+        })();
+        TaskSlot { conn, work, caller }
+    }
+
+    /// Executes one shared-tier request against a read guard.
+    fn run_read(
+        registry: &Registry,
+        state: &MoiraState,
+        caller: &Caller,
+        access: bool,
+        args: &[String],
+    ) -> Vec<Reply> {
+        if access {
+            match registry.check_access(state, caller, &args[0], &args[1..]) {
+                Ok(()) => vec![Reply::status(0)],
+                Err(e) => vec![Reply::status(e.code())],
+            }
+        } else {
+            match registry.execute_read(state, caller, &args[0], &args[1..]) {
+                Ok(tuples) => {
+                    let mut replies: Vec<Reply> = tuples.iter().map(|t| Reply::tuple(t)).collect();
+                    replies.push(Reply::status(0));
+                    replies
+                }
+                Err(e) => vec![Reply::status(e.code())],
+            }
+        }
+    }
+
+    /// Bounded shared-lock acquisition: yields between attempts, gives up
+    /// after the configured patience so contention surfaces as `Busy`.
+    fn read_or_busy(
+        state: &RwLock<MoiraState>,
+        patience: u32,
+    ) -> Option<parking_lot::RwLockReadGuard<'_, MoiraState>> {
+        for _ in 0..patience {
+            if let Some(guard) = state.try_read() {
+                return Some(guard);
+            }
+            std::thread::yield_now();
+        }
+        None
+    }
+
+    /// Bounded exclusive-lock acquisition.
+    fn write_or_busy(
+        state: &RwLock<MoiraState>,
+        patience: u32,
+    ) -> Option<parking_lot::RwLockWriteGuard<'_, MoiraState>> {
+        for _ in 0..patience {
+            if let Some(guard) = state.try_write() {
+                return Some(guard);
+            }
+            std::thread::yield_now();
+        }
+        None
+    }
+
+    /// One pass of the non-blocking loop: accept connections, drain every
+    /// ready request, dispatch the read tier concurrently and the write tier
+    /// serially, then send replies in per-connection FIFO order. Returns how
+    /// many requests were received.
     pub fn poll_once(&mut self) -> usize {
         self.accept_pending();
-        let mut processed = 0;
+        let tiered = self.read_workers > 0;
+
+        // Drain every ready frame, preserving per-connection order.
         let mut dead = Vec::new();
-        for i in 0..self.connections.len() {
+        let mut tasks: Vec<TaskSlot> = Vec::new();
+        let mut received = 0usize;
+        for conn in 0..self.connections.len() {
+            // A connection's frames join the read tier only up to its first
+            // serial request; everything after stays in arrival order on the
+            // write tier so later reads observe earlier writes.
+            let mut serial_from_here = false;
             loop {
-                let frame = match self.connections[i].chan.try_recv() {
+                let frame = match self.connections[conn].chan.try_recv() {
                     Ok(Some(frame)) => frame,
                     Ok(None) => {
-                        if self.connections[i].chan.is_closed() {
-                            dead.push(i);
+                        if self.connections[conn].chan.is_closed() {
+                            dead.push(conn);
                         }
                         break;
                     }
                     Err(_) => {
-                        dead.push(i);
+                        dead.push(conn);
                         break;
                     }
                 };
-                processed += 1;
-                let replies = if self.overload_limit.is_some_and(|limit| processed > limit) {
+                received += 1;
+                if self.overload_limit.is_some_and(|limit| received > limit) {
                     // Shed rather than queue: the client hears Busy now
                     // instead of timing out later.
                     self.shed_requests += 1;
-                    vec![Reply::status(MrError::Busy.code())]
-                } else {
-                    self.handle_frame(i, frame)
-                };
-                let conn = &mut self.connections[i];
-                let mut broken = false;
-                for reply in replies {
-                    if conn.chan.send(reply.encode()).is_err() {
-                        broken = true;
-                        break;
+                    tasks.push(TaskSlot {
+                        conn,
+                        work: Work::Done(vec![Reply::status(MrError::Busy.code())]),
+                        caller: Caller::anonymous("shed"),
+                    });
+                    continue;
+                }
+                let slot = self.classify(conn, frame, tiered && !serial_from_here);
+                match slot.work {
+                    Work::Read { .. } => self.reads_dispatched += 1,
+                    Work::Write(_) => {
+                        serial_from_here = true;
+                        self.writes_dispatched += 1;
+                    }
+                    Work::Done(_) => {}
+                }
+                tasks.push(slot);
+            }
+        }
+
+        // Phase A: the shared tier. All `Read` slots run under read guards,
+        // concurrently when more than one worker is configured.
+        let read_ids: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.work, Work::Read { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if !read_ids.is_empty() {
+            let registry = self.registry.clone();
+            let state = self.state.clone();
+            let patience = self.lock_patience;
+            let trace_on = self.service_trace.is_some();
+            let workers = self.read_workers.max(1).min(read_ids.len());
+            // (task id, replies, service nanos) from each worker.
+            let mut outcomes: Vec<(usize, Vec<Reply>, u64)> = Vec::with_capacity(read_ids.len());
+            let mut shed = 0u64;
+            if workers <= 1 {
+                match Self::read_or_busy(&state, patience) {
+                    Some(guard) => {
+                        for &id in &read_ids {
+                            let TaskSlot { caller, work, .. } = &tasks[id];
+                            let Work::Read { access, args } = work else {
+                                unreachable!()
+                            };
+                            let t0 = trace_on.then(Instant::now);
+                            let replies = Self::run_read(&registry, &guard, caller, *access, args);
+                            let nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+                            outcomes.push((id, replies, nanos));
+                        }
+                    }
+                    None => {
+                        shed += read_ids.len() as u64;
+                        for &id in &read_ids {
+                            outcomes.push((id, vec![Reply::status(MrError::Busy.code())], 0));
+                        }
                     }
                 }
-                if broken {
-                    dead.push(i);
+            } else {
+                // Round-robin the read slots over the worker pool; each
+                // worker holds one shared guard for its whole chunk.
+                let chunks: Vec<Vec<usize>> = (0..workers)
+                    .map(|w| read_ids.iter().copied().skip(w).step_by(workers).collect())
+                    .collect();
+                let tasks_ref = &tasks;
+                let results: Vec<Vec<(usize, Vec<Reply>, u64)>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            let registry = registry.clone();
+                            let state = state.clone();
+                            scope.spawn(move || {
+                                let mut out = Vec::with_capacity(chunk.len());
+                                let guard = Self::read_or_busy(&state, patience);
+                                for id in chunk {
+                                    let TaskSlot { caller, work, .. } = &tasks_ref[id];
+                                    let Work::Read { access, args } = work else {
+                                        unreachable!()
+                                    };
+                                    match &guard {
+                                        Some(g) => {
+                                            let t0 = trace_on.then(Instant::now);
+                                            let replies =
+                                                Self::run_read(&registry, g, caller, *access, args);
+                                            let nanos = t0
+                                                .map(|t| t.elapsed().as_nanos() as u64)
+                                                .unwrap_or(0);
+                                            out.push((id, replies, nanos));
+                                        }
+                                        None => out.push((
+                                            id,
+                                            vec![Reply::status(MrError::Busy.code())],
+                                            u64::MAX,
+                                        )),
+                                    }
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("read worker"))
+                        .collect()
+                });
+                for worker_out in results {
+                    for (id, replies, nanos) in worker_out {
+                        if nanos == u64::MAX {
+                            shed += 1;
+                            outcomes.push((id, replies, 0));
+                        } else {
+                            outcomes.push((id, replies, nanos));
+                        }
+                    }
+                }
+            }
+            self.shed_requests += shed;
+            for (id, replies, nanos) in outcomes {
+                if let Some(trace) = self.service_trace.as_mut() {
+                    if !matches!(tasks[id].work, Work::Done(_)) {
+                        trace.push(ServiceSample {
+                            read_tier: true,
+                            nanos,
+                        });
+                    }
+                }
+                tasks[id].work = Work::Done(replies);
+            }
+        }
+
+        // Phase B: the exclusive tier, in arrival order under one guard.
+        let write_ids: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.work, Work::Write(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if !write_ids.is_empty() {
+            let state = self.state.clone();
+            let guard_opt = Self::write_or_busy(&state, self.lock_patience);
+            match guard_opt {
+                Some(mut guard) => {
+                    for id in write_ids {
+                        let TaskSlot { conn, work, caller } = &tasks[id];
+                        let Work::Write(request) = work else {
+                            unreachable!()
+                        };
+                        let t0 = self.service_trace.is_some().then(Instant::now);
+                        let replies = match request.major {
+                            MajorRequest::Auth => {
+                                vec![self.handle_auth(*conn, request, &mut guard)]
+                            }
+                            MajorRequest::TriggerDcm => {
+                                vec![Self::handle_trigger_dcm(caller, &mut guard)]
+                            }
+                            MajorRequest::Query => {
+                                Self::handle_query(&self.registry, caller, request, &mut guard)
+                            }
+                            MajorRequest::Access => {
+                                vec![Self::handle_access(&self.registry, caller, request, &guard)]
+                            }
+                            MajorRequest::Noop => vec![Reply::status(0)],
+                        };
+                        if let (Some(trace), Some(t0)) = (self.service_trace.as_mut(), t0) {
+                            trace.push(ServiceSample {
+                                read_tier: false,
+                                nanos: t0.elapsed().as_nanos() as u64,
+                            });
+                        }
+                        tasks[id].work = Work::Done(replies);
+                    }
+                }
+                None => {
+                    self.shed_requests += write_ids.len() as u64;
+                    for id in write_ids {
+                        tasks[id].work = Work::Done(vec![Reply::status(MrError::Busy.code())]);
+                    }
+                }
+            }
+        }
+
+        // Send replies in per-connection FIFO order (tasks are already in
+        // drain order, which is per-connection FIFO).
+        for task in &tasks {
+            let Work::Done(replies) = &task.work else {
+                unreachable!("all work resolved by the tiers")
+            };
+            let conn = &mut self.connections[task.conn];
+            for reply in replies {
+                if conn.chan.send(reply.encode()).is_err() {
+                    dead.push(task.conn);
                     break;
                 }
             }
         }
+
+        dead.sort_unstable();
+        dead.dedup();
         for &i in dead.iter().rev() {
             let conn = self.connections.remove(i);
-            let mut state = self.state.lock();
+            let mut state = self.state.write();
             state
                 .clients
                 .retain(|c| c.client_number != conn.client_number);
         }
-        processed
+        received
     }
 
     /// Polls until `idle_rounds` consecutive passes process nothing.
@@ -213,24 +605,12 @@ impl MoiraServer {
         }
     }
 
-    fn handle_frame(&mut self, conn_index: usize, frame: bytes::Bytes) -> Vec<Reply> {
-        let request = match Request::decode(frame) {
-            Ok(r) => r,
-            Err(e) => return vec![Reply::status(e.code())],
-        };
-        if let Err(e) = check_version(request.version) {
-            return vec![Reply::status(e.code())];
-        }
-        match request.major {
-            MajorRequest::Noop => vec![Reply::status(0)],
-            MajorRequest::Auth => vec![self.handle_auth(conn_index, &request)],
-            MajorRequest::Query => self.handle_query(conn_index, &request),
-            MajorRequest::Access => vec![self.handle_access(conn_index, &request)],
-            MajorRequest::TriggerDcm => vec![self.handle_trigger_dcm(conn_index)],
-        }
-    }
-
-    fn handle_auth(&mut self, conn_index: usize, request: &Request) -> Reply {
+    fn handle_auth(
+        &mut self,
+        conn_index: usize,
+        request: &Request,
+        state: &mut MoiraState,
+    ) -> Reply {
         let principal = match (&self.verifier, request.args.len()) {
             // Trusted mode: [principal, client_name].
             (None, 2) => match std::str::from_utf8(&request.args[0]) {
@@ -263,7 +643,6 @@ impl MoiraServer {
             .to_owned();
         let conn = &mut self.connections[conn_index];
         conn.caller = Caller::new(&principal, &client_name);
-        let mut state = self.state.lock();
         let number = conn.client_number;
         if let Some(info) = state.clients.iter_mut().find(|c| c.client_number == number) {
             info.principal = Some(principal);
@@ -271,7 +650,12 @@ impl MoiraServer {
         Reply::status(0)
     }
 
-    fn handle_query(&mut self, conn_index: usize, request: &Request) -> Vec<Reply> {
+    fn handle_query(
+        registry: &Registry,
+        caller: &Caller,
+        request: &Request,
+        state: &mut MoiraState,
+    ) -> Vec<Reply> {
         let args = match request.string_args() {
             Ok(a) => a,
             Err(e) => return vec![Reply::status(e.code())],
@@ -279,12 +663,7 @@ impl MoiraServer {
         if args.is_empty() {
             return vec![Reply::status(MrError::Args.code())];
         }
-        let caller = self.connections[conn_index].caller.clone();
-        let mut state = self.state.lock();
-        match self
-            .registry
-            .execute(&mut state, &caller, &args[0], &args[1..])
-        {
+        match registry.execute(state, caller, &args[0], &args[1..]) {
             Ok(tuples) => {
                 let mut replies: Vec<Reply> = tuples.iter().map(|t| Reply::tuple(t)).collect();
                 replies.push(Reply::status(0));
@@ -294,7 +673,12 @@ impl MoiraServer {
         }
     }
 
-    fn handle_access(&mut self, conn_index: usize, request: &Request) -> Reply {
+    fn handle_access(
+        registry: &Registry,
+        caller: &Caller,
+        request: &Request,
+        state: &MoiraState,
+    ) -> Reply {
         let args = match request.string_args() {
             Ok(a) => a,
             Err(e) => return Reply::status(e.code()),
@@ -302,23 +686,16 @@ impl MoiraServer {
         if args.is_empty() {
             return Reply::status(MrError::Args.code());
         }
-        let caller = self.connections[conn_index].caller.clone();
-        let mut state = self.state.lock();
-        match self
-            .registry
-            .check_access(&mut state, &caller, &args[0], &args[1..])
-        {
+        match registry.check_access(state, caller, &args[0], &args[1..]) {
             Ok(()) => Reply::status(0),
             Err(e) => Reply::status(e.code()),
         }
     }
 
-    fn handle_trigger_dcm(&mut self, conn_index: usize) -> Reply {
-        let caller = self.connections[conn_index].caller.clone();
-        let mut state = self.state.lock();
+    fn handle_trigger_dcm(caller: &Caller, state: &mut MoiraState) -> Reply {
         // "Access checking is done by checking permissions for the
         // pseudo-query trigger_dcm (tdcm)."
-        if !access::caller_has_capability(&mut state, &caller, "trigger_dcm") {
+        if !access::caller_has_capability(state, caller, "trigger_dcm") {
             return Reply::status(MrError::Perm.code());
         }
         state.dcm_trigger = true;
@@ -328,13 +705,11 @@ impl MoiraServer {
 
 /// Builds a ready-to-use server: seeded state, standard registry, CAPACLS
 /// populated. Returns the server plus handles on its state and registry.
-pub fn standard_server(
-    clock: moira_common::VClock,
-) -> (MoiraServer, Arc<Mutex<MoiraState>>, Arc<Registry>) {
+pub fn standard_server(clock: moira_common::VClock) -> (MoiraServer, SharedState, Arc<Registry>) {
     let registry = Arc::new(Registry::standard());
     let mut state = MoiraState::new(clock);
     crate::seed::seed_capacls(&mut state, &registry);
-    let state = Arc::new(Mutex::new(state));
+    let state = shared(state);
     let server = MoiraServer::new(state.clone(), registry.clone(), None);
     (server, state, registry)
 }
@@ -363,7 +738,7 @@ mod tests {
     fn setup() -> (MoiraServer, moira_protocol::transport::InProcChannel) {
         let (mut server, state, _) = standard_server(moira_common::VClock::new());
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             let uid = crate::queries::testutil::add_test_user(&mut s, "ops", 1);
             s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
                 .unwrap();
@@ -479,7 +854,7 @@ mod tests {
             Request::new(MajorRequest::TriggerDcm, &[]),
         );
         assert_eq!(replies[0].code, 0);
-        assert!(server.state().lock().dcm_trigger);
+        assert!(server.state().read().dcm_trigger);
     }
 
     #[test]
@@ -548,14 +923,14 @@ mod tests {
         drop(client);
         server.run_until_idle(3);
         assert_eq!(server.connection_count(), 0);
-        assert!(server.state().lock().clients.is_empty());
+        assert!(server.state().read().clients.is_empty());
     }
 
     #[test]
     fn tcp_end_to_end() {
         let (mut server, state, _) = standard_server(moira_common::VClock::new());
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             let uid = crate::queries::testutil::add_test_user(&mut s, "ops", 1);
             s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
                 .unwrap();
@@ -579,7 +954,7 @@ mod tests {
             assert!(start.elapsed().as_secs() < 10, "server loop stuck");
         }
         handle.join().unwrap();
-        let s = state.lock();
+        let s = state.read();
         assert!(!s
             .db
             .select("machine", &moira_db::Pred::Eq("name", "TCPBOX".into()))
@@ -601,7 +976,7 @@ mod tests {
         let mut st = MoiraState::new(clock.clone());
         crate::seed::seed_capacls(&mut st, &registry);
         crate::queries::testutil::add_test_user(&mut st, "babette", 42);
-        let state = Arc::new(Mutex::new(st));
+        let state = shared(st);
         let mut server = MoiraServer::new(state, registry, Some(verifier));
 
         let (mut client, server_end) = pair();
@@ -637,5 +1012,161 @@ mod tests {
             ),
         );
         assert_eq!(replies[0].code, 0);
+    }
+
+    #[test]
+    fn tiers_classify_reads_and_writes() {
+        let (mut server, mut client) = setup();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        let (r0, w0) = server.dispatch_counts();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["add_machine", "TIER", "VAX"]),
+        );
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["get_machine", "TIER"]),
+        );
+        let (r1, w1) = server.dispatch_counts();
+        assert_eq!(r1 - r0, 1, "get_machine runs on the shared tier");
+        assert_eq!(w1 - w0, 1, "add_machine runs on the exclusive tier");
+    }
+
+    #[test]
+    fn read_after_write_same_pass_observes_the_write() {
+        // A connection's read that arrives behind its own write must not
+        // jump the queue onto the read tier: both land in one poll pass and
+        // the read still sees the freshly added machine.
+        let (mut server, mut client) = setup();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        client
+            .send(Request::new(MajorRequest::Query, &["add_machine", "FRESH", "VAX"]).encode())
+            .unwrap();
+        client
+            .send(Request::new(MajorRequest::Query, &["get_machine", "FRESH"]).encode())
+            .unwrap();
+        server.run_until_idle(2);
+        let add = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(add.code, 0);
+        let tuple = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert!(tuple.is_more_data(), "read-after-write found the row");
+        assert_eq!(tuple.string_fields().unwrap()[0], "FRESH");
+        let done = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(done.code, 0);
+    }
+
+    #[test]
+    fn serialized_baseline_still_answers_queries() {
+        let (mut server, mut client) = setup();
+        server.set_read_workers(0);
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["add_machine", "BASE", "VAX"]),
+        );
+        let replies = send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["get_machine", "BASE"]),
+        );
+        assert!(replies[0].is_more_data());
+        assert_eq!(replies.last().unwrap().code, 0);
+        let (reads, _) = server.dispatch_counts();
+        assert_eq!(reads, 0, "baseline never uses the shared tier");
+    }
+
+    #[test]
+    fn concurrent_readers_on_worker_pool() {
+        // Four connections each send a retrieve; with a multi-worker read
+        // tier all four dispatch in one pass and answer correctly.
+        let (mut server, state, _) = standard_server(moira_common::VClock::new());
+        {
+            let mut s = state.write();
+            let uid = crate::queries::testutil::add_test_user(&mut s, "ops", 1);
+            s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
+                .unwrap();
+        }
+        server.set_read_workers(4);
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let (client, server_end) = pair();
+            server.attach(Box::new(server_end), "local", 0);
+            clients.push(client);
+        }
+        for c in clients.iter_mut() {
+            c.send(Request::new(MajorRequest::Auth, &["ops", "test"]).encode())
+                .unwrap();
+        }
+        server.run_until_idle(2);
+        for c in clients.iter_mut() {
+            let r = Reply::decode(recv_blocking(c, 100).unwrap()).unwrap();
+            assert_eq!(r.code, 0);
+        }
+        server.enable_service_trace();
+        let before = server.dispatch_counts();
+        for c in clients.iter_mut() {
+            c.send(Request::new(MajorRequest::Query, &["get_user_by_login", "ops"]).encode())
+                .unwrap();
+        }
+        let processed = server.poll_once();
+        assert_eq!(processed, 4);
+        let after = server.dispatch_counts();
+        assert_eq!((after.0 - before.0, after.1 - before.1), (4, 0));
+        for c in clients.iter_mut() {
+            let tuple = Reply::decode(recv_blocking(c, 100).unwrap()).unwrap();
+            assert!(tuple.is_more_data());
+            assert_eq!(tuple.string_fields().unwrap()[0], "ops");
+            let done = Reply::decode(recv_blocking(c, 100).unwrap()).unwrap();
+            assert_eq!(done.code, 0);
+        }
+        let trace = server.take_service_trace();
+        assert_eq!(trace.len(), 4);
+        assert!(trace.iter().all(|s| s.read_tier));
+    }
+
+    #[test]
+    fn contended_write_lock_sheds_busy() {
+        let (mut server, mut client) = setup();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        server.set_lock_patience(4);
+        let state = server.state();
+        // An outside writer (e.g. a DCM cycle) holds the exclusive lock for
+        // the whole pass: the read tier cannot acquire a shared guard and
+        // sheds with Busy instead of hanging the loop.
+        let guard = state.write();
+        client
+            .send(Request::new(MajorRequest::Query, &["get_user_by_login", "ops"]).encode())
+            .unwrap();
+        server.poll_once();
+        drop(guard);
+        let r = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(r.code, MrError::Busy.code());
+        assert_eq!(server.shed_requests(), 1);
+        // Retry after the writer releases succeeds.
+        client
+            .send(Request::new(MajorRequest::Query, &["get_user_by_login", "ops"]).encode())
+            .unwrap();
+        server.run_until_idle(2);
+        let r = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert!(r.is_more_data());
     }
 }

@@ -1,13 +1,28 @@
 //! Server state: database, journal, locks, access cache, connected clients.
 
+use std::sync::Arc;
+
 use moira_common::clock::VClock;
 use moira_db::journal::Journal;
 use moira_db::lock::LockManager;
 use moira_db::Database;
+use parking_lot::RwLock;
 
 use crate::access::AccessCache;
 use crate::schema;
 use crate::seed;
+
+/// The shared handle every component holds on the server state.
+///
+/// A reader-writer lock, not a mutex: the read tier of the query path
+/// dispatches retrieves concurrently under shared guards while mutations
+/// serialize under the exclusive guard.
+pub type SharedState = Arc<RwLock<MoiraState>>;
+
+/// Wraps a state in the [`SharedState`] handle.
+pub fn shared(state: MoiraState) -> SharedState {
+    Arc::new(RwLock::new(state))
+}
 
 /// The identity on whose behalf a request runs.
 ///
@@ -149,6 +164,14 @@ impl MoiraState {
         }
     }
 }
+
+// The read tier hands shared references to worker threads; losing Send +
+// Sync on MoiraState would silently serialize the server again, so make it
+// a compile error instead.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MoiraState>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -15,11 +15,10 @@ use moira_db::Pred;
 use moira_krb::cipher::{pcbc_decrypt, pcbc_encrypt, Key};
 use moira_krb::crypt::hash_mit_id;
 use moira_krb::realm::Kdc;
-use parking_lot::Mutex;
 
 use crate::registry::Registry;
 use crate::schema::user_status;
-use crate::state::{Caller, MoiraState};
+use crate::state::{Caller, MoiraState, SharedState};
 
 /// The student filesystem-type bit (`MR_FS_STUDENT`).
 pub const MR_FS_STUDENT: i64 = 1 << 0;
@@ -100,7 +99,7 @@ pub fn make_authenticator(
 /// The registration server: listens (conceptually on its well-known UDP
 /// port) for the three request types.
 pub struct RegistrationServer {
-    state: Arc<Mutex<MoiraState>>,
+    state: SharedState,
     registry: Arc<Registry>,
     kdc: Arc<Kdc>,
     /// Filesystem type assigned to self-registered accounts.
@@ -110,7 +109,7 @@ pub struct RegistrationServer {
 impl RegistrationServer {
     /// Creates a registration server bound to shared Moira state and the
     /// realm's KDC (reached over the srvtab-srvtab channel in the paper).
-    pub fn new(state: Arc<Mutex<MoiraState>>, registry: Arc<Registry>, kdc: Arc<Kdc>) -> Self {
+    pub fn new(state: SharedState, registry: Arc<Registry>, kdc: Arc<Kdc>) -> Self {
         RegistrationServer {
             state,
             registry,
@@ -175,7 +174,7 @@ impl RegistrationServer {
                 last,
                 authenticator,
             } => {
-                let state = self.state.lock();
+                let state = self.state.read();
                 match self.verify(&state, first, last, authenticator) {
                     Ok((row, _)) => RegReply::Ok(state.db.cell("users", row, "status").as_int()),
                     Err(e) => e,
@@ -195,7 +194,7 @@ impl RegistrationServer {
     }
 
     fn grab_login(&self, first: &str, last: &str, authenticator: &[u8]) -> RegReply {
-        let mut state = self.state.lock();
+        let mut state = self.state.write();
         let (row, extra) = match self.verify(&state, first, last, authenticator) {
             Ok(v) => v,
             Err(e) => return e,
@@ -233,7 +232,7 @@ impl RegistrationServer {
     }
 
     fn set_password(&self, first: &str, last: &str, authenticator: &[u8]) -> RegReply {
-        let state = self.state.lock();
+        let state = self.state.read();
         let (row, extra) = match self.verify(&state, first, last, authenticator) {
             Ok(v) => v,
             Err(e) => return e,
@@ -260,7 +259,7 @@ mod tests {
 
     /// Builds a state with registration infrastructure (POP server, NFS
     /// partition) and one registerable student.
-    fn setup() -> (RegistrationServer, Arc<Mutex<MoiraState>>, Arc<Kdc>) {
+    fn setup() -> (RegistrationServer, SharedState, Arc<Kdc>) {
         let (mut s, _) = state_with_admin("ops");
         let registry = Arc::new(Registry::standard());
         let pop = add_test_machine(&mut s, "E40-PO");
@@ -325,7 +324,7 @@ mod tests {
             )
             .unwrap();
         let clock = s.db.clock().clone();
-        let state = Arc::new(Mutex::new(s));
+        let state = crate::state::shared(s);
         let kdc = Arc::new(Kdc::new(clock));
         kdc.register_service("moira").unwrap();
         let server = RegistrationServer::new(state.clone(), registry, kdc.clone());
@@ -364,7 +363,7 @@ mod tests {
         // The password now works for initial tickets.
         assert!(kdc.initial_ticket("kazimi", "hunter2", "moira").is_ok());
         // Moira shows the account half-registered with resources allocated.
-        let s = state.lock();
+        let s = state.read();
         let row =
             s.db.table("users")
                 .select_one(&Pred::Eq("login", "kazimi".into()))
@@ -428,7 +427,7 @@ mod tests {
         assert_eq!(reply, RegReply::LoginTaken);
         // Status unchanged, so the student can try another name.
         {
-            let s = state.lock();
+            let s = state.read();
             let row =
                 s.db.table("users")
                     .select_one(&Pred::Eq("last", "Zimmermann".into()))
@@ -475,7 +474,7 @@ mod tests {
         let (server, state, _) = setup();
         // A second Martin Zimmermann with a different ID.
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             let hashed = hash_mit_id("555-55-5555", "Martin", "Zimmermann");
             let caller = Caller::root("registrar");
             server
@@ -504,7 +503,7 @@ mod tests {
             authenticator: make_authenticator("555-55-5555", "Martin", "Zimmermann", Some("mzim2")),
         });
         assert_eq!(reply, RegReply::Ok(user_status::HALF_REGISTERED));
-        let s = state.lock();
+        let s = state.read();
         let row =
             s.db.table("users")
                 .select_one(&Pred::Eq("login", "mzim2".into()))
@@ -831,7 +830,7 @@ mod wire_tests {
             )
             .unwrap();
         let clock = s.db.clock().clone();
-        let state = Arc::new(Mutex::new(s));
+        let state = crate::state::shared(s);
         let kdc = Arc::new(Kdc::new(clock));
         let server = RegistrationServer::new(state, registry, kdc.clone());
 
@@ -943,7 +942,7 @@ mod wire_tests {
             )
             .unwrap();
         let clock = s.db.clock().clone();
-        let state = Arc::new(Mutex::new(s));
+        let state = crate::state::shared(s);
         let kdc = Arc::new(Kdc::new(clock));
         let server = RegistrationServer::new(state, registry, kdc.clone());
         let mut chan = UdpChannel::new(&server);
@@ -974,7 +973,7 @@ mod wire_tests {
     fn total_loss_times_out() {
         let (s, _) = state_with_admin("ops");
         let clock = s.db.clock().clone();
-        let state = Arc::new(Mutex::new(s));
+        let state = crate::state::shared(s);
         let server = RegistrationServer::new(
             state,
             Arc::new(Registry::standard()),

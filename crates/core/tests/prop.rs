@@ -273,6 +273,6 @@ proptest! {
         let handle = &handles[query_pick as usize % handles.len()];
         let root = Caller::root("fuzz");
         let _ = registry.execute(&mut state, &root, handle.name, &args);
-        let _ = registry.check_access(&mut state, &Caller::anonymous("x"), handle.name, &args);
+        let _ = registry.check_access(&state, &Caller::anonymous("x"), handle.name, &args);
     }
 }

@@ -126,6 +126,19 @@ impl Database {
     pub fn cell(&self, table: &str, id: RowId, col: &str) -> Value {
         self.table(table).cell(id, col).clone()
     }
+
+    /// Total mutations (appends + updates + deletes) ever applied across all
+    /// tables — a cheap generation counter: if it is unchanged across a
+    /// handler invocation, the handler did not touch the database.
+    pub fn mutation_count(&self) -> u64 {
+        self.tables
+            .values()
+            .map(|t| {
+                let s = t.stats();
+                s.appends + s.updates + s.deletes
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]

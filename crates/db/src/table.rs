@@ -202,14 +202,48 @@ impl Table {
             .collect()
     }
 
-    /// Returns the first matching row id, if any.
+    /// The index bucket for a predicate that pins an indexed column to an
+    /// exact value, or `None` when the predicate can only be satisfied by a
+    /// scan. `Some(&[])` means the index proves there are no matches.
+    fn index_candidates(&self, pred: &Pred) -> Option<&[RowId]> {
+        let (col_name, value) = pred.index_hint()?;
+        let col = self.schema.col(col_name)?;
+        let index = self.indexes.get(&col)?;
+        Some(index.get(value).map(|ids| ids.as_slice()).unwrap_or(&[]))
+    }
+
+    /// Returns the lowest matching row id, if any, without materializing the
+    /// full match set: the scan path stops at the first hit, and the index
+    /// path takes the minimum of one (small, unsorted) bucket.
     pub fn select_one(&self, pred: &Pred) -> Option<RowId> {
-        self.select(pred).into_iter().next()
+        let col_of = |name: &str| self.col(name);
+        if let Some(candidates) = self.index_candidates(pred) {
+            return candidates
+                .iter()
+                .copied()
+                .filter(|&id| self.get(id).is_some_and(|row| pred.eval(row, &col_of)))
+                .min();
+        }
+        // Rows are stored in id order, so the first scan hit is the minimum.
+        self.rows
+            .iter()
+            .enumerate()
+            .find_map(|(id, row)| row.as_ref().filter(|r| pred.eval(r, &col_of)).map(|_| id))
     }
 
     /// Counts matching rows without materializing ids.
     pub fn count(&self, pred: &Pred) -> usize {
-        self.select(pred).len()
+        let col_of = |name: &str| self.col(name);
+        if let Some(candidates) = self.index_candidates(pred) {
+            return candidates
+                .iter()
+                .filter(|&&id| self.get(id).is_some_and(|row| pred.eval(row, &col_of)))
+                .count();
+        }
+        self.rows
+            .iter()
+            .filter(|row| row.as_ref().is_some_and(|r| pred.eval(r, &col_of)))
+            .count()
     }
 
     /// Updates named columns of a row in place.
@@ -408,6 +442,50 @@ mod tests {
         assert_eq!(gone, 5);
         assert_eq!(t.len(), 5);
         assert_eq!(t.stats().deletes, 5);
+    }
+
+    #[test]
+    fn select_one_and_count_agree_with_select() {
+        let mut t = users_table();
+        for i in 0..50 {
+            t.append(row(&format!("u{i}"), 6000 + (i % 7), i % 2 == 0), 0)
+                .unwrap();
+        }
+        // Delete a few so the slab has holes and the index buckets shrink.
+        for id in t.select(&Pred::Eq("uid", 6003.into())) {
+            t.delete(id, 1).unwrap();
+        }
+        let preds = [
+            Pred::True,
+            Pred::Eq("uid", 6002.into()),      // indexed column
+            Pred::Eq("uid", 9999.into()),      // indexed, no matches
+            Pred::Eq("active", true.into()),   // unindexed scan
+            Pred::Like("login", "u1?".into()), // wildcard scan
+            Pred::Like("login", "zz*".into()), // scan, no matches
+        ];
+        for pred in &preds {
+            let full = t.select(pred);
+            assert_eq!(t.select_one(pred), full.first().copied(), "{pred:?}");
+            assert_eq!(t.count(pred), full.len(), "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn select_one_returns_lowest_id_from_unsorted_index_bucket() {
+        let mut t = users_table();
+        // Slot 0 freed and reused later, so the index bucket for uid 7000
+        // holds ids in push order [1, 2, 0] — select_one must still report 0.
+        let a = t.append(row("gone", 7000, true), 0).unwrap();
+        t.append(row("b", 7000, true), 0).unwrap();
+        t.append(row("c", 7000, true), 0).unwrap();
+        t.delete(a, 0).unwrap();
+        let reused = t.append(row("d", 7000, true), 0).unwrap();
+        assert_eq!(reused, a);
+        assert_eq!(t.select_one(&Pred::Eq("uid", 7000.into())), Some(a));
+        assert_eq!(
+            t.select_one(&Pred::Eq("uid", 7000.into())),
+            t.select(&Pred::Eq("uid", 7000.into())).first().copied()
+        );
     }
 
     #[test]

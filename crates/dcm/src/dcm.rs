@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use moira_common::errors::{MrError, MrResult};
 use moira_core::registry::Registry;
-use moira_core::state::{Caller, MoiraState};
+use moira_core::state::{Caller, MoiraState, SharedState};
 use moira_db::lock::LockMode;
 use moira_db::Pred;
 use parking_lot::Mutex;
@@ -83,7 +83,7 @@ pub struct DcmReport {
 
 /// The Data Control Manager.
 pub struct Dcm {
-    state: Arc<Mutex<MoiraState>>,
+    state: SharedState,
     registry: Arc<Registry>,
     generators: HashMap<&'static str, Box<dyn Generator>>,
     /// The generated data files held on Moira's disk between runs.
@@ -109,7 +109,7 @@ pub struct Dcm {
 
 impl Dcm {
     /// Creates a DCM with the standard generator set.
-    pub fn new(state: Arc<Mutex<MoiraState>>, registry: Arc<Registry>) -> Dcm {
+    pub fn new(state: SharedState, registry: Arc<Registry>) -> Dcm {
         let mut generators: HashMap<&'static str, Box<dyn Generator>> = HashMap::new();
         for g in crate::generators::standard_generators() {
             generators.insert(g.service(), g);
@@ -223,7 +223,7 @@ impl Dcm {
         }
         // "Then it retrieves the value of dcm_enable…; if this value is
         // zero, it will exit, logging this action."
-        let enabled = self.state.lock().get_value("dcm_enable").unwrap_or(0);
+        let enabled = self.state.read().get_value("dcm_enable").unwrap_or(0);
         if enabled == 0 {
             report.disabled = true;
             self.notify("zephyr", "MOIRA", "DCM", "dcm_enable is 0; exiting".into());
@@ -233,7 +233,7 @@ impl Dcm {
         // A DCM that crashed mid-run holds no locks after restart; the
         // inprogress flags it left behind are advisory only ("It is not
         // relyed upon for locking", §5.7.1).
-        self.state.lock().locks.release_all("dcm");
+        self.state.write().locks.release_all("dcm");
 
         // Snapshot the services passing the initial check.
         let services = self.eligible_services();
@@ -249,7 +249,7 @@ impl Dcm {
     /// Services that are enabled, have no hard errors, a non-zero interval,
     /// and a generator module.
     fn eligible_services(&self) -> Vec<ServiceInfo> {
-        let state = self.state.lock();
+        let state = self.state.read();
         let t = state.db.table("servers");
         let mut out = Vec::new();
         for (row, _) in t.iter() {
@@ -277,7 +277,7 @@ impl Dcm {
     }
 
     fn generation_phase(&mut self, svc: &ServiceInfo, report: &mut DcmReport) {
-        let now = self.state.lock().now();
+        let now = self.state.read().now();
         // "it compares dfcheck and the update interval against the current
         // time."
         if now < svc.dfcheck + svc.interval_secs {
@@ -286,7 +286,7 @@ impl Dcm {
         // "it will obtain an exclusive lock on the service, set the
         // inprogress flag, then run the generator."
         {
-            let mut state = self.state.lock();
+            let mut state = self.state.write();
             if state
                 .locks
                 .acquire("dcm", &format!("svc:{}", svc.name), LockMode::Exclusive)
@@ -309,7 +309,7 @@ impl Dcm {
         }
         let generator = self.generators.get(svc.name.as_str()).expect("eligible");
         let result = {
-            let state = self.state.lock();
+            let state = self.state.read();
             check_no_change(generator.as_ref(), &state, svc.dfgen)
                 .and_then(|()| generator.generate(&state, ""))
         };
@@ -341,7 +341,7 @@ impl Dcm {
                 (svc.dfgen, svc.dfcheck, e.code(), e.to_string())
             }
         };
-        let mut state = self.state.lock();
+        let mut state = self.state.write();
         let _ = self.exec(
             &mut state,
             "set_server_internal_flags",
@@ -360,7 +360,7 @@ impl Dcm {
     fn host_phase(&mut self, svc: &ServiceInfo, report: &mut DcmReport) {
         // Re-read dfgen: generation may just have happened.
         let dfgen = {
-            let state = self.state.lock();
+            let state = self.state.read();
             state
                 .db
                 .table("servers")
@@ -380,7 +380,7 @@ impl Dcm {
             // result in (at worst) delays in updates."
             let generator = self.generators.get(svc.name.as_str()).expect("eligible");
             let rebuilt = {
-                let state = self.state.lock();
+                let state = self.state.read();
                 generator.generate(&state, "")
             };
             match rebuilt {
@@ -398,7 +398,7 @@ impl Dcm {
             LockMode::Shared
         };
         {
-            let mut state = self.state.lock();
+            let mut state = self.state.write();
             if state
                 .locks
                 .acquire("dcm", &format!("svc:{}", svc.name), mode)
@@ -421,7 +421,7 @@ impl Dcm {
                     // in the service record so that no more updates will be
                     // attempted."
                     replicated_failed = true;
-                    let mut state = self.state.lock();
+                    let mut state = self.state.write();
                     let _ = self.exec(
                         &mut state,
                         "set_server_internal_flags",
@@ -438,7 +438,7 @@ impl Dcm {
             }
             report.updates.push((svc.name.clone(), mach_name, result));
         }
-        let mut state = self.state.lock();
+        let mut state = self.state.write();
         state.locks.release("dcm", &format!("svc:{}", svc.name));
     }
 
@@ -448,7 +448,7 @@ impl Dcm {
     /// streak is open — has reopened. `override` bypasses the gate: an
     /// operator demanding an immediate push gets one.
     fn hosts_needing_update(&mut self, service: &str, dfgen: i64) -> Vec<(String, i64, String)> {
-        let state = self.state.lock();
+        let state = self.state.read();
         let now = state.now();
         let t = state.db.table("serverhosts");
         let budget = self.retry.policy().per_run_budget;
@@ -492,10 +492,10 @@ impl Dcm {
         value3: &str,
     ) -> Result<(), UpdateError> {
         self.stats.updates_attempted += 1;
-        let now = self.state.lock().now();
+        let now = self.state.read().now();
         // Exclusive lock on the host + inprogress bit.
         {
-            let mut state = self.state.lock();
+            let mut state = self.state.write();
             if state
                 .locks
                 .acquire(
@@ -530,10 +530,10 @@ impl Dcm {
 
         // Build the archive: per-host for NFS and PASSWD, shared otherwise.
         let archive = if svc.name == "NFS" {
-            let state = self.state.lock();
+            let state = self.state.read();
             NfsGenerator::for_host(&state, mach_id, value3)
         } else if svc.name == "PASSWD" {
-            let state = self.state.lock();
+            let state = self.state.read();
             crate::generators::hostaccess::HostAccessGenerator::for_host(&state, mach_id)
         } else {
             self.prepared.get(&svc.name).cloned().unwrap_or_default()
@@ -557,7 +557,7 @@ impl Dcm {
         };
 
         // Record the outcome.
-        let now = self.state.lock().now();
+        let now = self.state.read().now();
         let (success, hosterror, errmsg, lts) = match &result {
             Ok(()) => {
                 self.stats.updates_succeeded += 1;
@@ -618,7 +618,7 @@ impl Dcm {
                 }
             }
         };
-        let mut state = self.state.lock();
+        let mut state = self.state.write();
         let sh_row = state.db.select(
             "serverhosts",
             &Pred::Eq("service", svc.name.clone().into()).and(Pred::Eq("mach_id", mach_id.into())),
@@ -682,7 +682,7 @@ mod tests {
     type SharedHosts = Vec<Arc<Mutex<SimHost>>>;
 
     /// A deployment with one HESIOD service on two hosts.
-    fn setup() -> (Dcm, Arc<Mutex<MoiraState>>, SharedHosts) {
+    fn setup() -> (Dcm, SharedState, SharedHosts) {
         let (mut s, _) = state_with_admin("ops");
         let registry = Arc::new(Registry::standard());
         let _ = seed_capacls; // capacls already seeded by state_with_admin
@@ -724,7 +724,7 @@ mod tests {
             "add_server_host_info",
             &["HESIOD", "SUOMI.MIT.EDU", "1", "0", "0", ""],
         );
-        let state = Arc::new(Mutex::new(s));
+        let state = moira_core::state::shared(s);
         let mut dcm = Dcm::new(state.clone(), registry);
         let hosts: Vec<Arc<Mutex<SimHost>>> = ["KIWI.MIT.EDU", "SUOMI.MIT.EDU"]
             .iter()
@@ -743,11 +743,11 @@ mod tests {
         assert!(dcm.run_once().disabled);
         assert_eq!(dcm.stats.scans, 0);
         dcm.nodcm_file = false;
-        state.lock().set_value("dcm_enable", 0);
+        state.write().set_value("dcm_enable", 0);
         let report = dcm.run_once();
         assert!(report.disabled);
         assert!(dcm.notices.iter().any(|n| n.message.contains("dcm_enable")));
-        state.lock().set_value("dcm_enable", 1);
+        state.write().set_value("dcm_enable", 1);
         assert!(!dcm.run_once().disabled);
     }
 
@@ -771,7 +771,7 @@ mod tests {
     fn second_run_within_interval_does_nothing() {
         let (mut dcm, state, _) = setup();
         dcm.run_once();
-        state.lock().db.clock().advance(60); // one minute
+        state.write().db.clock().advance(60); // one minute
         let report = dcm.run_once();
         assert!(report.generated.is_empty());
         assert!(
@@ -788,13 +788,13 @@ mod tests {
     fn no_change_suppression_after_interval() {
         let (mut dcm, state, _) = setup();
         dcm.run_once();
-        state.lock().db.clock().advance(7 * 3600); // past the 6h interval
+        state.write().db.clock().advance(7 * 3600); // past the 6h interval
         let report = dcm.run_once();
         assert!(report.generated.is_empty());
         assert_eq!(report.unchanged, vec!["HESIOD"]);
         assert_eq!(dcm.stats.no_changes, 1);
         // dfcheck advanced even though nothing was built.
-        let s = state.lock();
+        let s = state.read();
         let row =
             s.db.table("servers")
                 .select_one(&Pred::Eq("name", "HESIOD".into()))
@@ -808,7 +808,7 @@ mod tests {
         let (mut dcm, state, hosts) = setup();
         dcm.run_once();
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             s.db.clock().advance(7 * 3600);
             let registry = Registry::standard();
             registry
@@ -854,14 +854,14 @@ mod tests {
         assert_eq!(dcm.stats.soft_failures, 1);
         // Soft: hosterror stays 0, so the next run retries.
         {
-            let s = state.lock();
+            let s = state.read();
             let t = s.db.table("serverhosts");
             for (row, _) in t.iter() {
                 assert_eq!(t.cell(row, "hosterror").as_int(), 0);
             }
         }
         hosts[1].lock().reboot();
-        state.lock().db.clock().advance(60);
+        state.write().db.clock().advance(60);
         let report = dcm.run_once();
         // Only the failed host is retried.
         assert_eq!(report.updates.len(), 1);
@@ -890,19 +890,19 @@ mod tests {
         assert!(dcm.notices.iter().any(|n| n.kind == "mail"));
         // Service harderror set: next run skips the service entirely.
         {
-            let s = state.lock();
+            let s = state.read();
             let row =
                 s.db.table("servers")
                     .select_one(&Pred::Eq("name", "HESIOD".into()))
                     .unwrap();
             assert_ne!(s.db.cell("servers", row, "harderror").as_int(), 0);
         }
-        state.lock().db.clock().advance(7 * 3600);
+        state.write().db.clock().advance(7 * 3600);
         let report = dcm.run_once();
         assert!(report.updates.is_empty());
         // Operator resets the error; service resumes.
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             let registry = Registry::standard();
             registry
                 .execute(
@@ -922,7 +922,7 @@ mod tests {
                 .unwrap();
         }
         hosts[0].lock().fail.fail_exec_with = None;
-        state.lock().db.clock().advance(7 * 3600);
+        state.write().db.clock().advance(7 * 3600);
         let report = dcm.run_once();
         assert_eq!(report.updates.len(), 2);
         assert!(report.updates.iter().all(|(_, _, r)| r.is_ok()));
@@ -936,7 +936,7 @@ mod tests {
         // advancing past the interval.
         hosts[0].lock().files_mut().remove("/var/hesiod/passwd.db");
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             let registry = Registry::standard();
             registry
                 .execute(
@@ -947,13 +947,13 @@ mod tests {
                 )
                 .unwrap();
         }
-        state.lock().db.clock().advance(60);
+        state.write().db.clock().advance(60);
         let report = dcm.run_once();
         assert_eq!(report.updates.len(), 1);
         assert_eq!(report.updates[0].1, "KIWI.MIT.EDU");
         assert!(hosts[0].lock().read_file("/var/hesiod/passwd.db").is_some());
         // Override cleared afterwards.
-        let s = state.lock();
+        let s = state.read();
         let t = s.db.table("serverhosts");
         for (row, _) in t.iter() {
             assert!(!t.cell(row, "override").as_bool());
@@ -976,7 +976,7 @@ mod tests {
         dcm.set_retry_policy(quick_retry(100, usize::MAX));
         hosts[1].lock().up = false;
         dcm.run_once(); // first soft failure: immediate-retry schedule
-        state.lock().db.clock().advance(60);
+        state.write().db.clock().advance(60);
         let report = dcm.run_once(); // second failure: backoff starts (100s)
         assert_eq!(report.updates.len(), 1);
         assert!(report.updates[0].2.is_err());
@@ -984,7 +984,7 @@ mod tests {
         // cron fires the DCM.
         let before = dcm.stats.updates_attempted;
         for _ in 0..3 {
-            state.lock().db.clock().advance(10);
+            state.write().db.clock().advance(10);
             let report = dcm.run_once();
             assert!(report.updates.is_empty(), "gate closed");
         }
@@ -993,7 +993,7 @@ mod tests {
         // Once the window elapses the retry happens — and a recovered host
         // converges.
         hosts[1].lock().reboot();
-        state.lock().db.clock().advance(100);
+        state.write().db.clock().advance(100);
         let report = dcm.run_once();
         assert_eq!(report.updates.len(), 1);
         assert!(report.updates[0].2.is_ok());
@@ -1006,7 +1006,7 @@ mod tests {
         dcm.set_retry_policy(quick_retry(2, usize::MAX));
         hosts[1].lock().up = false;
         dcm.run_once();
-        state.lock().db.clock().advance(60);
+        state.write().db.clock().advance(60);
         dcm.run_once(); // second consecutive soft failure → escalation
         assert_eq!(dcm.stats.escalations, 1);
         assert!(dcm
@@ -1019,7 +1019,7 @@ mod tests {
             .any(|n| n.kind == "mail" && n.message.contains("escalated after 2")));
         // hosterror now gates the host like any hard failure…
         {
-            let s = state.lock();
+            let s = state.read();
             let t = s.db.table("serverhosts");
             let errs: Vec<i64> = t
                 .iter()
@@ -1027,14 +1027,14 @@ mod tests {
                 .collect();
             assert!(errs.contains(&(UpdateError::HostDown.code() as i64)));
         }
-        state.lock().db.clock().advance(3600);
+        state.write().db.clock().advance(3600);
         let report = dcm.run_once();
         assert!(report.updates.is_empty(), "escalated host not retried");
         // …until an operator resets it, after which the host starts with a
         // clean streak and converges.
         hosts[1].lock().reboot();
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             Registry::standard()
                 .execute(
                     &mut s,
@@ -1044,7 +1044,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        state.lock().db.clock().advance(60);
+        state.write().db.clock().advance(60);
         let report = dcm.run_once();
         assert_eq!(report.updates.len(), 1);
         assert!(report.updates[0].2.is_ok());
@@ -1059,7 +1059,7 @@ mod tests {
         }
         let report = dcm.run_once();
         assert_eq!(report.updates.len(), 2, "first-time pushes are not retries");
-        state.lock().db.clock().advance(60);
+        state.write().db.clock().advance(60);
         let report = dcm.run_once();
         assert_eq!(report.updates.len(), 1, "one retry per pass under budget 1");
         assert!(dcm.stats.retries_deferred >= 1);
@@ -1070,7 +1070,7 @@ mod tests {
         let (mut dcm, state, _hosts) = setup();
         // Another actor (a concurrent DCM pass, say) holds the host lock.
         state
-            .lock()
+            .write()
             .locks
             .acquire("other", "host:HESIOD:KIWI.MIT.EDU", LockMode::Exclusive)
             .unwrap();
@@ -1086,10 +1086,10 @@ mod tests {
         assert!(!dcm.retry_book().is_retry("HESIOD", "KIWI.MIT.EDU"));
         // When the collision clears, the next pass succeeds.
         state
-            .lock()
+            .write()
             .locks
             .release("other", "host:HESIOD:KIWI.MIT.EDU");
-        state.lock().db.clock().advance(60);
+        state.write().db.clock().advance(60);
         let report = dcm.run_once();
         let kiwi = report
             .updates
@@ -1103,7 +1103,7 @@ mod tests {
     fn disabled_service_skipped() {
         let (mut dcm, state, _) = setup();
         {
-            let mut s = state.lock();
+            let mut s = state.write();
             let registry = Registry::standard();
             registry
                 .execute(

@@ -118,7 +118,7 @@ mod tests {
         d.run_dcm_once();
         // Force an override (sets the trigger) and run a short cron window.
         {
-            let mut s = d.state.lock();
+            let mut s = d.state.write();
             let host = d.population.hesiod_servers[0].clone();
             d.registry
                 .execute(

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use moira_common::clock::VClock;
 use moira_core::registry::Registry;
 use moira_core::seed::seed_capacls;
-use moira_core::state::MoiraState;
+use moira_core::state::{MoiraState, SharedState};
 use moira_core::userreg::RegistrationServer;
 use moira_db::backup::NightlyRotation;
 use moira_dcm::dcm::{install_dir, Dcm, DcmReport};
@@ -33,7 +33,7 @@ pub struct Deployment {
     /// crosses (no faults configured until a scenario asks for them).
     pub net: Arc<NetFabric>,
     /// The Moira database + server state.
-    pub state: Arc<Mutex<MoiraState>>,
+    pub state: SharedState,
     /// The query catalog.
     pub registry: Arc<Registry>,
     /// The Data Control Manager.
@@ -87,7 +87,7 @@ impl Deployment {
         let mut st = MoiraState::new(clock.clone());
         seed_capacls(&mut st, &registry);
         let population = populate(&mut st, &registry, spec).expect("population build must succeed");
-        let state = Arc::new(Mutex::new(st));
+        let state = moira_core::state::shared(st);
 
         let kdc = Arc::new(Kdc::new(clock.clone()));
         kdc.register_service("moira").expect("fresh realm");
@@ -256,7 +256,7 @@ impl Deployment {
     /// the three on-line generations, recording the backup time so journal
     /// recovery knows where to replay from.
     pub fn run_nightly_backup(&mut self) {
-        let s = self.state.lock();
+        let s = self.state.read();
         self.backups.run_nightly(&s.db);
         self.last_backup = s.now();
     }
@@ -266,7 +266,7 @@ impl Deployment {
     /// very notification service Moira manages ("a zephyr message is sent
     /// to class MOIRA instance DCM", §5.7.1).
     pub fn run_dcm_once(&mut self) -> DcmReport {
-        self.state.lock().dcm_trigger = false;
+        self.state.write().dcm_trigger = false;
         let already_sent = self.dcm.notices.len();
         let report = self.dcm.run_once();
         let fresh: Vec<_> = self.dcm.notices[already_sent..].to_vec();
@@ -288,7 +288,7 @@ impl Deployment {
 
     /// True if a Trigger_DCM request is pending.
     pub fn dcm_triggered(&self) -> bool {
-        self.state.lock().dcm_trigger
+        self.state.read().dcm_trigger
     }
 
     /// Advances virtual time.
@@ -401,7 +401,7 @@ mod tests {
         let restricted_host = d.population.nfs_servers[0].clone();
         let insider = d.population.active_logins[0].clone();
         {
-            let mut s = d.state.lock();
+            let mut s = d.state.write();
             let root = moira_core::state::Caller::root("t");
             let run = |s: &mut _, q: &str, args: &[&str]| {
                 let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
@@ -498,7 +498,7 @@ mod tests {
             .unwrap();
         d.advance(60);
         {
-            let mut s = d.state.lock();
+            let mut s = d.state.write();
             let login = d.population.active_logins[0].clone();
             d.registry
                 .execute(
@@ -545,7 +545,7 @@ mod tests {
         let report = d.run_dcm_once();
         assert!(report.generated.iter().any(|(s, _, _)| s == "NFS"));
         let uid: i64 = {
-            let s = d.state.lock();
+            let s = d.state.read();
             let row =
                 s.db.table("users")
                     .select_one(&moira_db::Pred::Eq("login", login.clone().into()))

@@ -20,7 +20,7 @@ fn hesiod_passwd(d: &Deployment, host: &str) -> Option<Vec<u8>> {
 
 /// Every enabled serverhost reports success.
 fn converged(d: &Deployment) -> bool {
-    let s = d.state.lock();
+    let s = d.state.read();
     let t = s.db.table("serverhosts");
     let all_ok = t.iter().all(|(row, _)| {
         !t.cell(row, "enable").as_bool()
@@ -204,7 +204,7 @@ fn overloaded_server_is_client_visible_and_recoverable() {
     // backoff all make it through the contention.
     let (mut server, state, _) = standard_server(moira_common::VClock::new());
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira_core::queries::testutil::add_test_user(&mut s, "ops", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
@@ -233,7 +233,7 @@ fn overloaded_server_is_client_visible_and_recoverable() {
         .collect();
     let resends: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
     let machines = {
-        let s = state.lock();
+        let s = state.read();
         s.db.table("machine")
             .select(&moira_db::Pred::Like("name", "BOX-*".into()))
             .len()

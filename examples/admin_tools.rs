@@ -97,7 +97,7 @@ fn main() {
     athena.advance(13 * 3600);
     athena.run_dcm_once();
     let uid: i64 = {
-        let s = athena.state.lock();
+        let s = athena.state.read();
         let row =
             s.db.table("users")
                 .select_one(&moira::db::Pred::Eq("login", user.clone().into()))

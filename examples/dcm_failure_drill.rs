@@ -17,7 +17,7 @@ fn main() {
     // --- Drill 1: crash during the update. ---------------------------------
     println!("drill 1: {hesiod_host_name} will crash two operations into the next update");
     {
-        let mut s = athena.state.lock();
+        let mut s = athena.state.write();
         let login = athena.population.active_logins[0].clone();
         athena
             .registry
@@ -52,7 +52,7 @@ fn main() {
     println!("\ndrill 2: the network now flips a byte in every transfer");
     athena.advance(60);
     {
-        let mut s = athena.state.lock();
+        let mut s = athena.state.write();
         let login = athena.population.active_logins[1].clone();
         athena
             .registry
@@ -83,7 +83,7 @@ fn main() {
     println!("\ndrill 3: the install script starts exiting 13 (a hard error)");
     athena.advance(60);
     {
-        let mut s = athena.state.lock();
+        let mut s = athena.state.write();
         let login = athena.population.active_logins[2].clone();
         athena
             .registry
@@ -123,7 +123,7 @@ fn main() {
     println!("  operator: reset_server_error + reset_server_host_error, fix the script…");
     athena.hosts[&hesiod_host_name].lock().fail.fail_exec_with = None;
     {
-        let mut s = athena.state.lock();
+        let mut s = athena.state.write();
         let root = Caller::root("operator");
         athena
             .registry

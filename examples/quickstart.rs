@@ -12,7 +12,7 @@ fn main() {
     let (server, state, _registry) = standard_server(moira::common::VClock::new());
     {
         // Bootstrap one administrator onto the moira-admins list (id 2).
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira::core::queries::testutil::add_test_user(&mut s, "admin", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();

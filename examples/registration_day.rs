@@ -72,7 +72,7 @@ fn main() {
     );
     println!("…the account is half-registered; accounts staff activates it…");
     {
-        let mut s = athena.state.lock();
+        let mut s = athena.state.write();
         athena
             .registry
             .execute(

@@ -11,7 +11,7 @@ use moira::sim::{Deployment, PopulationSpec};
 fn server_with_admin() -> (ServerThread, moira::client::RpcClient) {
     let (server, state, _) = standard_server(moira::common::VClock::new());
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira::core::queries::testutil::add_test_user(&mut s, "ops", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
@@ -30,7 +30,7 @@ fn admin_change_reaches_every_consumer() {
 
     // One administrative session makes several kinds of changes.
     {
-        let mut s = athena.state.lock();
+        let mut s = athena.state.write();
         let root = Caller::root("itest");
         let run = |s: &mut _, q: &str, args: &[&str]| {
             let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
@@ -163,7 +163,7 @@ fn journal_replays_onto_restored_backup() {
     // transactions.
     let (server, state, registry) = standard_server(moira::common::VClock::new());
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira::core::queries::testutil::add_test_user(&mut s, "ops", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
@@ -173,7 +173,7 @@ fn journal_replays_onto_restored_backup() {
 
     // Day 1: work happens, then the nightly backup runs.
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         registry
             .execute(
                 &mut s,
@@ -183,12 +183,12 @@ fn journal_replays_onto_restored_backup() {
             )
             .unwrap();
     }
-    let backup = moira::db::backup::mrbackup(&state.lock().db);
-    let backup_time = state.lock().now();
+    let backup = moira::db::backup::mrbackup(&state.read().db);
+    let backup_time = state.read().now();
 
     // Day 2: more work, journaled but not yet backed up.
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         s.db.clock().advance(3600);
         registry
             .execute(
@@ -207,7 +207,7 @@ fn journal_replays_onto_restored_backup() {
             )
             .unwrap();
     }
-    let journal_text = state.lock().journal.to_text();
+    let journal_text = state.read().journal.to_text();
 
     // Disaster: the database is lost. Restore the backup…
     let mut recovered = moira::core::state::MoiraState::new(moira::common::VClock::new());
@@ -253,7 +253,7 @@ fn access_precheck_agrees_with_execution_across_catalog() {
     // catalog, for both an admin and a plain user.
     let (server, state, registry) = standard_server(moira::common::VClock::new());
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira::core::queries::testutil::add_test_user(&mut s, "ops", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
@@ -271,8 +271,8 @@ fn access_precheck_agrees_with_execution_across_catalog() {
         let caller = Caller::new(who, "itest");
         for (query, args) in cases {
             let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
-            let mut s = state.lock();
-            let pre = registry.check_access(&mut s, &caller, query, &args);
+            let mut s = state.write();
+            let pre = registry.check_access(&s, &caller, query, &args);
             let exec = registry.execute(&mut s, &caller, query, &args);
             match pre {
                 Ok(()) => {
@@ -292,7 +292,7 @@ fn access_precheck_agrees_with_execution_across_catalog() {
 fn concurrent_admin_sessions_are_serialized_safely() {
     let (server, state, _) = standard_server(moira::common::VClock::new());
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira::core::queries::testutil::add_test_user(&mut s, "ops", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
@@ -317,7 +317,7 @@ fn concurrent_admin_sessions_are_serialized_safely() {
     for h in handles {
         h.join().unwrap();
     }
-    let total = state.lock().db.table("machine").len();
+    let total = state.read().db.table("machine").len();
     assert_eq!(total, 100);
 }
 
@@ -325,7 +325,7 @@ fn concurrent_admin_sessions_are_serialized_safely() {
 fn tcp_client_full_round_trip() {
     let (mut server, state, _) = standard_server(moira::common::VClock::new());
     {
-        let mut s = state.lock();
+        let mut s = state.write();
         let uid = moira::core::queries::testutil::add_test_user(&mut s, "ops", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
@@ -389,6 +389,6 @@ fn kerberos_end_to_end_through_rpc() {
     );
 }
 
-fn parking_lot_state(s: moira::core::MoiraState) -> parking_lot::Mutex<moira::core::MoiraState> {
-    parking_lot::Mutex::new(s)
+fn parking_lot_state(s: moira::core::MoiraState) -> parking_lot::RwLock<moira::core::MoiraState> {
+    parking_lot::RwLock::new(s)
 }

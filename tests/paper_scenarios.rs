@@ -29,7 +29,7 @@ fn quota_change_example() {
     athena.advance(13 * 3600);
     athena.run_dcm_once();
     let uid: i64 = {
-        let s = athena.state.lock();
+        let s = athena.state.read();
         let row =
             s.db.table("users")
                 .select_one(&moira::db::Pred::Eq("login", user.clone().into()))
@@ -119,7 +119,7 @@ fn registration_lag_scenario() {
     assert!(matches!(grab, RegReply::Ok(_)));
     {
         // Accounts staff activates the account so extraction picks it up.
-        let mut s = athena.state.lock();
+        let mut s = athena.state.write();
         athena
             .registry
             .execute(
@@ -166,7 +166,7 @@ fn hesiod_restart_semantics() {
     // memory image contains the change.
     athena.advance(60);
     {
-        let mut s = athena.state.lock();
+        let mut s = athena.state.write();
         athena
             .registry
             .execute(
