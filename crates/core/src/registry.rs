@@ -63,6 +63,12 @@ pub type ReadHandler = fn(&MoiraState, &Caller, &[String]) -> MrResult<Vec<Vec<S
 
 /// Write-tier handler signature: exclusive state access for the
 /// side-effecting classes.
+///
+/// Contract: a write handler must effect every durable change through
+/// `state.db` (table appends/updates/deletes). Journaling keys on the
+/// database's mutation counter, so a handler that mutated only other
+/// `MoiraState` fields would succeed without being journaled — see
+/// [`Registry::execute`].
 pub type WriteHandler = fn(&mut MoiraState, &Caller, &[String]) -> MrResult<Vec<Vec<String>>>;
 
 /// A query implementation, split by tier.
@@ -243,6 +249,14 @@ impl Registry {
     /// Executes a query of either tier: arity check, access check, handler,
     /// and journaling of successful mutations that actually changed the
     /// database (validate-only successes are not journaled).
+    ///
+    /// "Changed" is detected via `state.db`'s mutation counter, which covers
+    /// table appends, updates, and deletes. That is the whole journaling
+    /// contract: mutation-class handlers must route durable changes through
+    /// the database tables (all standard handlers do). A hypothetical write
+    /// that touched only other `MoiraState` fields would not be journaled —
+    /// register such maintenance actions as `Special`/server-level requests
+    /// (like `Trigger_DCM`) instead of mutation-class queries.
     pub fn execute(
         &self,
         state: &mut MoiraState,

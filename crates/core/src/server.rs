@@ -66,6 +66,10 @@ pub struct ServiceSample {
     pub nanos: u64,
 }
 
+/// One read-tier result: task id, replies, and the handler's service time —
+/// `None` when the request was shed with `Busy` instead of executed.
+type ReadOutcome = (usize, Vec<Reply>, Option<u64>);
+
 /// How one ready frame is dispatched.
 enum Work {
     /// Answered without touching state (noop, decode/version errors, sheds).
@@ -81,6 +85,12 @@ enum Work {
 struct TaskSlot {
     conn: usize,
     work: Work,
+    /// Caller snapshot taken at classification time. Only the read tier
+    /// consumes it — and there it cannot be stale, because an `Auth` frame
+    /// forces the rest of that connection's batch onto the serial tier. The
+    /// serial tier instead re-resolves the caller from the connection at
+    /// dispatch time, so a request pipelined behind an `Auth` in the same
+    /// pass executes under the just-authenticated principal.
     caller: Caller,
 }
 
@@ -104,9 +114,11 @@ pub struct MoiraServer {
     read_workers: usize,
     /// Bounded lock-acquisition budget before shedding with `Busy`.
     lock_patience: u32,
-    /// Requests dispatched on the shared tier over the server's lifetime.
+    /// Requests executed on the shared tier over the server's lifetime
+    /// (requests shed with `Busy` are not counted).
     reads_dispatched: u64,
-    /// Requests dispatched on the exclusive tier over the server's lifetime.
+    /// Requests executed on the exclusive tier over the server's lifetime
+    /// (requests shed with `Busy` are not counted).
     writes_dispatched: u64,
     /// When enabled, per-request service times for the bench harness.
     service_trace: Option<Vec<ServiceSample>>,
@@ -179,7 +191,9 @@ impl MoiraServer {
         self.lock_patience = attempts;
     }
 
-    /// Requests dispatched on the (shared, exclusive) tiers so far.
+    /// Requests executed on the (shared, exclusive) tiers so far. Requests
+    /// shed with `Busy` count toward [`MoiraServer::shed_requests`], not
+    /// here.
     pub fn dispatch_counts(&self) -> (u64, u64) {
         (self.reads_dispatched, self.writes_dispatched)
     }
@@ -393,13 +407,8 @@ impl MoiraServer {
                     continue;
                 }
                 let slot = self.classify(conn, frame, tiered && !serial_from_here);
-                match slot.work {
-                    Work::Read { .. } => self.reads_dispatched += 1,
-                    Work::Write(_) => {
-                        serial_from_here = true;
-                        self.writes_dispatched += 1;
-                    }
-                    Work::Done(_) => {}
+                if matches!(slot.work, Work::Write(_)) {
+                    serial_from_here = true;
                 }
                 tasks.push(slot);
             }
@@ -419,9 +428,7 @@ impl MoiraServer {
             let patience = self.lock_patience;
             let trace_on = self.service_trace.is_some();
             let workers = self.read_workers.max(1).min(read_ids.len());
-            // (task id, replies, service nanos) from each worker.
-            let mut outcomes: Vec<(usize, Vec<Reply>, u64)> = Vec::with_capacity(read_ids.len());
-            let mut shed = 0u64;
+            let mut outcomes: Vec<ReadOutcome> = Vec::with_capacity(read_ids.len());
             if workers <= 1 {
                 match Self::read_or_busy(&state, patience) {
                     Some(guard) => {
@@ -433,13 +440,12 @@ impl MoiraServer {
                             let t0 = trace_on.then(Instant::now);
                             let replies = Self::run_read(&registry, &guard, caller, *access, args);
                             let nanos = t0.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
-                            outcomes.push((id, replies, nanos));
+                            outcomes.push((id, replies, Some(nanos)));
                         }
                     }
                     None => {
-                        shed += read_ids.len() as u64;
                         for &id in &read_ids {
-                            outcomes.push((id, vec![Reply::status(MrError::Busy.code())], 0));
+                            outcomes.push((id, vec![Reply::status(MrError::Busy.code())], None));
                         }
                     }
                 }
@@ -450,7 +456,7 @@ impl MoiraServer {
                     .map(|w| read_ids.iter().copied().skip(w).step_by(workers).collect())
                     .collect();
                 let tasks_ref = &tasks;
-                let results: Vec<Vec<(usize, Vec<Reply>, u64)>> = std::thread::scope(|scope| {
+                let results: Vec<Vec<ReadOutcome>> = std::thread::scope(|scope| {
                     let handles: Vec<_> = chunks
                         .into_iter()
                         .map(|chunk| {
@@ -472,12 +478,12 @@ impl MoiraServer {
                                             let nanos = t0
                                                 .map(|t| t.elapsed().as_nanos() as u64)
                                                 .unwrap_or(0);
-                                            out.push((id, replies, nanos));
+                                            out.push((id, replies, Some(nanos)));
                                         }
                                         None => out.push((
                                             id,
                                             vec![Reply::status(MrError::Busy.code())],
-                                            u64::MAX,
+                                            None,
                                         )),
                                     }
                                 }
@@ -491,25 +497,25 @@ impl MoiraServer {
                         .collect()
                 });
                 for worker_out in results {
-                    for (id, replies, nanos) in worker_out {
-                        if nanos == u64::MAX {
-                            shed += 1;
-                            outcomes.push((id, replies, 0));
-                        } else {
-                            outcomes.push((id, replies, nanos));
-                        }
-                    }
+                    outcomes.extend(worker_out);
                 }
             }
-            self.shed_requests += shed;
             for (id, replies, nanos) in outcomes {
-                if let Some(trace) = self.service_trace.as_mut() {
-                    if !matches!(tasks[id].work, Work::Done(_)) {
-                        trace.push(ServiceSample {
-                            read_tier: true,
-                            nanos,
-                        });
+                match nanos {
+                    Some(nanos) => {
+                        // Executed under a shared guard: count it, and trace
+                        // it if the bench harness asked for samples. Sheds
+                        // are excluded from both so the service-time
+                        // distribution only reflects real executions.
+                        self.reads_dispatched += 1;
+                        if let Some(trace) = self.service_trace.as_mut() {
+                            trace.push(ServiceSample {
+                                read_tier: true,
+                                nanos,
+                            });
+                        }
                     }
+                    None => self.shed_requests += 1,
                 }
                 tasks[id].work = Work::Done(replies);
             }
@@ -527,24 +533,36 @@ impl MoiraServer {
             let guard_opt = Self::write_or_busy(&state, self.lock_patience);
             match guard_opt {
                 Some(mut guard) => {
+                    self.writes_dispatched += write_ids.len() as u64;
                     for id in write_ids {
-                        let TaskSlot { conn, work, caller } = &tasks[id];
+                        let TaskSlot { conn, work, .. } = &tasks[id];
                         let Work::Write(request) = work else {
                             unreachable!()
                         };
+                        // Resolve the caller from the connection *now*, not
+                        // from the classify-time snapshot: the tier runs in
+                        // arrival order, so an `Auth` earlier in this batch
+                        // has already installed the new principal by the
+                        // time a request pipelined behind it executes.
+                        let caller = self.connections[*conn].caller.clone();
                         let t0 = self.service_trace.is_some().then(Instant::now);
                         let replies = match request.major {
                             MajorRequest::Auth => {
                                 vec![self.handle_auth(*conn, request, &mut guard)]
                             }
                             MajorRequest::TriggerDcm => {
-                                vec![Self::handle_trigger_dcm(caller, &mut guard)]
+                                vec![Self::handle_trigger_dcm(&caller, &mut guard)]
                             }
                             MajorRequest::Query => {
-                                Self::handle_query(&self.registry, caller, request, &mut guard)
+                                Self::handle_query(&self.registry, &caller, request, &mut guard)
                             }
                             MajorRequest::Access => {
-                                vec![Self::handle_access(&self.registry, caller, request, &guard)]
+                                vec![Self::handle_access(
+                                    &self.registry,
+                                    &caller,
+                                    request,
+                                    &guard,
+                                )]
                             }
                             MajorRequest::Noop => vec![Reply::status(0)],
                         };
@@ -1066,6 +1084,63 @@ mod tests {
     }
 
     #[test]
+    fn query_pipelined_behind_auth_uses_new_principal() {
+        // Auth and a mutation land in the same poll pass. The mutation was
+        // classified while the connection was still anonymous, but it must
+        // execute under the just-authenticated principal — the serial tier
+        // re-resolves the caller at dispatch time.
+        let (mut server, mut client) = setup();
+        client
+            .send(Request::new(MajorRequest::Auth, &["ops", "test"]).encode())
+            .unwrap();
+        client
+            .send(Request::new(MajorRequest::Query, &["add_machine", "PIPELINED", "VAX"]).encode())
+            .unwrap();
+        client
+            .send(Request::new(MajorRequest::Access, &["add_machine", "Y", "VAX"]).encode())
+            .unwrap();
+        server.run_until_idle(2);
+        let auth = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(auth.code, 0);
+        let add = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(add.code, 0, "mutation behind auth ran under a stale caller");
+        let access = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(
+            access.code, 0,
+            "access check behind auth used a stale caller"
+        );
+    }
+
+    #[test]
+    fn reauth_in_same_pass_drops_old_privileges() {
+        // The mirror image: a privileged connection re-authenticates as an
+        // unprivileged principal with a mutation pipelined behind the Auth.
+        // The mutation must run as the new principal, not retain the old
+        // one's capabilities through a classify-time snapshot.
+        let (mut server, mut client) = setup();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        client
+            .send(Request::new(MajorRequest::Auth, &["nobody", "test"]).encode())
+            .unwrap();
+        client
+            .send(Request::new(MajorRequest::Query, &["add_machine", "SNEAK", "VAX"]).encode())
+            .unwrap();
+        server.run_until_idle(2);
+        let auth = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(auth.code, 0);
+        let add = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
+        assert_eq!(
+            add.code,
+            MrError::Perm.code(),
+            "mutation retained the pre-re-auth principal's privileges"
+        );
+    }
+
+    #[test]
     fn serialized_baseline_still_answers_queries() {
         let (mut server, mut client) = setup();
         server.set_read_workers(0);
@@ -1148,6 +1223,8 @@ mod tests {
             Request::new(MajorRequest::Auth, &["ops", "test"]),
         );
         server.set_lock_patience(4);
+        server.enable_service_trace();
+        let dispatched_before = server.dispatch_counts();
         let state = server.state();
         // An outside writer (e.g. a DCM cycle) holds the exclusive lock for
         // the whole pass: the read tier cannot acquire a shared guard and
@@ -1161,6 +1238,10 @@ mod tests {
         let r = Reply::decode(recv_blocking(&mut client, 100).unwrap()).unwrap();
         assert_eq!(r.code, MrError::Busy.code());
         assert_eq!(server.shed_requests(), 1);
+        // Sheds never executed, so they are excluded from the dispatch
+        // counters and contribute no zero-time samples to the service trace.
+        assert_eq!(server.dispatch_counts(), dispatched_before);
+        assert!(server.take_service_trace().is_empty());
         // Retry after the writer releases succeeds.
         client
             .send(Request::new(MajorRequest::Query, &["get_user_by_login", "ops"]).encode())
