@@ -30,7 +30,9 @@ fn bench_protocol(c: &mut Criterion) {
 
     let mut archive = Archive::new();
     for i in 0..11 {
-        archive.add(&format!("file{i}.db"), vec![b'x'; 50_000]);
+        archive
+            .add(&format!("file{i}.db"), vec![b'x'; 50_000])
+            .unwrap();
     }
     let bytes = archive.to_bytes();
     c.bench_function("archive_serialize_550k", |b| {

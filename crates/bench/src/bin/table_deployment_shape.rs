@@ -41,7 +41,9 @@ fn main() {
                 .select_one(&Pred::Eq("name", d.population.nfs_servers[0].as_str().into()))
                 .unwrap();
             let mach_id = s.db.cell("machine", mach, "mach_id").as_int();
-            moira_dcm::generators::nfs::NfsGenerator::for_host(&s, mach_id, "").members.len()
+            moira_dcm::generators::nfs::NfsGenerator::for_host(&s, mach_id, "")
+                .expect("distinct partition stems")
+                .len()
         }
         - 1; // the shared credentials file was already counted once
 

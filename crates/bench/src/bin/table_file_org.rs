@@ -77,7 +77,7 @@ fn main() {
         .collect();
     let nfs_archives: Vec<_> = nfs_mach_ids
         .iter()
-        .map(|&m| NfsGenerator::for_host(&state, m, ""))
+        .map(|&m| NfsGenerator::for_host(&state, m, "").expect("distinct partition stems"))
         .collect();
     eprintln!(
         "generated all service files in {:.2}s",
@@ -86,10 +86,10 @@ fn main() {
 
     let mut measured: Vec<(String, String, u64, u64, u64, String)> = Vec::new();
     let hesiod_props = report.hesiod_servers.len() as u64;
-    for (name, data) in &hesiod.members {
+    for (name, data) in hesiod.iter() {
         measured.push((
             "Hesiod".into(),
-            name.clone(),
+            name.to_owned(),
             data.len() as u64,
             1,
             hesiod_props,
@@ -98,13 +98,11 @@ fn main() {
     }
     let rep = &nfs_archives[0];
     let dirs_size = rep
-        .members
         .iter()
         .find(|(n, _)| n.ends_with(".dirs"))
         .map(|(_, d)| d.len())
         .unwrap_or(0);
     let quota_size = rep
-        .members
         .iter()
         .find(|(n, _)| n.ends_with(".quotas"))
         .map(|(_, d)| d.len())
@@ -144,7 +142,7 @@ fn main() {
         report.mail_hubs.len() as u64,
         "24 hours".into(),
     ));
-    let zfiles = zephyr.members.len() as u64;
+    let zfiles = zephyr.len() as u64;
     let zsize = (zephyr.payload_size() as u64)
         .checked_div(zfiles)
         .unwrap_or(0);

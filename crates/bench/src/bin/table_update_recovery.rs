@@ -256,16 +256,12 @@ fn main() {
         run_scenario(
             "Moira crash (data files lost, locks orphaned)",
             |d| {
-                // Crash mid-run: generate, then lose the DCM's state.
+                // Crash mid-run: generate, then lose the DCM's in-memory
+                // state. The restarted DCM re-reads its srvtab from disk and
+                // reattaches to the fabric, but its generator caches and
+                // last-pushed archives are gone.
                 d.run_dcm_once();
-                let state = d.state.clone();
-                let registry = d.registry.clone();
-                let hosts: Vec<_> = d.dcm.hosts.values().cloned().collect();
-                let mut fresh = moira_dcm::Dcm::new(state, registry);
-                for h in hosts {
-                    fresh.add_host(h);
-                }
-                d.dcm = fresh;
+                d.restart_dcm();
                 // A change arrives that the lost files do not contain.
                 let mut s = d.state.write();
                 let login = d.population.active_logins[0].clone();

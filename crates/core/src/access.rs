@@ -117,10 +117,7 @@ impl Default for AccessCache {
 fn acl_generation(state: &MoiraState) -> u64 {
     ["list", "members", "capacls", "users"]
         .iter()
-        .map(|t| {
-            let s = state.db.table(t).stats();
-            s.appends + s.updates + s.deletes
-        })
+        .map(|t| state.db.table(t).generation())
         .sum()
 }
 

@@ -200,6 +200,7 @@ pub fn register(r: &mut Registry) {
                 "updates",
                 "deletes",
                 "modtime",
+                "generation",
             ],
             handler: Handler::Read(get_all_table_stats),
         },
@@ -535,6 +536,7 @@ fn get_all_table_stats(
             stats.updates.to_string(),
             stats.deletes.to_string(),
             stats.modtime.to_string(),
+            stats.generation.to_string(),
         ]);
     }
     Ok(out)
@@ -770,5 +772,15 @@ mod tests {
             .unwrap();
         assert_eq!(machine_after, machine_before + 1);
         assert_eq!(after.len(), crate::schema::RELATIONS.len());
+        // The trailing generation column equals appends+updates+deletes.
+        for row in &after {
+            let (a, u, d): (u64, u64, u64) = (
+                row[2].parse().unwrap(),
+                row[3].parse().unwrap(),
+                row[4].parse().unwrap(),
+            );
+            let generation: u64 = row[6].parse().unwrap();
+            assert_eq!(generation, a + u + d, "table {}", row[0]);
+        }
     }
 }

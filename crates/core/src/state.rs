@@ -132,6 +132,14 @@ impl MoiraState {
         self.db.now()
     }
 
+    /// Cuts a mutation-generation cursor over `tables`. Callers holding the
+    /// PR-2 shared read lock get a consistent snapshot: the cursor and any
+    /// `changed_since` reads taken under the same guard describe the same
+    /// database version, since writers need the exclusive lock to mutate.
+    pub fn generation_cursor(&self, tables: &[&'static str]) -> moira_db::GenCursor {
+        self.db.cursor(tables)
+    }
+
     /// Allocates the next client number for `_list_users`.
     pub fn next_client_number(&mut self) -> u64 {
         self.next_client_no += 1;

@@ -1,6 +1,7 @@
 //! The database: a collection of named tables sharing one virtual clock.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use moira_common::clock::VClock;
 use moira_common::errors::{MrError, MrResult};
@@ -10,11 +11,61 @@ use crate::schema::TableSchema;
 use crate::table::{RowId, Table};
 use crate::value::Value;
 
+/// Process-wide source of database epochs. Every `Database::new` gets a
+/// distinct epoch, so a state rebuilt from backup + journal replay is
+/// distinguishable from the live state it replaces even when the replayed
+/// generation counters happen to line up.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// A consistent snapshot of per-table mutation generations, taken for a
+/// fixed set of tables. Consumers (the DCM's incremental generators) hold a
+/// cursor and later ask whether it is still valid against the live database
+/// and which tables advanced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenCursor {
+    /// Epoch of the database the cursor was cut from.
+    pub epoch: u64,
+    /// `table name -> generation` at cut time.
+    pub gens: BTreeMap<&'static str, u64>,
+}
+
+impl GenCursor {
+    /// True if deltas taken relative to this cursor are meaningful against
+    /// `db`: same epoch, and no table's generation has moved *backwards*
+    /// (which would mean the table was rebuilt under us).
+    pub fn valid_for(&self, db: &Database) -> bool {
+        self.epoch == db.epoch()
+            && self
+                .gens
+                .iter()
+                .all(|(name, &g)| db.table(name).generation() >= g)
+    }
+
+    /// The cursor's tables whose generation has advanced past the cursor.
+    pub fn advanced_tables(&self, db: &Database) -> Vec<&'static str> {
+        self.gens
+            .iter()
+            .filter(|&(name, &g)| db.table(name).generation() > g)
+            .map(|(&name, _)| name)
+            .collect()
+    }
+
+    /// True if the cursor is valid and nothing it covers has changed.
+    pub fn unchanged_in(&self, db: &Database) -> bool {
+        self.valid_for(db)
+            && self
+                .gens
+                .iter()
+                .all(|(name, &g)| db.table(name).generation() == g)
+    }
+}
+
 /// A named-table database with a shared virtual clock for modtimes.
 #[derive(Debug, Clone)]
 pub struct Database {
     tables: BTreeMap<&'static str, Table>,
     clock: VClock,
+    epoch: u64,
 }
 
 impl Database {
@@ -23,6 +74,28 @@ impl Database {
         Database {
             tables: BTreeMap::new(),
             clock,
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// This database's epoch. Distinct per `Database::new`; preserved by
+    /// `Clone` (a clone carries the same content and history).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cuts a generation cursor over the named tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown table names, like [`Database::table`].
+    pub fn cursor(&self, tables: &[&'static str]) -> GenCursor {
+        GenCursor {
+            epoch: self.epoch,
+            gens: tables
+                .iter()
+                .map(|&name| (name, self.table(name).generation()))
+                .collect(),
         }
     }
 
@@ -208,5 +281,40 @@ mod tests {
     #[should_panic(expected = "no table")]
     fn unknown_table_panics() {
         db().table("users");
+    }
+
+    #[test]
+    fn epochs_distinct_per_database_but_shared_by_clones() {
+        let a = db();
+        let b = db();
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a.clone().epoch(), a.epoch());
+    }
+
+    #[test]
+    fn cursor_tracks_advancement_and_epoch() {
+        let mut d = db();
+        d.append("machine", vec!["A".into(), "VAX".into()]).unwrap();
+        let cur = d.cursor(&["machine"]);
+        assert!(cur.valid_for(&d));
+        assert!(cur.unchanged_in(&d));
+        assert!(cur.advanced_tables(&d).is_empty());
+
+        d.append("machine", vec!["B".into(), "VAX".into()]).unwrap();
+        assert!(cur.valid_for(&d));
+        assert!(!cur.unchanged_in(&d));
+        assert_eq!(cur.advanced_tables(&d), vec!["machine"]);
+
+        // A freshly built database (restore/replay) has a new epoch: the
+        // cursor is invalid even if the generation counters line up.
+        let mut fresh = db();
+        fresh
+            .append("machine", vec!["A".into(), "VAX".into()])
+            .unwrap();
+        fresh
+            .append("machine", vec!["B".into(), "VAX".into()])
+            .unwrap();
+        assert!(!cur.valid_for(&fresh));
+        assert!(!cur.unchanged_in(&fresh));
     }
 }

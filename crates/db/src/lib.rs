@@ -31,8 +31,8 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use database::Database;
+pub use database::{Database, GenCursor};
 pub use query::Pred;
 pub use schema::{ColumnDef, TableSchema};
-pub use table::{RowId, Table};
+pub use table::{RowChange, RowId, Table};
 pub use value::{ColType, Value};

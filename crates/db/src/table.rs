@@ -24,6 +24,30 @@ pub struct TableStats {
     pub deletes: u64,
     /// Unix time of the last append/update/delete.
     pub modtime: i64,
+    /// Monotonic mutation generation: bumped exactly once per
+    /// append/update/delete, so per-table generations sum to
+    /// `Database::mutation_count`. Unlike `modtime` (seconds granularity)
+    /// two mutations can never share a generation.
+    pub generation: u64,
+}
+
+/// One entry of a [`Table::changed_since`] cursor read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowChange {
+    /// The row is live and was appended or updated after the cursor.
+    /// A reused slot reports as `Upserted` — consumers replace by id.
+    Upserted(RowId),
+    /// The row was deleted after the cursor and its slot is still free.
+    Deleted(RowId),
+}
+
+impl RowChange {
+    /// The row id the change applies to.
+    pub fn id(&self) -> RowId {
+        match *self {
+            RowChange::Upserted(id) | RowChange::Deleted(id) => id,
+        }
+    }
 }
 
 /// A table: schema, row slab, secondary indexes, statistics.
@@ -31,8 +55,15 @@ pub struct TableStats {
 pub struct Table {
     schema: TableSchema,
     rows: Vec<Option<Vec<Value>>>,
+    /// Parallel to `rows`: the table generation at which each slot last
+    /// changed (stamp taken after the bump, so stamps start at 1).
+    row_gens: Vec<u64>,
     free: Vec<RowId>,
     live: usize,
+    /// Tombstones: slot -> generation of the delete. Cleared when the slab
+    /// free-list hands the slot back out, at which point the reused slot
+    /// reports as `Upserted` instead.
+    dead: BTreeMap<RowId, u64>,
     /// `column index -> value -> row ids`.
     indexes: BTreeMap<usize, BTreeMap<Value, Vec<RowId>>>,
     stats: TableStats,
@@ -51,8 +82,10 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            row_gens: Vec::new(),
             free: Vec::new(),
             live: 0,
+            dead: BTreeMap::new(),
             indexes,
             stats: TableStats::default(),
         }
@@ -76,6 +109,36 @@ impl Table {
     /// Mutation statistics.
     pub fn stats(&self) -> TableStats {
         self.stats
+    }
+
+    /// Current mutation generation (0 for a pristine table).
+    pub fn generation(&self) -> u64 {
+        self.stats.generation
+    }
+
+    /// Every row whose last change is newer than `gen`, in id order.
+    ///
+    /// Live rows stamped after the cursor report as [`RowChange::Upserted`]
+    /// (covering both fresh appends and in-place updates); freed slots whose
+    /// delete landed after the cursor report as [`RowChange::Deleted`].
+    /// `changed_since(0)` enumerates every live row plus outstanding
+    /// tombstones, and `changed_since(self.generation())` is empty.
+    pub fn changed_since(&self, gen: u64) -> Vec<RowChange> {
+        let mut changes: Vec<RowChange> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(id, row)| row.is_some() && self.row_gens[*id] > gen)
+            .map(|(id, _)| RowChange::Upserted(id))
+            .collect();
+        changes.extend(
+            self.dead
+                .iter()
+                .filter(|&(_, &g)| g > gen)
+                .map(|(&id, _)| RowChange::Deleted(id)),
+        );
+        changes.sort_unstable_by_key(|c| c.id());
+        changes
     }
 
     /// Index of a column; panics on unknown names (schema bugs, not runtime
@@ -150,10 +213,12 @@ impl Table {
         let id = match self.free.pop() {
             Some(id) => {
                 self.rows[id] = Some(row);
+                self.dead.remove(&id);
                 id
             }
             None => {
                 self.rows.push(Some(row));
+                self.row_gens.push(0);
                 self.rows.len() - 1
             }
         };
@@ -162,6 +227,8 @@ impl Table {
         self.live += 1;
         self.stats.appends += 1;
         self.stats.modtime = now;
+        self.stats.generation += 1;
+        self.row_gens[id] = self.stats.generation;
         Ok(id)
     }
 
@@ -265,6 +332,8 @@ impl Table {
         self.rows[id] = Some(new);
         self.stats.updates += 1;
         self.stats.modtime = now;
+        self.stats.generation += 1;
+        self.row_gens[id] = self.stats.generation;
         Ok(())
     }
 
@@ -281,6 +350,9 @@ impl Table {
         self.live -= 1;
         self.stats.deletes += 1;
         self.stats.modtime = now;
+        self.stats.generation += 1;
+        self.row_gens[id] = self.stats.generation;
+        self.dead.insert(id, self.stats.generation);
         Ok(())
     }
 
@@ -486,6 +558,72 @@ mod tests {
             t.select_one(&Pred::Eq("uid", 7000.into())),
             t.select(&Pred::Eq("uid", 7000.into())).first().copied()
         );
+    }
+
+    #[test]
+    fn generation_counts_every_mutation() {
+        let mut t = users_table();
+        assert_eq!(t.generation(), 0);
+        let a = t.append(row("a", 1, true), 0).unwrap();
+        t.update(a, &[("uid", Value::Int(2))], 0).unwrap();
+        t.delete(a, 0).unwrap();
+        assert_eq!(t.generation(), 3);
+        let s = t.stats();
+        assert_eq!(s.appends + s.updates + s.deletes, s.generation);
+    }
+
+    #[test]
+    fn changed_since_reports_upserts_and_tombstones() {
+        let mut t = users_table();
+        let a = t.append(row("a", 1, true), 0).unwrap();
+        let b = t.append(row("b", 2, true), 0).unwrap();
+        let cursor = t.generation();
+        assert_eq!(t.changed_since(cursor), vec![]);
+        t.update(b, &[("uid", Value::Int(9))], 1).unwrap();
+        t.delete(a, 1).unwrap();
+        let c = t.append(row("c", 3, true), 1).unwrap();
+        assert_eq!(c, a, "slot reused");
+        // The reused slot reports Upserted, not Deleted: the tombstone is
+        // cleared when the free list hands the slot back out.
+        assert_eq!(
+            t.changed_since(cursor),
+            vec![RowChange::Upserted(a), RowChange::Upserted(b)]
+        );
+        // From zero, every live row is visible.
+        assert_eq!(
+            t.changed_since(0),
+            vec![RowChange::Upserted(a), RowChange::Upserted(b)]
+        );
+        // At the current generation, nothing.
+        assert_eq!(t.changed_since(t.generation()), vec![]);
+    }
+
+    #[test]
+    fn changed_since_keeps_tombstone_until_reuse() {
+        let mut t = users_table();
+        let a = t.append(row("a", 1, true), 0).unwrap();
+        t.append(row("b", 2, true), 0).unwrap();
+        let cursor = t.generation();
+        t.delete(a, 1).unwrap();
+        assert_eq!(t.changed_since(cursor), vec![RowChange::Deleted(a)]);
+        // An older cursor sees the delete too; a newer one does not.
+        assert_eq!(
+            t.changed_since(0),
+            vec![RowChange::Deleted(a), RowChange::Upserted(1),]
+        );
+        assert_eq!(t.changed_since(t.generation()), vec![]);
+    }
+
+    #[test]
+    fn same_second_mutations_have_distinct_generations() {
+        let mut t = users_table();
+        // Both writes land in second 100 — modtime cannot tell them apart,
+        // generations can.
+        t.append(row("a", 1, true), 100).unwrap();
+        let g1 = t.generation();
+        t.append(row("b", 2, true), 100).unwrap();
+        assert_eq!(t.stats().modtime, 100);
+        assert_eq!(t.changed_since(g1).len(), 1);
     }
 
     #[test]

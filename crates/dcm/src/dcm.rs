@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use moira_common::errors::{MrError, MrResult};
+use moira_common::errors::MrResult;
 use moira_core::registry::Registry;
 use moira_core::state::{Caller, MoiraState, SharedState};
 use moira_db::lock::LockMode;
@@ -19,8 +19,9 @@ use moira_db::Pred;
 use parking_lot::Mutex;
 
 use crate::archive::Archive;
+use crate::generators::incremental::{self, CachedBuild};
 use crate::generators::nfs::NfsGenerator;
-use crate::generators::{check_no_change, Generator};
+use crate::generators::Generator;
 use crate::host::SimHost;
 use crate::net::{Network, PerfectNetwork};
 use crate::retry::{RetryBook, RetryPolicy, SoftOutcome};
@@ -50,6 +51,11 @@ pub struct DcmStats {
     pub generations: u64,
     /// Generation attempts suppressed by `MR_NO_CHANGE`.
     pub no_changes: u64,
+    /// Refreshes that took the full-rebuild path (first run or cursor
+    /// invalidation — restore, replay, plan-less generator).
+    pub full_rebuilds: u64,
+    /// Refreshes that replayed row deltas against a cached build.
+    pub delta_builds: u64,
     /// Host updates attempted.
     pub updates_attempted: u64,
     /// Host updates confirmed successful.
@@ -86,8 +92,15 @@ pub struct Dcm {
     state: SharedState,
     registry: Arc<Registry>,
     generators: HashMap<&'static str, Box<dyn Generator>>,
-    /// The generated data files held on Moira's disk between runs.
-    prepared: HashMap<String, Archive>,
+    /// The generated data files held on Moira's disk between runs, together
+    /// with the section caches and generation cursor that keep the next
+    /// refresh incremental.
+    prepared: HashMap<String, CachedBuild>,
+    /// The archive each `(service, host)` pair last installed successfully
+    /// — the patch base for the update protocol's line-level partial
+    /// transfer. Dropping an entry only costs bytes (the next push ships
+    /// whole members), never correctness.
+    last_pushed: HashMap<(String, String), Archive>,
     /// Reachable server hosts by canonical machine name.
     pub hosts: HashMap<String, Arc<Mutex<SimHost>>>,
     /// Notices sent (Zephyr + mail).
@@ -119,6 +132,7 @@ impl Dcm {
             registry,
             generators,
             prepared: HashMap::new(),
+            last_pushed: HashMap::new(),
             hosts: HashMap::new(),
             notices: Vec::new(),
             nodcm_file: false,
@@ -190,7 +204,12 @@ impl Dcm {
 
     /// The prepared archive for a service, if generated.
     pub fn prepared(&self, service: &str) -> Option<&Archive> {
-        self.prepared.get(service)
+        self.prepared.get(service).map(|b| b.archive())
+    }
+
+    /// Drops a service's cached build (tests exercising the rebuild path).
+    pub fn drop_prepared(&mut self, service: &str) {
+        self.prepared.remove(service);
     }
 
     fn caller() -> Caller {
@@ -308,28 +327,37 @@ impl Dcm {
             );
         }
         let generator = self.generators.get(svc.name.as_str()).expect("eligible");
+        // Refresh the cached build under one read guard: the cursor cut and
+        // the delta reads describe a single database version.
+        let prev = self.prepared.remove(&svc.name);
         let result = {
             let state = self.state.read();
-            check_no_change(generator.as_ref(), &state, svc.dfgen)
-                .and_then(|()| generator.generate(&state, ""))
+            incremental::refresh(generator.as_ref(), &state, prev)
         };
         let (dfgen, dfcheck, harderr, errmsg) = match result {
-            Ok(archive) => {
-                self.stats.generations += 1;
-                report.generated.push((
-                    svc.name.clone(),
-                    archive.members.len(),
-                    archive.payload_size(),
-                ));
-                self.prepared.insert(svc.name.clone(), archive);
-                (now, now, 0, String::new())
-            }
-            Err(MrError::NoChange) => {
-                self.stats.no_changes += 1;
-                report.unchanged.push(svc.name.clone());
-                // "If the generator exits indicating that nothing has
-                // changed, only dfcheck is updated."
-                (svc.dfgen, now, 0, String::new())
+            Ok(refresh) => {
+                let outcome = if refresh.changed {
+                    self.stats.generations += 1;
+                    if refresh.full {
+                        self.stats.full_rebuilds += 1;
+                    } else {
+                        self.stats.delta_builds += 1;
+                    }
+                    report.generated.push((
+                        svc.name.clone(),
+                        refresh.build.archive().len(),
+                        refresh.build.archive().payload_size(),
+                    ));
+                    (now, now, 0, String::new())
+                } else {
+                    self.stats.no_changes += 1;
+                    report.unchanged.push(svc.name.clone());
+                    // "If the generator exits indicating that nothing has
+                    // changed, only dfcheck is updated."
+                    (svc.dfgen, now, 0, String::new())
+                };
+                self.prepared.insert(svc.name.clone(), refresh.build);
+                outcome
             }
             Err(e) => {
                 self.notify(
@@ -381,11 +409,12 @@ impl Dcm {
             let generator = self.generators.get(svc.name.as_str()).expect("eligible");
             let rebuilt = {
                 let state = self.state.read();
-                generator.generate(&state, "")
+                incremental::refresh(generator.as_ref(), &state, None)
             };
             match rebuilt {
-                Ok(archive) => {
-                    self.prepared.insert(svc.name.clone(), archive);
+                Ok(refresh) => {
+                    self.stats.full_rebuilds += 1;
+                    self.prepared.insert(svc.name.clone(), refresh.build);
                 }
                 Err(_) => return,
             }
@@ -529,31 +558,53 @@ impl Dcm {
         }
 
         // Build the archive: per-host for NFS and PASSWD, shared otherwise.
+        // A generator failure here (e.g. colliding member stems) is bad data
+        // for this host — a soft error, retried once the data is fixed.
         let archive = if svc.name == "NFS" {
             let state = self.state.read();
-            NfsGenerator::for_host(&state, mach_id, value3)
+            NfsGenerator::for_host(&state, mach_id, value3).map_err(|_| UpdateError::BadData)
         } else if svc.name == "PASSWD" {
             let state = self.state.read();
             crate::generators::hostaccess::HostAccessGenerator::for_host(&state, mach_id)
+                .map_err(|_| UpdateError::BadData)
         } else {
-            self.prepared.get(&svc.name).cloned().unwrap_or_default()
+            Ok(self
+                .prepared
+                .get(&svc.name)
+                .map(|b| b.archive().clone())
+                .unwrap_or_default())
         };
-        let script = Script::standard(&archive, &install_dir(&svc.name), &svc.script);
 
         let credentials = self.credentials_for(&mach_name);
-        let result = match self.hosts.get(&mach_name) {
-            Some(host) => {
-                let mut h = host.lock();
-                run_update_over(
-                    self.net.as_ref(),
-                    &mut h,
-                    credentials.as_ref(),
-                    &archive,
-                    &svc.target,
-                    &script,
-                )
+        let push_key = (svc.name.clone(), mach_name.clone());
+        let pushed = archive.and_then(|archive| {
+            let script = Script::standard(&archive, &install_dir(&svc.name), &svc.script);
+            let outcome = match self.hosts.get(&mach_name) {
+                Some(host) => {
+                    let mut h = host.lock();
+                    run_update_over(
+                        self.net.as_ref(),
+                        &mut h,
+                        credentials.as_ref(),
+                        &archive,
+                        self.last_pushed.get(&push_key),
+                        &svc.target,
+                        &script,
+                    )
+                }
+                None => Err(UpdateError::HostDown),
+            };
+            outcome.map(|()| archive)
+        });
+        // Only a confirmed install updates the patch base: on any failure
+        // the host may hold the old archive, the new one, or a torn mix —
+        // the base CRCs in its next stale reply sort that out.
+        let result = match pushed {
+            Ok(archive) => {
+                self.last_pushed.insert(push_key, archive);
+                Ok(())
             }
-            None => Err(UpdateError::HostDown),
+            Err(e) => Err(e),
         };
 
         // Record the outcome.
@@ -801,6 +852,52 @@ mod tests {
                 .unwrap();
         assert_eq!(s.db.cell("servers", row, "dfcheck").as_int(), s.now());
         assert!(s.db.cell("servers", row, "dfgen").as_int() < s.now());
+    }
+
+    /// Regression: a mutation committed in the same second the data files
+    /// were generated (`t == dfgen`) must still trigger regeneration. The
+    /// old staleness test compared wall-clock modtimes against `dfgen` with
+    /// seconds granularity, so a same-second write was silently skipped;
+    /// the generation cursor counts every mutation and cannot miss it.
+    #[test]
+    fn same_second_mutation_still_regenerates() {
+        let (mut dcm, state, hosts) = setup();
+        dcm.run_once();
+        {
+            // No clock advance: this lands at exactly t == dfgen.
+            let mut s = state.write();
+            Registry::standard()
+                .execute(
+                    &mut s,
+                    &Caller::new("ops", "t"),
+                    "add_user",
+                    &[
+                        "samesec".into(),
+                        "7100".into(),
+                        "/bin/csh".into(),
+                        "S".into(),
+                        "S".into(),
+                        "".into(),
+                        "1".into(),
+                        "x".into(),
+                        "1990".into(),
+                    ],
+                )
+                .unwrap();
+        }
+        state.write().db.clock().advance(7 * 3600);
+        let report = dcm.run_once();
+        assert_eq!(
+            report.generated.len(),
+            1,
+            "same-second mutation must not be lost to NO_CHANGE"
+        );
+        assert!(report.unchanged.is_empty());
+        assert_eq!(dcm.stats.delta_builds, 1, "and it rode the delta path");
+        let h = hosts[0].lock();
+        let passwd =
+            String::from_utf8(h.read_file("/var/hesiod/passwd.db").unwrap().to_vec()).unwrap();
+        assert!(passwd.contains("samesec"));
     }
 
     #[test]

@@ -7,11 +7,12 @@
 
 use moira_common::errors::MrResult;
 use moira_core::state::MoiraState;
-use moira_db::Pred;
+use moira_db::{Pred, RowId};
 
 use crate::archive::Archive;
 
-use super::{active_groups, active_users, group_map, Generator};
+use super::incremental::{DeltaPlan, LineKey, Section, SectionKind};
+use super::{active_groups, active_users, group_map, groups_of_user, Generator};
 
 /// Generator for the HESIOD service.
 pub struct HesiodGenerator;
@@ -51,19 +52,286 @@ impl Generator for HesiodGenerator {
 
     fn generate(&self, state: &MoiraState, _value3: &str) -> MrResult<Archive> {
         let mut archive = Archive::new();
-        archive.add("cluster.db", cluster_db(state));
-        archive.add("filsys.db", filsys_db(state));
-        archive.add("gid.db", gid_db(state));
-        archive.add("group.db", group_db(state));
-        archive.add("grplist.db", grplist_db(state));
-        archive.add("passwd.db", passwd_db(state));
-        archive.add("pobox.db", pobox_db(state));
-        archive.add("printcap.db", printcap_db(state));
-        archive.add("service.db", service_db(state));
-        archive.add("sloc.db", sloc_db(state));
-        archive.add("uid.db", uid_db(state));
+        archive.add("cluster.db", cluster_db(state))?;
+        archive.add("filsys.db", filsys_db(state))?;
+        archive.add("gid.db", gid_db(state))?;
+        archive.add("group.db", group_db(state))?;
+        archive.add("grplist.db", grplist_db(state))?;
+        archive.add("passwd.db", passwd_db(state))?;
+        archive.add("pobox.db", pobox_db(state))?;
+        archive.add("printcap.db", printcap_db(state))?;
+        archive.add("service.db", service_db(state))?;
+        archive.add("sloc.db", sloc_db(state))?;
+        archive.add("uid.db", uid_db(state))?;
         Ok(archive)
     }
+
+    fn delta_plan(&self) -> DeltaPlan {
+        DeltaPlan {
+            sections: vec![
+                // cluster.db = per-cluster svc lines, then per-machine
+                // CNAMEs/pseudo-clusters; two sections, same file.
+                Section {
+                    file: "cluster.db",
+                    driver: "cluster",
+                    lookups: &["svc"],
+                    kind: SectionKind::Lines(frag_cluster),
+                    affected: None,
+                },
+                Section {
+                    file: "cluster.db",
+                    driver: "machine",
+                    lookups: &["mcmap", "cluster", "svc"],
+                    kind: SectionKind::Lines(frag_cluster_machine),
+                    affected: None,
+                },
+                Section {
+                    file: "filsys.db",
+                    driver: "filesys",
+                    lookups: &["machine"],
+                    kind: SectionKind::Lines(frag_filsys),
+                    affected: None,
+                },
+                Section {
+                    file: "gid.db",
+                    driver: "list",
+                    lookups: &[],
+                    kind: SectionKind::Lines(frag_gid),
+                    affected: None,
+                },
+                Section {
+                    file: "group.db",
+                    driver: "list",
+                    lookups: &[],
+                    kind: SectionKind::Lines(frag_group),
+                    affected: None,
+                },
+                Section {
+                    file: "grplist.db",
+                    driver: "users",
+                    lookups: &["list", "members"],
+                    kind: SectionKind::Lines(frag_grplist),
+                    affected: None,
+                },
+                Section {
+                    file: "passwd.db",
+                    driver: "users",
+                    lookups: &[],
+                    kind: SectionKind::Lines(frag_passwd),
+                    affected: None,
+                },
+                Section {
+                    file: "pobox.db",
+                    driver: "users",
+                    lookups: &["machine"],
+                    kind: SectionKind::Lines(frag_pobox),
+                    affected: None,
+                },
+                Section {
+                    file: "printcap.db",
+                    driver: "printcap",
+                    lookups: &["machine"],
+                    kind: SectionKind::Lines(frag_printcap),
+                    affected: None,
+                },
+                Section {
+                    file: "service.db",
+                    driver: "services",
+                    lookups: &[],
+                    kind: SectionKind::Lines(frag_service),
+                    affected: None,
+                },
+                Section {
+                    file: "sloc.db",
+                    driver: "serverhosts",
+                    lookups: &["machine"],
+                    kind: SectionKind::Lines(frag_sloc),
+                    affected: None,
+                },
+                Section {
+                    file: "uid.db",
+                    driver: "users",
+                    lookups: &[],
+                    kind: SectionKind::Lines(frag_uid),
+                    affected: None,
+                },
+            ],
+        }
+    }
+}
+
+/// True when the users row is an active account (the `active_users` filter).
+fn user_active(state: &MoiraState, row: RowId) -> bool {
+    state.db.table("users").cell(row, "status").as_int() == 1
+}
+
+fn frag_cluster(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    let clusters = state.db.table("cluster");
+    let name = clusters.cell(row, "name").as_str().to_owned();
+    let clu_id = clusters.cell(row, "clu_id").as_int();
+    let mut text = String::new();
+    for srow in state.db.select("svc", &Pred::Eq("clu_id", clu_id.into())) {
+        let label = state.db.cell("svc", srow, "serv_label").render();
+        let data = state.db.cell("svc", srow, "serv_cluster").render();
+        text.push_str(&unspeca(&name, "cluster", &format!("{label} {data}")));
+    }
+    Some(((row as i64, String::new()), text))
+}
+
+fn frag_cluster_machine(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    let machines = state.db.table("machine");
+    let mach = machines.cell(row, "name").as_str().to_owned();
+    let mach_id = machines.cell(row, "mach_id").as_int();
+    let memberships = state
+        .db
+        .select("mcmap", &Pred::Eq("mach_id", mach_id.into()));
+    let mut text = String::new();
+    match memberships.len() {
+        0 => {}
+        1 => {
+            let clu_id = state.db.cell("mcmap", memberships[0], "clu_id").as_int();
+            if let Some(crow) = state
+                .db
+                .table("cluster")
+                .select_one(&Pred::Eq("clu_id", clu_id.into()))
+            {
+                let cluster = state.db.cell("cluster", crow, "name").render();
+                text.push_str(&cname(&mach, "cluster", &format!("{cluster}.cluster")));
+            }
+        }
+        _ => {
+            let pseudo = format!("{}-pseudo", mach.to_ascii_lowercase());
+            for (label, data) in
+                moira_core::queries::machines::cluster_data_for_machine(state, mach_id)
+            {
+                text.push_str(&unspeca(&pseudo, "cluster", &format!("{label} {data}")));
+            }
+            text.push_str(&cname(&mach, "cluster", &format!("{pseudo}.cluster")));
+        }
+    }
+    Some(((row as i64, String::new()), text))
+}
+
+fn frag_filsys(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    let t = state.db.table("filesys");
+    let label = t.cell(row, "label").as_str().to_owned();
+    let fstype = t.cell(row, "type").as_str().to_owned();
+    let name = t.cell(row, "name").as_str().to_owned();
+    let machine = machine_name_upper(state, t.cell(row, "mach_id").as_int())
+        .to_ascii_lowercase()
+        .split('.')
+        .next()
+        .unwrap_or_default()
+        .to_owned();
+    let access = t.cell(row, "access").as_str().to_owned();
+    let mount = t.cell(row, "mount").as_str().to_owned();
+    let line = unspeca(
+        &label,
+        "filsys",
+        &format!("{fstype} {name} {machine} {access} {mount}"),
+    );
+    // NUL joins (label, line) so the key sorts like the full builder's
+    // tuple sort (labels are not unique across filesystems).
+    Some(((0, format!("{label}\u{0}{line}")), line))
+}
+
+fn frag_gid(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    let t = state.db.table("list");
+    if !(t.cell(row, "active").as_bool() && t.cell(row, "grouplist").as_bool()) {
+        return None;
+    }
+    let name = t.cell(row, "name").as_str().to_owned();
+    let gid = t.cell(row, "gid").as_int();
+    let line = cname(&gid.to_string(), "gid", &format!("{name}.group"));
+    Some(((0, name), line))
+}
+
+fn frag_group(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    let t = state.db.table("list");
+    if !(t.cell(row, "active").as_bool() && t.cell(row, "grouplist").as_bool()) {
+        return None;
+    }
+    let name = t.cell(row, "name").as_str().to_owned();
+    let gid = t.cell(row, "gid").as_int();
+    let line = unspeca(&name, "group", &format!("{name}:*:{gid}:"));
+    Some(((0, name), line))
+}
+
+fn frag_grplist(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    if !user_active(state, row) {
+        return None;
+    }
+    let t = state.db.table("users");
+    let login = t.cell(row, "login").as_str().to_owned();
+    let users_id = t.cell(row, "users_id").as_int();
+    let mut entry = login.clone();
+    for (gname, gid) in groups_of_user(state, users_id) {
+        entry.push_str(&format!(":{gname}:{gid}"));
+    }
+    let line = unspeca(&login, "grplist", &entry);
+    Some(((0, login), line))
+}
+
+fn frag_passwd(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    if !user_active(state, row) {
+        return None;
+    }
+    let t = state.db.table("users");
+    let login = t.cell(row, "login").as_str().to_owned();
+    let line = unspeca(&login, "passwd", &passwd_line(state, row));
+    Some(((0, login), line))
+}
+
+fn frag_pobox(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    if !user_active(state, row) {
+        return None;
+    }
+    let t = state.db.table("users");
+    if t.cell(row, "potype").as_str() != "POP" {
+        return None;
+    }
+    let login = t.cell(row, "login").as_str().to_owned();
+    let machine = machine_name_upper(state, t.cell(row, "pop_id").as_int());
+    let line = unspeca(&login, "pobox", &format!("POP {machine} {login}"));
+    Some(((0, login), line))
+}
+
+fn frag_printcap(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    let t = state.db.table("printcap");
+    let name = t.cell(row, "name").as_str().to_owned();
+    let rp = t.cell(row, "rp").as_str().to_owned();
+    let rm = machine_name_upper(state, t.cell(row, "mach_id").as_int());
+    let sd = t.cell(row, "dir").as_str().to_owned();
+    let line = unspeca(&name, "pcap", &format!("{name}:rp={rp}:rm={rm}:sd={sd}"));
+    Some(((0, line.clone()), line))
+}
+
+fn frag_service(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    let t = state.db.table("services");
+    let name = t.cell(row, "name").as_str().to_owned();
+    let proto = t.cell(row, "protocol").as_str().to_ascii_lowercase();
+    let port = t.cell(row, "port").as_int();
+    let line = unspeca(&name, "service", &format!("{name} {proto} {port}"));
+    Some(((0, line.clone()), line))
+}
+
+fn frag_sloc(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    let t = state.db.table("serverhosts");
+    let service = t.cell(row, "service").as_str().to_owned();
+    let machine = machine_name_upper(state, t.cell(row, "mach_id").as_int());
+    let line = format!("{service}.sloc\tHS UNSPECA\t{machine}\n");
+    Some(((0, line.clone()), line))
+}
+
+fn frag_uid(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    if !user_active(state, row) {
+        return None;
+    }
+    let t = state.db.table("users");
+    let login = t.cell(row, "login").as_str().to_owned();
+    let uid = t.cell(row, "uid").as_int();
+    let line = cname(&uid.to_string(), "uid", &format!("{login}.passwd"));
+    Some(((uid, login), line))
 }
 
 /// `cluster.db`: per-cluster data lines plus a CNAME per machine; machines
@@ -498,7 +766,7 @@ mod tests {
     fn archive_has_eleven_files() {
         let s = setup();
         let archive = HesiodGenerator.generate(&s, "").unwrap();
-        assert_eq!(archive.members.len(), 11);
+        assert_eq!(archive.len(), 11);
         assert_eq!(
             archive.member_names(),
             vec![
@@ -521,12 +789,13 @@ mod tests {
     fn no_change_detection() {
         use crate::generators::check_no_change;
         let mut s = setup();
-        let now = s.now();
+        let cursor = s.generation_cursor(HesiodGenerator.depends_on());
         assert!(
-            check_no_change(&HesiodGenerator, &s, now).is_err(),
+            check_no_change(&HesiodGenerator, &s, &cursor).is_err(),
             "nothing changed"
         );
-        s.db.clock().advance(100);
+        // A same-second mutation (no clock advance) must still register —
+        // the retired modtime comparison missed exactly this case.
         let r = Registry::standard();
         r.execute(
             &mut s,
@@ -536,7 +805,7 @@ mod tests {
         )
         .unwrap();
         assert!(
-            check_no_change(&HesiodGenerator, &s, now).is_ok(),
+            check_no_change(&HesiodGenerator, &s, &cursor).is_ok(),
             "machine changed"
         );
     }

@@ -19,6 +19,7 @@ use moira_db::Pred;
 
 use crate::archive::Archive;
 
+use super::incremental::{DeltaPlan, LineKey, Section, SectionKind};
 use super::{active_users, Generator};
 
 /// Generator for the PASSWD service (per host).
@@ -36,8 +37,20 @@ impl Generator for HostAccessGenerator {
     fn generate(&self, state: &MoiraState, _value3: &str) -> MrResult<Archive> {
         // Host-independent form: the unrestricted password file.
         let mut archive = Archive::new();
-        archive.add("passwd", passwd_file(state, None));
+        archive.add("passwd", passwd_file(state, None))?;
         Ok(archive)
+    }
+
+    fn delta_plan(&self) -> DeltaPlan {
+        DeltaPlan {
+            sections: vec![Section {
+                file: "passwd",
+                driver: "users",
+                lookups: &[],
+                kind: SectionKind::Lines(frag_passwd),
+                affected: None,
+            }],
+        }
     }
 
     fn per_host(&self) -> bool {
@@ -48,13 +61,29 @@ impl Generator for HostAccessGenerator {
 impl HostAccessGenerator {
     /// Builds the archive for one machine: its restricted `/etc/passwd`
     /// and its `/.klogin`.
-    pub fn for_host(state: &MoiraState, mach_id: i64) -> Archive {
+    pub fn for_host(state: &MoiraState, mach_id: i64) -> MrResult<Archive> {
         let restriction = hostaccess_users(state, mach_id);
         let mut archive = Archive::new();
-        archive.add("passwd", passwd_file(state, restriction.as_deref()));
-        archive.add("klogin", klogin_file(state, mach_id));
-        archive
+        archive.add("passwd", passwd_file(state, restriction.as_deref()))?;
+        archive.add("klogin", klogin_file(state, mach_id))?;
+        Ok(archive)
     }
+}
+
+/// One active user's line of the unrestricted password file.
+fn frag_passwd(state: &MoiraState, row: moira_db::RowId) -> Option<(LineKey, String)> {
+    let users = state.db.table("users");
+    if users.cell(row, "status").as_int() != 1 {
+        return None;
+    }
+    let login = users.cell(row, "login").as_str().to_owned();
+    let uid = users.cell(row, "uid").as_int();
+    let line = format!(
+        "{login}:*:{uid}:101:{},,,:/mit/{login}:{}\n",
+        users.cell(row, "fullname").render(),
+        users.cell(row, "shell").render(),
+    );
+    Some(((0, login), line))
 }
 
 /// The `users_id` set admitted by a machine's HOSTACCESS ACE, or `None`
@@ -182,7 +211,7 @@ mod tests {
     #[test]
     fn restricted_host_gets_only_its_ace() {
         let (s, restricted, _) = setup();
-        let archive = HostAccessGenerator::for_host(&s, restricted);
+        let archive = HostAccessGenerator::for_host(&s, restricted).unwrap();
         let passwd = String::from_utf8(archive.get("passwd").unwrap().to_vec()).unwrap();
         assert!(passwd.contains("alice:*:7001"));
         assert!(passwd.contains("bob:*:7002"));
@@ -198,7 +227,7 @@ mod tests {
     #[test]
     fn unrestricted_host_gets_everyone_and_empty_klogin() {
         let (s, _, open) = setup();
-        let archive = HostAccessGenerator::for_host(&s, open);
+        let archive = HostAccessGenerator::for_host(&s, open).unwrap();
         let passwd = String::from_utf8(archive.get("passwd").unwrap().to_vec()).unwrap();
         for login in ["alice", "bob", "carol", "ops"] {
             assert!(passwd.contains(&format!("{login}:*:")), "{login}");
@@ -218,7 +247,7 @@ mod tests {
             &["DIALUP.MIT.EDU".into(), "NONE".into(), "NONE".into()],
         )
         .unwrap();
-        let archive = HostAccessGenerator::for_host(&s, restricted);
+        let archive = HostAccessGenerator::for_host(&s, restricted).unwrap();
         let passwd = String::from_utf8(archive.get("passwd").unwrap().to_vec()).unwrap();
         assert!(passwd.is_empty());
     }

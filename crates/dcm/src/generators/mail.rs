@@ -13,6 +13,7 @@ use moira_db::Pred;
 
 use crate::archive::Archive;
 
+use super::incremental::{DeltaPlan, LineKey, Section, SectionKind};
 use super::{active_users, Generator};
 
 /// Generator for the MAIL service.
@@ -29,10 +30,184 @@ impl Generator for MailGenerator {
 
     fn generate(&self, state: &MoiraState, _value3: &str) -> MrResult<Archive> {
         let mut archive = Archive::new();
-        archive.add("aliases", aliases(state));
-        archive.add("passwd", passwd(state));
+        archive.add("aliases", aliases(state))?;
+        archive.add("passwd", passwd(state))?;
         Ok(archive)
     }
+
+    fn delta_plan(&self) -> DeltaPlan {
+        DeltaPlan {
+            sections: vec![
+                // aliases = maillist blocks, then pobox routing lines; two
+                // sections, same file. The list section names its own
+                // driver as a lookup because `render_ace` and list
+                // expansion read *other* list rows, so any list change
+                // rebuilds the whole section rather than replaying rows.
+                Section {
+                    file: "aliases",
+                    driver: "list",
+                    lookups: &["list", "members", "users", "strings"],
+                    kind: SectionKind::Lines(frag_maillist),
+                    // A user edit only re-renders the lists that reach that
+                    // user (by membership or ACE); list/member/string
+                    // changes still rebuild the whole section.
+                    affected: Some(lists_affected_by_user_changes),
+                },
+                Section {
+                    file: "aliases",
+                    driver: "users",
+                    lookups: &["machine", "strings"],
+                    kind: SectionKind::Lines(frag_pobox_routing),
+                    affected: None,
+                },
+                Section {
+                    file: "passwd",
+                    driver: "users",
+                    lookups: &[],
+                    kind: SectionKind::Lines(frag_passwd),
+                    affected: None,
+                },
+            ],
+        }
+    }
+}
+
+/// Narrows changed `users` rows to the `list` rows whose aliases block can
+/// render differently: every list reachable upward through the membership
+/// graph from a changed user, plus lists whose ACE names the user. Climbing
+/// from the changed rows keeps a 1%-of-users edit from re-expanding every
+/// mailing list. Deleted users fall back to a full section rebuild (their
+/// membership rows are gone with them, so the climb has nothing to stand
+/// on).
+fn lists_affected_by_user_changes(
+    state: &MoiraState,
+    table: &'static str,
+    changes: &[moira_db::RowChange],
+) -> Option<Vec<moira_db::RowId>> {
+    use std::collections::{HashMap, HashSet};
+    if table != "users" {
+        return None;
+    }
+    let users = state.db.table("users");
+    let mut user_ids = Vec::with_capacity(changes.len());
+    for change in changes {
+        match change {
+            moira_db::RowChange::Upserted(id) => {
+                user_ids.push(users.cell(*id, "users_id").as_int())
+            }
+            moira_db::RowChange::Deleted(_) => return None,
+        }
+    }
+    // One pass over members: (member kind, member_id) -> containing lists.
+    let members = state.db.table("members");
+    let (ty_col, id_col, list_col) = (
+        members.col("member_type"),
+        members.col("member_id"),
+        members.col("list_id"),
+    );
+    let kind_of = |ty: &str| match ty {
+        "USER" => 0u8,
+        "LIST" => 1,
+        _ => 2,
+    };
+    let mut containing: HashMap<(u8, i64), Vec<i64>> = HashMap::new();
+    for (_, row) in members.iter() {
+        containing
+            .entry((kind_of(row[ty_col].as_str()), row[id_col].as_int()))
+            .or_default()
+            .push(row[list_col].as_int());
+    }
+    let mut affected: HashSet<i64> = HashSet::new();
+    let mut frontier: Vec<(u8, i64)> = user_ids.iter().map(|&id| (0, id)).collect();
+    while let Some(key) = frontier.pop() {
+        for &list_id in containing.get(&key).map(Vec::as_slice).unwrap_or_default() {
+            if affected.insert(list_id) {
+                frontier.push((1, list_id));
+            }
+        }
+    }
+    let lists = state.db.table("list");
+    let rows = lists
+        .iter()
+        .filter(|(row, _)| {
+            affected.contains(&lists.cell(*row, "list_id").as_int())
+                || (lists.cell(*row, "acl_type").as_str() == "USER"
+                    && user_ids.contains(&lists.cell(*row, "acl_id").as_int()))
+        })
+        .map(|(row, _)| row)
+        .collect();
+    Some(rows)
+}
+
+/// One maillist's aliases block (comment, owner alias, member line).
+fn frag_maillist(state: &MoiraState, row: moira_db::RowId) -> Option<(LineKey, String)> {
+    let lists = state.db.table("list");
+    if !(lists.cell(row, "active").as_bool() && lists.cell(row, "maillist").as_bool()) {
+        return None;
+    }
+    let name = lists.cell(row, "name").render();
+    let desc = lists.cell(row, "desc").render();
+    let list_id = lists.cell(row, "list_id").as_int();
+    let mut text = String::new();
+    if !desc.is_empty() {
+        text.push_str(&format!("# {desc}\n"));
+    }
+    let (ace_type, ace_name) = moira_core::ace::render_ace(
+        &state.db,
+        lists.cell(row, "acl_type").as_str(),
+        lists.cell(row, "acl_id").as_int(),
+    );
+    if ace_type != "NONE" {
+        text.push_str(&format!("owner-{name}: {ace_name}\n"));
+    }
+    let (users, strings) = expand_members_recursive(state, list_id);
+    let mut members = users;
+    members.extend(strings);
+    if members.is_empty() {
+        text.push_str(&format!("{name}: /dev/null\n"));
+    } else {
+        text.push_str(&format!("{name}: {}\n", members.join(", ")));
+    }
+    Some(((0, name), text))
+}
+
+/// One active user's pobox routing line.
+fn frag_pobox_routing(state: &MoiraState, row: moira_db::RowId) -> Option<(LineKey, String)> {
+    let users = state.db.table("users");
+    if users.cell(row, "status").as_int() != 1 {
+        return None;
+    }
+    let login = users.cell(row, "login").as_str().to_owned();
+    let line = match users.cell(row, "potype").as_str() {
+        "POP" => {
+            let po = po_shortname(state, users.cell(row, "pop_id").as_int());
+            let short = po.split('.').next().unwrap_or(&po).to_owned();
+            format!("{login}: {login}@{short}.LOCAL\n")
+        }
+        "SMTP" => {
+            let addr =
+                moira_core::queries::helpers::string_of(state, users.cell(row, "box_id").as_int());
+            format!("{login}: {addr}\n")
+        }
+        _ => return None,
+    };
+    Some(((0, login), line))
+}
+
+/// One active user's mail-hub passwd line.
+fn frag_passwd(state: &MoiraState, row: moira_db::RowId) -> Option<(LineKey, String)> {
+    let users = state.db.table("users");
+    if users.cell(row, "status").as_int() != 1 {
+        return None;
+    }
+    let login = users.cell(row, "login").as_str().to_owned();
+    let uid = users.cell(row, "uid").as_int();
+    let line = format!(
+        "{login}:*:{uid}:101:{},,,:/mit/{login}:{}\n",
+        users.cell(row, "fullname").render(),
+        users.cell(row, "shell").render(),
+    );
+    Some(((0, login), line))
 }
 
 /// Short host name for `@<po>.LOCAL` routing.

@@ -9,14 +9,17 @@
 
 pub mod hesiod;
 pub mod hostaccess;
+pub mod incremental;
 pub mod mail;
 pub mod nfs;
 pub mod zephyr;
 
 use moira_common::errors::{MrError, MrResult};
 use moira_core::state::MoiraState;
+use moira_db::{GenCursor, RowId};
 
 use crate::archive::Archive;
+use incremental::DeltaPlan;
 
 /// A service-file generator.
 pub trait Generator: Send + Sync {
@@ -24,13 +27,23 @@ pub trait Generator: Send + Sync {
     fn service(&self) -> &'static str;
 
     /// The relations whose modification forces regeneration; if none of
-    /// them changed since `dfgen`, the generator reports `MR_NO_CHANGE`.
+    /// them changed since the cached cursor, the cycle reports
+    /// `MR_NO_CHANGE`.
     fn depends_on(&self) -> &'static [&'static str];
 
     /// Builds the archive of files for this service (the per-host variant
     /// receives the serverhost's `value3`; services with identical files
     /// everywhere ignore it).
     fn generate(&self, state: &MoiraState, value3: &str) -> MrResult<Archive>;
+
+    /// The incremental maintenance plan for the shared (`value3 = ""`)
+    /// form of this generator's output. The default — no sections — makes
+    /// [`incremental::refresh`] fall back to a full `generate` every cycle,
+    /// which is always correct; generators opt in by describing their files
+    /// as delta-maintainable sections.
+    fn delta_plan(&self) -> DeltaPlan {
+        DeltaPlan::none()
+    }
 
     /// True when the files are per-host rather than shared: the DCM must
     /// regenerate per target instead of reusing one archive.
@@ -39,18 +52,89 @@ pub trait Generator: Send + Sync {
     }
 }
 
-/// Applies the incremental check: `Err(MR_NO_CHANGE)` when none of the
-/// generator's dependency relations changed since `dfgen`.
-pub fn check_no_change(generator: &dyn Generator, state: &MoiraState, dfgen: i64) -> MrResult<()> {
-    let changed = generator
-        .depends_on()
-        .iter()
-        .any(|table| state.db.table(table).stats().modtime > dfgen);
-    if changed {
-        Ok(())
-    } else {
+/// Applies the staleness check against a previously cut generation cursor:
+/// `Err(MR_NO_CHANGE)` when none of the generator's dependency relations
+/// mutated since the cursor. Mutation generations, unlike the retired
+/// `modtime > dfgen` comparison, never miss a write landing in the same
+/// second the cursor was cut.
+pub fn check_no_change(
+    generator: &dyn Generator,
+    state: &MoiraState,
+    cursor: &GenCursor,
+) -> MrResult<()> {
+    debug_assert!(
+        generator
+            .depends_on()
+            .iter()
+            .all(|t| cursor.gens.contains_key(t)),
+        "cursor must cover every dependency of {}",
+        generator.service()
+    );
+    if cursor.unchanged_in(&state.db) {
         Err(MrError::NoChange)
+    } else {
+        Ok(())
     }
+}
+
+/// The explicit full-rebuild fallback of the incremental engine: the row ids
+/// a full section rebuild visits. This is the only place the incremental
+/// path is allowed to touch every row of a dependency table (CI greps for
+/// it), and it funnels through `changed_since(0)` so the enumeration matches
+/// what the delta path would see from a zero cursor.
+pub(crate) fn full_rebuild_rows(state: &MoiraState, table: &str) -> Vec<RowId> {
+    state
+        .db
+        .table(table)
+        .changed_since(0)
+        .iter()
+        .filter_map(|c| match c {
+            moira_db::RowChange::Upserted(id) => Some(*id),
+            moira_db::RowChange::Deleted(_) => None,
+        })
+        .collect()
+}
+
+/// Reverse membership: every active unix group (active && grouplist) that
+/// transitively contains user `users_id`, as sorted, deduplicated
+/// `(name, gid)` — the per-user slice of [`group_map`], computed by climbing
+/// the membership graph upward from the user instead of expanding every
+/// group. O(ancestor edges) per user, which is what makes per-user delta
+/// maintenance cheaper than a full `group_map` pass.
+pub(crate) fn groups_of_user(state: &MoiraState, users_id: i64) -> Vec<(String, i64)> {
+    use moira_db::Pred;
+    let members = state.db.table("members");
+    let mut seen: std::collections::HashSet<i64> = std::collections::HashSet::new();
+    let mut frontier: Vec<(&'static str, i64)> = vec![("USER", users_id)];
+    while let Some((ty, id)) = frontier.pop() {
+        let pred = Pred::And(vec![
+            Pred::Eq("member_id", id.into()),
+            Pred::Eq("member_type", ty.into()),
+        ]);
+        for row in members.select(&pred) {
+            let list_id = members.cell(row, "list_id").as_int();
+            if seen.insert(list_id) {
+                frontier.push(("LIST", list_id));
+            }
+        }
+    }
+    let lists = state.db.table("list");
+    let mut out: Vec<(String, i64)> =
+        seen.into_iter()
+            .filter_map(|list_id| {
+                let row = lists.select_one(&Pred::Eq("list_id", list_id.into()))?;
+                (lists.cell(row, "active").as_bool() && lists.cell(row, "grouplist").as_bool())
+                    .then(|| {
+                        (
+                            lists.cell(row, "name").as_str().to_owned(),
+                            lists.cell(row, "gid").as_int(),
+                        )
+                    })
+            })
+            .collect();
+    out.sort();
+    out.dedup();
+    out
 }
 
 /// The standard generator set for the four supported services.

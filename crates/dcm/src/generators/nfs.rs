@@ -12,7 +12,8 @@ use moira_db::Pred;
 
 use crate::archive::Archive;
 
-use super::{active_users, group_map, Generator};
+use super::incremental::{DeltaPlan, LineKey, Section, SectionKind};
+use super::{active_users, group_map, groups_of_user, Generator};
 
 /// Generator for the NFS service. Host-specific: build with
 /// [`NfsGenerator::for_host`] inside the DCM.
@@ -30,8 +31,20 @@ impl Generator for NfsGenerator {
     fn generate(&self, state: &MoiraState, value3: &str) -> MrResult<Archive> {
         // Without a host context only the shared credentials file exists.
         let mut archive = Archive::new();
-        archive.add("credentials", credentials(state, value3));
+        archive.add("credentials", credentials(state, value3))?;
         Ok(archive)
+    }
+
+    fn delta_plan(&self) -> DeltaPlan {
+        DeltaPlan {
+            sections: vec![Section {
+                file: "credentials",
+                driver: "users",
+                lookups: &["list", "members"],
+                kind: SectionKind::Lines(frag_credentials),
+                affected: None,
+            }],
+        }
     }
 
     fn per_host(&self) -> bool {
@@ -41,10 +54,12 @@ impl Generator for NfsGenerator {
 
 impl NfsGenerator {
     /// Builds the archive for one NFS server host: credentials plus a
-    /// `.quotas` and `.dirs` file per exported partition.
-    pub fn for_host(state: &MoiraState, mach_id: i64, value3: &str) -> Archive {
+    /// `.quotas` and `.dirs` file per exported partition. Fails with
+    /// `MR_EXISTS` when two partitions' directories collapse to the same
+    /// member stem.
+    pub fn for_host(state: &MoiraState, mach_id: i64, value3: &str) -> MrResult<Archive> {
         let mut archive = Archive::new();
-        archive.add("credentials", credentials(state, value3));
+        archive.add("credentials", credentials(state, value3))?;
         for prow in state
             .db
             .select("nfsphys", &Pred::Eq("mach_id", mach_id.into()))
@@ -52,11 +67,28 @@ impl NfsGenerator {
             let dir = state.db.cell("nfsphys", prow, "dir").render();
             let phys_id = state.db.cell("nfsphys", prow, "nfsphys_id").as_int();
             let stem = dir.trim_matches('/').replace('/', "_");
-            archive.add(&format!("{stem}.quotas"), quotas_file(state, phys_id));
-            archive.add(&format!("{stem}.dirs"), dirs_file(state, phys_id));
+            archive.add(&format!("{stem}.quotas"), quotas_file(state, phys_id))?;
+            archive.add(&format!("{stem}.dirs"), dirs_file(state, phys_id))?;
         }
-        archive
+        Ok(archive)
     }
+}
+
+/// Per-user credentials line for the shared (`value3 = ""`) form.
+fn frag_credentials(state: &MoiraState, row: moira_db::RowId) -> Option<(LineKey, String)> {
+    let users = state.db.table("users");
+    if users.cell(row, "status").as_int() != 1 {
+        return None;
+    }
+    let login = users.cell(row, "login").as_str().to_owned();
+    let uid = users.cell(row, "uid").as_int();
+    let users_id = users.cell(row, "users_id").as_int();
+    let mut line = format!("{login}:{uid}");
+    for (_, gid) in groups_of_user(state, users_id) {
+        line.push_str(&format!(":{gid}"));
+    }
+    line.push('\n');
+    Some(((0, login), line))
 }
 
 /// The credentials file: `login:uid:gid:gid…`, one line per user. "If this
@@ -281,7 +313,7 @@ mod tests {
     #[test]
     fn quotas_and_dirs() {
         let (s, mach_id) = setup();
-        let archive = NfsGenerator::for_host(&s, mach_id, "");
+        let archive = NfsGenerator::for_host(&s, mach_id, "").unwrap();
         assert_eq!(
             archive.member_names(),
             vec!["credentials", "u1_lockers.quotas", "u1_lockers.dirs"]
@@ -315,7 +347,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let archive = NfsGenerator::for_host(&s, mach_id, "");
+        let archive = NfsGenerator::for_host(&s, mach_id, "").unwrap();
         let dirs = String::from_utf8(archive.get("u1_lockers.dirs").unwrap().to_vec()).unwrap();
         assert!(!dirs.contains("noauto"));
     }

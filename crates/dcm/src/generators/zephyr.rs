@@ -11,6 +11,7 @@ use moira_db::Pred;
 
 use crate::archive::Archive;
 
+use super::incremental::{DeltaPlan, Section, SectionKind};
 use super::Generator;
 
 /// Generator for the ZEPHYR service.
@@ -49,11 +50,39 @@ impl Generator for ZephyrGenerator {
                     continue;
                 }
                 let content = acl_file(state, &ace_type, t.cell(row, id_col).as_int());
-                archive.add(&format!("{class}.{suffix}.acl"), content);
+                archive.add(&format!("{class}.{suffix}.acl"), content)?;
             }
         }
         Ok(archive)
     }
+
+    fn delta_plan(&self) -> DeltaPlan {
+        DeltaPlan {
+            sections: vec![Section {
+                file: "acls",
+                driver: "zephyr",
+                lookups: &["list", "members", "users", "strings"],
+                kind: SectionKind::Members(frag_class),
+                affected: None,
+            }],
+        }
+    }
+}
+
+/// One class's ACL files, in [`ACL_SLOTS`] order.
+fn frag_class(state: &MoiraState, row: moira_db::RowId) -> Vec<(String, Vec<u8>)> {
+    let t = state.db.table("zephyr");
+    let class = t.cell(row, "class").render();
+    let mut out = Vec::new();
+    for (type_col, id_col, suffix) in ACL_SLOTS {
+        let ace_type = t.cell(row, type_col).as_str().to_owned();
+        if ace_type == "NONE" {
+            continue;
+        }
+        let content = acl_file(state, &ace_type, t.cell(row, id_col).as_int());
+        out.push((format!("{class}.{suffix}.acl"), content.into_bytes()));
+    }
+    out
 }
 
 /// Renders one ACL file from an ACE.

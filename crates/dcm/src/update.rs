@@ -6,10 +6,29 @@
 //! The strategy is atomic operations only: transfer everything first (with
 //! checksums), then execute an instruction sequence whose file
 //! installations are atomic renames, then confirm.
+//!
+//! The transfer phase is a manifest handshake rather than a blind full
+//! send: Moira first ships the per-member CRC [`Manifest`], the host
+//! replies with the names it is missing or holds stale (compared against
+//! its installed copy of the target archive), and only those members cross
+//! the wire. The host reconstructs the complete archive in manifest order
+//! from the partial transfer plus its base copy, verifies the whole-archive
+//! checksum, and installs it atomically — so the partial protocol keeps
+//! exactly the integrity and idempotence guarantees of the full one.
+//!
+//! Stale members themselves need not cross whole: the host's reply carries
+//! the CRC of its own base copy of each stale member, and when that matches
+//! what Moira last pushed to the host, only a line-level patch
+//! ([`line_patch`]) is sent. A member whose base the DCM cannot vouch for —
+//! first push, evicted cache, tampered base — falls back to the full bytes,
+//! and the whole-archive checksum still guards the reconstruction either
+//! way, so a bad patch can never install.
+
+use std::collections::HashMap;
 
 use moira_krb::ticket::{Authenticator, Ticket};
 
-use crate::archive::{crc32, Archive};
+use crate::archive::{crc32, Archive, Manifest};
 use crate::host::{HostError, SimHost};
 use crate::net::{Network, PerfectNetwork};
 
@@ -113,10 +132,10 @@ impl Script {
     /// service's install command.
     pub fn standard(archive: &Archive, install_dir: &str, install_cmd: &str) -> Script {
         let mut instructions = Vec::new();
-        for (member, _) in &archive.members {
+        for (member, _) in archive.iter() {
             let dest = format!("{}/{member}", install_dir.trim_end_matches('/'));
             instructions.push(Instruction::Extract {
-                member: member.clone(),
+                member: member.to_owned(),
                 dest: dest.clone(),
             });
             instructions.push(Instruction::Swap { file: dest });
@@ -229,6 +248,237 @@ fn transmit(host: &SimHost, data: &[u8]) -> Vec<u8> {
     wire
 }
 
+/// One entry of the host's stale-member reply: a member it is missing or
+/// holds stale, plus the CRC of its own base copy when it has one — the
+/// DCM's opening to send a patch instead of the whole member.
+type StaleEntry = (String, Option<u32>);
+
+/// The host side of the manifest diff: manifest entries whose member is
+/// missing from the base archive or whose contents hash differently, each
+/// annotated with the base copy's CRC (if any).
+fn stale_entries(manifest: &Manifest, base: Option<&Archive>) -> Vec<StaleEntry> {
+    manifest
+        .entries
+        .iter()
+        .filter_map(|(name, crc)| {
+            let base_crc = base.and_then(|b| b.get(name)).map(crc32);
+            (base_crc != Some(*crc)).then(|| (name.clone(), base_crc))
+        })
+        .collect()
+}
+
+/// Serializes the stale-member reply: `u32 count | per entry: u32 name len
+/// | name | u8 has_base | [u32 base crc]`.
+fn encode_stale(entries: &[StaleEntry]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (name, base_crc) in entries {
+        out.extend_from_slice(&(name.len() as u32).to_be_bytes());
+        out.extend_from_slice(name.as_bytes());
+        match base_crc {
+            Some(crc) => {
+                out.push(1);
+                out.extend_from_slice(&crc.to_be_bytes());
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+/// Parses a stale-member reply; `None` on any framing violation.
+fn decode_stale(bytes: &[u8]) -> Option<Vec<StaleEntry>> {
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> Option<u32> {
+        let v = u32::from_be_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?);
+        *pos += 4;
+        Some(v)
+    };
+    let count = take_u32(&mut pos)? as usize;
+    if count > 1 << 20 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let len = take_u32(&mut pos)? as usize;
+        let name = String::from_utf8(bytes.get(pos..pos + len)?.to_vec()).ok()?;
+        pos += len;
+        let base_crc = match bytes.get(pos)? {
+            0 => {
+                pos += 1;
+                None
+            }
+            1 => {
+                pos += 1;
+                Some(take_u32(&mut pos)?)
+            }
+            _ => return None,
+        };
+        entries.push((name, base_crc));
+    }
+    (pos == bytes.len()).then_some(entries)
+}
+
+/// A compact line-level patch turning `old` into `new`.
+///
+/// The generated data files are line records keyed by entity name, so a
+/// handful of database rows changing leaves long runs of identical lines;
+/// greedy monotone matching finds those runs and the patch carries only
+/// copy directives plus the literal bytes of genuinely new lines.
+///
+/// Encoding: `u32 op count | per op: u8 tag` with tag 0 = copy
+/// (`u32 start line | u32 line count` from `old`) and tag 1 = insert
+/// (`u32 byte len | bytes`).
+pub fn line_patch(old: &[u8], new: &[u8]) -> Vec<u8> {
+    enum Op {
+        Copy(u32, u32),
+        Insert(Vec<u8>),
+    }
+    let old_lines: Vec<&[u8]> = old.split_inclusive(|&b| b == b'\n').collect();
+    let mut index: HashMap<&[u8], Vec<usize>> = HashMap::new();
+    for (i, line) in old_lines.iter().enumerate() {
+        index.entry(line).or_default().push(i);
+    }
+    let mut ops: Vec<Op> = Vec::new();
+    // Matches are monotone: each new line may only reuse an old line at or
+    // past the cursor, so copies never run backwards and runs stay long.
+    let mut cursor = 0usize;
+    for line in new.split_inclusive(|&b| b == b'\n') {
+        let hit = index.get(line).and_then(|positions| {
+            let p = positions.partition_point(|&i| i < cursor);
+            positions.get(p).copied()
+        });
+        match (hit, ops.last_mut()) {
+            (Some(k), Some(Op::Copy(start, count))) if *start as usize + *count as usize == k => {
+                *count += 1;
+                cursor = k + 1;
+            }
+            (Some(k), _) => {
+                ops.push(Op::Copy(k as u32, 1));
+                cursor = k + 1;
+            }
+            (None, Some(Op::Insert(bytes))) => bytes.extend_from_slice(line),
+            (None, _) => ops.push(Op::Insert(line.to_vec())),
+        }
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(&(ops.len() as u32).to_be_bytes());
+    for op in &ops {
+        match op {
+            Op::Copy(start, count) => {
+                out.push(0);
+                out.extend_from_slice(&start.to_be_bytes());
+                out.extend_from_slice(&count.to_be_bytes());
+            }
+            Op::Insert(bytes) => {
+                out.push(1);
+                out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+    out
+}
+
+/// Applies a [`line_patch`] against the base bytes; `None` on framing
+/// violations or copy directives outside the base.
+pub fn apply_line_patch(old: &[u8], patch: &[u8]) -> Option<Vec<u8>> {
+    let old_lines: Vec<&[u8]> = old.split_inclusive(|&b| b == b'\n').collect();
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> Option<u32> {
+        let v = u32::from_be_bytes(patch.get(*pos..*pos + 4)?.try_into().ok()?);
+        *pos += 4;
+        Some(v)
+    };
+    let count = take_u32(&mut pos)? as usize;
+    if count > 1 << 20 {
+        return None;
+    }
+    let mut out = Vec::new();
+    for _ in 0..count {
+        match patch.get(pos)? {
+            0 => {
+                pos += 1;
+                let start = take_u32(&mut pos)? as usize;
+                let lines = take_u32(&mut pos)? as usize;
+                for line in old_lines.get(start..start.checked_add(lines)?)? {
+                    out.extend_from_slice(line);
+                }
+            }
+            1 => {
+                pos += 1;
+                let len = take_u32(&mut pos)? as usize;
+                out.extend_from_slice(patch.get(pos..pos + len)?);
+                pos += len;
+            }
+            _ => return None,
+        }
+    }
+    (pos == patch.len()).then_some(out)
+}
+
+/// How one stale member crosses the wire.
+enum MemberDelta {
+    /// The complete member bytes — first push, unknown base, or a patch
+    /// that would not have been smaller.
+    Full(Vec<u8>),
+    /// A [`line_patch`] against the base copy whose CRC the host reported.
+    Patch(Vec<u8>),
+}
+
+/// Serializes the partial-transfer payload: `u32 entry count | per entry:
+/// u32 name len | name | u8 tag (0 full, 1 patch) | u32 data len | data`.
+fn encode_delta(entries: &[(String, MemberDelta)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (name, delta) in entries {
+        out.extend_from_slice(&(name.len() as u32).to_be_bytes());
+        out.extend_from_slice(name.as_bytes());
+        let (tag, data) = match delta {
+            MemberDelta::Full(d) => (0u8, d),
+            MemberDelta::Patch(d) => (1u8, d),
+        };
+        out.push(tag);
+        out.extend_from_slice(&(data.len() as u32).to_be_bytes());
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+/// Parses a partial-transfer payload; `None` on any framing violation.
+fn decode_delta(bytes: &[u8]) -> Option<Vec<(String, MemberDelta)>> {
+    let mut pos = 0usize;
+    let take_u32 = |pos: &mut usize| -> Option<u32> {
+        let v = u32::from_be_bytes(bytes.get(*pos..*pos + 4)?.try_into().ok()?);
+        *pos += 4;
+        Some(v)
+    };
+    let count = take_u32(&mut pos)? as usize;
+    if count > 1 << 20 {
+        return None;
+    }
+    let mut entries = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let name_len = take_u32(&mut pos)? as usize;
+        let name = String::from_utf8(bytes.get(pos..pos + name_len)?.to_vec()).ok()?;
+        pos += name_len;
+        let tag = *bytes.get(pos)?;
+        pos += 1;
+        let data_len = take_u32(&mut pos)? as usize;
+        let data = bytes.get(pos..pos + data_len)?.to_vec();
+        pos += data_len;
+        entries.push((
+            name,
+            match tag {
+                0 => MemberDelta::Full(data),
+                1 => MemberDelta::Patch(data),
+                _ => return None,
+            },
+        ));
+    }
+    (pos == bytes.len()).then_some(entries)
+}
+
 /// Kerberos credentials presented by the DCM at connection set-up.
 #[derive(Debug, Clone)]
 pub struct UpdateCredentials {
@@ -262,7 +512,15 @@ pub fn run_update_with_auth(
     target: &str,
     script: &Script,
 ) -> Result<(), UpdateError> {
-    run_update_over(&PerfectNetwork, host, credentials, archive, target, script)
+    run_update_over(
+        &PerfectNetwork,
+        host,
+        credentials,
+        archive,
+        None,
+        target,
+        script,
+    )
 }
 
 /// [`run_update_with_auth`] with every connection and transfer leg routed
@@ -271,17 +529,23 @@ pub fn run_update_with_auth(
 /// The fault surface mirrors a real TCP update connection:
 ///
 /// - connection set-up can fail (host partitioned away, SYN lost);
-/// - either transfer leg (archive, then script) can fail mid-stream;
+/// - any transfer leg (manifest, stale reply, partial archive, script)
+///   can fail mid-stream;
 /// - the **confirmation** leg can fail *after* the host executed the
 ///   script successfully. The DCM then sees a timeout even though the
 ///   files installed — precisely the ambiguity §5.9 resolves by making
 ///   installations idempotent ("extra installations are not harmful"),
 ///   so the inevitable retry converges.
+///
+/// `prev` is the archive the DCM last pushed to this host, if it still
+/// holds one: stale members whose host-side base CRC matches the cached
+/// copy are shipped as line patches against it instead of whole.
 pub fn run_update_over(
     net: &dyn Network,
     host: &mut SimHost,
     credentials: Option<&UpdateCredentials>,
     archive: &Archive,
+    prev: Option<&Archive>,
     target: &str,
     script: &Script,
 ) -> Result<(), UpdateError> {
@@ -316,22 +580,108 @@ pub fn run_update_over(
         host.remove_file(&path);
     }
 
-    // A.2 Transfer the data file, with checksum.
-    let bytes = archive.to_bytes();
-    let checksum = crc32(&bytes);
-    net.transmit(&host.name, bytes.len())
+    // A.2 Send the archive manifest: per-member CRCs plus the checksum of
+    // the complete serialized archive.
+    let manifest_bytes = archive.manifest().to_bytes();
+    net.transmit(&host.name, manifest_bytes.len())
         .map_err(|f| f.to_update_error())?;
-    let received = transmit(host, &bytes);
-    if crc32(&received) != checksum {
+    let received_manifest = transmit(host, &manifest_bytes);
+    // — host side: a failed self-CRC means the manifest was mangled in
+    // flight; nothing has been written, so the retry is clean.
+    let Some(manifest) = Manifest::from_bytes(&received_manifest) else {
+        return Err(UpdateError::Checksum);
+    };
+
+    // A.3 The host diffs the manifest against its installed copy of the
+    // target archive and replies with the member names it needs, each
+    // carrying the CRC of its own base copy when it has one. A missing
+    // or unparseable base means everything is stale — the first push and
+    // the recovery-from-tampering path are both just "all members".
+    let base = host.read_file(target).and_then(Archive::from_bytes);
+    let reply = encode_stale(&stale_entries(&manifest, base.as_ref()));
+    net.transmit(&host.name, reply.len())
+        .map_err(|f| f.to_update_error())?;
+    // — Moira side: an unparseable reply is bad data from the host.
+    let Some(stale) = decode_stale(&reply) else {
+        return Err(UpdateError::BadData);
+    };
+
+    // A.4 Transfer the stale members — as a line patch where the host's
+    // base CRC matches the copy the DCM last pushed (and the patch is
+    // actually smaller), otherwise whole.
+    let mut delta: Vec<(String, MemberDelta)> = Vec::with_capacity(stale.len());
+    for (name, base_crc) in &stale {
+        let Some(data) = archive.get(name) else {
+            // The host asked for a member the archive does not carry; a
+            // corrupted reply. The whole-archive verify would reject the
+            // reconstruction anyway, so just skip it.
+            continue;
+        };
+        let patch = base_crc
+            .and_then(|crc| {
+                let prev_member = prev?.get(name)?;
+                (crc32(prev_member) == crc).then(|| line_patch(prev_member, data))
+            })
+            .filter(|patch| patch.len() < data.len());
+        let entry = match patch {
+            Some(patch) => MemberDelta::Patch(patch),
+            None => MemberDelta::Full(data.to_vec()),
+        };
+        delta.push((name.clone(), entry));
+    }
+    let delta_bytes = encode_delta(&delta);
+    net.transmit(&host.name, delta_bytes.len())
+        .map_err(|f| f.to_update_error())?;
+    let received = transmit(host, &delta_bytes);
+    let Some(delta) = decode_delta(&received) else {
+        return Err(UpdateError::Checksum);
+    };
+    // — host side: materialize each transferred member (applying patches
+    // against the base copy), then reconstruct the complete archive in
+    // manifest order, preferring fresh members over the base, and verify
+    // the whole-archive checksum before anything touches disk.
+    let mut fresh: HashMap<String, Vec<u8>> = HashMap::with_capacity(delta.len());
+    for (name, entry) in delta {
+        let data = match entry {
+            MemberDelta::Full(data) => data,
+            MemberDelta::Patch(patch) => {
+                // A patch without a base copy is bad data; a patch that
+                // does not apply means something was mangled in flight.
+                let Some(base_member) = base.as_ref().and_then(|b| b.get(&name)) else {
+                    return Err(UpdateError::BadData);
+                };
+                let Some(applied) = apply_line_patch(base_member, &patch) else {
+                    return Err(UpdateError::Checksum);
+                };
+                applied
+            }
+        };
+        fresh.insert(name, data);
+    }
+    let mut rebuilt = Archive::new();
+    for (name, _) in &manifest.entries {
+        let data = fresh
+            .get(name)
+            .map(|d| d.as_slice())
+            .or_else(|| base.as_ref().and_then(|b| b.get(name)));
+        let Some(data) = data else {
+            return Err(UpdateError::BadData);
+        };
+        if rebuilt.add(name, data.to_vec()).is_err() {
+            return Err(UpdateError::BadData);
+        }
+    }
+    let rebuilt_bytes = rebuilt.to_bytes();
+    if crc32(&rebuilt_bytes) != manifest.full_crc {
         return Err(UpdateError::Checksum);
     }
-    match host.write_file(target, &received) {
+    match host.write_file(target, &rebuilt_bytes) {
         Ok(()) => {}
         Err(HostError::Down) => return Err(UpdateError::HostDown),
         Err(_) => return Err(UpdateError::BadData),
     }
 
-    // A.3 Transfer the installation instruction sequence.
+    // A.5 Transfer the installation instruction sequence.
     let script_text = script.to_text();
     net.transmit(&host.name, script_text.len())
         .map_err(|f| f.to_update_error())?;
@@ -343,7 +693,7 @@ pub fn run_update_over(
         Ok(()) => {}
         Err(_) => return Err(UpdateError::HostDown),
     }
-    // A.4 Flush all data to disk — the in-memory host is always durable.
+    // A.6 Flush all data to disk — the in-memory host is always durable.
 
     // B. Execution phase, driven by a single command from Moira; the host
     // executes the staged script against the staged archive.
@@ -419,8 +769,8 @@ mod tests {
 
     fn sample_archive() -> Archive {
         let mut a = Archive::new();
-        a.add("passwd.db", b"babette:*:6530\n".to_vec());
-        a.add("uid.db", b"6530.uid\n".to_vec());
+        a.add("passwd.db", b"babette:*:6530\n".to_vec()).unwrap();
+        a.add("uid.db", b"6530.uid\n".to_vec()).unwrap();
         a
     }
 
@@ -540,8 +890,8 @@ mod tests {
         let mut host = SimHost::new("X");
         run_update(&mut host, &a, "/tmp/t", &s).unwrap();
         let mut newer = Archive::new();
-        newer.add("passwd.db", b"NEW CONTENTS\n".to_vec());
-        newer.add("uid.db", b"NEW UID\n".to_vec());
+        newer.add("passwd.db", b"NEW CONTENTS\n".to_vec()).unwrap();
+        newer.add("uid.db", b"NEW UID\n".to_vec()).unwrap();
         // Crash at every possible op count and verify: each installed file
         // is either the complete old or the complete new version.
         for crash_at in 0..12u64 {
@@ -620,8 +970,8 @@ mod tests {
         let mut host = SimHost::new("X");
         run_update(&mut host, &a, "/tmp/t", &s).unwrap();
         let mut newer = Archive::new();
-        newer.add("passwd.db", b"BROKEN\n".to_vec());
-        newer.add("uid.db", b"BROKEN\n".to_vec());
+        newer.add("passwd.db", b"BROKEN\n".to_vec()).unwrap();
+        newer.add("uid.db", b"BROKEN\n".to_vec()).unwrap();
         run_update(
             &mut host,
             &newer,
@@ -720,11 +1070,12 @@ mod tests {
         use crate::net::NetFault;
         let a = sample_archive();
         let s = sample_script(&a);
-        // Five legs: connect, archive, script, execute-go, confirm.
-        for leg in 0..5u64 {
+        // Seven legs: connect, manifest, stale reply, partial archive,
+        // script, execute-go, confirm.
+        for leg in 0..7u64 {
             let mut host = SimHost::new("X");
             let net = FailLeg::new(leg, NetFault::Dropped);
-            let err = run_update_over(&net, &mut host, None, &a, "/tmp/t", &s).unwrap_err();
+            let err = run_update_over(&net, &mut host, None, &a, None, "/tmp/t", &s).unwrap_err();
             assert!(!err.is_hard(), "leg {leg}: {err:?}");
             // Retry over a healed network always converges to the full
             // install, whatever state the failed attempt left behind.
@@ -742,10 +1093,10 @@ mod tests {
         let a = sample_archive();
         let s = sample_script(&a);
         let mut host = SimHost::new("X");
-        // Leg 4 is the confirmation; the host has done all the work.
-        let net = FailLeg::new(4, NetFault::TimedOut);
+        // Leg 6 is the confirmation; the host has done all the work.
+        let net = FailLeg::new(6, NetFault::TimedOut);
         assert_eq!(
-            run_update_over(&net, &mut host, None, &a, "/tmp/t", &s),
+            run_update_over(&net, &mut host, None, &a, None, "/tmp/t", &s),
             Err(UpdateError::Timeout)
         );
         assert_eq!(
@@ -766,10 +1117,296 @@ mod tests {
         let mut host = SimHost::new("X");
         let net = FailLeg::new(0, NetFault::Partitioned);
         assert_eq!(
-            run_update_over(&net, &mut host, None, &a, "/tmp/t", &s),
+            run_update_over(&net, &mut host, None, &a, None, "/tmp/t", &s),
             Err(UpdateError::HostDown)
         );
         assert!(host.file_names().is_empty(), "nothing reached the host");
+    }
+
+    /// A network that records every transmit length, for observing how many
+    /// bytes each leg put on the wire.
+    #[derive(Default)]
+    struct RecordNet {
+        lens: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl RecordNet {
+        /// Transmit lengths of the last update: `[manifest, stale reply,
+        /// partial archive, script, go, confirm]`.
+        fn legs(&self) -> Vec<usize> {
+            self.lens.lock().unwrap().clone()
+        }
+    }
+
+    impl Network for RecordNet {
+        fn connect(&self, _host: &str) -> Result<(), crate::net::NetFault> {
+            Ok(())
+        }
+
+        fn transmit(&self, _host: &str, len: usize) -> Result<(), crate::net::NetFault> {
+            self.lens.lock().unwrap().push(len);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn second_update_ships_only_stale_members() {
+        let a = sample_archive();
+        let s = sample_script(&a);
+        let mut host = SimHost::new("X");
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+
+        // Change one of the two members.
+        let mut b = Archive::new();
+        b.add("passwd.db", b"babette:*:6530\nnewbie:*:7000\n".to_vec())
+            .unwrap();
+        b.add("uid.db", b"6530.uid\n".to_vec()).unwrap();
+        let net = RecordNet::default();
+        run_update_over(
+            &net,
+            &mut host,
+            None,
+            &b,
+            None,
+            "/tmp/t",
+            &sample_script(&b),
+        )
+        .unwrap();
+        let legs = net.legs();
+        let expected_partial = encode_delta(&[(
+            "passwd.db".to_owned(),
+            MemberDelta::Full(b.get("passwd.db").unwrap().to_vec()),
+        )])
+        .len();
+        assert_eq!(legs[2], expected_partial, "only passwd.db crossed");
+        assert!(legs[2] < b.to_bytes().len());
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\nnewbie:*:7000\n"
+        );
+
+        // A third push with nothing changed transfers an empty delta.
+        let net = RecordNet::default();
+        run_update_over(
+            &net,
+            &mut host,
+            None,
+            &b,
+            None,
+            "/tmp/t",
+            &sample_script(&b),
+        )
+        .unwrap();
+        assert_eq!(
+            net.legs()[2],
+            encode_delta(&[]).len(),
+            "no stale members: the partial leg is the empty frame"
+        );
+    }
+
+    #[test]
+    fn corrupted_base_falls_back_to_full_transfer() {
+        let a = sample_archive();
+        let s = sample_script(&a);
+        let mut host = SimHost::new("X");
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+        // Someone tampered with the host's copy of the target archive.
+        host.write_file("/tmp/t", b"NOT AN ARCHIVE").unwrap();
+        let net = RecordNet::default();
+        run_update_over(&net, &mut host, None, &a, Some(&a), "/tmp/t", &s).unwrap();
+        let expected: Vec<(String, MemberDelta)> = a
+            .iter()
+            .map(|(n, d)| (n.to_owned(), MemberDelta::Full(d.to_vec())))
+            .collect();
+        assert_eq!(
+            net.legs()[2],
+            encode_delta(&expected).len(),
+            "unparseable base: every member ships whole, even with a cached prev"
+        );
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\n"
+        );
+    }
+
+    #[test]
+    fn removed_member_disappears_from_target_archive() {
+        let a = sample_archive();
+        let mut host = SimHost::new("X");
+        run_update(&mut host, &a, "/tmp/t", &sample_script(&a)).unwrap();
+        let mut b = Archive::new();
+        b.add("passwd.db", b"babette:*:6530\n".to_vec()).unwrap();
+        run_update(&mut host, &b, "/tmp/t", &sample_script(&b)).unwrap();
+        // The reconstructed target archive matches the new archive exactly:
+        // the dropped member is gone, not resurrected from the base copy.
+        let installed = Archive::from_bytes(host.read_file("/tmp/t").unwrap()).unwrap();
+        assert_eq!(installed, b);
+    }
+
+    #[test]
+    fn stale_reply_round_trip() {
+        for entries in [
+            vec![],
+            vec![("passwd.db".to_owned(), Some(0xdead_beef))],
+            vec![
+                ("a".to_owned(), None),
+                ("b c".to_owned(), Some(0)),
+                (String::new(), None),
+            ],
+        ] {
+            assert_eq!(decode_stale(&encode_stale(&entries)), Some(entries));
+        }
+        assert_eq!(decode_stale(&[0, 0, 0, 1]), None, "truncated");
+        let mut extra = encode_stale(&[("x".to_owned(), None)]);
+        extra.push(0);
+        assert_eq!(decode_stale(&extra), None, "trailing garbage");
+        // An invalid has_base tag is a framing violation.
+        let mut bad = encode_stale(&[("x".to_owned(), None)]);
+        let tag_at = bad.len() - 1;
+        bad[tag_at] = 7;
+        assert_eq!(decode_stale(&bad), None, "bad has_base tag");
+    }
+
+    #[test]
+    fn line_patch_round_trip() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"", b""),
+            (b"", b"new file\n"),
+            (b"old\n", b""),
+            (b"a\nb\nc\n", b"a\nb\nc\n"),
+            (b"a\nb\nc\n", b"a\nB\nc\n"),
+            (b"a\nb\nc\nd\n", b"b\nd\na\n"),
+            (b"x\ny\n", b"x\ny\nz"), // no trailing newline
+            (b"dup\ndup\nq\n", b"dup\nq\ndup\n"),
+            (
+                b"bytes\x00with\x01noise\n",
+                b"bytes\x00with\x01noise\nmore\n",
+            ),
+        ];
+        for (old, new) in cases {
+            let patch = line_patch(old, new);
+            assert_eq!(
+                apply_line_patch(old, &patch).as_deref(),
+                Some(*new),
+                "old={old:?} new={new:?}"
+            );
+        }
+        // A copy directive past the end of the base must not apply.
+        let mut patch = Vec::new();
+        patch.extend_from_slice(&1u32.to_be_bytes());
+        patch.push(0);
+        patch.extend_from_slice(&5u32.to_be_bytes());
+        patch.extend_from_slice(&1u32.to_be_bytes());
+        assert_eq!(apply_line_patch(b"one line\n", &patch), None);
+        // Truncations never apply.
+        let patch = line_patch(b"a\nb\n", b"a\nc\n");
+        for cut in 0..patch.len() {
+            assert!(
+                apply_line_patch(b"a\nb\n", &patch[..cut]).is_none(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_patch_of_small_edit_is_small() {
+        // 10k passwd-style lines, 10 changed: the patch is a few copy
+        // directives plus the changed lines, far below the full member.
+        let old: Vec<u8> = (0..10_000)
+            .flat_map(|i| format!("user{i}:*:{}:/bin/csh\n", 5000 + i).into_bytes())
+            .collect();
+        let new: Vec<u8> = (0..10_000)
+            .flat_map(|i| {
+                let shell = if i % 1000 == 0 {
+                    "/bin/tcsh"
+                } else {
+                    "/bin/csh"
+                };
+                format!("user{i}:*:{}:{shell}\n", 5000 + i).into_bytes()
+            })
+            .collect();
+        let patch = line_patch(&old, &new);
+        assert_eq!(apply_line_patch(&old, &patch).as_deref(), Some(&new[..]));
+        assert!(
+            patch.len() * 100 < new.len(),
+            "patch {} bytes vs member {} bytes",
+            patch.len(),
+            new.len()
+        );
+    }
+
+    #[test]
+    fn matching_base_ships_patch_not_member() {
+        // Push a large member, change a little, push again with `prev`
+        // cached: the partial leg carries a patch, not the member.
+        let big: Vec<u8> = (0..2_000)
+            .flat_map(|i| format!("user{i}:*:{}\n", 5000 + i).into_bytes())
+            .collect();
+        let mut changed = big.clone();
+        changed.extend_from_slice(b"newbie:*:7000\n");
+        let a = Archive::from_members(vec![("passwd.db".into(), big)]).unwrap();
+        let b = Archive::from_members(vec![("passwd.db".into(), changed.clone())]).unwrap();
+        let s = sample_script(&b);
+        let mut host = SimHost::new("X");
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+
+        let net = RecordNet::default();
+        run_update_over(&net, &mut host, None, &b, Some(&a), "/tmp/t", &s).unwrap();
+        let member_len = b.get("passwd.db").unwrap().len();
+        assert!(
+            net.legs()[2] * 10 < member_len,
+            "patch leg {} vs member {}",
+            net.legs()[2],
+            member_len
+        );
+        assert_eq!(host.read_file("/var/hesiod/passwd.db").unwrap(), changed);
+        assert_eq!(
+            Archive::from_bytes(host.read_file("/tmp/t").unwrap()).unwrap(),
+            b,
+            "the reconstructed target archive is exact"
+        );
+    }
+
+    #[test]
+    fn mismatched_base_falls_back_to_whole_member() {
+        // The DCM's cached prev does not match what the host actually
+        // holds (say the host was re-imaged from an older push): the CRC
+        // gate rejects the patch and the whole member ships, converging.
+        let a = sample_archive();
+        let s = sample_script(&a);
+        let mut host = SimHost::new("X");
+        run_update(&mut host, &a, "/tmp/t", &s).unwrap();
+
+        let mut b = Archive::new();
+        b.add("passwd.db", b"babette:*:6530\nnewbie:*:7000\n".to_vec())
+            .unwrap();
+        b.add("uid.db", b"6530.uid\n".to_vec()).unwrap();
+        let mut wrong_prev = Archive::new();
+        wrong_prev
+            .add("passwd.db", b"ancient:*:1\n".to_vec())
+            .unwrap();
+        wrong_prev.add("uid.db", b"1.uid\n".to_vec()).unwrap();
+        let net = RecordNet::default();
+        run_update_over(
+            &net,
+            &mut host,
+            None,
+            &b,
+            Some(&wrong_prev),
+            "/tmp/t",
+            &sample_script(&b),
+        )
+        .unwrap();
+        let expected = encode_delta(&[(
+            "passwd.db".to_owned(),
+            MemberDelta::Full(b.get("passwd.db").unwrap().to_vec()),
+        )])
+        .len();
+        assert_eq!(net.legs()[2], expected, "whole member, no patch");
+        assert_eq!(
+            host.read_file("/var/hesiod/passwd.db").unwrap(),
+            b"babette:*:6530\nnewbie:*:7000\n"
+        );
     }
 
     #[test]

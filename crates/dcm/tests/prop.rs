@@ -24,9 +24,12 @@ proptest! {
     #[test]
     fn archive_round_trips(members in prop::collection::vec(
         ("[a-z0-9._-]{1,16}", prop::collection::vec(any::<u8>(), 0..128)), 0..12)) {
+        // Deduplicate names: Archive rejects duplicates by design.
+        let unique: std::collections::BTreeMap<String, Vec<u8>> =
+            members.into_iter().collect();
         let archive = Archive::from_members(
-            members.into_iter().collect(),
-        );
+            unique.into_iter().collect(),
+        ).expect("names are unique");
         prop_assert_eq!(Archive::from_bytes(&archive.to_bytes()), Some(archive));
     }
 
@@ -46,7 +49,8 @@ proptest! {
     fn scripts_round_trip(files in prop::collection::vec("[a-z0-9._-]{1,12}", 0..8)) {
         let mut archive = Archive::new();
         for f in &files {
-            archive.add(f, b"x".to_vec());
+            // Duplicate names are rejected; the survivors make the script.
+            let _ = archive.add(f, b"x".to_vec());
         }
         let script = Script::standard(&archive, "/var/svc", "install");
         prop_assert_eq!(Script::from_text(&script.to_text()), Some(script));
@@ -63,8 +67,8 @@ proptest! {
         let mut old = Archive::new();
         let mut new = Archive::new();
         for i in 0..member_count {
-            old.add(&format!("f{i}.db"), format!("OLD-{i}\n").into_bytes());
-            new.add(&format!("f{i}.db"), format!("NEW-{i}-content\n").into_bytes());
+            old.add(&format!("f{i}.db"), format!("OLD-{i}\n").into_bytes()).unwrap();
+            new.add(&format!("f{i}.db"), format!("NEW-{i}-content\n").into_bytes()).unwrap();
         }
         let old_script = Script::standard(&old, "/var/svc", "install");
         let new_script = Script::standard(&new, "/var/svc", "install");
@@ -112,7 +116,7 @@ proptest! {
     /// converges — the fabric-level version of the crash property above.
     #[test]
     fn network_faults_are_soft_and_retries_converge(
-        fail_leg in 0u64..6,
+        fail_leg in 0u64..8,
         fault_kind in 0u8..3,
         member_count in 1usize..5,
     ) {
@@ -148,13 +152,13 @@ proptest! {
         };
         let mut archive = Archive::new();
         for i in 0..member_count {
-            archive.add(&format!("f{i}.db"), format!("DATA-{i}\n").into_bytes());
+            archive.add(&format!("f{i}.db"), format!("DATA-{i}\n").into_bytes()).unwrap();
         }
         let script = Script::standard(&archive, "/var/svc", "install");
         let mut host = SimHost::new("H");
         let net = FailNth { fail_at: fail_leg, fault, legs: AtomicU64::new(0) };
-        match run_update_over(&net, &mut host, None, &archive, "/tmp/t", &script) {
-            Ok(()) => {} // leg 5 never fires: only five legs per update
+        match run_update_over(&net, &mut host, None, &archive, None, "/tmp/t", &script) {
+            Ok(()) => {} // leg 7 never fires: only seven legs per update
             Err(e) => prop_assert!(!e.is_hard(), "network fault must be soft: {e:?}"),
         }
         // No torn files even mid-fault, and a fault-free retry converges.

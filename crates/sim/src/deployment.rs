@@ -50,6 +50,9 @@ pub struct Deployment {
     pub mail: HashMap<String, Arc<Mutex<MailHub>>>,
     /// The Kerberos realm.
     pub kdc: Arc<Kdc>,
+    /// The DCM's `rcmd.moira` srvtab key — on Moira's disk in real life,
+    /// so it survives a Moira crash and a restarted DCM re-reads it.
+    dcm_key: moira_krb::cipher::Key,
     /// The registration server of §5.10.
     pub regserver: RegistrationServer,
     /// What the population generator built.
@@ -245,6 +248,7 @@ impl Deployment {
             zephyr,
             mail,
             kdc,
+            dcm_key,
             regserver,
             population,
             backups: NightlyRotation::new(),
@@ -259,6 +263,21 @@ impl Deployment {
         let s = self.state.read();
         self.backups.run_nightly(&s.db);
         self.last_backup = s.now();
+    }
+
+    /// Replaces the DCM with a freshly started one, as after a Moira
+    /// crash: every in-memory cache is gone — prepared builds and their
+    /// generation cursors, last-pushed patch bases, retry streaks — but
+    /// the on-disk identity survives, so the srvtab key and the network
+    /// fabric are rewired exactly as at first start.
+    pub fn restart_dcm(&mut self) {
+        let mut fresh = Dcm::new(self.state.clone(), self.registry.clone());
+        fresh.enable_kerberos(self.kdc.clone(), "rcmd.moira", self.dcm_key);
+        fresh.set_network(self.net.clone());
+        for host in self.dcm.hosts.values() {
+            fresh.add_host(host.clone());
+        }
+        self.dcm = fresh;
     }
 
     /// Runs one DCM pass (consuming any pending trigger), then delivers any
@@ -447,7 +466,7 @@ mod tests {
         let mut d = Deployment::build(&PopulationSpec::small());
         d.run_dcm_once(); // the real, kerberized DCM succeeds
         let host = d.hosts[&d.population.hesiod_servers[0]].clone();
-        let archive = moira_dcm::Archive::from_members(vec![("f".into(), b"x".to_vec())]);
+        let archive = moira_dcm::Archive::from_members(vec![("f".into(), b"x".to_vec())]).unwrap();
         let script = Script::standard(&archive, "/var/hesiod", "install-hesiod");
         // A rogue pusher with no credentials is refused…
         {
