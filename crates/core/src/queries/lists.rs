@@ -217,9 +217,7 @@ fn get_list_info(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<V
         // Wildcards only for privileged callers.
         no_wildcards(&a[0]).map_err(|_| MrError::Perm)?;
     }
-    let ids = state
-        .db
-        .select("list", &Pred::name_match("list", &a[0]).rename_list());
+    let ids = state.db.select("list", &Pred::name_match("name", &a[0]));
     if ids.is_empty() {
         return Err(MrError::NoMatch);
     }
@@ -232,22 +230,6 @@ fn get_list_info(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<V
         out.push(render_list_info(state, id));
     }
     Ok(out)
-}
-
-/// `Pred::name_match` binds the column name `list`; the schema column is
-/// `name`. This tiny adaptor keeps call sites readable.
-trait RenameList {
-    fn rename_list(self) -> Pred;
-}
-
-impl RenameList for Pred {
-    fn rename_list(self) -> Pred {
-        match self {
-            Pred::Eq("list", v) => Pred::Eq("name", v),
-            Pred::Like("list", p) => Pred::Like("name", p),
-            other => other,
-        }
-    }
 }
 
 fn expand_list_names(state: &MoiraState, c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {

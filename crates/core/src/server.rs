@@ -462,7 +462,8 @@ impl MoiraServer {
                         .map(|chunk| {
                             let registry = registry.clone();
                             let state = state.clone();
-                            scope.spawn(move || {
+                            let ids = chunk.clone();
+                            let handle = scope.spawn(move || {
                                 let mut out = Vec::with_capacity(chunk.len());
                                 let guard = Self::read_or_busy(&state, patience);
                                 for id in chunk {
@@ -488,12 +489,21 @@ impl MoiraServer {
                                     }
                                 }
                                 out
-                            })
+                            });
+                            (ids, handle)
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("read worker"))
+                        .map(|(ids, h)| {
+                            // A worker that panicked sheds its chunk as
+                            // Busy rather than taking the daemon down.
+                            h.join().unwrap_or_else(|_| {
+                                ids.into_iter()
+                                    .map(|id| (id, vec![Reply::status(MrError::Busy.code())], None))
+                                    .collect()
+                            })
+                        })
                         .collect()
                 });
                 for worker_out in results {

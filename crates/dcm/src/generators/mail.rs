@@ -84,7 +84,7 @@ fn lists_affected_by_user_changes(
     table: &'static str,
     changes: &[moira_db::RowChange],
 ) -> Option<Vec<moira_db::RowId>> {
-    use std::collections::{HashMap, HashSet};
+    use std::collections::HashSet;
     if table != "users" {
         return None;
     }
@@ -98,45 +98,44 @@ fn lists_affected_by_user_changes(
             moira_db::RowChange::Deleted(_) => return None,
         }
     }
-    // One pass over members: (member kind, member_id) -> containing lists.
+    // Climb the membership graph from each changed user through the
+    // indexed `member_id` column: per-entity selects, never a whole-table
+    // pass (the delta-scan gate; E14 depends on this staying sublinear).
     let members = state.db.table("members");
-    let (ty_col, id_col, list_col) = (
-        members.col("member_type"),
-        members.col("member_id"),
-        members.col("list_id"),
-    );
-    let kind_of = |ty: &str| match ty {
-        "USER" => 0u8,
-        "LIST" => 1,
-        _ => 2,
-    };
-    let mut containing: HashMap<(u8, i64), Vec<i64>> = HashMap::new();
-    for (_, row) in members.iter() {
-        containing
-            .entry((kind_of(row[ty_col].as_str()), row[id_col].as_int()))
-            .or_default()
-            .push(row[list_col].as_int());
-    }
     let mut affected: HashSet<i64> = HashSet::new();
-    let mut frontier: Vec<(u8, i64)> = user_ids.iter().map(|&id| (0, id)).collect();
-    while let Some(key) = frontier.pop() {
-        for &list_id in containing.get(&key).map(Vec::as_slice).unwrap_or_default() {
+    let mut frontier: Vec<(&str, i64)> = user_ids.iter().map(|&id| ("USER", id)).collect();
+    while let Some((member_type, member_id)) = frontier.pop() {
+        for row in state
+            .db
+            .select("members", &Pred::Eq("member_id", member_id.into()))
+        {
+            if members.cell(row, "member_type").as_str() != member_type {
+                continue;
+            }
+            let list_id = members.cell(row, "list_id").as_int();
             if affected.insert(list_id) {
-                frontier.push((1, list_id));
+                frontier.push(("LIST", list_id));
             }
         }
     }
     let lists = state.db.table("list");
-    let rows = lists
-        .iter()
-        .filter(|(row, _)| {
-            affected.contains(&lists.cell(*row, "list_id").as_int())
-                || (lists.cell(*row, "acl_type").as_str() == "USER"
-                    && user_ids.contains(&lists.cell(*row, "acl_id").as_int()))
-        })
-        .map(|(row, _)| row)
-        .collect();
-    Some(rows)
+    let mut rows: HashSet<moira_db::RowId> = HashSet::new();
+    for &list_id in &affected {
+        rows.extend(
+            state
+                .db
+                .select("list", &Pred::Eq("list_id", list_id.into())),
+        );
+    }
+    // Lists whose ACE names a changed user render a different owner line.
+    for &uid in &user_ids {
+        for row in state.db.select("list", &Pred::Eq("acl_id", uid.into())) {
+            if lists.cell(row, "acl_type").as_str() == "USER" {
+                rows.insert(row);
+            }
+        }
+    }
+    Some(rows.into_iter().collect())
 }
 
 /// One maillist's aliases block (comment, owner alias, member line).

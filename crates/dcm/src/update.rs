@@ -742,8 +742,7 @@ pub fn execute_on_host(host: &mut SimHost, target: &str) -> Result<i32, HostErro
             }
             Instruction::Swap { file } => {
                 // Keep the old version for Revert, then swap atomically.
-                if host.read_file(file).is_some() {
-                    let old = host.read_file(file).expect("just checked").to_vec();
+                if let Some(old) = host.read_file(file).map(|d| d.to_vec()) {
                     host.write_file(&format!("{file}{BACKUP_SUFFIX}"), &old)?;
                 }
                 host.rename(&format!("{file}{STAGING_SUFFIX}"), file)?;

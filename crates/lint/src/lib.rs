@@ -1,0 +1,249 @@
+//! `moira-lint`: a workspace static analyzer enforcing the invariants the
+//! paper's architecture depends on — the closed query surface with uniform
+//! access control, the read/write tier split, the `state.db` journaling
+//! contract, lock discipline around the shared state, the DCM delta-path
+//! scan ban, and panic-free daemon request loops.
+//!
+//! It replaces the regex grep gates that used to live in CI: each pass
+//! parses the source (via the in-tree `syn` shim) instead of pattern
+//! matching lines, so trivial rewrites (`let s = &state; s.clone()`) no
+//! longer slip through.
+//!
+//! Diagnostics are deny-by-default. A `// lint:allow(<pass>)` comment on
+//! the flagged line or the line above suppresses one finding; allows are
+//! reviewed in PRs like any other code (see DESIGN.md "Static
+//! invariants").
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod passes;
+pub mod scan;
+
+/// One finding: which pass, where, and what the violation is.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub pass: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error[{}] {}:{}: {}",
+            self.pass, self.file, self.line, self.message
+        )
+    }
+}
+
+/// A registered pass: name (used in `lint:allow(...)`) and a one-line
+/// description for `--list`.
+pub struct PassInfo {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub run: fn(&Workspace) -> Vec<Diagnostic>,
+}
+
+/// All passes, in the order they run.
+pub const PASSES: &[PassInfo] = &[
+    PassInfo {
+        name: passes::tier::NAME,
+        description: "read handlers take &MoiraState and never call mutating Database/Table \
+                      APIs; write handlers mutate only through state.db (journaling contract); \
+                      MoiraState is never Clone",
+        run: passes::tier::run,
+    },
+    PassInfo {
+        name: passes::locks::NAME,
+        description: "no blocking I/O and no second guard acquisition while a SharedState \
+                      RwLock guard is live, with a one-level walk into same-file helpers",
+        run: passes::locks::run,
+    },
+    PassInfo {
+        name: passes::registry_schema::NAME,
+        description: "every registered query resolves to a handler on the right tier, its \
+                      access rule is well-formed, and it references only tables/columns \
+                      declared in schema.rs",
+        run: passes::registry_schema::run,
+    },
+    PassInfo {
+        name: passes::delta::NAME,
+        description: "the DCM incremental path and per-generator delta fragments never \
+                      full-scan driver tables; full rebuilds only via the marked fallback",
+        run: passes::delta::run,
+    },
+    PassInfo {
+        name: passes::panics::NAME,
+        description: "no unwrap()/expect()/panic! in the server request loop, client \
+                      connection glue, or DCM update leg",
+        run: passes::panics::run,
+    },
+];
+
+/// A parsed source file plus the flat token stream and the
+/// `lint:allow(...)` suppressions found in its comments.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    pub tokens: Vec<syn::Token>,
+    pub ast: syn::File,
+    /// (line, pass-name) pairs from `// lint:allow(pass)` comments.
+    pub allows: Vec<(u32, String)>,
+}
+
+impl SourceFile {
+    pub fn parse(rel: &str, src: &str) -> Result<SourceFile, String> {
+        let (tokens, _) = syn::tokenize(src);
+        let ast = syn::parse_file(src).map_err(|e| format!("{rel}: {e}"))?;
+        let mut allows = Vec::new();
+        for c in &ast.comments {
+            let mut rest = c.text.as_str();
+            while let Some(pos) = rest.find("lint:allow(") {
+                let after = &rest[pos + "lint:allow(".len()..];
+                if let Some(close) = after.find(')') {
+                    for name in after[..close].split(',') {
+                        allows.push((c.line, name.trim().to_string()));
+                    }
+                    rest = &after[close + 1..];
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(SourceFile {
+            rel: rel.to_string(),
+            tokens,
+            ast,
+            allows,
+        })
+    }
+
+    /// All non-test functions with bodies, by name. On duplicate names the
+    /// first definition wins.
+    pub fn fn_map(&self) -> HashMap<&str, &syn::ItemFn> {
+        let mut map = HashMap::new();
+        for f in self.ast.functions() {
+            if !f.in_test && f.func.has_body {
+                map.entry(f.func.name.as_str()).or_insert(f.func);
+            }
+        }
+        map
+    }
+
+    /// True when a diagnostic at `line` for `pass` is suppressed by a
+    /// `lint:allow` comment on the same line or the line above.
+    fn allowed(&self, pass: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|(l, p)| p == pass && (*l == line || *l + 1 == line))
+    }
+}
+
+/// The set of parsed sources a lint run sees.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads every `crates/*/src/**/*.rs` under `root`, except
+    /// `crates/lint` itself (the analyzer does not self-audit; its fixtures
+    /// contain deliberate violations).
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let crates_dir = root.join("crates");
+        if !crates_dir.is_dir() {
+            return Err(format!(
+                "no crates/ directory under {} — run from the workspace root or pass --root",
+                root.display()
+            ));
+        }
+        let mut files = Vec::new();
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            if crate_dir.file_name().is_some_and(|n| n == "lint") {
+                continue;
+            }
+            let src = crate_dir.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let mut rs_files = Vec::new();
+            collect_rs(&src, &mut rs_files)?;
+            rs_files.sort();
+            for path in rs_files {
+                let text = fs::read_to_string(&path)
+                    .map_err(|e| format!("read {}: {e}", path.display()))?;
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push(SourceFile::parse(&rel, &text)?);
+            }
+        }
+        Ok(Workspace { files })
+    }
+
+    /// Builds a workspace from in-memory (relative-path, source) pairs —
+    /// the fixture tests use this.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Result<Workspace, String> {
+        let mut files = Vec::new();
+        for (rel, src) in sources {
+            files.push(SourceFile::parse(rel, src)?);
+        }
+        Ok(Workspace { files })
+    }
+
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Runs one pass by name and applies `lint:allow` suppressions.
+    /// Returns `None` for an unknown pass name.
+    pub fn run_pass(&self, name: &str) -> Option<Vec<Diagnostic>> {
+        let pass = PASSES.iter().find(|p| p.name == name)?;
+        Some(self.suppress((pass.run)(self)))
+    }
+
+    /// Runs every pass and applies `lint:allow` suppressions.
+    pub fn run_all(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for pass in PASSES {
+            out.extend(self.suppress((pass.run)(self)));
+        }
+        out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        out
+    }
+
+    fn suppress(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| {
+                self.file(&d.file)
+                    .is_none_or(|f| !f.allowed(d.pass, d.line))
+            })
+            .collect()
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(|e| e.ok()) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! `moira-lint` CLI.
+//!
+//! ```text
+//! cargo run -p moira-lint                  # run all passes on the workspace
+//! cargo run -p moira-lint -- --deny-all    # same; exit 1 on any finding (CI mode)
+//! cargo run -p moira-lint -- --list        # print pass names and descriptions
+//! cargo run -p moira-lint -- --pass panic-path
+//! cargo run -p moira-lint -- --root /path/to/workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use moira_lint::{Workspace, PASSES};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut pass: Option<String> = None;
+    let mut list = false;
+    // `--deny-all` is the documented CI flag; findings always fail the run,
+    // so today it is the default behavior spelled out.
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--deny-all" => {}
+            "--root" => root = args.next().map(PathBuf::from),
+            "--pass" => pass = args.next(),
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if list {
+        for p in PASSES {
+            println!("{:<16} {}", p.name, p.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = root.unwrap_or_else(|| {
+        // Works both from the workspace root (CI) and from a crate dir.
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        if cwd.join("crates").is_dir() {
+            cwd
+        } else {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        }
+    });
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("moira-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match &pass {
+        Some(name) => match ws.run_pass(name) {
+            Some(d) => d,
+            None => {
+                eprintln!("moira-lint: unknown pass `{name}` (see --list)");
+                return ExitCode::from(2);
+            }
+        },
+        None => ws.run_all(),
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!(
+            "moira-lint: {} file(s) clean across {} pass(es)",
+            ws.files.len(),
+            pass.as_ref().map_or(PASSES.len(), |_| 1)
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("moira-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "moira-lint — static analyzer for the Moira workspace invariants\n\n\
+         USAGE: moira-lint [--deny-all] [--list] [--pass <name>] [--root <dir>]\n\n\
+         OPTIONS:\n\
+         \x20 --deny-all     CI mode (explicit; findings always fail the run)\n\
+         \x20 --list         print pass names and descriptions\n\
+         \x20 --pass <name>  run a single pass\n\
+         \x20 --root <dir>   workspace root (default: cwd, or the manifest's)"
+    );
+}

@@ -1,0 +1,247 @@
+//! Pass 4 — delta-path scan ban.
+//!
+//! PR 3's incremental DCM claims (EXPERIMENTS.md E14) hold only if the
+//! delta path never enumerates whole driver tables:
+//!
+//! - in `incremental.rs`, `.table(..).iter()` and `changed_since(0)` are
+//!   forbidden; every `full_rebuild_rows(..)` call must carry the
+//!   `full-rebuild fallback` marker comment (same line or adjacent line),
+//!   keeping explicit the only place a full enumeration is allowed;
+//! - in each generator, the delta-fragment functions named by `Section`
+//!   literals (`SectionKind::Lines(f)`, `SectionKind::Members(f)`,
+//!   `affected: Some(f)`) must stay per-row: no `.table(..).iter()`, no
+//!   `Pred::True` selects, and none of the full-scan helpers
+//!   (`active_users`, `active_groups`, `group_map`) — `groups_of_user` is
+//!   the delta-friendly form. Full builders (the non-delta `generate`
+//!   path) may scan; they are not reachable from `delta_refresh`.
+
+use std::collections::HashSet;
+
+use crate::scan;
+use crate::{Diagnostic, SourceFile, Workspace};
+use syn::{ItemFn, Token, TokenKind};
+
+pub const NAME: &str = "delta-scan";
+
+const GENERATORS_DIR: &str = "crates/dcm/src/generators/";
+const INCREMENTAL: &str = "crates/dcm/src/generators/incremental.rs";
+
+/// Whole-table helper functions a delta fragment must never call.
+const FULL_SCAN_HELPERS: &[&str] = &["active_users", "active_groups", "group_map"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for sf in ws
+        .files
+        .iter()
+        .filter(|f| f.rel.starts_with(GENERATORS_DIR))
+    {
+        if sf.rel == INCREMENTAL {
+            check_incremental(sf, &mut out);
+        } else {
+            check_generator(sf, &mut out);
+        }
+    }
+    out
+}
+
+/// True when the `.iter()` at `mc_idx` enumerates a table: its receiver
+/// chain passes through `.table(..)` or is a local bound from
+/// `state.db.table(..)`.
+fn is_table_iter(toks: &[Token], mc_idx: usize, table_locals: &HashSet<String>) -> bool {
+    let recv = scan::receiver_idents(toks, mc_idx);
+    recv.iter().any(|r| r == "table")
+        || recv
+            .first()
+            .is_some_and(|r| table_locals.contains(r.as_str()))
+}
+
+/// Local names bound from `..table(..)`, e.g.
+/// `let t = state.db.table("users");`.
+fn table_locals(body: &[Token]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for i in 0..body.len() {
+        if !body[i].is_ident("let") {
+            continue;
+        }
+        let mut k = i + 1;
+        if k < body.len() && body[k].is_ident("mut") {
+            k += 1;
+        }
+        if k + 1 >= body.len() || body[k].kind != TokenKind::Ident || !body[k + 1].is_punct('=') {
+            continue;
+        }
+        let end = scan::statement_end(body, k + 1);
+        let rhs = &body[k + 2..end.min(body.len())];
+        let is_table_call = rhs
+            .iter()
+            .zip(rhs.iter().skip(1))
+            .any(|(a, b)| a.is_punct('.') && b.is_ident("table"))
+            || rhs.first().is_some_and(|t| t.is_ident("table"));
+        if is_table_call {
+            out.insert(body[k].text.clone());
+        }
+    }
+    out
+}
+
+fn check_incremental(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    // Marker lines: comments containing "full-rebuild fallback".
+    let markers: HashSet<u32> = sf
+        .ast
+        .comments
+        .iter()
+        .filter(|c| c.text.contains("full-rebuild fallback"))
+        .map(|c| c.line)
+        .collect();
+    for f in sf.ast.functions() {
+        if f.in_test {
+            continue;
+        }
+        let body = &f.func.body;
+        let locals = table_locals(body);
+        for mc in scan::method_calls(body) {
+            if mc.name == "iter" && is_table_iter(body, mc.idx, &locals) {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: mc.line,
+                    message: format!(
+                        "`{}` iterates a whole table — the incremental path must read row \
+                         deltas via changed_since",
+                        f.func.name
+                    ),
+                });
+            }
+            // `changed_since(0)` replays every row ever written: a full
+            // scan in delta clothing.
+            if mc.name == "changed_since"
+                && body.get(mc.idx + 3).is_some_and(|t| t.text == "0")
+                && body.get(mc.idx + 4).is_some_and(|t| t.is_punct(')'))
+            {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: mc.line,
+                    message: format!(
+                        "`{}` calls changed_since(0) — that is a full scan; use \
+                         full_rebuild_rows with its marker instead",
+                        f.func.name
+                    ),
+                });
+            }
+        }
+        for fc in scan::free_calls(body) {
+            if fc.name == "full_rebuild_rows" {
+                let l = fc.line;
+                if !(markers.contains(&l)
+                    || markers.contains(&(l + 1))
+                    || (l > 0 && markers.contains(&(l - 1))))
+                {
+                    out.push(Diagnostic {
+                        pass: NAME,
+                        file: sf.rel.clone(),
+                        line: l,
+                        message: format!(
+                            "`{}` calls full_rebuild_rows without a `full-rebuild fallback` \
+                             marker comment — full enumerations must be explicit",
+                            f.func.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_generator(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let fn_map = sf.fn_map();
+    // Fragment functions named by Section literals inside delta plans.
+    let mut fragments: Vec<&str> = Vec::new();
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        // SectionKind::Lines(f) / SectionKind::Members(f)
+        if toks[i].is_ident("SectionKind")
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.is_ident("Lines") || t.is_ident("Members"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 5).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            fragments.push(&toks[i + 5].text);
+        }
+        // affected: Some(f)
+        if toks[i].is_ident("affected")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("Some"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            fragments.push(&toks[i + 4].text);
+        }
+    }
+    fragments.sort_unstable();
+    fragments.dedup();
+    // Each fragment, plus the one-level helpers it calls in-file. The
+    // `via` entry records the call site when the body under scrutiny is a
+    // helper rather than the fragment itself.
+    type CheckItem<'a> = (&'a str, &'a ItemFn, Option<(&'a str, u32)>);
+    let mut to_check: Vec<CheckItem> = Vec::new();
+    for name in &fragments {
+        let Some(f) = fn_map.get(name) else { continue };
+        to_check.push((name, f, None));
+        for fc in scan::free_calls(&f.body) {
+            if fc.name != *name && !FULL_SCAN_HELPERS.contains(&fc.name) {
+                if let Some(h) = fn_map.get(fc.name) {
+                    to_check.push((name, h, Some((fc.name, fc.line))));
+                }
+            }
+        }
+    }
+    for (frag, f, via) in to_check {
+        let body = &f.body;
+        let locals = table_locals(body);
+        let site = |line: u32| via.map(|(_, l)| l).unwrap_or(line);
+        let context = |what: &str| match via {
+            Some((helper, _)) => {
+                format!("delta fragment `{frag}` calls helper `{helper}`, which {what}")
+            }
+            None => format!("delta fragment `{frag}` {what}"),
+        };
+        for mc in scan::method_calls(body) {
+            if mc.name == "iter" && is_table_iter(body, mc.idx, &locals) {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: site(mc.line),
+                    message: context("iterates a whole driver table — fragments must stay per-row"),
+                });
+            }
+        }
+        // Pred::True selects are full scans.
+        for i in 0..body.len() {
+            if scan::path_starts(body, i, &["Pred", "True"]) {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: site(body[i].line),
+                    message: context("selects with Pred::True — a full scan"),
+                });
+            }
+        }
+        for fc in scan::free_calls(body) {
+            if FULL_SCAN_HELPERS.contains(&fc.name) {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: site(fc.line),
+                    message: context(&format!(
+                        "calls full-scan helper `{}` — use the per-entity forms \
+                         (e.g. groups_of_user)",
+                        fc.name
+                    )),
+                });
+            }
+        }
+    }
+}

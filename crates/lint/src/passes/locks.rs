@@ -1,0 +1,275 @@
+//! Pass 2 — lock-discipline.
+//!
+//! While a `SharedState` RwLock guard is live in a function body, the code
+//! must not (a) acquire a second state guard — an instant self-deadlock
+//! under parking_lot's non-reentrant locks — or (b) perform blocking I/O
+//! (`std::net`, `std::fs`, blocking channel receives, connect/bind/accept),
+//! which would stall every other session on the daemon. The pass walks one
+//! level into same-file helpers so the discipline cannot be laundered
+//! through a wrapper.
+//!
+//! Guard liveness is scoped conservatively from the token stream:
+//!
+//! - an acquisition that is immediately `.method()`-chained is a temporary
+//!   dropped at the end of its statement;
+//! - a bound acquisition (`let g = ...`, `if let Some(g) = ...`) is live to
+//!   the end of its innermost enclosing brace block, or to `drop(g)`.
+
+use crate::scan;
+use crate::{Diagnostic, SourceFile, Workspace};
+use syn::{ItemFn, Token};
+
+pub const NAME: &str = "lock-discipline";
+
+/// RwLock acquisition methods.
+const ACQUIRE: &[&str] = &["read", "write", "try_read", "try_write"];
+
+/// Receiver chains whose last identifier is one of these are treated as
+/// the shared state.
+const STATE_RECV: &[&str] = &["state", "shared"];
+
+/// Blocking calls (method or free) denied while a guard is live.
+const BLOCKING: &[&str] = &["recv_blocking", "sleep", "connect", "bind", "accept"];
+
+/// Path prefixes denied while a guard is live.
+const BLOCKING_PATHS: &[&[&str]] = &[&["std", "fs"], &["std", "net"]];
+
+/// The measurement harness is exempt: benches hold guards deliberately to
+/// time lock contention itself.
+fn in_scope(rel: &str) -> bool {
+    !rel.starts_with("crates/bench/")
+}
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for sf in ws.files.iter().filter(|f| in_scope(&f.rel)) {
+        let facts = FileFacts::collect(sf);
+        for f in sf.ast.functions() {
+            if f.in_test || !f.func.has_body {
+                continue;
+            }
+            check_fn(sf, f.func, &facts, &mut out);
+        }
+    }
+    out
+}
+
+/// Per-file summary of what each named function does, for the one-level
+/// helper walk.
+struct FileFacts {
+    /// Functions whose bodies acquire a state guard.
+    acquires: Vec<String>,
+    /// Functions whose bodies perform blocking I/O.
+    blocks: Vec<String>,
+    /// Functions returning a guard (their call sites open a guard scope).
+    returns_guard: Vec<String>,
+}
+
+impl FileFacts {
+    fn collect(sf: &SourceFile) -> FileFacts {
+        let mut facts = FileFacts {
+            acquires: Vec::new(),
+            blocks: Vec::new(),
+            returns_guard: Vec::new(),
+        };
+        for f in sf.ast.functions() {
+            if f.in_test || !f.func.has_body {
+                continue;
+            }
+            let body = &f.func.body;
+            if !direct_acquisitions(body).is_empty() {
+                facts.acquires.push(f.func.name.clone());
+            }
+            if !blocking_sites(body).is_empty() {
+                facts.blocks.push(f.func.name.clone());
+            }
+            if f.func
+                .sig
+                .iter()
+                .any(|t| t.kind == syn::TokenKind::Ident && t.text.contains("Guard"))
+            {
+                facts.returns_guard.push(f.func.name.clone());
+            }
+        }
+        facts
+    }
+}
+
+/// An acquisition site in a body: the index range of the call and its
+/// source line.
+struct Acquisition {
+    /// Index of the `.` (method form) or the callee identifier (helper
+    /// form).
+    start: usize,
+    /// Index of the call's closing `)`.
+    close: usize,
+    line: u32,
+    what: String,
+}
+
+/// Direct state-guard acquisitions: `.read()` / `.write()` / `.try_read()`
+/// / `.try_write()` with a state-ish receiver.
+fn direct_acquisitions(body: &[Token]) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for mc in scan::method_calls(body) {
+        if !ACQUIRE.contains(&mc.name) {
+            continue;
+        }
+        let recv = scan::receiver_idents(body, mc.idx);
+        let last = recv.last().map(String::as_str).unwrap_or("");
+        if !STATE_RECV.contains(&last) {
+            continue;
+        }
+        out.push(Acquisition {
+            start: mc.idx,
+            close: scan::close_of(body, mc.idx + 2),
+            line: mc.line,
+            what: format!("{last}.{}()", mc.name),
+        });
+    }
+    out
+}
+
+/// Blocking-call sites in a body: (index, line, description).
+fn blocking_sites(body: &[Token]) -> Vec<(usize, u32, String)> {
+    let mut out = Vec::new();
+    for mc in scan::method_calls(body) {
+        if BLOCKING.contains(&mc.name) {
+            out.push((mc.idx, mc.line, format!(".{}()", mc.name)));
+        }
+    }
+    for fc in scan::free_calls(body) {
+        if BLOCKING.contains(&fc.name) {
+            // Method calls are excluded above; this catches
+            // `thread::sleep(..)`, `TcpChannel::connect(..)` path forms.
+            out.push((fc.idx, fc.line, format!("{}(...)", fc.name)));
+        }
+    }
+    for i in 0..body.len() {
+        for path in BLOCKING_PATHS {
+            if scan::path_starts(body, i, path)
+                && (i == 0 || !body[i - 1].is_punct(':'))
+                && body.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            {
+                out.push((i, body[i].line, format!("{}::{}", path[0], path[1])));
+            }
+        }
+    }
+    out
+}
+
+fn check_fn(sf: &SourceFile, f: &ItemFn, facts: &FileFacts, out: &mut Vec<Diagnostic>) {
+    let body = &f.body;
+    let mut acqs = direct_acquisitions(body);
+    // Helper-form acquisitions: calls to same-file functions that acquire
+    // and hand back a guard (`read_or_busy` / `write_or_busy`).
+    for fc in scan::free_calls(body) {
+        if fc.name != f.name
+            && facts.acquires.iter().any(|n| n == fc.name)
+            && facts.returns_guard.iter().any(|n| n == fc.name)
+        {
+            acqs.push(Acquisition {
+                start: fc.idx,
+                close: scan::close_of(body, fc.idx + 1),
+                line: fc.line,
+                what: format!("{}(...)", fc.name),
+            });
+        }
+    }
+    acqs.sort_by_key(|a| a.start);
+
+    let blocking = blocking_sites(body);
+    for acq in &acqs {
+        let scope_end = guard_scope_end(body, acq);
+        let scope_start = acq.close + 1;
+        if scope_start >= scope_end {
+            continue;
+        }
+        // Second acquisition while live.
+        for other in &acqs {
+            if other.start > scope_start && other.start < scope_end {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: other.line,
+                    message: format!(
+                        "`{}` in `{}` acquires a state guard while the guard from `{}` (line \
+                         {}) is still live — non-reentrant RwLock, this self-deadlocks",
+                        other.what, f.name, acq.what, acq.line
+                    ),
+                });
+            }
+        }
+        // Blocking I/O while live.
+        for (idx, line, what) in &blocking {
+            if *idx > scope_start && *idx < scope_end {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: *line,
+                    message: format!(
+                        "blocking call `{what}` in `{}` while the state guard from `{}` (line \
+                         {}) is live — every other session stalls behind it",
+                        f.name, acq.what, acq.line
+                    ),
+                });
+            }
+        }
+        // One-level helper walk: calls to same-file functions that acquire
+        // or block.
+        for fc in scan::free_calls(body) {
+            if fc.idx <= scope_start || fc.idx >= scope_end || fc.name == f.name {
+                continue;
+            }
+            // Guard-returning acquirers are already counted as
+            // acquisitions above.
+            if facts.returns_guard.iter().any(|n| n == fc.name) {
+                continue;
+            }
+            let does_acquire = facts.acquires.iter().any(|n| n == fc.name);
+            let does_block = facts.blocks.iter().any(|n| n == fc.name);
+            if does_acquire || does_block {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: fc.line,
+                    message: format!(
+                        "`{}` calls helper `{}` — which {} — while the state guard from `{}` \
+                         (line {}) is live",
+                        f.name,
+                        fc.name,
+                        if does_acquire {
+                            "acquires a state guard"
+                        } else {
+                            "performs blocking I/O"
+                        },
+                        acq.what,
+                        acq.line
+                    ),
+                });
+            }
+        }
+    }
+    out.dedup_by(|a, b| a.line == b.line && a.message == b.message && a.file == b.file);
+}
+
+/// Where the guard from `acq` stops being live.
+fn guard_scope_end(body: &[Token], acq: &Acquisition) -> usize {
+    // Temporary: the acquisition is immediately chained (`state.read().x`),
+    // so the guard drops at the end of the statement.
+    if body.get(acq.close + 1).is_some_and(|t| t.is_punct('.')) {
+        return scan::statement_end(body, acq.close);
+    }
+    // Bound (or used as a scrutinee): live to the end of the innermost
+    // enclosing block, or to an explicit `drop(name)`.
+    let end = scan::block_end(body, acq.start);
+    if let Some(name) = scan::let_binding_before(body, acq.start) {
+        for i in acq.close + 1..end.min(body.len().saturating_sub(2)) {
+            if body[i].is_ident("drop") && body[i + 1].is_punct('(') && body[i + 2].is_ident(&name)
+            {
+                return i;
+            }
+        }
+    }
+    end
+}

@@ -1,0 +1,62 @@
+//! Pass 5 — panic-path audit.
+//!
+//! One panic in the server request loop, the client connection glue, or
+//! the DCM update leg kills the daemon every Athena workstation depends
+//! on. In those files, non-test code must not call `.unwrap()`,
+//! `.expect(..)`, or `panic!` — errors must surface as
+//! `MoiraError`/`UpdateError` returns. (`unwrap_or` / `unwrap_or_else`
+//! and `unreachable!` on genuinely impossible arms are fine; matching is
+//! token-exact, not substring.)
+
+use crate::scan;
+use crate::{Diagnostic, Workspace};
+
+pub const NAME: &str = "panic-path";
+
+const FILES: &[&str] = &[
+    "crates/core/src/server.rs",
+    "crates/client/src/conn.rs",
+    "crates/dcm/src/update.rs",
+];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rel in FILES {
+        let Some(sf) = ws.file(rel) else { continue };
+        for f in sf.ast.functions() {
+            if f.in_test {
+                continue;
+            }
+            let body = &f.func.body;
+            for mc in scan::method_calls(body) {
+                if mc.name == "unwrap" || mc.name == "expect" {
+                    out.push(Diagnostic {
+                        pass: NAME,
+                        file: sf.rel.clone(),
+                        line: mc.line,
+                        message: format!(
+                            "`.{}()` in `{}` — a panic here kills the daemon; return a \
+                             proper error instead",
+                            mc.name, f.func.name
+                        ),
+                    });
+                }
+            }
+            for (i, t) in body.iter().enumerate() {
+                if t.is_ident("panic") && body.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    out.push(Diagnostic {
+                        pass: NAME,
+                        file: sf.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`panic!` in `{}` — a panic here kills the daemon; return a \
+                             proper error instead",
+                            f.func.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}

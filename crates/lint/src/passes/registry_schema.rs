@@ -1,0 +1,482 @@
+//! Pass 3 — registry/schema cross-check.
+//!
+//! The paper's closed query surface means every `QueryHandle` literal must
+//! be fully coherent before the daemon boots: the handler identifier
+//! resolves, the declared `QueryKind` matches the handler tier (the
+//! registry asserts this at runtime; this pass catches it at lint time),
+//! the access rule is one of the known forms (`QueryAclOrSelf(i)` must
+//! index a real argument — `seed_capacls` derives the capability rows from
+//! the registry itself, so capacls coverage is structural), and every
+//! table/column string the query path mentions exists in `schema.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::scan;
+use crate::{Diagnostic, Workspace};
+use syn::{Token, TokenKind};
+
+pub const NAME: &str = "registry-schema";
+
+const QUERIES_DIR: &str = "crates/core/src/queries/";
+const SCHEMA_FILE: &str = "crates/core/src/schema.rs";
+
+/// Methods whose first string argument is a table name
+/// (`Database::select("users", ..)`, `state.db.table("list")`, ...).
+const TABLE_ARG_METHODS: &[&str] = &[
+    "table",
+    "table_mut",
+    "append",
+    "update",
+    "delete",
+    "delete_where",
+    "select",
+    "select_exactly_one",
+    "cell",
+    "has_table",
+];
+
+const KINDS: &[&str] = &["Retrieve", "Append", "Update", "Delete", "Special"];
+const MUTATING_KINDS: &[&str] = &["Append", "Update", "Delete"];
+const ACCESS_RULES: &[&str] = &["Public", "QueryAcl", "QueryAclOrSelf", "Custom"];
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(schema) = parse_schema(ws, &mut out) else {
+        return out;
+    };
+    let mut seen_names: HashMap<String, String> = HashMap::new();
+    let mut seen_short: HashMap<String, String> = HashMap::new();
+    for sf in ws.files.iter().filter(|f| f.rel.starts_with(QUERIES_DIR)) {
+        let fn_map = sf.fn_map();
+        for handle in query_handles(&sf.tokens) {
+            let line = handle.line;
+            let diag = |msg: String| Diagnostic {
+                pass: NAME,
+                file: sf.rel.clone(),
+                line,
+                message: msg,
+            };
+            // Duplicate names close the query surface off from shadowing.
+            if let Some(name) = &handle.name {
+                if let Some(prev) = seen_names.insert(name.clone(), sf.rel.clone()) {
+                    out.push(diag(format!("query `{name}` is also registered in {prev}")));
+                }
+            }
+            if let Some(short) = &handle.shortname {
+                if let Some(prev) = seen_short.insert(short.clone(), sf.rel.clone()) {
+                    out.push(diag(format!(
+                        "shortname `{short}` is also registered in {prev}"
+                    )));
+                }
+            }
+            let qname = handle.name.clone().unwrap_or_else(|| "<query>".into());
+            // Handler resolution.
+            match &handle.handler {
+                Some((tier, fn_name)) => {
+                    if !fn_map.contains_key(fn_name.as_str()) {
+                        out.push(diag(format!(
+                            "`{qname}` names handler `{fn_name}`, which is not defined in this \
+                             module"
+                        )));
+                    }
+                    // Kind ↔ tier.
+                    if let Some(kind) = &handle.kind {
+                        if !KINDS.contains(&kind.as_str()) {
+                            out.push(diag(format!("`{qname}` has unknown kind `{kind}`")));
+                        } else {
+                            let mutating = MUTATING_KINDS.contains(&kind.as_str());
+                            let is_write = *tier == Tier::Write;
+                            if mutating != is_write {
+                                out.push(diag(format!(
+                                    "`{qname}` is kind {kind} but its handler is on the {} \
+                                     tier — mutations must be Handler::Write, retrieves \
+                                     Handler::Read",
+                                    if is_write { "write" } else { "read" }
+                                )));
+                            }
+                        }
+                    }
+                }
+                None => out.push(diag(format!("`{qname}` has no parsable handler field"))),
+            }
+            // Access rule.
+            match &handle.access {
+                Some((rule, arg)) => {
+                    if !ACCESS_RULES.contains(&rule.as_str()) {
+                        out.push(diag(format!("`{qname}` has unknown access rule `{rule}`")));
+                    }
+                    if rule == "QueryAclOrSelf" {
+                        match (arg, handle.argc) {
+                            (Some(i), Some(n)) if *i >= n => out.push(diag(format!(
+                                "`{qname}`: QueryAclOrSelf({i}) indexes past the {n} declared \
+                                 argument(s)"
+                            ))),
+                            (None, _) => out.push(diag(format!(
+                                "`{qname}`: QueryAclOrSelf needs an argument index"
+                            ))),
+                            _ => {}
+                        }
+                    }
+                }
+                None => out.push(diag(format!("`{qname}` has no parsable access field"))),
+            }
+        }
+        check_table_refs(sf, &schema, &mut out);
+    }
+    // The access-control module reads schema tables too.
+    if let Some(sf) = ws.file("crates/core/src/access.rs") {
+        check_table_refs(sf, &schema, &mut out);
+    }
+    out
+}
+
+struct Schema {
+    tables: HashSet<String>,
+    columns: HashSet<String>,
+}
+
+/// Reads `schema.rs`: tables from `TableSchema::new("name", ...)`, columns
+/// from `C::str/int/boolean("col")` constructors, and cross-checks the
+/// `RELATIONS` inventory against the created tables.
+fn parse_schema(ws: &Workspace, out: &mut Vec<Diagnostic>) -> Option<Schema> {
+    let sf = ws.file(SCHEMA_FILE)?;
+    let toks = &sf.tokens;
+    let mut schema = Schema {
+        tables: HashSet::new(),
+        columns: HashSet::new(),
+    };
+    for i in 0..toks.len() {
+        if toks[i].is_ident("TableSchema")
+            && scan::path_starts(toks, i, &["TableSchema", "new"])
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            let open = i + 4;
+            if let Some(name) = toks.get(open + 1).filter(|t| t.kind == TokenKind::Str) {
+                schema.tables.insert(name.text.clone());
+            }
+            let close = scan::close_of(toks, open);
+            let mut j = open;
+            while j < close {
+                if (toks[j].is_ident("str")
+                    || toks[j].is_ident("int")
+                    || toks[j].is_ident("boolean"))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+                    && toks.get(j + 2).is_some_and(|t| t.kind == TokenKind::Str)
+                {
+                    schema.columns.insert(toks[j + 2].text.clone());
+                }
+                j += 1;
+            }
+        }
+    }
+    // RELATIONS const must list exactly the created tables.
+    for i in 0..toks.len() {
+        if toks[i].is_ident("RELATIONS") && i > 0 && toks[i - 1].is_ident("const") {
+            // The value's `[` is the first one after the `=` (the type
+            // ascription `&[&str]` has its own brackets).
+            let Some(eq) = toks[i..].iter().position(|t| t.is_punct('=')) else {
+                continue;
+            };
+            let Some(open) = toks[i + eq..].iter().position(|t| t.is_punct('[')) else {
+                continue;
+            };
+            let listed: HashSet<String> = scan::strs_in_group(toks, i + eq + open)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            for t in schema.tables.iter() {
+                if !listed.contains(t) {
+                    out.push(Diagnostic {
+                        pass: NAME,
+                        file: sf.rel.clone(),
+                        line: toks[i].line,
+                        message: format!("table `{t}` is created but missing from RELATIONS"),
+                    });
+                }
+            }
+            for t in &listed {
+                if !schema.tables.contains(t) {
+                    out.push(Diagnostic {
+                        pass: NAME,
+                        file: sf.rel.clone(),
+                        line: toks[i].line,
+                        message: format!("RELATIONS lists `{t}` but no such table is created"),
+                    });
+                }
+            }
+            break;
+        }
+    }
+    Some(schema)
+}
+
+#[derive(PartialEq)]
+enum Tier {
+    Read,
+    Write,
+}
+
+struct Handle {
+    line: u32,
+    name: Option<String>,
+    shortname: Option<String>,
+    kind: Option<String>,
+    access: Option<(String, Option<usize>)>,
+    argc: Option<usize>,
+    handler: Option<(Tier, String)>,
+}
+
+/// Every `QueryHandle { ... }` literal in the token stream, with its
+/// fields decoded. `args:` may be an inline `&[...]` or a same-file const
+/// identifier, which is resolved for its element count.
+fn query_handles(toks: &[Token]) -> Vec<Handle> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("QueryHandle") || !toks.get(i + 1).is_some_and(|t| t.is_punct('{')) {
+            continue;
+        }
+        let open = i + 1;
+        let close = scan::close_of(toks, open);
+        // `QueryHandle { ..*q }` re-registers an already-checked literal.
+        if toks.get(open + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(open + 2).is_some_and(|t| t.is_punct('.'))
+        {
+            continue;
+        }
+        let mut handle = Handle {
+            line: toks[i].line,
+            name: None,
+            shortname: None,
+            kind: None,
+            access: None,
+            argc: None,
+            handler: None,
+        };
+        for (field, value) in fields(toks, open, close) {
+            let value = &toks[value.0..value.1];
+            match field.as_str() {
+                "name" => handle.name = first_str(value),
+                "shortname" => handle.shortname = first_str(value),
+                "kind" => {
+                    handle.kind = value
+                        .iter()
+                        .rev()
+                        .find(|t| t.kind == TokenKind::Ident)
+                        .map(|t| t.text.clone())
+                }
+                "access" => {
+                    let rule = value
+                        .iter()
+                        .find(|t| ACCESS_RULES.contains(&t.text.as_str()))
+                        .or_else(|| value.iter().find(|t| t.kind == TokenKind::Ident));
+                    if let Some(rule) = rule {
+                        let arg = value
+                            .iter()
+                            .find(|t| t.kind == TokenKind::Number)
+                            .and_then(|t| t.text.parse::<usize>().ok());
+                        handle.access = Some((rule.text.clone(), arg));
+                    }
+                }
+                "args" => handle.argc = arg_count(toks, value),
+                "handler" => {
+                    for (j, t) in value.iter().enumerate() {
+                        let tier = if t.is_ident("Read") {
+                            Tier::Read
+                        } else if t.is_ident("Write") {
+                            Tier::Write
+                        } else {
+                            continue;
+                        };
+                        if let Some(name) = value.get(j + 2).filter(|t| t.kind == TokenKind::Ident)
+                        {
+                            handle.handler = Some((tier, name.text.clone()));
+                        }
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(handle);
+    }
+    out
+}
+
+/// Field name → token range of its value, for a struct literal between
+/// `open` (`{`) and `close` (`}`), splitting at top-level commas.
+fn fields(toks: &[Token], open: usize, close: usize) -> Vec<(String, (usize, usize))> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut j = open + 1;
+    while j < close {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0
+            && t.kind == TokenKind::Ident
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            // Value runs to the next comma at depth 0.
+            let start = j + 2;
+            let mut k = start;
+            let mut d = 0i32;
+            while k < close {
+                let v = &toks[k];
+                if v.is_punct('(') || v.is_punct('[') || v.is_punct('{') {
+                    d += 1;
+                } else if v.is_punct(')') || v.is_punct(']') || v.is_punct('}') {
+                    d -= 1;
+                } else if v.is_punct(',') && d == 0 {
+                    break;
+                }
+                k += 1;
+            }
+            out.push((t.text.clone(), (start, k)));
+            j = k;
+            continue;
+        }
+        j += 1;
+    }
+    out
+}
+
+fn first_str(value: &[Token]) -> Option<String> {
+    value
+        .iter()
+        .find(|t| t.kind == TokenKind::Str)
+        .map(|t| t.text.clone())
+}
+
+/// Number of declared arguments: string count of an inline `&[...]`, or of
+/// the same-file `const NAME: &[&str] = &[...]` an identifier refers to.
+fn arg_count(file_toks: &[Token], value: &[Token]) -> Option<usize> {
+    if let Some(open_rel) = value.iter().position(|t| t.is_punct('[')) {
+        let n = value
+            .iter()
+            .skip(open_rel)
+            .filter(|t| t.kind == TokenKind::Str)
+            .count();
+        return Some(n);
+    }
+    let name = value.iter().find(|t| t.kind == TokenKind::Ident)?;
+    for i in 0..file_toks.len() {
+        if file_toks[i].is_ident(&name.text) && i > 0 && file_toks[i - 1].is_ident("const") {
+            let rest = &file_toks[i..];
+            // Skip the type ascription's brackets: the value's `[` comes
+            // after the `=`.
+            let eq = rest.iter().position(|t| t.is_punct('='))?;
+            let open = rest[eq..].iter().position(|t| t.is_punct('['))?;
+            return Some(scan::strs_in_group(file_toks, i + eq + open).len());
+        }
+    }
+    None
+}
+
+/// Checks every table-name and column-name string literal in a file
+/// against the schema.
+fn check_table_refs(sf: &crate::SourceFile, schema: &Schema, out: &mut Vec<Diagnostic>) {
+    let toks = &sf.tokens;
+    for mc in scan::method_calls(toks) {
+        if TABLE_ARG_METHODS.contains(&mc.name) {
+            let args = scan::str_args(toks, mc.idx + 2);
+            for (pos, text, line) in &args {
+                // `Table::cell(row, "col")` and `Table::update(id, ..)`
+                // have no leading table string; a string in position 0 of
+                // `cell` on a table receiver is impossible (RowId comes
+                // first), so a position-0 string is always a table name.
+                if *pos == 0 {
+                    if !schema.tables.contains(text) {
+                        out.push(Diagnostic {
+                            pass: NAME,
+                            file: sf.rel.clone(),
+                            line: *line,
+                            message: format!(
+                                "`.{}(\"{text}\", ..)` references a table not in schema.rs",
+                                mc.name
+                            ),
+                        });
+                    }
+                } else if mc.name == "cell" && !schema.columns.contains(text) {
+                    out.push(Diagnostic {
+                        pass: NAME,
+                        file: sf.rel.clone(),
+                        line: *line,
+                        message: format!(
+                            "`.cell(.., \"{text}\")` references a column not in schema.rs"
+                        ),
+                    });
+                }
+            }
+            // Update change-lists: `("col", value)` tuples anywhere in the
+            // call.
+            if mc.name == "update" {
+                let close = scan::close_of(toks, mc.idx + 2);
+                for j in mc.idx + 2..close {
+                    if toks[j].is_punct('(')
+                        && toks.get(j + 1).is_some_and(|t| t.kind == TokenKind::Str)
+                        && toks.get(j + 2).is_some_and(|t| t.is_punct(','))
+                        && j > 0
+                        && !toks[j - 1].is_punct('!')
+                        && toks[j - 1].kind != TokenKind::Ident
+                    {
+                        let col = &toks[j + 1];
+                        if !schema.columns.contains(&col.text) {
+                            out.push(Diagnostic {
+                                pass: NAME,
+                                file: sf.rel.clone(),
+                                line: col.line,
+                                message: format!(
+                                    "update change-list names column `{}`, not in schema.rs",
+                                    col.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // `.col("name")` — direct schema column lookup.
+        if mc.name == "col" {
+            for (pos, text, line) in scan::str_args(toks, mc.idx + 2) {
+                if pos == 0 && !schema.columns.contains(&text) {
+                    out.push(Diagnostic {
+                        pass: NAME,
+                        file: sf.rel.clone(),
+                        line,
+                        message: format!("`.col(\"{text}\")` names a column not in schema.rs"),
+                    });
+                }
+            }
+        }
+    }
+    // Pred constructors: first string argument is a column.
+    for i in 0..toks.len() {
+        if toks[i].is_ident("Pred")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokenKind::Ident)
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 5).is_some_and(|t| t.kind == TokenKind::Str)
+        {
+            let variant = &toks[i + 3].text;
+            if variant == "And" || variant == "Or" || variant == "Not" || variant == "True" {
+                continue;
+            }
+            let col = &toks[i + 5];
+            if !schema.columns.contains(&col.text) {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: col.line,
+                    message: format!(
+                        "`Pred::{variant}(\"{}\", ..)` names a column not in schema.rs",
+                        col.text
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Pass 1 — tier-discipline.
+//!
+//! The read/write tier split (PR 2) holds only if:
+//!
+//! - every handler registered `Handler::Read` takes `&MoiraState` (not
+//!   `&mut`) and never calls a mutating `Database`/`Table` API, directly or
+//!   through a one-level helper;
+//! - every mutation inside a `Handler::Write` handler reaches the database
+//!   through `state.db` (or a local borrowed from it), so
+//!   `Database::mutation_count` advances and the registry journals the
+//!   query (the journaling contract);
+//! - `MoiraState` is never `Clone`, and nothing on the query path clones
+//!   the state or the database to dodge the tiers (the old CI grep gate,
+//!   now receiver-aware).
+
+use crate::scan;
+use crate::{Diagnostic, SourceFile, Workspace};
+use syn::{ItemFn, Token, TokenKind};
+
+pub const NAME: &str = "tier-discipline";
+
+/// Mutating `Database` / `Table` / `MoiraState` APIs a read handler must
+/// never reach.
+const MUTATING: &[&str] = &[
+    "append",
+    "update",
+    "delete",
+    "delete_where",
+    "table_mut",
+    "create_table",
+    "set_value",
+];
+
+const QUERIES_DIR: &str = "crates/core/src/queries/";
+const HELPERS_FILE: &str = "crates/core/src/queries/helpers.rs";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Tier {
+    Read,
+    Write,
+}
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let helpers = ws.file(HELPERS_FILE);
+    for sf in ws.files.iter().filter(|f| f.rel.starts_with(QUERIES_DIR)) {
+        let fn_map = sf.fn_map();
+        for (tier, handler, line) in registrations(&sf.tokens) {
+            let Some(f) = fn_map.get(handler.as_str()) else {
+                // Unresolved handlers are the registry-schema pass's job.
+                continue;
+            };
+            match tier {
+                Tier::Read => check_read(sf, f, helpers, &mut out),
+                Tier::Write => check_write(sf, f, helpers, &mut out),
+            }
+            let _ = line;
+        }
+    }
+    no_clone_gate(ws, &mut out);
+    state_not_clone(ws, &mut out);
+    out
+}
+
+/// Every `Handler::Read(name)` / `Handler::Write(name)` in the token
+/// stream.
+fn registrations(toks: &[Token]) -> Vec<(Tier, String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("Handler") {
+            continue;
+        }
+        // Handler :: Read ( name )
+        if i + 6 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].kind == TokenKind::Ident
+            && toks[i + 4].is_punct('(')
+            && toks[i + 5].kind == TokenKind::Ident
+            && toks[i + 6].is_punct(')')
+        {
+            let tier = match toks[i + 3].text.as_str() {
+                "Read" => Tier::Read,
+                "Write" => Tier::Write,
+                _ => continue,
+            };
+            out.push((tier, toks[i + 5].text.clone(), toks[i + 5].line));
+        }
+    }
+    out
+}
+
+fn check_read(
+    sf: &SourceFile,
+    f: &ItemFn,
+    helpers: Option<&SourceFile>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Signature: `&MoiraState`, not `&mut MoiraState`.
+    for (i, t) in f.sig.iter().enumerate() {
+        if t.is_ident("MoiraState") && i >= 1 && f.sig[i - 1].is_ident("mut") {
+            out.push(Diagnostic {
+                pass: NAME,
+                file: sf.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "read handler `{}` takes &mut MoiraState; read-tier handlers must take \
+                     &MoiraState",
+                    f.name
+                ),
+            });
+        }
+    }
+    // Body: no mutating calls.
+    for mc in scan::method_calls(&f.body) {
+        if MUTATING.contains(&mc.name) {
+            out.push(Diagnostic {
+                pass: NAME,
+                file: sf.rel.clone(),
+                line: mc.line,
+                message: format!(
+                    "read handler `{}` calls mutating API `.{}()`; retrieves must not modify \
+                     state",
+                    f.name, mc.name
+                ),
+            });
+        }
+    }
+    // One-level walk into same-file / helpers.rs helpers.
+    for fc in scan::free_calls(&f.body) {
+        if fc.name == f.name {
+            continue;
+        }
+        let callee = resolve_helper(sf, helpers, fc.name);
+        if let Some(h) = callee {
+            for mc in scan::method_calls(&h.body) {
+                if MUTATING.contains(&mc.name) {
+                    out.push(Diagnostic {
+                        pass: NAME,
+                        file: sf.rel.clone(),
+                        line: fc.line,
+                        message: format!(
+                            "read handler `{}` calls helper `{}`, which calls mutating API \
+                             `.{}()`",
+                            f.name, fc.name, mc.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_write(
+    sf: &SourceFile,
+    f: &ItemFn,
+    helpers: Option<&SourceFile>,
+    out: &mut Vec<Diagnostic>,
+) {
+    check_mutations_rooted(sf, f, f.name.as_str(), None, out);
+    // One-level walk: helpers a write handler calls must follow the same
+    // contract in their own bodies.
+    for fc in scan::free_calls(&f.body) {
+        if fc.name == f.name {
+            continue;
+        }
+        if let Some(h) = resolve_helper(sf, helpers, fc.name) {
+            check_mutations_rooted(sf, h, f.name.as_str(), Some(fc.line), out);
+        }
+    }
+}
+
+/// Every mutating call in `f`'s body must have a receiver chain rooted at
+/// `state` (covering `state.db.*` and `state.set_value`) or at a local
+/// bound from `state.db`. When `report_line` is set the diagnostic points
+/// at the call site in the enclosing handler instead.
+fn check_mutations_rooted(
+    sf: &SourceFile,
+    f: &ItemFn,
+    handler: &str,
+    report_line: Option<u32>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let rooted = db_rooted_locals(&f.body);
+    for mc in scan::method_calls(&f.body) {
+        if !MUTATING.contains(&mc.name) {
+            continue;
+        }
+        let recv = scan::receiver_idents(&f.body, mc.idx);
+        let root = recv.first().map(String::as_str).unwrap_or("");
+        if root == "state" || rooted.iter().any(|r| r == root) {
+            continue;
+        }
+        out.push(Diagnostic {
+            pass: NAME,
+            file: sf.rel.clone(),
+            line: report_line.unwrap_or(mc.line),
+            message: format!(
+                "write handler `{handler}`: `.{}()` on `{}` bypasses state.db — mutations \
+                 must route through state.db so journaling sees them",
+                mc.name,
+                if root.is_empty() { "<expr>" } else { root },
+            ),
+        });
+    }
+}
+
+/// Local names bound (directly) from `state` / `state.db`, e.g.
+/// `let db = &mut state.db;`.
+fn db_rooted_locals(body: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..body.len() {
+        if !body[i].is_ident("let") {
+            continue;
+        }
+        let mut k = i + 1;
+        if k < body.len() && body[k].is_ident("mut") {
+            k += 1;
+        }
+        if k + 1 >= body.len() || body[k].kind != TokenKind::Ident || !body[k + 1].is_punct('=') {
+            continue;
+        }
+        let name = body[k].text.clone();
+        // RHS: skip `&`, `mut`, then require the chain to start at `state`.
+        let mut r = k + 2;
+        while r < body.len() && (body[r].is_punct('&') || body[r].is_ident("mut")) {
+            r += 1;
+        }
+        if r < body.len() && body[r].is_ident("state") {
+            out.push(name);
+        }
+    }
+    out
+}
+
+fn resolve_helper<'a>(
+    sf: &'a SourceFile,
+    helpers: Option<&'a SourceFile>,
+    name: &str,
+) -> Option<&'a ItemFn> {
+    if name == "register" {
+        return None;
+    }
+    if let Some(f) = sf.fn_map().get(name) {
+        return Some(*f);
+    }
+    helpers.and_then(|h| h.fn_map().get(name).copied())
+}
+
+/// The old CI grep gate, receiver-aware: nothing on the query path clones
+/// the state or the database.
+fn no_clone_gate(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let in_scope = |rel: &str| {
+        rel.starts_with(QUERIES_DIR)
+            || rel == "crates/core/src/access.rs"
+            || rel == "crates/core/src/registry.rs"
+    };
+    for sf in ws.files.iter().filter(|f| in_scope(&f.rel)) {
+        for mc in scan::method_calls(&sf.tokens) {
+            if mc.name != "clone" {
+                continue;
+            }
+            let recv = scan::receiver_idents(&sf.tokens, mc.idx);
+            let last = recv.last().map(String::as_str).unwrap_or("");
+            if last == "state" || last == "db" {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: mc.line,
+                    message: format!(
+                        "`.clone()` on `{last}` — cloning the state/database detaches reads \
+                         from the live tiers and mutations from journaling"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `MoiraState` itself must not be `Clone` (derive or manual impl).
+fn state_not_clone(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(sf) = ws.file("crates/core/src/state.rs") else {
+        return;
+    };
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        // `impl Clone for MoiraState`
+        if toks[i].is_ident("impl")
+            && i + 3 < toks.len()
+            && toks[i + 1].is_ident("Clone")
+            && toks[i + 2].is_ident("for")
+            && toks[i + 3].is_ident("MoiraState")
+        {
+            out.push(Diagnostic {
+                pass: NAME,
+                file: sf.rel.clone(),
+                line: toks[i].line,
+                message: "manual `impl Clone for MoiraState` — the shared state must have a \
+                          single live copy"
+                    .to_string(),
+            });
+        }
+        // `#[derive(..., Clone, ...)] ... struct MoiraState`
+        if toks[i].is_ident("struct") && i + 1 < toks.len() && toks[i + 1].is_ident("MoiraState") {
+            let from = i.saturating_sub(40);
+            let window = &toks[from..i];
+            if window.iter().any(|t| t.is_ident("derive"))
+                && window.iter().any(|t| t.is_ident("Clone"))
+            {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: toks[i].line,
+                    message: "`#[derive(Clone)]` on MoiraState — the shared state must have a \
+                              single live copy"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Fixture harness: every `bad_*.rs` under `tests/fixtures/<pass>/` must
+//! trip exactly its pass, every `good_*.rs` must stay clean, and the real
+//! workspace at HEAD must be clean across all passes.
+//!
+//! A fixture file holds one or more virtual sources, each introduced by a
+//! `//@ file: <workspace-relative-path>` line; the path decides which
+//! scope rules apply (queries/, generators/, the panic-path file list...).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use moira_lint::{Workspace, PASSES};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn load_fixture(path: &Path) -> Workspace {
+    let text = fs::read_to_string(path).unwrap();
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        if let Some(rel) = line.strip_prefix("//@ file: ") {
+            sources.push((rel.trim().to_string(), String::new()));
+        } else if let Some((_, body)) = sources.last_mut() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    assert!(
+        !sources.is_empty(),
+        "{} has no `//@ file:` directive",
+        path.display()
+    );
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    Workspace::from_sources(&refs).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn fixture_files(pass: &str, prefix: &str) -> Vec<PathBuf> {
+    let dir = fixtures_root().join(pass);
+    let mut out: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".rs"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn every_pass_has_enough_fixtures() {
+    for pass in PASSES {
+        let bad = fixture_files(pass.name, "bad_");
+        let good = fixture_files(pass.name, "good_");
+        assert!(
+            bad.len() >= 2,
+            "{}: want >= 2 bad fixtures, have {}",
+            pass.name,
+            bad.len()
+        );
+        assert!(!good.is_empty(), "{}: want >= 1 good fixture", pass.name);
+    }
+}
+
+#[test]
+fn bad_fixtures_trip_their_pass() {
+    for pass in PASSES {
+        for path in fixture_files(pass.name, "bad_") {
+            let ws = load_fixture(&path);
+            let diags = ws.run_pass(pass.name).unwrap();
+            assert!(
+                !diags.is_empty(),
+                "{} did not trip pass {}",
+                path.display(),
+                pass.name
+            );
+        }
+    }
+}
+
+#[test]
+fn good_fixtures_stay_clean() {
+    for pass in PASSES {
+        for path in fixture_files(pass.name, "good_") {
+            let ws = load_fixture(&path);
+            let diags = ws.run_pass(pass.name).unwrap();
+            assert!(
+                diags.is_empty(),
+                "{} tripped pass {}: {:?}",
+                path.display(),
+                pass.name,
+                diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn lint_allow_suppresses_a_finding() {
+    // The bad panic fixture, with an allow comment on the line above the
+    // violation: the finding must disappear — and only that one.
+    let src = "\
+fn poll(&mut self) {
+    // lint:allow(panic-path)
+    let msg = self.queue.pop().unwrap();
+    let conn = self.connections.get(msg.conn).expect(\"conn vanished\");
+    conn.reply(msg);
+}
+";
+    let ws = Workspace::from_sources(&[("crates/core/src/server.rs", src)]).unwrap();
+    let diags = ws.run_pass("panic-path").unwrap();
+    assert_eq!(
+        diags.len(),
+        1,
+        "allow should suppress the unwrap but keep the expect: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
+    assert!(diags[0].message.contains("expect"));
+}
+
+#[test]
+fn unknown_pass_is_rejected() {
+    let ws = Workspace::from_sources(&[]).unwrap();
+    assert!(ws.run_pass("no-such-pass").is_none());
+}
+
+/// The self-check the tentpole demands: the tree at HEAD is clean, so CI
+/// can deny-by-default without any allows in the audited files.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).unwrap();
+    assert!(ws.files.len() > 50, "workspace walk looks broken");
+    let diags = ws.run_all();
+    assert!(
+        diags.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,25 @@
+//@ file: crates/dcm/src/generators/mail.rs
+// The Section literal names frag_bad as a delta fragment, and frag_bad
+// full-scans: iterates a table, selects with Pred::True, and calls the
+// whole-table helper active_users.
+
+fn delta_plan(&self) -> DeltaPlan {
+    DeltaPlan {
+        sections: vec![Section {
+            file: "aliases",
+            driver: "users",
+            lookups: &[],
+            kind: SectionKind::Lines(frag_bad),
+            affected: None,
+        }],
+    }
+}
+
+fn frag_bad(state: &MoiraState, row: RowId) -> Option<(LineKey, String)> {
+    for (r, _) in state.db.table("users").iter() {
+        let _ = r;
+    }
+    let all = state.db.select("users", &Pred::True);
+    let actives = active_users(state);
+    Some((LineKey::Row(row), format!("{}:{}", all.len(), actives.len())))
+}

@@ -1,0 +1,13 @@
+//@ file: crates/dcm/src/generators/incremental.rs
+// A full_rebuild_rows call with no `full-rebuild fallback` marker: full
+// enumerations must be visibly opted into, and changed_since(0) is a full
+// scan wearing a delta costume.
+
+fn build_section_full(state: &MoiraState, section: &Section) -> Vec<RowId> {
+    let rows = full_rebuild_rows(state, section.driver);
+    rows
+}
+
+fn sneaky_replay(state: &MoiraState, table: &'static str) -> Vec<RowChange> {
+    state.db.table(table).changed_since(0)
+}

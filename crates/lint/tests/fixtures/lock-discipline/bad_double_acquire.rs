@@ -1,0 +1,10 @@
+//@ file: crates/core/src/glue.rs
+// Acquiring a second state guard while the first is live: parking_lot
+// RwLocks are not reentrant, so this self-deadlocks at runtime.
+
+fn run(shared: &SharedState) -> usize {
+    let guard = shared.state.read();
+    let n = guard.clients.len();
+    let again = shared.state.write();
+    n + again.clients.len()
+}

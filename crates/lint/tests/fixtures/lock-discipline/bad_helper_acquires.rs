@@ -1,0 +1,14 @@
+//@ file: crates/core/src/server.rs
+// The one-level call-graph walk: `outer` holds a guard and calls a helper
+// that acquires its own — the deadlock is laundered through one frame.
+
+fn outer(state: &SharedState) {
+    let g = state.read();
+    let _ = g.clients.len();
+    audit(state);
+}
+
+fn audit(state: &SharedState) {
+    let g = state.read();
+    let _ = g.counter;
+}

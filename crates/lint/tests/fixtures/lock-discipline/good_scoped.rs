@@ -1,0 +1,20 @@
+//@ file: crates/core/src/glue.rs
+// Clean discipline: block-scoped guards, statement-temporary reads, and
+// I/O only after every guard has dropped.
+
+fn run(state: &SharedState) -> i64 {
+    {
+        let mut guard = state.write();
+        guard.counter += 1;
+    }
+    let now = state.read().now();
+    std::fs::write("/var/moira/ts", now.to_string()).ok();
+    now
+}
+
+fn explicit_drop(state: &SharedState) {
+    let guard = state.write();
+    drop(guard);
+    let again = state.read();
+    let _ = again.counter;
+}

@@ -1,0 +1,10 @@
+//@ file: crates/dcm/src/update.rs
+// An explicit panic! in the update leg aborts the whole DCM cycle instead
+// of failing one host with an UpdateError.
+
+fn execute_on_host(host: &mut SimHost, target: &str) -> Result<i32, HostError> {
+    let Some(archive) = host.read_file(target) else {
+        panic!("archive missing on {target}");
+    };
+    Ok(archive.len() as i32)
+}

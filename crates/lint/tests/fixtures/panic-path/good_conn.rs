@@ -1,0 +1,25 @@
+//@ file: crates/client/src/conn.rs
+// Clean: `unwrap_or` / `unwrap_or_else` are fine (token-exact matching),
+// `unreachable!` on impossible arms is not on the denylist, and test code
+// may unwrap freely.
+
+fn next_reply(&mut self) -> Reply {
+    let frame = self.chan.try_recv().unwrap_or_default();
+    let code = frame.first().copied().unwrap_or(0);
+    match code {
+        0 => Reply::ok(),
+        1 => Reply::busy(),
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u8, ()> = Ok(4);
+        assert_eq!(r.expect("ok"), 4);
+    }
+}

@@ -1,0 +1,27 @@
+//@ file: crates/core/src/schema.rs
+pub fn create_all_tables(db: &mut Database) {
+    db.create_table(TableSchema::new(
+        "users",
+        vec![C::str("login").unique(), C::int("uid").indexed()],
+    ));
+}
+pub const RELATIONS: &[&str] = &["users"];
+//@ file: crates/core/src/queries/users.rs
+// Kind says Update (a mutation) but the handler is registered on the read
+// tier — the registry would panic at boot; the lint catches it earlier.
+
+pub fn register(r: &mut Registry) {
+    r.register(QueryHandle {
+        name: "update_user_shell",
+        shortname: "uush",
+        kind: Update,
+        access: QueryAcl,
+        args: &["login", "shell"],
+        returns: &[],
+        handler: Handler::Read(update_user_shell),
+    });
+}
+
+fn update_user_shell(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    Ok(vec![])
+}

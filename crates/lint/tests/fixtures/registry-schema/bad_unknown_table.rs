@@ -1,0 +1,28 @@
+//@ file: crates/core/src/schema.rs
+pub fn create_all_tables(db: &mut Database) {
+    db.create_table(TableSchema::new(
+        "users",
+        vec![C::str("login").unique(), C::int("uid").indexed(), C::int("status")],
+    ));
+}
+pub const RELATIONS: &[&str] = &["users"];
+//@ file: crates/core/src/queries/users.rs
+// The select names table `user` (typo) and a column the schema does not
+// declare.
+
+pub fn register(r: &mut Registry) {
+    r.register(QueryHandle {
+        name: "get_user",
+        shortname: "gusr",
+        kind: Retrieve,
+        access: Public,
+        args: &["login"],
+        returns: &["login"],
+        handler: Handler::Read(get_user),
+    });
+}
+
+fn get_user(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let ids = state.db.select("user", &Pred::Eq("loginn", a[0].as_str().into()));
+    Ok(ids.into_iter().map(|_| vec![]).collect())
+}

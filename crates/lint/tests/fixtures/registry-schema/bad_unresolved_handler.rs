@@ -1,0 +1,23 @@
+//@ file: crates/core/src/schema.rs
+pub fn create_all_tables(db: &mut Database) {
+    db.create_table(TableSchema::new(
+        "users",
+        vec![C::str("login").unique()],
+    ));
+}
+pub const RELATIONS: &[&str] = &["users"];
+//@ file: crates/core/src/queries/users.rs
+// The handle names a handler function that does not exist in the module,
+// and QueryAclOrSelf(2) indexes past the single declared argument.
+
+pub fn register(r: &mut Registry) {
+    r.register(QueryHandle {
+        name: "get_user",
+        shortname: "gusr",
+        kind: Retrieve,
+        access: QueryAclOrSelf(2),
+        args: &["login"],
+        returns: &["login"],
+        handler: Handler::Read(get_user_missing),
+    });
+}

@@ -1,0 +1,50 @@
+//@ file: crates/core/src/schema.rs
+pub fn create_all_tables(db: &mut Database) {
+    db.create_table(TableSchema::new(
+        "users",
+        vec![C::str("login").unique(), C::int("uid").indexed(), C::int("status")],
+    ));
+}
+pub const RELATIONS: &[&str] = &["users"];
+//@ file: crates/core/src/queries/users.rs
+// Coherent: handler resolves, kinds match tiers, the ACL self-index is in
+// range, and every table/column string exists in the schema.
+
+const USER_FIELDS: &[&str] = &["login", "uid"];
+
+pub fn register(r: &mut Registry) {
+    r.register(QueryHandle {
+        name: "get_user",
+        shortname: "gusr",
+        kind: Retrieve,
+        access: QueryAclOrSelf(0),
+        args: USER_FIELDS,
+        returns: USER_FIELDS,
+        handler: Handler::Read(get_user),
+    });
+    r.register(QueryHandle {
+        name: "deactivate_user",
+        shortname: "dusr",
+        kind: Update,
+        access: QueryAcl,
+        args: &["login"],
+        returns: &[],
+        handler: Handler::Write(deactivate_user),
+    });
+}
+
+fn get_user(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let ids = state.db.select("users", &Pred::Eq("login", a[0].as_str().into()));
+    Ok(ids
+        .into_iter()
+        .map(|id| vec![state.db.cell("users", id, "login").render()])
+        .collect())
+}
+
+fn deactivate_user(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let ids = state.db.select("users", &Pred::name_match("login", &a[0]));
+    for id in ids {
+        state.db.update("users", id, &[("status", 0.into())])?;
+    }
+    Ok(vec![])
+}

@@ -1,0 +1,8 @@
+//@ file: crates/core/src/queries/machines.rs
+// `let s = &state; s.db.clone()` — the rewrite the old CI grep gate
+// silently passed; the receiver-aware pass still catches the `.db` clone.
+
+fn sneaky(state: &MoiraState) -> Database {
+    let s = &state;
+    s.db.clone()
+}

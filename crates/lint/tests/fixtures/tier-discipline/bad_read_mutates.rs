@@ -1,0 +1,22 @@
+//@ file: crates/core/src/queries/machines.rs
+// A Handler::Read that deletes rows: the retrieve tier must never mutate.
+
+pub fn register(r: &mut Registry) {
+    r.register(QueryHandle {
+        name: "get_machine",
+        shortname: "gmac",
+        kind: Retrieve,
+        access: Public,
+        args: &["name"],
+        returns: &["name", "type"],
+        handler: Handler::Read(get_machine),
+    });
+}
+
+fn get_machine(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let ids = state.db.select("machine", &Pred::Eq("name", a[0].as_str().into()));
+    for id in &ids {
+        state.db.delete("machine", *id)?;
+    }
+    Ok(vec![])
+}

@@ -1,0 +1,21 @@
+//@ file: crates/core/src/queries/machines.rs
+// A Handler::Write that mutates a detached handle: journaling never sees
+// the change because it does not go through state.db.
+
+pub fn register(r: &mut Registry) {
+    r.register(QueryHandle {
+        name: "add_machine",
+        shortname: "amac",
+        kind: Append,
+        access: QueryAcl,
+        args: &["name", "type"],
+        returns: &[],
+        handler: Handler::Write(add_machine),
+    });
+}
+
+fn add_machine(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let db = detach_somehow();
+    db.append("machine", vec![a[0].as_str().into(), a[1].as_str().into()])?;
+    Ok(vec![])
+}

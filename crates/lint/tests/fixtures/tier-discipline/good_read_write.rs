@@ -1,0 +1,36 @@
+//@ file: crates/core/src/queries/machines.rs
+// Clean tiers: the read handler only selects, the write handler mutates
+// through state.db (directly and via a borrowed local).
+
+pub fn register(r: &mut Registry) {
+    r.register(QueryHandle {
+        name: "get_machine",
+        shortname: "gmac",
+        kind: Retrieve,
+        access: Public,
+        args: &["name"],
+        returns: &["name", "type"],
+        handler: Handler::Read(get_machine),
+    });
+    r.register(QueryHandle {
+        name: "add_machine",
+        shortname: "amac",
+        kind: Append,
+        access: QueryAcl,
+        args: &["name", "type"],
+        returns: &[],
+        handler: Handler::Write(add_machine),
+    });
+}
+
+fn get_machine(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let ids = state.db.select("machine", &Pred::Eq("name", a[0].as_str().into()));
+    Ok(ids.into_iter().map(|id| vec![state.db.cell("machine", id, "name").render()]).collect())
+}
+
+fn add_machine(state: &mut MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let db = &mut state.db;
+    db.append("machine", vec![a[0].as_str().into(), a[1].as_str().into()])?;
+    state.db.update("machine", 0, &[("type", a[1].as_str().into())])?;
+    Ok(vec![])
+}

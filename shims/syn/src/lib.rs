@@ -1,0 +1,736 @@
+//! Offline shim of the `syn` parsing surface `moira-lint` uses.
+//!
+//! The build environment has no crates.io access, so — like every other
+//! external dependency in this workspace — `syn` resolves to an in-tree
+//! subset (see DESIGN.md). This is not a full Rust parser: it is a
+//! line-tracked lexer plus an item-level parser that recovers the shape the
+//! lint passes need — functions (name, signature tokens, body tokens),
+//! inline modules (with their attributes, so `#[cfg(test)]` scopes are
+//! known), impl/trait blocks, and comments (the `// lint:allow(...)`
+//! escape hatch and the `// full-rebuild fallback` markers live there).
+//!
+//! Everything else (structs, enums, uses, consts, macros) is skipped with
+//! balanced-delimiter scanning; its tokens remain reachable through
+//! [`Item::Other`] so passes that read constants can still see them.
+
+use std::fmt;
+
+/// What a token is. Multi-character operators are emitted as single
+/// punctuation characters (`::` is two `:` tokens); matchers account for
+/// that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime such as `'a` (without a trailing quote).
+    Lifetime,
+    /// Numeric literal (suffixes attached; `1.5` lexes as three tokens).
+    Number,
+    /// String / raw string / byte-string literal, quotes stripped,
+    /// escapes left as written.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A comment (line or block), with the 1-based line it starts on. Line
+/// comments keep their text without the `//`; block comments without the
+/// delimiters.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// An attribute: the tokens inside `#[...]`.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    pub line: u32,
+    pub tokens: Vec<Token>,
+}
+
+impl Attr {
+    /// True for `#[cfg(test)]` (also matches `cfg(any(test, ...))` —
+    /// anything gating on `test`).
+    pub fn is_cfg_test(&self) -> bool {
+        self.tokens.first().is_some_and(|t| t.is_ident("cfg"))
+            && self.tokens.iter().any(|t| t.is_ident("test"))
+    }
+
+    /// True for `#[test]`.
+    pub fn is_test(&self) -> bool {
+        self.tokens.len() == 1 && self.tokens[0].is_ident("test")
+    }
+}
+
+/// A function item: free, impl-associated, or trait-associated.
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    pub name: String,
+    pub line: u32,
+    pub attrs: Vec<Attr>,
+    /// Tokens from `fn` through the end of the signature (params, return
+    /// type, where clause), exclusive of the body braces.
+    pub sig: Vec<Token>,
+    /// Tokens inside the body braces (empty for trait method declarations).
+    pub body: Vec<Token>,
+    /// False for bodyless trait-method declarations.
+    pub has_body: bool,
+}
+
+/// An inline or out-of-line module.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    pub name: String,
+    pub line: u32,
+    pub attrs: Vec<Attr>,
+    /// `None` for `mod name;`.
+    pub items: Option<Vec<Item>>,
+}
+
+/// An `impl` or `trait` block (the lint passes treat them alike: both hold
+/// functions).
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    pub line: u32,
+    /// Header tokens between the `impl`/`trait` keyword and the opening
+    /// brace (generics, trait path, self type, where clause).
+    pub header: Vec<Token>,
+    pub items: Vec<Item>,
+}
+
+/// A parsed item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    Fn(ItemFn),
+    Mod(ItemMod),
+    Impl(ItemImpl),
+    /// Any other item, kept as its raw tokens (consts, statics, structs,
+    /// enums, uses, macros...).
+    Other(Vec<Token>),
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    pub items: Vec<Item>,
+    pub comments: Vec<Comment>,
+}
+
+/// A function reached by recursive traversal, with its test-scope flag.
+#[derive(Debug, Clone, Copy)]
+pub struct FnRef<'a> {
+    pub func: &'a ItemFn,
+    /// True when the function is inside a `#[cfg(test)]` module or carries
+    /// `#[test]`.
+    pub in_test: bool,
+}
+
+impl File {
+    /// Every function in the file, recursively, with test-scope flags.
+    pub fn functions(&self) -> Vec<FnRef<'_>> {
+        let mut out = Vec::new();
+        collect_fns(&self.items, false, &mut out);
+        out
+    }
+}
+
+fn collect_fns<'a>(items: &'a [Item], in_test: bool, out: &mut Vec<FnRef<'a>>) {
+    for item in items {
+        match item {
+            Item::Fn(f) => out.push(FnRef {
+                func: f,
+                in_test: in_test || f.attrs.iter().any(|a| a.is_test()),
+            }),
+            Item::Mod(m) => {
+                if let Some(inner) = &m.items {
+                    let test = in_test || m.attrs.iter().any(|a| a.is_cfg_test());
+                    collect_fns(inner, test, out);
+                }
+            }
+            Item::Impl(i) => collect_fns(&i.items, in_test, out),
+            Item::Other(_) => {}
+        }
+    }
+}
+
+/// Parse failure: the construct at `line` did not scan.
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lexes `src` into code tokens and comments.
+pub fn tokenize(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+    let mut push = |kind, text: String, line| tokens.push(Token { kind, text, line });
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                let start = i + 2;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: bytes[start..i].iter().collect(),
+                });
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                comments.push(Comment {
+                    line: start_line,
+                    text: bytes[start..end].iter().collect(),
+                });
+            }
+            '"' => {
+                let (text, consumed, newlines) = scan_string(&bytes[i..]);
+                push(TokenKind::Str, text, line);
+                line += newlines;
+                i += consumed;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes[i..]) => {
+                let (text, consumed, newlines) = scan_raw_or_byte(&bytes[i..]);
+                push(TokenKind::Str, text, line);
+                line += newlines;
+                i += consumed;
+            }
+            '\'' => {
+                // Char literal or lifetime.
+                if i + 1 < n && bytes[i + 1] == '\\' {
+                    // Escaped char literal.
+                    let mut j = i + 2;
+                    while j < n && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    push(TokenKind::Char, bytes[i + 1..j].iter().collect(), line);
+                    i = j + 1;
+                } else if i + 2 < n && bytes[i + 2] == '\'' {
+                    push(TokenKind::Char, bytes[i + 1..i + 2].iter().collect(), line);
+                    i += 3;
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    push(TokenKind::Lifetime, bytes[start..j].iter().collect(), line);
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                push(TokenKind::Number, bytes[start..i].iter().collect(), line);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                push(TokenKind::Ident, bytes[start..i].iter().collect(), line);
+            }
+            _ => {
+                push(TokenKind::Punct, c.to_string(), line);
+                i += 1;
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// True when the slice starts a raw string (`r"`, `r#`), byte string
+/// (`b"`), or raw byte string (`br"`, `br#`).
+fn starts_raw_or_byte_string(s: &[char]) -> bool {
+    match s.first() {
+        Some('r') => matches!(s.get(1), Some('"') | Some('#')),
+        Some('b') => match s.get(1) {
+            Some('"') => true,
+            Some('r') => matches!(s.get(2), Some('"') | Some('#')),
+            _ => false,
+        },
+        _ => None::<()>.is_some(),
+    }
+}
+
+/// Scans a normal `"..."` string starting at the opening quote. Returns
+/// (content, chars consumed, newlines crossed).
+fn scan_string(s: &[char]) -> (String, usize, u32) {
+    let mut i = 1usize;
+    let mut newlines = 0u32;
+    let mut out = String::new();
+    while i < s.len() {
+        match s[i] {
+            '\\' if i + 1 < s.len() => {
+                out.push(s[i]);
+                out.push(s[i + 1]);
+                if s[i + 1] == '\n' {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            '"' => return (out, i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, i, newlines)
+}
+
+/// Scans `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` starting at `r`/`b`.
+fn scan_raw_or_byte(s: &[char]) -> (String, usize, u32) {
+    let mut i = 0usize;
+    if s[i] == 'b' {
+        i += 1;
+    }
+    let raw = i < s.len() && s[i] == 'r';
+    if raw {
+        i += 1;
+    }
+    if !raw {
+        // Plain byte string: same escape rules as a normal string.
+        let (text, consumed, newlines) = scan_string(&s[i..]);
+        return (text, i + consumed, newlines);
+    }
+    let mut hashes = 0usize;
+    while i < s.len() && s[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    // Opening quote.
+    i += 1;
+    let start = i;
+    let mut newlines = 0u32;
+    while i < s.len() {
+        if s[i] == '"'
+            && s[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            let text: String = s[start..i].iter().collect();
+            return (text, i + 1 + hashes, newlines);
+        }
+        if s[i] == '\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    (s[start..].iter().collect(), i, newlines)
+}
+
+/// Parses a whole source file.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let (tokens, comments) = tokenize(src);
+    let mut pos = 0usize;
+    let items = parse_items(&tokens, &mut pos, tokens.len())?;
+    Ok(File { items, comments })
+}
+
+/// Keywords that may precede `fn` / `mod` / `impl` / `trait` / `struct`...
+fn is_modifier(t: &Token) -> bool {
+    matches!(
+        t.text.as_str(),
+        "pub" | "const" | "unsafe" | "async" | "extern" | "default"
+    ) && t.kind == TokenKind::Ident
+}
+
+fn parse_items(tokens: &[Token], pos: &mut usize, end: usize) -> Result<Vec<Item>, Error> {
+    let mut items = Vec::new();
+    while *pos < end {
+        // Attributes (inner attributes `#![...]` are skipped the same way).
+        let mut attrs = Vec::new();
+        loop {
+            let t = &tokens[*pos];
+            if t.is_punct('#') && *pos + 1 < end {
+                let mut j = *pos + 1;
+                if tokens[j].is_punct('!') {
+                    j += 1;
+                }
+                if j < end && tokens[j].is_punct('[') {
+                    let close = matching(tokens, j, end)?;
+                    attrs.push(Attr {
+                        line: t.line,
+                        tokens: tokens[j + 1..close].to_vec(),
+                    });
+                    *pos = close + 1;
+                    if *pos >= end {
+                        break;
+                    }
+                    continue;
+                }
+            }
+            break;
+        }
+        if *pos >= end {
+            break;
+        }
+        // Visibility and modifiers: remember where the item started but
+        // scan past `pub`, `pub(crate)`, `const`, `unsafe`, `async`,
+        // `extern "C"`.
+        let item_start = *pos;
+        let mut k = *pos;
+        while k < end && is_modifier(&tokens[k]) {
+            k += 1;
+            if k < end && tokens[k].is_punct('(') {
+                // pub(crate), pub(super), pub(in path)
+                k = matching(tokens, k, end)? + 1;
+            } else if k < end && tokens[k].kind == TokenKind::Str {
+                // extern "C"
+                k += 1;
+            }
+        }
+        if k >= end {
+            *pos = end;
+            break;
+        }
+        let kw = &tokens[k];
+        match kw.text.as_str() {
+            "fn" if kw.kind == TokenKind::Ident => {
+                *pos = k;
+                items.push(Item::Fn(parse_fn(tokens, pos, end, attrs)?));
+            }
+            "mod" if kw.kind == TokenKind::Ident => {
+                let line = kw.line;
+                let name = ident_after(tokens, k, end)?;
+                let mut j = k + 2;
+                if j < end && tokens[j].is_punct(';') {
+                    *pos = j + 1;
+                    items.push(Item::Mod(ItemMod {
+                        name,
+                        line,
+                        attrs,
+                        items: None,
+                    }));
+                } else if j < end && tokens[j].is_punct('{') {
+                    let close = matching(tokens, j, end)?;
+                    let mut inner_pos = j + 1;
+                    let inner = parse_items(tokens, &mut inner_pos, close)?;
+                    *pos = close + 1;
+                    items.push(Item::Mod(ItemMod {
+                        name,
+                        line,
+                        attrs,
+                        items: Some(inner),
+                    }));
+                } else {
+                    // `mod` used oddly; skip the keyword.
+                    j = k + 1;
+                    *pos = j;
+                }
+            }
+            "impl" | "trait" if kw.kind == TokenKind::Ident => {
+                let line = kw.line;
+                // Header runs to the first `{` at delimiter depth zero (or a
+                // `;` — e.g. `trait Alias = ...;`).
+                let mut j = k + 1;
+                let mut depth = 0i32;
+                while j < end {
+                    let t = &tokens[j];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                        break;
+                    }
+                    j += 1;
+                }
+                if j < end && tokens[j].is_punct('{') {
+                    let close = matching(tokens, j, end)?;
+                    let header = tokens[k + 1..j].to_vec();
+                    let mut inner_pos = j + 1;
+                    let inner = parse_items(tokens, &mut inner_pos, close)?;
+                    *pos = close + 1;
+                    items.push(Item::Impl(ItemImpl {
+                        line,
+                        header,
+                        items: inner,
+                    }));
+                } else {
+                    *pos = (j + 1).min(end);
+                }
+            }
+            _ => {
+                // Any other item: skip to the first `;` or balanced brace
+                // group at delimiter depth zero, keep its raw tokens.
+                let mut j = k;
+                let mut depth = 0i32;
+                let mut end_of_item = end;
+                while j < end {
+                    let t = &tokens[j];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(';') {
+                        end_of_item = j + 1;
+                        break;
+                    } else if depth == 0 && t.is_punct('{') {
+                        end_of_item = matching(tokens, j, end)? + 1;
+                        // `struct X {...}` / `macro_rules! m {...}` end at
+                        // the brace; `match`-like constructs cannot appear
+                        // at item level.
+                        break;
+                    }
+                    j += 1;
+                }
+                if j >= end {
+                    end_of_item = end;
+                }
+                items.push(Item::Other(tokens[item_start..end_of_item].to_vec()));
+                *pos = end_of_item;
+            }
+        }
+    }
+    Ok(items)
+}
+
+fn ident_after(tokens: &[Token], k: usize, end: usize) -> Result<String, Error> {
+    match tokens.get(k + 1) {
+        Some(t) if t.kind == TokenKind::Ident && k + 1 < end => Ok(t.text.clone()),
+        _ => Err(Error {
+            line: tokens[k].line,
+            message: format!("expected name after `{}`", tokens[k].text),
+        }),
+    }
+}
+
+fn parse_fn(
+    tokens: &[Token],
+    pos: &mut usize,
+    end: usize,
+    attrs: Vec<Attr>,
+) -> Result<ItemFn, Error> {
+    let fn_kw = *pos;
+    let line = tokens[fn_kw].line;
+    let name = ident_after(tokens, fn_kw, end)?;
+    // Signature: to the first `{` or `;` at delimiter depth zero. Angle
+    // brackets need no tracking — braces cannot appear inside a signature's
+    // generics in this codebase (no const-generic blocks).
+    let mut j = fn_kw + 2;
+    let mut depth = 0i32;
+    while j < end {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct('{') || t.is_punct(';')) {
+            break;
+        }
+        j += 1;
+    }
+    if j >= end {
+        return Err(Error {
+            line,
+            message: format!("unterminated signature of fn {name}"),
+        });
+    }
+    let sig = tokens[fn_kw..j].to_vec();
+    if tokens[j].is_punct(';') {
+        *pos = j + 1;
+        return Ok(ItemFn {
+            name,
+            line,
+            attrs,
+            sig,
+            body: Vec::new(),
+            has_body: false,
+        });
+    }
+    let close = matching(tokens, j, end)?;
+    let body = tokens[j + 1..close].to_vec();
+    *pos = close + 1;
+    Ok(ItemFn {
+        name,
+        line,
+        attrs,
+        sig,
+        body,
+        has_body: true,
+    })
+}
+
+/// Index of the delimiter matching the opener at `open` (handles `(`,
+/// `[`, `{`).
+fn matching(tokens: &[Token], open: usize, end: usize) -> Result<usize, Error> {
+    let (o, c) = match tokens[open].text.as_str() {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        "{" => ('{', '}'),
+        other => {
+            return Err(Error {
+                line: tokens[open].line,
+                message: format!("not an opening delimiter: {other}"),
+            })
+        }
+    };
+    let mut depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate().take(end).skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Ok(idx);
+            }
+        }
+    }
+    Err(Error {
+        line: tokens[open].line,
+        message: format!("unmatched `{o}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_strings_chars_lifetimes() {
+        let (toks, comments) = tokenize(
+            "let s = \"a\\\"b\"; let c = 'x'; let l: &'static str = r#\"raw\"#; // note\n",
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "a\\\"b"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "static"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "raw"));
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("note"));
+    }
+
+    #[test]
+    fn parses_fns_mods_impls() {
+        let src = r#"
+pub struct S { x: u8 }
+
+impl S {
+    pub fn get(&self) -> u8 { self.x }
+}
+
+fn helper(v: &[u8]) -> usize { v.len() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert!(true); }
+}
+"#;
+        let file = parse_file(src).unwrap();
+        let fns = file.functions();
+        let names: Vec<(&str, bool)> = fns
+            .iter()
+            .map(|f| (f.func.name.as_str(), f.in_test))
+            .collect();
+        assert_eq!(names, vec![("get", false), ("helper", false), ("t", true)]);
+        let get = fns[0].func;
+        assert!(get.body.iter().any(|t| t.is_ident("x")));
+        assert!(get.sig.iter().any(|t| t.is_ident("u8")));
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let src = "fn a() {}\n\nfn b() {\n    let x = 1;\n}\n";
+        let file = parse_file(src).unwrap();
+        let fns = file.functions();
+        assert_eq!(fns[0].func.line, 1);
+        assert_eq!(fns[1].func.line, 3);
+        assert_eq!(fns[1].func.body[3].line, 4); // `1`
+    }
+
+    #[test]
+    fn trait_methods_with_and_without_bodies() {
+        let src = "trait T { fn decl(&self); fn dflt(&self) -> u8 { 0 } }";
+        let file = parse_file(src).unwrap();
+        let fns = file.functions();
+        assert_eq!(fns.len(), 2);
+        assert!(!fns[0].func.has_body);
+        assert!(fns[1].func.has_body);
+    }
+
+    #[test]
+    fn consts_kept_as_other_items() {
+        let src = "const FIELDS: &[&str] = &[\"a\", \"b\"];\nfn f() {}\n";
+        let file = parse_file(src).unwrap();
+        assert!(matches!(&file.items[0], Item::Other(toks)
+            if toks.iter().any(|t| t.kind == TokenKind::Str && t.text == "a")));
+    }
+}
