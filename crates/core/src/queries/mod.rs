@@ -8,6 +8,7 @@ pub mod misc;
 pub mod pobox;
 pub mod servers;
 pub mod special;
+pub mod stats;
 pub mod testutil;
 pub mod users;
 pub mod zephyr;
@@ -25,4 +26,5 @@ pub fn register_all(registry: &mut Registry) {
     zephyr::register(registry);
     misc::register(registry);
     special::register(registry);
+    stats::register(registry);
 }

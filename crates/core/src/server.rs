@@ -122,6 +122,19 @@ pub struct MoiraServer {
     writes_dispatched: u64,
     /// When enabled, per-request service times for the bench harness.
     service_trace: Option<Vec<ServiceSample>>,
+    /// The state's instrument registry (cached so the dispatch path never
+    /// takes the state lock just to record).
+    obs: moira_obs::Registry,
+    /// Mirror of `reads_dispatched` in the registry.
+    obs_reads: moira_obs::Counter,
+    /// Mirror of `writes_dispatched` in the registry.
+    obs_writes: moira_obs::Counter,
+    /// Mirror of `shed_requests` in the registry.
+    obs_sheds: moira_obs::Counter,
+    /// Shared-tier handler service times.
+    obs_read_latency: moira_obs::Histo,
+    /// Exclusive-tier handler service times.
+    obs_write_latency: moira_obs::Histo,
 }
 
 impl MoiraServer {
@@ -139,7 +152,14 @@ impl MoiraServer {
         let read_workers = std::thread::available_parallelism()
             .map(|n| n.get().min(8))
             .unwrap_or(1);
+        let obs = state.read().obs.clone();
         MoiraServer {
+            obs_reads: obs.counter("server.reads_dispatched"),
+            obs_writes: obs.counter("server.writes_dispatched"),
+            obs_sheds: obs.counter("server.shed_requests"),
+            obs_read_latency: obs.histogram("server.latency.read"),
+            obs_write_latency: obs.histogram("server.latency.write"),
+            obs,
             state,
             registry,
             verifier,
@@ -153,6 +173,12 @@ impl MoiraServer {
             writes_dispatched: 0,
             service_trace: None,
         }
+    }
+
+    /// The state's instrument registry (snapshot it for dispatch counters
+    /// and per-tier latency histograms).
+    pub fn obs(&self) -> moira_obs::Registry {
+        self.obs.clone()
     }
 
     /// The shared state handle.
@@ -199,11 +225,19 @@ impl MoiraServer {
     }
 
     /// Starts recording per-request service times (drains any prior trace).
+    ///
+    /// Deprecated back-compat shim: new measurement consumers should read
+    /// the obs registry instead ([`MoiraServer::obs`] — the
+    /// `server.latency.*` histograms carry the same service times with
+    /// quantile estimation and no per-request allocation). Kept for the
+    /// trace-driven projections in the bench harness.
     pub fn enable_service_trace(&mut self) {
         self.service_trace = Some(Vec::new());
     }
 
     /// Takes the recorded service samples, leaving tracing enabled.
+    ///
+    /// Deprecated back-compat shim — see [`MoiraServer::enable_service_trace`].
     pub fn take_service_trace(&mut self) -> Vec<ServiceSample> {
         match self.service_trace.as_mut() {
             Some(t) => std::mem::take(t),
@@ -399,6 +433,7 @@ impl MoiraServer {
                     // Shed rather than queue: the client hears Busy now
                     // instead of timing out later.
                     self.shed_requests += 1;
+                    self.obs_sheds.inc();
                     tasks.push(TaskSlot {
                         conn,
                         work: Work::Done(vec![Reply::status(MrError::Busy.code())]),
@@ -426,7 +461,9 @@ impl MoiraServer {
             let registry = self.registry.clone();
             let state = self.state.clone();
             let patience = self.lock_patience;
-            let trace_on = self.service_trace.is_some();
+            // Service times are clocked when either consumer wants them:
+            // the legacy trace or the obs latency histograms.
+            let trace_on = self.service_trace.is_some() || self.obs.enabled();
             let workers = self.read_workers.max(1).min(read_ids.len());
             let mut outcomes: Vec<ReadOutcome> = Vec::with_capacity(read_ids.len());
             if workers <= 1 {
@@ -518,6 +555,8 @@ impl MoiraServer {
                         // are excluded from both so the service-time
                         // distribution only reflects real executions.
                         self.reads_dispatched += 1;
+                        self.obs_reads.inc();
+                        self.obs_read_latency.record(nanos);
                         if let Some(trace) = self.service_trace.as_mut() {
                             trace.push(ServiceSample {
                                 read_tier: true,
@@ -525,7 +564,10 @@ impl MoiraServer {
                             });
                         }
                     }
-                    None => self.shed_requests += 1,
+                    None => {
+                        self.shed_requests += 1;
+                        self.obs_sheds.inc();
+                    }
                 }
                 tasks[id].work = Work::Done(replies);
             }
@@ -544,6 +586,7 @@ impl MoiraServer {
             match guard_opt {
                 Some(mut guard) => {
                     self.writes_dispatched += write_ids.len() as u64;
+                    self.obs_writes.add(write_ids.len() as u64);
                     for id in write_ids {
                         let TaskSlot { conn, work, .. } = &tasks[id];
                         let Work::Write(request) = work else {
@@ -555,7 +598,8 @@ impl MoiraServer {
                         // has already installed the new principal by the
                         // time a request pipelined behind it executes.
                         let caller = self.connections[*conn].caller.clone();
-                        let t0 = self.service_trace.is_some().then(Instant::now);
+                        let t0 =
+                            (self.service_trace.is_some() || self.obs.enabled()).then(Instant::now);
                         let replies = match request.major {
                             MajorRequest::Auth => {
                                 vec![self.handle_auth(*conn, request, &mut guard)]
@@ -576,17 +620,22 @@ impl MoiraServer {
                             }
                             MajorRequest::Noop => vec![Reply::status(0)],
                         };
-                        if let (Some(trace), Some(t0)) = (self.service_trace.as_mut(), t0) {
-                            trace.push(ServiceSample {
-                                read_tier: false,
-                                nanos: t0.elapsed().as_nanos() as u64,
-                            });
+                        if let Some(t0) = t0 {
+                            let nanos = t0.elapsed().as_nanos() as u64;
+                            self.obs_write_latency.record(nanos);
+                            if let Some(trace) = self.service_trace.as_mut() {
+                                trace.push(ServiceSample {
+                                    read_tier: false,
+                                    nanos,
+                                });
+                            }
                         }
                         tasks[id].work = Work::Done(replies);
                     }
                 }
                 None => {
                     self.shed_requests += write_ids.len() as u64;
+                    self.obs_sheds.add(write_ids.len() as u64);
                     for id in write_ids {
                         tasks[id].work = Work::Done(vec![Reply::status(MrError::Busy.code())]);
                     }
@@ -1202,7 +1251,7 @@ mod tests {
             let r = Reply::decode(recv_blocking(c, 100).unwrap()).unwrap();
             assert_eq!(r.code, 0);
         }
-        server.enable_service_trace();
+        let obs_before = server.obs().snapshot();
         let before = server.dispatch_counts();
         for c in clients.iter_mut() {
             c.send(Request::new(MajorRequest::Query, &["get_user_by_login", "ops"]).encode())
@@ -1219,9 +1268,65 @@ mod tests {
             let done = Reply::decode(recv_blocking(c, 100).unwrap()).unwrap();
             assert_eq!(done.code, 0);
         }
+        // The obs snapshot carries what the service trace used to: all four
+        // dispatches landed on the read tier and were individually timed.
+        let obs_after = server.obs().snapshot();
+        assert_eq!(
+            obs_after.counter("server.reads_dispatched")
+                - obs_before.counter("server.reads_dispatched"),
+            4
+        );
+        let read_lat = obs_after
+            .histogram("server.latency.read")
+            .expect("read latency recorded");
+        let read_lat_before = obs_before
+            .histogram("server.latency.read")
+            .map(|h| h.count)
+            .unwrap_or(0);
+        assert_eq!(read_lat.count - read_lat_before, 4);
+        let write_lat_count =
+            |s: &moira_obs::Snapshot| s.histogram("server.latency.write").map(|h| h.count);
+        assert_eq!(
+            write_lat_count(&obs_after),
+            write_lat_count(&obs_before),
+            "no write-tier samples from a pure read pass"
+        );
+    }
+
+    #[test]
+    fn service_trace_shim_back_compat() {
+        // The deprecated enable/take shim still yields per-request samples
+        // (the bench harness's trace-driven projections depend on it), even
+        // with the obs registry disabled.
+        let (mut server, mut client) = setup();
+        server.obs().set_enabled(false);
+        server.enable_service_trace();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["add_machine", "SHIM", "VAX"]),
+        );
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["get_machine", "SHIM"]),
+        );
         let trace = server.take_service_trace();
-        assert_eq!(trace.len(), 4);
-        assert!(trace.iter().all(|s| s.read_tier));
+        assert_eq!(trace.len(), 3, "auth + write + read all sampled");
+        assert_eq!(trace.iter().filter(|s| s.read_tier).count(), 1);
+        // Taking drains but leaves tracing on.
+        assert!(server.take_service_trace().is_empty());
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Query, &["get_machine", "SHIM"]),
+        );
+        assert_eq!(server.take_service_trace().len(), 1);
     }
 
     #[test]
@@ -1233,7 +1338,7 @@ mod tests {
             Request::new(MajorRequest::Auth, &["ops", "test"]),
         );
         server.set_lock_patience(4);
-        server.enable_service_trace();
+        let obs_before = server.obs().snapshot();
         let dispatched_before = server.dispatch_counts();
         let state = server.state();
         // An outside writer (e.g. a DCM cycle) holds the exclusive lock for
@@ -1249,9 +1354,21 @@ mod tests {
         assert_eq!(r.code, MrError::Busy.code());
         assert_eq!(server.shed_requests(), 1);
         // Sheds never executed, so they are excluded from the dispatch
-        // counters and contribute no zero-time samples to the service trace.
+        // counters and contribute no zero-time latency samples — the obs
+        // snapshot shows one shed, no new dispatches, no new samples.
         assert_eq!(server.dispatch_counts(), dispatched_before);
-        assert!(server.take_service_trace().is_empty());
+        let obs_after = server.obs().snapshot();
+        assert_eq!(
+            obs_after.counter("server.shed_requests") - obs_before.counter("server.shed_requests"),
+            1
+        );
+        assert_eq!(
+            obs_after.counter("server.reads_dispatched"),
+            obs_before.counter("server.reads_dispatched")
+        );
+        let read_lat_count =
+            |s: &moira_obs::Snapshot| s.histogram("server.latency.read").map(|h| h.count);
+        assert_eq!(read_lat_count(&obs_after), read_lat_count(&obs_before));
         // Retry after the writer releases succeeds.
         client
             .send(Request::new(MajorRequest::Query, &["get_user_by_login", "ops"]).encode())

@@ -106,6 +106,9 @@ pub struct MoiraState {
     pub clients: Vec<ClientInfo>,
     /// Set by a `Trigger_DCM` request; drained by whoever runs DCM cycles.
     pub dcm_trigger: bool,
+    /// The instrument registry every layer records into (server dispatch,
+    /// lock manager, DCM stages) and `get_server_statistics` snapshots.
+    pub obs: moira_obs::Registry,
     next_client_no: u64,
 }
 
@@ -114,13 +117,15 @@ impl MoiraState {
     pub fn new(clock: VClock) -> MoiraState {
         let mut db = Database::new(clock);
         schema::create_all_tables(&mut db);
+        let obs = moira_obs::Registry::new();
         let mut state = MoiraState {
             db,
             journal: Journal::new(),
-            locks: LockManager::new(),
+            locks: LockManager::with_obs(obs.clone()),
             access_cache: AccessCache::new(),
             clients: Vec::new(),
             dcm_trigger: false,
+            obs,
             next_client_no: 0,
         };
         seed::seed(&mut state);

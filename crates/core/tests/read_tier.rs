@@ -111,6 +111,102 @@ proptest! {
     }
 }
 
+/// The obs counters are exact under concurrency: with the 4-worker read
+/// pool dispatching retrieves in parallel, interleaved with write batches
+/// and an overload burst that sheds, `server.reads_dispatched`,
+/// `server.writes_dispatched`, and `server.shed_requests` in the registry
+/// equal the server's own ledgers to the unit — no lost updates.
+#[test]
+fn obs_counters_exact_under_worker_pool() {
+    use moira_protocol::transport::{pair, recv_blocking, Channel};
+    use moira_protocol::wire::{MajorRequest, Reply, Request};
+
+    let registry = Arc::new(Registry::standard());
+    let (mut s, _) = state_with_admin("ops");
+    seed_capacls(&mut s, &registry);
+    for i in 0..20 {
+        add_test_machine(&mut s, &format!("VS{i:03}"));
+    }
+    let state = shared(s);
+    let mut server = MoiraServer::new(state, registry, None);
+    server.set_read_workers(4);
+
+    let mut clients = Vec::new();
+    for _ in 0..6 {
+        let (client, end) = pair();
+        server.attach(Box::new(end), "local", 0);
+        clients.push(client);
+    }
+    for c in &mut clients {
+        c.send(Request::new(MajorRequest::Auth, &["ops", "test"]).encode())
+            .unwrap();
+    }
+    server.run_until_idle(2);
+    for c in &mut clients {
+        let r = Reply::decode(recv_blocking(c, 100).unwrap()).unwrap();
+        assert_eq!(r.code, 0);
+    }
+
+    // Interleaved rounds: even clients scan on the read pool while odd
+    // clients append machines on the serial tier, all within one pass.
+    for round in 0..5 {
+        for (i, c) in clients.iter_mut().enumerate() {
+            let req = if i % 2 == 0 {
+                Request::new(MajorRequest::Query, &["get_machine", "VS*"])
+            } else {
+                let name = format!("NEW{round}X{i}");
+                Request::new(MajorRequest::Query, &["add_machine", &name, "VAX"])
+            };
+            c.send(req.encode()).unwrap();
+        }
+        server.run_until_idle(2);
+        for c in &mut clients {
+            loop {
+                let r = Reply::decode(recv_blocking(c, 100).unwrap()).unwrap();
+                if !r.is_more_data() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Overload burst: with a limit of 2, a 6-request pass sheds 4.
+    server.set_overload_limit(Some(2));
+    for c in &mut clients {
+        c.send(Request::new(MajorRequest::Query, &["get_machine", "VS001"]).encode())
+            .unwrap();
+    }
+    server.run_until_idle(2);
+    for c in &mut clients {
+        loop {
+            let r = Reply::decode(recv_blocking(c, 100).unwrap()).unwrap();
+            if !r.is_more_data() {
+                break;
+            }
+        }
+    }
+
+    let (reads, writes) = server.dispatch_counts();
+    let sheds = server.shed_requests();
+    assert!(reads > 0 && writes > 0, "both tiers exercised");
+    assert!(sheds > 0, "the overload burst shed something");
+
+    let snap = server.obs().snapshot();
+    assert_eq!(snap.counter("server.reads_dispatched"), reads);
+    assert_eq!(snap.counter("server.writes_dispatched"), writes);
+    assert_eq!(snap.counter("server.shed_requests"), sheds);
+    // The latency histograms saw every dispatched request too.
+    assert_eq!(
+        snap.histogram("server.latency.read").map_or(0, |h| h.count),
+        reads
+    );
+    assert_eq!(
+        snap.histogram("server.latency.write")
+            .map_or(0, |h| h.count),
+        writes
+    );
+}
+
 /// A long wildcard scan on one connection must not delay a point lookup on
 /// another beyond the poll pass they share: both replies are ready after a
 /// single `poll_once`, and both ran on the shared tier.

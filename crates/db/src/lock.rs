@@ -53,12 +53,26 @@ pub struct LockManager {
     locks: HashMap<String, LockState>,
     /// `owner -> resource it is waiting for`.
     waits: HashMap<String, String>,
+    /// `owner -> clock nanos of its first conflicted attempt`, so a later
+    /// successful acquire can report how long the owner spent retrying.
+    wait_since: HashMap<String, u64>,
+    /// Instrumentation sink; `None` on unwired managers (tests, tools).
+    obs: Option<moira_obs::Registry>,
 }
 
 impl LockManager {
     /// Creates an empty manager.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a manager reporting wait times and abort counts to `obs`
+    /// (`db.lock.wait_ns`, `db.lock.acquired` / `conflicts` / `deadlocks`).
+    pub fn with_obs(obs: moira_obs::Registry) -> Self {
+        LockManager {
+            obs: Some(obs),
+            ..Self::default()
+        }
     }
 
     /// Attempts to acquire; returns `Ok(true)` on success, `Ok(false)` if
@@ -92,12 +106,32 @@ impl LockManager {
     pub fn acquire(&mut self, owner: &str, resource: &str, mode: LockMode) -> MrResult<()> {
         if self.try_acquire(owner, resource, mode) {
             self.waits.remove(owner);
+            if let Some(obs) = &self.obs {
+                // Wait time is measured from the owner's first conflicted
+                // attempt on this acquisition (0 for an uncontended grant).
+                let waited = self
+                    .wait_since
+                    .remove(owner)
+                    .map(|since| obs.now_nanos().saturating_sub(since))
+                    .unwrap_or(0);
+                obs.histogram("db.lock.wait_ns").record(waited);
+                obs.counter("db.lock.acquired").inc();
+            }
             return Ok(());
         }
         self.waits.insert(owner.to_owned(), resource.to_owned());
         if self.wait_cycle_from(owner) {
             self.waits.remove(owner);
+            if let Some(obs) = &self.obs {
+                self.wait_since.remove(owner);
+                obs.counter("db.lock.deadlocks").inc();
+            }
             return Err(MrError::Deadlock);
+        }
+        if let Some(obs) = &self.obs {
+            let now = obs.now_nanos();
+            self.wait_since.entry(owner.to_owned()).or_insert(now);
+            obs.counter("db.lock.conflicts").inc();
         }
         Err(MrError::InUse)
     }
@@ -135,6 +169,7 @@ impl LockManager {
             state.shared.remove(owner);
         }
         self.waits.remove(owner);
+        self.wait_since.remove(owner);
     }
 
     /// Releases everything `owner` holds or waits for (crash cleanup).
@@ -146,6 +181,7 @@ impl LockManager {
             state.shared.remove(owner);
         }
         self.waits.remove(owner);
+        self.wait_since.remove(owner);
     }
 
     /// True if `owner` currently holds `resource` in any mode.
@@ -253,6 +289,41 @@ mod tests {
         lm.release("a", "r");
         lm.acquire("b", "r", LockMode::Exclusive).unwrap();
         assert!(lm.holds("b", "r"));
+    }
+
+    #[test]
+    fn obs_reports_waits_and_deadlocks() {
+        let obs = moira_obs::Registry::new();
+        let clock = moira_common::clock::VClock::new();
+        obs.set_virtual_clock(clock.clone());
+        let mut lm = LockManager::with_obs(obs.clone());
+        lm.acquire("a", "r", LockMode::Exclusive).unwrap();
+        assert_eq!(
+            lm.acquire("b", "r", LockMode::Exclusive),
+            Err(MrError::InUse)
+        );
+        clock.advance(3);
+        lm.release("a", "r");
+        lm.acquire("b", "r", LockMode::Exclusive).unwrap();
+        // Opposite-order acquisition closes a deadlock cycle.
+        lm.acquire("a", "r2", LockMode::Exclusive).unwrap();
+        assert_eq!(
+            lm.acquire("b", "r2", LockMode::Exclusive),
+            Err(MrError::InUse)
+        );
+        assert_eq!(
+            lm.acquire("a", "r", LockMode::Exclusive),
+            Err(MrError::Deadlock)
+        );
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("db.lock.acquired"), 3);
+        assert_eq!(snap.counter("db.lock.conflicts"), 2);
+        assert_eq!(snap.counter("db.lock.deadlocks"), 1);
+        let waits = snap.histogram("db.lock.wait_ns").expect("wait histogram");
+        assert_eq!(waits.count, 3);
+        // b's grant waited the 3 virtual seconds between its conflicted
+        // attempt and the release.
+        assert_eq!(waits.max, 3_000_000_000);
     }
 
     #[test]

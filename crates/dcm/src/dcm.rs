@@ -25,7 +25,9 @@ use crate::generators::Generator;
 use crate::host::SimHost;
 use crate::net::{Network, PerfectNetwork};
 use crate::retry::{RetryBook, RetryPolicy, SoftOutcome};
-use crate::update::{run_update_over, Script, UpdateCredentials, UpdateError};
+use crate::update::{
+    run_update_instrumented, Script, TransferStats, UpdateCredentials, UpdateError,
+};
 
 /// A notification emitted on hard failures — "a zephyr message is sent to
 /// class MOIRA instance DCM", and for host failures "a zephyrgram and mail
@@ -577,12 +579,13 @@ impl Dcm {
 
         let credentials = self.credentials_for(&mach_name);
         let push_key = (svc.name.clone(), mach_name.clone());
+        let mut tstats = TransferStats::default();
         let pushed = archive.and_then(|archive| {
             let script = Script::standard(&archive, &install_dir(&svc.name), &svc.script);
             let outcome = match self.hosts.get(&mach_name) {
                 Some(host) => {
                     let mut h = host.lock();
-                    run_update_over(
+                    run_update_instrumented(
                         self.net.as_ref(),
                         &mut h,
                         credentials.as_ref(),
@@ -590,12 +593,35 @@ impl Dcm {
                         self.last_pushed.get(&push_key),
                         &svc.target,
                         &script,
+                        &mut tstats,
                     )
                 }
-                None => Err(UpdateError::HostDown),
+                None => {
+                    // No such host is a connection failure as far as the
+                    // retry ledger is concerned.
+                    tstats.failed_leg = Some("connect");
+                    Err(UpdateError::HostDown)
+                }
             };
             outcome.map(|()| archive)
         });
+        // Patch-versus-whole byte split (the §5.7 partial-transfer savings)
+        // and, when a leg broke, a per-leg retry count: the attempt that
+        // follows the failure is charged to the leg that caused it. The
+        // registry handle is an Arc clone taken under a statement-scoped
+        // guard; the recording itself happens lock-free.
+        let obs = self.state.read().obs.clone();
+        obs.counter("dcm.transfer.patch_members")
+            .add(tstats.patch_members);
+        obs.counter("dcm.transfer.patch_bytes")
+            .add(tstats.patch_bytes);
+        obs.counter("dcm.transfer.full_members")
+            .add(tstats.full_members);
+        obs.counter("dcm.transfer.full_bytes")
+            .add(tstats.full_bytes);
+        if let Some(leg) = tstats.failed_leg {
+            obs.counter(&format!("dcm.retry.leg.{leg}")).inc();
+        }
         // Only a confirmed install updates the patch base: on any failure
         // the host may hold the old archive, the new one, or a torn mix —
         // the base CRCs in its next stale reply sort that out.

@@ -185,11 +185,13 @@ pub fn refresh(
             });
         }
         let mut refreshed = if plan.supports_delta() && prev.cursor.valid_for(&state.db) {
+            let _span = state.obs.span("dcm.stage.delta_scan_ns");
             delta_refresh(state, prev, cursor, &plan)?
         } else {
             // Invalid cursor (restore/replay gave the state a new epoch) or
             // a plan-less generator: rebuild, but still compare content so
             // an identical result reports NoChange.
+            let _span = state.obs.span("dcm.stage.section_rebuild_ns");
             full_refresh(generator, state, cursor, &plan, Some(prev.archive))?
         };
         // A per-host generator's moved rows (quotas, partitions, host ACEs)
@@ -199,6 +201,7 @@ pub fn refresh(
         refreshed.changed |= generator.per_host();
         return Ok(refreshed);
     }
+    let _span = state.obs.span("dcm.stage.section_rebuild_ns");
     full_refresh(generator, state, cursor, &plan, None)
 }
 

@@ -479,6 +479,26 @@ fn decode_delta(bytes: &[u8]) -> Option<Vec<(String, MemberDelta)>> {
     (pos == bytes.len()).then_some(entries)
 }
 
+/// Byte-level accounting for one update attempt, filled in by
+/// [`run_update_instrumented`]: how much of the transfer rode as line
+/// patches versus whole members, and — on failure — which protocol leg
+/// broke, so the DCM can count retries per leg.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Stale members shipped as line patches against the cached base.
+    pub patch_members: u64,
+    /// Encoded patch payload bytes.
+    pub patch_bytes: u64,
+    /// Stale members shipped whole.
+    pub full_members: u64,
+    /// Whole-member payload bytes.
+    pub full_bytes: u64,
+    /// The protocol leg in flight when the attempt failed; `None` on
+    /// success. One of `connect`, `manifest`, `stale`, `delta`, `script`,
+    /// `execute`, `confirm`.
+    pub failed_leg: Option<&'static str>,
+}
+
 /// Kerberos credentials presented by the DCM at connection set-up.
 #[derive(Debug, Clone)]
 pub struct UpdateCredentials {
@@ -549,8 +569,35 @@ pub fn run_update_over(
     target: &str,
     script: &Script,
 ) -> Result<(), UpdateError> {
+    let mut stats = TransferStats::default();
+    run_update_instrumented(
+        net,
+        host,
+        credentials,
+        archive,
+        prev,
+        target,
+        script,
+        &mut stats,
+    )
+}
+
+/// [`run_update_over`] that additionally fills `stats` with patch/whole
+/// transfer accounting and, on failure, the protocol leg that broke.
+#[allow(clippy::too_many_arguments)]
+pub fn run_update_instrumented(
+    net: &dyn Network,
+    host: &mut SimHost,
+    credentials: Option<&UpdateCredentials>,
+    archive: &Archive,
+    prev: Option<&Archive>,
+    target: &str,
+    script: &Script,
+    stats: &mut TransferStats,
+) -> Result<(), UpdateError> {
     // A. Transfer phase.
     // A.1 Connect and authenticate.
+    stats.failed_leg = Some("connect");
     net.connect(&host.name).map_err(|f| f.to_update_error())?;
     if !host.reachable() {
         return Err(UpdateError::HostDown);
@@ -582,6 +629,7 @@ pub fn run_update_over(
 
     // A.2 Send the archive manifest: per-member CRCs plus the checksum of
     // the complete serialized archive.
+    stats.failed_leg = Some("manifest");
     let manifest_bytes = archive.manifest().to_bytes();
     net.transmit(&host.name, manifest_bytes.len())
         .map_err(|f| f.to_update_error())?;
@@ -597,6 +645,7 @@ pub fn run_update_over(
     // carrying the CRC of its own base copy when it has one. A missing
     // or unparseable base means everything is stale — the first push and
     // the recovery-from-tampering path are both just "all members".
+    stats.failed_leg = Some("stale");
     let base = host.read_file(target).and_then(Archive::from_bytes);
     let reply = encode_stale(&stale_entries(&manifest, base.as_ref()));
     net.transmit(&host.name, reply.len())
@@ -609,6 +658,7 @@ pub fn run_update_over(
     // A.4 Transfer the stale members — as a line patch where the host's
     // base CRC matches the copy the DCM last pushed (and the patch is
     // actually smaller), otherwise whole.
+    stats.failed_leg = Some("delta");
     let mut delta: Vec<(String, MemberDelta)> = Vec::with_capacity(stale.len());
     for (name, base_crc) in &stale {
         let Some(data) = archive.get(name) else {
@@ -624,8 +674,16 @@ pub fn run_update_over(
             })
             .filter(|patch| patch.len() < data.len());
         let entry = match patch {
-            Some(patch) => MemberDelta::Patch(patch),
-            None => MemberDelta::Full(data.to_vec()),
+            Some(patch) => {
+                stats.patch_members += 1;
+                stats.patch_bytes += patch.len() as u64;
+                MemberDelta::Patch(patch)
+            }
+            None => {
+                stats.full_members += 1;
+                stats.full_bytes += data.len() as u64;
+                MemberDelta::Full(data.to_vec())
+            }
         };
         delta.push((name.clone(), entry));
     }
@@ -682,6 +740,7 @@ pub fn run_update_over(
     }
 
     // A.5 Transfer the installation instruction sequence.
+    stats.failed_leg = Some("script");
     let script_text = script.to_text();
     net.transmit(&host.name, script_text.len())
         .map_err(|f| f.to_update_error())?;
@@ -697,6 +756,7 @@ pub fn run_update_over(
 
     // B. Execution phase, driven by a single command from Moira; the host
     // executes the staged script against the staged archive.
+    stats.failed_leg = Some("execute");
     net.transmit(&host.name, 1)
         .map_err(|f| f.to_update_error())?;
     let result = execute_on_host(host, target);
@@ -706,8 +766,10 @@ pub fn run_update_over(
     // though the host may have installed everything.
     match result {
         Ok(0) => {
+            stats.failed_leg = Some("confirm");
             net.transmit(&host.name, 1)
                 .map_err(|f| f.to_update_error())?;
+            stats.failed_leg = None;
             Ok(())
         }
         Ok(code) => Err(UpdateError::ExecFailed(code)),
@@ -1406,6 +1468,98 @@ mod tests {
             host.read_file("/var/hesiod/passwd.db").unwrap(),
             b"babette:*:6530\nnewbie:*:7000\n"
         );
+    }
+
+    #[test]
+    fn transfer_stats_split_patch_and_whole_members() {
+        // First push: everything ships whole. Second push with a small
+        // edit and the prev archive cached: the changed member rides as a
+        // patch. A lost confirmation pins the failure on that leg.
+        let big: Vec<u8> = (0..2_000)
+            .flat_map(|i| format!("user{i}:*:{}\n", 5000 + i).into_bytes())
+            .collect();
+        let mut changed = big.clone();
+        changed.extend_from_slice(b"newbie:*:7000\n");
+        let a = Archive::from_members(vec![("passwd.db".into(), big)]).unwrap();
+        let b = Archive::from_members(vec![("passwd.db".into(), changed)]).unwrap();
+
+        let mut host = SimHost::new("X");
+        let mut first = TransferStats::default();
+        run_update_instrumented(
+            &PerfectNetwork,
+            &mut host,
+            None,
+            &a,
+            None,
+            "/tmp/t",
+            &sample_script(&a),
+            &mut first,
+        )
+        .unwrap();
+        assert_eq!(first.failed_leg, None);
+        assert_eq!(first.patch_members, 0);
+        assert_eq!(first.full_members, 1);
+        assert_eq!(first.full_bytes, a.get("passwd.db").unwrap().len() as u64);
+
+        let mut second = TransferStats::default();
+        run_update_instrumented(
+            &PerfectNetwork,
+            &mut host,
+            None,
+            &b,
+            Some(&a),
+            "/tmp/t",
+            &sample_script(&b),
+            &mut second,
+        )
+        .unwrap();
+        assert_eq!(second.failed_leg, None);
+        assert_eq!(second.patch_members, 1);
+        assert_eq!(second.full_members, 0);
+        assert!(
+            second.patch_bytes > 0
+                && second.patch_bytes < b.get("passwd.db").unwrap().len() as u64 / 10,
+            "patch bytes {} vs member {}",
+            second.patch_bytes,
+            b.get("passwd.db").unwrap().len()
+        );
+
+        // An unreachable host fails on the connect leg.
+        let mut downed = SimHost::new("Y");
+        downed.up = false;
+        let mut failed = TransferStats::default();
+        let err = run_update_instrumented(
+            &PerfectNetwork,
+            &mut downed,
+            None,
+            &a,
+            None,
+            "/tmp/t",
+            &sample_script(&a),
+            &mut failed,
+        )
+        .unwrap_err();
+        assert_eq!(err, UpdateError::HostDown);
+        assert_eq!(failed.failed_leg, Some("connect"));
+
+        // Fault network leg 5 (0-indexed: connect, manifest, stale, delta,
+        // script, execute-go, confirm): the failure lands on the execute
+        // leg.
+        let net = FailLeg::new(5, crate::net::NetFault::TimedOut);
+        let mut mid = TransferStats::default();
+        let err = run_update_instrumented(
+            &net,
+            &mut SimHost::new("Z"),
+            None,
+            &a,
+            None,
+            "/tmp/t",
+            &sample_script(&a),
+            &mut mid,
+        )
+        .unwrap_err();
+        assert_eq!(err, UpdateError::Timeout);
+        assert_eq!(mid.failed_leg, Some("execute"));
     }
 
     #[test]

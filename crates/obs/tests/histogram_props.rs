@@ -1,0 +1,102 @@
+//! Property tests for the histogram invariants the obs crate guarantees:
+//! counts are conserved by record and merge, quantile estimation is
+//! monotone in `q` and brackets the recorded extremes, and merge is
+//! commutative (the merged state is a pure function of the multiset
+//! union, so operand order cannot matter).
+
+use moira_obs::{HistSnapshot, Registry};
+use proptest::prelude::*;
+
+fn recorded(values: &[u64]) -> HistSnapshot {
+    let h = Registry::new().histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    #[test]
+    fn record_preserves_count_and_sum(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let s = recorded(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        let sum: u64 = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(s.sum, sum);
+        if let Some(&min) = values.iter().min() {
+            prop_assert_eq!(s.min, min);
+        }
+        if let Some(&max) = values.iter().max() {
+            prop_assert_eq!(s.max, max);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_total_count(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut merged = recorded(&a);
+        merged.merge(&recorded(&b));
+        prop_assert_eq!(merged.count, (a.len() + b.len()) as u64);
+        // Merging two halves is indistinguishable from recording the
+        // concatenation into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, recorded(&all));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut ab = recorded(&a);
+        ab.merge(&recorded(&b));
+        let mut ba = recorded(&b);
+        ba.merge(&recorded(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_extremes(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        permilles in prop::collection::vec(0usize..=1000, 2..20),
+    ) {
+        let s = recorded(&values);
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let mut permilles = permilles;
+        permilles.sort_unstable();
+        let mut prev = None;
+        for p in permilles {
+            let q = s.quantile(p as f64 / 1000.0);
+            prop_assert!(q >= min, "quantile {q} below recorded min {min}");
+            prop_assert!(q <= max, "quantile {q} above recorded max {max}");
+            if let Some(prev) = prev {
+                prop_assert!(q >= prev, "quantile regressed: {prev} -> {q}");
+            }
+            prev = Some(q);
+        }
+    }
+
+    #[test]
+    fn quantile_estimate_is_within_one_bucket(
+        values in prop::collection::vec(1u64..=u64::MAX, 1..100),
+        permille in 0usize..=1000,
+    ) {
+        // The estimate is the power-of-two upper bound of the bucket
+        // holding the rank value (clamped to [min, max]), so it never
+        // exceeds twice the true rank value.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let s = recorded(&values);
+        let q = permille as f64 / 1000.0;
+        // Recompute the implementation's rank selection to index the truth.
+        let rank = ((q * s.count as f64).ceil() as u64).clamp(1, s.count);
+        let truth = sorted[rank as usize - 1];
+        let est = s.quantile(q);
+        prop_assert!(est <= truth.saturating_mul(2), "est {est} vs true {truth}");
+    }
+}

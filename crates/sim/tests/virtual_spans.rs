@@ -1,0 +1,75 @@
+//! The obs `Clock` seam under simulation: stage spans recorded inside a
+//! deployment measure *virtual* seconds, not wall-clock nanoseconds.
+
+use moira_common::errors::MrResult;
+use moira_common::VClock;
+use moira_core::state::MoiraState;
+use moira_dcm::generators::{incremental, Generator};
+use moira_dcm::Archive;
+use moira_sim::deployment::Deployment;
+use moira_sim::population::PopulationSpec;
+
+/// A generator that burns seven simulated seconds building its archive —
+/// the stand-in for an expensive extraction pass.
+struct SlowGenerator {
+    clock: VClock,
+}
+
+impl Generator for SlowGenerator {
+    fn service(&self) -> &'static str {
+        "SLOW"
+    }
+
+    fn depends_on(&self) -> &'static [&'static str] {
+        &["users"]
+    }
+
+    fn generate(&self, _state: &MoiraState, _value3: &str) -> MrResult<Archive> {
+        self.clock.advance(7);
+        let mut a = Archive::new();
+        a.add("slow.db", b"slow\n".to_vec())?;
+        Ok(a)
+    }
+}
+
+#[test]
+fn stage_spans_report_simulated_durations() {
+    let clock = VClock::new();
+    let state = MoiraState::new(clock.clone());
+    state.obs.set_virtual_clock(clock.clone());
+
+    let generator = SlowGenerator {
+        clock: clock.clone(),
+    };
+    let refreshed = incremental::refresh(&generator, &state, None).unwrap();
+    assert!(refreshed.full, "no cache: the rebuild path runs");
+
+    let snap = state.obs.snapshot();
+    let h = snap
+        .histogram("dcm.stage.section_rebuild_ns")
+        .expect("rebuild span recorded");
+    assert_eq!(h.count, 1);
+    assert_eq!(
+        h.max, 7_000_000_000,
+        "seven virtual seconds, exactly — wall time never leaks in"
+    );
+    assert_eq!(h.p50(), 7_000_000_000);
+}
+
+#[test]
+fn deployment_cycles_record_stages_in_virtual_time() {
+    let mut d = Deployment::build(&PopulationSpec::small());
+    d.run_dcm_once();
+
+    let snap = d.state.read().obs.snapshot();
+    let h = snap
+        .histogram("dcm.stage.section_rebuild_ns")
+        .expect("first cycle rebuilds every cached generator");
+    assert!(h.count > 0);
+    // The virtual clock does not tick during a refresh, so every span is
+    // exactly zero — any positive duration means wall-clock leaked in.
+    assert_eq!(h.max, 0, "virtual durations only");
+    if let Some(scan) = snap.histogram("dcm.stage.delta_scan_ns") {
+        assert_eq!(scan.max, 0);
+    }
+}

@@ -353,6 +353,47 @@ fn tcp_client_full_round_trip() {
 }
 
 #[test]
+fn server_statistics_over_tcp_report_real_latencies() {
+    let (mut server, state, _) = standard_server(moira::common::VClock::new());
+    {
+        let mut s = state.write();
+        let uid = moira::core::queries::testutil::add_test_user(&mut s, "ops", 1);
+        s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
+            .unwrap();
+    }
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    let _thread = ServerThread::spawn(server);
+    let mut client = moira::client::RpcClient::connect_tcp(&addr.to_string()).expect("tcp connect");
+    client.auth("ops", "stats-itest").unwrap();
+
+    // Generate traffic on both tiers before asking for the numbers.
+    client
+        .query("add_machine", &["STATS.MIT.EDU", "VAX"], &mut |_| {})
+        .unwrap();
+    for _ in 0..4 {
+        let rows = client.query_collect("get_machine", &["STATS*"]).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    let rows = client.query_collect("get_server_statistics", &[]).unwrap();
+    let stat = |name: &str| -> u64 {
+        rows.iter()
+            .find(|row| row[0] == name)
+            .unwrap_or_else(|| panic!("statistic {name} missing"))[1]
+            .parse()
+            .unwrap_or_else(|_| panic!("statistic {name} not numeric"))
+    };
+    assert!(stat("server.reads_dispatched") >= 4);
+    assert!(stat("server.writes_dispatched") >= 2, "auth + add_machine");
+    let p50 = stat("server.latency.read.p50_ns");
+    let p99 = stat("server.latency.read.p99_ns");
+    assert!(p50 > 0, "real TCP round-trips take real time");
+    assert!(p99 >= p50, "quantiles are ordered");
+    assert!(stat("server.latency.write.count") >= 2);
+    client.disconnect().unwrap();
+}
+
+#[test]
 fn kerberos_end_to_end_through_rpc() {
     use moira::krb::realm::Kdc;
     use moira::krb::ticket::{make_authenticator, Verifier};
