@@ -1,0 +1,189 @@
+//! E16 — durable commit: group-commit throughput curve and a quick
+//! crash-convergence gate.
+//!
+//! Two parts:
+//!
+//! 1. **Throughput curve** (real disk): the same mutation workload is
+//!    committed through the durable engine at group-commit batch sizes
+//!    1/4/16/64/256 — batch 1 is fsync-per-commit, larger batches amortize
+//!    the fsync across the group, which is the whole point of group
+//!    commit. Reported as mutations/sec and fsyncs per mutation.
+//! 2. **Convergence gate** (sim media): a compact version of the
+//!    `durability` torture test — kill points across append, fsync, and
+//!    snapshot rename; every recovery must land byte-identical to the
+//!    no-crash oracle. The full ≥50-point grid runs in CI; this gate is
+//!    the fast regression tripwire.
+
+use moira_bench::{write_json, Table};
+use moira_common::clock::{VClock, ATHENA_EPOCH};
+use moira_common::errors::MrError;
+use moira_core::recovery::boot_durable;
+use moira_core::registry::Registry;
+use moira_core::state::{Caller, MoiraState};
+use moira_db::snapshot::encode_snapshot;
+use moira_db::storage::{DiskMedia, GroupCommitConfig, Media, OpKind, SimMedia};
+
+const MUTATIONS: usize = 512;
+const BATCH_SIZES: [usize; 5] = [1, 4, 16, 64, 256];
+
+fn lazy_cfg() -> GroupCommitConfig {
+    GroupCommitConfig {
+        flush_interval_secs: i64::MAX,
+        flush_bytes: usize::MAX,
+        snapshot_every: 0,
+    }
+}
+
+/// One machine add per mutation — the canonical small write.
+fn mutate(registry: &Registry, state: &mut MoiraState, clock: &VClock, i: usize) {
+    clock.set(ATHENA_EPOCH + 60 * (i as i64 + 1));
+    registry
+        .execute(
+            state,
+            &Caller::root("bench"),
+            "add_machine",
+            &[format!("WAL{i}.MIT.EDU"), "VAX".into()],
+        )
+        .expect("mutation");
+}
+
+/// Runs `MUTATIONS` commits flushing every `batch`; returns (wall seconds,
+/// fsync count).
+fn run_batch(registry: &Registry, media: Box<dyn Media>, batch: usize) -> (f64, u64) {
+    let clock = VClock::new();
+    let (mut state, _) = boot_durable(clock.clone(), registry, media, lazy_cfg()).expect("boot");
+    let t0 = std::time::Instant::now();
+    for i in 0..MUTATIONS {
+        mutate(registry, &mut state, &clock, i);
+        if (i + 1) % batch == 0 {
+            state.storage.flush().expect("group flush");
+        }
+    }
+    state.storage.flush().expect("final flush");
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, state.obs.snapshot().counter("db.wal.fsyncs"))
+}
+
+fn throughput_curve(registry: &Registry) -> (Vec<serde_json::Value>, Vec<f64>) {
+    let root = std::env::temp_dir().join(format!("moira-wal-bench-{}", std::process::id()));
+    let mut table = Table::new(&["Batch", "Wall (s)", "Commits/s", "Fsyncs", "Fsync/commit"]);
+    let mut points = Vec::new();
+    let mut rates = Vec::new();
+    for (i, &batch) in BATCH_SIZES.iter().enumerate() {
+        let dir = root.join(format!("b{batch}"));
+        let media = DiskMedia::open(&dir).expect("bench dir");
+        let (wall, fsyncs) = run_batch(registry, Box::new(media), batch);
+        let rate = MUTATIONS as f64 / wall;
+        table.row(&[
+            batch.to_string(),
+            format!("{wall:.4}"),
+            format!("{rate:.0}"),
+            fsyncs.to_string(),
+            format!("{:.3}", fsyncs as f64 / MUTATIONS as f64),
+        ]);
+        points.push(serde_json::json!({
+            "batch": batch,
+            "wall_s": wall,
+            "commits_per_s": rate,
+            "fsyncs": fsyncs,
+        }));
+        rates.push(rate);
+        if i == 0 {
+            eprintln!("wal commit: fsync-per-commit baseline {rate:.0} commits/s");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    table.print("Group-commit throughput (512 mutations, real disk)");
+    (points, rates)
+}
+
+/// The compact convergence gate: every kill point recovers to the oracle.
+fn convergence_gate(registry: &Registry) -> usize {
+    let cfg = || GroupCommitConfig {
+        flush_interval_secs: 0,
+        flush_bytes: 1,
+        snapshot_every: 3,
+    };
+    const STEPS: usize = 12;
+    let workload = |registry: &Registry, state: &mut MoiraState, clock: &VClock, from: usize| {
+        for i in from..STEPS {
+            clock.set(ATHENA_EPOCH + 60 * (i as i64 + 1));
+            match registry.execute(
+                state,
+                &Caller::root("bench"),
+                "add_machine",
+                &[format!("GATE{i}.MIT.EDU"), "VAX".into()],
+            ) {
+                Ok(_) => {}
+                Err(MrError::Durability) => return i,
+                Err(e) => panic!("workload step {i}: {e:?}"),
+            }
+        }
+        STEPS
+    };
+    let fingerprint = |state: &MoiraState| {
+        encode_snapshot(&state.db, &state.journal, 0)
+            .lines()
+            .filter(|l| !l.starts_with("epoch:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let clock = VClock::new();
+    let (mut oracle, _) =
+        boot_durable(clock.clone(), registry, Box::new(SimMedia::new()), cfg()).expect("oracle");
+    assert_eq!(workload(registry, &mut oracle, &clock, 0), STEPS);
+    oracle.storage.flush().expect("oracle flush");
+    let want = fingerprint(&oracle);
+
+    let mut points = 0;
+    for kind in [OpKind::Append, OpKind::Fsync, OpKind::Rename] {
+        for nth in 0..4 {
+            let clock = VClock::new();
+            let media = SimMedia::new();
+            let (mut state, _) =
+                boot_durable(clock.clone(), registry, Box::new(media.clone()), cfg())
+                    .expect("boot");
+            media.arm_crash(kind, nth);
+            workload(registry, &mut state, &clock, 0);
+            assert!(media.crashed(), "{kind:?}#{nth} never fired");
+            drop(state);
+            media.power_cycle();
+            let (mut recovered, report) =
+                boot_durable(clock.clone(), registry, Box::new(media), cfg()).expect("recovery");
+            assert!(report.recovered);
+            let committed = recovered.journal.len();
+            workload(registry, &mut recovered, &clock, committed);
+            recovered.storage.flush().expect("flush");
+            assert_eq!(fingerprint(&recovered), want, "{kind:?}#{nth} diverged");
+            points += 1;
+        }
+    }
+    points
+}
+
+fn main() {
+    let registry = Registry::standard();
+    let (points, rates) = throughput_curve(&registry);
+    let kill_points = convergence_gate(&registry);
+    println!("\nconvergence gate: {kill_points}/12 kill points byte-identical to oracle");
+
+    let speedup = match (rates.first(), rates.last()) {
+        (Some(&first), Some(&last)) if first > 0.0 => last / first,
+        _ => 0.0,
+    };
+    write_json(
+        "wal_commit",
+        &serde_json::json!({
+            "mutations": MUTATIONS,
+            "methodology": "512 add_machine commits through Registry::execute onto a DiskMedia-backed durable engine in a temp dir; group commit simulated by explicit flush every N commits; fsync counts from db.wal.fsyncs",
+            "curve": points,
+            "group_commit_speedup_max_batch": speedup,
+            "convergence_gate": { "kill_points": kill_points, "all_converged": true },
+        }),
+    );
+    assert!(
+        speedup >= 1.0,
+        "group commit should never be slower than fsync-per-commit (got {speedup:.2}x)"
+    );
+}

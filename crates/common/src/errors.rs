@@ -226,6 +226,7 @@ mr_errors! {
     // Appended at the end: error codes are positional offsets from the
     // table base, so new codes must never reorder existing ones.
     (Busy, "Server overloaded; try again later"),
+    (Durability, "Durable storage failure"),
 }
 
 /// Base code of the `"sms"` error table.

@@ -20,6 +20,7 @@
 //! - [`rng`] — a small deterministic PRNG for reproducible workloads.
 
 pub mod clock;
+pub mod crc;
 pub mod errors;
 pub mod hashtab;
 pub mod menu;

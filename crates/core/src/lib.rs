@@ -25,10 +25,14 @@
 //! - [`userreg`] — the registration server of §5.10 (verify_user,
 //!   grab_login, set_password) with its encrypted-ID authenticator scheme.
 
+//! - [`recovery`] — durable boot: snapshot load + WAL replay that
+//!   preserves the database epoch and per-row generations across crashes.
+
 pub mod access;
 pub mod ace;
 pub mod ids;
 pub mod queries;
+pub mod recovery;
 pub mod registry;
 pub mod schema;
 pub mod seed;
@@ -36,6 +40,7 @@ pub mod server;
 pub mod state;
 pub mod userreg;
 
+pub use recovery::{boot_durable, BootReport};
 pub use registry::{QueryHandle, QueryKind, Registry};
 pub use server::MoiraServer;
 pub use state::{Caller, MoiraState};

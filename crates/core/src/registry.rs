@@ -278,15 +278,60 @@ impl Registry {
             Handler::Write(f) => f(state, caller, args)?,
         };
         if before.is_some_and(|b| state.db.mutation_count() != b) {
-            state.journal.log(JournalEntry {
+            let entry = JournalEntry {
                 time: state.db.now(),
                 who: caller.who().to_owned(),
                 with: caller.client_name.clone(),
                 query: handle.name.to_owned(),
                 args: args.to_vec(),
-            });
+            };
+            state.journal.log(entry.clone());
+            // Write-ahead: the commit is not acknowledged until the entry
+            // is at least buffered in the WAL (group commit fsyncs it). A
+            // failed append is surfaced to the caller — the in-memory
+            // change stands, but its durability cannot be promised.
+            let now = state.db.now();
+            if let Err(e) = state.storage.append(&entry, now) {
+                state.obs.counter("db.wal.append_errors").inc();
+                return Err(e);
+            }
+            if state.storage.wants_snapshot() {
+                if let Err(_e) = state.storage.snapshot(&state.db, &state.journal) {
+                    // Non-fatal: the WAL still holds every commit; the
+                    // next mutation re-triggers the snapshot.
+                    state.obs.counter("db.wal.snapshot_errors").inc();
+                }
+            }
         }
         Ok(result)
+    }
+
+    /// Re-applies a recovered journal entry during crash recovery.
+    ///
+    /// Unlike [`Registry::execute`] this skips ACL enforcement: the entry
+    /// was already authorized when it first committed, and the principal
+    /// may have lost (or never re-gains) those privileges in the recovered
+    /// world — recovery must not re-litigate history. It also leaves the
+    /// storage backend untouched; the caller replays with a `NullStorage`
+    /// installed precisely so recovered entries are not re-appended.
+    pub fn replay(&self, state: &mut MoiraState, entry: &JournalEntry) -> MrResult<()> {
+        let handle = self.get(&entry.query).ok_or(MrError::NoHandle)?;
+        if entry.args.len() != handle.args.len() {
+            return Err(MrError::Args);
+        }
+        let caller = Caller {
+            principal: (entry.who != "???").then(|| entry.who.clone()),
+            client_name: entry.with.clone(),
+        };
+        let before = state.db.mutation_count();
+        match handle.handler {
+            Handler::Read(f) => f(state, &caller, &entry.args).map(|_| ())?,
+            Handler::Write(f) => f(state, &caller, &entry.args).map(|_| ())?,
+        }
+        if state.db.mutation_count() != before {
+            state.journal.log(entry.clone());
+        }
+        Ok(())
     }
 }
 

@@ -632,6 +632,17 @@ impl MoiraServer {
                         }
                         tasks[id].work = Work::Done(replies);
                     }
+                    // Group commit: one fsync (at most — the flush interval
+                    // can defer it) covers every mutation in this batch,
+                    // and it happens before any reply below is sent, so an
+                    // acknowledged commit is as durable as the configured
+                    // policy promises. A failed flush is counted, not
+                    // fatal: the WAL append already carried the error to
+                    // the owning request if the media is truly dead.
+                    let now = guard.db.now();
+                    if guard.storage.maybe_flush(now).is_err() {
+                        guard.obs.counter("db.wal.flush_errors").inc();
+                    }
                 }
                 None => {
                     self.shed_requests += write_ids.len() as u64;

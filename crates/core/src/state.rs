@@ -5,6 +5,7 @@ use std::sync::Arc;
 use moira_common::clock::VClock;
 use moira_db::journal::Journal;
 use moira_db::lock::LockManager;
+use moira_db::storage::{NullStorage, Storage};
 use moira_db::Database;
 use parking_lot::RwLock;
 
@@ -109,6 +110,10 @@ pub struct MoiraState {
     /// The instrument registry every layer records into (server dispatch,
     /// lock manager, DCM stages) and `get_server_statistics` snapshots.
     pub obs: moira_obs::Registry,
+    /// The durable backend committed mutations are appended to. Defaults
+    /// to [`NullStorage`] (the historical in-memory server); the durable
+    /// boot path swaps in a `DurableEngine`.
+    pub storage: Box<dyn Storage>,
     next_client_no: u64,
 }
 
@@ -117,8 +122,24 @@ impl MoiraState {
     pub fn new(clock: VClock) -> MoiraState {
         let mut db = Database::new(clock);
         schema::create_all_tables(&mut db);
+        let mut state = MoiraState::bare(db);
+        seed::seed(&mut state);
+        state
+    }
+
+    /// Assembles a state around an already-recovered database and journal
+    /// (schema created, rows imported, epoch preserved). No seeding: the
+    /// snapshot and WAL replay are the only sources of truth.
+    pub fn recovered(db: Database, journal: Journal) -> MoiraState {
+        MoiraState {
+            journal,
+            ..MoiraState::bare(db)
+        }
+    }
+
+    fn bare(db: Database) -> MoiraState {
         let obs = moira_obs::Registry::new();
-        let mut state = MoiraState {
+        MoiraState {
             db,
             journal: Journal::new(),
             locks: LockManager::with_obs(obs.clone()),
@@ -126,10 +147,9 @@ impl MoiraState {
             clients: Vec::new(),
             dcm_trigger: false,
             obs,
+            storage: Box::new(NullStorage),
             next_client_no: 0,
-        };
-        seed::seed(&mut state);
-        state
+        }
     }
 
     /// Current time from the database clock.

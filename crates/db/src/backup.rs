@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use moira_common::errors::{MrError, MrResult};
 
 use crate::database::Database;
+use crate::storage::Media;
 use crate::value::{ColType, Value};
 
 /// Escapes one field: `\:`, `\\`, and `\nnn` octal for non-printing bytes.
@@ -142,7 +143,7 @@ pub fn mrrestore(db: &mut Database, backup: &BTreeMap<String, String>) -> MrResu
     Ok(total)
 }
 
-fn split_unescaped_colons(line: &str) -> Vec<&str> {
+pub(crate) fn split_unescaped_colons(line: &str) -> Vec<&str> {
     let bytes = line.as_bytes();
     let mut fields = Vec::new();
     let mut start = 0;
@@ -187,10 +188,126 @@ impl NightlyRotation {
     }
 }
 
+/// One-file encoding of a full backup, suitable for atomic replacement on
+/// durable media.
+pub fn encode_backup(backup: &BTreeMap<String, String>) -> String {
+    let mut out = String::from("moira-backup:1\n");
+    for (table, dump) in backup {
+        out.push_str("table:");
+        out.push_str(&escape_field(table));
+        out.push('\n');
+        out.push_str(dump);
+        out.push_str("endtable\n");
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Reverses [`encode_backup`]. Every failure is [`MrError::Durability`]: a
+/// backup that does not parse in full — including a missing `end` seal —
+/// is treated as media corruption, never partially trusted.
+pub fn decode_backup(text: &str) -> MrResult<BTreeMap<String, String>> {
+    let mut lines = text.lines();
+    if lines.next() != Some("moira-backup:1") {
+        return Err(MrError::Durability);
+    }
+    let mut backup = BTreeMap::new();
+    let mut sealed = false;
+    while let Some(line) = lines.next() {
+        if line == "end" {
+            sealed = true;
+            break;
+        }
+        let name = line.strip_prefix("table:").ok_or(MrError::Durability)?;
+        let name = unescape_field(name).map_err(|_| MrError::Durability)?;
+        let mut dump = String::new();
+        loop {
+            match lines.next() {
+                Some("endtable") => break,
+                Some(row) => {
+                    dump.push_str(row);
+                    dump.push('\n');
+                }
+                None => return Err(MrError::Durability),
+            }
+        }
+        if backup.insert(name, dump).is_some() {
+            return Err(MrError::Durability);
+        }
+    }
+    if !sealed || lines.next().is_some() {
+        return Err(MrError::Durability);
+    }
+    Ok(backup)
+}
+
+/// On-line backup file names, newest first — `nightly.sh`'s three
+/// generations.
+pub const BACKUP_GENERATIONS: [&str; 3] = ["backup.1", "backup.2", "backup.3"];
+/// Scratch name for the atomic-replace protocol.
+pub const BACKUP_TMP: &str = "backup.tmp";
+
+/// The three-generation rotation written to durable [`Media`] with the
+/// same crash discipline as the snapshot path: the new backup is written
+/// to a temp file and fsynced *before* any rename, the generation shifts
+/// are renames (atomic, made durable by the closing directory fsync), and
+/// a crash at any point leaves every surviving generation fully decodable
+/// — never a torn or half-rotated file.
+#[derive(Debug)]
+pub struct MediaRotation<M: Media> {
+    media: M,
+}
+
+impl<M: Media> MediaRotation<M> {
+    /// Wraps `media`; existing generations on it are picked up as-is.
+    pub fn new(media: M) -> Self {
+        Self { media }
+    }
+
+    /// Takes a backup of `db` and rotates it in as `backup.1`, shifting
+    /// the older generations down and discarding the fourth-oldest.
+    pub fn run_nightly(&mut self, db: &Database) -> MrResult<()> {
+        // A stale temp file from a crashed previous run is garbage.
+        if self.media.read(BACKUP_TMP)?.is_some() {
+            self.media.remove(BACKUP_TMP)?;
+        }
+        let encoded = encode_backup(&mrbackup(db));
+        self.media.write_new(BACKUP_TMP, encoded.as_bytes())?;
+        self.media.fsync(BACKUP_TMP)?;
+        // Shift oldest-first so no generation is overwritten before it has
+        // been moved out of the way.
+        if self.media.read(BACKUP_GENERATIONS[1])?.is_some() {
+            self.media
+                .rename(BACKUP_GENERATIONS[1], BACKUP_GENERATIONS[2])?;
+        }
+        if self.media.read(BACKUP_GENERATIONS[0])?.is_some() {
+            self.media
+                .rename(BACKUP_GENERATIONS[0], BACKUP_GENERATIONS[1])?;
+        }
+        self.media.rename(BACKUP_TMP, BACKUP_GENERATIONS[0])?;
+        self.media.fsync_dir()
+    }
+
+    /// Decodes every generation present on the media, newest first. A
+    /// generation that fails to decode is an error — rotation crashes must
+    /// never leave a torn file behind.
+    pub fn generations(&self) -> MrResult<Vec<BTreeMap<String, String>>> {
+        let mut out = Vec::new();
+        for name in BACKUP_GENERATIONS {
+            if let Some(bytes) = self.media.read(name)? {
+                let text = String::from_utf8(bytes).map_err(|_| MrError::Durability)?;
+                out.push(decode_backup(&text)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema::{ColumnDef, TableSchema};
+    use crate::storage::{OpKind, SimMedia};
     use moira_common::clock::VClock;
 
     fn sample_db() -> Database {
@@ -294,5 +411,90 @@ mod tests {
         // Newest generation has all five users; oldest kept has three.
         assert_eq!(rot.generations()[0]["users"].lines().count(), 5);
         assert_eq!(rot.generations()[2]["users"].lines().count(), 3);
+    }
+
+    #[test]
+    fn backup_document_round_trip_and_rejects_torn() {
+        let mut db = sample_db();
+        db.append(
+            "users",
+            vec!["co:lon".into(), 1.into(), true.into(), "A\\B".into()],
+        )
+        .unwrap();
+        let backup = mrbackup(&db);
+        let text = encode_backup(&backup);
+        assert_eq!(decode_backup(&text).unwrap(), backup);
+        // Any truncation — a torn write — must fail, not half-parse.
+        for cut in 0..text.len() - 1 {
+            assert!(decode_backup(&text[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(decode_backup(&format!("{text}junk\n")).is_err());
+    }
+
+    #[test]
+    fn media_rotation_keeps_three_decodable_generations() {
+        let mut db = sample_db();
+        let mut rot = MediaRotation::new(SimMedia::new());
+        for i in 0..5 {
+            db.append(
+                "users",
+                vec![format!("u{i}").into(), i.into(), true.into(), "U".into()],
+            )
+            .unwrap();
+            rot.run_nightly(&db).unwrap();
+        }
+        let gens = rot.generations().unwrap();
+        assert_eq!(gens.len(), 3);
+        assert_eq!(gens[0]["users"].lines().count(), 5);
+        assert_eq!(gens[2]["users"].lines().count(), 3);
+    }
+
+    #[test]
+    fn crash_between_renames_preserves_old_generations() {
+        let mut db = sample_db();
+        let media = SimMedia::new();
+        let mut rot = MediaRotation::new(media.clone());
+        for i in 0..3 {
+            db.append(
+                "users",
+                vec![format!("u{i}").into(), i.into(), true.into(), "U".into()],
+            )
+            .unwrap();
+            rot.run_nightly(&db).unwrap();
+        }
+        let before = rot.generations().unwrap();
+
+        // Every rename in the rotation is a kill point: shift 2→3, shift
+        // 1→2, and the tmp→1 replacement itself.
+        for nth in 0..3 {
+            media.arm_crash(OpKind::Rename, nth);
+            db.append(
+                "users",
+                vec![
+                    format!("crash{nth}").into(),
+                    (100 + nth as i64).into(),
+                    true.into(),
+                    "C".into(),
+                ],
+            )
+            .unwrap();
+            assert_eq!(
+                rot.run_nightly(&db),
+                Err(MrError::Durability),
+                "rename #{nth}"
+            );
+            media.power_cycle();
+            // The directory fsync never ran, so no rename became durable:
+            // the old trio is intact and every file still decodes.
+            assert_eq!(rot.generations().unwrap(), before, "rename #{nth}");
+        }
+
+        // The next nightly run converges: stale tmp is discarded and the
+        // new backup (with all crash-era rows) becomes generation one.
+        rot.run_nightly(&db).unwrap();
+        let after = rot.generations().unwrap();
+        assert_eq!(after.len(), 3);
+        assert!(after[0]["users"].contains("crash2"));
+        assert_eq!(after[1], before[0]);
     }
 }

@@ -78,6 +78,25 @@ impl Database {
         }
     }
 
+    /// Creates an empty database carrying an *explicit* epoch — the
+    /// crash-recovery constructor.
+    ///
+    /// `Database::new` mints a fresh epoch, which is exactly right for a
+    /// rebuild-from-ASCII restore (every cached DCM build must be
+    /// invalidated) and exactly wrong for durable recovery: a snapshot +
+    /// WAL replay reconstructs the *same* history, so consumers holding a
+    /// [`GenCursor`] cut before the crash must find it still valid. The
+    /// process-wide epoch counter is advanced past the recovered value so
+    /// databases created later can never collide with it.
+    pub fn recovered(clock: VClock, epoch: u64) -> Self {
+        NEXT_EPOCH.fetch_max(epoch.saturating_add(1), Ordering::Relaxed);
+        Database {
+            tables: BTreeMap::new(),
+            clock,
+            epoch,
+        }
+    }
+
     /// This database's epoch. Distinct per `Database::new`; preserved by
     /// `Clone` (a clone carries the same content and history).
     pub fn epoch(&self) -> u64 {
@@ -289,6 +308,43 @@ mod tests {
         let b = db();
         assert_ne!(a.epoch(), b.epoch());
         assert_eq!(a.clone().epoch(), a.epoch());
+    }
+
+    #[test]
+    fn recovered_epoch_is_explicit_and_reserved() {
+        let original = db();
+        let epoch = original.epoch();
+        let back = Database::recovered(VClock::new(), epoch);
+        assert_eq!(back.epoch(), epoch);
+        // Later fresh databases never reuse a recovered epoch.
+        assert!(db().epoch() > epoch);
+        let far = Database::recovered(VClock::new(), epoch + 500);
+        assert!(db().epoch() > far.epoch());
+    }
+
+    #[test]
+    fn cursor_survives_recovered_database_with_same_epoch() {
+        let mut d = db();
+        d.append("machine", vec!["A".into(), "VAX".into()]).unwrap();
+        let cur = d.cursor(&["machine"]);
+
+        // Recovery path: same epoch, table state imported, then one more
+        // mutation replayed on top.
+        let mut back = Database::recovered(VClock::new(), d.epoch());
+        back.create_table(d.table("machine").schema().clone());
+        back.table_mut("machine")
+            .import_image(&d.table("machine").export_image())
+            .unwrap();
+        assert!(cur.valid_for(&back));
+        assert!(cur.unchanged_in(&back));
+
+        back.append("machine", vec!["B".into(), "VAX".into()])
+            .unwrap();
+        assert!(cur.valid_for(&back));
+        assert_eq!(cur.advanced_tables(&back), vec!["machine"]);
+
+        // Contrast: a restore into a *fresh* database invalidates it.
+        assert!(!cur.valid_for(&db()));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   rotation (§5.2.2).
 //! - [`journal`] — the append-only journal of successful changes that closes
 //!   the "no more than a day's transactions" recovery gap (§5.2.2).
+//! - [`wal`] / [`snapshot`] / [`storage`] — the durable engine: CRC-framed
+//!   write-ahead log with group commit, atomic snapshot documents, and
+//!   crash recovery that preserves the epoch and per-row generations the
+//!   delta-DCM cursors depend on.
 
 pub mod backup;
 pub mod database;
@@ -28,11 +32,18 @@ pub mod journal;
 pub mod lock;
 pub mod query;
 pub mod schema;
+pub mod snapshot;
+pub mod storage;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use database::{Database, GenCursor};
 pub use query::Pred;
 pub use schema::{ColumnDef, TableSchema};
+pub use storage::{
+    DiskMedia, DurableEngine, GroupCommitConfig, Media, NullStorage, OpKind, RecoveredImage,
+    SimMedia, Storage,
+};
 pub use table::{RowChange, RowId, Table};
 pub use value::{ColType, Value};

@@ -226,18 +226,10 @@ impl Manifest {
     }
 }
 
-/// CRC-32 (IEEE 802.3) over a byte slice.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc: u32 = 0xffff_ffff;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-        }
-    }
-    !crc
-}
+/// CRC-32 (IEEE 802.3) over a byte slice — the shared implementation in
+/// `moira_common`, re-exported here because the update protocol's manifest
+/// checksums predate the common module.
+pub use moira_common::crc::crc32;
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,12 @@
 //! `MoiraError`/`UpdateError` returns. (`unwrap_or` / `unwrap_or_else`
 //! and `unreachable!` on genuinely impossible arms are fine; matching is
 //! token-exact, not substring.)
+//!
+//! The durable-storage modules are held to the same bar for a stronger
+//! reason: WAL scan and snapshot decode run on whatever bytes a crash
+//! left behind, so a panic there doesn't just kill the daemon — it makes
+//! the database unbootable until someone hand-edits the log. Recovery
+//! code must treat arbitrary bytes as a valid (if empty) history.
 
 use crate::scan;
 use crate::{Diagnostic, Workspace};
@@ -17,6 +23,10 @@ const FILES: &[&str] = &[
     "crates/core/src/server.rs",
     "crates/client/src/conn.rs",
     "crates/dcm/src/update.rs",
+    "crates/core/src/recovery.rs",
+    "crates/db/src/storage.rs",
+    "crates/db/src/wal.rs",
+    "crates/db/src/snapshot.rs",
 ];
 
 pub fn run(ws: &Workspace) -> Vec<Diagnostic> {

@@ -11,11 +11,13 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use moira_common::clock::VClock;
+use moira_core::recovery::{boot_durable, BootReport};
 use moira_core::registry::Registry;
 use moira_core::seed::seed_capacls;
 use moira_core::state::{MoiraState, SharedState};
 use moira_core::userreg::RegistrationServer;
 use moira_db::backup::NightlyRotation;
+use moira_db::storage::{DurableEngine, GroupCommitConfig, SimMedia, Storage};
 use moira_dcm::dcm::{install_dir, Dcm, DcmReport};
 use moira_dcm::host::SimHost;
 use moira_krb::realm::Kdc;
@@ -62,6 +64,10 @@ pub struct Deployment {
     pub backups: NightlyRotation,
     /// Unix time of the most recent nightly backup.
     pub last_backup: i64,
+    /// The server's durable storage media once
+    /// [`Deployment::enable_durable_storage`] has run; `None` keeps the
+    /// historical in-memory `NullStorage` server.
+    pub durable_media: Option<SimMedia>,
 }
 
 fn files_under(files: &BTreeMap<String, Vec<u8>>, dir: &str) -> Vec<(String, String)> {
@@ -256,7 +262,60 @@ impl Deployment {
             population,
             backups: NightlyRotation::new(),
             last_backup: 0,
+            durable_media: None,
         }
+    }
+
+    /// Puts the server on simulated durable storage: an initial snapshot
+    /// seals the current (seeded + populated) database, and every
+    /// subsequent committed mutation flows through the WAL. Returns a
+    /// handle on the media for crash-point arming.
+    pub fn enable_durable_storage(&mut self, config: GroupCommitConfig) -> SimMedia {
+        let media = SimMedia::new();
+        let mut st = self.state.write();
+        let (mut engine, _) = DurableEngine::open(Box::new(media.clone()), config)
+            .expect("fresh sim media opens cleanly");
+        engine.set_obs(&st.obs);
+        engine
+            .snapshot(&st.db, &st.journal)
+            .expect("sealing the initial snapshot on fresh media");
+        st.storage = Box::new(engine);
+        self.durable_media = Some(media.clone());
+        media
+    }
+
+    /// Kills the Moira server ungracefully: simulated power loss discards
+    /// everything the durable media had not fsynced. The in-memory state
+    /// is conceptually gone; call [`Deployment::recover_server`] to boot
+    /// the replacement.
+    pub fn crash_server(&self) {
+        self.durable_media
+            .as_ref()
+            .expect("enable_durable_storage first")
+            .power_cycle();
+    }
+
+    /// Boots a recovered server from the durable media and swaps it into
+    /// the shared state in place, so every component holding the
+    /// `SharedState` Arc — the DCM with its prepared-build caches, the
+    /// registration server, open client handles — now sees the recovered
+    /// world. The epoch survives recovery, so DCM generation cursors cut
+    /// before the crash remain valid and the next cycle ships patches.
+    pub fn recover_server(&mut self, config: GroupCommitConfig) -> BootReport {
+        let media = self
+            .durable_media
+            .clone()
+            .expect("enable_durable_storage first");
+        // Recovery replays entries at their original commit times; the
+        // simulation clock must not stay rewound afterwards.
+        let now = self.clock.now();
+        let (recovered, report) =
+            boot_durable(self.clock.clone(), &self.registry, Box::new(media), config)
+                .expect("recovery from sim media");
+        self.clock.set(now);
+        recovered.obs.set_virtual_clock(self.clock.clone());
+        *self.state.write() = recovered;
+        report
     }
 
     /// Runs the nightly backup: dumps every relation to ASCII and rotates

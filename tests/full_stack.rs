@@ -393,6 +393,96 @@ fn server_statistics_over_tcp_report_real_latencies() {
     client.disconnect().unwrap();
 }
 
+/// A server booted from durable media — including one rebooted after a
+/// crash — surfaces its WAL telemetry through the same
+/// `get_server_statistics` query clients already use.
+#[test]
+fn wal_statistics_surface_over_tcp_after_durable_boot() {
+    use moira::db::storage::{GroupCommitConfig, SimMedia};
+
+    let cfg = GroupCommitConfig {
+        flush_interval_secs: 0,
+        flush_bytes: 1, // fsync-per-commit: every ack is durable
+        snapshot_every: 0,
+    };
+    let media = SimMedia::new();
+    let registry = std::sync::Arc::new(moira::core::Registry::standard());
+
+    // First life: durable boot, committed TCP traffic, then kill -9.
+    {
+        let (mut st, report) = moira::core::recovery::boot_durable(
+            moira::common::VClock::new(),
+            &registry,
+            Box::new(media.clone()),
+            cfg,
+        )
+        .expect("first durable boot");
+        assert!(!report.recovered);
+        moira::core::seed::seed_capacls(&mut st, &registry);
+        let uid = moira::core::queries::testutil::add_test_user(&mut st, "ops", 1);
+        st.db
+            .append("members", vec![2.into(), "USER".into(), uid.into()])
+            .unwrap();
+        // The seeding above went straight to the database; seal it into the
+        // snapshot so only client traffic rides the WAL.
+        st.storage.snapshot(&st.db, &st.journal).expect("seal seed");
+
+        let mut server =
+            moira::core::MoiraServer::new(moira::core::state::shared(st), registry.clone(), None);
+        let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+        let _thread = ServerThread::spawn(server);
+        let mut client =
+            moira::client::RpcClient::connect_tcp(&addr.to_string()).expect("tcp connect");
+        client.auth("ops", "wal-itest").unwrap();
+        client
+            .query("add_machine", &["DURABLE-TCP.MIT.EDU", "VAX"], &mut |_| {})
+            .unwrap();
+        client.disconnect().unwrap();
+    }
+    media.power_cycle();
+
+    // Second life: recover from the WAL, serve stats over TCP.
+    let (st, report) = moira::core::recovery::boot_durable(
+        moira::common::VClock::new(),
+        &registry,
+        Box::new(media),
+        cfg,
+    )
+    .expect("recovery boot");
+    assert!(report.recovered);
+    assert!(report.replayed > 0, "the TCP write came back: {report:?}");
+    let mut server = moira::core::MoiraServer::new(moira::core::state::shared(st), registry, None);
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    let _thread = ServerThread::spawn(server);
+    let mut client =
+        moira::client::RpcClient::connect_tcp(&addr.to_string()).expect("tcp reconnect");
+    client.auth("ops", "wal-itest-2").unwrap();
+    let rows = client
+        .query_collect("get_machine", &["DURABLE-TCP.MIT.EDU"])
+        .unwrap();
+    assert_eq!(rows[0][1], "VAX", "pre-crash commit survived");
+    client
+        .query("add_machine", &["AFTERBOOT.MIT.EDU", "VAX"], &mut |_| {})
+        .unwrap();
+
+    let rows = client.query_collect("get_server_statistics", &[]).unwrap();
+    let stat = |name: &str| -> u64 {
+        rows.iter()
+            .find(|row| row[0] == name)
+            .unwrap_or_else(|| panic!("statistic {name} missing"))[1]
+            .parse()
+            .unwrap_or_else(|_| panic!("statistic {name} not numeric"))
+    };
+    assert!(stat("db.wal.appends") > 0, "post-boot commits hit the WAL");
+    assert!(stat("db.wal.fsyncs") > 0, "fsync-per-commit policy fsynced");
+    assert!(
+        stat("db.wal.recovered_frames") > 0,
+        "recovery telemetry survives into the serving registry"
+    );
+    assert_eq!(stat("db.wal.torn_tail_truncations"), 0, "clean tail");
+    client.disconnect().unwrap();
+}
+
 #[test]
 fn kerberos_end_to_end_through_rpc() {
     use moira::krb::realm::Kdc;
