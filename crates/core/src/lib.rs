@@ -20,6 +20,8 @@
 //! - [`registry`] — the query-handle catalog: every predefined query of §7,
 //!   with argument signatures, validation, and access rules.
 //! - [`queries`] — the handlers themselves, one module per §7 sub-section.
+//! - [`reactor`] — readiness event collection over the `polling` shim
+//!   (epoll/kqueue/poll(2)): the connection tier's single blocking point.
 //! - [`server`] — the single-process, non-blocking connection loop
 //!   dispatching Noop / Auth / Query / Access / Trigger_DCM (§5.3–§5.4).
 //! - [`userreg`] — the registration server of §5.10 (verify_user,
@@ -32,6 +34,7 @@ pub mod access;
 pub mod ace;
 pub mod ids;
 pub mod queries;
+pub mod reactor;
 pub mod recovery;
 pub mod registry;
 pub mod schema;
@@ -40,6 +43,7 @@ pub mod server;
 pub mod state;
 pub mod userreg;
 
+pub use reactor::Waker;
 pub use recovery::{boot_durable, BootReport};
 pub use registry::{QueryHandle, QueryKind, Registry};
 pub use server::MoiraServer;

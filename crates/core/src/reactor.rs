@@ -1,0 +1,160 @@
+//! Readiness event collection for the server loop.
+//!
+//! The reactor is the thin layer between the OS selector (`polling`'s
+//! epoll/kqueue/poll(2) shim) and [`crate::server::MoiraServer`]'s
+//! classify-and-dispatch pass. It owns the `Poller`, tracks nothing about
+//! connections beyond their registered keys, and hands the server a
+//! [`ReadySet`] per wait: which keys are readable, which are writable,
+//! and whether the listener has pending accepts.
+//!
+//! Two properties matter to the rest of the server:
+//!
+//! - **Level-triggered.** A key stays ready until its condition is
+//!   drained, so a pass that leaves bytes behind (frame still partial,
+//!   outbox still full) is re-woken on the next wait without bookkeeping.
+//! - **Degradation, not failure.** If the OS selector cannot be opened
+//!   (non-Unix builds) or an fd cannot be registered, the reactor reports
+//!   it and the server falls back to scanning those connections each
+//!   pass with a clamped wait — slower, never wrong.
+//!
+//! The reactor wait is the loop's only blocking point, and it blocks with
+//! a timeout while holding **no** locks; `moira-lint`'s
+//! reactor-discipline pass enforces that no `SharedState` guard is live
+//! across it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use polling::{Event, Events, Poller};
+
+/// Registration key reserved for the TCP listener. Connection keys are
+/// allocated monotonically from zero and can never collide with it.
+pub(crate) const LISTENER_KEY: usize = usize::MAX - 1;
+
+/// What one reactor wait observed.
+#[derive(Debug, Default)]
+pub(crate) struct ReadySet {
+    /// The listener has connections to accept.
+    pub listener: bool,
+    /// Registration keys with bytes (or EOF/errors) to read.
+    pub readable: Vec<usize>,
+    /// Registration keys whose sockets can take queued output.
+    pub writable: Vec<usize>,
+}
+
+/// Wakes a [`Reactor`] blocked in its wait, from any thread.
+///
+/// Cloneable and cheap; used by the in-process `ServerThread` driver to
+/// signal attach/stop without the loop having to poll a command queue on
+/// a timer.
+#[derive(Clone)]
+pub struct Waker {
+    poller: Option<Arc<Poller>>,
+}
+
+impl Waker {
+    /// Interrupts the current (or next) reactor wait. A no-op without an
+    /// OS selector — there the loop already ticks on a clamped timeout.
+    pub fn wake(&self) {
+        if let Some(p) = &self.poller {
+            let _ = p.notify();
+        }
+    }
+}
+
+/// The server loop's event source.
+pub(crate) struct Reactor {
+    poller: Option<Arc<Poller>>,
+    events: Events,
+}
+
+impl Reactor {
+    /// Opens the OS selector; degrades to selector-less (scan) mode if
+    /// the platform has none.
+    pub fn new() -> Reactor {
+        Reactor {
+            poller: Poller::new().ok().map(Arc::new),
+            events: Events::new(),
+        }
+    }
+
+    /// True when an OS selector is available and registrations can work.
+    pub fn has_poller(&self) -> bool {
+        self.poller.is_some()
+    }
+
+    /// A handle that can interrupt this reactor's wait from other threads.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            poller: self.poller.clone(),
+        }
+    }
+
+    /// Registers `fd` under `key`. Returns false when the fd could not be
+    /// registered — the caller must then scan that source itself.
+    pub fn register(&self, fd: polling::RawFd, key: usize, read: bool, write: bool) -> bool {
+        match &self.poller {
+            Some(p) => p
+                .add(
+                    fd,
+                    Event {
+                        key,
+                        readable: read,
+                        writable: write,
+                    },
+                )
+                .is_ok(),
+            None => false,
+        }
+    }
+
+    /// Replaces the interest of a registered fd (backpressure pause and
+    /// resume, write-interest toggling).
+    pub fn update(&self, fd: polling::RawFd, key: usize, read: bool, write: bool) {
+        if let Some(p) = &self.poller {
+            let _ = p.modify(
+                fd,
+                Event {
+                    key,
+                    readable: read,
+                    writable: write,
+                },
+            );
+        }
+    }
+
+    /// Removes a registered fd (connection teardown).
+    pub fn deregister(&self, fd: polling::RawFd) {
+        if let Some(p) = &self.poller {
+            let _ = p.delete(fd);
+        }
+    }
+
+    /// Blocks until something is ready, the timeout lapses, or a [`Waker`]
+    /// fires; returns the observed readiness. Without an OS selector this
+    /// returns an empty set immediately and the caller scans instead
+    /// (sleeping for pacing is the caller's choice, made *after* it knows
+    /// whether the scan produced work).
+    pub fn wait(&mut self, timeout: Option<Duration>) -> ReadySet {
+        let mut ready = ReadySet::default();
+        let Some(poller) = &self.poller else {
+            return ready;
+        };
+        if poller.wait(&mut self.events, timeout).is_err() {
+            return ready;
+        }
+        for ev in self.events.iter() {
+            if ev.key == LISTENER_KEY {
+                ready.listener = true;
+                continue;
+            }
+            if ev.readable {
+                ready.readable.push(ev.key);
+            }
+            if ev.writable {
+                ready.writable.push(ev.key);
+            }
+        }
+        ready
+    }
+}

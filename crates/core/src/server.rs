@@ -28,10 +28,11 @@
 //! rather heavyweight operation, the Moira server will do this only once,
 //! at the start up time of the daemon" (benchmarked as experiment E5).
 
+use std::collections::HashMap;
 use std::io;
 use std::net::TcpListener;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use moira_common::errors::MrError;
 use moira_krb::ticket::{Authenticator, Ticket, Verifier};
@@ -40,6 +41,7 @@ use moira_protocol::wire::{check_version, MajorRequest, Reply, Request};
 use parking_lot::RwLock;
 
 use crate::access;
+use crate::reactor::{Reactor, Waker, LISTENER_KEY};
 use crate::registry::Registry;
 use crate::state::{shared, Caller, ClientInfo, MoiraState, SharedState};
 
@@ -51,10 +53,38 @@ pub const MOIRA_PORT: u16 = 775;
 /// gives up on its guard and sheds the batch with `MR_BUSY`.
 const DEFAULT_LOCK_PATIENCE: u32 = 512;
 
+/// Wait clamp when some source cannot deliver readiness events — an
+/// unregistered fd, a selector-less platform, or a paused connection whose
+/// resume condition (the peer draining an in-process queue) produces no
+/// event. The loop ticks at this cadence instead of blocking the full
+/// timeout, so degraded sources are still served within a millisecond.
+const SCAN_TICK: Duration = Duration::from_millis(1);
+
+/// Fallback wait bound for [`MoiraServer::run`]: how stale the `stop` flag
+/// check may go when no [`Waker`] fires. Wakers make shutdown immediate;
+/// this only caps the worst case.
+const RUN_TICK: Duration = Duration::from_millis(25);
+
 struct Connection {
     chan: Box<dyn Channel>,
     caller: Caller,
     client_number: u64,
+    /// Stable reactor registration key (connection indexes shift on
+    /// removal; keys never do).
+    key: usize,
+    /// The channel's readiness fd, if it has one.
+    fd: Option<polling::RawFd>,
+    /// True once `fd` is registered with the reactor; unregistered
+    /// connections are scanned every pass instead.
+    registered: bool,
+    /// Read interest as the reactor currently knows it.
+    reg_read: bool,
+    /// Write interest as the reactor currently knows it.
+    reg_write: bool,
+    /// Backpressure engaged: the outbox passed its cap, read interest is
+    /// withdrawn until the peer drains below the low-water mark (cap/2).
+    /// A paused peer is never disconnected — it just stops being read.
+    paused: bool,
 }
 
 /// One timed request dispatch, for the throughput experiments.
@@ -135,6 +165,28 @@ pub struct MoiraServer {
     obs_read_latency: moira_obs::Histo,
     /// Exclusive-tier handler service times.
     obs_write_latency: moira_obs::Histo,
+    /// Readiness event source for the connection tier.
+    reactor: Reactor,
+    /// Registration key → current index in `connections`.
+    key_map: HashMap<usize, usize>,
+    /// Next connection registration key.
+    next_key: usize,
+    /// True once the TCP listener's fd is registered with the reactor.
+    listener_registered: bool,
+    /// Per-connection outbox cap override applied at attach time.
+    write_cap: Option<usize>,
+    /// Live connections right now.
+    obs_conn_open: moira_obs::Gauge,
+    /// Connections accepted over the server's lifetime.
+    obs_conn_accepted: moira_obs::Counter,
+    /// Connections torn down over the server's lifetime.
+    obs_conn_closed: moira_obs::Counter,
+    /// Pause transitions: times a connection's outbox crossed its cap and
+    /// read interest was withdrawn.
+    obs_backpressure: moira_obs::Counter,
+    /// Readiness-to-dispatch wait: time from the reactor wait returning to
+    /// a request beginning execution on its tier.
+    obs_ready_latency: moira_obs::Histo,
 }
 
 impl MoiraServer {
@@ -159,7 +211,17 @@ impl MoiraServer {
             obs_sheds: obs.counter("server.shed_requests"),
             obs_read_latency: obs.histogram("server.latency.read"),
             obs_write_latency: obs.histogram("server.latency.write"),
+            obs_conn_open: obs.gauge("server.connections.open"),
+            obs_conn_accepted: obs.counter("server.connections.accepted"),
+            obs_conn_closed: obs.counter("server.connections.closed"),
+            obs_backpressure: obs.counter("server.backpressure.engaged"),
+            obs_ready_latency: obs.histogram("server.latency.readiness_to_dispatch"),
             obs,
+            reactor: Reactor::new(),
+            key_map: HashMap::new(),
+            next_key: 0,
+            listener_registered: false,
+            write_cap: None,
             state,
             registry,
             verifier,
@@ -245,8 +307,9 @@ impl MoiraServer {
         }
     }
 
-    /// Attaches an already-connected channel (the in-process transport).
-    pub fn attach(&mut self, chan: Box<dyn Channel>, host: &str, port: u16) {
+    /// Attaches an already-connected channel (the in-process transport),
+    /// registering its readiness fd with the reactor when it has one.
+    pub fn attach(&mut self, mut chan: Box<dyn Channel>, host: &str, port: u16) {
         let mut state = self.state.write();
         let client_number = state.next_client_number();
         let connect_time = state.now();
@@ -258,11 +321,27 @@ impl MoiraServer {
             client_number,
         });
         drop(state);
+        if let Some(cap) = self.write_cap {
+            chan.set_write_cap(cap);
+        }
+        let key = self.next_key;
+        self.next_key += 1;
+        let fd = chan.raw_fd();
+        let registered = fd.is_some_and(|fd| self.reactor.register(fd, key, true, false));
+        self.key_map.insert(key, self.connections.len());
         self.connections.push(Connection {
             chan,
             caller: Caller::anonymous("unknown"),
             client_number,
+            key,
+            fd,
+            registered,
+            reg_read: true,
+            reg_write: false,
+            paused: false,
         });
+        self.obs_conn_accepted.inc();
+        self.obs_conn_open.set(self.connections.len() as i64);
     }
 
     /// Starts listening on a TCP address (pass port 0 for an ephemeral
@@ -271,13 +350,47 @@ impl MoiraServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let bound = listener.local_addr()?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            self.listener_registered =
+                self.reactor
+                    .register(listener.as_raw_fd(), LISTENER_KEY, true, false);
+        }
         self.listener = Some(listener);
         Ok(bound)
+    }
+
+    /// Overrides every connection's outbox cap — existing and future. The
+    /// backpressure tests and benches use tiny caps to make the pause
+    /// observable; production keeps the transport default.
+    pub fn set_write_cap(&mut self, cap: usize) {
+        self.write_cap = Some(cap);
+        for conn in &mut self.connections {
+            conn.chan.set_write_cap(cap);
+        }
+    }
+
+    /// A handle that interrupts a blocked [`MoiraServer::run`] /
+    /// [`MoiraServer::poll_with_timeout`] wait from another thread.
+    pub fn waker(&self) -> Waker {
+        self.reactor.waker()
     }
 
     /// Number of live connections.
     pub fn connection_count(&self) -> usize {
         self.connections.len()
+    }
+
+    /// Outbox depth (bytes queued toward the peer, not yet taken by the
+    /// OS or consumed by the peer) per live connection. The benches and
+    /// adversarial tests assert bounded growth under never-draining
+    /// readers with this.
+    pub fn connection_queued_bytes(&self) -> Vec<usize> {
+        self.connections
+            .iter()
+            .map(|c| c.chan.queued_bytes())
+            .collect()
     }
 
     fn accept_pending(&mut self) {
@@ -397,19 +510,90 @@ impl MoiraServer {
         None
     }
 
-    /// One pass of the non-blocking loop: accept connections, drain every
-    /// ready request, dispatch the read tier concurrently and the write tier
-    /// serially, then send replies in per-connection FIFO order. Returns how
-    /// many requests were received.
+    /// One non-blocking pass of the loop (a reactor wait with zero
+    /// timeout). Returns how many requests were received.
     pub fn poll_once(&mut self) -> usize {
-        self.accept_pending();
+        self.poll_with_timeout(Some(Duration::ZERO))
+    }
+
+    /// One pass of the loop, blocking in the reactor wait for up to
+    /// `timeout` (`None` = until an event or a [`Waker`]): collect
+    /// readiness events, flush writable outboxes, accept connections,
+    /// drain and classify ready frames, dispatch the read tier
+    /// concurrently and the write tier serially, send replies in
+    /// per-connection FIFO order, then re-sync reactor interest
+    /// (write interest while output is queued, read interest withdrawn
+    /// under backpressure). Returns how many requests were received.
+    pub fn poll_with_timeout(&mut self, timeout: Option<Duration>) -> usize {
+        // Sources outside the reactor force a clamped wait: connections
+        // without (registered) fds must be scanned, a selector-less
+        // platform scans everything, and a paused connection whose peer
+        // drains silently (in-proc queues) needs a periodic resume check.
+        let scan_mode = !self.reactor.has_poller()
+            || (self.listener.is_some() && !self.listener_registered)
+            || self.connections.iter().any(|c| !c.registered);
+        let needs_tick = self.connections.iter().any(|c| c.paused && !c.reg_write);
+        let wait_timeout = if !self.reactor.has_poller() {
+            Some(Duration::ZERO)
+        } else if scan_mode || needs_tick {
+            Some(timeout.unwrap_or(SCAN_TICK).min(SCAN_TICK))
+        } else {
+            timeout
+        };
+        // The loop's single blocking point. No state guard is held here —
+        // moira-lint's reactor-discipline pass enforces that.
+        let ready = self.reactor.wait(wait_timeout);
+        let ready_at = Instant::now();
         let tiered = self.read_workers > 0;
 
+        let mut dead: Vec<usize> = Vec::new();
+        // Connections whose interest must be re-synced after this pass.
+        let mut touched: Vec<usize> = Vec::new();
+
+        // Retire queued output first: flushing frees the peer to make
+        // progress and can lift backpressure before new frames are read.
+        for key in &ready.writable {
+            if let Some(&idx) = self.key_map.get(key) {
+                touched.push(idx);
+                if self.connections[idx].chan.flush().is_err() {
+                    dead.push(idx);
+                }
+            }
+        }
+
+        // Accept on listener readiness (every pass in scan mode — the
+        // non-blocking accept simply reports WouldBlock when idle).
+        let known = self.connections.len();
+        if ready.listener || scan_mode {
+            self.accept_pending();
+        }
+
+        // The readable set: ready keys plus fresh accepts (whose first
+        // frames may have arrived before registration), or every
+        // connection when scanning. Paused connections are excluded — not
+        // reading them *is* the backpressure.
+        let mut read_idxs: Vec<usize> = if scan_mode {
+            (0..self.connections.len()).collect()
+        } else {
+            let mut v: Vec<usize> = ready
+                .readable
+                .iter()
+                .filter_map(|k| self.key_map.get(k).copied())
+                .collect();
+            v.extend(known..self.connections.len());
+            v
+        };
+        read_idxs.sort_unstable();
+        read_idxs.dedup();
+
         // Drain every ready frame, preserving per-connection order.
-        let mut dead = Vec::new();
         let mut tasks: Vec<TaskSlot> = Vec::new();
         let mut received = 0usize;
-        for conn in 0..self.connections.len() {
+        for conn in read_idxs {
+            if self.connections[conn].paused {
+                continue;
+            }
+            touched.push(conn);
             // A connection's frames join the read tier only up to its first
             // serial request; everything after stays in arrival order on the
             // write tier so later reads observe earlier writes.
@@ -464,6 +648,13 @@ impl MoiraServer {
             // Service times are clocked when either consumer wants them:
             // the legacy trace or the obs latency histograms.
             let trace_on = self.service_trace.is_some() || self.obs.enabled();
+            // Readiness→dispatch wait for this tier's batch: how long
+            // after the OS said "ready" the work actually starts.
+            let wait_ns = if trace_on {
+                ready_at.elapsed().as_nanos() as u64
+            } else {
+                0
+            };
             let workers = self.read_workers.max(1).min(read_ids.len());
             let mut outcomes: Vec<ReadOutcome> = Vec::with_capacity(read_ids.len());
             if workers <= 1 {
@@ -557,6 +748,7 @@ impl MoiraServer {
                         self.reads_dispatched += 1;
                         self.obs_reads.inc();
                         self.obs_read_latency.record(nanos);
+                        self.obs_ready_latency.record(wait_ns);
                         if let Some(trace) = self.service_trace.as_mut() {
                             trace.push(ServiceSample {
                                 read_tier: true,
@@ -587,6 +779,12 @@ impl MoiraServer {
                 Some(mut guard) => {
                     self.writes_dispatched += write_ids.len() as u64;
                     self.obs_writes.add(write_ids.len() as u64);
+                    let trace_on = self.service_trace.is_some() || self.obs.enabled();
+                    let wait_ns = if trace_on {
+                        ready_at.elapsed().as_nanos() as u64
+                    } else {
+                        0
+                    };
                     for id in write_ids {
                         let TaskSlot { conn, work, .. } = &tasks[id];
                         let Work::Write(request) = work else {
@@ -598,8 +796,7 @@ impl MoiraServer {
                         // has already installed the new principal by the
                         // time a request pipelined behind it executes.
                         let caller = self.connections[*conn].caller.clone();
-                        let t0 =
-                            (self.service_trace.is_some() || self.obs.enabled()).then(Instant::now);
+                        let t0 = trace_on.then(Instant::now);
                         let replies = match request.major {
                             MajorRequest::Auth => {
                                 vec![self.handle_auth(*conn, request, &mut guard)]
@@ -623,6 +820,7 @@ impl MoiraServer {
                         if let Some(t0) = t0 {
                             let nanos = t0.elapsed().as_nanos() as u64;
                             self.obs_write_latency.record(nanos);
+                            self.obs_ready_latency.record(wait_ns);
                             if let Some(trace) = self.service_trace.as_mut() {
                                 trace.push(ServiceSample {
                                     read_tier: false,
@@ -655,7 +853,9 @@ impl MoiraServer {
         }
 
         // Send replies in per-connection FIFO order (tasks are already in
-        // drain order, which is per-connection FIFO).
+        // drain order, which is per-connection FIFO). `send` queues into
+        // the connection's outbox and flushes opportunistically — a slow
+        // peer cannot stall this loop.
         for task in &tasks {
             let Work::Done(replies) = &task.work else {
                 unreachable!("all work resolved by the tiers")
@@ -669,27 +869,124 @@ impl MoiraServer {
             }
         }
 
+        // Re-sync reactor interest for every connection this pass touched:
+        // write interest while the OS would not take the whole outbox, and
+        // the backpressure pause/resume transitions. Paused connections
+        // always get a resume check — their peers may have drained without
+        // producing any event (in-process queues, or replies retired by an
+        // earlier pass's flush).
+        for (idx, c) in self.connections.iter().enumerate() {
+            if c.paused {
+                touched.push(idx);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for idx in touched {
+            self.resync_interest(idx, &mut dead);
+        }
+
         dead.sort_unstable();
         dead.dedup();
         for &i in dead.iter().rev() {
             let conn = self.connections.remove(i);
+            if conn.registered {
+                if let Some(fd) = conn.fd {
+                    self.reactor.deregister(fd);
+                }
+            }
+            self.obs_conn_closed.inc();
             let mut state = self.state.write();
             state
                 .clients
                 .retain(|c| c.client_number != conn.client_number);
         }
+        if !dead.is_empty() {
+            self.key_map = self
+                .connections
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.key, i))
+                .collect();
+            self.obs_conn_open.set(self.connections.len() as i64);
+        }
+
+        // Selector-less pacing: with no OS wait to block in, an empty scan
+        // honors the caller's timeout with a bounded sleep instead of
+        // spinning.
+        if !self.reactor.has_poller() && received == 0 {
+            if let Some(t) = timeout {
+                if !t.is_zero() {
+                    // No OS wait exists on this degraded path; a bounded
+                    // pace beats spinning. lint:allow(reactor-discipline)
+                    std::thread::sleep(t.min(SCAN_TICK));
+                }
+            }
+        }
         received
     }
 
-    /// Polls until `idle_rounds` consecutive passes process nothing.
+    /// Applies one connection's post-pass interest transitions: engage or
+    /// lift backpressure against the outbox cap, keep write interest while
+    /// flushing is incomplete, and tell the reactor only when something
+    /// changed.
+    fn resync_interest(&mut self, idx: usize, dead: &mut Vec<usize>) {
+        let conn = &mut self.connections[idx];
+        // Opportunistic flush so interest reflects the post-pass outbox.
+        let flushed_clean = match conn.chan.flush() {
+            Ok(done) => done,
+            Err(_) => {
+                dead.push(idx);
+                return;
+            }
+        };
+        let queued = conn.chan.queued_bytes();
+        let cap = conn.chan.write_cap();
+        if !conn.paused && queued > cap {
+            // Over the high-water mark: stop reading this peer. Its
+            // requests wait in its socket (and eventually its own send
+            // window) — the kernel's flow control propagates the stall to
+            // the client, and our memory stays bounded by the cap plus
+            // one in-flight batch.
+            conn.paused = true;
+            self.obs_backpressure.inc();
+        } else if conn.paused && queued <= cap / 2 {
+            // Drained below the low-water mark: resume reading.
+            conn.paused = false;
+        }
+        let want_read = !conn.paused;
+        let want_write = !flushed_clean;
+        if conn.registered && (want_read != conn.reg_read || want_write != conn.reg_write) {
+            if let Some(fd) = conn.fd {
+                self.reactor.update(fd, conn.key, want_read, want_write);
+            }
+            conn.reg_read = want_read;
+            conn.reg_write = want_write;
+        }
+    }
+
+    /// Polls until `idle_rounds` consecutive passes process nothing. Idle
+    /// passes block in the reactor wait (clamped to [`SCAN_TICK`]) rather
+    /// than spinning.
     pub fn run_until_idle(&mut self, idle_rounds: usize) {
         let mut idle = 0;
         while idle < idle_rounds {
-            if self.poll_once() == 0 {
+            if self.poll_with_timeout(Some(SCAN_TICK)) == 0 {
                 idle += 1;
             } else {
                 idle = 0;
             }
+        }
+    }
+
+    /// Runs the loop until `stop` is set. When a pass finds nothing to do
+    /// the loop blocks in the reactor wait — zero CPU while idle — bounded
+    /// by [`RUN_TICK`] so `stop` is honored even without a [`Waker`]
+    /// firing; use [`MoiraServer::waker`] to interrupt the wait
+    /// immediately (new work handed to another thread, shutdown).
+    pub fn run(&mut self, stop: &std::sync::atomic::AtomicBool) {
+        while !stop.load(std::sync::atomic::Ordering::Acquire) {
+            self.poll_with_timeout(Some(RUN_TICK));
         }
     }
 
@@ -1338,6 +1635,89 @@ mod tests {
             Request::new(MajorRequest::Query, &["get_machine", "SHIM"]),
         );
         assert_eq!(server.take_service_trace().len(), 1);
+    }
+
+    #[test]
+    fn backpressure_pauses_and_resumes_without_disconnecting() {
+        let (mut server, mut client) = setup();
+        send_request(
+            &mut client,
+            &mut server,
+            Request::new(MajorRequest::Auth, &["ops", "test"]),
+        );
+        server.set_write_cap(64);
+        let query = Request::new(MajorRequest::Query, &["get_user_by_login", "ops"]);
+
+        // Wave 1: the replies overrun the tiny cap while the client never
+        // drains — backpressure must engage, not disconnect.
+        for _ in 0..5 {
+            client.send(query.encode()).unwrap();
+        }
+        server.run_until_idle(2);
+        let q1 = server.connection_queued_bytes()[0];
+        assert!(q1 > 64, "replies exceed the cap ({q1} bytes queued)");
+        let snap = server.obs().snapshot();
+        assert!(
+            snap.counter("server.backpressure.engaged") >= 1,
+            "pause transition counted"
+        );
+        assert_eq!(
+            server.connection_count(),
+            1,
+            "slow consumer stays connected"
+        );
+
+        // Wave 2: a paused connection is not read, so its outbox cannot
+        // grow — this is the bounded-memory contract.
+        for _ in 0..20 {
+            client.send(query.encode()).unwrap();
+        }
+        server.run_until_idle(2);
+        assert_eq!(
+            server.connection_queued_bytes()[0],
+            q1,
+            "paused connection's outbox grew"
+        );
+
+        // The client finally drains; the server resumes below the
+        // low-water mark and answers the entire backlog (25 queries × 2
+        // replies each).
+        let mut got = 0usize;
+        for _ in 0..200_000 {
+            server.poll_once();
+            match client.try_recv() {
+                Ok(Some(_)) => got += 1,
+                Ok(None) => std::thread::yield_now(),
+                Err(e) => panic!("client channel died: {e}"),
+            }
+            if got == 50 {
+                break;
+            }
+        }
+        assert_eq!(got, 50, "backlog fully answered after resume");
+        assert_eq!(server.connection_queued_bytes()[0], 0);
+    }
+
+    #[test]
+    fn connection_lifecycle_instruments() {
+        let (mut server, _state, _) = standard_server(moira_common::VClock::new());
+        let snap = |s: &MoiraServer| {
+            let snap = s.obs().snapshot();
+            (
+                snap.counter("server.connections.accepted"),
+                snap.gauge("server.connections.open"),
+                snap.counter("server.connections.closed"),
+            )
+        };
+        let (c1, s1) = pair();
+        server.attach(Box::new(s1), "local", 0);
+        let (_c2, s2) = pair();
+        server.attach(Box::new(s2), "local", 0);
+        assert_eq!(snap(&server), (2, 2, 0));
+        drop(c1);
+        server.run_until_idle(3);
+        assert_eq!(snap(&server), (2, 1, 1));
+        assert_eq!(server.connection_count(), 1);
     }
 
     #[test]

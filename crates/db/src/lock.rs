@@ -190,6 +190,17 @@ impl LockManager {
             .get(resource)
             .is_some_and(|s| s.exclusive.as_deref() == Some(owner) || s.shared.contains(owner))
     }
+
+    /// True when nothing is held and nobody is waiting — the clean state
+    /// the adversarial connection tests assert after slow-loris, stalled,
+    /// or mid-frame-disconnect clients are torn down.
+    pub fn is_idle(&self) -> bool {
+        self.waits.is_empty()
+            && self
+                .locks
+                .values()
+                .all(|s| s.exclusive.is_none() && s.shared.is_empty())
+    }
 }
 
 #[cfg(test)]

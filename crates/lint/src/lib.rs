@@ -2,7 +2,8 @@
 //! paper's architecture depends on — the closed query surface with uniform
 //! access control, the read/write tier split, the `state.db` journaling
 //! contract, lock discipline around the shared state, the DCM delta-path
-//! scan ban, and panic-free daemon request loops.
+//! scan ban, panic-free daemon request loops, and reactor discipline (no
+//! guard held across the reactor wait, no blocking calls on the wait path).
 //!
 //! It replaces the regex grep gates that used to live in CI: each pass
 //! parses the source (via the in-tree `syn` shim) instead of pattern
@@ -82,6 +83,12 @@ pub const PASSES: &[PassInfo] = &[
         description: "no unwrap()/expect()/panic! in the server request loop, client \
                       connection glue, or DCM update leg",
         run: passes::panics::run,
+    },
+    PassInfo {
+        name: passes::reactor::NAME,
+        description: "no SharedState guard held across the reactor wait, and no blocking \
+                      syscalls in functions on the reactor wait path",
+        run: passes::reactor::run,
     },
 ];
 

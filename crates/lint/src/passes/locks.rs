@@ -96,20 +96,21 @@ impl FileFacts {
 }
 
 /// An acquisition site in a body: the index range of the call and its
-/// source line.
-struct Acquisition {
+/// source line. Shared with the reactor-discipline pass, which applies the
+/// same liveness model to reactor waits.
+pub(crate) struct Acquisition {
     /// Index of the `.` (method form) or the callee identifier (helper
     /// form).
-    start: usize,
+    pub(crate) start: usize,
     /// Index of the call's closing `)`.
-    close: usize,
-    line: u32,
-    what: String,
+    pub(crate) close: usize,
+    pub(crate) line: u32,
+    pub(crate) what: String,
 }
 
 /// Direct state-guard acquisitions: `.read()` / `.write()` / `.try_read()`
 /// / `.try_write()` with a state-ish receiver.
-fn direct_acquisitions(body: &[Token]) -> Vec<Acquisition> {
+pub(crate) fn direct_acquisitions(body: &[Token]) -> Vec<Acquisition> {
     let mut out = Vec::new();
     for mc in scan::method_calls(body) {
         if !ACQUIRE.contains(&mc.name) {
@@ -254,7 +255,7 @@ fn check_fn(sf: &SourceFile, f: &ItemFn, facts: &FileFacts, out: &mut Vec<Diagno
 }
 
 /// Where the guard from `acq` stops being live.
-fn guard_scope_end(body: &[Token], acq: &Acquisition) -> usize {
+pub(crate) fn guard_scope_end(body: &[Token], acq: &Acquisition) -> usize {
     // Temporary: the acquisition is immediately chained (`state.read().x`),
     // so the guard drops at the end of the statement.
     if body.get(acq.close + 1).is_some_and(|t| t.is_punct('.')) {

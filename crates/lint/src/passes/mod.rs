@@ -1,8 +1,9 @@
-//! The five lint passes. Each exposes `NAME` (the `lint:allow` key) and
+//! The six lint passes. Each exposes `NAME` (the `lint:allow` key) and
 //! `run(&Workspace) -> Vec<Diagnostic>`.
 
 pub mod delta;
 pub mod locks;
 pub mod panics;
+pub mod reactor;
 pub mod registry_schema;
 pub mod tier;

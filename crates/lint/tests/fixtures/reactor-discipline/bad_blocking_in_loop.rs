@@ -1,0 +1,12 @@
+//@ file: crates/core/src/loop.rs
+// A function that performs the reactor wait is loop code: a sleep or a
+// blocking receive in its body stalls every live connection at once.
+
+fn poll_pass(&mut self) -> usize {
+    let ready = self.reactor.wait(Some(TICK));
+    if ready.is_empty() {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let cmd = self.commands.recv_timeout(TICK);
+    self.dispatch(ready, cmd)
+}

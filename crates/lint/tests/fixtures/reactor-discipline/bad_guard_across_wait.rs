@@ -1,0 +1,16 @@
+//@ file: crates/core/src/loop.rs
+// Holding the state write guard into the reactor wait parks every other
+// thread that needs the state for up to the full wait timeout.
+
+fn poll_pass(&mut self) -> usize {
+    let mut guard = self.state.write();
+    guard.tick += 1;
+    let ready = self.reactor.wait(Some(TICK));
+    dispatch(&mut guard, ready)
+}
+
+fn helper_form(&mut self) {
+    let guard = self.state.read();
+    self.poll_with_timeout(Some(TICK));
+    let _ = guard.tick;
+}

@@ -1,0 +1,14 @@
+//@ file: crates/core/src/loop.rs
+// The discipline cannot be laundered through a same-file wrapper: `pump`
+// performs the reactor wait, and `refresh` calls it with a guard live.
+
+fn pump(&mut self) -> usize {
+    let ready = self.reactor.wait(Some(TICK));
+    self.dispatch(ready)
+}
+
+fn refresh(&mut self) {
+    let guard = self.state.write();
+    pump(self);
+    let _ = guard.tick;
+}

@@ -1,0 +1,23 @@
+//@ file: crates/core/src/loop.rs
+// Clean loop: the wait happens with no guard live, guards are taken only
+// after readiness is known, and non-blocking socket calls are fine.
+
+fn poll_pass(&mut self) -> usize {
+    let ready = self.reactor.wait(Some(TICK));
+    if ready.listener {
+        let (sock, _) = self.listener.accept().unwrap_or_default();
+        sock.set_nonblocking(true).ok();
+    }
+    {
+        let mut guard = self.state.write();
+        guard.tick += 1;
+    }
+    let count = self.state.read().pending();
+    self.dispatch(ready, count)
+}
+
+fn guard_dropped_before_wait(&mut self) {
+    let guard = self.state.write();
+    drop(guard);
+    self.reactor.wait(Some(TICK));
+}

@@ -372,6 +372,16 @@ impl Deployment {
         self.state.read().dcm_trigger
     }
 
+    /// Builds a reactor-driven [`moira_core::MoiraServer`] over this
+    /// deployment's live state and registry — the connection tier for
+    /// scenarios that exercise real client traffic (churn, backpressure,
+    /// concurrent sessions) against the simulated campus. Trusted-mode
+    /// auth, like the in-process deployments the tests use; callers
+    /// wanting Kerberos pass their own verifier to `MoiraServer::new`.
+    pub fn build_server(&self) -> moira_core::MoiraServer {
+        moira_core::MoiraServer::new(self.state.clone(), self.registry.clone(), None)
+    }
+
     /// Advances virtual time.
     pub fn advance(&self, secs: i64) {
         self.clock.advance(secs);

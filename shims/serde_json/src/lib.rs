@@ -2,9 +2,10 @@
 //!
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors the subset it uses: the [`Value`] tree, the [`json!`]
-//! constructor macro (object/array literals with expression values), and
-//! [`to_string_pretty`]. No serde integration, no parsing — the repo only
-//! ever *writes* JSON result tables.
+//! constructor macro (object/array literals with expression values),
+//! [`to_string_pretty`], and [`from_str`] (a recursive-descent parser into
+//! [`Value`], so result files can be read back and merged). No serde
+//! derive integration — `from_str` always yields the dynamic tree.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -260,14 +261,24 @@ impl<T: ToValue + ?Sized> ToValue for &T {
     }
 }
 
-/// Serialization failure (the shim's writer is infallible; the type exists
-/// for API compatibility).
+/// Serialization or parse failure. The shim's writer is infallible, so in
+/// practice this only ever carries a parse diagnostic with a byte offset.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn parse(offset: usize, what: impl fmt::Display) -> Error {
+        Error {
+            msg: format!("JSON parse error at byte {offset}: {what}"),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json shim serialization error")
+        f.write_str(&self.msg)
     }
 }
 
@@ -341,6 +352,301 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     let mut out = String::new();
     write_pretty(&mut out, value, 0);
     Ok(out)
+}
+
+impl Value {
+    /// The object map behind this value, if it is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the object map, if this value is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// The elements of this value, if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string behind this value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a float, if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v as f64),
+            Value::Number(Number::NegInt(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// This value as an unsigned integer, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Recursive-descent JSON parser producing a [`Value`] tree.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::parse(
+                self.pos,
+                format!("unexpected byte {:?}", other as char),
+            )),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse(start, "invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs arrive as two \u escapes.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                self.pos - 1,
+                                format!("bad escape {:?}", other as char),
+                            ))
+                        }
+                    }
+                }
+                _ => return Err(Error::parse(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::parse(self.pos, "truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| Error::parse(self.pos, "bad \\u escape"))?;
+        self.pos = end;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse(start, "bad number"))?;
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::Float(v)))
+            .map_err(|_| Error::parse(start, format!("bad number {text:?}")))
+    }
+}
+
+/// Parses a JSON document into a [`Value`]. Trailing whitespace is
+/// allowed; trailing garbage is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters"));
+    }
+    Ok(value)
 }
 
 /// Builds a [`Value`] from a JSON-ish literal. Supports object literals
@@ -438,6 +744,67 @@ mod tests {
                 assert_eq!(m["len"], Value::Number(Number::PosInt(3)));
             }
             other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_output() {
+        let v = json!({
+            "name": "conn_churn",
+            "qps": 12345.678,
+            "whole": 2.0f64,
+            "live": 10000u64,
+            "delta": -3,
+            "ok": true,
+            "none": null,
+            "tags": ["a", "b"],
+            "nested": {"p99_us": 417.25},
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_accepts_escapes_and_rejects_garbage() {
+        let v = from_str(r#"{"k": "a\"b\\c\nd A"}"#).unwrap();
+        assert_eq!(v.get("k").and_then(Value::as_str), Some("a\"b\\c\nd A"));
+        assert!(from_str("{\"k\": 1} extra").is_err());
+        assert!(from_str("{\"k\": }").is_err());
+        assert!(from_str("[1, 2").is_err());
+        let err = from_str("nulx").unwrap_err();
+        assert!(err.to_string().contains("byte 0"), "{err}");
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let mut v = from_str(r#"{"a": {"b": [1, 2.5]}, "s": "x"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("x"));
+        let arr = v.get("a").and_then(|a| a.get("b")).unwrap();
+        assert_eq!(arr.as_array().unwrap().len(), 2);
+        assert_eq!(arr.as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(arr.as_array().unwrap()[1].as_f64(), Some(2.5));
+        v.as_object_mut()
+            .unwrap()
+            .insert("new".into(), json!({"k": 1}));
+        assert_eq!(
+            v.get("new").and_then(|n| n.get("k")).unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn real_result_files_parse() {
+        // The actual results/ corpus must round-trip through the parser,
+        // since conn_churn read-modify-writes read_throughput.json.
+        for file in [
+            "../../results/read_throughput.json",
+            "../../results/wal_commit.json",
+        ] {
+            if let Ok(text) = std::fs::read_to_string(file) {
+                let v = from_str(&text).expect(file);
+                assert!(v.as_object().is_some());
+            }
         }
     }
 

@@ -390,6 +390,23 @@ fn server_statistics_over_tcp_report_real_latencies() {
     assert!(p50 > 0, "real TCP round-trips take real time");
     assert!(p99 >= p50, "quantiles are ordered");
     assert!(stat("server.latency.write.count") >= 2);
+    // Connection-tier instruments ride the same wire: this very TCP
+    // session is accepted and open, nothing has been torn down or
+    // backpressured, and every dispatched request carries a
+    // readiness-to-dispatch sample.
+    assert!(stat("server.connections.accepted") >= 1);
+    assert!(stat("server.connections.open") >= 1, "this session is open");
+    assert_eq!(stat("server.connections.closed"), 0);
+    assert_eq!(stat("server.backpressure.engaged"), 0, "client drains");
+    assert!(
+        stat("server.latency.readiness_to_dispatch.count") >= 6,
+        "each dispatched request samples readiness-to-dispatch"
+    );
+    assert!(
+        stat("server.latency.readiness_to_dispatch.p99_ns")
+            >= stat("server.latency.readiness_to_dispatch.p50_ns"),
+        "quantiles are ordered"
+    );
     client.disconnect().unwrap();
 }
 
