@@ -364,21 +364,30 @@ fn get_machine_to_cluster_map(
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
+    // Machine-major: the name pattern resolves through the machine index
+    // (point or prefix range), and each machine's memberships come from the
+    // indexed mcmap bucket — no pass over the full map.
     let mut out = Vec::new();
-    for (row, _) in state.db.table("mcmap").iter() {
-        let mach_id = state.db.cell("mcmap", row, "mach_id").as_int();
-        let clu_id = state.db.cell("mcmap", row, "clu_id").as_int();
-        let mname = machine_name(state, mach_id);
-        let cname = state
+    for mrow in state
+        .db
+        .select("machine", &Pred::name_match_ci("name", &a[0]))
+    {
+        let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+        let mname = state.db.cell("machine", mrow, "name").render();
+        for row in state
             .db
-            .table("cluster")
-            .select_one(&Pred::Eq("clu_id", clu_id.into()))
-            .map(|r| state.db.cell("cluster", r, "name").render())
-            .unwrap_or_default();
-        if moira_common::wildcard::matches_ci(&a[0], &mname)
-            && moira_common::wildcard::matches(&a[1], &cname)
+            .select("mcmap", &Pred::Eq("mach_id", mach_id.into()))
         {
-            out.push(vec![mname, cname]);
+            let clu_id = state.db.cell("mcmap", row, "clu_id").as_int();
+            let cname = state
+                .db
+                .table("cluster")
+                .select_one(&Pred::Eq("clu_id", clu_id.into()))
+                .map(|r| state.db.cell("cluster", r, "name").render())
+                .unwrap_or_default();
+            if moira_common::wildcard::matches(&a[1], &cname) {
+                out.push(vec![mname.clone(), cname]);
+            }
         }
     }
     if out.is_empty() {
@@ -456,21 +465,18 @@ fn delete_machine_from_cluster(
 }
 
 fn get_cluster_data(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    // Cluster-major: the cluster pattern resolves through the cluster name
+    // index, and each cluster's data rows come from the indexed svc bucket.
     let mut out = Vec::new();
-    for (row, _) in state.db.table("svc").iter() {
-        let clu_id = state.db.cell("svc", row, "clu_id").as_int();
-        let label = state.db.cell("svc", row, "serv_label").render();
-        let data = state.db.cell("svc", row, "serv_cluster").render();
-        let cname = state
-            .db
-            .table("cluster")
-            .select_one(&Pred::Eq("clu_id", clu_id.into()))
-            .map(|r| state.db.cell("cluster", r, "name").render())
-            .unwrap_or_default();
-        if moira_common::wildcard::matches(&a[0], &cname)
-            && moira_common::wildcard::matches(&a[1], &label)
-        {
-            out.push(vec![cname, label, data]);
+    for crow in state.db.select("cluster", &Pred::name_match("name", &a[0])) {
+        let clu_id = state.db.cell("cluster", crow, "clu_id").as_int();
+        let cname = state.db.cell("cluster", crow, "name").render();
+        for row in state.db.select("svc", &Pred::Eq("clu_id", clu_id.into())) {
+            let label = state.db.cell("svc", row, "serv_label").render();
+            if moira_common::wildcard::matches(&a[1], &label) {
+                let data = state.db.cell("svc", row, "serv_cluster").render();
+                out.push(vec![cname.clone(), label, data]);
+            }
         }
     }
     if out.is_empty() {

@@ -215,27 +215,32 @@ fn get_server_host_access(
     _c: &Caller,
     a: &[String],
 ) -> MrResult<Vec<Vec<String>>> {
-    let pat = a[0].to_ascii_uppercase();
+    // Machine-major: the host pattern resolves through the machine name
+    // index (a point lookup for the common exact-host call, a prefix range
+    // for "BITSY*"), then each machine probes the unique hostaccess index.
     let mut out = Vec::new();
-    for (row, _) in state.db.table("hostaccess").iter() {
+    for mrow in state
+        .db
+        .select("machine", &Pred::name_match_ci("name", &a[0]))
+    {
+        let mach_id = state.db.cell("machine", mrow, "mach_id").as_int();
+        let mach = state.db.cell("machine", mrow, "name").render();
         let t = state.db.table("hostaccess");
-        let mach = machine_name(state, t.cell(row, "mach_id").as_int());
-        if !moira_common::wildcard::matches_ci(&pat, &mach) {
-            continue;
+        for row in t.select(&Pred::Eq("mach_id", mach_id.into())) {
+            let (ty, name) = render_ace(
+                &state.db,
+                t.cell(row, "acl_type").as_str(),
+                t.cell(row, "acl_id").as_int(),
+            );
+            out.push(vec![
+                mach.clone(),
+                ty,
+                name,
+                t.cell(row, "modtime").render(),
+                t.cell(row, "modby").render(),
+                t.cell(row, "modwith").render(),
+            ]);
         }
-        let (ty, name) = render_ace(
-            &state.db,
-            t.cell(row, "acl_type").as_str(),
-            t.cell(row, "acl_id").as_int(),
-        );
-        out.push(vec![
-            mach,
-            ty,
-            name,
-            t.cell(row, "modtime").render(),
-            t.cell(row, "modby").render(),
-            t.cell(row, "modwith").render(),
-        ]);
     }
     if out.is_empty() {
         return Err(MrError::NoMatch);

@@ -115,6 +115,8 @@ fn poboxes_where(state: &MoiraState, want: Option<&str>) -> Vec<Vec<String>> {
     state
         .db
         .table("users")
+        // Dump of every pobox by type — no index on potype, and the
+        // query is an enumeration by design. lint:allow(plan-discipline)
         .iter()
         .filter(|(_, r)| {
             let t = r[state.db.table("users").col("potype")].as_str();

@@ -302,6 +302,8 @@ fn qualified_get_server(
     let harderror = parse_tristate(&a[2])?;
     let t = state.db.table("servers");
     let mut out = Vec::new();
+    // Tristate qualifier over unindexed status flags: a genuine admin
+    // dump over a tiny relation. lint:allow(plan-discipline)
     for (row, _) in t.iter() {
         let he = t.cell(row, "harderror").as_int() != 0;
         if matches_tristate(t.cell(row, "enable"), enable)

@@ -137,8 +137,9 @@ impl MoiraState {
         }
     }
 
-    fn bare(db: Database) -> MoiraState {
+    fn bare(mut db: Database) -> MoiraState {
         let obs = moira_obs::Registry::new();
+        db.set_obs(&obs);
         MoiraState {
             db,
             journal: Journal::new(),

@@ -9,7 +9,7 @@ use moira_common::errors::{MrError, MrResult};
 use crate::query::Pred;
 use crate::schema::TableSchema;
 use crate::table::{RowId, Table};
-use crate::value::Value;
+use crate::value::{Symbols, Value};
 
 /// Process-wide source of database epochs. Every `Database::new` gets a
 /// distinct epoch, so a state rebuilt from backup + journal replay is
@@ -66,6 +66,12 @@ pub struct Database {
     tables: BTreeMap<&'static str, Table>,
     clock: VClock,
     epoch: u64,
+    /// The shared string interner every table of this database dedupes
+    /// `Value::Str` payloads through. Clones of the database share it (a
+    /// clone carries the same content, so sharing symbols is free).
+    symbols: Symbols,
+    /// Obs registry handed to tables as they are created.
+    obs: Option<moira_obs::Registry>,
 }
 
 impl Database {
@@ -75,6 +81,8 @@ impl Database {
             tables: BTreeMap::new(),
             clock,
             epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            symbols: Symbols::new(),
+            obs: None,
         }
     }
 
@@ -94,6 +102,8 @@ impl Database {
             tables: BTreeMap::new(),
             clock,
             epoch,
+            symbols: Symbols::new(),
+            obs: None,
         }
     }
 
@@ -128,9 +138,38 @@ impl Database {
         self.clock.now()
     }
 
-    /// Creates a table; replaces any previous table of the same name.
+    /// Creates a table; replaces any previous table of the same name. The
+    /// new table shares the database's string interner and obs registry.
     pub fn create_table(&mut self, schema: TableSchema) {
-        self.tables.insert(schema.name, Table::new(schema));
+        let mut table = Table::new(schema);
+        table.set_symbols(self.symbols.clone());
+        if let Some(reg) = &self.obs {
+            table.set_obs(reg);
+        }
+        self.tables.insert(table.schema().name, table);
+    }
+
+    /// Attaches an obs registry: every table (current and future) records
+    /// its plan choices (`db.plan.*`) and `db.select.rows_examined` there.
+    pub fn set_obs(&mut self, reg: &moira_obs::Registry) {
+        for table in self.tables.values_mut() {
+            table.set_obs(reg);
+        }
+        self.obs = Some(reg.clone());
+    }
+
+    /// The database's string interner.
+    pub fn symbols(&self) -> &Symbols {
+        &self.symbols
+    }
+
+    /// EXPLAIN: the plan description `pred` would run under on `table`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown table names, like [`Database::table`].
+    pub fn explain(&self, table: &str, pred: &Pred) -> String {
+        self.table(table).explain(pred)
     }
 
     /// Borrows a table.

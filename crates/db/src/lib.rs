@@ -13,6 +13,9 @@
 //!   and per-table statistics (the TBLSTATS relation's raw material).
 //! - [`query`] — the predicate language (equality, wildcard `Like`,
 //!   conjunction/disjunction) used by the query-handle layer.
+//! - [`plan`] — the predicate planner: point/intersect/range index access
+//!   chosen by a cost model over live bucket cardinalities, with the scan
+//!   fallback and EXPLAIN descriptions.
 //! - [`database`] — the named-table container with a shared virtual clock.
 //! - [`lock`] — the shared/exclusive named lock manager with deadlock
 //!   detection (`MR_DEADLOCK`), used by the DCM's service/host locking.
@@ -30,6 +33,7 @@ pub mod backup;
 pub mod database;
 pub mod journal;
 pub mod lock;
+pub mod plan;
 pub mod query;
 pub mod schema;
 pub mod snapshot;
@@ -39,6 +43,7 @@ pub mod value;
 pub mod wal;
 
 pub use database::{Database, GenCursor};
+pub use plan::Plan;
 pub use query::Pred;
 pub use schema::{ColumnDef, TableSchema};
 pub use storage::{
@@ -46,4 +51,4 @@ pub use storage::{
     SimMedia, Storage,
 };
 pub use table::{RowChange, RowId, Table};
-pub use value::{ColType, Value};
+pub use value::{ColType, Symbols, Value};

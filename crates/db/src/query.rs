@@ -62,7 +62,7 @@ impl Pred {
         if wildcard::has_wildcards(arg) {
             Pred::Like(col, arg.to_owned())
         } else {
-            Pred::Eq(col, Value::Str(arg.to_owned()))
+            Pred::Eq(col, Value::Str(arg.into()))
         }
     }
 
@@ -106,16 +106,6 @@ impl Pred {
             Pred::And(ps) => ps.iter().all(|p| p.eval(row, col_of)),
             Pred::Or(ps) => ps.iter().any(|p| p.eval(row, col_of)),
             Pred::Not(p) => !p.eval(row, col_of),
-        }
-    }
-
-    /// If the predicate pins an indexed column to an exact value, returns
-    /// `(column, value)` so the table can use its index instead of scanning.
-    pub fn index_hint(&self) -> Option<(&'static str, &Value)> {
-        match self {
-            Pred::Eq(col, v) => Some((col, v)),
-            Pred::And(ps) => ps.iter().find_map(|p| p.index_hint()),
-            _ => None,
         }
     }
 }
@@ -178,17 +168,5 @@ mod tests {
     fn name_match_chooses_representation() {
         assert!(matches!(Pred::name_match("login", "bab*"), Pred::Like(..)));
         assert!(matches!(Pred::name_match("login", "babette"), Pred::Eq(..)));
-    }
-
-    #[test]
-    fn index_hint_found_through_and() {
-        let p = Pred::And(vec![
-            Pred::Like("login", "b*".into()),
-            Pred::Eq("uid", 6530.into()),
-        ]);
-        let (col, v) = p.index_hint().unwrap();
-        assert_eq!(col, "uid");
-        assert_eq!(v, &Value::Int(6530));
-        assert!(Pred::True.index_hint().is_none());
     }
 }

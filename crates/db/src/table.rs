@@ -1,13 +1,16 @@
-//! Tables: slab-stored rows, secondary indexes, predicate selection, and the
-//! per-table statistics behind the TBLSTATS relation (§6).
+//! Tables: slab-stored rows, secondary indexes, planner-driven predicate
+//! selection, and the per-table statistics behind the TBLSTATS relation (§6).
 
 use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Bound;
 
 use moira_common::errors::{MrError, MrResult};
 
+use crate::plan::{self, Plan, PlanStats};
 use crate::query::Pred;
 use crate::schema::TableSchema;
-use crate::value::Value;
+use crate::value::{ColType, Symbols, Value};
 
 /// Identifier of a row within one table (stable across updates, reused only
 /// after deletion).
@@ -72,6 +75,35 @@ pub struct TableImage {
     pub stats: TableStats,
 }
 
+/// Cached obs handles for the planner instruments, resolved once when the
+/// registry is attached so the hot select path does not look names up.
+#[derive(Clone)]
+struct PlanObs {
+    point: moira_obs::Counter,
+    intersect: moira_obs::Counter,
+    range: moira_obs::Counter,
+    scan: moira_obs::Counter,
+    rows_examined: moira_obs::Histo,
+}
+
+impl PlanObs {
+    fn new(reg: &moira_obs::Registry) -> Self {
+        PlanObs {
+            point: reg.counter("db.plan.point"),
+            intersect: reg.counter("db.plan.intersect"),
+            range: reg.counter("db.plan.range"),
+            scan: reg.counter("db.plan.scan"),
+            rows_examined: reg.histogram("db.select.rows_examined"),
+        }
+    }
+}
+
+impl fmt::Debug for PlanObs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PlanObs")
+    }
+}
+
 /// A table: schema, row slab, secondary indexes, statistics.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -86,8 +118,19 @@ pub struct Table {
     /// free-list hands the slot back out, at which point the reused slot
     /// reports as `Upserted` instead.
     dead: BTreeMap<RowId, u64>,
-    /// `column index -> value -> row ids`.
+    /// `column index -> value -> row ids`, ids kept sorted within a bucket
+    /// so `select` needs no post-sort, `select_one` takes the first
+    /// survivor, and `IndexIntersect` merges buckets linearly.
     indexes: BTreeMap<usize, BTreeMap<Value, Vec<RowId>>>,
+    /// Case-folded companions for indexed *string* columns:
+    /// `column index -> lowercased value -> row ids` (sorted). These serve
+    /// the `EqCi`/`LikeCi` predicates (machine and service names), which
+    /// would otherwise scan no matter what.
+    indexes_ci: BTreeMap<usize, BTreeMap<String, Vec<RowId>>>,
+    /// The owning database's string interner (a private one until the table
+    /// is attached via [`Table::set_symbols`]).
+    symbols: Symbols,
+    obs: Option<PlanObs>,
     stats: TableStats,
 }
 
@@ -101,6 +144,13 @@ impl Table {
             .filter(|(_, c)| c.indexed)
             .map(|(i, _)| (i, BTreeMap::new()))
             .collect();
+        let indexes_ci = schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.indexed && c.ty == ColType::Str)
+            .map(|(i, _)| (i, BTreeMap::new()))
+            .collect();
         Table {
             schema,
             rows: Vec::new(),
@@ -109,8 +159,25 @@ impl Table {
             live: 0,
             dead: BTreeMap::new(),
             indexes,
+            indexes_ci,
+            symbols: Symbols::new(),
+            obs: None,
             stats: TableStats::default(),
         }
+    }
+
+    /// Points the table at a shared string interner. The database attaches
+    /// its per-database [`Symbols`] when the table is created, before any
+    /// row exists; already-stored rows are not re-interned.
+    pub fn set_symbols(&mut self, symbols: Symbols) {
+        self.symbols = symbols;
+    }
+
+    /// Attaches an obs registry: plan-choice counters
+    /// (`db.plan.{point,intersect,range,scan}`) and the
+    /// `db.select.rows_examined` histogram.
+    pub fn set_obs(&mut self, reg: &moira_obs::Registry) {
+        self.obs = Some(PlanObs::new(reg));
     }
 
     /// The table's schema.
@@ -210,16 +277,42 @@ impl Table {
 
     fn index_insert(&mut self, id: RowId, row: &[Value]) {
         for (&col, index) in self.indexes.iter_mut() {
-            index.entry(row[col].clone()).or_default().push(id);
+            let ids = index.entry(row[col].clone()).or_default();
+            if let Err(pos) = ids.binary_search(&id) {
+                ids.insert(pos, id);
+            }
+        }
+        for (&col, index) in self.indexes_ci.iter_mut() {
+            if let Value::Str(s) = &row[col] {
+                let ids = index.entry(s.to_ascii_lowercase()).or_default();
+                if let Err(pos) = ids.binary_search(&id) {
+                    ids.insert(pos, id);
+                }
+            }
         }
     }
 
     fn index_remove(&mut self, id: RowId, row: &[Value]) {
         for (&col, index) in self.indexes.iter_mut() {
             if let Some(ids) = index.get_mut(&row[col]) {
-                ids.retain(|&r| r != id);
+                if let Ok(pos) = ids.binary_search(&id) {
+                    ids.remove(pos);
+                }
                 if ids.is_empty() {
                     index.remove(&row[col]);
+                }
+            }
+        }
+        for (&col, index) in self.indexes_ci.iter_mut() {
+            if let Value::Str(s) = &row[col] {
+                let folded = s.to_ascii_lowercase();
+                if let Some(ids) = index.get_mut(&folded) {
+                    if let Ok(pos) = ids.binary_search(&id) {
+                        ids.remove(pos);
+                    }
+                    if ids.is_empty() {
+                        index.remove(&folded);
+                    }
                 }
             }
         }
@@ -229,23 +322,25 @@ impl Table {
     ///
     /// Fails with `MR_EXISTS` on unique-column conflicts, `MR_ARG_TOO_LONG`
     /// on over-long strings, and `MR_INTERNAL` on arity or type mismatch.
-    pub fn append(&mut self, row: Vec<Value>, now: i64) -> MrResult<RowId> {
+    pub fn append(&mut self, mut row: Vec<Value>, now: i64) -> MrResult<RowId> {
         self.check_row(&row)?;
         self.check_unique(&row, None)?;
+        for v in &mut row {
+            self.symbols.intern_value(v);
+        }
         let id = match self.free.pop() {
             Some(id) => {
-                self.rows[id] = Some(row);
                 self.dead.remove(&id);
                 id
             }
             None => {
-                self.rows.push(Some(row));
+                self.rows.push(None);
                 self.row_gens.push(0);
                 self.rows.len() - 1
             }
         };
-        let row_ref = self.rows[id].clone().expect("just inserted");
-        self.index_insert(id, &row_ref);
+        self.index_insert(id, &row);
+        self.rows[id] = Some(row);
         self.live += 1;
         self.stats.appends += 1;
         self.stats.modtime = now;
@@ -259,31 +354,110 @@ impl Table {
         self.rows.get(id).and_then(|r| r.as_deref())
     }
 
-    /// Returns the ids of rows matching a predicate, in id order.
-    ///
-    /// Uses a secondary index when the predicate pins an indexed column to
-    /// an exact value; otherwise scans.
+    /// Chooses an access path for `pred` — see [`crate::plan`].
+    pub fn plan(&self, pred: &Pred) -> Plan {
+        plan::choose(pred, self)
+    }
+
+    /// EXPLAIN: the one-line description of the plan `pred` would run
+    /// under, e.g. `IndexPoint(login=kit)` or `Scan`.
+    pub fn explain(&self, pred: &Pred) -> String {
+        self.plan(pred).describe()
+    }
+
+    /// The candidate row ids a plan narrows to, sorted ascending, or `None`
+    /// for the scan fallback. Candidates still need predicate evaluation —
+    /// a plan only bounds where matches can live.
+    fn plan_candidates(&self, plan: &Plan) -> Option<Vec<RowId>> {
+        match plan {
+            Plan::IndexPoint { col, value, ci } => {
+                let c = self.col(col);
+                let bucket = if *ci {
+                    self.indexes_ci
+                        .get(&c)
+                        .and_then(|ix| ix.get(value.as_str()))
+                } else {
+                    self.indexes.get(&c).and_then(|ix| ix.get(value))
+                };
+                Some(bucket.cloned().unwrap_or_default())
+            }
+            Plan::IndexIntersect { terms } => {
+                let mut merged: Option<Vec<RowId>> = None;
+                for (col, value) in terms {
+                    let c = self.col(col);
+                    let bucket = self
+                        .indexes
+                        .get(&c)
+                        .and_then(|ix| ix.get(value))
+                        .map(|ids| ids.as_slice())
+                        .unwrap_or(&[]);
+                    merged = Some(match merged {
+                        None => bucket.to_vec(),
+                        Some(prev) => intersect_sorted(&prev, bucket),
+                    });
+                }
+                Some(merged.unwrap_or_default())
+            }
+            Plan::IndexRange { col, prefix, ci } => {
+                let c = self.col(col);
+                let mut ids: Vec<RowId> = Vec::new();
+                if *ci {
+                    if let Some(ix) = self.indexes_ci.get(&c) {
+                        for (_, bucket) in range_ci(ix, prefix) {
+                            ids.extend_from_slice(bucket);
+                        }
+                    }
+                } else if let Some(ix) = self.indexes.get(&c) {
+                    for (_, bucket) in range_cs(ix, prefix) {
+                        ids.extend_from_slice(bucket);
+                    }
+                }
+                // Buckets are sorted but interleave across keys.
+                ids.sort_unstable();
+                Some(ids)
+            }
+            Plan::Scan => None,
+        }
+    }
+
+    /// Records the plan choice and the rows actually examined.
+    fn note_plan(&self, plan: &Plan, examined: usize) {
+        if let Some(obs) = &self.obs {
+            match plan {
+                Plan::IndexPoint { .. } => obs.point.inc(),
+                Plan::IndexIntersect { .. } => obs.intersect.inc(),
+                Plan::IndexRange { .. } => obs.range.inc(),
+                Plan::Scan => obs.scan.inc(),
+            }
+            obs.rows_examined.record(examined as u64);
+        }
+    }
+
+    /// Returns the ids of rows matching a predicate, in id order, through
+    /// the planner: an index bucket, a bucket merge, a prefix walk, or the
+    /// scan fallback — whichever the cost model picks.
     pub fn select(&self, pred: &Pred) -> Vec<RowId> {
         let col_of = |name: &str| self.col(name);
-        if let Some((col_name, value)) = pred.index_hint() {
-            if let Some(col) = self.schema.col(col_name) {
-                if let Some(index) = self.indexes.get(&col) {
-                    let mut ids: Vec<RowId> = index
-                        .get(value)
-                        .map(|ids| {
-                            ids.iter()
-                                .copied()
-                                .filter(|&id| {
-                                    self.get(id).is_some_and(|row| pred.eval(row, &col_of))
-                                })
-                                .collect()
-                        })
-                        .unwrap_or_default();
-                    ids.sort_unstable();
-                    return ids;
-                }
+        let plan = self.plan(pred);
+        match self.plan_candidates(&plan) {
+            Some(cands) => {
+                self.note_plan(&plan, cands.len());
+                cands
+                    .into_iter()
+                    .filter(|&id| self.get(id).is_some_and(|row| pred.eval(row, &col_of)))
+                    .collect()
+            }
+            None => {
+                self.note_plan(&plan, self.live);
+                self.select_scan(pred)
             }
         }
+    }
+
+    /// Forced full-scan evaluation, bypassing the planner — the oracle the
+    /// property tests and the bench baseline compare plans against.
+    pub fn select_scan(&self, pred: &Pred) -> Vec<RowId> {
+        let col_of = |name: &str| self.col(name);
         self.rows
             .iter()
             .enumerate()
@@ -291,48 +465,52 @@ impl Table {
             .collect()
     }
 
-    /// The index bucket for a predicate that pins an indexed column to an
-    /// exact value, or `None` when the predicate can only be satisfied by a
-    /// scan. `Some(&[])` means the index proves there are no matches.
-    fn index_candidates(&self, pred: &Pred) -> Option<&[RowId]> {
-        let (col_name, value) = pred.index_hint()?;
-        let col = self.schema.col(col_name)?;
-        let index = self.indexes.get(&col)?;
-        Some(index.get(value).map(|ids| ids.as_slice()).unwrap_or(&[]))
-    }
-
-    /// Returns the lowest matching row id, if any, without materializing the
-    /// full match set: the scan path stops at the first hit, and the index
-    /// path takes the minimum of one (small, unsorted) bucket.
+    /// Returns the lowest matching row id, if any, without materializing
+    /// the full match set: candidates come sorted from the plan (buckets
+    /// are kept sorted), so the first survivor is the minimum; the scan
+    /// path stops at the first hit.
     pub fn select_one(&self, pred: &Pred) -> Option<RowId> {
         let col_of = |name: &str| self.col(name);
-        if let Some(candidates) = self.index_candidates(pred) {
-            return candidates
-                .iter()
-                .copied()
-                .filter(|&id| self.get(id).is_some_and(|row| pred.eval(row, &col_of)))
-                .min();
-        }
-        // Rows are stored in id order, so the first scan hit is the minimum.
-        self.rows
-            .iter()
-            .enumerate()
-            .find_map(|(id, row)| row.as_ref().filter(|r| pred.eval(r, &col_of)).map(|_| id))
+        let plan = self.plan(pred);
+        let mut examined = 0usize;
+        let hit = match self.plan_candidates(&plan) {
+            Some(cands) => cands.into_iter().find(|&id| {
+                examined += 1;
+                self.get(id).is_some_and(|row| pred.eval(row, &col_of))
+            }),
+            None => self.rows.iter().enumerate().find_map(|(id, row)| {
+                row.as_ref()
+                    .filter(|r| {
+                        examined += 1;
+                        pred.eval(r, &col_of)
+                    })
+                    .map(|_| id)
+            }),
+        };
+        self.note_plan(&plan, examined);
+        hit
     }
 
     /// Counts matching rows without materializing ids.
     pub fn count(&self, pred: &Pred) -> usize {
         let col_of = |name: &str| self.col(name);
-        if let Some(candidates) = self.index_candidates(pred) {
-            return candidates
-                .iter()
-                .filter(|&&id| self.get(id).is_some_and(|row| pred.eval(row, &col_of)))
-                .count();
+        let plan = self.plan(pred);
+        match self.plan_candidates(&plan) {
+            Some(cands) => {
+                self.note_plan(&plan, cands.len());
+                cands
+                    .iter()
+                    .filter(|&&id| self.get(id).is_some_and(|row| pred.eval(row, &col_of)))
+                    .count()
+            }
+            None => {
+                self.note_plan(&plan, self.live);
+                self.rows
+                    .iter()
+                    .filter(|row| row.as_ref().is_some_and(|r| pred.eval(r, &col_of)))
+                    .count()
+            }
         }
-        self.rows
-            .iter()
-            .filter(|row| row.as_ref().is_some_and(|r| pred.eval(r, &col_of)))
-            .count()
     }
 
     /// Updates named columns of a row in place.
@@ -345,7 +523,9 @@ impl Table {
         let mut new = old.clone();
         for (name, value) in changes {
             let col = self.schema.col(name).ok_or(MrError::Internal)?;
-            new[col] = value.clone();
+            let mut v = value.clone();
+            self.symbols.intern_value(&mut v);
+            new[col] = v;
         }
         self.check_row(&new)?;
         self.check_unique(&new, Some(id))?;
@@ -439,7 +619,11 @@ impl Table {
             if rows[id].is_some() {
                 return Err(MrError::Internal);
             }
-            rows[id] = Some(values.clone());
+            let mut row = values.clone();
+            for v in &mut row {
+                self.symbols.intern_value(v);
+            }
+            rows[id] = Some(row);
             row_gens[id] = gen;
         }
         for &(id, gen) in &image.dead {
@@ -459,10 +643,12 @@ impl Table {
         self.live = image.rows.len();
         self.dead = image.dead.iter().copied().collect();
         self.stats = image.stats;
-        let inserts: Vec<(RowId, Vec<Value>)> = image
+        // Index from the interned copies so index keys share the row Arcs.
+        let inserts: Vec<(RowId, Vec<Value>)> = self
             .rows
             .iter()
-            .map(|&(id, _, ref row)| (id, row.clone()))
+            .enumerate()
+            .filter_map(|(id, r)| r.as_ref().map(|row| (id, row.clone())))
             .collect();
         for (id, row) in inserts {
             self.index_insert(id, &row);
@@ -479,6 +665,116 @@ impl Table {
         let c = self.col(col);
         &self.get(id).expect("live row")[c]
     }
+}
+
+impl PlanStats for Table {
+    fn is_indexed(&self, col: &str) -> bool {
+        self.schema
+            .col(col)
+            .is_some_and(|c| self.indexes.contains_key(&c))
+    }
+
+    fn has_folded_index(&self, col: &str) -> bool {
+        self.schema
+            .col(col)
+            .is_some_and(|c| self.indexes_ci.contains_key(&c))
+    }
+
+    fn bucket_len(&self, col: &str, value: &Value) -> usize {
+        self.schema
+            .col(col)
+            .and_then(|c| self.indexes.get(&c))
+            .and_then(|ix| ix.get(value))
+            .map_or(0, Vec::len)
+    }
+
+    fn folded_bucket_len(&self, col: &str, folded: &str) -> usize {
+        self.schema
+            .col(col)
+            .and_then(|c| self.indexes_ci.get(&c))
+            .and_then(|ix| ix.get(folded))
+            .map_or(0, Vec::len)
+    }
+
+    fn range_len(&self, col: &str, prefix: &str, ci: bool, budget: usize) -> usize {
+        let Some(c) = self.schema.col(col) else {
+            return 0;
+        };
+        let mut total = 0usize;
+        if ci {
+            if let Some(ix) = self.indexes_ci.get(&c) {
+                for (_, bucket) in range_ci(ix, prefix) {
+                    total += bucket.len();
+                    if total >= budget {
+                        break;
+                    }
+                }
+            }
+        } else if let Some(ix) = self.indexes.get(&c) {
+            for (_, bucket) in range_cs(ix, prefix) {
+                total += bucket.len();
+                if total >= budget {
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    fn slab_len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn live_len(&self) -> usize {
+        self.live
+    }
+}
+
+/// Intersection of two ascending id slices, two-pointer merge.
+fn intersect_sorted(a: &[RowId], b: &[RowId]) -> Vec<RowId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The entries of a case-sensitive string index whose key starts with
+/// `prefix`, in key order.
+fn range_cs<'a>(
+    ix: &'a BTreeMap<Value, Vec<RowId>>,
+    prefix: &str,
+) -> impl Iterator<Item = (&'a Value, &'a Vec<RowId>)> {
+    let start = Bound::Included(Value::Str(prefix.into()));
+    let end = match plan::prefix_upper_bound(prefix) {
+        Some(upper) => Bound::Excluded(Value::Str(upper.as_str().into())),
+        None => Bound::Unbounded,
+    };
+    ix.range((start, end))
+        .filter(|(k, _)| matches!(k, Value::Str(_)))
+}
+
+/// The entries of a case-folded index whose (lowercased) key starts with
+/// the (lowercased) `prefix`, in key order.
+fn range_ci<'a>(
+    ix: &'a BTreeMap<String, Vec<RowId>>,
+    prefix: &str,
+) -> impl Iterator<Item = (&'a String, &'a Vec<RowId>)> {
+    let start = Bound::Included(prefix.to_owned());
+    let end = match plan::prefix_upper_bound(prefix) {
+        Some(upper) => Bound::Excluded(upper),
+        None => Bound::Unbounded,
+    };
+    ix.range((start, end))
 }
 
 #[cfg(test)]
@@ -639,21 +935,176 @@ mod tests {
     }
 
     #[test]
-    fn select_one_returns_lowest_id_from_unsorted_index_bucket() {
+    fn index_buckets_stay_sorted_across_slot_reuse() {
         let mut t = users_table();
-        // Slot 0 freed and reused later, so the index bucket for uid 7000
-        // holds ids in push order [1, 2, 0] — select_one must still report 0.
+        // Slot 0 freed and reused later: insertion order into the uid-7000
+        // bucket is 0, 1, 2, then 0 again — the bucket must come back
+        // sorted so select needs no post-sort and select_one takes the
+        // first survivor.
         let a = t.append(row("gone", 7000, true), 0).unwrap();
         t.append(row("b", 7000, true), 0).unwrap();
         t.append(row("c", 7000, true), 0).unwrap();
         t.delete(a, 0).unwrap();
         let reused = t.append(row("d", 7000, true), 0).unwrap();
         assert_eq!(reused, a);
+        assert_eq!(t.select(&Pred::Eq("uid", 7000.into())), vec![0, 1, 2]);
         assert_eq!(t.select_one(&Pred::Eq("uid", 7000.into())), Some(a));
         assert_eq!(
             t.select_one(&Pred::Eq("uid", 7000.into())),
             t.select(&Pred::Eq("uid", 7000.into())).first().copied()
         );
+    }
+
+    fn members_table() -> Table {
+        Table::new(TableSchema::new(
+            "members",
+            vec![
+                ColumnDef::int("list_id").indexed(),
+                ColumnDef::int("member_id").indexed(),
+                ColumnDef::str("tag"),
+            ],
+        ))
+    }
+
+    #[test]
+    fn explain_picks_point_range_and_scan() {
+        let mut t = users_table();
+        for i in 0..200 {
+            t.append(row(&format!("u{i}"), 6000 + i, true), 0).unwrap();
+        }
+        assert_eq!(
+            t.explain(&Pred::Eq("uid", 6042.into())),
+            "IndexPoint(uid=6042)"
+        );
+        assert_eq!(
+            t.explain(&Pred::Like("login", "u4?".into())),
+            "IndexRange(login \"u4*\")"
+        );
+        // No literal prefix, and no index on `active` — scans.
+        assert_eq!(t.explain(&Pred::Like("login", "*4".into())), "Scan");
+        assert_eq!(t.explain(&Pred::Eq("active", true.into())), "Scan");
+        assert_eq!(t.explain(&Pred::True), "Scan");
+    }
+
+    #[test]
+    fn range_plan_matches_scan_results() {
+        let mut t = users_table();
+        for i in 0..300 {
+            t.append(row(&format!("u{i}"), 6000 + i, i % 3 == 0), 0)
+                .unwrap();
+        }
+        let pred = Pred::Like("login", "u1*".into());
+        assert!(t.explain(&pred).starts_with("IndexRange"));
+        let via_plan = t.select(&pred);
+        assert_eq!(via_plan, t.select_scan(&pred));
+        assert_eq!(via_plan.len(), 111); // u1, u10..u19, u100..u199
+        assert_eq!(t.select_one(&pred), via_plan.first().copied());
+        assert_eq!(t.count(&pred), via_plan.len());
+    }
+
+    #[test]
+    fn case_insensitive_predicates_use_folded_index() {
+        let mut t = Table::new(TableSchema::new(
+            "machine",
+            vec![ColumnDef::str("name").unique(), ColumnDef::str("type")],
+        ));
+        for i in 0..100 {
+            t.append(vec![format!("HOST{i}.MIT.EDU").into(), "VAX".into()], 0)
+                .unwrap();
+        }
+        let eq = Pred::EqCi("name", "host42.mit.edu".into());
+        assert_eq!(t.explain(&eq), "IndexPoint(name ci=host42.mit.edu)");
+        assert_eq!(t.select(&eq), t.select_scan(&eq));
+        assert_eq!(t.select(&eq).len(), 1);
+
+        let like = Pred::LikeCi("name", "host9*".into());
+        assert_eq!(t.explain(&like), "IndexRange(name ci \"host9*\")");
+        assert_eq!(t.select(&like), t.select_scan(&like));
+        assert_eq!(t.select(&like).len(), 11); // HOST9, HOST90..HOST99
+
+        // The folded index tracks updates and deletes.
+        let id = t.select_one(&eq).unwrap();
+        t.update(id, &[("name", "RENAMED.MIT.EDU".into())], 1)
+            .unwrap();
+        assert!(t.select(&eq).is_empty());
+        let renamed = Pred::EqCi("name", "renamed.mit.edu".into());
+        assert_eq!(t.select(&renamed), vec![id]);
+        t.delete(id, 2).unwrap();
+        assert!(t.select(&renamed).is_empty());
+    }
+
+    #[test]
+    fn conjunction_intersects_two_buckets() {
+        let mut t = members_table();
+        // 64 lists x 64 members: every bucket holds 64 ids, any pair
+        // intersects in exactly one row.
+        for list in 0..64 {
+            for member in 0..64 {
+                t.append(vec![list.into(), member.into(), "m".into()], 0)
+                    .unwrap();
+            }
+        }
+        let pred = Pred::And(vec![
+            Pred::Eq("list_id", 7.into()),
+            Pred::Eq("member_id", 44.into()),
+        ]);
+        assert_eq!(t.explain(&pred), "IndexIntersect(list_id=7 & member_id=44)");
+        assert_eq!(t.select(&pred), t.select_scan(&pred));
+        assert_eq!(t.select(&pred).len(), 1);
+        assert_eq!(t.count(&pred), 1);
+        assert_eq!(t.select_one(&pred), t.select(&pred).first().copied());
+    }
+
+    #[test]
+    fn tiny_buckets_skip_the_intersect_overhead() {
+        let mut t = members_table();
+        for member in 0..8 {
+            t.append(vec![1.into(), member.into(), "m".into()], 0)
+                .unwrap();
+        }
+        // Both buckets are small — a single point lookup wins.
+        let pred = Pred::And(vec![
+            Pred::Eq("list_id", 1.into()),
+            Pred::Eq("member_id", 3.into()),
+        ]);
+        assert!(t.explain(&pred).starts_with("IndexPoint"));
+        assert_eq!(t.select(&pred), t.select_scan(&pred));
+    }
+
+    #[test]
+    fn planner_never_changes_results_under_mutation_churn() {
+        let mut t = users_table();
+        for i in 0..120 {
+            t.append(row(&format!("u{i}"), 6000 + (i % 11), i % 2 == 0), 0)
+                .unwrap();
+        }
+        for id in t.select(&Pred::Eq("uid", 6003.into())) {
+            t.delete(id, 1).unwrap();
+        }
+        for i in 0..30 {
+            t.append(row(&format!("r{i}"), 6003, true), 2).unwrap();
+        }
+        let preds = [
+            Pred::True,
+            Pred::Eq("uid", 6003.into()),
+            Pred::And(vec![
+                Pred::Eq("uid", 6003.into()),
+                Pred::Eq("active", true.into()),
+            ]),
+            Pred::Like("login", "u1*".into()),
+            Pred::Like("login", "r*".into()),
+            Pred::Or(vec![
+                Pred::Eq("uid", 6001.into()),
+                Pred::Eq("uid", 6002.into()),
+            ]),
+            Pred::Not(Box::new(Pred::Eq("active", true.into()))),
+        ];
+        for pred in &preds {
+            let scan = t.select_scan(pred);
+            assert_eq!(t.select(pred), scan, "{pred:?} / {}", t.explain(pred));
+            assert_eq!(t.select_one(pred), scan.first().copied(), "{pred:?}");
+            assert_eq!(t.count(pred), scan.len(), "{pred:?}");
+        }
     }
 
     #[test]

@@ -1,13 +1,26 @@
-//! Typed column values.
+//! Typed column values and the per-database string interner.
 //!
 //! The Moira schema (§6) uses three storage classes: integers (ids, uids,
 //! flags, unix times), short text fields, and booleans (stored as 0/1 in
 //! INGRES but typed here). `Value` is the dynamic cell type flowing through
 //! the engine; query handles convert to and from the counted strings of the
 //! wire protocol at the edge.
+//!
+//! String cells are `Arc<str>`: at production scale the same handful of
+//! strings (machine types, cluster names, shell paths, the owning login
+//! repeated across a user's list/filesys/quota rows) would otherwise be
+//! heap-allocated millions of times. A [`Symbols`] table shared by every
+//! table of one database dedupes them at append/update/import time, so a
+//! row costs one pointer per string cell and the text itself is stored
+//! once. Interning is invisible to every observer — equality, ordering,
+//! hashing, rendering, and the snapshot/WAL wire form are all by content.
 
 use std::cmp::Ordering;
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// The storage class of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,8 +38,8 @@ pub enum ColType {
 pub enum Value {
     /// An integer cell.
     Int(i64),
-    /// A string cell.
-    Str(String),
+    /// A string cell. Cheap to clone; deduped per database by [`Symbols`].
+    Str(Arc<str>),
     /// A boolean cell.
     Bool(bool),
 }
@@ -83,7 +96,7 @@ impl Value {
     pub fn render(&self) -> String {
         match self {
             Value::Int(i) => i.to_string(),
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.as_ref().to_owned(),
             Value::Bool(b) => if *b { "1" } else { "0" }.to_owned(),
         }
     }
@@ -92,7 +105,7 @@ impl Value {
     pub fn parse(ty: ColType, s: &str) -> Option<Value> {
         match ty {
             ColType::Int => s.trim().parse::<i64>().ok().map(Value::Int),
-            ColType::Str => Some(Value::Str(s.to_owned())),
+            ColType::Str => Some(Value::Str(Arc::from(s))),
             ColType::Bool => match s.trim() {
                 "0" => Some(Value::Bool(false)),
                 "1" => Some(Value::Bool(true)),
@@ -112,7 +125,7 @@ impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             // Cross-type ordering is arbitrary but total: Int < Str < Bool.
             (a, b) => rank(a).cmp(&rank(b)),
@@ -142,12 +155,18 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_owned())
+        Value::Str(Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
         Value::Str(s)
     }
 }
@@ -155,6 +174,91 @@ impl From<String> for Value {
 impl From<bool> for Value {
     fn from(b: bool) -> Self {
         Value::Bool(b)
+    }
+}
+
+/// Interner state: the canonical `Arc<str>` per distinct string, plus the
+/// high-water mark that triggers the next dead-symbol sweep.
+struct SymbolsInner {
+    set: HashSet<Arc<str>>,
+    sweep_at: usize,
+}
+
+/// A per-database symbol table deduplicating [`Value::Str`] payloads.
+///
+/// Every table of one [`crate::Database`] shares a handle (clones share the
+/// underlying set), so the same login/host/type string stored across
+/// relations resolves to one allocation. The table holds one strong
+/// reference per distinct symbol; when the set doubles past its high-water
+/// mark, symbols no longer referenced by any row (`strong_count == 1`) are
+/// swept, so deleted rows do not pin their strings forever.
+#[derive(Clone)]
+pub struct Symbols {
+    inner: Arc<Mutex<SymbolsInner>>,
+}
+
+impl Symbols {
+    /// Initial sweep threshold; doubles as the set grows.
+    const SWEEP_FLOOR: usize = 4096;
+
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Symbols {
+            inner: Arc::new(Mutex::new(SymbolsInner {
+                set: HashSet::new(),
+                sweep_at: Self::SWEEP_FLOOR,
+            })),
+        }
+    }
+
+    /// Returns the canonical `Arc` for `s`, inserting it if new.
+    pub fn intern(&self, s: &str) -> Arc<str> {
+        let mut inner = self.inner.lock();
+        if let Some(a) = inner.set.get(s) {
+            return a.clone();
+        }
+        if inner.set.len() >= inner.sweep_at {
+            inner.set.retain(|a| Arc::strong_count(a) > 1);
+            inner.sweep_at = (inner.set.len() * 2).max(Self::SWEEP_FLOOR);
+        }
+        let a: Arc<str> = Arc::from(s);
+        inner.set.insert(a.clone());
+        a
+    }
+
+    /// Rewrites a string value to its canonical `Arc` in place; other value
+    /// kinds pass through untouched. Already-canonical values return their
+    /// own `Arc` without allocating.
+    pub fn intern_value(&self, v: &mut Value) {
+        if let Value::Str(s) = v {
+            if let Some(a) = self.inner.lock().set.get(s.as_ref()) {
+                *s = a.clone();
+                return;
+            }
+            *s = self.intern(s.as_ref());
+        }
+    }
+
+    /// Number of distinct symbols currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().set.len()
+    }
+
+    /// True when no symbols are interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Symbols {
+    fn default() -> Self {
+        Symbols::new()
+    }
+}
+
+impl fmt::Debug for Symbols {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Symbols").field("len", &self.len()).finish()
     }
 }
 
@@ -210,5 +314,58 @@ mod tests {
     #[should_panic(expected = "expected Int")]
     fn as_int_panics_on_mismatch() {
         Value::Str("x".into()).as_int();
+    }
+
+    #[test]
+    fn interning_dedupes_by_pointer() {
+        let syms = Symbols::new();
+        let a = syms.intern("athena");
+        let b = syms.intern("athena");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(syms.len(), 1);
+
+        let mut v = Value::Str("athena".into());
+        let before = match &v {
+            Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        assert!(!Arc::ptr_eq(&before, &a));
+        syms.intern_value(&mut v);
+        match &v {
+            Value::Str(s) => assert!(Arc::ptr_eq(s, &a)),
+            _ => unreachable!(),
+        }
+        // Non-string values pass through.
+        let mut i = Value::Int(3);
+        syms.intern_value(&mut i);
+        assert_eq!(i, Value::Int(3));
+    }
+
+    #[test]
+    fn interning_preserves_equality_and_order() {
+        let syms = Symbols::new();
+        let mut a = Value::Str("zeta".into());
+        let b = Value::Str("zeta".into());
+        syms.intern_value(&mut a);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "zeta");
+        assert!(Value::Str("alpha".into()) < a);
+    }
+
+    #[test]
+    fn sweep_drops_unreferenced_symbols() {
+        let syms = Symbols::new();
+        let kept = syms.intern("alive");
+        // Flood with symbols nobody holds: the sweeps along the way drop
+        // them but never the live one.
+        for i in 0..2 * Symbols::SWEEP_FLOOR {
+            let _ = syms.intern(&format!("dead{i}"));
+        }
+        assert!(
+            syms.len() <= Symbols::SWEEP_FLOOR + 1,
+            "sweep ran, len = {}",
+            syms.len()
+        );
+        assert!(Arc::ptr_eq(&kept, &syms.intern("alive")));
     }
 }

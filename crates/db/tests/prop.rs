@@ -272,6 +272,277 @@ mod wal_props {
     }
 }
 
+mod plan_props {
+    use moira_db::schema::{ColumnDef, TableSchema};
+    use moira_db::{Pred, Table, Value};
+    use proptest::prelude::*;
+
+    /// Deterministic splitmix-style mixer: the proptest shim has no
+    /// recursive strategies, so nested predicate shapes derive from
+    /// arbitrary `u64` seeds instead.
+    fn mix(s: &mut u64) -> u64 {
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Mixed-case pool with deliberate case-fold collisions ("a" vs "A",
+    /// "aB" vs "Ab") so the folded index and `EqCi`/`LikeCi` disagree
+    /// with the case-sensitive forms whenever the planner gets it wrong.
+    const NAMES: &[&str] = &["a", "A", "b", "B", "ab", "aB", "Ab", "BA"];
+
+    fn rand_name(s: &mut u64) -> &'static str {
+        NAMES[(mix(s) as usize) % NAMES.len()]
+    }
+
+    fn rand_pattern(s: &mut u64) -> String {
+        let base = rand_name(s);
+        match mix(s) % 4 {
+            0 => format!("{base}*"),
+            1 => format!("{base}?"),
+            2 => format!("*{base}"),
+            _ => base.to_owned(),
+        }
+    }
+
+    fn rand_pred(s: &mut u64, depth: u32) -> Pred {
+        let n = if depth == 0 { mix(s) % 7 } else { mix(s) % 10 };
+        match n {
+            0 => Pred::Eq("name", Value::from(rand_name(s))),
+            1 => Pred::Eq("num", (((mix(s) % 5) as i64) - 2).into()),
+            2 => Pred::Eq("flag", mix(s).is_multiple_of(2).into()),
+            3 => Pred::EqCi("name", rand_name(s).to_owned()),
+            4 => Pred::Like("name", rand_pattern(s)),
+            5 => Pred::LikeCi("name", rand_pattern(s)),
+            6 => Pred::True,
+            7 => Pred::And(vec![rand_pred(s, depth - 1), rand_pred(s, depth - 1)]),
+            8 => Pred::Or(vec![rand_pred(s, depth - 1), rand_pred(s, depth - 1)]),
+            _ => Pred::Not(Box::new(rand_pred(s, depth - 1))),
+        }
+    }
+
+    /// One of four index layouts: every combination of name/num carrying
+    /// a secondary index. Non-unique indexes, so buckets grow multi-entry.
+    fn build_table(indexed: u8) -> Table {
+        let name = if indexed & 1 != 0 {
+            ColumnDef::str("name").indexed()
+        } else {
+            ColumnDef::str("name")
+        };
+        let num = if indexed & 2 != 0 {
+            ColumnDef::int("num").indexed()
+        } else {
+            ColumnDef::int("num")
+        };
+        Table::new(TableSchema::new(
+            "t",
+            vec![name, num, ColumnDef::boolean("flag")],
+        ))
+    }
+
+    #[derive(Debug, Clone)]
+    enum Churn {
+        Append(u64, i64, bool),
+        Update(u64, i64),
+        Delete(u64),
+    }
+
+    fn churn() -> impl Strategy<Value = Churn> {
+        prop_oneof![
+            (any::<u64>(), -2i64..3, any::<bool>()).prop_map(|(s, n, f)| Churn::Append(s, n, f)),
+            (any::<u64>(), -2i64..3).prop_map(|(s, n)| Churn::Update(s, n)),
+            any::<u64>().prop_map(Churn::Delete),
+        ]
+    }
+
+    /// `select(pred)` must agree with the forced naive scan, however the
+    /// planner chose to serve it — and so must `count` and `select_one`.
+    fn assert_oracle(t: &Table, pred: &Pred) -> Result<(), TestCaseError> {
+        let mut via_plan = t.select(pred);
+        let mut via_scan = t.select_scan(pred);
+        via_plan.sort_unstable();
+        via_scan.sort_unstable();
+        prop_assert_eq!(
+            &via_plan,
+            &via_scan,
+            "plan {} diverged from scan for {:?}",
+            t.plan(pred).describe(),
+            pred
+        );
+        prop_assert_eq!(t.count(pred), via_scan.len());
+        prop_assert_eq!(t.select_one(pred), via_scan.first().copied());
+        Ok(())
+    }
+
+    proptest! {
+        /// The soundness oracle the planner docs promise: a plan only
+        /// narrows the candidate set, so whatever access path `choose`
+        /// picks — point, folded point, intersect, range, or scan — the
+        /// results equal a forced slab scan. Runs across every index
+        /// layout, under slot-reusing mutation churn, over point, folded,
+        /// wildcard, and boolean-combined predicates.
+        #[test]
+        fn any_plan_equals_forced_scan(
+            indexed in 0u8..4,
+            pred_seeds in prop::collection::vec(any::<u64>(), 1..16),
+            ops in prop::collection::vec(churn(), 0..60),
+        ) {
+            let mut t = build_table(indexed);
+            let preds: Vec<Pred> = pred_seeds
+                .iter()
+                .map(|&s| rand_pred(&mut { s }, 2))
+                .collect();
+            let mut now = 0i64;
+            for (i, op) in ops.iter().enumerate() {
+                now += 1;
+                match op {
+                    Churn::Append(s, num, flag) => {
+                        let name = rand_name(&mut { *s });
+                        t.append(vec![name.into(), (*num).into(), (*flag).into()], now)
+                            .unwrap();
+                    }
+                    Churn::Update(s, num) => {
+                        let name = rand_name(&mut { *s });
+                        if let Some(id) = t.select_one(&Pred::Eq("name", name.into())) {
+                            t.update(id, &[("num", (*num).into())], now).unwrap();
+                        }
+                    }
+                    Churn::Delete(s) => {
+                        let name = rand_name(&mut { *s });
+                        t.delete_where(&Pred::Eq("name", name.into()), now);
+                    }
+                }
+                // Mid-churn probe: catches index corruption that a final
+                // sweep would miss once later ops overwrite the slot.
+                assert_oracle(&t, &preds[i % preds.len()])?;
+            }
+            for pred in &preds {
+                assert_oracle(&t, pred)?;
+                if indexed == 0 {
+                    prop_assert_eq!(t.plan(pred).kind(), "scan");
+                }
+            }
+        }
+    }
+}
+
+mod intern_props {
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    use moira_common::VClock;
+    use moira_db::journal::{Journal, JournalEntry};
+    use moira_db::schema::{ColumnDef, TableSchema};
+    use moira_db::snapshot::{decode_snapshot, encode_snapshot};
+    use moira_db::wal::{encode_frame, scan_frames};
+    use moira_db::{Database, Value};
+    use proptest::prelude::*;
+
+    fn schema() -> Vec<TableSchema> {
+        vec![TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::str("name").indexed(),
+                ColumnDef::str("val"),
+                ColumnDef::int("n"),
+            ],
+        )]
+    }
+
+    proptest! {
+        /// Interning is invisible to durability. Rows are built from a
+        /// small pool of adversarial strings (unicode, colons,
+        /// backslashes), so the same `Arc<str>` backs many cells; the
+        /// snapshot of that database decodes, applies onto a recovered
+        /// database, and re-encodes byte-identically, the rebuilt rows
+        /// share one allocation per distinct string, and WAL frames
+        /// carrying the same pool round-trip through the frame scanner.
+        #[test]
+        fn interned_snapshot_and_wal_round_trip_byte_identically(
+            pool in prop::collection::vec(".{1,12}", 1..6),
+            picks in prop::collection::vec((any::<u64>(), any::<u64>(), any::<i64>()), 1..40),
+        ) {
+            let mut db = Database::new(VClock::new());
+            for s in schema() {
+                db.create_table(s);
+            }
+            for (a, b, n) in &picks {
+                let name = &pool[(*a as usize) % pool.len()];
+                let val = &pool[(*b as usize) % pool.len()];
+                db.append("t", vec![name.as_str().into(), val.as_str().into(), (*n).into()])
+                    .unwrap();
+            }
+            let mut journal = Journal::new();
+            journal.log(JournalEntry {
+                time: db.now(),
+                who: "ops:root".into(),
+                with: "prop".into(),
+                query: "add_thing".into(),
+                args: vec!["co:lon".into(), "b\\ck".into()],
+            });
+
+            // Snapshot: decode + apply + re-encode is a byte-level fixed
+            // point even though every string cell went through the
+            // interner on both sides.
+            let text = encode_snapshot(&db, &journal, 5);
+            let image = decode_snapshot(&text).unwrap();
+            let mut back = Database::recovered(VClock::starting_at(image.now), image.epoch);
+            for s in schema() {
+                back.create_table(s);
+            }
+            image.apply(&mut back).unwrap();
+            prop_assert_eq!(encode_snapshot(&back, &journal, 5), text);
+
+            // Pointer-level dedupe: in the rebuilt table, equal strings
+            // share one allocation.
+            let mut seen: HashMap<String, *const u8> = HashMap::new();
+            for (_, row) in back.table("t").iter() {
+                for v in row.iter() {
+                    if let Value::Str(s) = v {
+                        let ptr = Arc::as_ptr(s) as *const u8;
+                        match seen.get(s.as_ref()) {
+                            Some(&p) => prop_assert_eq!(
+                                p, ptr,
+                                "two cells holding {:?} have separate allocations",
+                                s
+                            ),
+                            None => {
+                                seen.insert(s.as_ref().to_owned(), ptr);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // WAL torture with the same pool: frames whose entries carry
+            // interned-origin strings round-trip through the scanner.
+            let entries: Vec<JournalEntry> = pool
+                .iter()
+                .enumerate()
+                .map(|(i, s)| JournalEntry {
+                    time: i as i64,
+                    who: s.clone(),
+                    with: "prop".into(),
+                    query: "q".into(),
+                    args: vec![s.clone(), s.clone()],
+                })
+                .collect();
+            let mut log = Vec::new();
+            for (i, e) in entries.iter().enumerate() {
+                log.extend_from_slice(&encode_frame(i as u64, e));
+            }
+            let (frames, scan) = scan_frames(&log);
+            prop_assert_eq!(scan.torn_tail_truncations, 0);
+            prop_assert_eq!(frames.len(), entries.len());
+            for (e, (_, got)) in entries.iter().zip(&frames) {
+                prop_assert_eq!(e.to_line(), got.to_line());
+            }
+        }
+    }
+}
+
 mod lock_props {
     use moira_db::lock::{LockManager, LockMode};
     use proptest::prelude::*;

@@ -2,8 +2,10 @@
 //! paper's architecture depends on — the closed query surface with uniform
 //! access control, the read/write tier split, the `state.db` journaling
 //! contract, lock discipline around the shared state, the DCM delta-path
-//! scan ban, panic-free daemon request loops, and reactor discipline (no
-//! guard held across the reactor wait, no blocking calls on the wait path).
+//! scan ban, panic-free daemon request loops, reactor discipline (no
+//! guard held across the reactor wait, no blocking calls on the wait
+//! path), and planner discipline (no `Table::iter()` where an index
+//! could serve the lookup).
 //!
 //! It replaces the regex grep gates that used to live in CI: each pass
 //! parses the source (via the in-tree `syn` shim) instead of pattern
@@ -89,6 +91,13 @@ pub const PASSES: &[PassInfo] = &[
         description: "no SharedState guard held across the reactor wait, and no blocking \
                       syscalls in functions on the reactor wait path",
         run: passes::reactor::run,
+    },
+    PassInfo {
+        name: passes::plan::NAME,
+        description: "query handlers never Table::iter() a table with indexed columns — \
+                      lookups route through select() and the predicate planner; genuine \
+                      dumps carry a reviewed lint:allow",
+        run: passes::plan::run,
     },
 ];
 

@@ -1,9 +1,10 @@
-//! The six lint passes. Each exposes `NAME` (the `lint:allow` key) and
+//! The seven lint passes. Each exposes `NAME` (the `lint:allow` key) and
 //! `run(&Workspace) -> Vec<Diagnostic>`.
 
 pub mod delta;
 pub mod locks;
 pub mod panics;
+pub mod plan;
 pub mod reactor;
 pub mod registry_schema;
 pub mod tier;

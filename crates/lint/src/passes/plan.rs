@@ -1,0 +1,176 @@
+//! Pass 7 — planner discipline in the query surface.
+//!
+//! PR 8's predicate planner only pays off if handlers actually route
+//! through it: `Database::select` / `Table::select` consult the cost
+//! model, but a raw `Table::iter()` bypasses every index the schema
+//! declares. This pass denies `.iter()` on a table with at least one
+//! indexed (or unique) column inside `crates/core/src/queries/` — both
+//! the direct chain (`state.db.table("users").iter()`) and iteration
+//! through a bound handle (`let t = ..table("list"); t.iter()`).
+//!
+//! Tables without any indexed column are exempt (a scan is the only
+//! possible plan), as are test functions. The few genuine dump handlers
+//! (tristate qualifiers, admin enumerations) carry reviewed
+//! `lint:allow(plan-discipline)` comments, keeping the full-scan
+//! surface explicit the same way `full-rebuild fallback` markers do for
+//! the DCM.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::scan;
+use crate::{Diagnostic, SourceFile, Workspace};
+use syn::{Token, TokenKind};
+
+pub const NAME: &str = "plan-discipline";
+
+const QUERIES_DIR: &str = "crates/core/src/queries/";
+const SCHEMA_FILE: &str = "crates/core/src/schema.rs";
+
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(indexed) = indexed_tables(ws) else {
+        return out;
+    };
+    for sf in ws.files.iter().filter(|f| f.rel.starts_with(QUERIES_DIR)) {
+        check_file(sf, &indexed, &mut out);
+    }
+    out
+}
+
+/// Tables that declare at least one `.indexed()` or `.unique()` column,
+/// parsed from the `TableSchema::new("name", vec![...])` literals in
+/// `schema.rs` (unique columns are backed by the same secondary index).
+fn indexed_tables(ws: &Workspace) -> Option<HashSet<String>> {
+    let sf = ws.file(SCHEMA_FILE)?;
+    let toks = &sf.tokens;
+    let mut out = HashSet::new();
+    for i in 0..toks.len() {
+        if !scan::path_starts(toks, i, &["TableSchema", "new"])
+            || !toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let open = i + 4;
+        let Some(name) = toks.get(open + 1).filter(|t| t.kind == TokenKind::Str) else {
+            continue;
+        };
+        let close = scan::close_of(toks, open);
+        let has_index = toks[open..close].iter().enumerate().any(|(j, t)| {
+            (t.is_ident("indexed") || t.is_ident("unique"))
+                && toks[open + j..close]
+                    .get(1)
+                    .is_some_and(|n| n.is_punct('('))
+        });
+        if has_index {
+            out.insert(name.text.clone());
+        }
+    }
+    Some(out)
+}
+
+fn check_file(sf: &SourceFile, indexed: &HashSet<String>, out: &mut Vec<Diagnostic>) {
+    for f in sf.ast.functions() {
+        if f.in_test {
+            continue;
+        }
+        let body = &f.func.body;
+        let locals = table_locals_named(body);
+        for mc in scan::method_calls(body) {
+            if mc.name != "iter" {
+                continue;
+            }
+            let table = chain_table_name(body, mc.idx).or_else(|| {
+                scan::receiver_idents(body, mc.idx)
+                    .first()
+                    .and_then(|r| locals.get(r.as_str()).cloned())
+            });
+            let Some(table) = table else { continue };
+            if indexed.contains(&table) {
+                out.push(Diagnostic {
+                    pass: NAME,
+                    file: sf.rel.clone(),
+                    line: mc.line,
+                    message: format!(
+                        "`{}` iterates table `{table}`, which has indexed columns — \
+                         route the lookup through select() so the planner can use the \
+                         index; genuine dumps need a reviewed lint:allow",
+                        f.func.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// When the receiver chain of the `.` at `dot_idx` ends in a
+/// `.table("name")` call, the literal table name. Returns `None` for
+/// dynamic names (`table(name)`) and for chains not passing through
+/// `table` — those fall back to the bound-local map.
+fn chain_table_name(toks: &[Token], dot_idx: usize) -> Option<String> {
+    let mut i = dot_idx as isize - 1;
+    let mut last_open: Option<usize> = None;
+    while i >= 0 {
+        let t = &toks[i as usize];
+        if t.is_punct(')') || t.is_punct(']') {
+            let open = scan::open_of(toks, i as usize)?;
+            last_open = Some(open);
+            i = open as isize - 1;
+            continue;
+        }
+        if t.is_punct('?') {
+            i -= 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            if t.text == "table" {
+                let arg = toks.get(last_open? + 1)?;
+                return (arg.kind == TokenKind::Str).then(|| arg.text.clone());
+            }
+            last_open = None;
+            if i >= 1 && toks[i as usize - 1].is_punct('.') {
+                i -= 2;
+                continue;
+            }
+            if i >= 2 && toks[i as usize - 1].is_punct(':') && toks[i as usize - 2].is_punct(':') {
+                i -= 3;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    None
+}
+
+/// Locals bound from a `.table("name")` call with a literal name:
+/// `let t = state.db.table("users");` maps `t -> users`. Dynamic names
+/// are omitted — without the literal there is no index information.
+fn table_locals_named(body: &[Token]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    for i in 0..body.len() {
+        if !body[i].is_ident("let") {
+            continue;
+        }
+        let mut k = i + 1;
+        if k < body.len() && body[k].is_ident("mut") {
+            k += 1;
+        }
+        if k + 1 >= body.len() || body[k].kind != TokenKind::Ident || !body[k + 1].is_punct('=') {
+            continue;
+        }
+        let end = scan::statement_end(body, k + 1).min(body.len());
+        let rhs = &body[k + 2..end];
+        for j in 0..rhs.len() {
+            let is_call = rhs[j].is_ident("table")
+                && rhs.get(j + 1).is_some_and(|t| t.is_punct('('))
+                && (j == 0 || rhs[j - 1].is_punct('.'));
+            if is_call {
+                if let Some(name) = rhs.get(j + 2).filter(|t| t.kind == TokenKind::Str) {
+                    out.insert(body[k].text.clone(), name.text.clone());
+                }
+                break;
+            }
+        }
+    }
+    out
+}

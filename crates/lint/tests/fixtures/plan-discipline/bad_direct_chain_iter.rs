@@ -1,0 +1,26 @@
+//@ file: crates/core/src/schema.rs
+pub fn create_all_tables(db: &mut Database) {
+    db.create_table(TableSchema::new(
+        "users",
+        vec![
+            C::str("login").unique(),
+            C::int("users_id").unique(),
+            C::str("status"),
+        ],
+    ));
+}
+
+//@ file: crates/core/src/queries/users.rs
+// Direct chain: the handler walks the whole users table even though
+// `login` is unique — the exact lookup the planner serves from the
+// index.
+
+fn get_user_by_login(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let mut out = Vec::new();
+    for (row, r) in state.db.table("users").iter() {
+        if r[0].as_str() == a[0] {
+            out.push(vec![format!("{row:?}")]);
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,26 @@
+//@ file: crates/core/src/schema.rs
+pub fn create_all_tables(db: &mut Database) {
+    db.create_table(TableSchema::new(
+        "list",
+        vec![
+            C::str("name").unique(),
+            C::int("list_id").unique(),
+            C::int("acl_id").indexed(),
+        ],
+    ));
+}
+
+//@ file: crates/core/src/queries/lists.rs
+// The table handle is bound to a local first; iterating through the
+// local is the same full scan.
+
+fn lists_owned_by(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let t = state.db.table("list");
+    let mut out = Vec::new();
+    for (row, _) in t.iter() {
+        if t.cell(row, "acl_id").as_int().to_string() == a[0] {
+            out.push(vec![t.cell(row, "name").render()]);
+        }
+    }
+    Ok(out)
+}

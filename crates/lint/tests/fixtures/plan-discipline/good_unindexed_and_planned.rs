@@ -1,0 +1,52 @@
+//@ file: crates/core/src/schema.rs
+pub fn create_all_tables(db: &mut Database) {
+    db.create_table(TableSchema::new(
+        "users",
+        vec![C::str("login").unique(), C::str("status")],
+    ));
+    db.create_table(TableSchema::new(
+        "numvalues",
+        vec![C::str("name"), C::int("value")],
+    ));
+}
+
+//@ file: crates/core/src/queries/users.rs
+// All clean: an indexed lookup through select(), a full walk of a table
+// with no indexes (a scan is its only possible plan), iteration over a
+// plain Vec, a dump behind a reviewed allow, and a scan inside a test.
+
+fn get_user(state: &MoiraState, _c: &Caller, a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let rows = state.db.select("users", &Pred::Eq("login", a[0].as_str().into()));
+    Ok(rows.iter().map(|&r| vec![format!("{r:?}")]).collect())
+}
+
+fn dump_values(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let t = state.db.table("numvalues");
+    let mut out = Vec::new();
+    for (row, _) in t.iter() {
+        out.push(vec![t.cell(row, "name").render()]);
+    }
+    Ok(out)
+}
+
+fn qualified_dump(state: &MoiraState, _c: &Caller, _a: &[String]) -> MrResult<Vec<Vec<String>>> {
+    let t = state.db.table("users");
+    let mut out = Vec::new();
+    // Tristate qualifier over every row — a reviewed full-scan dump.
+    // lint:allow(plan-discipline)
+    for (row, _) in t.iter() {
+        out.push(vec![t.cell(row, "login").render()]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scans_are_fine_in_tests() {
+        let state = test_state();
+        for (row, _) in state.db.table("users").iter() {
+            let _ = row;
+        }
+    }
+}

@@ -96,6 +96,7 @@ pub struct Person {
 /// Generates `n` distinct people deterministically from the RNG.
 pub fn people(rng: &mut Mt, n: usize) -> Vec<Person> {
     let mut out = Vec::with_capacity(n);
+    let mut taken = std::collections::HashSet::with_capacity(n);
     for i in 0..n {
         let first = (*rng.choice(FIRST_NAMES)).to_owned();
         let last = (*rng.choice(LAST_NAMES)).to_owned();
@@ -105,7 +106,15 @@ pub fn people(rng: &mut Mt, n: usize) -> Vec<Person> {
             String::new()
         };
         let class = (*rng.choice(CLASSES)).to_owned();
-        let login = login_for(&first, &last, i);
+        // The stem+serial concatenation is not prefix-free (the serial's
+        // length varies with the counter), so two counters can render the
+        // same 8 characters once the population is large enough. No first
+        // name starts with U, so `u<serial>` cannot collide with any stem.
+        let mut login = login_for(&first, &last, i);
+        if !taken.insert(login.clone()) {
+            login = format!("u{}", base36(i));
+            taken.insert(login.clone());
+        }
         let id_number = format!(
             "{:03}-{:02}-{:04}",
             rng.below(900) + 100,
@@ -208,6 +217,19 @@ mod tests {
         assert!(folks
             .iter()
             .all(|p| p.login.chars().all(|c| c.is_ascii_alphanumeric())));
+    }
+
+    #[test]
+    fn logins_unique_at_collision_scale() {
+        // 150k is past the point where the raw stem+serial rendering
+        // collides; the fallback path must keep the set distinct.
+        let mut rng = Mt::new(2);
+        let folks = people(&mut rng, 150_000);
+        let mut logins: Vec<&str> = folks.iter().map(|p| p.login.as_str()).collect();
+        logins.sort_unstable();
+        logins.dedup();
+        assert_eq!(logins.len(), 150_000, "logins must stay unique at scale");
+        assert!(folks.iter().all(|p| p.login.len() <= 8));
     }
 
     #[test]

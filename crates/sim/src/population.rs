@@ -97,6 +97,41 @@ impl PopulationSpec {
         }
     }
 
+    /// A production deployment of `users` active accounts, keeping the
+    /// paper's 1988 distribution *shapes*: every infrastructure dimension
+    /// grows in the same ratio to the user body as the Athena deployment
+    /// had (one workstation per ~8 users, a cluster per ~40 workstations,
+    /// an NFS locker server per 500 users, a mailing list per 20 users with
+    /// the same mean fan-out, and so on), with the fixed singleton services
+    /// (Hesiod replica set, mail hub propagation) growing only
+    /// logarithmically, as replica sets do.
+    pub fn production(users: usize) -> PopulationSpec {
+        let base = Self::athena_1988();
+        let factor = users as f64 / base.active_users.max(1) as f64;
+        let scale = |n: usize| ((n as f64) * factor).round().max(1.0) as usize;
+        // Replica-set services: grow with log10 of the scale factor, not
+        // linearly — one more replica tier per order of magnitude.
+        let tier = factor.max(1.0).log10().ceil() as usize;
+        PopulationSpec {
+            seed: 1988,
+            active_users: users,
+            unregistered_users: scale(base.unregistered_users),
+            clusters: scale(base.clusters),
+            workstations: scale(base.workstations),
+            nfs_servers: scale(base.nfs_servers),
+            pop_servers: scale(base.pop_servers),
+            hesiod_servers: base.hesiod_servers + tier,
+            zephyr_servers: base.zephyr_servers + tier,
+            mail_hubs: base.mail_hubs + tier,
+            printers: scale(base.printers),
+            network_services: base.network_services,
+            maillists: scale(base.maillists),
+            maillist_avg_members: base.maillist_avg_members,
+            zephyr_classes: base.zephyr_classes + tier,
+            dialup_servers: base.dialup_servers + tier,
+        }
+    }
+
     /// A copy scaled by `factor` on the user-proportional dimensions (for
     /// scaling sweeps).
     pub fn scaled_users(&self, users: usize) -> PopulationSpec {
@@ -652,5 +687,50 @@ mod tests {
         assert_eq!(spec.active_users, 1000);
         assert_eq!(spec.maillists, 50);
         assert_eq!(spec.nfs_servers, 20, "infrastructure unchanged");
+    }
+
+    #[test]
+    fn production_spec_keeps_1988_ratios() {
+        // At the paper's own scale, production == the paper's deployment.
+        let base = PopulationSpec::athena_1988();
+        let same = PopulationSpec::production(10_000);
+        assert_eq!(same.workstations, base.workstations);
+        assert_eq!(same.nfs_servers, base.nfs_servers);
+        assert_eq!(same.maillists, base.maillists);
+
+        // 100x the users: linear dimensions scale 100x, replica-set
+        // services add one tier per order of magnitude.
+        let big = PopulationSpec::production(1_000_000);
+        assert_eq!(big.active_users, 1_000_000);
+        assert_eq!(big.workstations, 120_000);
+        assert_eq!(big.clusters, 3_000);
+        assert_eq!(big.nfs_servers, 2_000);
+        assert_eq!(big.maillists, 50_000);
+        assert_eq!(big.maillist_avg_members, base.maillist_avg_members);
+        assert_eq!(big.hesiod_servers, base.hesiod_servers + 2);
+        assert_eq!(big.mail_hubs, base.mail_hubs + 2);
+        // Ratios to the user body match the paper's.
+        let ratio = |n: usize, users: usize| n as f64 / users as f64;
+        assert!(
+            (ratio(big.workstations, big.active_users)
+                - ratio(base.workstations, base.active_users))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn production_population_builds_at_small_scale() {
+        // Drive the production constructor through the real registry at a
+        // test-friendly size; the 1M build is the bench's job.
+        let (mut state, _) = state_with_admin("ops");
+        let registry = Registry::standard();
+        let spec = PopulationSpec {
+            seed: 7,
+            ..PopulationSpec::production(200)
+        };
+        let report = populate(&mut state, &registry, &spec).unwrap();
+        assert_eq!(report.active_logins.len(), 200);
+        assert_eq!(state.db.table("filesys").len(), 200);
     }
 }

@@ -360,6 +360,12 @@ fn server_statistics_over_tcp_report_real_latencies() {
         let uid = moira::core::queries::testutil::add_test_user(&mut s, "ops", 1);
         s.db.append("members", vec![2.into(), "USER".into(), uid.into()])
             .unwrap();
+        // Enough machines that the planner prefers the name-index range
+        // over a scan for the wildcard lookups below (on a near-empty
+        // table a scan is legitimately just as cheap).
+        for i in 0..32 {
+            moira::core::queries::testutil::add_test_machine(&mut s, &format!("FILLER{i}.MIT.EDU"));
+        }
     }
     let addr = server.listen_tcp("127.0.0.1:0").unwrap();
     let _thread = ServerThread::spawn(server);
@@ -406,6 +412,18 @@ fn server_statistics_over_tcp_report_real_latencies() {
         stat("server.latency.readiness_to_dispatch.p99_ns")
             >= stat("server.latency.readiness_to_dispatch.p50_ns"),
         "quantiles are ordered"
+    );
+    // The query planner's instruments ride the same snapshot. Each of the
+    // four `get_machine STATS*` calls carries a trailing wildcard, so the
+    // planner serves it as an IndexRange over the folded machine-name
+    // index; the exact-name lookups on the way (authentication resolving
+    // the login, add_machine's duplicate check) are index points. Every
+    // planned select also records how many rows it actually examined.
+    assert!(stat("db.plan.range") >= 4, "STATS* is a prefix range");
+    assert!(stat("db.plan.point") >= 1, "exact lookups are index points");
+    assert!(
+        stat("db.select.rows_examined.count") >= 5,
+        "planned selects sample rows-examined"
     );
     client.disconnect().unwrap();
 }
