@@ -157,14 +157,27 @@ mod tests {
     #[test]
     fn retrieves_run_under_the_shared_guard() {
         // A reader holding the shared guard does not block glue retrieves —
-        // the read tier only needs another shared guard.
+        // the read tier only needs another shared guard. The outside reader
+        // lives on its own thread: re-reading on the *same* thread is the
+        // recursive-read hazard the lock-order witness rejects (it
+        // deadlocks the moment a writer queues between the two reads).
         let (state, registry) = setup();
         let mut glue = DirectClient::connect_as_root(state.clone(), registry, "dcm");
         glue.query("add_machine", &["RO", "VAX"], &mut |_| {})
             .unwrap();
-        let outside_reader = state.read();
+        let outside = state.clone();
+        let (locked_tx, locked_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let reader = std::thread::spawn(move || {
+            let guard = outside.read();
+            locked_tx.send(()).unwrap();
+            done_rx.recv().unwrap();
+            drop(guard);
+        });
+        locked_rx.recv().unwrap();
         let rows = glue.query_collect("get_machine", &["RO"]).unwrap();
         assert_eq!(rows[0][0], "RO");
-        drop(outside_reader);
+        done_tx.send(()).unwrap();
+        reader.join().unwrap();
     }
 }

@@ -23,6 +23,7 @@ pub mod clock;
 pub mod crc;
 pub mod errors;
 pub mod hashtab;
+pub mod lockorder;
 pub mod menu;
 pub mod queue;
 pub mod rng;

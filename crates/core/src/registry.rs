@@ -290,7 +290,13 @@ impl Registry {
             // is at least buffered in the WAL (group commit fsyncs it). A
             // failed append is surfaced to the caller — the in-memory
             // change stands, but its durability cannot be promised.
+            //
+            // Durability is the one sanctioned blocking step on the write
+            // path: the group-commit fsync is bounded, and the journal
+            // order must match the guard order, so the append cannot move
+            // outside the write lock (DESIGN.md "Durable storage").
             let now = state.db.now();
+            // lint:allow(lock-discipline, reactor-discipline)
             if let Err(e) = state.storage.append(&entry, now) {
                 state.obs.counter("db.wal.append_errors").inc();
                 return Err(e);

@@ -38,7 +38,6 @@ use moira_common::errors::MrError;
 use moira_krb::ticket::{Authenticator, Ticket, Verifier};
 use moira_protocol::transport::{Channel, TcpChannel};
 use moira_protocol::wire::{check_version, MajorRequest, Reply, Request};
-use parking_lot::RwLock;
 
 use crate::access;
 use crate::reactor::{Reactor, Waker, LISTENER_KEY};
@@ -484,9 +483,9 @@ impl MoiraServer {
     /// Bounded shared-lock acquisition: yields between attempts, gives up
     /// after the configured patience so contention surfaces as `Busy`.
     fn read_or_busy(
-        state: &RwLock<MoiraState>,
+        state: &SharedState,
         patience: u32,
-    ) -> Option<parking_lot::RwLockReadGuard<'_, MoiraState>> {
+    ) -> Option<crate::state::StateReadGuard<'_>> {
         for _ in 0..patience {
             if let Some(guard) = state.try_read() {
                 return Some(guard);
@@ -498,9 +497,9 @@ impl MoiraServer {
 
     /// Bounded exclusive-lock acquisition.
     fn write_or_busy(
-        state: &RwLock<MoiraState>,
+        state: &SharedState,
         patience: u32,
-    ) -> Option<parking_lot::RwLockWriteGuard<'_, MoiraState>> {
+    ) -> Option<crate::state::StateWriteGuard<'_>> {
         for _ in 0..patience {
             if let Some(guard) = state.try_write() {
                 return Some(guard);

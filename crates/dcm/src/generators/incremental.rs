@@ -219,6 +219,7 @@ fn full_refresh(
         }
         (assemble(plan, &sections, None)?, sections)
     } else {
+        // full-rebuild fallback: this plan has no delta support.
         (generator.generate(state, "")?, Vec::new())
     };
     let changed = prev_archive.is_none_or(|p| p != archive);

@@ -22,16 +22,49 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod engine;
 pub mod passes;
 pub mod scan;
 
-/// One finding: which pass, where, and what the violation is.
+/// One finding: which pass, where, and what the violation is. When the
+/// violation is reached transitively, `chain` holds the full witness path
+/// (`(file, line)` hops from the flagged site down to the primitive).
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     pub pass: &'static str,
     pub file: String,
     pub line: u32,
     pub message: String,
+    pub chain: Vec<(String, u32)>,
+}
+
+impl Diagnostic {
+    pub fn new(pass: &'static str, file: String, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            pass,
+            file,
+            line,
+            message,
+            chain: Vec::new(),
+        }
+    }
+
+    pub fn with_chain(mut self, chain: Vec<(String, u32)>) -> Diagnostic {
+        // A single-hop chain is just the flagged line again.
+        if chain.len() > 1 {
+            self.chain = chain;
+        }
+        self
+    }
+
+    /// `a.rs:12 → b.rs:90 → c.rs:33` (empty string when there is no chain).
+    pub fn chain_display(&self) -> String {
+        self.chain
+            .iter()
+            .map(|(f, l)| format!("{f}:{l}"))
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -40,31 +73,64 @@ impl fmt::Display for Diagnostic {
             f,
             "error[{}] {}:{}: {}",
             self.pass, self.file, self.line, self.message
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    call chain: {}", self.chain_display())?;
+        }
+        Ok(())
+    }
+}
+
+/// A `lint:allow(...)` comment that no longer suppresses anything. Escapes
+/// are reviewed code; one that has rotted must be removed, not carried.
+#[derive(Debug, Clone)]
+pub struct StaleAllow {
+    pub file: String,
+    pub line: u32,
+    pub pass: String,
+}
+
+impl fmt::Display for StaleAllow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "warning[stale-allow] {}:{}: `lint:allow({})` no longer suppresses any \
+             diagnostic — remove it",
+            self.file, self.line, self.pass
         )
     }
 }
 
+/// The result of a full lint run: surviving diagnostics plus the allows
+/// that matched nothing.
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub stale_allows: Vec<StaleAllow>,
+}
+
 /// A registered pass: name (used in `lint:allow(...)`) and a one-line
-/// description for `--list`.
+/// description for `--list`. Every pass receives the workspace call-graph
+/// engine; file-local passes simply ignore it.
 pub struct PassInfo {
     pub name: &'static str,
     pub description: &'static str,
-    pub run: fn(&Workspace) -> Vec<Diagnostic>,
+    pub run: fn(&Workspace, &engine::Engine<'_>) -> Vec<Diagnostic>,
 }
 
 /// All passes, in the order they run.
 pub const PASSES: &[PassInfo] = &[
     PassInfo {
         name: passes::tier::NAME,
-        description: "read handlers take &MoiraState and never call mutating Database/Table \
-                      APIs; write handlers mutate only through state.db (journaling contract); \
-                      MoiraState is never Clone",
+        description: "read handlers take &MoiraState and never transitively reach a mutating \
+                      Database/Table API (any file, any depth); write handlers mutate only \
+                      through state.db (journaling contract); MoiraState is never Clone",
         run: passes::tier::run,
     },
     PassInfo {
         name: passes::locks::NAME,
         description: "no blocking I/O and no second guard acquisition while a SharedState \
-                      RwLock guard is live, with a one-level walk into same-file helpers",
+                      RwLock guard is live — including transitively through calls into any \
+                      file, with the full call chain in the diagnostic",
         run: passes::locks::run,
     },
     PassInfo {
@@ -77,7 +143,8 @@ pub const PASSES: &[PassInfo] = &[
     PassInfo {
         name: passes::delta::NAME,
         description: "the DCM incremental path and per-generator delta fragments never \
-                      full-scan driver tables; full rebuilds only via the marked fallback",
+                      full-scan driver tables, directly or through helpers in any file; \
+                      full rebuilds only via the marked fallback",
         run: passes::delta::run,
     },
     PassInfo {
@@ -89,7 +156,7 @@ pub const PASSES: &[PassInfo] = &[
     PassInfo {
         name: passes::reactor::NAME,
         description: "no SharedState guard held across the reactor wait, and no blocking \
-                      syscalls in functions on the reactor wait path",
+                      syscalls reachable from functions on the reactor wait path",
         run: passes::reactor::run,
     },
     PassInfo {
@@ -149,14 +216,6 @@ impl SourceFile {
             }
         }
         map
-    }
-
-    /// True when a diagnostic at `line` for `pass` is suppressed by a
-    /// `lint:allow` comment on the same line or the line above.
-    fn allowed(&self, pass: &str, line: u32) -> bool {
-        self.allows
-            .iter()
-            .any(|(l, p)| p == pass && (*l == line || *l + 1 == line))
     }
 }
 
@@ -227,27 +286,78 @@ impl Workspace {
     /// Returns `None` for an unknown pass name.
     pub fn run_pass(&self, name: &str) -> Option<Vec<Diagnostic>> {
         let pass = PASSES.iter().find(|p| p.name == name)?;
-        Some(self.suppress((pass.run)(self)))
+        let eng = engine::Engine::build(self);
+        Some(self.suppress((pass.run)(self, &eng)))
     }
 
     /// Runs every pass and applies `lint:allow` suppressions.
     pub fn run_all(&self) -> Vec<Diagnostic> {
+        self.run_full().diagnostics
+    }
+
+    /// Runs every pass, applies `lint:allow` suppressions, and reports the
+    /// allows that suppressed nothing (stale escapes). Staleness is only
+    /// meaningful on a full run — a single-pass run would see every other
+    /// pass's allows as unused.
+    pub fn run_full(&self) -> LintReport {
+        let eng = engine::Engine::build(self);
         let mut out = Vec::new();
+        // (file index, allow index) pairs that matched a raw diagnostic.
+        let mut used: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
         for pass in PASSES {
-            out.extend(self.suppress((pass.run)(self)));
+            for d in (pass.run)(self, &eng) {
+                let matches = self.matching_allows(&d);
+                if matches.is_empty() {
+                    out.push(d);
+                } else {
+                    used.extend(matches);
+                }
+            }
         }
         out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-        out
+        let mut stale = Vec::new();
+        for (fi, sf) in self.files.iter().enumerate() {
+            for (ai, (line, pass)) in sf.allows.iter().enumerate() {
+                if !used.contains(&(fi, ai)) {
+                    stale.push(StaleAllow {
+                        file: sf.rel.clone(),
+                        line: *line,
+                        pass: pass.clone(),
+                    });
+                }
+            }
+        }
+        LintReport {
+            diagnostics: out,
+            stale_allows: stale,
+        }
     }
 
     fn suppress(&self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
         diags
             .into_iter()
-            .filter(|d| {
-                self.file(&d.file)
-                    .is_none_or(|f| !f.allowed(d.pass, d.line))
-            })
+            .filter(|d| self.matching_allows(d).is_empty())
             .collect()
+    }
+
+    /// `(file index, allow index)` pairs that suppress `d`: an allow on the
+    /// flagged line (or the line above), or on any hop of the witness chain
+    /// — a reviewed escape at the primitive covers every caller that only
+    /// reaches it through that site.
+    fn matching_allows(&self, d: &Diagnostic) -> Vec<(usize, usize)> {
+        let mut sites: Vec<(&str, u32)> = vec![(d.file.as_str(), d.line)];
+        sites.extend(d.chain.iter().map(|(f, l)| (f.as_str(), *l)));
+        let mut out = Vec::new();
+        for (file, line) in sites {
+            if let Some(fi) = self.files.iter().position(|f| f.rel == file) {
+                for (ai, (l, p)) in self.files[fi].allows.iter().enumerate() {
+                    if p == d.pass && (*l == line || *l + 1 == line) {
+                        out.push((fi, ai));
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! cargo run -p moira-lint                  # run all passes on the workspace
-//! cargo run -p moira-lint -- --deny-all    # same; exit 1 on any finding (CI mode)
+//! cargo run -p moira-lint -- --deny-all    # CI mode: stale allows also fail the run
+//! cargo run -p moira-lint -- --json        # machine-readable diagnostics on stdout
+//! cargo run -p moira-lint -- --github      # GitHub Actions ::error annotations
 //! cargo run -p moira-lint -- --list        # print pass names and descriptions
 //! cargo run -p moira-lint -- --pass panic-path
 //! cargo run -p moira-lint -- --root /path/to/workspace
@@ -10,20 +12,24 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use moira_lint::{Workspace, PASSES};
+use moira_lint::{Diagnostic, StaleAllow, Workspace, PASSES};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
     let mut pass: Option<String> = None;
     let mut list = false;
-    // `--deny-all` is the documented CI flag; findings always fail the run,
-    // so today it is the default behavior spelled out.
+    let mut deny_all = false;
+    let mut json = false;
+    let mut github = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => list = true,
-            "--deny-all" => {}
+            "--deny-all" => deny_all = true,
+            "--json" => json = true,
+            "--github" => github = true,
             "--root" => root = args.next().map(PathBuf::from),
             "--pass" => pass = args.next(),
             "--help" | "-h" => {
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
             PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
         }
     });
+    let started = Instant::now();
     let ws = match Workspace::load(&root) {
         Ok(ws) => ws,
         Err(e) => {
@@ -58,40 +65,160 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags = match &pass {
+    // Stale-allow detection is only meaningful on a full run: a single-pass
+    // run would see every other pass's allows as unused.
+    let (diags, stale) = match &pass {
         Some(name) => match ws.run_pass(name) {
-            Some(d) => d,
+            Some(d) => (d, Vec::new()),
             None => {
                 eprintln!("moira-lint: unknown pass `{name}` (see --list)");
                 return ExitCode::from(2);
             }
         },
-        None => ws.run_all(),
+        None => {
+            let report = ws.run_full();
+            (report.diagnostics, report.stale_allows)
+        }
     };
-    for d in &diags {
-        println!("{d}");
-    }
-    if diags.is_empty() {
-        println!(
-            "moira-lint: {} file(s) clean across {} pass(es)",
-            ws.files.len(),
-            pass.as_ref().map_or(PASSES.len(), |_| 1)
-        );
-        ExitCode::SUCCESS
+    let wall_ms = started.elapsed().as_millis();
+
+    if json {
+        println!("{}", render_json(&diags, &stale, ws.files.len(), wall_ms));
+    } else if github {
+        for d in &diags {
+            // ::error file=...,line=...::message — one annotation per
+            // finding, with the witness chain folded into the message.
+            let mut msg = format!("[{}] {}", d.pass, d.message);
+            if !d.chain.is_empty() {
+                msg.push_str(&format!(" (call chain: {})", d.chain_display()));
+            }
+            println!(
+                "::error file={},line={}::{}",
+                d.file,
+                d.line,
+                gh_escape(&msg)
+            );
+        }
+        for s in &stale {
+            println!(
+                "::warning file={},line={}::lint:allow({}) no longer suppresses any \
+                 diagnostic — remove it",
+                s.file, s.line, s.pass
+            );
+        }
     } else {
-        println!("moira-lint: {} violation(s)", diags.len());
-        ExitCode::FAILURE
+        for d in &diags {
+            println!("{d}");
+        }
+        for s in &stale {
+            println!("{s}");
+        }
     }
+
+    let failed = !diags.is_empty() || (deny_all && !stale.is_empty());
+    if !json && !github {
+        if failed {
+            println!(
+                "moira-lint: {} violation(s), {} stale allow(s)",
+                diags.len(),
+                stale.len()
+            );
+        } else {
+            println!(
+                "moira-lint: {} file(s) clean across {} pass(es) in {} ms{}",
+                ws.files.len(),
+                pass.as_ref().map_or(PASSES.len(), |_| 1),
+                wall_ms,
+                if stale.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({} stale allow(s) — warning)", stale.len())
+                }
+            );
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Hand-rolled JSON (the workspace carries no serializer dependency): one
+/// object with `diagnostics`, `stale_allows`, `files`, and `wall_ms`.
+fn render_json(diags: &[Diagnostic], stale: &[StaleAllow], files: usize, wall_ms: u128) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"pass\":{},\"file\":{},\"line\":{},\"message\":{},\"chain\":[",
+            json_str(d.pass),
+            json_str(&d.file),
+            d.line,
+            json_str(&d.message)
+        ));
+        for (j, (f, l)) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"file\":{},\"line\":{l}}}", json_str(f)));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"stale_allows\":[");
+    for (i, s) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"pass\":{},\"file\":{},\"line\":{}}}",
+            json_str(&s.pass),
+            json_str(&s.file),
+            s.line
+        ));
+    }
+    out.push_str(&format!("],\"files\":{files},\"wall_ms\":{wall_ms}}}"));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// GitHub annotation messages: `%`, `\r`, `\n` are the only escapes.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 fn print_help() {
     println!(
         "moira-lint — static analyzer for the Moira workspace invariants\n\n\
-         USAGE: moira-lint [--deny-all] [--list] [--pass <name>] [--root <dir>]\n\n\
+         USAGE: moira-lint [--deny-all] [--json] [--github] [--list] [--pass <name>] \
+         [--root <dir>]\n\n\
          OPTIONS:\n\
-         \x20 --deny-all     CI mode (explicit; findings always fail the run)\n\
+         \x20 --deny-all     CI mode: stale lint:allow comments also fail the run\n\
+         \x20 --json         machine-readable diagnostics (file/line/pass/chain) on stdout\n\
+         \x20 --github       GitHub Actions ::error / ::warning annotations\n\
          \x20 --list         print pass names and descriptions\n\
-         \x20 --pass <name>  run a single pass\n\
+         \x20 --pass <name>  run a single pass (skips stale-allow detection)\n\
          \x20 --root <dir>   workspace root (default: cwd, or the manifest's)"
     );
 }

@@ -14,12 +14,19 @@
 //!   (`active_users`, `active_groups`, `group_map`) — `groups_of_user` is
 //!   the delta-friendly form. Full builders (the non-delta `generate`
 //!   path) may scan; they are not reachable from `delta_refresh`.
+//!
+//! The pass runs on the call-graph engine's `Scans` summaries: a fragment
+//! that reaches a whole-table enumeration through any chain of helpers —
+//! in any file — is denied, with the full call chain in the diagnostic.
+//! Call sites carrying the `full-rebuild fallback` marker stop the
+//! propagation (the engine does not flow `Scans` over marked edges).
 
 use std::collections::HashSet;
 
+use crate::engine::{Effect, Engine, FnId};
 use crate::scan;
 use crate::{Diagnostic, SourceFile, Workspace};
-use syn::{ItemFn, Token, TokenKind};
+use syn::{Token, TokenKind};
 
 pub const NAME: &str = "delta-scan";
 
@@ -29,17 +36,16 @@ const INCREMENTAL: &str = "crates/dcm/src/generators/incremental.rs";
 /// Whole-table helper functions a delta fragment must never call.
 const FULL_SCAN_HELPERS: &[&str] = &["active_users", "active_groups", "group_map"];
 
-pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+pub fn run(ws: &Workspace, eng: &Engine<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for sf in ws
-        .files
-        .iter()
-        .filter(|f| f.rel.starts_with(GENERATORS_DIR))
-    {
+    for (fi, sf) in ws.files.iter().enumerate() {
+        if !sf.rel.starts_with(GENERATORS_DIR) {
+            continue;
+        }
         if sf.rel == INCREMENTAL {
-            check_incremental(sf, &mut out);
+            check_incremental(sf, eng, fi, &mut out);
         } else {
-            check_generator(sf, &mut out);
+            check_generator(sf, eng, fi, &mut out);
         }
     }
     out
@@ -85,7 +91,7 @@ fn table_locals(body: &[Token]) -> HashSet<String> {
     out
 }
 
-fn check_incremental(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+fn check_incremental(sf: &SourceFile, eng: &Engine<'_>, fi: usize, out: &mut Vec<Diagnostic>) {
     // Marker lines: comments containing "full-rebuild fallback".
     let markers: HashSet<u32> = sf
         .ast
@@ -102,16 +108,16 @@ fn check_incremental(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
         let locals = table_locals(body);
         for mc in scan::method_calls(body) {
             if mc.name == "iter" && is_table_iter(body, mc.idx, &locals) {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: mc.line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    NAME,
+                    sf.rel.clone(),
+                    mc.line,
+                    format!(
                         "`{}` iterates a whole table — the incremental path must read row \
                          deltas via changed_since",
                         f.func.name
                     ),
-                });
+                ));
             }
             // `changed_since(0)` replays every row ever written: a full
             // scan in delta clothing.
@@ -119,16 +125,16 @@ fn check_incremental(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
                 && body.get(mc.idx + 3).is_some_and(|t| t.text == "0")
                 && body.get(mc.idx + 4).is_some_and(|t| t.is_punct(')'))
             {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: mc.line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    NAME,
+                    sf.rel.clone(),
+                    mc.line,
+                    format!(
                         "`{}` calls changed_since(0) — that is a full scan; use \
                          full_rebuild_rows with its marker instead",
                         f.func.name
                     ),
-                });
+                ));
             }
         }
         for fc in scan::free_calls(body) {
@@ -138,24 +144,58 @@ fn check_incremental(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
                     || markers.contains(&(l + 1))
                     || (l > 0 && markers.contains(&(l - 1))))
                 {
-                    out.push(Diagnostic {
-                        pass: NAME,
-                        file: sf.rel.clone(),
-                        line: l,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        NAME,
+                        sf.rel.clone(),
+                        l,
+                        format!(
                             "`{}` calls full_rebuild_rows without a `full-rebuild fallback` \
                              marker comment — full enumerations must be explicit",
                             f.func.name
                         ),
-                    });
+                    ));
                 }
             }
         }
     }
+    // Transitive walk: calls out of incremental.rs whose callee summary
+    // scans — unless the call site carries the fallback marker.
+    for &id in eng.fns_in_file(fi) {
+        if eng.fns[id].in_test {
+            continue;
+        }
+        let fname = &eng.fns[id].func.name;
+        for c in eng.calls(id) {
+            if c.marked {
+                continue;
+            }
+            for &t in &c.targets {
+                // Scans *inside* this file are caught token-exactly above.
+                if eng.fns[t].file == fi || !eng.effects(t).has(Effect::Scans) {
+                    continue;
+                }
+                let (chain, prim) = eng.chain_through(id, c.line, t, Effect::Scans);
+                out.push(
+                    Diagnostic::new(
+                        NAME,
+                        sf.rel.clone(),
+                        c.line,
+                        format!(
+                            "`{}` calls `{}`, which transitively enumerates a whole table \
+                             (`{prim}`) — the incremental path must stay per-row",
+                            fname, c.name
+                        ),
+                    )
+                    .with_chain(chain),
+                );
+                break;
+            }
+        }
+    }
+    out.dedup_by(|a, b| a.line == b.line && a.message == b.message && a.file == b.file);
 }
 
-fn check_generator(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
-    let fn_map = sf.fn_map();
+fn check_generator(sf: &SourceFile, eng: &Engine<'_>, fi: usize, out: &mut Vec<Diagnostic>) {
     // Fragment functions named by Section literals inside delta plans.
     let mut fragments: Vec<&str> = Vec::new();
     let toks = &sf.tokens;
@@ -182,66 +222,97 @@ fn check_generator(sf: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
     fragments.sort_unstable();
     fragments.dedup();
-    // Each fragment, plus the one-level helpers it calls in-file. The
-    // `via` entry records the call site when the body under scrutiny is a
-    // helper rather than the fragment itself.
-    type CheckItem<'a> = (&'a str, &'a ItemFn, Option<(&'a str, u32)>);
-    let mut to_check: Vec<CheckItem> = Vec::new();
+
     for name in &fragments {
-        let Some(f) = fn_map.get(name) else { continue };
-        to_check.push((name, f, None));
-        for fc in scan::free_calls(&f.body) {
-            if fc.name != *name && !FULL_SCAN_HELPERS.contains(&fc.name) {
-                if let Some(h) = fn_map.get(fc.name) {
-                    to_check.push((name, h, Some((fc.name, fc.line))));
-                }
-            }
+        let Some(id) = eng.fn_in_file(fi, name) else {
+            continue;
+        };
+        check_fragment(sf, eng, id, name, out);
+    }
+    out.dedup_by(|a, b| a.line == b.line && a.message == b.message && a.file == b.file);
+}
+
+/// One delta fragment: its own body must be scan-free token-exactly, and
+/// every call out of it must not transitively reach a whole-table
+/// enumeration or one of the full-scan helpers.
+fn check_fragment(
+    sf: &SourceFile,
+    eng: &Engine<'_>,
+    id: FnId,
+    frag: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let body = &eng.fns[id].func.body;
+    let locals = table_locals(body);
+    for mc in scan::method_calls(body) {
+        if mc.name == "iter" && is_table_iter(body, mc.idx, &locals) {
+            out.push(Diagnostic::new(
+                NAME,
+                sf.rel.clone(),
+                mc.line,
+                format!(
+                    "delta fragment `{frag}` iterates a whole driver table — fragments must \
+                     stay per-row"
+                ),
+            ));
         }
     }
-    for (frag, f, via) in to_check {
-        let body = &f.body;
-        let locals = table_locals(body);
-        let site = |line: u32| via.map(|(_, l)| l).unwrap_or(line);
-        let context = |what: &str| match via {
-            Some((helper, _)) => {
-                format!("delta fragment `{frag}` calls helper `{helper}`, which {what}")
-            }
-            None => format!("delta fragment `{frag}` {what}"),
-        };
-        for mc in scan::method_calls(body) {
-            if mc.name == "iter" && is_table_iter(body, mc.idx, &locals) {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: site(mc.line),
-                    message: context("iterates a whole driver table — fragments must stay per-row"),
-                });
-            }
+    // Pred::True selects are full scans.
+    for i in 0..body.len() {
+        if scan::path_starts(body, i, &["Pred", "True"]) {
+            out.push(Diagnostic::new(
+                NAME,
+                sf.rel.clone(),
+                body[i].line,
+                format!("delta fragment `{frag}` selects with Pred::True — a full scan"),
+            ));
         }
-        // Pred::True selects are full scans.
-        for i in 0..body.len() {
-            if scan::path_starts(body, i, &["Pred", "True"]) {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: site(body[i].line),
-                    message: context("selects with Pred::True — a full scan"),
-                });
-            }
+    }
+    for fc in scan::free_calls(body) {
+        if FULL_SCAN_HELPERS.contains(&fc.name) {
+            out.push(Diagnostic::new(
+                NAME,
+                sf.rel.clone(),
+                fc.line,
+                format!(
+                    "delta fragment `{frag}` calls full-scan helper `{}` — use the \
+                     per-entity forms (e.g. groups_of_user)",
+                    fc.name
+                ),
+            ));
         }
-        for fc in scan::free_calls(body) {
-            if FULL_SCAN_HELPERS.contains(&fc.name) {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: site(fc.line),
-                    message: context(&format!(
-                        "calls full-scan helper `{}` — use the per-entity forms \
-                         (e.g. groups_of_user)",
-                        fc.name
-                    )),
-                });
+    }
+    // Transitive walk: calls whose callee summary scans, at any depth, in
+    // any file. (Direct sites in the fragment's own body, and direct
+    // calls to the full-scan helpers, are caught token-exactly above —
+    // the helpers' bodies also carry `Scans`, so reaching one through an
+    // intermediate function lands here with the full chain.)
+    for c in eng.calls(id) {
+        if c.marked {
+            continue;
+        }
+        for &t in &c.targets {
+            if FULL_SCAN_HELPERS.contains(&eng.fns[t].func.name.as_str()) && !c.method {
+                continue; // the direct free-call check above already fired
             }
+            if !eng.effects(t).has(Effect::Scans) {
+                continue;
+            }
+            let (chain, prim) = eng.chain_through(id, c.line, t, Effect::Scans);
+            out.push(
+                Diagnostic::new(
+                    NAME,
+                    sf.rel.clone(),
+                    c.line,
+                    format!(
+                        "delta fragment `{frag}` calls `{}`, which transitively enumerates a \
+                         whole table (`{prim}`) — fragments must stay per-row",
+                        c.name
+                    ),
+                )
+                .with_chain(chain),
+            );
+            break;
         }
     }
 }

@@ -4,9 +4,12 @@
 //! must not (a) acquire a second state guard — an instant self-deadlock
 //! under parking_lot's non-reentrant locks — or (b) perform blocking I/O
 //! (`std::net`, `std::fs`, blocking channel receives, connect/bind/accept),
-//! which would stall every other session on the daemon. The pass walks one
-//! level into same-file helpers so the discipline cannot be laundered
-//! through a wrapper.
+//! which would stall every other session on the daemon.
+//!
+//! The pass runs on the workspace call-graph engine: a call made while the
+//! guard is live is denied if the callee *transitively* acquires a state
+//! guard or blocks — through any number of hops, in any file. The
+//! diagnostic prints the full witness chain down to the primitive site.
 //!
 //! Guard liveness is scoped conservatively from the token stream:
 //!
@@ -15,24 +18,12 @@
 //! - a bound acquisition (`let g = ...`, `if let Some(g) = ...`) is live to
 //!   the end of its innermost enclosing brace block, or to `drop(g)`.
 
+use crate::engine::{Effect, Engine, FnId};
 use crate::scan;
-use crate::{Diagnostic, SourceFile, Workspace};
-use syn::{ItemFn, Token};
+use crate::{Diagnostic, Workspace};
+use syn::Token;
 
 pub const NAME: &str = "lock-discipline";
-
-/// RwLock acquisition methods.
-const ACQUIRE: &[&str] = &["read", "write", "try_read", "try_write"];
-
-/// Receiver chains whose last identifier is one of these are treated as
-/// the shared state.
-const STATE_RECV: &[&str] = &["state", "shared"];
-
-/// Blocking calls (method or free) denied while a guard is live.
-const BLOCKING: &[&str] = &["recv_blocking", "sleep", "connect", "bind", "accept"];
-
-/// Path prefixes denied while a guard is live.
-const BLOCKING_PATHS: &[&[&str]] = &[&["std", "fs"], &["std", "net"]];
 
 /// The measurement harness is exempt: benches hold guards deliberately to
 /// time lock contention itself.
@@ -40,59 +31,21 @@ fn in_scope(rel: &str) -> bool {
     !rel.starts_with("crates/bench/")
 }
 
-pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+pub fn run(ws: &Workspace, eng: &Engine<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for sf in ws.files.iter().filter(|f| in_scope(&f.rel)) {
-        let facts = FileFacts::collect(sf);
-        for f in sf.ast.functions() {
-            if f.in_test || !f.func.has_body {
+    for (fi, sf) in ws.files.iter().enumerate() {
+        if !in_scope(&sf.rel) {
+            continue;
+        }
+        for &id in eng.fns_in_file(fi) {
+            let node = &eng.fns[id];
+            if node.in_test || !node.func.has_body {
                 continue;
             }
-            check_fn(sf, f.func, &facts, &mut out);
+            check_fn(eng, id, &sf.rel, &mut out);
         }
     }
     out
-}
-
-/// Per-file summary of what each named function does, for the one-level
-/// helper walk.
-struct FileFacts {
-    /// Functions whose bodies acquire a state guard.
-    acquires: Vec<String>,
-    /// Functions whose bodies perform blocking I/O.
-    blocks: Vec<String>,
-    /// Functions returning a guard (their call sites open a guard scope).
-    returns_guard: Vec<String>,
-}
-
-impl FileFacts {
-    fn collect(sf: &SourceFile) -> FileFacts {
-        let mut facts = FileFacts {
-            acquires: Vec::new(),
-            blocks: Vec::new(),
-            returns_guard: Vec::new(),
-        };
-        for f in sf.ast.functions() {
-            if f.in_test || !f.func.has_body {
-                continue;
-            }
-            let body = &f.func.body;
-            if !direct_acquisitions(body).is_empty() {
-                facts.acquires.push(f.func.name.clone());
-            }
-            if !blocking_sites(body).is_empty() {
-                facts.blocks.push(f.func.name.clone());
-            }
-            if f.func
-                .sig
-                .iter()
-                .any(|t| t.kind == syn::TokenKind::Ident && t.text.contains("Guard"))
-            {
-                facts.returns_guard.push(f.func.name.clone());
-            }
-        }
-        facts
-    }
 }
 
 /// An acquisition site in a body: the index range of the call and its
@@ -108,19 +61,18 @@ pub(crate) struct Acquisition {
     pub(crate) what: String,
 }
 
-/// Direct state-guard acquisitions: `.read()` / `.write()` / `.try_read()`
-/// / `.try_write()` with a state-ish receiver.
-pub(crate) fn direct_acquisitions(body: &[Token]) -> Vec<Acquisition> {
+/// Guard-opening sites in `id`'s body: direct `.read()`/`.write()` on the
+/// state, plus calls to guard-returning acquirers (`read_or_busy` /
+/// `write_or_busy`) resolved through the call graph.
+pub(crate) fn acquisition_sites(eng: &Engine<'_>, id: FnId) -> Vec<Acquisition> {
+    let body = &eng.fns[id].func.body;
     let mut out = Vec::new();
     for mc in scan::method_calls(body) {
-        if !ACQUIRE.contains(&mc.name) {
+        if !crate::engine::is_state_acquire(body, mc.idx, mc.name) {
             continue;
         }
         let recv = scan::receiver_idents(body, mc.idx);
         let last = recv.last().map(String::as_str).unwrap_or("");
-        if !STATE_RECV.contains(&last) {
-            continue;
-        }
         out.push(Acquisition {
             start: mc.idx,
             close: scan::close_of(body, mc.idx + 2),
@@ -128,58 +80,36 @@ pub(crate) fn direct_acquisitions(body: &[Token]) -> Vec<Acquisition> {
             what: format!("{last}.{}()", mc.name),
         });
     }
-    out
-}
-
-/// Blocking-call sites in a body: (index, line, description).
-fn blocking_sites(body: &[Token]) -> Vec<(usize, u32, String)> {
-    let mut out = Vec::new();
-    for mc in scan::method_calls(body) {
-        if BLOCKING.contains(&mc.name) {
-            out.push((mc.idx, mc.line, format!(".{}()", mc.name)));
+    for c in eng.calls(id) {
+        if c.method {
+            continue;
         }
-    }
-    for fc in scan::free_calls(body) {
-        if BLOCKING.contains(&fc.name) {
-            // Method calls are excluded above; this catches
-            // `thread::sleep(..)`, `TcpChannel::connect(..)` path forms.
-            out.push((fc.idx, fc.line, format!("{}(...)", fc.name)));
-        }
-    }
-    for i in 0..body.len() {
-        for path in BLOCKING_PATHS {
-            if scan::path_starts(body, i, path)
-                && (i == 0 || !body[i - 1].is_punct(':'))
-                && body.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            {
-                out.push((i, body[i].line, format!("{}::{}", path[0], path[1])));
-            }
-        }
-    }
-    out
-}
-
-fn check_fn(sf: &SourceFile, f: &ItemFn, facts: &FileFacts, out: &mut Vec<Diagnostic>) {
-    let body = &f.body;
-    let mut acqs = direct_acquisitions(body);
-    // Helper-form acquisitions: calls to same-file functions that acquire
-    // and hand back a guard (`read_or_busy` / `write_or_busy`).
-    for fc in scan::free_calls(body) {
-        if fc.name != f.name
-            && facts.acquires.iter().any(|n| n == fc.name)
-            && facts.returns_guard.iter().any(|n| n == fc.name)
-        {
-            acqs.push(Acquisition {
-                start: fc.idx,
-                close: scan::close_of(body, fc.idx + 1),
-                line: fc.line,
-                what: format!("{}(...)", fc.name),
+        let opens_guard = c
+            .targets
+            .iter()
+            .any(|&t| eng.fns[t].returns_guard && eng.effects(t).acquires());
+        if opens_guard {
+            out.push(Acquisition {
+                start: c.idx,
+                close: c.close,
+                line: c.line,
+                what: format!("{}(...)", c.name),
             });
         }
     }
-    acqs.sort_by_key(|a| a.start);
+    out.sort_by_key(|a| a.start);
+    out
+}
 
-    let blocking = blocking_sites(body);
+fn check_fn(eng: &Engine<'_>, id: FnId, rel: &str, out: &mut Vec<Diagnostic>) {
+    let body = &eng.fns[id].func.body;
+    let fname = &eng.fns[id].func.name;
+    let acqs = acquisition_sites(eng, id);
+    if acqs.is_empty() {
+        return;
+    }
+    let blocking = direct_blocking_sites(body);
+
     for acq in &acqs {
         let scope_end = guard_scope_end(body, acq);
         let scope_start = acq.close + 1;
@@ -189,69 +119,88 @@ fn check_fn(sf: &SourceFile, f: &ItemFn, facts: &FileFacts, out: &mut Vec<Diagno
         // Second acquisition while live.
         for other in &acqs {
             if other.start > scope_start && other.start < scope_end {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: other.line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    NAME,
+                    rel.to_string(),
+                    other.line,
+                    format!(
                         "`{}` in `{}` acquires a state guard while the guard from `{}` (line \
                          {}) is still live — non-reentrant RwLock, this self-deadlocks",
-                        other.what, f.name, acq.what, acq.line
+                        other.what, fname, acq.what, acq.line
                     ),
-                });
+                ));
             }
         }
-        // Blocking I/O while live.
+        // Blocking I/O while live (direct sites).
         for (idx, line, what) in &blocking {
             if *idx > scope_start && *idx < scope_end {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: *line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    NAME,
+                    rel.to_string(),
+                    *line,
+                    format!(
                         "blocking call `{what}` in `{}` while the state guard from `{}` (line \
                          {}) is live — every other session stalls behind it",
-                        f.name, acq.what, acq.line
+                        fname, acq.what, acq.line
                     ),
-                });
+                ));
             }
         }
-        // One-level helper walk: calls to same-file functions that acquire
-        // or block.
-        for fc in scan::free_calls(body) {
-            if fc.idx <= scope_start || fc.idx >= scope_end || fc.name == f.name {
+        // Transitive walk: any resolved call inside the live scope whose
+        // callee summary acquires or blocks, at any depth, in any file.
+        for c in eng.calls(id) {
+            if c.idx <= scope_start || c.idx >= scope_end {
                 continue;
             }
-            // Guard-returning acquirers are already counted as
-            // acquisitions above.
-            if facts.returns_guard.iter().any(|n| n == fc.name) {
-                continue;
-            }
-            let does_acquire = facts.acquires.iter().any(|n| n == fc.name);
-            let does_block = facts.blocks.iter().any(|n| n == fc.name);
-            if does_acquire || does_block {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: fc.line,
-                    message: format!(
-                        "`{}` calls helper `{}` — which {} — while the state guard from `{}` \
-                         (line {}) is live",
-                        f.name,
-                        fc.name,
-                        if does_acquire {
-                            "acquires a state guard"
-                        } else {
-                            "performs blocking I/O"
-                        },
-                        acq.what,
-                        acq.line
-                    ),
-                });
+            for &t in &c.targets {
+                let eff = eng.effects(t);
+                // Guard-returning acquirers are already counted as
+                // acquisitions above.
+                if eng.fns[t].returns_guard && eff.acquires() {
+                    continue;
+                }
+                let effect = if eff.has(Effect::AcquiresWrite) {
+                    Some(Effect::AcquiresWrite)
+                } else if eff.has(Effect::AcquiresRead) {
+                    Some(Effect::AcquiresRead)
+                } else if eff.has(Effect::Blocks) {
+                    Some(Effect::Blocks)
+                } else if eff.has(Effect::BlocksNet) {
+                    Some(Effect::BlocksNet)
+                } else {
+                    None
+                };
+                let Some(effect) = effect else { continue };
+                let (chain, prim) = eng.chain_through(id, c.line, t, effect);
+                out.push(
+                    Diagnostic::new(
+                        NAME,
+                        rel.to_string(),
+                        c.line,
+                        format!(
+                            "`{}` calls `{}` — which transitively {} (`{}`) — while the state \
+                             guard from `{}` (line {}) is live",
+                            fname,
+                            c.name,
+                            effect.describe(),
+                            prim,
+                            acq.what,
+                            acq.line
+                        ),
+                    )
+                    .with_chain(chain),
+                );
+                break; // one diagnostic per call site
             }
         }
     }
     out.dedup_by(|a, b| a.line == b.line && a.message == b.message && a.file == b.file);
+}
+
+/// Direct blocking sites in a body (the engine's primitive classes,
+/// re-derived here so the diagnostic can point at the exact token).
+fn direct_blocking_sites(body: &[Token]) -> Vec<(usize, u32, String)> {
+    crate::engine::blocking_prim_sites(body)
 }
 
 /// Where the guard from `acq` stops being live.

@@ -14,6 +14,7 @@
 //! the database unbootable until someone hand-edits the log. Recovery
 //! code must treat arbitrary bytes as a valid (if empty) history.
 
+use crate::engine::Engine;
 use crate::scan;
 use crate::{Diagnostic, Workspace};
 
@@ -29,7 +30,7 @@ const FILES: &[&str] = &[
     "crates/db/src/snapshot.rs",
 ];
 
-pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+pub fn run(ws: &Workspace, _eng: &Engine<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for rel in FILES {
         let Some(sf) = ws.file(rel) else { continue };
@@ -41,6 +42,7 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
             for mc in scan::method_calls(body) {
                 if mc.name == "unwrap" || mc.name == "expect" {
                     out.push(Diagnostic {
+                        chain: Vec::new(),
                         pass: NAME,
                         file: sf.rel.clone(),
                         line: mc.line,
@@ -55,6 +57,7 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
             for (i, t) in body.iter().enumerate() {
                 if t.is_ident("panic") && body.get(i + 1).is_some_and(|n| n.is_punct('!')) {
                     out.push(Diagnostic {
+                        chain: Vec::new(),
                         pass: NAME,
                         file: sf.rel.clone(),
                         line: t.line,

@@ -17,6 +17,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::engine::Engine;
 use crate::scan;
 use crate::{Diagnostic, SourceFile, Workspace};
 use syn::{Token, TokenKind};
@@ -26,7 +27,7 @@ pub const NAME: &str = "plan-discipline";
 const QUERIES_DIR: &str = "crates/core/src/queries/";
 const SCHEMA_FILE: &str = "crates/core/src/schema.rs";
 
-pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+pub fn run(ws: &Workspace, _eng: &Engine<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let Some(indexed) = indexed_tables(ws) else {
         return out;
@@ -87,6 +88,7 @@ fn check_file(sf: &SourceFile, indexed: &HashSet<String>, out: &mut Vec<Diagnost
             let Some(table) = table else { continue };
             if indexed.contains(&table) {
                 out.push(Diagnostic {
+                    chain: Vec::new(),
                     pass: NAME,
                     file: sf.rel.clone(),
                     line: mc.line,

@@ -4,46 +4,31 @@
 //! `MoiraServer::poll_with_timeout`. Two invariants keep it honest:
 //!
 //! - **No `SharedState` guard live across a reactor wait.** A guard held
-//!   into `reactor.wait(..)` (or into a loop entry point that contains the
-//!   wait) parks every other thread that needs the state for as long as
-//!   the wait blocks — up to the full timeout on an idle server. The guard
-//!   liveness model is shared with the lock-discipline pass.
+//!   into `reactor.wait(..)` — directly or through any chain of calls that
+//!   eventually waits — parks every other thread that needs the state for
+//!   as long as the wait blocks — up to the full timeout on an idle
+//!   server. The guard liveness model is shared with the lock-discipline
+//!   pass.
 //!
-//! - **No blocking syscalls on the wait path.** A function that performs a
-//!   reactor wait is loop code; a `sleep`, blocking channel receive, or
-//!   `std::fs` access in its body (or in a same-file helper it calls)
-//!   stalls every live connection, not just one session. Non-blocking
-//!   socket calls (`accept`/`read`/`write` that report `WouldBlock`) are
-//!   fine and are not matched.
+//! - **No blocking syscalls on the wait path.** A function whose summary
+//!   contains a reactor wait is loop code; a `sleep`, blocking channel
+//!   receive, or `std::fs` access in its body (or transitively reachable
+//!   from it) stalls every live connection, not just one session.
+//!   Non-blocking socket calls (`accept`/`connect` on the loop's
+//!   non-blocking fds) are fine and deliberately not matched — the engine
+//!   tracks those as a separate `BlocksNet` effect.
 //!
 //! The deliberate selector-less pacing sleep in `poll_with_timeout`
 //! carries a reviewed `lint:allow(reactor-discipline)` — the degraded scan
 //! path has no OS wait to block in, so it honors its timeout with a
 //! bounded sleep instead of spinning.
 
-use crate::scan;
-use crate::{Diagnostic, SourceFile, Workspace};
-use syn::{ItemFn, Token};
+use crate::engine::{self, Effect, Engine, FnId};
+use crate::{Diagnostic, Workspace};
 
-use super::locks::{direct_acquisitions, guard_scope_end, Acquisition};
+use super::locks::{acquisition_sites, guard_scope_end};
 
 pub const NAME: &str = "reactor-discipline";
-
-/// Receivers whose `.wait(..)` is the reactor's blocking point.
-const WAIT_RECV: &[&str] = &["reactor", "poller"];
-
-/// Loop entry points that contain the reactor wait; calling one while a
-/// guard is live is the same violation one level up.
-const LOOP_WAITS: &[&str] = &["poll_with_timeout", "poll_once", "run_until_idle"];
-
-/// Blocking calls (method or free) denied on the wait path. Deliberately
-/// narrower than lock-discipline's list: the loop's sockets are all
-/// non-blocking, so `accept`/`connect` there return immediately — but
-/// nothing on the wait path may sleep or park.
-const BLOCKING: &[&str] = &["sleep", "recv_blocking", "recv_timeout", "park"];
-
-/// Path prefixes denied on the wait path.
-const BLOCKING_PATHS: &[&[&str]] = &[&["std", "fs"]];
 
 /// Benches drive the loop synchronously and pace themselves however the
 /// measurement requires.
@@ -51,215 +36,114 @@ fn in_scope(rel: &str) -> bool {
     !rel.starts_with("crates/bench/")
 }
 
-pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+pub fn run(ws: &Workspace, eng: &Engine<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for sf in ws.files.iter().filter(|f| in_scope(&f.rel)) {
-        let facts = FileFacts::collect(sf);
-        for f in sf.ast.functions() {
-            if f.in_test || !f.func.has_body {
+    for (fi, sf) in ws.files.iter().enumerate() {
+        if !in_scope(&sf.rel) {
+            continue;
+        }
+        for &id in eng.fns_in_file(fi) {
+            let node = &eng.fns[id];
+            if node.in_test || !node.func.has_body {
                 continue;
             }
-            check_fn(sf, f.func, &facts, &mut out);
+            check_fn(eng, id, &sf.rel, &mut out);
         }
     }
     out
 }
 
-/// A reactor-wait site in a body.
-struct WaitSite {
-    idx: usize,
-    line: u32,
-    what: String,
-}
+fn check_fn(eng: &Engine<'_>, id: FnId, rel: &str, out: &mut Vec<Diagnostic>) {
+    let body = &eng.fns[id].func.body;
+    let fname = &eng.fns[id].func.name;
+    let waits = engine::wait_prim_sites(body);
 
-/// Direct wait sites: `reactor.wait(..)` / `poller.wait(..)` plus calls to
-/// the loop entry points that contain the wait.
-fn wait_sites(body: &[Token]) -> Vec<WaitSite> {
-    let mut out = Vec::new();
-    for mc in scan::method_calls(body) {
-        if mc.name == "wait" {
-            let recv = scan::receiver_idents(body, mc.idx);
-            let last = recv.last().map(String::as_str).unwrap_or("");
-            if !WAIT_RECV.contains(&last) {
-                continue;
-            }
-            out.push(WaitSite {
-                idx: mc.idx,
-                line: mc.line,
-                what: format!("{last}.wait()"),
-            });
-        } else if LOOP_WAITS.contains(&mc.name) {
-            out.push(WaitSite {
-                idx: mc.idx,
-                line: mc.line,
-                what: format!(".{}()", mc.name),
-            });
-        }
-    }
-    out
-}
-
-/// Blocking-call sites in a body: (index, line, description).
-fn blocking_sites(body: &[Token]) -> Vec<(usize, u32, String)> {
-    let mut out = Vec::new();
-    for mc in scan::method_calls(body) {
-        if BLOCKING.contains(&mc.name) {
-            out.push((mc.idx, mc.line, format!(".{}()", mc.name)));
-        }
-    }
-    for fc in scan::free_calls(body) {
-        if BLOCKING.contains(&fc.name) {
-            out.push((fc.idx, fc.line, format!("{}(...)", fc.name)));
-        }
-    }
-    for i in 0..body.len() {
-        for path in BLOCKING_PATHS {
-            if scan::path_starts(body, i, path)
-                && (i == 0 || !body[i - 1].is_punct(':'))
-                && body.get(i + 1).is_some_and(|t| t.is_punct(':'))
-            {
-                out.push((i, body[i].line, format!("{}::{}", path[0], path[1])));
-            }
-        }
-    }
-    out
-}
-
-/// Per-file summary for the one-level helper walk.
-struct FileFacts {
-    /// Functions whose bodies contain a reactor wait.
-    waits: Vec<String>,
-    /// Functions whose bodies contain a blocking call.
-    blocks: Vec<String>,
-    /// Functions whose bodies acquire a state guard.
-    acquires: Vec<String>,
-    /// Functions returning a guard (call sites open a guard scope).
-    returns_guard: Vec<String>,
-}
-
-impl FileFacts {
-    fn collect(sf: &SourceFile) -> FileFacts {
-        let mut facts = FileFacts {
-            waits: Vec::new(),
-            blocks: Vec::new(),
-            acquires: Vec::new(),
-            returns_guard: Vec::new(),
-        };
-        for f in sf.ast.functions() {
-            if f.in_test || !f.func.has_body {
-                continue;
-            }
-            let body = &f.func.body;
-            if !wait_sites(body).is_empty() {
-                facts.waits.push(f.func.name.clone());
-            }
-            if !blocking_sites(body).is_empty() {
-                facts.blocks.push(f.func.name.clone());
-            }
-            if !direct_acquisitions(body).is_empty() {
-                facts.acquires.push(f.func.name.clone());
-            }
-            if f.func
-                .sig
-                .iter()
-                .any(|t| t.kind == syn::TokenKind::Ident && t.text.contains("Guard"))
-            {
-                facts.returns_guard.push(f.func.name.clone());
-            }
-        }
-        facts
-    }
-}
-
-fn check_fn(sf: &SourceFile, f: &ItemFn, facts: &FileFacts, out: &mut Vec<Diagnostic>) {
-    let body = &f.body;
-    let waits = wait_sites(body);
-
-    // (a) No guard live across a wait — direct acquisitions plus the
-    // helper form (`read_or_busy` / `write_or_busy`).
-    let mut acqs = direct_acquisitions(body);
-    for fc in scan::free_calls(body) {
-        if fc.name != f.name
-            && facts.acquires.iter().any(|n| n == fc.name)
-            && facts.returns_guard.iter().any(|n| n == fc.name)
-        {
-            acqs.push(Acquisition {
-                start: fc.idx,
-                close: scan::close_of(body, fc.idx + 1),
-                line: fc.line,
-                what: format!("{}(...)", fc.name),
-            });
-        }
-    }
-    acqs.sort_by_key(|a| a.start);
-
+    // (a) No guard live across a wait — direct wait sites plus calls whose
+    // callee summary transitively waits.
+    let acqs = acquisition_sites(eng, id);
     for acq in &acqs {
         let scope_end = guard_scope_end(body, acq);
         let scope_start = acq.close + 1;
         if scope_start >= scope_end {
             continue;
         }
-        for w in &waits {
-            if w.idx > scope_start && w.idx < scope_end {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: w.line,
-                    message: format!(
-                        "reactor wait `{}` in `{}` while the state guard from `{}` (line {}) \
-                         is live — every thread needing the state parks for the full wait",
-                        w.what, f.name, acq.what, acq.line
+        for (idx, line, what) in &waits {
+            if *idx > scope_start && *idx < scope_end {
+                out.push(Diagnostic::new(
+                    NAME,
+                    rel.to_string(),
+                    *line,
+                    format!(
+                        "reactor wait `{what}` in `{}` while the state guard from `{}` (line \
+                         {}) is live — every thread needing the state parks for the full wait",
+                        fname, acq.what, acq.line
                     ),
-                });
+                ));
             }
         }
-        // One-level walk: same-file helpers that wait.
-        for fc in scan::free_calls(body) {
-            if fc.idx <= scope_start || fc.idx >= scope_end || fc.name == f.name {
+        for c in eng.calls(id) {
+            if c.idx <= scope_start || c.idx >= scope_end {
                 continue;
             }
-            if facts.waits.iter().any(|n| n == fc.name) {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: fc.line,
-                    message: format!(
-                        "`{}` calls helper `{}` — which performs a reactor wait — while the \
-                         state guard from `{}` (line {}) is live",
-                        f.name, fc.name, acq.what, acq.line
-                    ),
-                });
+            for &t in &c.targets {
+                if !eng.effects(t).has(Effect::Waits) {
+                    continue;
+                }
+                let (chain, prim) = eng.chain_through(id, c.line, t, Effect::Waits);
+                out.push(
+                    Diagnostic::new(
+                        NAME,
+                        rel.to_string(),
+                        c.line,
+                        format!(
+                            "`{}` calls `{}` — which transitively reaches the reactor wait \
+                             (`{prim}`) — while the state guard from `{}` (line {}) is live",
+                            fname, c.name, acq.what, acq.line
+                        ),
+                    )
+                    .with_chain(chain),
+                );
+                break;
             }
         }
     }
 
-    // (b) No blocking syscalls anywhere in a function that performs a
-    // reactor wait — it is loop code; one sleep stalls every connection.
+    // (b) No blocking syscalls anywhere on the wait path: a function that
+    // waits (directly — its own body contains the wait) must not block,
+    // directly or through any call chain.
     if !waits.is_empty() {
-        for (_, line, what) in blocking_sites(body) {
-            out.push(Diagnostic {
-                pass: NAME,
-                file: sf.rel.clone(),
+        for (_, line, what) in engine::hard_blocking_prim_sites(body) {
+            out.push(Diagnostic::new(
+                NAME,
+                rel.to_string(),
                 line,
-                message: format!(
+                format!(
                     "blocking call `{what}` in `{}`, which performs a reactor wait — loop \
                      code must stay non-blocking; every live connection stalls behind it",
-                    f.name
+                    fname
                 ),
-            });
+            ));
         }
-        for fc in scan::free_calls(body) {
-            if fc.name != f.name && facts.blocks.iter().any(|n| n == fc.name) {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: fc.line,
-                    message: format!(
-                        "`{}` performs a reactor wait but calls helper `{}`, which blocks — \
-                         loop code must stay non-blocking",
-                        f.name, fc.name
-                    ),
-                });
+        for c in eng.calls(id) {
+            for &t in &c.targets {
+                if !eng.effects(t).has(Effect::Blocks) {
+                    continue;
+                }
+                let (chain, prim) = eng.chain_through(id, c.line, t, Effect::Blocks);
+                out.push(
+                    Diagnostic::new(
+                        NAME,
+                        rel.to_string(),
+                        c.line,
+                        format!(
+                            "`{}` performs a reactor wait but calls `{}`, which transitively \
+                             blocks (`{prim}`) — loop code must stay non-blocking",
+                            fname, c.name
+                        ),
+                    )
+                    .with_chain(chain),
+                );
+                break;
             }
         }
     }

@@ -11,6 +11,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::engine::Engine;
 use crate::scan;
 use crate::{Diagnostic, Workspace};
 use syn::{Token, TokenKind};
@@ -39,7 +40,7 @@ const KINDS: &[&str] = &["Retrieve", "Append", "Update", "Delete", "Special"];
 const MUTATING_KINDS: &[&str] = &["Append", "Update", "Delete"];
 const ACCESS_RULES: &[&str] = &["Public", "QueryAcl", "QueryAclOrSelf", "Custom"];
 
-pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+pub fn run(ws: &Workspace, _eng: &Engine<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let Some(schema) = parse_schema(ws, &mut out) else {
         return out;
@@ -51,6 +52,7 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
         for handle in query_handles(&sf.tokens) {
             let line = handle.line;
             let diag = |msg: String| Diagnostic {
+                chain: Vec::new(),
                 pass: NAME,
                 file: sf.rel.clone(),
                 line,
@@ -187,6 +189,7 @@ fn parse_schema(ws: &Workspace, out: &mut Vec<Diagnostic>) -> Option<Schema> {
             for t in schema.tables.iter() {
                 if !listed.contains(t) {
                     out.push(Diagnostic {
+                        chain: Vec::new(),
                         pass: NAME,
                         file: sf.rel.clone(),
                         line: toks[i].line,
@@ -197,6 +200,7 @@ fn parse_schema(ws: &Workspace, out: &mut Vec<Diagnostic>) -> Option<Schema> {
             for t in &listed {
                 if !schema.tables.contains(t) {
                     out.push(Diagnostic {
+                        chain: Vec::new(),
                         pass: NAME,
                         file: sf.rel.clone(),
                         line: toks[i].line,
@@ -390,6 +394,7 @@ fn check_table_refs(sf: &crate::SourceFile, schema: &Schema, out: &mut Vec<Diagn
                 if *pos == 0 {
                     if !schema.tables.contains(text) {
                         out.push(Diagnostic {
+                            chain: Vec::new(),
                             pass: NAME,
                             file: sf.rel.clone(),
                             line: *line,
@@ -401,6 +406,7 @@ fn check_table_refs(sf: &crate::SourceFile, schema: &Schema, out: &mut Vec<Diagn
                     }
                 } else if mc.name == "cell" && !schema.columns.contains(text) {
                     out.push(Diagnostic {
+                        chain: Vec::new(),
                         pass: NAME,
                         file: sf.rel.clone(),
                         line: *line,
@@ -425,6 +431,7 @@ fn check_table_refs(sf: &crate::SourceFile, schema: &Schema, out: &mut Vec<Diagn
                         let col = &toks[j + 1];
                         if !schema.columns.contains(&col.text) {
                             out.push(Diagnostic {
+                                chain: Vec::new(),
                                 pass: NAME,
                                 file: sf.rel.clone(),
                                 line: col.line,
@@ -443,6 +450,7 @@ fn check_table_refs(sf: &crate::SourceFile, schema: &Schema, out: &mut Vec<Diagn
             for (pos, text, line) in scan::str_args(toks, mc.idx + 2) {
                 if pos == 0 && !schema.columns.contains(&text) {
                     out.push(Diagnostic {
+                        chain: Vec::new(),
                         pass: NAME,
                         file: sf.rel.clone(),
                         line,
@@ -468,6 +476,7 @@ fn check_table_refs(sf: &crate::SourceFile, schema: &Schema, out: &mut Vec<Diagn
             let col = &toks[i + 5];
             if !schema.columns.contains(&col.text) {
                 out.push(Diagnostic {
+                    chain: Vec::new(),
                     pass: NAME,
                     file: sf.rel.clone(),
                     line: col.line,

@@ -3,36 +3,28 @@
 //! The read/write tier split (PR 2) holds only if:
 //!
 //! - every handler registered `Handler::Read` takes `&MoiraState` (not
-//!   `&mut`) and never calls a mutating `Database`/`Table` API, directly or
-//!   through a one-level helper;
-//! - every mutation inside a `Handler::Write` handler reaches the database
-//!   through `state.db` (or a local borrowed from it), so
+//!   `&mut`) and never reaches a mutating `Database`/`Table` API —
+//!   directly or transitively through any chain of calls, in any file
+//!   (the call-graph engine's `Mutates` summary);
+//! - every mutation inside a `Handler::Write` handler — or inside any
+//!   helper the handler transitively calls — reaches the database through
+//!   `state.db` (or a local borrowed from it), so
 //!   `Database::mutation_count` advances and the registry journals the
 //!   query (the journaling contract);
 //! - `MoiraState` is never `Clone`, and nothing on the query path clones
 //!   the state or the database to dodge the tiers (the old CI grep gate,
 //!   now receiver-aware).
 
+use std::collections::HashSet;
+
+use crate::engine::{Effect, Engine, FnId, MUTATING};
 use crate::scan;
 use crate::{Diagnostic, SourceFile, Workspace};
 use syn::{ItemFn, Token, TokenKind};
 
 pub const NAME: &str = "tier-discipline";
 
-/// Mutating `Database` / `Table` / `MoiraState` APIs a read handler must
-/// never reach.
-const MUTATING: &[&str] = &[
-    "append",
-    "update",
-    "delete",
-    "delete_where",
-    "table_mut",
-    "create_table",
-    "set_value",
-];
-
 const QUERIES_DIR: &str = "crates/core/src/queries/";
-const HELPERS_FILE: &str = "crates/core/src/queries/helpers.rs";
 
 #[derive(Clone, Copy, PartialEq)]
 enum Tier {
@@ -40,21 +32,21 @@ enum Tier {
     Write,
 }
 
-pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+pub fn run(ws: &Workspace, eng: &Engine<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    let helpers = ws.file(HELPERS_FILE);
-    for sf in ws.files.iter().filter(|f| f.rel.starts_with(QUERIES_DIR)) {
-        let fn_map = sf.fn_map();
-        for (tier, handler, line) in registrations(&sf.tokens) {
-            let Some(f) = fn_map.get(handler.as_str()) else {
+    for (fi, sf) in ws.files.iter().enumerate() {
+        if !sf.rel.starts_with(QUERIES_DIR) {
+            continue;
+        }
+        for (tier, handler, _line) in registrations(&sf.tokens) {
+            let Some(id) = eng.fn_in_file(fi, &handler) else {
                 // Unresolved handlers are the registry-schema pass's job.
                 continue;
             };
             match tier {
-                Tier::Read => check_read(sf, f, helpers, &mut out),
-                Tier::Write => check_write(sf, f, helpers, &mut out),
+                Tier::Read => check_read(sf, eng, id, &mut out),
+                Tier::Write => check_write(sf, eng, id, &mut out),
             }
-            let _ = line;
         }
     }
     no_clone_gate(ws, &mut out);
@@ -90,97 +82,107 @@ fn registrations(toks: &[Token]) -> Vec<(Tier, String, u32)> {
     out
 }
 
-fn check_read(
-    sf: &SourceFile,
-    f: &ItemFn,
-    helpers: Option<&SourceFile>,
-    out: &mut Vec<Diagnostic>,
-) {
+fn check_read(sf: &SourceFile, eng: &Engine<'_>, id: FnId, out: &mut Vec<Diagnostic>) {
+    let f = eng.fns[id].func;
     // Signature: `&MoiraState`, not `&mut MoiraState`.
     for (i, t) in f.sig.iter().enumerate() {
         if t.is_ident("MoiraState") && i >= 1 && f.sig[i - 1].is_ident("mut") {
-            out.push(Diagnostic {
-                pass: NAME,
-                file: sf.rel.clone(),
-                line: t.line,
-                message: format!(
+            out.push(Diagnostic::new(
+                NAME,
+                sf.rel.clone(),
+                t.line,
+                format!(
                     "read handler `{}` takes &mut MoiraState; read-tier handlers must take \
                      &MoiraState",
                     f.name
                 ),
-            });
+            ));
         }
     }
-    // Body: no mutating calls.
+    // Body: no direct mutating-API calls (receiver-independent — a read
+    // handler has no business even spelling these).
     for mc in scan::method_calls(&f.body) {
         if MUTATING.contains(&mc.name) {
-            out.push(Diagnostic {
-                pass: NAME,
-                file: sf.rel.clone(),
-                line: mc.line,
-                message: format!(
+            out.push(Diagnostic::new(
+                NAME,
+                sf.rel.clone(),
+                mc.line,
+                format!(
                     "read handler `{}` calls mutating API `.{}()`; retrieves must not modify \
                      state",
                     f.name, mc.name
                 ),
-            });
+            ));
         }
     }
-    // One-level walk into same-file / helpers.rs helpers.
-    for fc in scan::free_calls(&f.body) {
-        if fc.name == f.name {
-            continue;
+    // Transitive walk: any call whose callee summary mutates, at any
+    // depth, in any file.
+    for c in eng.calls(id) {
+        for &t in &c.targets {
+            if !eng.effects(t).has(Effect::Mutates) {
+                continue;
+            }
+            let (chain, prim) = eng.chain_through(id, c.line, t, Effect::Mutates);
+            out.push(
+                Diagnostic::new(
+                    NAME,
+                    sf.rel.clone(),
+                    c.line,
+                    format!(
+                        "read handler `{}` calls `{}`, which transitively mutates the \
+                         database (`{prim}`) — retrieves must not modify state",
+                        f.name, c.name
+                    ),
+                )
+                .with_chain(chain),
+            );
+            break;
         }
-        let callee = resolve_helper(sf, helpers, fc.name);
-        if let Some(h) = callee {
-            for mc in scan::method_calls(&h.body) {
-                if MUTATING.contains(&mc.name) {
-                    out.push(Diagnostic {
-                        pass: NAME,
-                        file: sf.rel.clone(),
-                        line: fc.line,
-                        message: format!(
-                            "read handler `{}` calls helper `{}`, which calls mutating API \
-                             `.{}()`",
-                            f.name, fc.name, mc.name
-                        ),
-                    });
+    }
+    out.dedup_by(|a, b| a.line == b.line && a.message == b.message && a.file == b.file);
+}
+
+fn check_write(sf: &SourceFile, eng: &Engine<'_>, id: FnId, out: &mut Vec<Diagnostic>) {
+    let handler = eng.fns[id].func.name.as_str();
+    // BFS over the call graph: the handler plus every function it
+    // transitively reaches that mutates. Each body's direct mutating
+    // calls must be rooted at `state` / a db-rooted local; the diagnostic
+    // points at the call chain from the handler.
+    let mut visited: HashSet<FnId> = HashSet::new();
+    let mut queue: Vec<(FnId, Vec<(String, u32)>)> = vec![(id, Vec::new())];
+    visited.insert(id);
+    while let Some((cur, path)) = queue.pop() {
+        check_mutations_rooted(sf, eng, cur, handler, &path, out);
+        for c in eng.calls(cur) {
+            for &t in &c.targets {
+                if visited.contains(&t) || !eng.effects(t).has(Effect::Mutates) {
+                    continue;
                 }
+                visited.insert(t);
+                let mut next_path = path.clone();
+                next_path.push((eng.rel(cur).to_string(), c.line));
+                queue.push((t, next_path));
             }
         }
     }
+    out.dedup_by(|a, b| a.line == b.line && a.message == b.message && a.file == b.file);
 }
 
-fn check_write(
-    sf: &SourceFile,
-    f: &ItemFn,
-    helpers: Option<&SourceFile>,
-    out: &mut Vec<Diagnostic>,
-) {
-    check_mutations_rooted(sf, f, f.name.as_str(), None, out);
-    // One-level walk: helpers a write handler calls must follow the same
-    // contract in their own bodies.
-    for fc in scan::free_calls(&f.body) {
-        if fc.name == f.name {
-            continue;
-        }
-        if let Some(h) = resolve_helper(sf, helpers, fc.name) {
-            check_mutations_rooted(sf, h, f.name.as_str(), Some(fc.line), out);
-        }
-    }
-}
-
-/// Every mutating call in `f`'s body must have a receiver chain rooted at
-/// `state` (covering `state.db.*` and `state.set_value`) or at a local
-/// bound from `state.db`. When `report_line` is set the diagnostic points
-/// at the call site in the enclosing handler instead.
+/// Every mutating call in `cur`'s body must have a receiver chain rooted
+/// at `state` (covering `state.db.*` and `state.set_value`) or at a local
+/// bound from `state.db`. When `path` is non-empty the body under scrutiny
+/// is a transitively reached helper; the diagnostic then points at the
+/// handler's call site and carries the full chain down to the offending
+/// mutation.
 fn check_mutations_rooted(
     sf: &SourceFile,
-    f: &ItemFn,
+    eng: &Engine<'_>,
+    cur: FnId,
     handler: &str,
-    report_line: Option<u32>,
+    path: &[(String, u32)],
     out: &mut Vec<Diagnostic>,
 ) {
+    let f: &ItemFn = eng.fns[cur].func;
     let rooted = db_rooted_locals(&f.body);
     for mc in scan::method_calls(&f.body) {
         if !MUTATING.contains(&mc.name) {
@@ -188,20 +190,40 @@ fn check_mutations_rooted(
         }
         let recv = scan::receiver_idents(&f.body, mc.idx);
         let root = recv.first().map(String::as_str).unwrap_or("");
-        if root == "state" || rooted.iter().any(|r| r == root) {
+        // `self` mutations are the db layer's own implementation
+        // (`Database::append` mutating its tables); the journaling
+        // boundary is the entry call, which the walk reached via state.db.
+        if root == "state"
+            || rooted.iter().any(|r| r == root)
+            || (root == "self" && eng.fns[cur].owner.is_some())
+        {
             continue;
         }
-        out.push(Diagnostic {
-            pass: NAME,
-            file: sf.rel.clone(),
-            line: report_line.unwrap_or(mc.line),
-            message: format!(
-                "write handler `{handler}`: `.{}()` on `{}` bypasses state.db — mutations \
-                 must route through state.db so journaling sees them",
-                mc.name,
-                if root.is_empty() { "<expr>" } else { root },
-            ),
-        });
+        let (file, line) = match path.first() {
+            Some((f, l)) => (f.clone(), *l),
+            None => (sf.rel.clone(), mc.line),
+        };
+        let chain = if path.is_empty() {
+            Vec::new()
+        } else {
+            let mut c = path.to_vec();
+            c.push((eng.rel(cur).to_string(), mc.line));
+            c
+        };
+        out.push(
+            Diagnostic::new(
+                NAME,
+                file,
+                line,
+                format!(
+                    "write handler `{handler}`: `.{}()` on `{}` bypasses state.db — mutations \
+                     must route through state.db so journaling sees them",
+                    mc.name,
+                    if root.is_empty() { "<expr>" } else { root },
+                ),
+            )
+            .with_chain(chain),
+        );
     }
 }
 
@@ -233,20 +255,6 @@ fn db_rooted_locals(body: &[Token]) -> Vec<String> {
     out
 }
 
-fn resolve_helper<'a>(
-    sf: &'a SourceFile,
-    helpers: Option<&'a SourceFile>,
-    name: &str,
-) -> Option<&'a ItemFn> {
-    if name == "register" {
-        return None;
-    }
-    if let Some(f) = sf.fn_map().get(name) {
-        return Some(*f);
-    }
-    helpers.and_then(|h| h.fn_map().get(name).copied())
-}
-
 /// The old CI grep gate, receiver-aware: nothing on the query path clones
 /// the state or the database.
 fn no_clone_gate(ws: &Workspace, out: &mut Vec<Diagnostic>) {
@@ -263,15 +271,15 @@ fn no_clone_gate(ws: &Workspace, out: &mut Vec<Diagnostic>) {
             let recv = scan::receiver_idents(&sf.tokens, mc.idx);
             let last = recv.last().map(String::as_str).unwrap_or("");
             if last == "state" || last == "db" {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: mc.line,
-                    message: format!(
+                out.push(Diagnostic::new(
+                    NAME,
+                    sf.rel.clone(),
+                    mc.line,
+                    format!(
                         "`.clone()` on `{last}` — cloning the state/database detaches reads \
                          from the live tiers and mutations from journaling"
                     ),
-                });
+                ));
             }
         }
     }
@@ -291,14 +299,14 @@ fn state_not_clone(ws: &Workspace, out: &mut Vec<Diagnostic>) {
             && toks[i + 2].is_ident("for")
             && toks[i + 3].is_ident("MoiraState")
         {
-            out.push(Diagnostic {
-                pass: NAME,
-                file: sf.rel.clone(),
-                line: toks[i].line,
-                message: "manual `impl Clone for MoiraState` — the shared state must have a \
-                          single live copy"
+            out.push(Diagnostic::new(
+                NAME,
+                sf.rel.clone(),
+                toks[i].line,
+                "manual `impl Clone for MoiraState` — the shared state must have a single \
+                 live copy"
                     .to_string(),
-            });
+            ));
         }
         // `#[derive(..., Clone, ...)] ... struct MoiraState`
         if toks[i].is_ident("struct") && i + 1 < toks.len() && toks[i + 1].is_ident("MoiraState") {
@@ -307,14 +315,14 @@ fn state_not_clone(ws: &Workspace, out: &mut Vec<Diagnostic>) {
             if window.iter().any(|t| t.is_ident("derive"))
                 && window.iter().any(|t| t.is_ident("Clone"))
             {
-                out.push(Diagnostic {
-                    pass: NAME,
-                    file: sf.rel.clone(),
-                    line: toks[i].line,
-                    message: "`#[derive(Clone)]` on MoiraState — the shared state must have a \
-                              single live copy"
+                out.push(Diagnostic::new(
+                    NAME,
+                    sf.rel.clone(),
+                    toks[i].line,
+                    "`#[derive(Clone)]` on MoiraState — the shared state must have a single \
+                     live copy"
                         .to_string(),
-                });
+                ));
             }
         }
     }

@@ -125,6 +125,87 @@ fn poll(&mut self) {
 }
 
 #[test]
+fn transitive_diagnostics_carry_full_chains() {
+    // The two-hop lock fixture must produce a witness chain naming every
+    // file on the path down to the primitive, in order.
+    let path = fixtures_root().join("lock-discipline/bad_two_hop_cross_file.rs");
+    let ws = load_fixture(&path);
+    let diags = ws.run_pass("lock-discipline").unwrap();
+    let chained: Vec<String> = diags.iter().map(|d| d.chain_display()).collect();
+    assert!(
+        diags.iter().any(|d| {
+            let files: Vec<&str> = d.chain.iter().map(|(f, _)| f.as_str()).collect();
+            files
+                == [
+                    "crates/core/src/server.rs",
+                    "crates/core/src/persist.rs",
+                    "crates/core/src/media.rs",
+                ]
+        }),
+        "no three-file chain in: {chained:?}"
+    );
+}
+
+#[test]
+fn allow_on_chain_hop_suppresses_transitive_finding() {
+    // A reviewed allow at the primitive covers every caller whose chain
+    // passes through it — callers do not need their own allows.
+    let src_caller = "\
+use crate::persist::flush_side_table;
+
+fn commit(&mut self) {
+    let mut guard = self.state.write();
+    flush_side_table(&guard);
+}
+";
+    let src_leaf = "\
+pub fn flush_side_table(snapshot: &MoiraState) {
+    // Bounded dump on the maintenance path, reviewed.
+    // lint:allow(lock-discipline)
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+";
+    let ws = Workspace::from_sources(&[
+        ("crates/core/src/server.rs", src_caller),
+        ("crates/core/src/persist.rs", src_leaf),
+    ])
+    .unwrap();
+    let diags = ws.run_pass("lock-discipline").unwrap();
+    assert!(
+        diags.is_empty(),
+        "allow at the primitive hop did not suppress: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
+    // Stale-allow detection must still count that allow as used.
+    let report = ws.run_full();
+    assert!(
+        report.stale_allows.is_empty(),
+        "chain-hop allow wrongly reported stale: {:?}",
+        report
+            .stale_allows
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn stale_allow_is_reported() {
+    let src = "\
+fn quiet(&self) -> usize {
+    // lint:allow(lock-discipline)
+    self.counter + 1
+}
+";
+    let ws = Workspace::from_sources(&[("crates/core/src/server.rs", src)]).unwrap();
+    let report = ws.run_full();
+    assert!(report.diagnostics.is_empty());
+    assert_eq!(report.stale_allows.len(), 1, "expected one stale allow");
+    assert_eq!(report.stale_allows[0].pass, "lock-discipline");
+    assert_eq!(report.stale_allows[0].line, 2);
+}
+
+#[test]
 fn unknown_pass_is_rejected() {
     let ws = Workspace::from_sources(&[]).unwrap();
     assert!(ws.run_pass("no-such-pass").is_none());
@@ -146,5 +227,39 @@ fn real_workspace_is_clean() {
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// No stale `lint:allow` comments in the audited tree: every escape still
+/// suppresses at least one raw finding.
+#[test]
+fn real_workspace_has_no_stale_allows() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).unwrap();
+    let report = ws.run_full();
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allows:\n{}",
+        report
+            .stale_allows
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The lint budget: a full workspace run (load + every pass, including the
+/// call-graph fixpoint) must stay interactive. CI asserts the same bound.
+#[test]
+fn full_lint_run_stays_within_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let started = std::time::Instant::now();
+    let ws = Workspace::load(&root).unwrap();
+    let _ = ws.run_full();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "full lint run took {elapsed:?} — over the 30 s budget"
     );
 }

@@ -1,0 +1,19 @@
+//@ file: crates/core/src/server.rs
+// Method-call resolution: the receiver's declared type routes the call to
+// an impl in another file whose body blocks. Name-only linking could not
+// do this — `commit` is far too common to trust bare.
+fn persist_under_guard(&mut self) {
+    let guard = self.state.write();
+    let writer: WalWriter = WalWriter::for_state(&guard);
+    writer.commit();
+}
+//@ file: crates/core/src/wal.rs
+impl WalWriter {
+    pub fn for_state(state: &MoiraState) -> WalWriter {
+        WalWriter { seq: state.seq() }
+    }
+
+    pub fn commit(&self) {
+        std::fs::write("/var/moira/wal", format!("{}", self.seq)).ok();
+    }
+}

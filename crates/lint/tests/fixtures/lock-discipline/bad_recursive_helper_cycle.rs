@@ -1,0 +1,22 @@
+//@ file: crates/core/src/server.rs
+// The helpers below are mutually recursive; the fixpoint must terminate
+// on the cycle and still propagate the blocking effect into the guard
+// scope here.
+use crate::retry::send_with_retry;
+
+fn notify(&mut self) {
+    let guard = self.state.write();
+    send_with_retry(guard.pending(), 3);
+}
+//@ file: crates/core/src/retry.rs
+pub fn send_with_retry(pending: usize, budget: u32) {
+    if budget == 0 {
+        return;
+    }
+    backoff_then_retry(pending, budget);
+}
+
+pub fn backoff_then_retry(pending: usize, budget: u32) {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    send_with_retry(pending, budget - 1);
+}

@@ -1,0 +1,24 @@
+//@ file: crates/core/src/server.rs
+// Two-hop, cross-file: the helper called under the guard is itself clean —
+// only its callee (in a third file) blocks. A one-level walk that checks
+// just the direct callee's body misses this; the summary engine does not.
+use crate::persist::flush_side_table;
+
+fn commit(&mut self) {
+    let mut guard = self.state.write();
+    guard.tick += 1;
+    flush_side_table(&guard);
+}
+//@ file: crates/core/src/persist.rs
+// No primitive in this body: the blocking call is one hop further down.
+use crate::media::write_dump;
+
+pub fn flush_side_table(snapshot: &MoiraState) {
+    let rendered = snapshot.render();
+    write_dump(rendered);
+}
+//@ file: crates/core/src/media.rs
+pub fn write_dump(bytes: String) {
+    std::fs::write("/var/moira/dump", bytes).ok();
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}

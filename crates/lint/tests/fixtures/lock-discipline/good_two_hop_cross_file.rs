@@ -1,0 +1,21 @@
+//@ file: crates/core/src/server.rs
+// The same two-hop shape as bad_two_hop_cross_file, but the leaf helper is
+// pure computation: the summary walk must not invent a violation.
+use crate::persist::flush_side_table;
+
+fn commit(&mut self) {
+    let mut guard = self.state.write();
+    guard.tick += 1;
+    flush_side_table(&guard);
+}
+//@ file: crates/core/src/persist.rs
+use crate::media::render_dump;
+
+pub fn flush_side_table(snapshot: &MoiraState) {
+    let rendered = snapshot.render();
+    render_dump(rendered);
+}
+//@ file: crates/core/src/media.rs
+pub fn render_dump(bytes: String) -> usize {
+    bytes.len().wrapping_mul(31)
+}

@@ -1,0 +1,23 @@
+//@ file: crates/core/src/loop.rs
+// The loop body looks clean — the sleep is two calls away, in another
+// file. The wait-path summary walk still reaches it.
+use crate::flush::flush_batches;
+
+fn poll_pass(&mut self) -> usize {
+    let ready = self.reactor.wait(Some(TICK));
+    flush_batches(self, ready)
+}
+//@ file: crates/core/src/flush.rs
+use crate::throttle::pace;
+
+pub fn flush_batches(srv: &mut Server, ready: Readiness) -> usize {
+    let n = srv.drain(ready);
+    pace(n);
+    n
+}
+//@ file: crates/core/src/throttle.rs
+pub fn pace(batches: usize) {
+    if batches > 8 {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

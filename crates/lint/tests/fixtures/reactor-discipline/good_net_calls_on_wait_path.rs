@@ -1,0 +1,21 @@
+//@ file: crates/core/src/loop.rs
+// Socket calls on the wait path are fine: the loop's fds are non-blocking,
+// so accept/connect return immediately. The engine tracks them as a
+// separate effect precisely so this stays clean while sleeps are denied.
+use crate::intake::accept_ready;
+
+fn poll_pass(&mut self) -> usize {
+    let ready = self.reactor.wait(Some(TICK));
+    accept_ready(self, ready)
+}
+//@ file: crates/core/src/intake.rs
+pub fn accept_ready(srv: &mut Server, ready: Readiness) -> usize {
+    let mut n = 0;
+    if ready.listener {
+        while let Ok((sock, _)) = srv.listener.accept() {
+            sock.set_nonblocking(true).ok();
+            n += 1;
+        }
+    }
+    n
+}

@@ -1,0 +1,26 @@
+//@ file: crates/core/src/queries/users.rs
+// The read handler's own body only formats rows; the mutation is two
+// hops away in another file. The Mutates summary still reaches it.
+use crate::maintenance::refresh_row_cache;
+
+pub fn register(reg: &mut Registry) {
+    reg.add("get_user_account", Handler::Read(get_user_account));
+}
+
+fn get_user_account(state: &MoiraState, args: &[String]) -> MrResult<Rows> {
+    let rows = state.db.select("users", &Pred::Eq(0, args[0].clone()));
+    refresh_row_cache(state, &rows);
+    Ok(rows)
+}
+//@ file: crates/core/src/maintenance.rs
+use crate::caches::touch_access_stamp;
+
+pub fn refresh_row_cache(state: &MoiraState, rows: &Rows) {
+    for row in rows {
+        touch_access_stamp(state, row);
+    }
+}
+//@ file: crates/core/src/caches.rs
+pub fn touch_access_stamp(state: &MoiraState, row: &Row) {
+    state.db.update("users", row.id, "last_read", now_string());
+}

@@ -1,0 +1,24 @@
+//@ file: crates/core/src/queries/users.rs
+// The same helper shape as bad_read_two_hop_mutate, but the leaf only
+// reads — the summary walk must not flag pure read helpers.
+use crate::maintenance::summarize_rows;
+
+pub fn register(reg: &mut Registry) {
+    reg.add("get_user_account", Handler::Read(get_user_account));
+}
+
+fn get_user_account(state: &MoiraState, args: &[String]) -> MrResult<Rows> {
+    let rows = state.db.select("users", &Pred::Eq(0, args[0].clone()));
+    let _ = summarize_rows(state, &rows);
+    Ok(rows)
+}
+//@ file: crates/core/src/maintenance.rs
+use crate::caches::stamp_of;
+
+pub fn summarize_rows(state: &MoiraState, rows: &Rows) -> usize {
+    rows.iter().map(|r| stamp_of(state, r)).sum()
+}
+//@ file: crates/core/src/caches.rs
+pub fn stamp_of(state: &MoiraState, row: &Row) -> usize {
+    state.db.select("users", &Pred::Eq(0, row.key.clone())).len()
+}

@@ -272,10 +272,15 @@ impl Deployment {
     /// handle on the media for crash-point arming.
     pub fn enable_durable_storage(&mut self, config: GroupCommitConfig) -> SimMedia {
         let media = SimMedia::new();
-        let mut st = self.state.write();
+        // Recovery I/O runs before the state guard is taken; only sealing
+        // the snapshot (which must see the db quiescent) and installing
+        // the engine need exclusive access.
         let (mut engine, _) = DurableEngine::open(Box::new(media.clone()), config)
             .expect("fresh sim media opens cleanly");
+        let mut st = self.state.write();
         engine.set_obs(&st.obs);
+        // One-shot bootstrap: the initial snapshot needs the seeded db
+        // pinned, so its media write happens under the guard by design.
         engine
             .snapshot(&st.db, &st.journal)
             .expect("sealing the initial snapshot on fresh media");

@@ -532,7 +532,7 @@ fn kerberos_end_to_end_through_rpc() {
     let mut st = moira::core::MoiraState::new(clock.clone());
     moira::core::seed::seed_capacls(&mut st, &registry);
     moira::core::queries::testutil::add_test_user(&mut st, "babette", 42);
-    let state = std::sync::Arc::new(parking_lot_state(st));
+    let state = moira::core::state::shared(st);
     let server = moira::core::MoiraServer::new(
         state.clone(),
         registry,
@@ -553,8 +553,4 @@ fn kerberos_end_to_end_through_rpc() {
         replayer.auth_krb(&ticket, &auth, "chsh").unwrap_err(),
         MrError::Replay
     );
-}
-
-fn parking_lot_state(s: moira::core::MoiraState) -> parking_lot::RwLock<moira::core::MoiraState> {
-    parking_lot::RwLock::new(s)
 }
