@@ -7,9 +7,21 @@
 //! data files were generated (or has `override` set). Locking, inprogress
 //! flags, soft/hard error bookkeeping, and Zephyr/mail notification follow
 //! the paper.
+//!
+//! Past the paper's ~20 hosts, the host scan runs hierarchically: update
+//! legs execute on a bounded worker pool (`fanout_width`), and a
+//! [`RackTopology`] splits each cycle into an *origin* wave (rack relays
+//! and direct hosts) followed by a *leaf* wave gated on each rack's relay
+//! — see [`crate::relay`]. Each leg is three phases: *prepare* (locks, DB
+//! writes, archive, credentials — serial), *transfer* (network only — on
+//! the pool), *record* (stats, cursor, retry ledger, DB — serial, in todo
+//! order). With width 1 and no racks the composition is exactly the
+//! legacy serial scan.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use moira_common::errors::MrResult;
 use moira_core::registry::Registry;
@@ -24,6 +36,7 @@ use crate::generators::nfs::NfsGenerator;
 use crate::generators::Generator;
 use crate::host::SimHost;
 use crate::net::{Network, PerfectNetwork};
+use crate::relay::{CursorStore, RackTopology};
 use crate::retry::{RetryBook, RetryPolicy, SoftOutcome};
 use crate::update::{
     run_update_instrumented, Script, TransferStats, UpdateCredentials, UpdateError,
@@ -73,6 +86,9 @@ pub struct DcmStats {
     pub escalations: u64,
     /// Updates refused because another update of the host was in progress.
     pub busy_conflicts: u64,
+    /// Leaf legs deferred because their rack's relay failed or was
+    /// unreachable — the rack retries next cycle; no streak is charged.
+    pub relay_deferrals: u64,
 }
 
 /// What one `run_once` did.
@@ -98,11 +114,12 @@ pub struct Dcm {
     /// with the section caches and generation cursor that keep the next
     /// refresh incremental.
     prepared: HashMap<String, CachedBuild>,
-    /// The archive each `(service, host)` pair last installed successfully
-    /// — the patch base for the update protocol's line-level partial
-    /// transfer. Dropping an entry only costs bytes (the next push ships
+    /// Per-`(service, host)` delta cursors: the archive each host last
+    /// confirmed installing — the patch base for the update protocol's
+    /// line-level partial transfer — with its generation and base-CRC
+    /// manifest. Dropping an entry only costs bytes (the next push ships
     /// whole members), never correctness.
-    last_pushed: HashMap<(String, String), Archive>,
+    cursors: CursorStore,
     /// Reachable server hosts by canonical machine name.
     pub hosts: HashMap<String, Arc<Mutex<SimHost>>>,
     /// Notices sent (Zephyr + mail).
@@ -120,6 +137,10 @@ pub struct Dcm {
     net: Arc<dyn Network>,
     /// Soft-failure streak ledger driving the backoff gate.
     retry: RetryBook,
+    /// Bounded concurrency of the host fan-out (1 = legacy serial scan).
+    fanout_width: usize,
+    /// Rack grouping driving relay election (empty = every host direct).
+    topology: RackTopology,
 }
 
 impl Dcm {
@@ -134,7 +155,7 @@ impl Dcm {
             registry,
             generators,
             prepared: HashMap::new(),
-            last_pushed: HashMap::new(),
+            cursors: CursorStore::new(),
             hosts: HashMap::new(),
             notices: Vec::new(),
             nodcm_file: false,
@@ -143,6 +164,8 @@ impl Dcm {
             auth_nonce: 0,
             net: Arc::new(PerfectNetwork),
             retry: RetryBook::default(),
+            fanout_width: 1,
+            topology: RackTopology::new(),
         }
     }
 
@@ -161,6 +184,38 @@ impl Dcm {
     /// The soft-failure retry ledger (inspection and operator resets).
     pub fn retry_book(&mut self) -> &mut RetryBook {
         &mut self.retry
+    }
+
+    /// Sets the bounded concurrency of the host fan-out (clamped to ≥ 1).
+    /// Width 1 with no racks is exactly the legacy serial scan.
+    pub fn set_fanout_width(&mut self, width: usize) {
+        self.fanout_width = width.max(1);
+    }
+
+    /// The configured fan-out width.
+    pub fn fanout_width(&self) -> usize {
+        self.fanout_width
+    }
+
+    /// Installs the rack topology driving relay election.
+    pub fn set_topology(&mut self, topology: RackTopology) {
+        self.topology = topology;
+    }
+
+    /// The installed rack topology.
+    pub fn topology(&self) -> &RackTopology {
+        &self.topology
+    }
+
+    /// The per-host delta cursor store.
+    pub fn cursors(&self) -> &CursorStore {
+        &self.cursors
+    }
+
+    /// Mutable cursor access (operator resets; the fault-matrix tests'
+    /// stale-cursor injection).
+    pub fn cursors_mut(&mut self) -> &mut CursorStore {
+        &mut self.cursors
     }
 
     /// Enables Kerberos mutual authentication for update connections
@@ -439,38 +494,54 @@ impl Dcm {
             }
         }
         let todo = self.hosts_needing_update(&svc.name, dfgen);
-        let mut replicated_failed = false;
-        for (mach_name, mach_id, value3) in todo {
-            if replicated_failed {
-                break;
-            }
-            let result = self.update_one_host(svc, mach_name.clone(), mach_id, &value3);
-            if let Err(e) = &result {
-                if e.is_hard() && svc.replicated {
-                    // "If there is a hard failure and the service is
-                    // replicated, then the error code & message are also set
-                    // in the service record so that no more updates will be
-                    // attempted."
-                    replicated_failed = true;
-                    let mut state = self.state.write();
-                    let _ = self.exec(
-                        &mut state,
-                        "set_server_internal_flags",
-                        &[
-                            svc.name.clone(),
-                            dfgen.to_string(),
-                            dfgen.to_string(),
-                            "0".into(),
-                            e.code().to_string(),
-                            e.message(),
-                        ],
-                    );
+        // The shared (non-per-host) archive, cloned once per cycle into an
+        // Arc every leg of the fan-out reads.
+        let shared: Option<Arc<Archive>> = self
+            .prepared
+            .get(&svc.name)
+            .map(|b| Arc::new(b.archive().clone()));
+        if self.fanout_width <= 1 && self.topology.is_empty() {
+            // The legacy serial scan: one host at a time, in todo order,
+            // stopping at the first hard failure of a replicated service.
+            let mut replicated_failed = false;
+            for (mach_name, mach_id, value3) in todo {
+                if replicated_failed {
+                    break;
                 }
+                let result =
+                    self.update_one_host(svc, dfgen, &mach_name, mach_id, &value3, shared.as_ref());
+                if let Err(e) = &result {
+                    if e.is_hard() && svc.replicated {
+                        replicated_failed = true;
+                        self.mark_replicated_failed(svc, dfgen, e);
+                    }
+                }
+                report.updates.push((svc.name.clone(), mach_name, result));
             }
-            report.updates.push((svc.name.clone(), mach_name, result));
+        } else {
+            self.fanout_phase(svc, dfgen, &todo, shared.as_ref(), report);
         }
         let mut state = self.state.write();
         state.locks.release("dcm", &format!("svc:{}", svc.name));
+    }
+
+    /// "If there is a hard failure and the service is replicated, then the
+    /// error code & message are also set in the service record so that no
+    /// more updates will be attempted."
+    fn mark_replicated_failed(&mut self, svc: &ServiceInfo, dfgen: i64, e: &UpdateError) {
+        let mut state = self.state.write();
+        let _ = self.exec(
+            &mut state,
+            "set_server_internal_flags",
+            &[
+                svc.name.clone(),
+                dfgen.to_string(),
+                dfgen.to_string(),
+                "0".into(),
+                e.code().to_string(),
+                e.message(),
+            ],
+        );
     }
 
     /// Hosts that are enabled, have no hard errors, have not been
@@ -515,13 +586,329 @@ impl Dcm {
         out
     }
 
+    /// One host's update, serially: prepare, transfer, record. The legacy
+    /// single-host path, kept as the oracle the fan-out must match.
     fn update_one_host(
         &mut self,
         svc: &ServiceInfo,
-        mach_name: String,
+        dfgen: i64,
+        mach_name: &str,
         mach_id: i64,
         value3: &str,
+        shared: Option<&Arc<Archive>>,
     ) -> Result<(), UpdateError> {
+        match self.prepare_update(svc, mach_name, mach_id, value3, shared, None) {
+            Prepared::Busy => Err(UpdateError::Busy),
+            Prepared::Failed(e) => self.record_update(
+                svc,
+                dfgen,
+                mach_name,
+                mach_id,
+                None,
+                false,
+                Err(e),
+                &TransferStats::default(),
+            ),
+            Prepared::Job(job) => {
+                let (result, tstats) = run_transfer(self.net.as_ref(), &job);
+                self.record_update(
+                    svc,
+                    dfgen,
+                    &job.mach_name,
+                    mach_id,
+                    Some(&job.archive),
+                    false,
+                    result,
+                    &tstats,
+                )
+            }
+        }
+    }
+
+    /// The parallel push: plan the rack split, run the origin wave (relays
+    /// and direct hosts), then the leaf wave for every rack whose relay
+    /// succeeded. Racks whose relay leg failed are deferred whole — their
+    /// leaves are not attempted, not charged a retry streak, and stay in
+    /// the next cycle's todo list.
+    fn fanout_phase(
+        &mut self,
+        svc: &ServiceInfo,
+        dfgen: i64,
+        todo: &[(String, i64, String)],
+        shared: Option<&Arc<Archive>>,
+        report: &mut DcmReport,
+    ) {
+        if todo.is_empty() {
+            return;
+        }
+        let wall = Instant::now();
+        let serving = self.serving_hosts(&svc.name);
+        let names: Vec<String> = todo.iter().map(|(n, _, _)| n.clone()).collect();
+        let plan = self.topology.plan(&names, &serving);
+        let obs = self.state.read().obs.clone();
+        obs.gauge("dcm.fanout.width").set(self.fanout_width as i64);
+        obs.gauge("dcm.fanout.racks").set(plan.racks as i64);
+
+        let mut replicated_failed = false;
+        let origin_legs: Vec<(usize, Option<String>)> =
+            plan.origin.iter().map(|&i| (i, None)).collect();
+        let wave1 = self.fanout_wave(
+            svc,
+            dfgen,
+            todo,
+            &origin_legs,
+            shared,
+            report,
+            &mut replicated_failed,
+        );
+        obs.counter("dcm.fanout.origin_legs").add(wave1.legs_run);
+
+        let mut leaf_legs: Vec<(usize, Option<String>)> = Vec::new();
+        for (i, relay_name) in &plan.leaves {
+            if wave1.outcomes.get(relay_name) == Some(&false) {
+                // The relay's own update failed this cycle, so nothing
+                // correct could flow through it: defer the whole rack. The
+                // failure is the relay's, not the leaves' — no retry
+                // streak is charged and the leaves stay lts < dfgen.
+                self.stats.relay_deferrals += 1;
+                obs.counter("dcm.fanout.relay_deferred").inc();
+                continue;
+            }
+            leaf_legs.push((*i, Some(relay_name.clone())));
+        }
+        let wave2 = self.fanout_wave(
+            svc,
+            dfgen,
+            todo,
+            &leaf_legs,
+            shared,
+            report,
+            &mut replicated_failed,
+        );
+        obs.counter("dcm.fanout.relay_leaf_legs")
+            .add(wave2.legs_run);
+        // Wall versus summed leg time: wall < sum is the overlap proof the
+        // black-hole test pins (one stuck host cannot serialize a cycle).
+        obs.counter("dcm.fanout.legs_ns_total")
+            .add(wave1.legs_ns + wave2.legs_ns);
+        obs.counter("dcm.fanout.wall_ns")
+            .add(wall.elapsed().as_nanos() as u64);
+    }
+
+    /// Hosts with an enabled server-host row for the service — the relay
+    /// candidate pool for `RackTopology::plan`.
+    fn serving_hosts(&self, service: &str) -> HashSet<String> {
+        let state = self.state.read();
+        let t = state.db.table("serverhosts");
+        let mut out = HashSet::new();
+        for row in t.select(&Pred::Eq("service", service.into())) {
+            if !t.cell(row, "enable").as_bool() {
+                continue;
+            }
+            let mach_id = t.cell(row, "mach_id").as_int();
+            if let Some(r) = state
+                .db
+                .table("machine")
+                .select_one(&Pred::Eq("mach_id", mach_id.into()))
+            {
+                out.insert(state.db.cell("machine", r, "name").render());
+            }
+        }
+        out
+    }
+
+    /// One wave of legs: prepares each serially (DB writes, host locks,
+    /// credentials — in todo order), transfers on the worker pool, records
+    /// each outcome serially back in todo order. Returns per-host success
+    /// for the caller's relay gating.
+    #[allow(clippy::too_many_arguments)]
+    fn fanout_wave(
+        &mut self,
+        svc: &ServiceInfo,
+        dfgen: i64,
+        todo: &[(String, i64, String)],
+        legs: &[(usize, Option<String>)],
+        shared: Option<&Arc<Archive>>,
+        report: &mut DcmReport,
+        replicated_failed: &mut bool,
+    ) -> WaveResult {
+        let mut wave = WaveResult::default();
+        if legs.is_empty() || *replicated_failed {
+            return wave;
+        }
+        let mut entries: Vec<(usize, Result<(), UpdateError>)> = Vec::new();
+        let mut jobs: Vec<(usize, UpdateJob)> = Vec::new();
+        for (i, relay_name) in legs {
+            if *replicated_failed {
+                break;
+            }
+            let (mach_name, mach_id, value3) = &todo[*i];
+            let relay = relay_name.as_ref().and_then(|r| self.hosts.get(r).cloned());
+            match self.prepare_update(svc, mach_name, *mach_id, value3, shared, relay) {
+                Prepared::Busy => entries.push((*i, Err(UpdateError::Busy))),
+                Prepared::Failed(e) => {
+                    let result = self.record_update(
+                        svc,
+                        dfgen,
+                        mach_name,
+                        *mach_id,
+                        None,
+                        relay_name.is_some(),
+                        Err(e),
+                        &TransferStats::default(),
+                    );
+                    if let Err(err) = &result {
+                        if err.is_hard() && svc.replicated {
+                            *replicated_failed = true;
+                            self.mark_replicated_failed(svc, dfgen, err);
+                        }
+                    }
+                    wave.outcomes.insert(mach_name.clone(), result.is_ok());
+                    entries.push((*i, result));
+                }
+                Prepared::Job(job) => jobs.push((*i, *job)),
+            }
+        }
+        let mut results = self.run_wave(&jobs, svc.replicated);
+        for (i, job) in jobs {
+            match results.remove(&i) {
+                Some((result, tstats, leg_ns)) => {
+                    wave.legs_run += 1;
+                    wave.legs_ns += leg_ns;
+                    let recorded = self.record_update(
+                        svc,
+                        dfgen,
+                        &job.mach_name,
+                        job.mach_id,
+                        Some(&job.archive),
+                        job.relay.is_some(),
+                        result,
+                        &tstats,
+                    );
+                    if let Err(e) = &recorded {
+                        if e.is_hard() && svc.replicated && !*replicated_failed {
+                            *replicated_failed = true;
+                            self.mark_replicated_failed(svc, dfgen, e);
+                        }
+                    }
+                    wave.outcomes
+                        .insert(job.mach_name.clone(), recorded.is_ok());
+                    entries.push((i, recorded));
+                }
+                None => {
+                    // The replicated stop flag tripped before any worker
+                    // claimed this leg. Undo the prepare (inprogress bit,
+                    // host lock) and leave the host for the next cycle —
+                    // the legacy serial loop would not have attempted it.
+                    self.abort_prepared(svc, &job.mach_name);
+                }
+            }
+        }
+        entries.sort_by_key(|&(i, _)| i);
+        for (i, result) in entries {
+            report
+                .updates
+                .push((svc.name.clone(), todo[i].0.clone(), result));
+        }
+        wave
+    }
+
+    /// Runs prepared jobs' network legs with bounded concurrency:
+    /// `fanout_width` workers claim jobs off a shared counter. For a
+    /// replicated service the first hard failure raises a stop flag —
+    /// running legs finish, unclaimed jobs stay absent from the result
+    /// map. Pure transfer work: no database or DCM state crosses into the
+    /// pool.
+    fn run_wave(
+        &self,
+        jobs: &[(usize, UpdateJob)],
+        replicated: bool,
+    ) -> HashMap<usize, (Result<(), UpdateError>, TransferStats, u64)> {
+        if jobs.is_empty() {
+            return HashMap::new();
+        }
+        let width = self.fanout_width.max(1).min(jobs.len());
+        if width == 1 {
+            // One worker is a serial loop; skip the thread scaffolding.
+            let mut results = HashMap::with_capacity(jobs.len());
+            for (i, job) in jobs {
+                let t0 = Instant::now();
+                let (result, tstats) = run_transfer(self.net.as_ref(), job);
+                let hard = matches!(&result, Err(e) if e.is_hard());
+                results.insert(*i, (result, tstats, t0.elapsed().as_nanos() as u64));
+                if replicated && hard {
+                    break;
+                }
+            }
+            return results;
+        }
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let results = Mutex::new(HashMap::with_capacity(jobs.len()));
+        let net = self.net.as_ref();
+        std::thread::scope(|scope| {
+            for _ in 0..width {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((i, job)) = jobs.get(k) else { break };
+                    let t0 = Instant::now();
+                    let (result, tstats) = run_transfer(net, job);
+                    if replicated && matches!(&result, Err(e) if e.is_hard()) {
+                        stop.store(true, Ordering::Release);
+                    }
+                    results
+                        .lock()
+                        .insert(*i, (result, tstats, t0.elapsed().as_nanos() as u64));
+                });
+            }
+        });
+        results.into_inner()
+    }
+
+    /// Reverses `prepare_update` for a leg that never ran: clears the
+    /// inprogress bit (leaving `lts` at 0, so the host stays in the next
+    /// cycle's todo list with no error recorded) and releases the host
+    /// lock. Matches the legacy serial loop, which simply never prepared
+    /// hosts after a replicated stop.
+    fn abort_prepared(&mut self, svc: &ServiceInfo, mach_name: &str) {
+        let now = self.state.read().now();
+        let mut state = self.state.write();
+        let _ = self.exec(
+            &mut state,
+            "set_server_host_internal",
+            &[
+                svc.name.clone(),
+                mach_name.to_owned(),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                "0".into(),
+                String::new(),
+                now.to_string(),
+                "0".into(),
+            ],
+        );
+        state
+            .locks
+            .release("dcm", &format!("host:{}:{}", svc.name, mach_name));
+    }
+
+    /// Phase 1 of a leg — everything that must stay serial on the DCM
+    /// thread: the attempt counter, the exclusive host lock and inprogress
+    /// bit, the archive build, and fresh credentials (the authenticator
+    /// nonce is a sequence).
+    fn prepare_update(
+        &mut self,
+        svc: &ServiceInfo,
+        mach_name: &str,
+        mach_id: i64,
+        value3: &str,
+        shared: Option<&Arc<Archive>>,
+        relay: Option<Arc<Mutex<SimHost>>>,
+    ) -> Prepared {
         self.stats.updates_attempted += 1;
         let now = self.state.read().now();
         // Exclusive lock on the host + inprogress bit.
@@ -540,14 +927,14 @@ impl Dcm {
                 // soft conflict, not a network timeout. The colliding pass
                 // simply retries later; no failure streak is charged.
                 self.stats.busy_conflicts += 1;
-                return Err(UpdateError::Busy);
+                return Prepared::Busy;
             }
             let _ = self.exec(
                 &mut state,
                 "set_server_host_internal",
                 &[
                     svc.name.clone(),
-                    mach_name.clone(),
+                    mach_name.to_owned(),
                     "0".into(),
                     "0".into(),
                     "1".into(),
@@ -564,47 +951,56 @@ impl Dcm {
         // for this host — a soft error, retried once the data is fixed.
         let archive = if svc.name == "NFS" {
             let state = self.state.read();
-            NfsGenerator::for_host(&state, mach_id, value3).map_err(|_| UpdateError::BadData)
+            NfsGenerator::for_host(&state, mach_id, value3)
+                .map(Arc::new)
+                .map_err(|_| UpdateError::BadData)
         } else if svc.name == "PASSWD" {
             let state = self.state.read();
             crate::generators::hostaccess::HostAccessGenerator::for_host(&state, mach_id)
+                .map(Arc::new)
                 .map_err(|_| UpdateError::BadData)
         } else {
-            Ok(self
-                .prepared
-                .get(&svc.name)
-                .map(|b| b.archive().clone())
-                .unwrap_or_default())
+            Ok(shared.cloned().unwrap_or_default())
         };
 
-        let credentials = self.credentials_for(&mach_name);
-        let push_key = (svc.name.clone(), mach_name.clone());
-        let mut tstats = TransferStats::default();
-        let pushed = archive.and_then(|archive| {
-            let script = Script::standard(&archive, &install_dir(&svc.name), &svc.script);
-            let outcome = match self.hosts.get(&mach_name) {
-                Some(host) => {
-                    let mut h = host.lock();
-                    run_update_instrumented(
-                        self.net.as_ref(),
-                        &mut h,
-                        credentials.as_ref(),
-                        &archive,
-                        self.last_pushed.get(&push_key),
-                        &svc.target,
-                        &script,
-                        &mut tstats,
-                    )
-                }
-                None => {
-                    // No such host is a connection failure as far as the
-                    // retry ledger is concerned.
-                    tstats.failed_leg = Some("connect");
-                    Err(UpdateError::HostDown)
-                }
-            };
-            outcome.map(|()| archive)
-        });
+        let credentials = self.credentials_for(mach_name);
+        match archive {
+            Ok(archive) => {
+                let script = Script::standard(&archive, &install_dir(&svc.name), &svc.script);
+                Prepared::Job(Box::new(UpdateJob {
+                    mach_name: mach_name.to_owned(),
+                    mach_id,
+                    prev: self.cursors.base(&svc.name, mach_name),
+                    host: self.hosts.get(mach_name).cloned(),
+                    relay,
+                    target: svc.target.clone(),
+                    script,
+                    credentials,
+                    archive,
+                }))
+            }
+            // The host lock stays held: recording the failure releases it,
+            // exactly as the legacy single-phase path did.
+            Err(e) => Prepared::Failed(e),
+        }
+    }
+
+    /// Phase 3 of a leg — everything after the network returns, serial on
+    /// the DCM thread: obs counters, the cursor advance, retry-ledger and
+    /// notice bookkeeping, the final server-host row write, and the host
+    /// lock release.
+    #[allow(clippy::too_many_arguments)]
+    fn record_update(
+        &mut self,
+        svc: &ServiceInfo,
+        dfgen: i64,
+        mach_name: &str,
+        mach_id: i64,
+        archive: Option<&Arc<Archive>>,
+        via_relay: bool,
+        result: Result<(), UpdateError>,
+        tstats: &TransferStats,
+    ) -> Result<(), UpdateError> {
         // Patch-versus-whole byte split (the §5.7 partial-transfer savings)
         // and, when a leg broke, a per-leg retry count: the attempt that
         // follows the failure is charged to the leg that caused it. The
@@ -619,33 +1015,51 @@ impl Dcm {
             .add(tstats.full_members);
         obs.counter("dcm.transfer.full_bytes")
             .add(tstats.full_bytes);
+        // The same split keyed by tier — relay-gated leaf legs versus
+        // direct origin legs — so a scaled deployment sees where its bytes
+        // flow.
+        let tier = if via_relay { "relay" } else { "origin" };
+        obs.counter(&format!("dcm.transfer.{tier}.patch_members"))
+            .add(tstats.patch_members);
+        obs.counter(&format!("dcm.transfer.{tier}.patch_bytes"))
+            .add(tstats.patch_bytes);
+        obs.counter(&format!("dcm.transfer.{tier}.full_members"))
+            .add(tstats.full_members);
+        obs.counter(&format!("dcm.transfer.{tier}.full_bytes"))
+            .add(tstats.full_bytes);
         if let Some(leg) = tstats.failed_leg {
             obs.counter(&format!("dcm.retry.leg.{leg}")).inc();
-        }
-        // Only a confirmed install updates the patch base: on any failure
-        // the host may hold the old archive, the new one, or a torn mix —
-        // the base CRCs in its next stale reply sort that out.
-        let result = match pushed {
-            Ok(archive) => {
-                self.last_pushed.insert(push_key, archive);
-                Ok(())
+            if leg == "relay" {
+                // The leaf's rack relay was unreachable at transfer time:
+                // the rack is effectively deferred, same as a plan-time
+                // deferral.
+                self.stats.relay_deferrals += 1;
+                obs.counter("dcm.fanout.relay_deferred").inc();
             }
-            Err(e) => Err(e),
-        };
+        }
+        // Only a confirmed install advances the patch cursor: on any
+        // failure the host may hold the old archive, the new one, or a
+        // torn mix — the base CRCs in its next stale reply sort that out.
+        if result.is_ok() {
+            if let Some(archive) = archive {
+                self.cursors
+                    .record(&svc.name, mach_name, dfgen, archive.clone());
+            }
+        }
 
         // Record the outcome.
         let now = self.state.read().now();
         let (success, hosterror, errmsg, lts) = match &result {
             Ok(()) => {
                 self.stats.updates_succeeded += 1;
-                self.retry.record_success(&svc.name, &mach_name);
+                self.retry.record_success(&svc.name, mach_name);
                 (true, 0, String::new(), now)
             }
             Err(e) if e.is_hard() => {
                 self.stats.hard_failures += 1;
                 // A hard error gates on `hosterror` until an operator
                 // resets it; the reset deserves a clean retry slate.
-                self.retry.reset(&svc.name, &mach_name);
+                self.retry.reset(&svc.name, mach_name);
                 self.notify(
                     "zephyr",
                     "MOIRA",
@@ -667,7 +1081,7 @@ impl Dcm {
             }
             Err(e) => {
                 self.stats.soft_failures += 1;
-                match self.retry.record_soft_failure(&svc.name, &mach_name, now) {
+                match self.retry.record_soft_failure(&svc.name, mach_name, now) {
                     SoftOutcome::Backoff { .. } => (false, 0, e.message(), 0),
                     SoftOutcome::Escalate { consecutive } => {
                         // A streak this long is not transient. Promote it
@@ -709,7 +1123,7 @@ impl Dcm {
             "set_server_host_internal",
             &[
                 svc.name.clone(),
-                mach_name.clone(),
+                mach_name.to_owned(),
                 "0".into(), // override cleared by an attempt
                 if success { "1" } else { "0" }.into(),
                 "0".into(), // inprogress cleared
@@ -728,6 +1142,85 @@ impl Dcm {
             .release("dcm", &format!("host:{}:{}", svc.name, mach_name));
         result
     }
+}
+
+/// What `prepare_update` produced for one leg.
+enum Prepared {
+    /// Locked, prepared, and ready for its network legs.
+    Job(Box<UpdateJob>),
+    /// Host lock held by someone else; nothing was written or locked.
+    Busy,
+    /// Archive build failed. The host lock and inprogress bit are still
+    /// held — recording the failure releases them.
+    Failed(UpdateError),
+}
+
+/// Everything one transfer leg needs, self-contained so it can cross onto
+/// a pool worker: no `&Dcm`, no database guard, no shared mutable state.
+struct UpdateJob {
+    mach_name: String,
+    mach_id: i64,
+    /// The archive to install.
+    archive: Arc<Archive>,
+    /// The host's cursor base — the patch reference, if any.
+    prev: Option<Arc<Archive>>,
+    credentials: Option<UpdateCredentials>,
+    host: Option<Arc<Mutex<SimHost>>>,
+    /// The rack relay this leaf leg is gated on, if any.
+    relay: Option<Arc<Mutex<SimHost>>>,
+    target: String,
+    script: Script,
+}
+
+/// What one fan-out wave reports back to `fanout_phase`.
+#[derive(Default)]
+struct WaveResult {
+    /// Host → whether its update succeeded (hosts attempted this wave).
+    outcomes: HashMap<String, bool>,
+    /// Legs actually transferred.
+    legs_run: u64,
+    /// Summed per-leg wall time — against the wave's own wall clock, the
+    /// overlap proof.
+    legs_ns: u64,
+}
+
+/// Phase 2 of a leg — the network. Runs off the DCM thread on the fan-out
+/// pool; touches only the job, the network, and the simulated hosts.
+fn run_transfer(net: &dyn Network, job: &UpdateJob) -> (Result<(), UpdateError>, TransferStats) {
+    let mut tstats = TransferStats::default();
+    // A leaf leg first probes its rack relay. A dead relay costs this one
+    // check — not a full per-leaf timeout — and is charged to the "relay"
+    // leg so the retry ledger and obs can tell the tiers apart. The guard
+    // is statement-scoped: dropped before the leaf host locks.
+    if let Some(relay) = &job.relay {
+        let relay_up = relay.lock().reachable();
+        if !relay_up {
+            tstats.failed_leg = Some("relay");
+            return (Err(UpdateError::HostDown), tstats);
+        }
+    }
+    let outcome = match &job.host {
+        Some(host) => {
+            let mut h = host.lock();
+            run_update_instrumented(
+                net,
+                &mut h,
+                job.credentials.as_ref(),
+                &job.archive,
+                job.prev.as_deref(),
+                &job.target,
+                &job.script,
+                &mut tstats,
+            )
+        }
+        None => {
+            // No such host is a connection failure as far as the retry
+            // ledger is concerned.
+            tstats.failed_leg = Some("connect");
+            Err(UpdateError::HostDown)
+        }
+    };
+    (outcome, tstats)
 }
 
 /// Where a service's files are installed on its hosts (the `target` is the
@@ -1220,6 +1713,151 @@ mod tests {
             .find(|(_, h, _)| h == "KIWI.MIT.EDU")
             .unwrap();
         assert!(kiwi.2.is_ok());
+    }
+
+    /// Satellite pin: `fanout_width = 1` with zero racks takes literally
+    /// the legacy serial loop — same update order, same outcomes.
+    #[test]
+    fn width_one_no_racks_is_the_legacy_serial_path() {
+        let (mut dcm, _state, _hosts) = setup();
+        dcm.set_fanout_width(1);
+        assert!(dcm.topology().is_empty());
+        let report = dcm.run_once();
+        let order: Vec<&str> = report.updates.iter().map(|(_, h, _)| h.as_str()).collect();
+        assert_eq!(
+            order,
+            vec!["KIWI.MIT.EDU", "SUOMI.MIT.EDU"],
+            "serverhosts row order preserved"
+        );
+        assert!(report.updates.iter().all(|(_, _, r)| r.is_ok()));
+    }
+
+    /// Satellite pin: the pooled fan-out path (width > 1, no racks) is
+    /// byte-equivalent to the serial oracle across a whole scripted run —
+    /// reports, notices (retry/Zephyr escalation included), stats,
+    /// serverhosts rows, and host filesystems.
+    #[test]
+    fn fanout_pool_matches_serial_oracle_exactly() {
+        type Trace = (
+            Vec<(String, String, Result<(), UpdateError>)>,
+            Vec<Notice>,
+            DcmStats,
+            Vec<Vec<String>>,
+            Vec<std::collections::BTreeMap<String, Vec<u8>>>,
+        );
+        let run = |width: usize| -> Trace {
+            let (mut dcm, state, hosts) = setup();
+            dcm.set_retry_policy(quick_retry(2, usize::MAX));
+            dcm.set_fanout_width(width);
+            let mut updates = Vec::new();
+            // Scripted history: a down host soft-fails, fails again and
+            // escalates to a hard error with Zephyr + mail, gets reset by
+            // an operator, converges; then a mutation cycle pushes again.
+            hosts[1].lock().up = false;
+            updates.extend(dcm.run_once().updates);
+            state.write().db.clock().advance(60);
+            updates.extend(dcm.run_once().updates); // escalates after 2
+            hosts[1].lock().reboot();
+            {
+                let mut s = state.write();
+                Registry::standard()
+                    .execute(
+                        &mut s,
+                        &Caller::root("ops"),
+                        "reset_server_host_error",
+                        &["HESIOD".into(), "SUOMI.MIT.EDU".into()],
+                    )
+                    .unwrap();
+            }
+            state.write().db.clock().advance(60);
+            updates.extend(dcm.run_once().updates);
+            {
+                let mut s = state.write();
+                s.db.clock().advance(7 * 3600);
+                Registry::standard()
+                    .execute(
+                        &mut s,
+                        &Caller::new("ops", "t"),
+                        "add_user",
+                        &[
+                            "parity".into(),
+                            "7300".into(),
+                            "/bin/csh".into(),
+                            "P".into(),
+                            "T".into(),
+                            "".into(),
+                            "1".into(),
+                            "x".into(),
+                            "1990".into(),
+                        ],
+                    )
+                    .unwrap();
+            }
+            updates.extend(dcm.run_once().updates);
+            let rows: Vec<Vec<String>> = {
+                let s = state.read();
+                let t = s.db.table("serverhosts");
+                t.iter()
+                    .map(|(r, _)| {
+                        [
+                            "mach_id",
+                            "override",
+                            "success",
+                            "inprogress",
+                            "hosterror",
+                            "ltt",
+                            "lts",
+                        ]
+                        .iter()
+                        .map(|c| t.cell(r, c).render())
+                        .collect()
+                    })
+                    .collect()
+            };
+            let files = hosts.iter().map(|h| h.lock().files_mut().clone()).collect();
+            (updates, dcm.notices.clone(), dcm.stats, rows, files)
+        };
+        let serial = run(1);
+        let pooled = run(8);
+        assert_eq!(serial.0, pooled.0, "update reports");
+        assert_eq!(serial.1, pooled.1, "notices incl. escalation");
+        assert_eq!(serial.2, pooled.2, "whole stats struct");
+        assert_eq!(serial.3, pooled.3, "serverhosts rows");
+        assert_eq!(serial.4, pooled.4, "host filesystems");
+    }
+
+    /// Racked hosts converge through a relay; the cursor store records
+    /// every confirmed install at the pushed generation.
+    #[test]
+    fn racked_fanout_converges_and_records_cursors() {
+        let (mut dcm, state, hosts) = setup();
+        let mut topo = RackTopology::new();
+        topo.add_rack("r0", ["KIWI.MIT.EDU", "SUOMI.MIT.EDU"].map(String::from));
+        dcm.set_topology(topo);
+        dcm.set_fanout_width(4);
+        let report = dcm.run_once();
+        assert_eq!(report.updates.len(), 2);
+        assert!(report.updates.iter().all(|(_, _, r)| r.is_ok()));
+        for h in &hosts {
+            assert!(h.lock().read_file("/var/hesiod/passwd.db").is_some());
+        }
+        let gen = {
+            let s = state.read();
+            let row =
+                s.db.table("servers")
+                    .select_one(&Pred::Eq("name", "HESIOD".into()))
+                    .unwrap();
+            s.db.cell("servers", row, "dfgen").as_int()
+        };
+        for host in ["KIWI.MIT.EDU", "SUOMI.MIT.EDU"] {
+            assert_eq!(dcm.cursors().generation("HESIOD", host), Some(gen));
+        }
+        let obs = state.read().obs.clone();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("dcm.fanout.origin_legs"), 1, "the relay");
+        assert_eq!(snap.counter("dcm.fanout.relay_leaf_legs"), 1, "the leaf");
+        assert!(snap.counter("dcm.transfer.relay.full_members") > 0);
+        assert!(snap.counter("dcm.transfer.origin.full_members") > 0);
     }
 
     #[test]

@@ -28,12 +28,16 @@
 //! - [`retry`] — the unified soft-failure retry policy: immediate first
 //!   retry, exponential backoff with deterministic jitter, escalation of
 //!   long streaks to operator-visible hard errors.
+//! - [`relay`] — the hierarchical fan-out tier: rack topology with relay
+//!   election, and the per-host delta cursor store that generalizes the
+//!   old `last_pushed` patch-base map.
 
 pub mod archive;
 pub mod dcm;
 pub mod generators;
 pub mod host;
 pub mod net;
+pub mod relay;
 pub mod retry;
 pub mod update;
 
@@ -41,4 +45,5 @@ pub use archive::Archive;
 pub use dcm::{Dcm, DcmReport};
 pub use host::SimHost;
 pub use net::{NetFault, Network, PerfectNetwork};
+pub use relay::{CursorStore, FanoutPlan, RackTopology};
 pub use retry::{RetryBook, RetryPolicy, SoftOutcome};

@@ -8,6 +8,12 @@
 //! unit tests) use [`PerfectNetwork`]; the simulator substitutes its
 //! deterministic fault-injecting fabric (`moira_sim::net::NetFabric`) to
 //! reproduce the §5.9 failure matrix end to end.
+//!
+//! Implementations must be `Send + Sync`: the hierarchical fan-out runs
+//! transfer legs concurrently on a worker pool, so every leg crosses the
+//! same network value from multiple threads. The fabric additionally
+//! models per-rack fault domains (partition a rack's uplink, not just one
+//! host's link), matching the relay tier's failure unit.
 
 use crate::update::UpdateError;
 

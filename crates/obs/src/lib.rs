@@ -21,6 +21,14 @@
 //! - **A clock seam.** Spans and wait timers read nanoseconds through the
 //!   registry's [`ClockSource`]; the deployment simulator swaps in the
 //!   shared [`VClock`] so stage durations report *simulated* time.
+//!
+//! Instrument names are dotted families, lowest-cardinality prefix first
+//! (`server.*`, `db.lock.*`, `db.plan.*`, `dcm.*`). The DCM's hierarchical
+//! push adds two: `dcm.fanout.*` (pool width/rack gauges, origin versus
+//! relay-leaf leg counts, relay deferrals, wall-versus-summed-leg
+//! nanoseconds) and the `dcm.transfer.{origin,relay}.*` tier split of the
+//! patch/full byte counters — the standing evidence that stragglers
+//! converge by line patch, not whole archive.
 
 use std::collections::BTreeMap;
 use std::fmt;

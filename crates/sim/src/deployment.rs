@@ -20,6 +20,7 @@ use moira_db::backup::NightlyRotation;
 use moira_db::storage::{DurableEngine, GroupCommitConfig, SimMedia, Storage};
 use moira_dcm::dcm::{install_dir, Dcm, DcmReport};
 use moira_dcm::host::SimHost;
+use moira_dcm::relay::RackTopology;
 use moira_krb::realm::Kdc;
 use moira_svc::{HesiodServer, MailHub, NfsServer, ZephyrServer};
 use parking_lot::Mutex;
@@ -334,17 +335,41 @@ impl Deployment {
 
     /// Replaces the DCM with a freshly started one, as after a Moira
     /// crash: every in-memory cache is gone — prepared builds and their
-    /// generation cursors, last-pushed patch bases, retry streaks — but
-    /// the on-disk identity survives, so the srvtab key and the network
-    /// fabric are rewired exactly as at first start.
+    /// generation cursors, per-host delta cursors, retry streaks — but
+    /// the on-disk identity survives, so the srvtab key, the network
+    /// fabric, and the fan-out configuration (rack topology and width
+    /// live in configuration, not state) are rewired exactly as at first
+    /// start.
     pub fn restart_dcm(&mut self) {
         let mut fresh = Dcm::new(self.state.clone(), self.registry.clone());
         fresh.enable_kerberos(self.kdc.clone(), "rcmd.moira", self.dcm_key);
         fresh.set_network(self.net.clone());
+        fresh.set_fanout_width(self.dcm.fanout_width());
+        fresh.set_topology(self.dcm.topology().clone());
         for host in self.dcm.hosts.values() {
             fresh.add_host(host.clone());
         }
         self.dcm = fresh;
+    }
+
+    /// Groups every simulated host into racks of `rack_size` (sorted by
+    /// name, chunked), wires matching fault domains into the fabric, and
+    /// points the DCM at the topology with a `fanout_width`-worker pool.
+    /// Returns the topology for scenario scripting.
+    pub fn configure_racks(&mut self, rack_size: usize, fanout_width: usize) -> RackTopology {
+        let mut names: Vec<String> = self.hosts.keys().cloned().collect();
+        names.sort();
+        let mut topo = RackTopology::new();
+        for (n, chunk) in names.chunks(rack_size.max(1)).enumerate() {
+            let rack = format!("rack-{n}");
+            for host in chunk {
+                self.net.assign_rack(host, &rack);
+            }
+            topo.add_rack(&rack, chunk.iter().cloned());
+        }
+        self.dcm.set_topology(topo.clone());
+        self.dcm.set_fanout_width(fanout_width);
+        topo
     }
 
     /// Runs one DCM pass (consuming any pending trigger), then delivers any
